@@ -1,0 +1,77 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark prints the scaling series it measured (the "table/figure"
+being reproduced) before handing the headline configuration to
+pytest-benchmark.  The printed series is what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections.abc import Callable, Sequence
+
+
+def measure(action: Callable[[], object], repeat: int = 3) -> float:
+    """Best-of-``repeat`` wall-clock seconds for one call."""
+    best = math.inf
+    for _ in range(repeat):
+        started = time.perf_counter()
+        action()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
+    """An aligned plain-text table (the regenerated 'figure')."""
+    rendered = [[_format(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    print(f"\n== {title} ==")
+    print("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    for row in rendered:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+
+
+def _format(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100 or abs(cell) < 0.0001:
+            return f"{cell:.3e}"
+        return f"{cell:.5f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log(y) against log(x).
+
+    A polynomial-time algorithm shows a bounded slope (its effective
+    degree); exponential behaviour shows a slope that keeps growing with
+    the range, better diagnosed with :func:`growth_ratios`.
+    """
+    points = [
+        (math.log(x), math.log(y))
+        for x, y in zip(xs, ys)
+        if x > 0 and y > 0
+    ]
+    if len(points) < 2:
+        return 0.0
+    mean_x = sum(p[0] for p in points) / len(points)
+    mean_y = sum(p[1] for p in points) / len(points)
+    numerator = sum((px - mean_x) * (py - mean_y) for px, py in points)
+    denominator = sum((px - mean_x) ** 2 for px, py in points)
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator
+
+
+def growth_ratios(ys: Sequence[float]) -> list[float]:
+    """Successive ratios ``y[i+1]/y[i]`` — roughly constant > 1 means
+    exponential growth in a linear-step sweep."""
+    return [
+        later / earlier if earlier > 0 else math.inf
+        for earlier, later in zip(ys, ys[1:])
+    ]

@@ -1,0 +1,51 @@
+"""A1 — Ablation: Algorithm 2 (Eval oracle) vs direct run-DAG enumeration.
+
+The oracle-driven enumerator buys a *delay guarantee* at the price of
+repeated Eval calls; the direct evaluator materialises the run DAG with
+feasibility pruning.  Both must produce identical sets; the table shows
+what the guarantee costs on the seller/tax workload.
+"""
+
+import pytest
+
+from benchmarks._harness import measure, print_table
+from repro.automata.simulate import evaluate_va
+from repro.automata.thompson import to_va
+from repro.evaluation.enumerate import enumerate_va
+from repro.workloads import land_registry
+
+ROW_COUNTS = [1, 2, 4]
+
+
+@pytest.mark.benchmark(group="a1")
+def test_a1_enumerator_ablation(benchmark):
+    automaton = to_va(land_registry.seller_tax_expression())
+    rows = []
+    for row_count in ROW_COUNTS:
+        document = land_registry.generate_document(row_count, seed=31)
+        oracle_result = set(enumerate_va(automaton, document))
+        direct_result = evaluate_va(automaton, document)
+        assert oracle_result == direct_result
+        oracle_time = measure(
+            lambda: list(enumerate_va(automaton, document)), repeat=1
+        )
+        direct_time = measure(lambda: evaluate_va(automaton, document), repeat=1)
+        rows.append(
+            (
+                row_count,
+                len(document),
+                len(direct_result),
+                oracle_time,
+                direct_time,
+                round(oracle_time / max(direct_time, 1e-9), 1),
+            )
+        )
+    print_table(
+        "A1: Algorithm 2 vs direct run-DAG enumeration",
+        ["rows", "|d|", "#outputs", "oracle s", "direct s", "oracle/direct"],
+        rows,
+    )
+    print("(the ratio is the cost of the polynomial-delay guarantee)")
+
+    document = land_registry.generate_document(4, seed=31)
+    benchmark(lambda: evaluate_va(automaton, document))

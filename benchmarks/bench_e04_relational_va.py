@@ -1,0 +1,44 @@
+"""E4 — Proposition 5.4: NonEmp of *relational* VA is NP-complete.
+
+Claim: restricting VA to produce relations does not restore tractability.
+Workload: the Figure 4 Hamiltonian-path family; runtime grows
+super-polynomially in the vertex count, answers certified by brute force.
+"""
+
+import pytest
+
+from benchmarks._harness import growth_ratios, measure, print_table
+from repro.reductions.hamiltonian import (
+    brute_force_hamiltonian,
+    random_graph,
+    to_relational_va,
+    va_nonempty_on_epsilon,
+)
+
+VERTEX_COUNTS = [3, 4, 5, 6]
+
+
+@pytest.mark.benchmark(group="e04")
+def test_e04_relational_va_nonemptiness(benchmark):
+    rows = []
+    timings = []
+    for vertex_count in VERTEX_COUNTS:
+        graph = random_graph(vertex_count, 0.5, seed=3)
+        automaton = to_relational_va(graph)
+        answer = va_nonempty_on_epsilon(graph)
+        assert answer == brute_force_hamiltonian(graph)
+        elapsed = measure(lambda: va_nonempty_on_epsilon(graph), repeat=1)
+        rows.append((vertex_count, automaton.size(), answer, elapsed))
+        timings.append(elapsed)
+    print_table(
+        "E4: NonEmp of relational VA on Hamiltonian instances (Prop 5.4)",
+        ["|V|", "|A|", "non-empty", "time s"],
+        rows,
+    )
+    print(
+        f"growth ratios: {[f'{r:.1f}' for r in growth_ratios(timings)]} "
+        "(super-polynomial in |V| while |A| grows quadratically)"
+    )
+
+    graph = random_graph(4, 0.5, seed=3)
+    benchmark(lambda: va_nonempty_on_epsilon(graph))

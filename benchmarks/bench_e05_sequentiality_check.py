@@ -1,0 +1,52 @@
+"""E5 — Proposition 5.5: deciding sequentiality is in NLOGSPACE (⊆ PTIME).
+
+Claim: the product walk over (state, per-variable status) pairs decides
+sequentiality cheaply.  We sweep automaton sizes and verify a near-linear
+log-log slope.
+"""
+
+import pytest
+
+from benchmarks._harness import loglog_slope, measure, print_table
+from repro.automata.sequential import is_sequential
+from repro.automata.thompson import to_va
+from repro.workloads.expressions import random_va, seller_like_sequential_rgx
+
+FIELD_COUNTS = [4, 8, 16, 32, 64]
+STATE_COUNTS = [20, 40, 80, 160, 320]
+
+
+@pytest.mark.benchmark(group="e05")
+def test_e05_sequentiality_check(benchmark):
+    rows = []
+    sizes, timings = [], []
+    for fields in FIELD_COUNTS:
+        automaton = to_va(seller_like_sequential_rgx(fields))
+        assert is_sequential(automaton)
+        elapsed = measure(lambda: is_sequential(automaton), repeat=2)
+        rows.append(("seqRGX chain", fields, automaton.size(), True, elapsed))
+        sizes.append(automaton.size())
+        timings.append(elapsed)
+    slope = loglog_slope(sizes, timings)
+    print_table(
+        "E5a: sequentiality check on sequential chains (Prop 5.5)",
+        ["family", "fields", "|A|", "sequential", "time s"],
+        rows,
+    )
+    print(f"log-log slope vs |A|: {slope:.2f} (near-linear expected)")
+    assert slope < 3.0
+
+    rows = []
+    for states in STATE_COUNTS:
+        automaton = random_va(states, seed=1, variables=("x", "y", "z"))
+        answer = is_sequential(automaton)
+        elapsed = measure(lambda: is_sequential(automaton), repeat=2)
+        rows.append(("random VA", states, automaton.size(), answer, elapsed))
+    print_table(
+        "E5b: sequentiality check on random VA",
+        ["family", "states", "|A|", "sequential", "time s"],
+        rows,
+    )
+
+    automaton = to_va(seller_like_sequential_rgx(32))
+    benchmark(lambda: is_sequential(automaton))

@@ -1,0 +1,48 @@
+"""E6 — Proposition 5.6: every VA has an equivalent sequential VA.
+
+Claim: sequentialisation preserves the extraction function.  We measure
+the state blowup of the status-product construction on random automata
+and assert semantic equality on probe documents (the paper gives no size
+bound; the product is exponential in the variable count only).
+"""
+
+import pytest
+
+from benchmarks._harness import measure, print_table
+from repro.automata.sequential import is_sequential, make_sequential
+from repro.automata.simulate import evaluate_va
+from repro.workloads.expressions import random_va
+
+STATE_COUNTS = [4, 8, 16, 32]
+PROBES = ["", "a", "b", "ab", "ba", "aab"]
+
+
+@pytest.mark.benchmark(group="e06")
+def test_e06_sequentialization(benchmark):
+    rows = []
+    for states in STATE_COUNTS:
+        automaton = random_va(states, seed=2, variables=("x", "y"))
+        sequential = make_sequential(automaton)
+        assert is_sequential(sequential)
+        for probe in PROBES:
+            assert evaluate_va(sequential, probe) == evaluate_va(
+                automaton, probe
+            )
+        elapsed = measure(lambda: make_sequential(automaton), repeat=2)
+        rows.append(
+            (
+                states,
+                automaton.size(),
+                sequential.size(),
+                round(sequential.size() / max(automaton.size(), 1), 2),
+                elapsed,
+            )
+        )
+    print_table(
+        "E6: sequentialisation blowup and cost (Prop 5.6)",
+        ["states", "|A|", "|A_seq|", "blowup", "time s"],
+        rows,
+    )
+
+    automaton = random_va(16, seed=2, variables=("x", "y"))
+    benchmark(lambda: make_sequential(automaton))

@@ -1,0 +1,73 @@
+"""E8 — Theorem 5.10: Eval[VA] is FPT in the number of variables.
+
+Claim: with the variable count ``k`` as the parameter, Eval is
+``O(f(k) · poly(n))``.  We sweep ``k`` at fixed document length (runtime
+grows exponentially in k on a non-sequential star-of-unions family) and
+``n`` at fixed k (bounded polynomial slope).
+"""
+
+import pytest
+
+from benchmarks._harness import growth_ratios, loglog_slope, measure, print_table
+from repro.automata.thompson import to_va
+from repro.evaluation.eval_problem import eval_general_va
+from repro.rgx.ast import VarBind, char, star, union
+from repro.spans.mapping import ExtendedMapping
+
+VARIABLE_COUNTS = [1, 2, 3, 4, 5]
+DOCUMENT_LENGTHS = [8, 16, 32, 64]
+
+
+def star_of_bindings(k: int):
+    """``(x1{a} | x2{a} | ... | xk{a})*`` — non-sequential, k variables."""
+    options = [VarBind(f"x{i}", char("a")) for i in range(k)]
+    return star(union(*options) if len(options) > 1 else options[0])
+
+
+@pytest.mark.benchmark(group="e08")
+def test_e08_fpt_in_variables(benchmark):
+    rows = []
+    timings = []
+    document = "a" * 6
+    for k in VARIABLE_COUNTS:
+        automaton = to_va(star_of_bindings(k))
+        elapsed = measure(
+            lambda: eval_general_va(automaton, document, ExtendedMapping.empty()),
+            repeat=1,
+        )
+        rows.append((k, automaton.size(), elapsed))
+        timings.append(elapsed)
+    print_table(
+        "E8a: general Eval vs variable count k (fixed |d|=6)",
+        ["k", "|A|", "time s"],
+        rows,
+    )
+    print(
+        f"growth ratios: {[f'{r:.1f}' for r in growth_ratios(timings)]} "
+        "(exponential in k — the FPT parameter)"
+    )
+
+    automaton = to_va(star_of_bindings(3))
+    rows = []
+    lengths, timings = [], []
+    for n in DOCUMENT_LENGTHS:
+        document = "a" * n
+        elapsed = measure(
+            lambda: eval_general_va(automaton, document, ExtendedMapping.empty()),
+            repeat=2,
+        )
+        rows.append((n, elapsed))
+        lengths.append(n)
+        timings.append(elapsed)
+    slope = loglog_slope(lengths, timings)
+    print_table(
+        "E8b: general Eval vs document length (fixed k=3)",
+        ["|d|", "time s"],
+        rows,
+    )
+    print(f"log-log slope vs |d|: {slope:.2f} (polynomial in n at fixed k)")
+    assert slope < 4.0
+
+    benchmark(
+        lambda: eval_general_va(automaton, "a" * 16, ExtendedMapping.empty())
+    )

@@ -1,0 +1,59 @@
+"""E9 — Theorems 6.1/6.2: Sat is NP-complete in general, NLOGSPACE for
+sequential VA.
+
+Two series: (a) satisfiability of sequential chains decided by plain
+reachability scales near-linearly; (b) the 1-IN-3-SAT spanRGX family —
+whose automata are *not* sequential in the relevant sense (the conflict
+variables interact) — shows the hard case.
+"""
+
+import pytest
+
+from benchmarks._harness import growth_ratios, loglog_slope, measure, print_table
+from repro.analysis.satisfiability import satisfiable_va, satisfying_document
+from repro.automata.thompson import to_va
+from repro.reductions.one_in_three_sat import random_instance, to_spanrgx
+from repro.workloads.expressions import seller_like_sequential_rgx
+
+FIELD_COUNTS = [4, 8, 16, 32, 64]
+CLAUSE_COUNTS = [2, 3, 4, 5]
+
+
+@pytest.mark.benchmark(group="e09")
+def test_e09_satisfiability(benchmark):
+    rows = []
+    sizes, timings = [], []
+    for fields in FIELD_COUNTS:
+        automaton = to_va(seller_like_sequential_rgx(fields))
+        assert satisfiable_va(automaton)
+        elapsed = measure(lambda: satisfiable_va(automaton), repeat=2)
+        rows.append((fields, automaton.size(), elapsed))
+        sizes.append(automaton.size())
+        timings.append(elapsed)
+    slope = loglog_slope(sizes, timings)
+    print_table(
+        "E9a: Sat of sequential VA = reachability (Theorem 6.2)",
+        ["fields", "|A|", "time s"],
+        rows,
+    )
+    print(f"log-log slope vs |A|: {slope:.2f} (near-linear expected)")
+    assert slope < 3.0
+
+    rows = []
+    timings = []
+    for clauses in CLAUSE_COUNTS:
+        instance = random_instance(clauses, 4, seed=5)
+        automaton = to_va(to_spanrgx(instance))
+        elapsed = measure(lambda: satisfiable_va(automaton), repeat=1)
+        witness = satisfying_document(automaton)
+        rows.append((clauses, automaton.size(), witness is not None, elapsed))
+        timings.append(elapsed)
+    print_table(
+        "E9b: Sat of the 1-IN-3-SAT spanRGX family (Theorem 6.1)",
+        ["clauses", "|A|", "satisfiable", "time s"],
+        rows,
+    )
+    print(f"growth ratios: {[f'{r:.1f}' for r in growth_ratios(timings)]}")
+
+    automaton = to_va(seller_like_sequential_rgx(32))
+    benchmark(lambda: satisfiable_va(automaton))

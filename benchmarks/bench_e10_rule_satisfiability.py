@@ -1,0 +1,70 @@
+"""E10 — Theorem 6.3: Sat of functional dag-like rules is NP-hard, while
+sequential tree-like rules are *always* satisfiable.
+
+Series (a): the Theorem 5.8 reduction family through the full
+4.8/4.9-pipeline decision procedure — super-polynomial growth.
+Series (b): tree-like rules of growing size — constant-time, always SAT.
+"""
+
+import pytest
+
+from benchmarks._harness import growth_ratios, measure, print_table
+from repro.analysis.satisfiability import satisfiable_rule
+from repro.reductions.one_in_three_sat import (
+    brute_force_one_in_three,
+    random_instance,
+    to_daglike_rule,
+)
+from repro.rgx.ast import ANY_STAR, char, concat
+from repro.rules.rule import Rule, bare
+
+CLAUSE_COUNTS = [1, 2, 3]
+CHAIN_LENGTHS = [4, 16, 64, 256]
+
+
+def tree_chain(length: int) -> Rule:
+    """doc → v0 → v1 → ... — a deep sequential tree-like rule."""
+    conjuncts = []
+    for index in range(length - 1):
+        conjuncts.append(
+            (f"v{index}", concat(char("a"), bare(f"v{index + 1}")))
+        )
+    conjuncts.append((f"v{length - 1}", ANY_STAR))
+    return Rule(bare("v0"), tuple(conjuncts))
+
+
+@pytest.mark.benchmark(group="e10")
+def test_e10_rule_satisfiability(benchmark):
+    rows = []
+    timings = []
+    for clauses in CLAUSE_COUNTS:
+        instance = random_instance(clauses, 3, seed=2)
+        rule = to_daglike_rule(instance)
+        answer = satisfiable_rule(rule)
+        assert answer == brute_force_one_in_three(instance)
+        elapsed = measure(lambda: satisfiable_rule(rule), repeat=1)
+        rows.append((clauses, len(rule.conjuncts), answer, elapsed))
+        timings.append(elapsed)
+    print_table(
+        "E10a: Sat of functional dag-like rules (Theorems 5.8/6.3)",
+        ["clauses", "#conjuncts", "satisfiable", "time s"],
+        rows,
+    )
+    print(f"growth ratios: {[f'{r:.1f}' for r in growth_ratios(timings)]}")
+
+    rows = []
+    for length in CHAIN_LENGTHS:
+        rule = tree_chain(length)
+        answer = satisfiable_rule(rule)
+        assert answer  # Theorem 6.3: sequential tree-like ⇒ satisfiable
+        elapsed = measure(lambda: satisfiable_rule(rule), repeat=3)
+        rows.append((length, answer, elapsed))
+    print_table(
+        "E10b: Sat of sequential tree-like rules (always satisfiable)",
+        ["chain length", "satisfiable", "time s"],
+        rows,
+    )
+
+    instance = random_instance(2, 3, seed=2)
+    rule = to_daglike_rule(instance)
+    benchmark(lambda: satisfiable_rule(rule))

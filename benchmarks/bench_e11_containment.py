@@ -1,0 +1,64 @@
+"""E11 — Theorem 6.4: Containment of VA is PSPACE-complete.
+
+Claim: containment inherits the PSPACE-hardness of regular-expression
+containment, with a matching upper bound via the subset-pair search.  We
+sweep the classical hard family ``(a|b)* ⊆? (a|b)*a(a|b)^n``
+(exponential subset growth) and a positive variable family.
+"""
+
+import pytest
+
+from benchmarks._harness import growth_ratios, measure, print_table
+from repro.analysis.containment import contained_va
+from repro.automata.thompson import to_va
+from repro.rgx.parser import parse
+from repro.workloads.expressions import seller_like_sequential_rgx
+
+SUFFIX_LENGTHS = [2, 4, 6, 8, 10]
+FIELD_COUNTS = [1, 2, 4, 8]
+
+
+@pytest.mark.benchmark(group="e11")
+def test_e11_containment(benchmark):
+    rows = []
+    timings = []
+    for n in SUFFIX_LENGTHS:
+        # Positive instances force the search to exhaust the subset space
+        # of the exponential-DFA family on the left-hand side.
+        left = to_va(parse("(a|b)*a" + "(a|b)" * n))
+        right = to_va(parse("(a|b)*" + "." * (n + 1)))
+        answer = contained_va(left, right)
+        assert answer
+        negative = contained_va(to_va(parse("(a|b)*")), left)
+        assert not negative  # b^{n+1} is an early counterexample
+        elapsed = measure(lambda: contained_va(left, right), repeat=1)
+        rows.append((n, left.size(), answer, elapsed))
+        timings.append(elapsed)
+    print_table(
+        "E11a: containment over the exponential-subset family (Thm 6.4)",
+        ["n", "|A1|", "contained", "time s"],
+        rows,
+    )
+    print(
+        f"growth ratios: {[f'{r:.2f}' for r in growth_ratios(timings)]} "
+        "(exhaustive subset-pair exploration grows super-polynomially)"
+    )
+
+    rows = []
+    for fields in FIELD_COUNTS:
+        expression = seller_like_sequential_rgx(fields)
+        left = to_va(expression)
+        right = to_va(expression)
+        answer = contained_va(left, right)
+        assert answer
+        elapsed = measure(lambda: contained_va(left, right), repeat=1)
+        rows.append((fields, left.size(), answer, elapsed))
+    print_table(
+        "E11b: self-containment of variable chains (positive instances)",
+        ["fields", "|A|", "contained", "time s"],
+        rows,
+    )
+
+    left = to_va(parse("(a|b)*"))
+    right = to_va(parse("(a|b)*a(a|b)(a|b)"))
+    benchmark(lambda: contained_va(left, right))

@@ -1,0 +1,76 @@
+"""E12 — Theorems 6.6/6.7: determinism lowers containment complexity, and
+point-disjointness makes it polynomial.
+
+Series (a): the DNF-validity family (deterministic sequential, *not*
+point-disjoint) through the general algorithm — the coNP-hard case.
+Series (b): deterministic sequential *point-disjoint* chains through the
+pairwise simulation of Theorem 6.7 — near-linear.
+"""
+
+import pytest
+
+from benchmarks._harness import growth_ratios, loglog_slope, measure, print_table
+from repro.analysis.containment import (
+    contained_det_sequential_point_disjoint,
+    contained_va,
+)
+from repro.automata.determinize import determinize
+from repro.automata.sequential import make_sequential
+from repro.automata.thompson import to_va
+from repro.reductions.dnf_validity import (
+    brute_force_valid,
+    random_dnf,
+    to_containment_instance,
+)
+from repro.workloads.expressions import seller_like_sequential_rgx
+
+CLAUSE_COUNTS = [1, 2, 3]
+FIELD_COUNTS = [1, 2, 4, 8]
+
+
+@pytest.mark.benchmark(group="e12")
+def test_e12_det_containment(benchmark):
+    rows = []
+    timings = []
+    for clauses in CLAUSE_COUNTS:
+        formula = random_dnf(clauses, 3, seed=7)
+        first, second = to_containment_instance(formula)
+        answer = contained_va(first, second)
+        assert answer == brute_force_valid(formula)
+        elapsed = measure(lambda: contained_va(first, second), repeat=1)
+        rows.append((clauses, first.size(), second.size(), answer, elapsed))
+        timings.append(elapsed)
+    print_table(
+        "E12a: det sequential containment, DNF family (Theorem 6.6)",
+        ["clauses", "|A1|", "|A2|", "contained", "time s"],
+        rows,
+    )
+    print(f"growth ratios: {[f'{r:.1f}' for r in growth_ratios(timings)]}")
+
+    rows = []
+    sizes, timings = [], []
+    for fields in FIELD_COUNTS:
+        expression = seller_like_sequential_rgx(fields)
+        first = determinize(make_sequential(to_va(expression)))
+        second = first
+        answer = contained_det_sequential_point_disjoint(first, second)
+        assert answer
+        elapsed = measure(
+            lambda: contained_det_sequential_point_disjoint(first, second),
+            repeat=2,
+        )
+        rows.append((fields, first.size(), answer, elapsed))
+        sizes.append(first.size())
+        timings.append(elapsed)
+    slope = loglog_slope(sizes, timings)
+    print_table(
+        "E12b: point-disjoint det sequential containment (Theorem 6.7)",
+        ["fields", "|A|", "contained", "time s"],
+        rows,
+    )
+    print(f"log-log slope vs |A|: {slope:.2f} (polynomial — Theorem 6.7)")
+    assert slope < 3.5
+
+    formula = random_dnf(2, 3, seed=7)
+    first, second = to_containment_instance(formula)
+    benchmark(lambda: contained_va(first, second))

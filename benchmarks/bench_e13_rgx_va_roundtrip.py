@@ -1,0 +1,84 @@
+"""E13 — Theorems 4.3/4.4: RGX ≡ VAstk, with an exponential path union.
+
+Claim: every RGX converts to a VAstk (linear, Thompson) and back (as a
+potentially exponential union of functional formulas).  We measure the
+expansion factor |γ'|/|γ| and the round-trip cost on random expressions,
+asserting semantic equality via the reference evaluator.
+"""
+
+import pytest
+
+from benchmarks._harness import growth_ratios, measure, print_table
+from repro.automata.path_union import vastk_to_rgx
+from repro.automata.thompson import to_vastk
+from repro.rgx.ast import VarBind, star, union, chars
+from repro.rgx.semantics import mappings
+from repro.workloads.expressions import random_rgx
+
+VARIABLE_COUNTS = [1, 2, 3, 4]
+RANDOM_SIZES = [6, 10, 14, 18]
+PROBES = ["", "a", "b", "ab", "ba"]
+
+
+def star_family(k: int):
+    """``(x1{[ab]*} | ... | xk{[ab]*})*`` — the paper's union-of-functional
+    decomposition has one disjunct per ordered subset of the variables."""
+    options = [VarBind(f"x{i}", star(chars("ab"))) for i in range(k)]
+    return star(union(*options) if len(options) > 1 else options[0])
+
+
+@pytest.mark.benchmark(group="e13")
+def test_e13_roundtrip(benchmark):
+    rows = []
+    recovered_sizes = []
+    for k in VARIABLE_COUNTS:
+        expression = star_family(k)
+        automaton = to_vastk(expression)
+        recovered = vastk_to_rgx(automaton)
+        for probe in PROBES:
+            assert mappings(recovered, probe) == mappings(expression, probe)
+        elapsed = measure(lambda: vastk_to_rgx(automaton), repeat=1)
+        rows.append(
+            (
+                k,
+                expression.size(),
+                automaton.size(),
+                recovered.size(),
+                round(recovered.size() / expression.size(), 1),
+                elapsed,
+            )
+        )
+        recovered_sizes.append(recovered.size())
+    print_table(
+        "E13a: path union of (x1{..}|...|xk{..})* (Theorem 4.3)",
+        ["k", "|γ|", "|A|", "|γ'|", "expansion", "time s"],
+        rows,
+    )
+    print(
+        f"|γ'| growth ratios: {[f'{r:.1f}' for r in growth_ratios(recovered_sizes)]} "
+        "(exponential union of functional formulas, as the theorem allows)"
+    )
+    assert all(ratio > 1.5 for ratio in growth_ratios(recovered_sizes))
+
+    rows = []
+    for size in RANDOM_SIZES:
+        expression = random_rgx(size, seed=size)
+        automaton = to_vastk(expression)
+        recovered = vastk_to_rgx(automaton)
+        for probe in PROBES:
+            expected = mappings(expression, probe)
+            actual = set() if recovered is None else mappings(recovered, probe)
+            assert actual == expected, (expression, probe)
+        recovered_size = 0 if recovered is None else recovered.size()
+        elapsed = measure(lambda: vastk_to_rgx(automaton), repeat=1)
+        rows.append(
+            (size, expression.size(), automaton.size(), recovered_size, elapsed)
+        )
+    print_table(
+        "E13b: round trip on random RGX (semantic equality asserted)",
+        ["target", "|γ|", "|A|", "|γ'|", "time s"],
+        rows,
+    )
+
+    automaton = to_vastk(star_family(3))
+    benchmark(lambda: vastk_to_rgx(automaton))

@@ -1,0 +1,68 @@
+"""E14 — Theorem 4.7: cycle elimination runs in polynomial time.
+
+Claim: converting a functional simple rule into an equivalent dag-like
+rule is polynomial.  We sweep pure-cycle rules of growing length and
+cycle rules with pendant chains, asserting dag-likeness and a bounded
+log-log slope.
+"""
+
+import pytest
+
+from benchmarks._harness import loglog_slope, measure, print_table
+from repro.rgx.ast import concat
+from repro.rules.cycles import to_daglike
+from repro.rules.graph import is_dag_like
+from repro.rules.rule import Rule, bare
+
+CYCLE_LENGTHS = [4, 8, 16, 32, 64]
+
+
+def cycle_rule(length: int, pendant: bool = False) -> Rule:
+    heads = [f"v{i}" for i in range(length)]
+    conjuncts = []
+    for index in range(length):
+        successor = heads[(index + 1) % length]
+        if pendant and index % 3 == 0:
+            formula = concat(bare(successor), bare(f"w{index}"))
+        else:
+            formula = bare(successor)
+        conjuncts.append((heads[index], formula))
+    return Rule(bare(heads[0]), tuple(conjuncts))
+
+
+@pytest.mark.benchmark(group="e14")
+def test_e14_cycle_elimination(benchmark):
+    rows = []
+    sizes, timings = [], []
+    for length in CYCLE_LENGTHS:
+        rule = cycle_rule(length)
+        transformed = to_daglike(rule)
+        assert is_dag_like(transformed)
+        elapsed = measure(lambda: to_daglike(rule), repeat=2)
+        rows.append((length, False, len(transformed.conjuncts), elapsed))
+        sizes.append(length)
+        timings.append(elapsed)
+    slope = loglog_slope(sizes, timings)
+    print_table(
+        "E14a: cycle elimination on pure cycles (Theorem 4.7)",
+        ["cycle length", "pendants", "#conjuncts out", "time s"],
+        rows,
+    )
+    print(f"log-log slope vs length: {slope:.2f} (paper: polynomial)")
+    assert slope < 3.5
+
+    rows = []
+    for length in CYCLE_LENGTHS[:4]:
+        rule = cycle_rule(length, pendant=True)
+        transformed = to_daglike(rule)
+        assert is_dag_like(transformed)
+        elapsed = measure(lambda: to_daglike(rule), repeat=2)
+        rows.append((length, True, len(transformed.conjuncts), elapsed))
+    print_table(
+        "E14b: cycle elimination with pendant variables",
+        ["cycle length", "pendants", "#conjuncts out", "time s"],
+        rows,
+    )
+
+    rule = cycle_rule(16)
+    benchmark(lambda: to_daglike(rule))

@@ -1,0 +1,65 @@
+"""E15 — Propositions 4.8/4.9 + Theorem 4.10: rule → tree-like unions.
+
+Claim: every simple rule is a union of functional dag-like rules (one
+exponential blowup) and every satisfiable dag-like rule a union of
+functional tree-like rules (another); RGX ≡ unions of simple rules.  We
+measure the union sizes along the pipeline on rules with growing
+disjunction width — the blowup the paper predicts — and verify semantic
+equality (projected to the source variables) on probe documents.
+"""
+
+import pytest
+
+from benchmarks._harness import measure, print_table
+from repro.rgx.ast import union
+from repro.rgx.parser import parse
+from repro.rgx.semantics import mappings
+from repro.rules.rule import Rule, bare
+from repro.rules.translate import (
+    daglike_to_treelike,
+    to_functional_daglike,
+    union_of_rules_to_rgx,
+)
+
+WIDTHS = [1, 2, 3]
+PROBES = ["", "a", "b", "ab", "ba", "ab#", "#"]
+
+
+def wide_rule(width: int) -> Rule:
+    root = union(*(bare(f"x{i}") for i in range(width))) if width > 1 else bare("x0")
+    conjuncts = tuple(
+        (f"x{i}", parse("ab*|ba*") if i % 2 == 0 else parse("a*|b*"))
+        for i in range(width)
+    )
+    return Rule(root, conjuncts)
+
+
+@pytest.mark.benchmark(group="e15")
+def test_e15_rule_translation_blowup(benchmark):
+    rows = []
+    for width in WIDTHS:
+        rule = wide_rule(width)
+        dags = to_functional_daglike(rule)
+        trees = [tree for dag in dags for tree in daglike_to_treelike(dag)]
+        expression = union_of_rules_to_rgx([rule])
+        keep = rule.variables()
+        for probe in PROBES:
+            expected = rule.evaluate(probe)
+            via_trees = set()
+            for tree in trees:
+                via_trees |= {m.project(keep) for m in tree.evaluate(probe)}
+            assert via_trees == expected, (width, probe)
+            via_rgx = {m.project(keep) for m in mappings(expression, probe)}
+            assert via_rgx == expected, (width, probe)
+        elapsed = measure(lambda: union_of_rules_to_rgx([rule]), repeat=1)
+        rows.append(
+            (width, len(dags), len(trees), expression.size(), elapsed)
+        )
+    print_table(
+        "E15: rule → dag-like → tree-like → RGX pipeline sizes",
+        ["union width", "#dag-like", "#tree-like", "|RGX|", "time s"],
+        rows,
+    )
+
+    rule = wide_rule(2)
+    benchmark(lambda: union_of_rules_to_rgx([rule]))

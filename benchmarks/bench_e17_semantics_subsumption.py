@@ -1,0 +1,73 @@
+"""E17 — Theorems 4.1/4.2: the mapping semantics subsumes both previous
+proposals.
+
+* funcRGX outputs are total over var(γ) — the *relations* of [8];
+* spanRGX joined with all total mappings equals the semantics of [2].
+
+Measured as a correctness sweep over random functional/span expressions
+plus the timing of the subsumption checks themselves.
+"""
+
+import pytest
+
+from benchmarks._harness import measure, print_table
+from repro.rgx.properties import is_functional
+from repro.rgx.semantics import classical_semantics, mappings, outputs_relation
+from repro.spans.mapping import all_total_mappings, join
+from repro.rgx.parser import parse
+from repro.workloads.expressions import random_document
+
+FUNCTIONAL_EXPRESSIONS = [
+    "x{a*}y{b*}",
+    "x{a}|x{b}",
+    "x{y{(a|b)*}a}|x{y{b}b}",
+    "(a|b)*x{a|b}",
+]
+SPAN_EXPRESSIONS = ["x{.*}a|b", "a*x{.*}b*", "x{.*}(y{.*}|ε)a"]
+LENGTHS = [2, 4, 6]
+
+
+@pytest.mark.benchmark(group="e17")
+def test_e17_semantics_subsumption(benchmark):
+    rows = []
+    for text in FUNCTIONAL_EXPRESSIONS:
+        expression = parse(text)
+        assert is_functional(expression)
+        checked = 0
+        for seed in range(3):
+            for length in LENGTHS:
+                document = random_document(length, seed=seed)
+                assert outputs_relation(expression, document)
+                for mapping in mappings(expression, document):
+                    assert mapping.domain == expression.variables()
+                checked += 1
+        elapsed = measure(
+            lambda: outputs_relation(expression, random_document(6, seed=0)),
+            repeat=2,
+        )
+        rows.append(("Thm 4.1 (funcRGX ⇒ relations)", text, checked, elapsed))
+    for text in SPAN_EXPRESSIONS:
+        expression = parse(text)
+        checked = 0
+        for seed in range(2):
+            for length in LENGTHS:
+                document = random_document(length, seed=seed)
+                expected = join(
+                    all_total_mappings(expression.variables(), length),
+                    mappings(expression, document),
+                )
+                assert classical_semantics(expression, document) == expected
+                checked += 1
+        elapsed = measure(
+            lambda: classical_semantics(expression, random_document(4, seed=0)),
+            repeat=2,
+        )
+        rows.append(("Thm 4.2 ([2] semantics)", text, checked, elapsed))
+    print_table(
+        "E17: subsumption of the previous semantics",
+        ["claim", "expression", "documents checked", "time s"],
+        rows,
+    )
+
+    expression = parse("x{.*}a|b")
+    benchmark(lambda: classical_semantics(expression, "ababa"))

@@ -1,0 +1,55 @@
+"""Quickstart: spans, mappings, variable regex, enumeration.
+
+Walks through Section 2 and Section 3.1 of the paper with the library's
+public API.  Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Document, Span, mappings, parse
+from repro.automata import to_va
+from repro.evaluation import enumerate_va
+
+
+def main() -> None:
+    # --- Section 2: documents and spans -----------------------------------
+    d0 = Document("Information extraction")
+    print(f"document: {d0!r}  (length {len(d0)})")
+    p1, p2 = Span(1, 12), Span(13, 23)
+    print(f"span {p1} -> {d0[p1]!r}")
+    print(f"span {p2} -> {d0[p2]!r}")
+    print(f"the document has {len(d0.spans())} spans in total\n")
+
+    # --- Section 3.1: variable regex ---------------------------------------
+    # Extract every word (maximal run of letters) into x.
+    expression = parse("( *)x{[^ ]+}( .*|ε)")
+    print(f"expression: {expression}")
+    for mapping in sorted(
+        mappings(expression, d0.text), key=lambda m: m["x"]
+    ):
+        span = mapping["x"]
+        print(f"  x -> {span}  content {d0[span]!r}")
+
+    # --- mappings are partial: optional parts ------------------------------
+    # y is extracted only when the optional '!' suffix is present.
+    optional = parse("x{[a-z]+}(y{!}|ε)")
+    for document in ["hello", "hello!"]:
+        result = mappings(optional, document)
+        print(f"\n⟦γ⟧ on {document!r}:")
+        for mapping in result:
+            assigned = {
+                variable: mapping[variable].content(document)
+                for variable in sorted(mapping.domain)
+            }
+            print(f"  {assigned}")
+
+    # --- enumeration via the Eval oracle (Algorithm 2) ---------------------
+    automaton = to_va(parse(".*x{ab}.*"))
+    document = "abab"
+    print(f"\nenumerating .*x{{ab}}.* over {document!r}:")
+    for mapping in enumerate_va(automaton, document):
+        print(f"  {mapping}")
+
+
+if __name__ == "__main__":
+    main()

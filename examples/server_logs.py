@@ -1,0 +1,45 @@
+"""Server-log extraction with two independent optional fields.
+
+Each access-log line has a path and a status; the authenticated user and
+the referrer are optional, giving four possible mapping domains — a
+richer incomplete-information workload than Table 1.  Run with::
+
+    python examples/server_logs.py
+"""
+
+from collections import Counter
+
+from repro.automata import to_va
+from repro.automata.simulate import evaluate_va
+from repro.workloads import server_logs
+
+
+def main() -> None:
+    lines = server_logs.generate_lines(12, seed=7)
+    document = server_logs.render(lines)
+    print("input log:")
+    print(document)
+
+    expression = server_logs.access_expression()
+    output = evaluate_va(to_va(expression), document)
+
+    print("extracted tuples (None = field absent):")
+    tuples = server_logs.extraction_tuples(document, output)
+    for path, status, user, ref in sorted(
+        tuples, key=lambda t: (t[0], t[1], t[2] or "", t[3] or "")
+    ):
+        print(f"  {path:<15} {status}  user={user}  ref={ref}")
+
+    domains = Counter(frozenset(m.domain) for m in output)
+    print("\nmapping domains observed:")
+    for domain, count in sorted(domains.items(), key=lambda kv: sorted(kv[0])):
+        print(f"  {sorted(domain)}: {count} mappings")
+
+    assert server_logs.extraction_tuples(document, output) == (
+        server_logs.expected_tuples(lines)
+    )
+    print("\nextraction matches the generator's ground truth ✔")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Static analysis in action: satisfiability, containment, determinism.
+
+Section 6 of the paper as a working session: check extraction programs
+*before* running them on data.  Run with::
+
+    python examples/static_analysis.py
+"""
+
+from repro.analysis import (
+    contained_va,
+    containment_counterexample,
+    equivalent_va,
+    satisfiable_rgx,
+    satisfying_document,
+)
+from repro.automata import determinize, is_sequential, make_sequential, to_va
+from repro.rgx import parse
+
+
+def main() -> None:
+    # --- satisfiability ------------------------------------------------------
+    print("satisfiability (Theorems 6.1/6.2):")
+    for text in ["x{a*}y{b*}", "x{a}x{b}", "x{x{a}}", "(x{a})*"]:
+        expression = parse(text)
+        verdict = satisfiable_rgx(expression)
+        witness = satisfying_document(to_va(expression))
+        print(f"  {text:<14} satisfiable={verdict}  witness={witness!r}")
+
+    # --- sequentiality: the tractability dial --------------------------------
+    print("\nsequentiality (Propositions 5.5/5.6):")
+    for text in ["x{a*}y{b*}", "(x{a}|y{b})*"]:
+        automaton = to_va(parse(text))
+        sequential = is_sequential(automaton)
+        print(f"  {text:<14} sequential={sequential}", end="")
+        if not sequential:
+            repaired = make_sequential(automaton)
+            print(f"  → sequentialised to {repaired.num_states} states", end="")
+        print()
+
+    # --- containment ----------------------------------------------------------
+    print("\ncontainment (Theorem 6.4):")
+    queries = [
+        ("x{a}b", "x{a}."),
+        ("x{a|b}", "x{a}"),
+        ("x{a}|x{b}", "x{a|b}"),
+    ]
+    for left, right in queries:
+        verdict = contained_va(to_va(parse(left)), to_va(parse(right)))
+        print(f"  {left:<10} ⊆ {right:<10} : {verdict}")
+        if not verdict:
+            witness = containment_counterexample(
+                to_va(parse(left)), to_va(parse(right))
+            )
+            document, mapping = witness
+            print(f"      counterexample: d={document!r}, µ={mapping}")
+
+    # --- equivalence of a refactoring ----------------------------------------
+    print("\nequivalence check of a refactored expression:")
+    original = to_va(parse("x{a}b|x{a}c"))
+    refactored = to_va(parse("x{a}(b|c)"))
+    print(f"  x{{a}}b|x{{a}}c ≡ x{{a}}(b|c) : {equivalent_va(original, refactored)}")
+
+    # --- determinisation --------------------------------------------------------
+    print("\ndeterminisation (Proposition 6.5):")
+    nfa = to_va(parse("(a|b)*x{a}(a|b)"))
+    dfa = determinize(nfa)
+    print(f"  NFA {nfa.num_states} states → DFA {dfa.num_states} states")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""repro — a reproduction of *Document Spanners for Extracting Incomplete
+Information: Expressiveness and Complexity* (Maturana, Riveros, Vrgoč,
+PODS 2018).
+
+The package implements the paper's three information-extraction formalisms
+under the mapping-based semantics — variable regex (:mod:`repro.rgx`),
+variable-set automata (:mod:`repro.automata`) and extraction rules
+(:mod:`repro.rules`) — together with the evaluation algorithms of Section 5
+(:mod:`repro.evaluation`), the static analysis of Section 6
+(:mod:`repro.analysis`), the hardness reductions used as benchmark workloads
+(:mod:`repro.reductions`) and synthetic workload generators
+(:mod:`repro.workloads`).
+
+Quickstart::
+
+    >>> from repro import parse, mappings
+    >>> doc = "Seller: John, ID75"
+    >>> expr = parse(".*Seller: x{[^,]*},.*")
+    >>> [m["x"].content(doc) for m in mappings(expr, doc)]
+    ['John']
+"""
+
+from repro.alphabet import CharSet
+from repro.rgx.parser import parse
+from repro.rgx.semantics import mappings
+from repro.spanner import Spanner
+from repro.spans.document import Document
+from repro.spans.mapping import NULL, ExtendedMapping, Mapping, join
+from repro.spans.span import Span
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CharSet",
+    "Document",
+    "ExtendedMapping",
+    "Mapping",
+    "NULL",
+    "Span",
+    "Spanner",
+    "join",
+    "mappings",
+    "parse",
+    "__version__",
+]

@@ -1,0 +1,146 @@
+"""Character sets — the letter algebra shared by RGX and automata.
+
+The paper fixes a finite alphabet ``Σ`` and writes expressions such as
+``Σ* . Seller: . x{(Σ - {,})*}``.  To support both concrete letters and the
+``Σ``/``Σ - S`` idioms without forcing users to declare alphabets up front,
+letters in expressions and automaton transitions are :class:`CharSet`
+predicates: either a finite set of characters, or the complement of one
+(``negated=True``, i.e. ``Σ - S`` for an implicitly large ``Σ``).
+
+Algorithms that must *enumerate* letters (satisfiability witnesses,
+determinisation, containment) work over *representative atoms*: the finite
+set of characters mentioned by any transition plus one fresh character that
+stands for "every other letter".  Two characters not mentioned anywhere are
+indistinguishable to every predicate, so one representative suffices — this
+is the standard trick from symbolic automata, and it keeps the constructions
+faithful to the paper's finite-``Σ`` setting.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.util.errors import SpannerError
+
+#: Characters tried (in order) when a fresh representative is needed.
+_FRESH_CANDIDATES = "~@0z"
+
+
+@dataclass(frozen=True)
+class CharSet:
+    """A set of characters, finite (``negated=False``) or cofinite.
+
+    ``CharSet(frozenset("ab"))`` matches ``a`` or ``b``;
+    ``CharSet(frozenset(",\\n"), negated=True)`` matches any character except
+    a comma or newline (the paper's ``Σ - {,, ↵}``).
+    """
+
+    chars: frozenset[str]
+    negated: bool = False
+
+    def __post_init__(self) -> None:
+        for ch in self.chars:
+            if len(ch) != 1:
+                raise SpannerError(f"CharSet members must be single chars, got {ch!r}")
+        if not self.negated and not self.chars:
+            raise SpannerError("an empty positive CharSet matches nothing")
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def single(cls, char: str) -> "CharSet":
+        """The singleton set ``{a}`` — an ordinary letter."""
+        return cls(frozenset((char,)))
+
+    @classmethod
+    def of(cls, chars: Iterable[str]) -> "CharSet":
+        """A finite set of letters."""
+        return cls(frozenset(chars))
+
+    @classmethod
+    def excluding(cls, chars: Iterable[str]) -> "CharSet":
+        """``Σ - chars`` — everything except the given letters."""
+        return cls(frozenset(chars), negated=True)
+
+    @classmethod
+    def any(cls) -> "CharSet":
+        """``Σ`` — any letter."""
+        return cls(frozenset(), negated=True)
+
+    # -- predicate ------------------------------------------------------------
+
+    def contains(self, char: str) -> bool:
+        if self.negated:
+            return char not in self.chars
+        return char in self.chars
+
+    def is_single(self) -> bool:
+        return not self.negated and len(self.chars) == 1
+
+    def the_single(self) -> str:
+        if not self.is_single():
+            raise SpannerError(f"{self} is not a single letter")
+        return next(iter(self.chars))
+
+    # -- algebra ----------------------------------------------------------------
+
+    def intersect(self, other: "CharSet") -> "CharSet | None":
+        """The intersection, or ``None`` when it is empty."""
+        if not self.negated and not other.negated:
+            common = self.chars & other.chars
+            return CharSet(common) if common else None
+        if self.negated and other.negated:
+            return CharSet(self.chars | other.chars, negated=True)
+        positive, negative = (self, other) if not self.negated else (other, self)
+        remaining = positive.chars - negative.chars
+        return CharSet(remaining) if remaining else None
+
+    def witness(self, avoid: Iterable[str] = ()) -> str:
+        """Some character matched by this set (avoiding ``avoid`` if possible)."""
+        avoid_set = set(avoid)
+        if not self.negated:
+            for ch in sorted(self.chars):
+                if ch not in avoid_set:
+                    return ch
+            return next(iter(sorted(self.chars)))
+        for ch in _FRESH_CANDIDATES:
+            if ch not in self.chars and ch not in avoid_set:
+                return ch
+        code = 0x100
+        while chr(code) in self.chars or chr(code) in avoid_set:
+            code += 1
+        return chr(code)
+
+    def __str__(self) -> str:
+        if self.negated:
+            if not self.chars:
+                return "."
+            listed = "".join(sorted(self.chars))
+            return f"[^{listed}]"
+        if len(self.chars) == 1:
+            return next(iter(self.chars))
+        listed = "".join(sorted(self.chars))
+        return f"[{listed}]"
+
+
+def representative_alphabet(charsets: Iterable[CharSet]) -> list[str]:
+    """Representative atoms for a family of character predicates.
+
+    Returns every character explicitly mentioned by some predicate plus one
+    fresh character standing for "any unmentioned letter".  Simulating an
+    automaton on a representative is equivalent to simulating it on any
+    character of the same atom, because predicates only test membership in
+    the mentioned sets.
+    """
+    mentioned: set[str] = set()
+    saw_cofinite = False
+    for charset in charsets:
+        mentioned |= charset.chars
+        if charset.negated:
+            saw_cofinite = True
+    representatives = sorted(mentioned)
+    if saw_cofinite or not representatives:
+        fresh = CharSet.excluding(mentioned).witness()
+        representatives.append(fresh)
+    return representatives

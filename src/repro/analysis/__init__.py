@@ -1,0 +1,31 @@
+"""Static analysis: satisfiability and containment (paper, Section 6)."""
+
+from repro.analysis.containment import (
+    contained_det_sequential_point_disjoint,
+    contained_va,
+    containment_counterexample,
+    equivalent_va,
+    is_point_disjoint_va,
+)
+from repro.analysis.satisfiability import (
+    satisfiable_rgx,
+    satisfiable_rule,
+    satisfiable_rule_bounded,
+    satisfiable_va,
+    satisfying_document,
+    witness_length_bound,
+)
+
+__all__ = [
+    "contained_det_sequential_point_disjoint",
+    "contained_va",
+    "containment_counterexample",
+    "equivalent_va",
+    "is_point_disjoint_va",
+    "satisfiable_rgx",
+    "satisfiable_rule",
+    "satisfiable_rule_bounded",
+    "satisfiable_va",
+    "satisfying_document",
+    "witness_length_bound",
+]

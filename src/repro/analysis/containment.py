@@ -1,0 +1,348 @@
+"""Containment of spanners (paper, Section 6, Theorems 6.4–6.7).
+
+``Containment[L]``: is ``⟦γ1⟧_d ⊆ ⟦γ2⟧_d`` for every document ``d``?
+
+* :func:`contained_va` — the PSPACE algorithm of Theorem 6.4: search for a
+  counterexample label sequence over pairs of subset-states, guessing
+  either a letter (a character atom) or a coalesced set of variable
+  operations, all permutations of which are applied (the paper's
+  ``Perm(P)`` closure).  Both automata are sequentialised first so a run's
+  operations coincide with its mapping's operations; a global
+  per-variable status keeps guessed sequences valid.
+* :func:`containment_counterexample` — same search, returning a witness
+  ``(document, mapping)`` when containment fails.
+* :func:`contained_det_sequential_point_disjoint` — Theorem 6.7's
+  polynomial pair-simulation for deterministic sequential automata whose
+  mappings are point-disjoint (each ``(d, µ)`` then has a *unique* label
+  sequence, so simulating ``A2`` deterministically along ``A1``'s
+  transitions is complete).
+"""
+
+from __future__ import annotations
+
+from repro.alphabet import CharSet
+from repro.automata.determinize import character_atoms
+from repro.automata.labels import Close, Eps, Label, Open, Sym
+from repro.automata.sequential import is_sequential, make_sequential
+from repro.automata.va import VA
+from repro.spans.mapping import Mapping, Variable
+from repro.spans.span import Span
+from repro.util.errors import AutomatonError, BudgetExceededError
+
+_FRESH, _OPEN, _DONE = range(3)
+
+DEFAULT_STATE_BUDGET = 200_000
+
+
+def _closure(va: VA, states: frozenset[int]) -> frozenset[int]:
+    seen = set(states)
+    frontier = list(states)
+    while frontier:
+        state = frontier.pop()
+        for label, target in va.out_edges(state):
+            if isinstance(label, Eps) and target not in seen:
+                seen.add(target)
+                frontier.append(target)
+    return frozenset(seen)
+
+
+def _step_letter(va: VA, states: frozenset[int], char: str) -> frozenset[int]:
+    moved = {
+        target
+        for state in states
+        for label, target in va.out_edges(state)
+        if isinstance(label, Sym) and label.charset.contains(char)
+    }
+    return _closure(va, frozenset(moved))
+
+
+def _op_reach(
+    va: VA,
+    states: frozenset[int],
+    statuses: dict[Variable, int],
+    allowed: frozenset[Label] | None = None,
+) -> dict[frozenset[Label], frozenset[int]]:
+    """All coalesced operation sets performable from ``states``.
+
+    Returns a map ``O ↦ states reachable performing exactly O`` where the
+    union ranges over every ordering of ``O`` valid for the per-variable
+    statuses (a close needs its variable open, or its open earlier in the
+    same set).  This is the paper's ``Perm(P)`` closure computed by subset
+    dynamic programming instead of explicit permutations — same result,
+    ``2^{|P|}`` instead of ``|P|!``.
+    """
+    reach: dict[frozenset[Label], set[int]] = {frozenset(): set(states)}
+    frontier: list[tuple[frozenset[Label], frozenset[int]]] = [
+        (frozenset(), states)
+    ]
+    while frontier:
+        done, current = frontier.pop()
+        for state in current:
+            for label, target in va.out_edges(state):
+                if not isinstance(label, (Open, Close)):
+                    continue
+                if allowed is not None and label not in allowed:
+                    continue
+                if label in done:
+                    continue
+                if not _op_valid(label, done, statuses):
+                    continue
+                extended = done | {label}
+                closed = _closure(va, frozenset((target,)))
+                known = reach.get(extended)
+                if known is None:
+                    reach[extended] = set(closed)
+                    frontier.append((extended, frozenset(closed)))
+                elif not closed <= known:
+                    known |= closed
+                    frontier.append((extended, frozenset(closed)))
+    return {ops: frozenset(states) for ops, states in reach.items()}
+
+
+def _op_valid(op: Label, done: frozenset[Label], statuses: dict[Variable, int]) -> bool:
+    variable = op.variable  # type: ignore[union-attr]
+    status = statuses.get(variable, _FRESH)
+    if isinstance(op, Open):
+        return status == _FRESH
+    if status == _OPEN:
+        return Close(variable) not in done
+    return status == _FRESH and Open(variable) in done
+
+
+class _ContainmentSearch:
+    """Breadth-first counterexample search over subset pairs."""
+
+    def __init__(self, first: VA, second: VA, budget: int) -> None:
+        self.first = make_sequential(first)
+        self.second = make_sequential(second)
+        self.budget = budget
+        self.variables = tuple(
+            sorted(self.first.variables | self.second.variables)
+        )
+        self.index = {v: i for i, v in enumerate(self.variables)}
+        self.atoms = character_atoms(
+            self.first.charsets() + self.second.charsets() or [CharSet.any()]
+        )
+
+    def counterexample(self) -> tuple[str, Mapping] | None:
+        # The fourth component flags that operations were already guessed
+        # at the current position: the paper coalesces all operations
+        # between two letters into ONE set, and splitting them across two
+        # guesses would deny the right automaton its reorderings.
+        initial = (
+            _closure(self.first, frozenset((self.first.initial,))),
+            _closure(self.second, frozenset((self.second.initial,))),
+            (_FRESH,) * len(self.variables),
+            False,
+        )
+        parents: dict[tuple, tuple[tuple, object]] = {}
+        seen = {initial}
+        frontier = [initial]
+        while frontier:
+            if len(seen) > self.budget:
+                raise BudgetExceededError("containment search", self.budget)
+            key = frontier.pop(0)
+            s1, s2, statuses, ops_done_here = key
+            if self.first.final in s1 and self.second.final not in s2:
+                return self._rebuild(parents, key)
+            # Guess a letter atom (moves to the next position).
+            for atom in self.atoms:
+                char = atom.witness()
+                n1 = _step_letter(self.first, s1, char)
+                if not n1:
+                    continue  # A1 dies: never a counterexample down this path
+                n2 = _step_letter(self.second, s2, char)
+                nxt = (n1, n2, statuses, False)
+                if nxt not in seen:
+                    seen.add(nxt)
+                    parents[nxt] = (key, char)
+                    frontier.append(nxt)
+            if ops_done_here:
+                continue
+            # Guess the coalesced operation set of this position: exactly
+            # the sets the left automaton can realise (subset DP); the
+            # right automaton is then given every ordering of the same set.
+            statuses_map = {
+                variable: statuses[i]
+                for i, variable in enumerate(self.variables)
+            }
+            first_reach = _op_reach(self.first, s1, statuses_map)
+            for ops, n1 in first_reach.items():
+                if not ops or not n1:
+                    continue
+                n2 = _op_reach(
+                    self.second, s2, statuses_map, allowed=ops
+                ).get(ops, frozenset())
+                nxt = (n1, n2, self._update(statuses, ops), True)
+                if nxt not in seen:
+                    seen.add(nxt)
+                    parents[nxt] = (key, ops)
+                    frontier.append(nxt)
+        return None
+
+    def _update(self, statuses: tuple[int, ...], ops: frozenset[Label]) -> tuple[int, ...]:
+        updated = list(statuses)
+        for op in ops:
+            i = self.index[op.variable]  # type: ignore[union-attr]
+            if isinstance(op, Open):
+                updated[i] = _OPEN
+            else:
+                updated[i] = _DONE
+        return tuple(updated)
+
+    def _rebuild(self, parents: dict, key: tuple) -> tuple[str, Mapping]:
+        steps: list[object] = []
+        current = key
+        while current in parents:
+            previous, step = parents[current]
+            steps.append(step)
+            current = previous
+        steps.reverse()
+        document: list[str] = []
+        opened: dict[Variable, int] = {}
+        assignments: dict[Variable, Span] = {}
+        for step in steps:
+            if isinstance(step, str):
+                document.append(step)
+                continue
+            position = len(document) + 1
+            for op in sorted(step, key=str):
+                if isinstance(op, Open):
+                    opened[op.variable] = position
+                else:
+                    assignments[op.variable] = Span(opened[op.variable], position)
+        return "".join(document), Mapping(assignments)
+
+
+def containment_counterexample(
+    first: VA, second: VA, budget: int = DEFAULT_STATE_BUDGET
+) -> tuple[str, Mapping] | None:
+    """A ``(document, mapping)`` with ``µ ∈ ⟦A1⟧_d \\ ⟦A2⟧_d``, if any."""
+    return _ContainmentSearch(first, second, budget).counterexample()
+
+
+def contained_va(first: VA, second: VA, budget: int = DEFAULT_STATE_BUDGET) -> bool:
+    """Theorem 6.4's algorithm: ``⟦A1⟧_d ⊆ ⟦A2⟧_d`` for all documents."""
+    return containment_counterexample(first, second, budget) is None
+
+
+def equivalent_va(first: VA, second: VA, budget: int = DEFAULT_STATE_BUDGET) -> bool:
+    """Semantic equivalence — containment both ways."""
+    return contained_va(first, second, budget) and contained_va(
+        second, first, budget
+    )
+
+
+# ---------------------------------------------------------------------------
+# Theorem 6.7: deterministic sequential point-disjoint containment in PTIME
+# ---------------------------------------------------------------------------
+
+
+def _accepting_states(va: VA) -> frozenset[int]:
+    """The final state plus states ε-glued to it (determinisation output)."""
+    accepting = {va.final}
+    changed = True
+    while changed:
+        changed = False
+        for source, label, target in va.transitions:
+            if isinstance(label, Eps) and target in accepting and source not in accepting:
+                accepting.add(source)
+                changed = True
+    return frozenset(accepting)
+
+
+def contained_det_sequential_point_disjoint(first: VA, second: VA) -> bool:
+    """Theorem 6.7: polynomial containment by synchronous simulation.
+
+    Requires both automata deterministic (up to final ε-glue) and
+    sequential, and producing point-disjoint mappings; under those
+    assumptions each ``(d, µ)`` of ``A1`` has a unique label sequence, so
+    following ``A1``'s transitions while deterministically advancing
+    ``A2`` explores all candidate counterexamples.
+    """
+    for va in (first, second):
+        if not is_sequential(va):
+            raise AutomatonError("Theorem 6.7 requires sequential automata")
+    accepting1 = _accepting_states(first)
+    accepting2 = _accepting_states(second)
+    dead = -1
+    start = (first.initial, second.initial)
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        q1, q2 = frontier.pop()
+        if q1 in accepting1 and (q2 == dead or q2 not in accepting2):
+            return False
+        for label, t1 in first.out_edges(q1):
+            if isinstance(label, Eps):
+                successors: list[tuple[int, int]] = [(t1, q2)]
+            else:
+                t2 = _unique_successor(second, q2, label) if q2 != dead else dead
+                successors = [(t1, t2 if t2 is not None else dead)]
+            for nxt in successors:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+    return True
+
+
+def _unique_successor(va: VA, state: int, label: Label) -> int | None:
+    """The deterministic move of ``va`` on a letter/operation (ε-closed
+    only through final glue, which has no out-edges)."""
+    if isinstance(label, Sym):
+        witness = label.charset.witness()
+        for candidate, target in va.out_edges(state):
+            if isinstance(candidate, Sym) and candidate.charset.contains(witness):
+                return target
+        return None
+    for candidate, target in va.out_edges(state):
+        if candidate == label:
+            return target
+    return None
+
+
+def contained_bounded(
+    first: VA, second: VA, max_length: int, alphabet: str | None = None
+) -> bool:
+    """Brute-force containment over all documents up to ``max_length``.
+
+    Complete only up to the bound — the cross-validation harness for
+    :func:`contained_va` (Lemma D.1-style bounds make small documents
+    decisive for small automata).
+    """
+    from itertools import product as cartesian
+
+    from repro.automata.simulate import evaluate_va
+
+    if alphabet is None:
+        letters = representative_alphabet_for(first, second)
+    else:
+        letters = list(alphabet)
+    for length in range(max_length + 1):
+        for combo in cartesian(letters, repeat=length):
+            document = "".join(combo)
+            if not evaluate_va(first, document) <= evaluate_va(second, document):
+                return False
+    return True
+
+
+def representative_alphabet_for(first: VA, second: VA) -> list[str]:
+    """Representative letters covering both automata's predicates."""
+    from repro.alphabet import representative_alphabet
+
+    return representative_alphabet(first.charsets() + second.charsets())
+
+
+def is_point_disjoint_va(va: VA, probe_documents: list[str]) -> bool:
+    """Empirically check point-disjointness on probe documents.
+
+    Exact checking is as hard as evaluation; the benchmarks only need a
+    sanity check that their constructed automata have the property.
+    """
+    from repro.automata.simulate import evaluate_va
+
+    for document in probe_documents:
+        for mapping in evaluate_va(va, document):
+            if not mapping.is_point_disjoint():
+                return False
+    return True

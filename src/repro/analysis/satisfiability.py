@@ -1,0 +1,196 @@
+"""Satisfiability of spanners (paper, Section 6, Theorems 6.1–6.3).
+
+``Sat[L]`` asks whether some document makes ``⟦γ⟧_d`` non-empty.
+
+* **Sequential VA** — plain graph reachability from the initial to the
+  final state (Theorem 6.2's NLOGSPACE algorithm): every initial-to-final
+  path of a sequential automaton is a valid run, and letters can always be
+  instantiated because letter predicates are non-empty.
+* **General VA** — reachability in the product with a per-variable status
+  (the NP upper bound of Theorem 6.1; our deterministic implementation is
+  exponential in the number of variables only).  Lemma D.1's pumping bound
+  ``(2|V|+1)·|Q|`` on witness length is exposed for the tests.
+* **Rules** — sequential tree-like rules are always satisfiable
+  (Theorem 6.3); simple rules are decided through the translation pipeline
+  of Propositions 4.8/4.9, whose surviving disjuncts are functional
+  tree-like and therefore satisfiable.
+"""
+
+from __future__ import annotations
+
+from repro.automata.labels import Close, Open, Sym
+from repro.automata.sequential import is_sequential
+from repro.automata.va import VA
+from repro.rules.graph import is_tree_like
+from repro.rules.rule import Rule
+from repro.util.errors import NotSupportedError
+
+_FRESH, _OPEN, _DONE = range(3)
+
+
+def witness_length_bound(va: VA) -> int:
+    """Lemma D.1: a satisfiable VA accepts a document of this length."""
+    return (2 * len(va.variables) + 1) * va.num_states
+
+
+def satisfiable_va(va: VA) -> bool:
+    """``Sat[VA]`` — dispatches on sequentiality (Theorems 6.1/6.2)."""
+    return satisfying_document(va) is not None
+
+
+def satisfying_document(va: VA) -> str | None:
+    """A witness document, or ``None`` when the spanner is unsatisfiable."""
+    if is_sequential(va):
+        return _sequential_witness(va)
+    return _general_witness(va)
+
+
+def _sequential_witness(va: VA) -> str | None:
+    """Theorem 6.2: reachability suffices for sequential automata."""
+    parents: dict[int, tuple[int, object]] = {}
+    frontier = [va.initial]
+    seen = {va.initial}
+    while frontier:
+        state = frontier.pop()
+        if state == va.final:
+            return _read_letters(va, parents, state)
+        for label, target in va.out_edges(state):
+            if target not in seen:
+                seen.add(target)
+                parents[target] = (state, label)
+                frontier.append(target)
+    if va.initial == va.final:
+        return ""
+    return None
+
+
+def _general_witness(va: VA) -> str | None:
+    """Status-product reachability for arbitrary VA (Theorem 6.1 bound)."""
+    variables = tuple(sorted(va.mentioned_variables))
+    index = {variable: i for i, variable in enumerate(variables)}
+    start = (va.initial, (_FRESH,) * len(variables))
+    parents: dict[tuple, tuple[tuple, object]] = {}
+    frontier = [start]
+    seen = {start}
+    while frontier:
+        key = frontier.pop()
+        state, statuses = key
+        if state == va.final:
+            return _read_letters_product(parents, key)
+        for label, target in va.out_edges(state):
+            if isinstance(label, Open):
+                i = index[label.variable]
+                if statuses[i] != _FRESH:
+                    continue
+                nxt = (target, statuses[:i] + (_OPEN,) + statuses[i + 1 :])
+            elif isinstance(label, Close):
+                i = index[label.variable]
+                if statuses[i] != _OPEN:
+                    continue
+                nxt = (target, statuses[:i] + (_DONE,) + statuses[i + 1 :])
+            else:
+                nxt = (target, statuses)
+            if nxt not in seen:
+                seen.add(nxt)
+                parents[nxt] = (key, label)
+                frontier.append(nxt)
+    return None
+
+
+def _read_letters(va: VA, parents: dict, state: int) -> str:
+    letters: list[str] = []
+    current = state
+    while current != va.initial:
+        previous, label = parents[current]
+        if isinstance(label, Sym):
+            letters.append(label.charset.witness())
+        current = previous
+    return "".join(reversed(letters))
+
+
+def _read_letters_product(parents: dict, key: tuple) -> str:
+    letters: list[str] = []
+    current = key
+    while current in parents:
+        previous, label = parents[current]
+        if isinstance(label, Sym):
+            letters.append(label.charset.witness())
+        current = previous
+    return "".join(reversed(letters))
+
+
+def satisfiable_rgx(expression) -> bool:
+    """``Sat[RGX]`` via the Thompson translation.
+
+    Functional RGX is always satisfiable (§4.3) and sequential RGX yields
+    sequential automata, so the fast path of Theorem 6.2 applies to the
+    tractable fragments; spanRGX in general hits the NP-hard case
+    (Theorem 6.1, exercised by benchmark E9).
+    """
+    from repro.automata.thompson import to_va
+
+    return satisfiable_va(to_va(expression))
+
+
+def satisfiable_rule(rule: Rule, budget: int = 20_000) -> bool:
+    """``Sat`` of extraction rules (Theorem 6.3).
+
+    Sequential tree-like rules are always satisfiable.  Simple rules go
+    through the 4.8/4.9 pipeline: the rule is satisfiable iff some
+    functional tree-like disjunct survives.  Non-simple rules are not
+    supported (the paper's pipeline is stated for simple rules).
+    """
+    from repro.rules.translate import daglike_to_treelike, to_functional_daglike
+
+    if is_tree_like(rule) and rule.is_sequential():
+        return True
+    if not rule.is_simple():
+        raise NotSupportedError(
+            "satisfiability via the 4.8/4.9 pipeline needs a simple rule; "
+            "use satisfiable_rule_bounded for brute force"
+        )
+    for daglike in to_functional_daglike(rule, budget):
+        if daglike_to_treelike(daglike, budget):
+            return True
+    return False
+
+
+def satisfiable_rule_bounded(
+    rule: Rule, max_length: int, alphabet: str | None = None
+) -> bool:
+    """Brute-force rule satisfiability over documents up to ``max_length``.
+
+    Complete only up to the bound — used to cross-check
+    :func:`satisfiable_rule` on small instances.
+    """
+    from itertools import product as cartesian
+
+    if alphabet is None:
+        letters: set[str] = set()
+        for formula in rule.formulas():
+            for node in _letters_of(formula):
+                letters |= node
+        alphabet = "".join(sorted(letters)) or "a"
+        alphabet += _fresh_letter(alphabet)
+    for length in range(max_length + 1):
+        for combo in cartesian(alphabet, repeat=length):
+            if rule.evaluate("".join(combo)):
+                return True
+    return False
+
+
+def _letters_of(formula):
+    from repro.rgx.ast import Letter
+
+    from repro.rgx.ast import walk
+
+    for node in walk(formula):
+        if isinstance(node, Letter) and not node.charset.negated:
+            yield set(node.charset.chars)
+
+
+def _fresh_letter(alphabet: str) -> str:
+    for candidate in "zqwk~":
+        if candidate not in alphabet:
+            return candidate
+    return chr(0x100)

@@ -1,0 +1,42 @@
+"""Variable automata: VA, VAstk, translations, algebra (paper §3.2, §4.2)."""
+
+from repro.automata.algebra import join_va, project_va, union_va
+from repro.automata.determinize import character_atoms, determinize, is_complete_deterministic
+from repro.automata.labels import EPS, POP, Close, Eps, Label, Open, Pop, Sym, any_sym, sym
+from repro.automata.path_union import va_to_rgx, vastk_to_rgx
+from repro.automata.sequential import is_sequential, make_sequential
+from repro.automata.simulate import accepts_string, evaluate_va
+from repro.automata.thompson import to_va, to_vastk
+from repro.automata.va import VA, VABuilder, is_deterministic
+from repro.automata.vastk import VAStk
+
+__all__ = [
+    "EPS",
+    "POP",
+    "Close",
+    "Eps",
+    "Label",
+    "Open",
+    "Pop",
+    "Sym",
+    "VA",
+    "VABuilder",
+    "VAStk",
+    "accepts_string",
+    "any_sym",
+    "character_atoms",
+    "determinize",
+    "evaluate_va",
+    "is_complete_deterministic",
+    "is_deterministic",
+    "is_sequential",
+    "join_va",
+    "make_sequential",
+    "project_va",
+    "sym",
+    "to_va",
+    "to_vastk",
+    "union_va",
+    "va_to_rgx",
+    "vastk_to_rgx",
+]

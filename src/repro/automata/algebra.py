@@ -1,0 +1,260 @@
+"""The spanner algebra on variable-set automata: ∪, π, ⋈ (Theorem 4.5).
+
+The paper closes VA under union, projection and join of *mappings*:
+
+* **union** — ε-branch to both automata (linear);
+* **projection** ``π_Y(A)`` — operations of dropped variables become
+  ε-moves, but only along runs where they were used consistently; we track
+  a per-dropped-variable status so invalid reuse cannot sneak in (the
+  paper does this via the path-union normal form);
+* **join** ``A1 ⋈ A2`` — a product that synchronises *shared* variable
+  operations position-by-position.  Because the mapping join keeps
+  ``µ1(x)`` even when ``µ2`` leaves ``x`` undefined, each shared variable
+  may be used by both runs, by only one, or by neither; the construction
+  branches over that choice per shared variable and, within a position,
+  buffers the shared operations one side has performed until the other
+  matches them.  The paper proves an exponential blowup is unavoidable
+  here — benchmark E15/E16 report the measured sizes.
+
+All three are cross-validated against the semantic operations on mapping
+sets computed by the reference evaluator.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.automata.labels import EPS, Close, Eps, Label, Open, Sym
+from repro.automata.sequential import make_sequential
+from repro.automata.va import VA
+from repro.spans.mapping import Variable
+
+_FRESH, _OPEN, _DONE = range(3)
+
+
+def union_vastk(first, second) -> VA:
+    """``A1 ∪ A2`` for variable-stack automata (Theorem 4.5's
+    ``VAstk^{∪,π,⋈} ≡ VA``): the result is a VA, as the theorem states."""
+    return union_va(first.to_va(), second.to_va())
+
+
+def project_vastk(automaton, keep) -> VA:
+    """``π_keep(A)`` for a variable-stack automaton."""
+    return project_va(automaton.to_va(), keep)
+
+
+def join_vastk(first, second) -> VA:
+    """``A1 ⋈ A2`` for variable-stack automata.
+
+    The join of two hierarchical spanners need not be hierarchical (the
+    shared variables can force overlaps), which is exactly why the result
+    lives in VA rather than VAstk — the paper's Theorem 4.5 point.
+    """
+    return join_va(first.to_va(), second.to_va())
+
+
+def union_va(first: VA, second: VA) -> VA:
+    """``A1 ∪ A2`` — accepts exactly ``⟦A1⟧_d ∪ ⟦A2⟧_d``."""
+    builder_offset_first = 2
+    builder_offset_second = 2 + first.num_states
+    total = 2 + first.num_states + second.num_states
+    transitions: list[tuple[int, Label, int]] = [
+        (0, EPS, first.initial + builder_offset_first),
+        (0, EPS, second.initial + builder_offset_second),
+        (first.final + builder_offset_first, EPS, 1),
+        (second.final + builder_offset_second, EPS, 1),
+    ]
+    for source, label, target in first.transitions:
+        transitions.append(
+            (source + builder_offset_first, label, target + builder_offset_first)
+        )
+    for source, label, target in second.transitions:
+        transitions.append(
+            (source + builder_offset_second, label, target + builder_offset_second)
+        )
+    return VA(total, 0, 1, tuple(transitions))
+
+
+def project_va(va: VA, keep: set[Variable] | frozenset[Variable]) -> VA:
+    """``π_keep(A)`` — mappings restricted to ``keep``.
+
+    Dropped variables' operations turn into ε-moves guarded by a status
+    product, so a dropped variable still has to be used like a variable
+    (opened at most once, closed only while open) even though it no longer
+    appears in the output.
+    """
+    dropped = tuple(sorted(va.mentioned_variables - set(keep)))
+    index = {variable: i for i, variable in enumerate(dropped)}
+    if not dropped:
+        return va
+
+    states: dict[tuple[int, tuple[int, ...]], int] = {}
+    transitions: list[tuple[int, Label, int]] = []
+
+    def state_of(key: tuple[int, tuple[int, ...]]) -> int:
+        if key not in states:
+            states[key] = len(states)
+        return states[key]
+
+    initial_key = (va.initial, (_FRESH,) * len(dropped))
+    state_of(initial_key)
+    frontier = [initial_key]
+    explored = {initial_key}
+    accepting: list[int] = []
+    while frontier:
+        key = frontier.pop()
+        state, statuses = key
+        source = states[key]
+        if state == va.final:
+            # Open-but-unclosed dropped variables are unused: accept freely.
+            accepting.append(source)
+        for label, target in va.out_edges(state):
+            if isinstance(label, Open) and label.variable in index:
+                i = index[label.variable]
+                if statuses[i] != _FRESH:
+                    continue
+                next_statuses = statuses[:i] + (_OPEN,) + statuses[i + 1 :]
+                out_label: Label = EPS
+            elif isinstance(label, Close) and label.variable in index:
+                i = index[label.variable]
+                if statuses[i] != _OPEN:
+                    continue
+                next_statuses = statuses[:i] + (_DONE,) + statuses[i + 1 :]
+                out_label = EPS
+            else:
+                next_statuses = statuses
+                out_label = label
+            next_key = (target, next_statuses)
+            if next_key not in explored:
+                explored.add(next_key)
+                frontier.append(next_key)
+            transitions.append((source, out_label, state_of(next_key)))
+    final = len(states)
+    for state in accepting:
+        transitions.append((state, EPS, final))
+    return VA(len(states) + 1, states[initial_key], final, tuple(transitions)).trimmed()
+
+
+def join_va(first: VA, second: VA) -> VA:
+    """``A1 ⋈ A2`` with ``⟦A1 ⋈ A2⟧_d = ⟦A1⟧_d ⋈ ⟦A2⟧_d``.
+
+    Both inputs are sequentialised first (Proposition 5.6) so that every
+    open is eventually closed; "used" then coincides with "assigned",
+    which makes the per-variable usage choice well defined.
+    """
+    first = make_sequential(first)
+    second = make_sequential(second)
+    shared = tuple(sorted(first.variables & second.variables))
+
+    pieces: list[VA] = []
+    # Choose, for every shared variable, who assigns it.
+    for choice in product(("both", "first", "second", "neither"), repeat=len(shared)):
+        assignment = dict(zip(shared, choice))
+        piece = _join_product(first, second, assignment)
+        if piece is not None:
+            pieces.append(piece)
+    if not pieces:
+        return VA(2, 0, 1, ())
+    result = pieces[0]
+    for piece in pieces[1:]:
+        result = union_va(result, piece)
+    return result.trimmed()
+
+
+def _join_product(
+    first: VA, second: VA, assignment: dict[Variable, str]
+) -> VA | None:
+    """The synchronised product for one usage choice of the shared variables.
+
+    Product states are ``(q1, q2, S, T)``: ``S`` holds shared operations
+    performed by the first run at the current position and not yet matched
+    by the second, ``T`` the converse.  Letters require ``S = T = ∅`` and
+    advance both runs on the intersection of their predicates.  A shared
+    operation is emitted by whichever side performs it first; the other
+    side's matching move consumes it as an ε-step.
+    """
+    states: dict[tuple, int] = {}
+    transitions: list[tuple[int, Label, int]] = []
+
+    def state_of(key: tuple) -> int:
+        if key not in states:
+            states[key] = len(states)
+        return states[key]
+
+    def allowed(side: str, label: Label) -> bool:
+        variable = label.variable  # type: ignore[union-attr]
+        usage = assignment.get(variable)
+        if usage is None:
+            return True  # not shared: free for its own side
+        if usage == "neither":
+            return False
+        if usage == "both":
+            return True
+        return usage == side
+
+    initial_key = (first.initial, second.initial, frozenset(), frozenset())
+    state_of(initial_key)
+    frontier = [initial_key]
+    explored = {initial_key}
+    while frontier:
+        key = frontier.pop()
+        q1, q2, pending1, pending2 = key
+        source = states[key]
+
+        def emit(label: Label, next_key: tuple) -> None:
+            if next_key not in explored:
+                explored.add(next_key)
+                frontier.append(next_key)
+            transitions.append((source, label, state_of(next_key)))
+
+        # Letter moves: both runs consume the same character.
+        if not pending1 and not pending2:
+            for label1, target1 in first.out_edges(q1):
+                if not isinstance(label1, Sym):
+                    continue
+                for label2, target2 in second.out_edges(q2):
+                    if not isinstance(label2, Sym):
+                        continue
+                    both = label1.charset.intersect(label2.charset)
+                    if both is None:
+                        continue
+                    emit(Sym(both), (target1, target2, pending1, pending2))
+        # First-run moves.
+        for label, target in first.out_edges(q1):
+            if isinstance(label, Eps):
+                emit(EPS, (target, q2, pending1, pending2))
+            elif isinstance(label, (Open, Close)):
+                if not allowed("first", label):
+                    continue
+                if label.variable in assignment and assignment[label.variable] == "both":
+                    if label in pending2:
+                        emit(EPS, (target, q2, pending1, pending2 - {label}))
+                    else:
+                        emit(label, (target, q2, pending1 | {label}, pending2))
+                else:
+                    emit(label, (target, q2, pending1, pending2))
+        # Second-run moves.
+        for label, target in second.out_edges(q2):
+            if isinstance(label, Eps):
+                emit(EPS, (q1, target, pending1, pending2))
+            elif isinstance(label, (Open, Close)):
+                if not allowed("second", label):
+                    continue
+                if label.variable in assignment and assignment[label.variable] == "both":
+                    if label in pending1:
+                        emit(EPS, (q1, target, pending1 - {label}, pending2))
+                    else:
+                        emit(label, (q1, target, pending1, pending2 | {label}))
+                else:
+                    emit(label, (q1, target, pending1, pending2))
+
+    final_key = (first.final, second.final, frozenset(), frozenset())
+    if final_key not in states:
+        return None
+    result = VA(
+        num_states=len(states),
+        initial=states[initial_key],
+        final=states[final_key],
+        transitions=tuple(transitions),
+    ).trimmed()
+    return result

@@ -1,0 +1,85 @@
+"""Transition labels of variable automata.
+
+A variable-set automaton (paper, Section 3.2) has letter transitions
+``(q, a, q')`` and variable transitions ``(q, x⊢, q')`` / ``(q, ⊣x, q')``.
+We additionally allow ε-transitions (as the paper's appendix definition
+does) and, for variable-*stack* automata, the unnamed ``Pop`` close.
+
+Letters are :class:`~repro.alphabet.CharSet` predicates so that a single
+transition can stand for ``Σ`` or ``Σ - {,}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.alphabet import CharSet
+from repro.spans.mapping import Variable
+
+
+@dataclass(frozen=True)
+class Label:
+    """Base class of transition labels."""
+
+    def is_op(self) -> bool:
+        return isinstance(self, (Open, Close, Pop))
+
+
+@dataclass(frozen=True)
+class Eps(Label):
+    """An ε-transition: moves state without consuming input."""
+
+    def __str__(self) -> str:
+        return "ε"
+
+
+@dataclass(frozen=True)
+class Sym(Label):
+    """A letter transition: consumes one character matching the charset."""
+
+    charset: CharSet
+
+    def __str__(self) -> str:
+        return str(self.charset)
+
+
+@dataclass(frozen=True)
+class Open(Label):
+    """``x⊢`` — open variable ``x`` at the current position."""
+
+    variable: Variable
+
+    def __str__(self) -> str:
+        return f"{self.variable}⊢"
+
+
+@dataclass(frozen=True)
+class Close(Label):
+    """``⊣x`` — close variable ``x`` at the current position."""
+
+    variable: Variable
+
+    def __str__(self) -> str:
+        return f"⊣{self.variable}"
+
+
+@dataclass(frozen=True)
+class Pop(Label):
+    """``⊣`` — close the most recently opened variable (VAstk only)."""
+
+    def __str__(self) -> str:
+        return "⊣"
+
+
+EPS = Eps()
+POP = Pop()
+
+
+def sym(char: str) -> Sym:
+    """A transition on the single letter ``char``."""
+    return Sym(CharSet.single(char))
+
+
+def any_sym() -> Sym:
+    """A transition on any letter (``Σ``)."""
+    return Sym(CharSet.any())

@@ -1,0 +1,367 @@
+"""Path-union construction and state elimination (Theorems 4.3 and 4.4).
+
+The paper converts a variable-stack automaton to an RGX in three steps
+(Appendix B, proof of Theorem 4.3; Figure 1 illustrates the middle one):
+
+1. normalise so every variable operation has a dedicated target state;
+2. *state elimination*: remove every other state, labelling surviving
+   edges with ordinary regular expressions — the result is the paper's
+   ``vstk-graph`` whose edges carry a regex prefix plus one variable
+   operation (edges into the final state carry no operation);
+3. enumerate all consistent initial-to-final walks — each walk uses at
+   most ``2k + 1`` operations because a variable can be opened only once —
+   and read an RGX off each walk, replacing ``x⊢`` by ``x{`` and ``⊣`` by
+   ``}``.  Opens that are never closed are dropped (such opens assign
+   nothing).  The union of the walk expressions is the result: a
+   potentially exponential union of *functional* RGX formulas.
+
+The same machinery translates hierarchical variable-*set* automata
+(Theorem 4.4): named closes must then match the innermost open on each
+walk; walks whose operations cannot be nested that way are rejected with
+:class:`~repro.util.errors.NotSupportedError` unless the blocking regex
+prefixes derive only ``ε`` (in which case adjacent operations commute and
+we renest them — the reordering step of [8] used by the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automata.labels import Close, Eps, Label, Open, Pop, Sym
+from repro.automata.va import VA
+from repro.automata.vastk import VAStk
+from repro.rgx.ast import EPSILON, Letter, Rgx, Star, VarBind, concat, union
+from repro.rgx.properties import derives_only_epsilon
+from repro.rgx.rewrite import simplify
+from repro.util.errors import BudgetExceededError, NotSupportedError
+
+#: Default ceiling on the number of enumerated walks.
+DEFAULT_WALK_BUDGET = 100_000
+
+
+@dataclass
+class _Edge:
+    source: int
+    prefix: Rgx  # variable-free regex consumed before the operation
+    op: Label | None  # Open/Close/Pop, or None (edges into the final node)
+    target: int
+
+
+class EliminationGraph:
+    """The paper's vstk-graph / vset-graph, built by state elimination."""
+
+    def __init__(self, source_node: int, final_node: int, edges: list[_Edge]) -> None:
+        self.source_node = source_node
+        self.final_node = final_node
+        self.edges = edges
+        self.out: dict[int, list[_Edge]] = {}
+        for edge in edges:
+            self.out.setdefault(edge.source, []).append(edge)
+
+    def op_edge_count(self) -> int:
+        return sum(1 for edge in self.edges if edge.op is not None)
+
+
+def eliminate_states(automaton: "VA | VAStk") -> EliminationGraph:
+    """Steps 1 and 2: normalise, then eliminate all plain states."""
+    edges: list[_Edge] = []
+    next_node = automaton.num_states + 2
+    source_node = automaton.num_states  # fresh initial
+    final_node = automaton.num_states + 1  # fresh final
+    keep: set[int] = {source_node, final_node}
+
+    edges.append(_Edge(source_node, EPSILON, None, automaton.initial))
+    edges.append(_Edge(automaton.final, EPSILON, None, final_node))
+    for state_source, label, state_target in automaton.transitions:
+        if isinstance(label, Eps):
+            edges.append(_Edge(state_source, EPSILON, None, state_target))
+        elif isinstance(label, Sym):
+            edges.append(_Edge(state_source, Letter(label.charset), None, state_target))
+        else:
+            # Give the operation a dedicated target so surviving edges all
+            # carry exactly one operation (the paper's normalisation).
+            fresh = next_node
+            next_node += 1
+            keep.add(fresh)
+            edges.append(_Edge(state_source, EPSILON, label, fresh))
+            edges.append(_Edge(fresh, EPSILON, None, state_target))
+
+    removable = [
+        state for state in range(automaton.num_states) if state not in keep
+    ]
+    # Heuristic: eliminate low-degree states first to keep regexes small.
+    for state in sorted(removable, key=lambda s: _degree(edges, s)):
+        edges = _eliminate_one(edges, state)
+    return EliminationGraph(source_node, final_node, edges)
+
+
+def _degree(edges: list[_Edge], state: int) -> int:
+    incoming = sum(1 for e in edges if e.target == state and e.source != state)
+    outgoing = sum(1 for e in edges if e.source == state and e.target != state)
+    return incoming * outgoing
+
+
+def _eliminate_one(edges: list[_Edge], state: int) -> list[_Edge]:
+    incoming = [e for e in edges if e.target == state and e.source != state]
+    outgoing = [e for e in edges if e.source == state and e.target != state]
+    loops = [e for e in edges if e.source == state and e.target == state]
+    remaining = [e for e in edges if state not in (e.source, e.target)]
+    # Incoming edges of an eliminable state never carry operations: operation
+    # edges point at dedicated kept nodes.
+    assert all(e.op is None for e in incoming), "op edge into eliminable state"
+    assert all(e.op is None for e in loops), "op self-loop on eliminable state"
+    loop_regex: Rgx | None = None
+    if loops:
+        loop_regex = Star(union(*(e.prefix for e in loops)))
+    created: dict[tuple[int, Label | None, int], list[Rgx]] = {}
+    for before in incoming:
+        for after in outgoing:
+            parts = [before.prefix]
+            if loop_regex is not None:
+                parts.append(loop_regex)
+            parts.append(after.prefix)
+            prefix = simplify(concat(*parts))
+            created.setdefault((before.source, after.op, after.target), []).append(prefix)
+    merged = remaining
+    for (source, op, target), prefixes in created.items():
+        merged.append(_Edge(source, simplify(union(*prefixes)), op, target))
+    return _merge_parallel(merged)
+
+
+def _merge_parallel(edges: list[_Edge]) -> list[_Edge]:
+    grouped: dict[tuple[int, Label | None, int], list[Rgx]] = {}
+    order: list[tuple[int, Label | None, int]] = []
+    for edge in edges:
+        key = (edge.source, edge.op, edge.target)
+        if key not in grouped:
+            order.append(key)
+        grouped.setdefault(key, []).append(edge.prefix)
+    return [
+        _Edge(source, simplify(union(*grouped[(source, op, target)])), op, target)
+        for source, op, target in order
+    ]
+
+
+def enumerate_walks(
+    graph: EliminationGraph,
+    stack_discipline: bool,
+    budget: int = DEFAULT_WALK_BUDGET,
+) -> list[list[_Edge]]:
+    """Step 3's walk enumeration with variable-consistency pruning.
+
+    ``stack_discipline=True`` interprets closes as ``Pop`` (VAstk);
+    otherwise closes are named (VA) and only need to target an open
+    variable.  Each walk performs at most ``2k`` operations, which bounds
+    its length; the number of walks may still be exponential, hence the
+    budget.
+    """
+    walks: list[list[_Edge]] = []
+    # Each frame: (node, walk edges, open stack/list of variables, used set)
+    initial = (graph.source_node, (), (), frozenset())
+    frontier: list[tuple[int, tuple[_Edge, ...], tuple[str, ...], frozenset[str]]] = [
+        initial
+    ]
+    while frontier:
+        node, walk, open_vars, used = frontier.pop()
+        for edge in graph.out.get(node, ()):
+            if edge.op is None:
+                if edge.target == graph.final_node:
+                    walks.append(list(walk) + [edge])
+                    if len(walks) > budget:
+                        raise BudgetExceededError(
+                            "path-union walk enumeration", budget
+                        )
+                continue
+            if isinstance(edge.op, Open):
+                variable = edge.op.variable
+                if variable in used:
+                    continue
+                frontier.append(
+                    (
+                        edge.target,
+                        walk + (edge,),
+                        open_vars + (variable,),
+                        used | {variable},
+                    )
+                )
+            elif isinstance(edge.op, Pop):
+                if not open_vars:
+                    continue
+                frontier.append(
+                    (edge.target, walk + (edge,), open_vars[:-1], used)
+                )
+            else:
+                assert isinstance(edge.op, Close)
+                variable = edge.op.variable
+                if variable not in open_vars:
+                    continue
+                if stack_discipline and open_vars[-1] != variable:
+                    continue
+                remaining = tuple(v for v in open_vars if v != variable)
+                frontier.append((edge.target, walk + (edge,), remaining, used))
+    return walks
+
+
+def walk_to_rgx(walk: list[_Edge], renest: bool = True) -> Rgx:
+    """Turn one consistent walk into an RGX (``x⊢ ↦ x{``, close ↦ ``}``).
+
+    For variable-set walks whose named closes are not innermost-first, the
+    operations are renested when the separating prefixes derive only ``ε``
+    (they then happen at the same document position and commute); otherwise
+    :class:`NotSupportedError` is raised — such a path can produce
+    non-hierarchical mappings, which no RGX can express (Theorem 4.6).
+    """
+    items = [(edge.prefix, edge.op) for edge in walk]
+    if renest:
+        items = _renest(items)
+    # frames: stack of (variable, collected parts); root frame has variable None.
+    frames: list[tuple[str | None, list[Rgx]]] = [(None, [])]
+    open_order: list[str] = []
+    for prefix, op in items:
+        frames[-1][1].append(prefix)
+        if op is None:
+            continue
+        if isinstance(op, Open):
+            frames.append((op.variable, []))
+            open_order.append(op.variable)
+        else:
+            close_variable = (
+                frames[-1][0] if isinstance(op, Pop) else op.variable
+            )
+            if frames[-1][0] != close_variable:
+                raise NotSupportedError(
+                    f"cannot nest close of {close_variable!r} under open of "
+                    f"{frames[-1][0]!r}; the path is not hierarchical"
+                )
+            variable, parts = frames.pop()
+            open_order.remove(variable)
+            frames[-1][1].append(VarBind(variable, concat(*parts) if parts else EPSILON))
+    # Drop opens that were never closed: splice their bodies into the parent.
+    while len(frames) > 1:
+        _, parts = frames.pop()
+        frames[-1][1].extend(parts)
+    parts = frames[0][1]
+    return simplify(concat(*parts) if parts else EPSILON)
+
+
+def _renest(
+    items: list[tuple[Rgx, Label | None]]
+) -> list[tuple[Rgx, Label | None]]:
+    """Reorder commuting adjacent operations to make closes innermost-first.
+
+    Two consecutive operations commute when the regex prefix between them
+    derives only ``ε`` — they then necessarily happen at the same document
+    position.  We greedily bubble closes leftwards over opens they must
+    precede.  This implements the reordering step of [8] for the common
+    cases; walks needing more global reasoning are rejected later.
+    """
+    changed = True
+    rounds = 0
+    limit = max(4, len(items) * len(items))
+    while changed:
+        rounds += 1
+        if rounds > limit:
+            raise NotSupportedError(
+                "operation renesting did not converge; the automaton is "
+                "not hierarchical along this path"
+            )
+        changed = False
+        stack: list[str] = []
+        for position, (prefix, op) in enumerate(items):
+            if op is None:
+                continue
+            if isinstance(op, Open):
+                stack.append(op.variable)
+                continue
+            if isinstance(op, Pop):
+                if stack:
+                    stack.pop()
+                continue
+            assert isinstance(op, Close)
+            if not stack:
+                continue
+            if stack[-1] == op.variable:
+                stack.pop()
+                continue
+            # Mis-nested close: swap it before the previous operation when
+            # the separating prefix derives only ε (same document position,
+            # so the two operations commute).
+            if position > 0 and derives_only_epsilon(prefix):
+                previous_prefix, previous_op = items[position - 1]
+                items[position - 1] = (previous_prefix, op)
+                items[position] = (prefix, previous_op)
+                changed = True
+                break
+            # Otherwise try to reorder the *opens*: moving the blocking
+            # open (the current stack top) one step earlier also fixes the
+            # nesting when the two opens happen at the same position.
+            blocking = stack[-1]
+            open_position = _open_index(items, blocking, position)
+            if (
+                open_position is not None
+                and open_position > 0
+                and derives_only_epsilon(items[open_position][0])
+            ):
+                previous_prefix, previous_op = items[open_position - 1]
+                items[open_position - 1] = (
+                    previous_prefix,
+                    items[open_position][1],
+                )
+                items[open_position] = (items[open_position][0], previous_op)
+                changed = True
+                break
+            raise NotSupportedError(
+                f"operations around {op} cannot be renested; the automaton "
+                "is not hierarchical along this path"
+            )
+    return items
+
+
+def _open_index(
+    items: list[tuple[Rgx, Label | None]], variable: str, before: int
+) -> int | None:
+    for index in range(before - 1, -1, -1):
+        op = items[index][1]
+        if isinstance(op, Open) and op.variable == variable:
+            return index
+    return None
+
+
+def vastk_to_rgx(
+    automaton: VAStk, budget: int = DEFAULT_WALK_BUDGET
+) -> Rgx | None:
+    """Theorem 4.3: every VAstk has an equivalent RGX.
+
+    Returns ``None`` when the automaton's language is empty (the paper's
+    "empty union" case — RGX has no ``∅``).
+    """
+    graph = eliminate_states(automaton)
+    walks = enumerate_walks(graph, stack_discipline=True, budget=budget)
+    expressions = [walk_to_rgx(walk) for walk in walks]
+    if not expressions:
+        return None
+    return simplify(union(*_dedupe(expressions)))
+
+
+def va_to_rgx(automaton: VA, budget: int = DEFAULT_WALK_BUDGET) -> Rgx | None:
+    """Theorem 4.4: every *hierarchical* VA has an equivalent RGX.
+
+    Raises :class:`NotSupportedError` when a walk's operations cannot be
+    nested (which certifies a non-hierarchical path).
+    """
+    graph = eliminate_states(automaton)
+    walks = enumerate_walks(graph, stack_discipline=False, budget=budget)
+    expressions = [walk_to_rgx(walk) for walk in walks]
+    if not expressions:
+        return None
+    return simplify(union(*_dedupe(expressions)))
+
+
+def _dedupe(expressions: list[Rgx]) -> list[Rgx]:
+    seen: set[Rgx] = set()
+    unique: list[Rgx] = []
+    for expression in expressions:
+        if expression not in seen:
+            seen.add(expression)
+            unique.append(expression)
+    return unique

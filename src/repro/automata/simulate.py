@@ -1,0 +1,212 @@
+"""Run-level simulation of variable-set automata.
+
+:func:`evaluate_va` computes ``⟦A⟧_d`` exactly, by reachability over run
+configurations.  A configuration is ``(state, position, variable statuses)``
+where a status records whether each variable is fresh, open (and where it
+was opened), or closed (with its span).  Because the status carries every
+position the mapping needs, the *set* of output mappings can be read off
+the reachable accepting configurations — no path bookkeeping is required.
+
+Two ingredients keep this practical:
+
+* **feasibility pruning** — a memoised check that asks whether the final
+  state is reachable from an abstracted configuration ``(state, position,
+  status kinds)``, where kinds forget positions; configurations that cannot
+  accept are never expanded;
+* **deduplication for free** — distinct runs reaching the same accepting
+  configuration contribute one mapping.
+
+The worst case is necessarily exponential (the output itself can be
+exponential, and Theorem 5.2 shows even emptiness is NP-hard); the
+polynomial-delay machinery for the sequential fragment lives in
+:mod:`repro.evaluation`.
+"""
+
+from __future__ import annotations
+
+from repro.automata.labels import Close, Eps, Open, Sym
+from repro.automata.va import VA
+from repro.spans.document import Document, as_text
+from repro.spans.mapping import Mapping, Variable
+from repro.spans.span import Span
+
+# Status kinds used by the feasibility abstraction.
+_FRESH = 0
+_OPEN = 1
+_DONE = 2
+
+
+class _Feasibility:
+    """Memoised "can this abstract configuration still accept?" oracle.
+
+    Abstract configurations are ``(state, position, kinds)`` with kinds a
+    tuple over the automaton's variables in sorted order.  Computed by
+    depth-first search with an explicit stack; cycles are broken by
+    treating in-progress entries as not-yet-feasible (standard least
+    fixpoint for reachability).
+    """
+
+    def __init__(self, va: VA, text: str, variables: tuple[Variable, ...]) -> None:
+        self._va = va
+        self._text = text
+        self._end = len(text) + 1
+        self._variables = variables
+        self._index = {variable: i for i, variable in enumerate(variables)}
+        self._cache: dict[tuple[int, int, tuple[int, ...]], bool] = {}
+
+    def feasible(self, state: int, pos: int, kinds: tuple[int, ...]) -> bool:
+        key = (state, pos, kinds)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        # Iterative DFS computing reachability of the accepting configuration.
+        visiting: set[tuple[int, int, tuple[int, ...]]] = set()
+        order: list[tuple[int, int, tuple[int, ...]]] = []
+
+        def explore(start: tuple[int, int, tuple[int, ...]]) -> bool:
+            stack = [start]
+            while stack:
+                current = stack.pop()
+                if current in self._cache or current in visiting:
+                    continue
+                visiting.add(current)
+                order.append(current)
+                for successor in self._successors(current):
+                    if self._cache.get(successor):
+                        continue
+                    if successor not in visiting:
+                        stack.append(successor)
+            # Propagate acceptance backwards until a fixpoint is reached.
+            changed = True
+            results = {conf: self._accepts(conf) for conf in order}
+            while changed:
+                changed = False
+                for conf in order:
+                    if results[conf]:
+                        continue
+                    for successor in self._successors(conf):
+                        if results.get(successor) or self._cache.get(successor):
+                            results[conf] = True
+                            changed = True
+                            break
+            for conf, value in results.items():
+                self._cache[conf] = value
+            return results[start]
+
+        result = explore(key)
+        return result
+
+    def _accepts(self, conf: tuple[int, int, tuple[int, ...]]) -> bool:
+        state, pos, _ = conf
+        return state == self._va.final and pos == self._end
+
+    def _successors(self, conf: tuple[int, int, tuple[int, ...]]):
+        state, pos, kinds = conf
+        for label, target in self._va.out_edges(state):
+            if isinstance(label, Eps):
+                yield (target, pos, kinds)
+            elif isinstance(label, Sym):
+                if pos < self._end and label.charset.contains(self._text[pos - 1]):
+                    yield (target, pos + 1, kinds)
+            elif isinstance(label, Open):
+                i = self._index[label.variable]
+                if kinds[i] == _FRESH:
+                    updated = kinds[:i] + (_OPEN,) + kinds[i + 1 :]
+                    yield (target, pos, updated)
+            elif isinstance(label, Close):
+                i = self._index.get(label.variable)
+                if i is not None and kinds[i] == _OPEN:
+                    updated = kinds[:i] + (_DONE,) + kinds[i + 1 :]
+                    yield (target, pos, updated)
+
+
+def evaluate_va(va: VA, document: "Document | str", prune: bool = True) -> set[Mapping]:
+    """``⟦A⟧_d`` — the set of mappings of all accepting runs.
+
+    ``prune=False`` disables feasibility pruning (used by the evaluator
+    ablation benchmark A1 to quantify what the pruning buys).
+    """
+    text = as_text(document)
+    end = len(text) + 1
+    variables = tuple(sorted(va.mentioned_variables))
+    index = {variable: i for i, variable in enumerate(variables)}
+    oracle = _Feasibility(va, text, variables) if prune else None
+
+    # A status is a tuple over `variables`: None (fresh), int (open position)
+    # or a Span (closed).
+    initial_status: tuple = (None,) * len(variables)
+    start = (va.initial, 1, initial_status)
+    if oracle is not None and not oracle.feasible(
+        va.initial, 1, _kinds_of(initial_status)
+    ):
+        return set()
+    seen = {start}
+    frontier = [start]
+    results: set[Mapping] = set()
+    while frontier:
+        state, pos, status = frontier.pop()
+        if state == va.final and pos == end:
+            results.add(_mapping_of(variables, status))
+        for label, target in va.out_edges(state):
+            if isinstance(label, Eps):
+                nxt = (target, pos, status)
+            elif isinstance(label, Sym):
+                if pos >= end or not label.charset.contains(text[pos - 1]):
+                    continue
+                nxt = (target, pos + 1, status)
+            elif isinstance(label, Open):
+                i = index[label.variable]
+                if status[i] is not None:
+                    continue
+                nxt = (target, pos, status[:i] + (pos,) + status[i + 1 :])
+            else:
+                assert isinstance(label, Close)
+                i = index[label.variable]
+                if not isinstance(status[i], int):
+                    continue
+                span = Span(status[i], pos)
+                nxt = (target, pos, status[:i] + (span,) + status[i + 1 :])
+            if nxt in seen:
+                continue
+            if oracle is not None and not oracle.feasible(
+                nxt[0], nxt[1], _kinds_of(nxt[2])
+            ):
+                continue
+            seen.add(nxt)
+            frontier.append(nxt)
+    return results
+
+
+def _kinds_of(status: tuple) -> tuple[int, ...]:
+    kinds = []
+    for entry in status:
+        if entry is None:
+            kinds.append(_FRESH)
+        elif isinstance(entry, int):
+            kinds.append(_OPEN)
+        else:
+            kinds.append(_DONE)
+    return tuple(kinds)
+
+
+def _mapping_of(variables: tuple[Variable, ...], status: tuple) -> Mapping:
+    # Open-but-never-closed variables are unused: leave them undefined.
+    return Mapping(
+        {
+            variable: entry
+            for variable, entry in zip(variables, status)
+            if isinstance(entry, Span)
+        }
+    )
+
+
+def accepts_string(va: VA, document: "Document | str") -> bool:
+    """Does the automaton accept the document at all (``⟦A⟧_d ≠ ∅``)?
+
+    Cheaper than :func:`evaluate_va` when only emptiness is needed; see
+    :mod:`repro.evaluation.nonemptiness` for the decision-problem wrapper.
+    """
+    text = as_text(document)
+    variables = tuple(sorted(va.mentioned_variables))
+    oracle = _Feasibility(va, text, variables)
+    return oracle.feasible(va.initial, 1, (_FRESH,) * len(variables))

@@ -1,0 +1,83 @@
+"""Thompson construction: RGX → variable automata (Theorem 4.3, one half).
+
+The classical construction extended with one case: ``x{γ}`` becomes an
+``x⊢`` transition into the fragment for ``γ`` and a close transition out of
+it (``⊣x`` for VA, the unnamed ``⊣`` for VAstk).  Every fragment has a
+single entry and a single exit and the construction is linear in the size
+of the expression.
+
+The paper's proof of Theorem 5.7 observes that the construction maps
+sequential RGX to sequential automata; this is property-tested.
+"""
+
+from __future__ import annotations
+
+from repro.automata.labels import EPS, POP, Close, Label, Open, Sym
+from repro.automata.va import VA, VABuilder
+from repro.automata.vastk import VAStk
+from repro.rgx.ast import Concat, Epsilon, Letter, Rgx, Star, Union, VarBind
+from repro.util.errors import SpannerError
+
+
+def to_va(expression: Rgx) -> VA:
+    """An equivalent variable-set automaton (named closes)."""
+    return _construct(expression, stack_closes=False)
+
+
+def to_vastk(expression: Rgx) -> VAStk:
+    """An equivalent variable-stack automaton (LIFO closes)."""
+    return _construct(expression, stack_closes=True)
+
+
+def _construct(expression: Rgx, stack_closes: bool):
+    builder = VABuilder()
+    start, end = _fragment(expression, builder, stack_closes)
+    if stack_closes:
+        return builder.build_vastk(initial=start, final=end)
+    return builder.build(initial=start, final=end)
+
+
+def _fragment(
+    expression: Rgx, builder: VABuilder, stack_closes: bool
+) -> tuple[int, int]:
+    """Build a fragment and return its (entry, exit) states."""
+    if isinstance(expression, Epsilon):
+        start, end = builder.add_states(2)
+        builder.add(start, EPS, end)
+        return start, end
+    if isinstance(expression, Letter):
+        start, end = builder.add_states(2)
+        builder.add(start, Sym(expression.charset), end)
+        return start, end
+    if isinstance(expression, VarBind):
+        open_state, body_start = builder.add_states(2)
+        builder.add(open_state, Open(expression.variable), body_start)
+        inner_start, inner_end = _fragment(expression.body, builder, stack_closes)
+        builder.add(body_start, EPS, inner_start)
+        close_state = builder.add_state()
+        close_label: Label = POP if stack_closes else Close(expression.variable)
+        builder.add(inner_end, close_label, close_state)
+        return open_state, close_state
+    if isinstance(expression, Concat):
+        first_start, current_end = _fragment(expression.parts[0], builder, stack_closes)
+        for part in expression.parts[1:]:
+            next_start, next_end = _fragment(part, builder, stack_closes)
+            builder.add(current_end, EPS, next_start)
+            current_end = next_end
+        return first_start, current_end
+    if isinstance(expression, Union):
+        start, end = builder.add_states(2)
+        for option in expression.options:
+            inner_start, inner_end = _fragment(option, builder, stack_closes)
+            builder.add(start, EPS, inner_start)
+            builder.add(inner_end, EPS, end)
+        return start, end
+    if isinstance(expression, Star):
+        start, end = builder.add_states(2)
+        inner_start, inner_end = _fragment(expression.body, builder, stack_closes)
+        builder.add(start, EPS, end)
+        builder.add(start, EPS, inner_start)
+        builder.add(inner_end, EPS, inner_start)
+        builder.add(inner_end, EPS, end)
+        return start, end
+    raise SpannerError(f"unknown RGX node {expression!r}")

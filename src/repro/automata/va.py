@@ -1,0 +1,280 @@
+"""Variable-set automata (VA) — paper, Section 3.2 and Appendix A.
+
+A VA is a tuple ``(Q, q0, qf, δ)`` whose transitions carry letters,
+ε-moves, or variable operations ``x⊢`` / ``⊣x``.  A *run* over a document
+moves one position per letter; variable operations happen between
+positions, each variable is opened at most once and closed at most once
+(and only while open).  A variable that is opened but never closed is
+simply *unused* — the run's mapping leaves it undefined.  This is exactly
+how the paper generalises [8] to mappings.
+
+States are integers ``0 .. num_states - 1``; use :class:`VABuilder` for
+incremental construction (the hardness reductions build automata this way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.alphabet import CharSet, representative_alphabet
+from repro.automata.labels import EPS, Close, Eps, Label, Open, Sym
+from repro.spans.mapping import Variable
+from repro.util.errors import AutomatonError
+
+Transition = tuple[int, Label, int]
+
+
+@dataclass(frozen=True)
+class VA:
+    """An immutable variable-set automaton.
+
+    >>> from repro.automata import VABuilder
+    >>> from repro.automata.labels import sym, Open, Close
+    >>> b = VABuilder()
+    >>> q0, q1, q2, q3 = b.add_states(4)
+    >>> b.add(q0, Open("x"), q1)
+    >>> b.add(q1, sym("a"), q2)
+    >>> b.add(q2, Close("x"), q3)
+    >>> va = b.build(initial=q0, final=q3)
+    >>> sorted(va.variables)
+    ['x']
+    """
+
+    num_states: int
+    initial: int
+    final: int
+    transitions: tuple[Transition, ...]
+    _out: tuple[tuple[tuple[Label, int], ...], ...] = field(
+        init=False, repr=False, compare=False, hash=False, default=None  # type: ignore[assignment]
+    )
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.initial < self.num_states:
+            raise AutomatonError(f"initial state {self.initial} out of range")
+        if not 0 <= self.final < self.num_states:
+            raise AutomatonError(f"final state {self.final} out of range")
+        for source, label, target in self.transitions:
+            if not (0 <= source < self.num_states and 0 <= target < self.num_states):
+                raise AutomatonError(
+                    f"transition ({source}, {label}, {target}) out of range"
+                )
+            if not isinstance(label, (Eps, Sym, Open, Close)):
+                raise AutomatonError(f"VA does not accept label {label!r}")
+        out: list[list[tuple[Label, int]]] = [[] for _ in range(self.num_states)]
+        for source, label, target in self.transitions:
+            out[source].append((label, target))
+        object.__setattr__(self, "_out", tuple(tuple(edges) for edges in out))
+
+    # -- inspection ------------------------------------------------------------
+
+    @property
+    def variables(self) -> frozenset[Variable]:
+        """``var(A)`` — variables with an ``Open`` transition (paper, §3.2)."""
+        return frozenset(
+            label.variable
+            for _, label, _ in self.transitions
+            if isinstance(label, Open)
+        )
+
+    @property
+    def mentioned_variables(self) -> frozenset[Variable]:
+        """Variables appearing in any operation (opened *or* closed)."""
+        return frozenset(
+            label.variable
+            for _, label, _ in self.transitions
+            if isinstance(label, (Open, Close))
+        )
+
+    def out_edges(self, state: int) -> tuple[tuple[Label, int], ...]:
+        """Outgoing ``(label, target)`` pairs of a state."""
+        return self._out[state]
+
+    def charsets(self) -> list[CharSet]:
+        """All letter predicates on transitions."""
+        return [
+            label.charset
+            for _, label, _ in self.transitions
+            if isinstance(label, Sym)
+        ]
+
+    def letter_alphabet(self) -> list[str]:
+        """Representative letters for enumeration-style algorithms."""
+        return representative_alphabet(self.charsets())
+
+    def size(self) -> int:
+        """States plus transitions — the |A| of complexity statements."""
+        return self.num_states + len(self.transitions)
+
+    # -- simple rewrites ----------------------------------------------------------
+
+    def renumbered(self, offset: int, num_states: int | None = None) -> "VA":
+        """A copy with all states shifted by ``offset`` (for disjoint unions)."""
+        total = self.num_states + offset if num_states is None else num_states
+        return VA(
+            num_states=total,
+            initial=self.initial + offset,
+            final=self.final + offset,
+            transitions=tuple(
+                (source + offset, label, target + offset)
+                for source, label, target in self.transitions
+            ),
+        )
+
+    def rename_variables(self, renaming: dict[Variable, Variable]) -> "VA":
+        """A copy with variables renamed (identity where unmentioned)."""
+
+        def rename(label: Label) -> Label:
+            if isinstance(label, Open):
+                return Open(renaming.get(label.variable, label.variable))
+            if isinstance(label, Close):
+                return Close(renaming.get(label.variable, label.variable))
+            return label
+
+        return VA(
+            num_states=self.num_states,
+            initial=self.initial,
+            final=self.final,
+            transitions=tuple(
+                (source, rename(label), target)
+                for source, label, target in self.transitions
+            ),
+        )
+
+    def trimmed(self) -> "VA":
+        """Remove states not on any path from the initial to the final state."""
+        forward = _closure(self, self.initial, forward=True)
+        backward = _closure(self, self.final, forward=False)
+        alive = sorted(forward & backward)
+        if not alive:
+            # Keep a two-state automaton with no transitions (empty language).
+            return VA(2, 0, 1, ())
+        if self.initial == self.final:
+            alive = sorted(set(alive) | {self.initial})
+        index = {state: i for i, state in enumerate(alive)}
+        kept = tuple(
+            (index[source], label, index[target])
+            for source, label, target in self.transitions
+            if source in index and target in index
+        )
+        return VA(len(alive), index[self.initial], index[self.final], kept)
+
+    def describe(self) -> str:
+        """A human-readable multi-line description (debugging aid)."""
+        lines = [
+            f"VA with {self.num_states} states, initial {self.initial}, "
+            f"final {self.final}, variables {sorted(self.variables)}"
+        ]
+        for source, label, target in self.transitions:
+            lines.append(f"  {source} --{label}--> {target}")
+        return "\n".join(lines)
+
+
+def _closure(va: VA, start: int, forward: bool) -> set[int]:
+    adjacency: dict[int, list[int]] = {}
+    for source, _, target in va.transitions:
+        if forward:
+            adjacency.setdefault(source, []).append(target)
+        else:
+            adjacency.setdefault(target, []).append(source)
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        state = frontier.pop()
+        for nxt in adjacency.get(state, ()):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return seen
+
+
+class VABuilder:
+    """Mutable builder for :class:`VA` (and :class:`~repro.automata.vastk.VAStk`).
+
+    >>> b = VABuilder()
+    >>> s, t = b.add_states(2)
+    >>> b.add(s, EPS, t)
+    >>> b.build(initial=s, final=t).num_states
+    2
+    """
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._transitions: list[Transition] = []
+
+    def add_state(self) -> int:
+        state = self._count
+        self._count += 1
+        return state
+
+    def add_states(self, how_many: int) -> list[int]:
+        return [self.add_state() for _ in range(how_many)]
+
+    def add(self, source: int, label: Label, target: int) -> None:
+        self._transitions.append((source, label, target))
+
+    def add_word(self, source: int, word: str, target: int) -> None:
+        """A chain of letter transitions spelling ``word``."""
+        current = source
+        for i, letter in enumerate(word):
+            nxt = target if i == len(word) - 1 else self.add_state()
+            self.add(current, Sym(CharSet.single(letter)), nxt)
+            current = nxt
+        if not word:
+            self.add(source, EPS, target)
+
+    def add_gadget(self, source: int, variable: Variable, target: int) -> None:
+        """Open and immediately close ``variable`` (Theorem 6.6's gadget)."""
+        middle = self.add_state()
+        self.add(source, Open(variable), middle)
+        self.add(middle, Close(variable), target)
+
+    @property
+    def num_states(self) -> int:
+        return self._count
+
+    def build(self, initial: int, final: int) -> VA:
+        return VA(
+            num_states=max(self._count, initial + 1, final + 1),
+            initial=initial,
+            final=final,
+            transitions=tuple(self._transitions),
+        )
+
+    def build_vastk(self, initial: int, final: int):
+        """Build a variable-stack automaton instead (labels may use ``POP``)."""
+        from repro.automata.vastk import VAStk
+
+        return VAStk(
+            num_states=max(self._count, initial + 1, final + 1),
+            initial=initial,
+            final=final,
+            transitions=tuple(self._transitions),
+        )
+
+
+def is_deterministic(va: VA) -> bool:
+    """Section 6's determinism: at most one successor per state and symbol.
+
+    For letter transitions the symbols are character predicates; we require
+    that predicates on distinct out-edges of a state are pairwise disjoint
+    (so no character admits two successors), and that ε-transitions are
+    absent — an ε-move would make the machine's configuration relation
+    non-functional.
+    """
+    for state in range(va.num_states):
+        ops_seen: set[Label] = set()
+        charsets: list[CharSet] = []
+        for label, _ in va.out_edges(state):
+            if isinstance(label, Eps):
+                return False
+            if isinstance(label, (Open, Close)):
+                if label in ops_seen:
+                    return False
+                ops_seen.add(label)
+            else:
+                assert isinstance(label, Sym)
+                for previous in charsets:
+                    if previous.intersect(label.charset) is not None:
+                        return False
+                charsets.append(label.charset)
+    return True

@@ -1,0 +1,175 @@
+"""Variable-stack automata (VAstk) — paper, Appendix A.
+
+A VAstk behaves like a VA except that closing is the unnamed ``⊣`` (POP):
+variables are opened onto a stack and closed in LIFO order, which is what
+forces the produced mappings to be hierarchical (as RGX's are).  A run may
+leave variables on the stack at acceptance — those variables are unused and
+the mapping is undefined on them (the paper's relaxation of [8]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.alphabet import representative_alphabet
+from repro.automata.labels import Close, Eps, Label, Open, Pop, Sym
+from repro.spans.document import Document, as_text
+from repro.spans.mapping import Mapping, Variable
+from repro.spans.span import Span
+from repro.util.errors import AutomatonError
+
+Transition = tuple[int, Label, int]
+
+
+@dataclass(frozen=True)
+class VAStk:
+    """An immutable variable-stack automaton."""
+
+    num_states: int
+    initial: int
+    final: int
+    transitions: tuple[Transition, ...]
+    _out: tuple[tuple[tuple[Label, int], ...], ...] = field(
+        init=False, repr=False, compare=False, hash=False, default=None  # type: ignore[assignment]
+    )
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.initial < self.num_states:
+            raise AutomatonError(f"initial state {self.initial} out of range")
+        if not 0 <= self.final < self.num_states:
+            raise AutomatonError(f"final state {self.final} out of range")
+        for source, label, target in self.transitions:
+            if not (0 <= source < self.num_states and 0 <= target < self.num_states):
+                raise AutomatonError(
+                    f"transition ({source}, {label}, {target}) out of range"
+                )
+            if isinstance(label, Close):
+                raise AutomatonError(
+                    "VAstk uses the unnamed POP close, not Close(x)"
+                )
+            if not isinstance(label, (Eps, Sym, Open, Pop)):
+                raise AutomatonError(f"VAstk does not accept label {label!r}")
+        out: list[list[tuple[Label, int]]] = [[] for _ in range(self.num_states)]
+        for source, label, target in self.transitions:
+            out[source].append((label, target))
+        object.__setattr__(self, "_out", tuple(tuple(edges) for edges in out))
+
+    @property
+    def variables(self) -> frozenset[Variable]:
+        return frozenset(
+            label.variable
+            for _, label, _ in self.transitions
+            if isinstance(label, Open)
+        )
+
+    def out_edges(self, state: int) -> tuple[tuple[Label, int], ...]:
+        return self._out[state]
+
+    def size(self) -> int:
+        return self.num_states + len(self.transitions)
+
+    def letter_alphabet(self) -> list[str]:
+        return representative_alphabet(
+            label.charset
+            for _, label, _ in self.transitions
+            if isinstance(label, Sym)
+        )
+
+    # -- semantics ----------------------------------------------------------------
+
+    def evaluate(self, document: "Document | str") -> set[Mapping]:
+        """``⟦A⟧_d`` — all mappings of accepting runs (Appendix A).
+
+        Configurations are ``(state, position, stack, closed)`` where the
+        stack holds ``(variable, open position)`` pairs and ``closed`` the
+        finished assignments.  The search is a plain reachability over
+        configurations — exact but exponential; the efficient evaluators
+        live in :mod:`repro.evaluation`.
+        """
+        text = as_text(document)
+        end = len(text) + 1
+        initial = (self.initial, 1, (), frozenset())
+        seen = {initial}
+        frontier = [initial]
+        results: set[Mapping] = set()
+        while frontier:
+            state, pos, stack, closed = frontier.pop()
+            if state == self.final and pos == end:
+                # Variables still on the stack are unused.
+                results.add(Mapping(dict(closed)))
+            used = {entry[0] for entry in stack} | {entry[0] for entry in closed}
+            for label, target in self._out[state]:
+                if isinstance(label, Eps):
+                    nxt = (target, pos, stack, closed)
+                elif isinstance(label, Sym):
+                    if pos >= end or not label.charset.contains(text[pos - 1]):
+                        continue
+                    nxt = (target, pos + 1, stack, closed)
+                elif isinstance(label, Open):
+                    if label.variable in used:
+                        continue
+                    nxt = (target, pos, stack + ((label.variable, pos),), closed)
+                else:  # Pop
+                    if not stack:
+                        continue
+                    variable, open_pos = stack[-1]
+                    assignment = (variable, Span(open_pos, pos))
+                    nxt = (target, pos, stack[:-1], closed | {assignment})
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return results
+
+    def to_va(self) -> "object":
+        """An equivalent VA with *named* closes.
+
+        The VA simulates the stack in its state: product states are
+        ``(q, stack of variables)``.  Worst case factorial in the number of
+        variables — used by tests and small translations only.
+        """
+        from repro.automata.va import VA
+
+        states: dict[tuple[int, tuple[Variable, ...]], int] = {}
+        transitions: list[tuple[int, Label, int]] = []
+
+        def state_of(key: tuple[int, tuple[Variable, ...]]) -> int:
+            if key not in states:
+                states[key] = len(states)
+            return states[key]
+
+        initial_key = (self.initial, ())
+        frontier = [initial_key]
+        state_of(initial_key)
+        explored: set[tuple[int, tuple[Variable, ...]]] = {initial_key}
+        accepting: list[int] = []
+        while frontier:
+            key = frontier.pop()
+            state, stack = key
+            source = state_of(key)
+            if state == self.final:
+                accepting.append(source)
+            for label, target in self._out[state]:
+                if isinstance(label, Open):
+                    if label.variable in stack:
+                        # No valid run re-opens an open variable, and keeping
+                        # such stacks would make the state space unbounded.
+                        continue
+                    next_key = (target, stack + (label.variable,))
+                    out_label: Label = label
+                elif isinstance(label, Pop):
+                    if not stack:
+                        continue
+                    next_key = (target, stack[:-1])
+                    out_label = Close(stack[-1])
+                else:
+                    next_key = (target, stack)
+                    out_label = label
+                if next_key not in explored:
+                    explored.add(next_key)
+                    frontier.append(next_key)
+                transitions.append((source, out_label, state_of(next_key)))
+        final = len(states)
+        num_states = len(states) + 1
+        for state in accepting:
+            transitions.append((state, Eps(), final))
+        return VA(num_states, state_of(initial_key), final, tuple(transitions))

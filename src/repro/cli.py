@@ -1,0 +1,103 @@
+"""Command-line interface: ``python -m repro``.
+
+Extract mappings from documents with a variable regex, in the paper's
+mapping semantics::
+
+    $ python -m repro '.*Seller: x{[^,\\n]*},.*' registry.csv
+    {"x": "John"}
+    {"x": "Mark"}
+
+Modes:
+
+* default — one JSON object per output mapping (absent optional fields
+  are simply missing keys);
+* ``--spans`` — emit ``[begin, end]`` pairs instead of contents;
+* ``--check`` — print satisfiability, sequentiality and a witness
+  document for the pattern, then exit (static analysis, Section 6);
+* ``--count`` — print only the number of mappings.
+
+Reads from stdin when no file is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.spanner import Spanner
+from repro.util.errors import SpannerError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Document-spanner extraction with mapping semantics "
+            "(Maturana, Riveros, Vrgoč, PODS 2018)."
+        ),
+    )
+    parser.add_argument("pattern", help="variable regex, e.g. '.*x{a+}.*'")
+    parser.add_argument(
+        "file",
+        nargs="?",
+        help="document file (defaults to stdin)",
+    )
+    parser.add_argument(
+        "--spans",
+        action="store_true",
+        help="emit [begin, end] positions instead of contents",
+    )
+    parser.add_argument(
+        "--count",
+        action="store_true",
+        help="print only the number of output mappings",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="static analysis of the pattern (no document needed)",
+    )
+    return parser
+
+
+def run(argv: list[str] | None = None, stdin: str | None = None) -> int:
+    """Entry point; returns the process exit code (testable directly)."""
+    arguments = build_parser().parse_args(argv)
+    try:
+        spanner = Spanner.compile(arguments.pattern)
+    except SpannerError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if arguments.check:
+        print(f"variables:    {sorted(spanner.variables)}")
+        print(f"sequential:   {spanner.is_sequential}")
+        satisfiable = spanner.is_satisfiable()
+        print(f"satisfiable:  {satisfiable}")
+        if satisfiable:
+            print(f"witness:      {spanner.witness()!r}")
+        return 0
+
+    if arguments.file is not None:
+        with open(arguments.file, encoding="utf-8") as handle:
+            document = handle.read()
+    elif stdin is not None:
+        document = stdin
+    else:
+        document = sys.stdin.read()
+
+    if arguments.count:
+        print(len(spanner.mappings(document)))
+        return 0
+
+    for record in spanner.extract(document, spans=arguments.spans):
+        if arguments.spans:
+            payload = {
+                variable: [span.begin, span.end]
+                for variable, span in record.items()
+            }
+        else:
+            payload = record
+        print(json.dumps(payload, sort_keys=True, ensure_ascii=False))
+    return 0

@@ -1,0 +1,31 @@
+"""Evaluation of extraction languages (paper, Section 5)."""
+
+from repro.evaluation.enumerate import (
+    enumerate_direct,
+    enumerate_rgx,
+    enumerate_va,
+    enumerate_with_oracle,
+)
+from repro.evaluation.eval_problem import (
+    eval_general_va,
+    eval_rgx,
+    eval_sequential_va,
+    eval_va,
+    eval_va_permutation_baseline,
+    model_check_va,
+    non_empty_va,
+)
+
+__all__ = [
+    "enumerate_direct",
+    "enumerate_rgx",
+    "enumerate_va",
+    "enumerate_with_oracle",
+    "eval_general_va",
+    "eval_rgx",
+    "eval_sequential_va",
+    "eval_va",
+    "eval_va_permutation_baseline",
+    "model_check_va",
+    "non_empty_va",
+]

@@ -1,0 +1,87 @@
+"""Polynomial-delay enumeration via the ``Eval`` oracle (Theorem 5.1).
+
+Algorithm 2 of the paper: refine an extended mapping one variable at a
+time, trying every span of the document plus ``⊥``, and recurse only when
+the oracle confirms a completion still exists.  When ``Eval`` is decidable
+in polynomial time — sequential RGX/VA, Theorem 5.7 — the time between two
+consecutive outputs is ``O(|vars| · |d|² · poly)``, a polynomial delay.
+
+The module also exposes :func:`enumerate_direct`, the run-DAG evaluator of
+:mod:`repro.automata.simulate`, as the non-oracle baseline for ablation A1.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator
+
+from repro.automata.va import VA
+from repro.evaluation.eval_problem import eval_va
+from repro.spans.document import Document, as_text
+from repro.spans.mapping import NULL, ExtendedMapping, Mapping, Variable
+from repro.spans.span import Span
+
+EvalOracle = Callable[[ExtendedMapping], bool]
+
+
+def enumerate_with_oracle(
+    oracle: EvalOracle,
+    variables: Iterable[Variable],
+    document: "Document | str",
+    start: ExtendedMapping | None = None,
+) -> Iterator[Mapping]:
+    """Algorithm 2, generic in the oracle.
+
+    Yields every mapping ``µ' ∈ ⟦γ⟧_d`` with ``µ' ⊇ start`` exactly once
+    (each output corresponds to one full assignment of spans/⊥ to the
+    variables, and distinct assignments yield distinct mappings).
+    """
+    text = as_text(document)
+    ordered = sorted(set(variables))
+    spans = [Span(i, j) for i in range(1, len(text) + 2) for j in range(i, len(text) + 2)]
+    initial = ExtendedMapping.empty() if start is None else start
+
+    def recurse(current: ExtendedMapping, remaining: list[Variable]) -> Iterator[Mapping]:
+        if not oracle(current):
+            return
+        if not remaining:
+            yield current.assigned()
+            return
+        variable = remaining[0]
+        rest = remaining[1:]
+        if variable in current:
+            yield from recurse(current, rest)
+            return
+        for value in spans:
+            yield from recurse(current.pin(variable, value), rest)
+        yield from recurse(current.pin(variable, NULL), rest)
+
+    yield from recurse(initial, ordered)
+
+
+def enumerate_va(va: VA, document: "Document | str") -> Iterator[Mapping]:
+    """Enumerate ``⟦A⟧_d`` with the ``Eval[VA]`` oracle (poly delay when
+    the automaton is sequential)."""
+    text = as_text(document)
+
+    def oracle(candidate: ExtendedMapping) -> bool:
+        return eval_va(va, text, candidate)
+
+    return enumerate_with_oracle(oracle, va.mentioned_variables, text)
+
+
+def enumerate_rgx(expression, document: "Document | str") -> Iterator[Mapping]:
+    """Enumerate ``⟦γ⟧_d`` through the Thompson translation."""
+    from repro.automata.thompson import to_va
+
+    return enumerate_va(to_va(expression), document)
+
+
+def enumerate_direct(va: VA, document: "Document | str") -> Iterator[Mapping]:
+    """Baseline: materialise the run DAG and iterate (ablation A1).
+
+    Exact and usually fast, but offers no delay guarantee — the gap to
+    :func:`enumerate_va` is what benchmark A1 quantifies.
+    """
+    from repro.automata.simulate import evaluate_va
+
+    yield from evaluate_va(va, document)

@@ -1,0 +1,226 @@
+"""Polynomial evaluation of sequential tree-like rules (Theorem 5.9).
+
+The paper's algorithm embeds the pinned variable operations into the
+document and walks the rule tree with an alternating procedure, guessing
+the spans of free variables.  This module implements it as interval
+dynamic programming:
+
+* ``check(node, begin, end)`` (memoised) decides whether the node's
+  formula matches the document interval, consuming the *embedded
+  operations* of its pinned direct children (which both places and forces
+  them), recursing into children for their subtrees;
+* because spanRGX capture bodies are ``Σ*``, at most one child capture is
+  open at a time, so a DP state is just ``(nfa state, position, remaining
+  ops at this position, open position, matched required children)``;
+* free children with a pinned descendant are *required* — they must be
+  matched for the descendant to be instantiable — and tracked in the DP.
+
+``Eval`` in PTIME turns into polynomial-delay enumeration via
+Algorithm 2 (:func:`enumerate_treelike_rule`), which is what benchmark E7
+measures.
+"""
+
+from __future__ import annotations
+
+from repro.automata.labels import Close, Eps, Open, Sym
+from repro.automata.thompson import to_va
+from repro.automata.va import VA
+from repro.evaluation.enumerate import enumerate_with_oracle
+from repro.rules.graph import DOC, is_tree_like
+from repro.rules.rule import Rule
+from repro.spans.document import Document, as_text
+from repro.spans.mapping import ExtendedMapping, Mapping, Variable
+from repro.spans.span import Span
+from repro.util.errors import RuleError
+
+
+class _TreeRuleEvaluator:
+    def __init__(self, rule: Rule, text: str, pinned: ExtendedMapping) -> None:
+        self.text = text
+        self.end = len(text) + 1
+        self.rule = rule
+        self.formula_of: dict[str, object] = {DOC: rule.root}
+        self.formula_of.update(dict(rule.conjuncts))
+        self.automata: dict[str, VA] = {
+            node: to_va(formula) for node, formula in self.formula_of.items()
+        }
+        self.pinned_spans: dict[Variable, Span] = dict(pinned.assigned().items())
+        self.nulled: frozenset[Variable] = pinned.nulled()
+        self.children: dict[str, frozenset[Variable]] = {
+            node: formula.variables()
+            for node, formula in self.formula_of.items()
+        }
+        self._memo: dict[tuple[str, int, int], bool] = {}
+        self._required: dict[str, bool] = {}
+
+    # -- static structure ---------------------------------------------------------
+
+    def required(self, node: Variable) -> bool:
+        """Must this node be matched (pinned span here or deeper)?"""
+        cached = self._required.get(node)
+        if cached is not None:
+            return cached
+        result = node in self.pinned_spans or any(
+            self.required(child)
+            for child in self.children.get(node, frozenset())
+        )
+        self._required[node] = result
+        return result
+
+    def globally_consistent(self) -> bool:
+        """Cheap rejections before any DP (the paper's step-1 checks)."""
+        heads = set(self.rule.heads)
+        for variable in self.pinned_spans:
+            if variable not in heads:
+                return False
+        for variable in self.nulled:
+            # A ⊥-pinned variable with a pinned descendant is contradictory.
+            for child in self.children.get(variable, frozenset()):
+                if self.required(child):
+                    return False
+        return True
+
+    # -- the interval DP ------------------------------------------------------------
+
+    def check(self, node: str, begin: int, end: int) -> bool:
+        key = (node, begin, end)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        self._memo[key] = False  # cycle guard (tree: no real cycles)
+        result = self._run_dp(node, begin, end)
+        self._memo[key] = result
+        return result
+
+    def _batches(self, node: str, begin: int, end: int) -> dict[int, frozenset]:
+        """Embedded operations of pinned direct children, per position."""
+        batches: dict[int, set] = {}
+        for child in self.children.get(node, frozenset()):
+            span = self.pinned_spans.get(child)
+            if span is None:
+                continue
+            batches.setdefault(span.begin, set()).add(Open(child))
+            batches.setdefault(span.end, set()).add(Close(child))
+        return {
+            position: frozenset(ops) for position, ops in batches.items()
+        }
+
+    def _run_dp(self, node: str, begin: int, end: int) -> bool:
+        va = self.automata[node]
+        batches = self._batches(node, begin, end)
+        # Every embedded operation must lie inside the interval.
+        for position in batches:
+            if not begin <= position <= end:
+                return False
+        required_children = tuple(
+            sorted(
+                child
+                for child in self.children.get(node, frozenset())
+                if child not in self.pinned_spans and self.required(child)
+            )
+        )
+        all_required = frozenset(required_children)
+
+        def batch_at(position: int) -> frozenset:
+            return batches.get(position, frozenset())
+
+        # DP state: (va state, position, remaining ops here, open position
+        # of the current capture or None, matched required children).
+        start = (va.initial, begin, batch_at(begin), None, frozenset())
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            state, pos, remaining, open_pos, matched = frontier.pop()
+            if (
+                state == va.final
+                and pos == end
+                and not remaining
+                and matched == all_required
+            ):
+                return True
+            for label, target in va.out_edges(state):
+                moves = self._moves(
+                    label, target, pos, remaining, open_pos, matched, end, batch_at
+                )
+                for nxt in moves:
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        frontier.append(nxt)
+        return False
+
+    def _moves(
+        self,
+        label,
+        target: int,
+        pos: int,
+        remaining: frozenset,
+        open_pos,
+        matched: frozenset,
+        end: int,
+        batch_at,
+    ):
+        if isinstance(label, Eps):
+            yield (target, pos, remaining, open_pos, matched)
+            return
+        if isinstance(label, Sym):
+            if remaining or pos >= end or pos > len(self.text):
+                return
+            if label.charset.contains(self.text[pos - 1]):
+                yield (target, pos + 1, batch_at(pos + 1), open_pos, matched)
+            return
+        if isinstance(label, Open):
+            child = label.variable
+            if child in self.nulled:
+                return
+            if child in self.pinned_spans:
+                op = Open(child)
+                if op in remaining:
+                    yield (target, pos, remaining - {op}, pos, matched)
+                return
+            yield (target, pos, remaining, pos, matched)
+            return
+        if isinstance(label, Close):
+            child = label.variable
+            if open_pos is None:
+                return
+            if child in self.pinned_spans:
+                op = Close(child)
+                if op not in remaining:
+                    return
+                if not self.check(child, open_pos, pos):
+                    return
+                yield (target, pos, remaining - {op}, None, matched)
+                return
+            if not self.check(child, open_pos, pos):
+                return
+            new_matched = (
+                matched | {child} if self.required(child) else matched
+            )
+            yield (target, pos, remaining, None, new_matched)
+
+
+def eval_treelike_rule(
+    rule: Rule, document: "Document | str", pinned: ExtendedMapping
+) -> bool:
+    """``Eval`` for sequential tree-like rules, in polynomial time."""
+    if not is_tree_like(rule):
+        raise RuleError("Theorem 5.9 expects a tree-like rule")
+    if not rule.is_sequential():
+        raise RuleError("Theorem 5.9 expects sequential formulas")
+    normalized = rule.normalized()
+    text = as_text(document)
+    evaluator = _TreeRuleEvaluator(normalized, text, pinned)
+    if not evaluator.globally_consistent():
+        return False
+    return evaluator.check(DOC, 1, len(text) + 1)
+
+
+def enumerate_treelike_rule(rule: Rule, document: "Document | str"):
+    """Polynomial-delay enumeration of ``⟦ϕ⟧_d`` (Theorems 5.9 + 5.1)."""
+    text = as_text(document)
+    normalized = rule.normalized()
+
+    def oracle(candidate: ExtendedMapping) -> bool:
+        return eval_treelike_rule(normalized, text, candidate)
+
+    return enumerate_with_oracle(oracle, normalized.variables(), text)

@@ -1,0 +1,42 @@
+"""The paper's hardness reductions, doubling as benchmark workloads."""
+
+from repro.reductions.dnf_validity import (
+    DnfFormula,
+    brute_force_valid,
+    containment_holds,
+    random_dnf,
+    to_containment_instance,
+)
+from repro.reductions.hamiltonian import (
+    brute_force_hamiltonian,
+    random_graph,
+    to_relational_va,
+    va_nonempty_on_epsilon,
+)
+from repro.reductions.one_in_three_sat import (
+    OneInThreeInstance,
+    brute_force_one_in_three,
+    random_instance,
+    rule_nonempty_on_hash,
+    spanrgx_nonempty_on_epsilon,
+    to_daglike_rule,
+    to_spanrgx,
+)
+
+__all__ = [
+    "DnfFormula",
+    "OneInThreeInstance",
+    "brute_force_hamiltonian",
+    "brute_force_one_in_three",
+    "brute_force_valid",
+    "containment_holds",
+    "random_dnf",
+    "random_graph",
+    "random_instance",
+    "rule_nonempty_on_hash",
+    "spanrgx_nonempty_on_epsilon",
+    "to_containment_instance",
+    "to_daglike_rule",
+    "to_relational_va",
+    "to_spanrgx",
+]

@@ -1,0 +1,126 @@
+"""DNF validity → containment of deterministic sequential VA (Thm 6.6).
+
+A propositional formula in disjunctive normal form (three literals per
+clause) is valid iff every valuation satisfies some clause.  The paper
+encodes valuations as mappings over the empty document: automaton ``A1``
+forces a choice between the gadgets ``p_i`` / ``p̄_i`` for every
+proposition and then tags all clause variables; automaton ``A2`` has one
+branch per clause accepting exactly the valuations that satisfy it.  Then
+``A1 ⊆ A2`` iff the DNF is valid.
+
+Both automata are deterministic and sequential but *not* point-disjoint
+(all spans share the point 1), matching Theorem 6.6's coNP-hardness —
+benchmark E12 contrasts this with the polynomial point-disjoint case.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import product
+
+from repro.automata.va import VA, VABuilder
+
+Literal = tuple[str, bool]  # (proposition, is_positive)
+
+
+@dataclass(frozen=True)
+class DnfFormula:
+    """A disjunction of conjunctive clauses (three literals each)."""
+
+    clauses: tuple[tuple[Literal, Literal, Literal], ...]
+
+    @property
+    def propositions(self) -> tuple[str, ...]:
+        names: set[str] = set()
+        for clause in self.clauses:
+            for proposition, _ in clause:
+                names.add(proposition)
+        return tuple(sorted(names))
+
+    def satisfied_by(self, valuation: dict[str, bool]) -> bool:
+        return any(
+            all(valuation[p] == positive for p, positive in clause)
+            for clause in self.clauses
+        )
+
+
+def brute_force_valid(formula: DnfFormula) -> bool:
+    """Exhaustive validity check (reference for the tests)."""
+    names = formula.propositions
+    for values in product((False, True), repeat=len(names)):
+        if not formula.satisfied_by(dict(zip(names, values))):
+            return False
+    return True
+
+
+def random_dnf(clause_count: int, proposition_count: int, seed: int = 0) -> DnfFormula:
+    rng = random.Random(seed)
+    names = [f"p{i}" for i in range(max(proposition_count, 3))]
+    clauses = []
+    for _ in range(clause_count):
+        chosen = rng.sample(names, 3)
+        clauses.append(tuple((name, rng.random() < 0.5) for name in chosen))
+    return DnfFormula(tuple(clauses))
+
+
+def _literal_variable(proposition: str, positive: bool) -> str:
+    return proposition if positive else f"not_{proposition}"
+
+
+def to_containment_instance(formula: DnfFormula) -> tuple[VA, VA]:
+    """The pair ``(A1, A2)`` with ``A1 ⊆ A2`` iff the formula is valid."""
+    propositions = formula.propositions
+    clauses = formula.clauses
+
+    first = VABuilder()
+    chain = first.add_states(len(propositions) + len(clauses) + 1)
+    for i, proposition in enumerate(propositions):
+        first.add_gadget(chain[i], _literal_variable(proposition, True), chain[i + 1])
+        first.add_gadget(chain[i], _literal_variable(proposition, False), chain[i + 1])
+    offset = len(propositions)
+    for j in range(len(clauses)):
+        first.add_gadget(chain[offset + j], f"c{j}", chain[offset + j + 1])
+    a1 = first.build(initial=chain[0], final=chain[-1])
+
+    second = VABuilder()
+    start = second.add_state()
+    final = second.add_state()
+    for index, clause in enumerate(clauses):
+        current = second.add_state()
+        second.add_gadget(start, f"c{index}", current)
+        for proposition, positive in clause:
+            nxt = second.add_state()
+            second.add_gadget(current, _literal_variable(proposition, positive), nxt)
+            current = nxt
+        in_clause = {proposition for proposition, _ in clause}
+        for proposition in propositions:
+            if proposition in in_clause:
+                continue
+            nxt = second.add_state()
+            second.add_gadget(current, _literal_variable(proposition, True), nxt)
+            second.add_gadget(current, _literal_variable(proposition, False), nxt)
+            current = nxt
+        for other in range(len(clauses)):
+            if other == index:
+                continue
+            nxt = second.add_state()
+            second.add_gadget(current, f"c{other}", nxt)
+            current = nxt
+        second.add(current, _eps(), final)
+    a2 = second.build(initial=start, final=final)
+    return a1, a2
+
+
+def _eps():
+    from repro.automata.labels import EPS
+
+    return EPS
+
+
+def containment_holds(formula: DnfFormula) -> bool:
+    """Decide validity through the reduction (general containment)."""
+    from repro.analysis.containment import contained_va
+
+    first, second = to_containment_instance(formula)
+    return contained_va(first, second)

@@ -1,0 +1,82 @@
+"""Hamiltonian path → relational VA (Proposition 5.4, Figure 4).
+
+The automaton opens every vertex variable at the initial state (in any
+subset), then closes one variable per step along edges of the graph; an
+accepting run closes ``|V|`` *distinct* variables — possible iff the
+closing order follows a Hamiltonian path.  Every accepting run assigns
+every variable the span ``(1, 1)`` over the empty document, so the
+automaton is *relational* (all outputs share one domain), yet its
+non-emptiness is NP-complete — the paper's point that the relational
+restriction alone does not buy tractability.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import permutations
+
+from repro.automata.labels import EPS, Close, Open
+from repro.automata.va import VA, VABuilder
+
+Graph = dict[str, set[str]]
+
+
+def random_graph(vertex_count: int, edge_probability: float, seed: int = 0) -> Graph:
+    """A random directed graph on ``v0 .. v{n-1}``."""
+    rng = random.Random(seed)
+    vertices = [f"v{i}" for i in range(vertex_count)]
+    graph: Graph = {v: set() for v in vertices}
+    for source in vertices:
+        for target in vertices:
+            if source != target and rng.random() < edge_probability:
+                graph[source].add(target)
+    return graph
+
+
+def brute_force_hamiltonian(graph: Graph) -> bool:
+    """Exhaustive Hamiltonian-path check (reference for the tests)."""
+    vertices = sorted(graph)
+    for order in permutations(vertices):
+        if all(order[i + 1] in graph[order[i]] for i in range(len(order) - 1)):
+            return True
+    return not vertices
+
+
+def to_relational_va(graph: Graph) -> VA:
+    """The Figure 4 construction.
+
+    States: ``q0``, ``qf`` and ``p_{v,i}`` for each vertex ``v`` and level
+    ``i ∈ [1, |V|]``.  Transitions: ``(q0, x_v⊢, q0)`` opens any subset of
+    vertex variables; ``(q0, ⊣x_v, p_{v,1})`` starts the path anywhere;
+    ``(p_{u,i}, ⊣x_v, p_{v,i+1})`` for each edge ``(u, v)``; and
+    ``(p_{v,|V|}, ε, qf)``.
+    """
+    vertices = sorted(graph)
+    count = len(vertices)
+    builder = VABuilder()
+    q0 = builder.add_state()
+    qf = builder.add_state()
+    level_state: dict[tuple[str, int], int] = {}
+    for vertex in vertices:
+        for level in range(1, count + 1):
+            level_state[(vertex, level)] = builder.add_state()
+    for vertex in vertices:
+        builder.add(q0, Open(f"x_{vertex}"), q0)
+        builder.add(q0, Close(f"x_{vertex}"), level_state[(vertex, 1)])
+        builder.add(level_state[(vertex, count)], EPS, qf)
+    for source in vertices:
+        for target in sorted(graph[source]):
+            for level in range(1, count):
+                builder.add(
+                    level_state[(source, level)],
+                    Close(f"x_{target}"),
+                    level_state[(target, level + 1)],
+                )
+    return builder.build(initial=q0, final=qf)
+
+
+def va_nonempty_on_epsilon(graph: Graph) -> bool:
+    """Decide Hamiltonicity through the reduction (NonEmp over ``""``)."""
+    from repro.evaluation.eval_problem import non_empty_va
+
+    return non_empty_va(to_relational_va(graph), "")

@@ -1,0 +1,368 @@
+"""Abstract syntax of variable regex (RGX) — paper, Section 3.1.
+
+The grammar is::
+
+    γ := ε | a | x{γ} | γ . γ | γ | γ | γ*
+
+with ``a ∈ Σ`` and ``x ∈ V``.  Two ergonomic extensions that do not change
+expressiveness:
+
+* letters are :class:`~repro.alphabet.CharSet` predicates, so ``Σ`` (any
+  letter) and ``Σ - S`` are single nodes instead of huge unions — exactly how
+  the paper itself writes expressions such as ``x{(Σ - {,})*}``;
+* concatenation and union are n-ary (flattened), which keeps printed
+  expressions readable; semantics are unaffected by associativity.
+
+Nodes are immutable and hashable; ``str()`` produces concrete syntax that
+:func:`repro.rgx.parser.parse` reads back (round-trip property-tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.alphabet import CharSet
+from repro.spans.mapping import Variable
+from repro.util.errors import SpannerError
+
+# Characters that must be escaped in concrete syntax.
+_META = set("(){}|*+?.[]\\ε")
+
+
+def _escape(char: str) -> str:
+    if char in _META or char in "\n\t\r":
+        named = {"\n": "\\n", "\t": "\\t", "\r": "\\r"}
+        return named.get(char, "\\" + char)
+    return char
+
+
+def _starts_with_binding(piece: str) -> bool:
+    """Does the printed text begin with ``ident{`` (a variable binding)?"""
+    index = 0
+    while index < len(piece) and (piece[index].isalnum() or piece[index] == "_"):
+        index += 1
+    return index > 0 and index < len(piece) and piece[index] == "{"
+
+
+@dataclass(frozen=True)
+class Rgx:
+    """Base class of RGX nodes."""
+
+    def variables(self) -> frozenset[Variable]:
+        """``var(γ)`` — all variables occurring in the expression."""
+        raise NotImplementedError
+
+    def size(self) -> int:
+        """Number of AST nodes (the |γ| used in complexity statements)."""
+        raise NotImplementedError
+
+    def children(self) -> tuple["Rgx", ...]:
+        return ()
+
+    # precedence levels for printing: union 0 < concat 1 < star/atom 2
+    def _precedence(self) -> int:
+        return 2
+
+    def _printed(self, parent_precedence: int) -> str:
+        text = str(self)
+        if self._precedence() < parent_precedence:
+            return f"({text})"
+        return text
+
+    def __or__(self, other: "Rgx") -> "Rgx":
+        return union(self, other)
+
+    def __mul__(self, other: "Rgx") -> "Rgx":
+        return concat(self, other)
+
+
+@dataclass(frozen=True)
+class Epsilon(Rgx):
+    """The empty word ``ε``."""
+
+    def variables(self) -> frozenset[Variable]:
+        return frozenset()
+
+    def size(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return "ε"
+
+
+@dataclass(frozen=True)
+class Letter(Rgx):
+    """A single-letter predicate: one character drawn from a charset.
+
+    ``Letter(CharSet.single("a"))`` is the paper's ``a``;
+    ``Letter(CharSet.any())`` is ``Σ``; printed as ``.`` / classes ``[...]``.
+    """
+
+    charset: CharSet
+
+    def variables(self) -> frozenset[Variable]:
+        return frozenset()
+
+    def size(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        if self.charset.is_single():
+            return _escape(self.charset.the_single())
+        if self.charset.negated and not self.charset.chars:
+            return "."
+        prefix = "^" if self.charset.negated else ""
+        listed = "".join(_escape(c) for c in sorted(self.charset.chars))
+        return f"[{prefix}{listed}]"
+
+
+@dataclass(frozen=True)
+class VarBind(Rgx):
+    """``x{γ}`` — capture the span matched by ``γ`` into variable ``x``."""
+
+    variable: Variable
+    body: Rgx
+
+    def variables(self) -> frozenset[Variable]:
+        return self.body.variables() | {self.variable}
+
+    def size(self) -> int:
+        return 1 + self.body.size()
+
+    def children(self) -> tuple[Rgx, ...]:
+        return (self.body,)
+
+    def __str__(self) -> str:
+        return f"{self.variable}{{{self.body}}}"
+
+
+@dataclass(frozen=True)
+class Concat(Rgx):
+    """``γ1 . γ2 . ... . γn`` (n-ary, n >= 2, flattened)."""
+
+    parts: tuple[Rgx, ...]
+    _vars: frozenset[Variable] = field(init=False, repr=False, compare=False, hash=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise SpannerError("Concat requires at least two parts")
+        if any(isinstance(part, Concat) for part in self.parts):
+            raise SpannerError("Concat parts must be flattened (use concat())")
+        object.__setattr__(self, "_vars", None)
+
+    def variables(self) -> frozenset[Variable]:
+        if self._vars is None:
+            combined = frozenset().union(*(p.variables() for p in self.parts))
+            object.__setattr__(self, "_vars", combined)
+        return self._vars
+
+    def size(self) -> int:
+        return 1 + sum(part.size() for part in self.parts)
+
+    def children(self) -> tuple[Rgx, ...]:
+        return self.parts
+
+    def _precedence(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        pieces: list[str] = []
+        for part in self.parts:
+            piece = part._printed(1)
+            if (
+                pieces
+                and pieces[-1]
+                and (pieces[-1][-1].isalnum() or pieces[-1][-1] == "_")
+                and _starts_with_binding(piece)
+            ):
+                # "a" followed by "y{...}" would re-parse as variable "ay";
+                # parenthesise the binding to keep printing injective.
+                piece = f"({piece})"
+            pieces.append(piece)
+        return "".join(pieces)
+
+
+@dataclass(frozen=True)
+class Union(Rgx):
+    """``γ1 | γ2 | ... | γn`` (n-ary, n >= 2, flattened)."""
+
+    options: tuple[Rgx, ...]
+    _vars: frozenset[Variable] = field(init=False, repr=False, compare=False, hash=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if len(self.options) < 2:
+            raise SpannerError("Union requires at least two options")
+        if any(isinstance(option, Union) for option in self.options):
+            raise SpannerError("Union options must be flattened (use union())")
+        object.__setattr__(self, "_vars", None)
+
+    def variables(self) -> frozenset[Variable]:
+        if self._vars is None:
+            combined = frozenset().union(*(o.variables() for o in self.options))
+            object.__setattr__(self, "_vars", combined)
+        return self._vars
+
+    def size(self) -> int:
+        return 1 + sum(option.size() for option in self.options)
+
+    def children(self) -> tuple[Rgx, ...]:
+        return self.options
+
+    def _precedence(self) -> int:
+        return 0
+
+    def __str__(self) -> str:
+        return "|".join(option._printed(1) for option in self.options)
+
+
+@dataclass(frozen=True)
+class Star(Rgx):
+    """``γ*`` — Kleene closure."""
+
+    body: Rgx
+
+    def variables(self) -> frozenset[Variable]:
+        return self.body.variables()
+
+    def size(self) -> int:
+        return 1 + self.body.size()
+
+    def children(self) -> tuple[Rgx, ...]:
+        return (self.body,)
+
+    def __str__(self) -> str:
+        return f"{self.body._printed(2)}*"
+
+
+# ---------------------------------------------------------------------------
+# smart constructors (the public way to build expressions programmatically)
+# ---------------------------------------------------------------------------
+
+EPSILON = Epsilon()
+ANY = Letter(CharSet.any())
+ANY_STAR = Star(ANY)
+
+
+def char(letter: str) -> Letter:
+    """A single concrete letter ``a``."""
+    if len(letter) != 1:
+        raise SpannerError(f"char() takes a single character, got {letter!r}")
+    return Letter(CharSet.single(letter))
+
+
+def chars(allowed: str) -> Letter:
+    """One letter from a finite set, e.g. ``chars("abc")`` is ``[abc]``."""
+    return Letter(CharSet.of(allowed))
+
+
+def not_chars(excluded: str) -> Letter:
+    """One letter *not* in the set — the paper's ``Σ - {...}``."""
+    return Letter(CharSet.excluding(excluded))
+
+
+def string(text: str) -> Rgx:
+    """The concatenation of the letters of ``text`` (``ε`` when empty)."""
+    if not text:
+        return EPSILON
+    if len(text) == 1:
+        return char(text)
+    return Concat(tuple(char(c) for c in text))
+
+
+def concat(*parts: Rgx) -> Rgx:
+    """Flattening n-ary concatenation; identity on a single part."""
+    flat: list[Rgx] = []
+    for part in parts:
+        if isinstance(part, Concat):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return EPSILON
+    if len(flat) == 1:
+        return flat[0]
+    return Concat(tuple(flat))
+
+
+def union(*options: Rgx) -> Rgx:
+    """Flattening n-ary union; identity on a single option."""
+    flat: list[Rgx] = []
+    for option in options:
+        if isinstance(option, Union):
+            flat.extend(option.options)
+        else:
+            flat.append(option)
+    if not flat:
+        raise SpannerError("union() of zero options (the paper's RGX has no ∅)")
+    if len(flat) == 1:
+        return flat[0]
+    return Union(tuple(flat))
+
+
+def star(body: Rgx) -> Star:
+    """``γ*``."""
+    return Star(body)
+
+
+def plus(body: Rgx) -> Rgx:
+    """``γ+`` — sugar for ``γ . γ*``."""
+    return concat(body, Star(body))
+
+
+def optional(body: Rgx) -> Rgx:
+    """``γ?`` — sugar for ``γ | ε``; the paper's idiom for optional fields."""
+    return union(body, EPSILON)
+
+
+def var(variable: Variable, body: Rgx | None = None) -> VarBind:
+    """``x{γ}``; with no body, the spanRGX convention ``x{Σ*}``."""
+    return VarBind(variable, ANY_STAR if body is None else body)
+
+
+def concat_all(parts: list[Rgx]) -> Rgx:
+    """Concatenation of a list (``ε`` when empty)."""
+    return concat(*parts) if parts else EPSILON
+
+
+def union_all(options: list[Rgx]) -> Rgx:
+    """Union of a non-empty list."""
+    return union(*options)
+
+
+def walk(expression: Rgx):
+    """Yield every subexpression, root first (pre-order)."""
+    stack = [expression]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children()))
+
+
+def map_expression(expression: Rgx, transform) -> Rgx:
+    """Rebuild an expression bottom-up, applying ``transform`` to each node.
+
+    ``transform(node)`` receives a node whose children have already been
+    transformed, and returns its replacement.
+    """
+    if isinstance(expression, VarBind):
+        rebuilt: Rgx = VarBind(expression.variable, map_expression(expression.body, transform))
+    elif isinstance(expression, Concat):
+        rebuilt = concat(*(map_expression(p, transform) for p in expression.parts))
+    elif isinstance(expression, Union):
+        rebuilt = union(*(map_expression(o, transform) for o in expression.options))
+    elif isinstance(expression, Star):
+        rebuilt = Star(map_expression(expression.body, transform))
+    else:
+        rebuilt = expression
+    return transform(rebuilt)
+
+
+def rename_variables(expression: Rgx, renaming: dict[Variable, Variable]) -> Rgx:
+    """A copy of the expression with variables renamed."""
+
+    def transform(node: Rgx) -> Rgx:
+        if isinstance(node, VarBind) and node.variable in renaming:
+            return VarBind(renaming[node.variable], node.body)
+        return node
+
+    return map_expression(expression, transform)

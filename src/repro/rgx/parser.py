@@ -1,0 +1,222 @@
+"""Concrete syntax parser for variable regex.
+
+The syntax mirrors the paper's notation as closely as plain text allows:
+
+===========================  ==================================================
+Syntax                       Meaning
+===========================  ==================================================
+``a``                        a letter of the alphabet
+``ε`` or ``\\e``             the empty word
+``.``                        ``Σ`` — any single letter
+``[abc]`` / ``[^abc]``       a letter in / not in the set (ranges ``[a-z]`` ok)
+``x{γ}``                     bind the span of ``γ`` to variable ``x``
+``γ1γ2``                     concatenation (juxtaposition)
+``γ1|γ2``                    union
+``γ*`` / ``γ+`` / ``γ?``     Kleene star / plus (sugar) / optional (sugar)
+``(γ)``                      grouping
+``\\x``                      escape a metacharacter (also ``\\n``, ``\\t``)
+===========================  ==================================================
+
+A variable name is an identifier (``[A-Za-z_][A-Za-z0-9_]*``) **immediately
+followed by** ``{``; any other identifier character is an ordinary letter.
+Whitespace is significant (documents contain spaces), exactly as in the
+paper's CSV examples.
+
+>>> from repro.rgx import parse
+>>> parse("a|b").options
+(Letter(charset=CharSet(chars=frozenset({'a'}), negated=False)), Letter(charset=CharSet(chars=frozenset({'b'}), negated=False)))
+"""
+
+from __future__ import annotations
+
+from repro.alphabet import CharSet
+from repro.rgx.ast import (
+    EPSILON,
+    Letter,
+    Rgx,
+    Star,
+    VarBind,
+    concat,
+    optional,
+    plus,
+    union,
+)
+from repro.util.errors import ParseError
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | set("0123456789")
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "e": ""}
+
+
+class _Parser:
+    """A hand-written recursive-descent parser (union < concat < postfix)."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    # -- character stream ------------------------------------------------------
+
+    def _peek(self) -> str | None:
+        if self.pos < len(self.text):
+            return self.text[self.pos]
+        return None
+
+    def _advance(self) -> str:
+        char = self.text[self.pos]
+        self.pos += 1
+        return char
+
+    def _expect(self, char: str) -> None:
+        if self._peek() != char:
+            raise ParseError(f"expected {char!r}", self.pos)
+        self._advance()
+
+    def _fail(self, message: str) -> ParseError:
+        return ParseError(message, self.pos)
+
+    # -- grammar -----------------------------------------------------------------
+
+    def parse(self) -> Rgx:
+        expression = self._union()
+        if self.pos != len(self.text):
+            raise self._fail(f"unexpected character {self._peek()!r}")
+        return expression
+
+    def _union(self) -> Rgx:
+        options = [self._concat()]
+        while self._peek() == "|":
+            self._advance()
+            options.append(self._concat())
+        return union(*options)
+
+    def _concat(self) -> Rgx:
+        parts: list[Rgx] = []
+        while True:
+            char = self._peek()
+            if char is None or char in ")|}":
+                break
+            parts.append(self._postfix())
+        if not parts:
+            return EPSILON
+        return concat(*parts)
+
+    def _postfix(self) -> Rgx:
+        expression = self._atom()
+        while True:
+            char = self._peek()
+            if char == "*":
+                self._advance()
+                expression = Star(expression)
+            elif char == "+":
+                self._advance()
+                expression = plus(expression)
+            elif char == "?":
+                self._advance()
+                expression = optional(expression)
+            else:
+                return expression
+
+    def _atom(self) -> Rgx:
+        char = self._peek()
+        if char is None:
+            raise self._fail("unexpected end of expression")
+        if char == "(":
+            self._advance()
+            inner = self._union()
+            self._expect(")")
+            return inner
+        if char == "[":
+            return self._char_class()
+        if char == ".":
+            self._advance()
+            return Letter(CharSet.any())
+        if char == "ε":
+            self._advance()
+            return EPSILON
+        if char == "\\":
+            return self._escaped()
+        if char in "{}*+?":
+            raise self._fail(f"unexpected metacharacter {char!r}")
+        if char in _IDENT_START:
+            return self._identifier_or_letters()
+        self._advance()
+        return Letter(CharSet.single(char))
+
+    def _escaped(self) -> Rgx:
+        self._advance()  # the backslash
+        char = self._peek()
+        if char is None:
+            raise self._fail("dangling escape")
+        self._advance()
+        if char in _ESCAPES:
+            replacement = _ESCAPES[char]
+            if replacement == "":
+                return EPSILON
+            return Letter(CharSet.single(replacement))
+        return Letter(CharSet.single(char))
+
+    def _identifier_or_letters(self) -> Rgx:
+        """Disambiguate ``x{...}`` (variable) from a run of letter characters.
+
+        We scan the identifier; if it is immediately followed by ``{`` the
+        whole identifier is a variable name, otherwise we consume only its
+        *first* character as a letter (the rest will be parsed as further
+        concatenation atoms, keeping ``ab*`` == ``a(b)*``).
+        """
+        start = self.pos
+        while self._peek() is not None and self.text[self.pos] in _IDENT_CONT:
+            self.pos += 1
+        identifier = self.text[start : self.pos]
+        if self._peek() == "{":
+            self._advance()
+            body = self._union()
+            self._expect("}")
+            return VarBind(identifier, body)
+        # Not a variable: rewind and emit a single letter.
+        self.pos = start + 1
+        return Letter(CharSet.single(self.text[start]))
+
+    def _char_class(self) -> Rgx:
+        self._expect("[")
+        negated = False
+        if self._peek() == "^":
+            negated = True
+            self._advance()
+        members: set[str] = set()
+        while True:
+            char = self._peek()
+            if char is None:
+                raise self._fail("unterminated character class")
+            if char == "]":
+                self._advance()
+                break
+            if char == "\\":
+                self._advance()
+                escaped = self._peek()
+                if escaped is None:
+                    raise self._fail("dangling escape in character class")
+                self._advance()
+                members.add(_ESCAPES.get(escaped, escaped) or escaped)
+                continue
+            self._advance()
+            if self._peek() == "-" and self.pos + 1 < len(self.text) and self.text[self.pos + 1] != "]":
+                self._advance()  # the dash
+                high = self._advance()
+                if ord(high) < ord(char):
+                    raise self._fail(f"invalid range {char}-{high}")
+                members.update(chr(code) for code in range(ord(char), ord(high) + 1))
+            else:
+                members.add(char)
+        if not members and not negated:
+            raise self._fail("empty character class matches nothing")
+        return Letter(CharSet(frozenset(members), negated=negated))
+
+
+def parse(text: str) -> Rgx:
+    """Parse concrete RGX syntax into an AST.
+
+    >>> parse("x{a*}b").parts[0].variable
+    'x'
+    """
+    return _Parser(text).parse()

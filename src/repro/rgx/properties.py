@@ -1,0 +1,165 @@
+"""Syntactic classes of RGX: functional, sequential, spanRGX.
+
+* **funcRGX** (Section 4.1) — the original regex formulas of Fagin et al.:
+  every word derivable from the expression assigns *exactly* the same set of
+  variables, namely ``var(γ)``.
+* **seqRGX** (Section 5.2) — the paper's key tractability condition: no
+  variable is shared between concatenated subexpressions, stars are
+  variable-free (and, so that Theorem 5.7's induction goes through, a
+  binding ``x{γ}`` never re-mentions ``x`` inside ``γ``).
+* **spanRGX** (Section 3.3) — the span regular expressions of Arenas et al.:
+  every binding's body is ``Σ*``.
+
+``funcRGX ⊆ seqRGX`` (used by Proposition 5.3), which is property-tested.
+"""
+
+from __future__ import annotations
+
+from repro.rgx.ast import (
+    ANY_STAR,
+    Concat,
+    Epsilon,
+    Letter,
+    Rgx,
+    Star,
+    Union,
+    VarBind,
+)
+from repro.spans.mapping import Variable
+from repro.util.errors import SpannerError
+
+
+def functional_set(expression: Rgx) -> frozenset[Variable] | None:
+    """The unique ``X`` such that the expression is functional wrt ``X``.
+
+    Returns ``None`` when the expression is not functional.  Every RGX
+    derives at least one word (there is no ``∅``), so when the expression is
+    functional the witness set is unique and equals ``var(γ)``.
+    """
+    if isinstance(expression, (Epsilon, Letter)):
+        return frozenset()
+    if isinstance(expression, VarBind):
+        inner = functional_set(expression.body)
+        if inner is None or expression.variable in inner:
+            return None
+        return inner | {expression.variable}
+    if isinstance(expression, Concat):
+        combined: frozenset[Variable] = frozenset()
+        for part in expression.parts:
+            part_set = functional_set(part)
+            if part_set is None or combined & part_set:
+                return None
+            combined |= part_set
+        return combined
+    if isinstance(expression, Union):
+        sets = [functional_set(option) for option in expression.options]
+        first = sets[0]
+        if first is None or any(other != first for other in sets[1:]):
+            return None
+        return first
+    if isinstance(expression, Star):
+        if expression.body.variables():
+            return None
+        return frozenset()
+    raise SpannerError(f"unknown RGX node {expression!r}")
+
+
+def is_functional(expression: Rgx) -> bool:
+    """Membership in funcRGX — the class of Theorem 4.1."""
+    return functional_set(expression) is not None
+
+
+def is_sequential(expression: Rgx) -> bool:
+    """Membership in seqRGX — the tractable fragment of Theorem 5.7."""
+    if isinstance(expression, (Epsilon, Letter)):
+        return True
+    if isinstance(expression, VarBind):
+        if expression.variable in expression.body.variables():
+            return False
+        return is_sequential(expression.body)
+    if isinstance(expression, Concat):
+        seen: set[Variable] = set()
+        for part in expression.parts:
+            part_vars = part.variables()
+            if seen & part_vars:
+                return False
+            seen |= part_vars
+        return all(is_sequential(part) for part in expression.parts)
+    if isinstance(expression, Union):
+        return all(is_sequential(option) for option in expression.options)
+    if isinstance(expression, Star):
+        return not expression.body.variables()
+    raise SpannerError(f"unknown RGX node {expression!r}")
+
+
+def is_span_rgx(expression: Rgx) -> bool:
+    """Membership in spanRGX: every binding body is ``Σ*`` (Section 3.3)."""
+    if isinstance(expression, (Epsilon, Letter)):
+        return True
+    if isinstance(expression, VarBind):
+        return expression.body == ANY_STAR
+    if isinstance(expression, (Concat, Union)):
+        return all(is_span_rgx(child) for child in expression.children())
+    if isinstance(expression, Star):
+        return is_span_rgx(expression.body)
+    raise SpannerError(f"unknown RGX node {expression!r}")
+
+
+def is_proper_span_rgx(expression: Rgx) -> bool:
+    """The *proper* span regular expressions of Theorem 4.2.
+
+    [2] syntactically allows ``x{Σ*} . x{Σ*}``, which under mapping
+    semantics is unsatisfiable; proper expressions prohibit reusing a
+    variable along a concatenation or under a star.  On spanRGX this
+    coincides with sequentiality.
+    """
+    return is_span_rgx(expression) and is_sequential(expression)
+
+
+def is_variable_free(expression: Rgx) -> bool:
+    """True for ordinary regular expressions (no capture variables)."""
+    return not expression.variables()
+
+
+def derives_epsilon(expression: Rgx) -> bool:
+    """Can the expression derive the empty word (ignoring variables)?
+
+    Variables binding the empty span are permitted, so ``x{ε}`` derives ε
+    in the sense relevant here: it can match an empty region.
+    """
+    if isinstance(expression, Epsilon):
+        return True
+    if isinstance(expression, Letter):
+        return False
+    if isinstance(expression, Star):
+        return True
+    if isinstance(expression, VarBind):
+        return derives_epsilon(expression.body)
+    if isinstance(expression, Concat):
+        return all(derives_epsilon(part) for part in expression.parts)
+    if isinstance(expression, Union):
+        return any(derives_epsilon(option) for option in expression.options)
+    raise SpannerError(f"unknown RGX node {expression!r}")
+
+
+def derives_only_epsilon(expression: Rgx) -> bool:
+    """Can the expression *only* match empty regions?
+
+    Used by the cycle-elimination colouring of Theorem 4.7 (a node is black
+    when every derivable word contains an alphabet symbol — i.e. when its
+    expression does not satisfy this predicate ... see `nu`):
+    here we ask the dual question needed by Proposition 4.9's rewriting.
+    """
+    if isinstance(expression, Epsilon):
+        return True
+    if isinstance(expression, Letter):
+        return False
+    if isinstance(expression, Star):
+        return derives_only_epsilon(expression.body)
+    if isinstance(expression, VarBind):
+        return derives_only_epsilon(expression.body)
+    if isinstance(expression, Concat):
+        return all(derives_only_epsilon(part) for part in expression.parts)
+    if isinstance(expression, Union):
+        return all(derives_only_epsilon(option) for option in expression.options)
+    raise SpannerError(f"unknown RGX node {expression!r}")

@@ -1,0 +1,67 @@
+"""Conservative, semantics-preserving RGX simplifications.
+
+State elimination (Theorem 4.3) and the rule translations of Section 4.3
+generate syntactically noisy expressions (``ε . (ε . a)* . ε`` and the
+like).  :func:`simplify` applies identities that hold under the Table 2
+mapping semantics for *arbitrary* RGX (each is justified in the code):
+
+* ``ε`` units in concatenations are dropped;
+* ``ε* = ε`` and ``(γ*)* = γ*``;
+* duplicate union options are merged;
+* singleton concatenations/unions collapse.
+
+The simplifier never changes ``⟦γ⟧_d`` (property-tested against the
+reference evaluator).
+"""
+
+from __future__ import annotations
+
+from repro.rgx.ast import (
+    EPSILON,
+    Concat,
+    Epsilon,
+    Rgx,
+    Star,
+    Union,
+    VarBind,
+    concat,
+    union,
+)
+
+
+def simplify(expression: Rgx) -> Rgx:
+    """Apply the identities bottom-up until no rule fires."""
+    previous = None
+    current = expression
+    while current != previous:
+        previous = current
+        current = _once(current)
+    return current
+
+
+def _once(expression: Rgx) -> Rgx:
+    if isinstance(expression, VarBind):
+        return VarBind(expression.variable, _once(expression.body))
+    if isinstance(expression, Concat):
+        parts = [_once(part) for part in expression.parts]
+        # [R . ε] = [R]: an empty span concatenates neutrally and
+        # contributes the empty mapping, so ε units can be dropped.
+        parts = [part for part in parts if not isinstance(part, Epsilon)]
+        return concat(*parts) if parts else EPSILON
+    if isinstance(expression, Union):
+        options: list[Rgx] = []
+        for option in expression.options:
+            rewritten = _once(option)
+            if rewritten not in options:  # deduplicate, preserving order
+                options.append(rewritten)
+        return union(*options)
+    if isinstance(expression, Star):
+        body = _once(expression.body)
+        if isinstance(body, Epsilon):
+            # ε* derives only empty spans with empty mappings — exactly ε.
+            return EPSILON
+        if isinstance(body, Star):
+            # (γ*)* and γ* denote the same concatenation closure.
+            return body
+        return Star(body)
+    return expression

@@ -1,0 +1,139 @@
+"""The denotational semantics of RGX — a direct implementation of Table 2.
+
+This is the library's *reference evaluator*: it computes the two-layer
+semantics exactly as the paper defines it,
+
+* ``[γ]_d``  — the set of pairs ``(s, µ)`` where subexpression ``γ`` parses
+  the span ``s`` of document ``d`` producing partial mapping ``µ``;
+* ``⟦γ⟧_d`` — the mappings whose span is the whole document.
+
+The Kleene-star case is the infinite union ``[ε] ∪ [R] ∪ [R²] ∪ ...``,
+computed as a least fixpoint (finite because there are finitely many spans
+and finitely many mappings over a fixed document).
+
+The evaluator is deliberately naive — worst-case exponential — because its
+job is to be *obviously correct*: every automaton evaluator and every
+language translation in this library is cross-validated against it.  Use
+:mod:`repro.evaluation` for efficient evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.rgx.ast import Concat, Epsilon, Letter, Rgx, Star, Union, VarBind
+from repro.spans.document import Document, as_text
+from repro.spans.mapping import Mapping
+from repro.spans.span import Span
+from repro.util.errors import SpannerError
+
+Pair = tuple[Span, Mapping]
+
+
+def pair_semantics(expression: Rgx, document: "Document | str") -> set[Pair]:
+    """``[γ]_d`` from Table 2 — all (span, mapping) parses of subspans."""
+    text = as_text(document)
+    cache: dict[Rgx, set[Pair]] = {}
+    return _pairs(expression, text, cache)
+
+
+def mappings(expression: Rgx, document: "Document | str") -> set[Mapping]:
+    """``⟦γ⟧_d`` — the output of the spanner on the document (Table 2).
+
+    >>> from repro.rgx import parse
+    >>> sorted(m["x"] for m in mappings(parse("x{a*}b*"), "aabb"))
+    [Span(begin=1, end=3)]
+    """
+    text = as_text(document)
+    whole = Span(1, len(text) + 1)
+    return {mu for span, mu in pair_semantics(expression, text) if span == whole}
+
+
+def _pairs(expression: Rgx, text: str, cache: dict[Rgx, set[Pair]]) -> set[Pair]:
+    cached = cache.get(expression)
+    if cached is not None:
+        return cached
+    if isinstance(expression, Epsilon):
+        result = {
+            (Span(i, i), Mapping.empty()) for i in range(1, len(text) + 2)
+        }
+    elif isinstance(expression, Letter):
+        result = {
+            (Span(i, i + 1), Mapping.empty())
+            for i in range(1, len(text) + 1)
+            if expression.charset.contains(text[i - 1])
+        }
+    elif isinstance(expression, VarBind):
+        body_pairs = _pairs(expression.body, text, cache)
+        result = {
+            (span, mu.extend(expression.variable, span))
+            for span, mu in body_pairs
+            if expression.variable not in mu
+        }
+    elif isinstance(expression, Concat):
+        result = _pairs(expression.parts[0], text, cache)
+        for part in expression.parts[1:]:
+            result = _concatenate(result, _pairs(part, text, cache))
+    elif isinstance(expression, Union):
+        result = set()
+        for option in expression.options:
+            result |= _pairs(option, text, cache)
+    elif isinstance(expression, Star):
+        result = _star(_pairs(expression.body, text, cache), text)
+    else:
+        raise SpannerError(f"unknown RGX node {expression!r}")
+    cache[expression] = result
+    return result
+
+
+def _concatenate(left: set[Pair], right: set[Pair]) -> set[Pair]:
+    """Table 2's rule for ``R1 . R2``: adjacent spans, disjoint domains.
+
+    Indexes the right-hand pairs by begin position so the merge is linear in
+    the number of *matching* pairs rather than the full cross product.
+    """
+    by_begin: dict[int, list[Pair]] = {}
+    for span, mu in right:
+        by_begin.setdefault(span.begin, []).append((span, mu))
+    result: set[Pair] = set()
+    for span1, mu1 in left:
+        for span2, mu2 in by_begin.get(span1.end, ()):
+            if mu1.domain & mu2.domain:
+                continue
+            result.add((span1.concatenate(span2), mu1.disjoint_union(mu2)))
+    return result
+
+
+def _star(body_pairs: set[Pair], text: str) -> set[Pair]:
+    """``[R*] = [ε] ∪ [R] ∪ [R²] ∪ ...`` as a least fixpoint."""
+    result: set[Pair] = {
+        (Span(i, i), Mapping.empty()) for i in range(1, len(text) + 2)
+    }
+    frontier = set(result)
+    while frontier:
+        grown = _concatenate(frontier, body_pairs)
+        frontier = grown - result
+        result |= frontier
+    return result
+
+
+def outputs_relation(expression: Rgx, document: "Document | str") -> bool:
+    """True when ``⟦γ⟧_d`` is a *relation*: all mappings share one domain.
+
+    Functional RGX always satisfies this (Theorem 4.1); general RGX need not.
+    """
+    produced = mappings(expression, document)
+    domains = {mu.domain for mu in produced}
+    return len(domains) <= 1
+
+
+def classical_semantics(expression: Rgx, document: "Document | str") -> set[Mapping]:
+    """The semantics of [2]'s span regular expressions (Theorem 4.2).
+
+    ``⟦γ⟧'_d = M ⋈ ⟦γ⟧_d`` where ``M`` is the set of all *total* functions
+    from ``var(γ)`` to ``span(d)``: variables the expression does not match
+    take arbitrary values.  Exponential — small documents only.
+    """
+    from repro.spans.mapping import all_total_mappings, join
+
+    text = as_text(document)
+    total = all_total_mappings(expression.variables(), len(text))
+    return join(total, mappings(expression, text))

@@ -1,0 +1,56 @@
+"""Extraction rules and their translations (paper §3.3 and §4.3)."""
+
+from repro.rules.cycles import (
+    auxiliary_variables,
+    colour_nodes,
+    nu,
+    to_daglike,
+    unsatisfiable_daglike_rule,
+)
+from repro.rules.graph import (
+    DOC,
+    is_dag_like,
+    is_tree_like,
+    prune_unreachable,
+    reachable_heads,
+    rule_graph,
+)
+from repro.rules.rule import Rule, bare, rule
+from repro.rules.spanrgx import (
+    PathForm,
+    functional_decomposition,
+    path_disjuncts,
+)
+from repro.rules.translate import (
+    daglike_to_treelike,
+    rgx_to_treelike_rules,
+    to_functional_daglike,
+    to_functional_rules,
+    treelike_to_rgx,
+    union_of_rules_to_rgx,
+)
+
+__all__ = [
+    "DOC",
+    "PathForm",
+    "Rule",
+    "auxiliary_variables",
+    "bare",
+    "colour_nodes",
+    "daglike_to_treelike",
+    "functional_decomposition",
+    "is_dag_like",
+    "is_tree_like",
+    "nu",
+    "path_disjuncts",
+    "prune_unreachable",
+    "reachable_heads",
+    "rgx_to_treelike_rules",
+    "rule",
+    "rule_graph",
+    "to_daglike",
+    "to_functional_daglike",
+    "to_functional_rules",
+    "treelike_to_rgx",
+    "union_of_rules_to_rgx",
+]

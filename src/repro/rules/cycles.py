@@ -1,0 +1,397 @@
+"""Cycle elimination for functional simple rules (Theorem 4.7).
+
+Every simple rule whose formulas are functional spanRGX can be rewritten,
+in polynomial time, into an equivalent *dag-like* rule (equivalence up to
+the fresh auxiliary variables, which callers project away).  The
+construction follows the appendix proof:
+
+* the ν-function strips a spanRGX down to its variable orderings
+  (``ν = H`` certifies that every derivable word contains a letter);
+* nodes are painted **black** (``ν = H``), **red** (can reach black) or
+  **green**; a red cycle is unsatisfiable (Figure 2's analysis);
+* Tarjan's algorithm lists strongly connected components in topological
+  order; simple green cycles are broken with an auxiliary variable
+  (members keep a single, shared, arbitrary value), chorded components
+  force their members — and everything they reach — to empty content.
+
+Deviations, both documented in DESIGN.md:
+
+* for chorded components we *also* replace the members by the auxiliary
+  variable in ancestor formulas (the paper only states this for simple
+  cycles; without it the auxiliary conjunct would be vacuous);
+* when an ancestor formula mentions several members of one component, the
+  content between the mentions is forced to ε via path decomposition
+  (the members carry equal spans, so anything between them is empty).
+"""
+
+from __future__ import annotations
+
+from itertools import count
+
+from repro.alphabet import CharSet
+from repro.rgx.ast import (
+    ANY_STAR,
+    EPSILON,
+    Concat,
+    Epsilon,
+    Letter,
+    Rgx,
+    Star,
+    Union,
+    VarBind,
+    char,
+    concat,
+    map_expression,
+    union,
+    var as var_binding,
+)
+from repro.rgx.properties import derives_epsilon
+from repro.rgx.rewrite import simplify
+from repro.rules.graph import DOC, rule_graph
+from repro.rules.rule import Rule
+from repro.rules.spanrgx import path_disjuncts
+from repro.spans.mapping import Variable
+from repro.util.errors import RuleError
+from repro.util.graphs import reachable_from, strongly_connected_components
+
+
+def nu(formula: Rgx) -> Rgx | None:
+    """The ν-function of Theorem 4.7 (``None`` encodes ``H``).
+
+    Keeps variable occurrences and their order, discards letters and
+    starred subexpressions, with the ``H`` algebra ``H·α = H``,
+    ``H ∨ α = α``, ``H* = ε``.
+    """
+    if isinstance(formula, Letter):
+        return None
+    if isinstance(formula, Epsilon):
+        return EPSILON
+    if isinstance(formula, VarBind):
+        return formula
+    if isinstance(formula, Star):
+        return EPSILON
+    if isinstance(formula, Concat):
+        parts: list[Rgx] = []
+        for part in formula.parts:
+            stripped = nu(part)
+            if stripped is None:
+                return None
+            parts.append(stripped)
+        return simplify(concat(*parts))
+    if isinstance(formula, Union):
+        options = [nu(option) for option in formula.options]
+        surviving = [option for option in options if option is not None]
+        if not surviving:
+            return None
+        return simplify(union(*surviving))
+    raise RuleError(f"unknown spanRGX node {formula!r}")
+
+
+def colour_nodes(rule: Rule) -> dict[Variable, str]:
+    """black / red / green per the Theorem 4.7 colouring scheme."""
+    colours: dict[Variable, str] = {}
+    black = {
+        head for head, formula in rule.conjuncts if nu(formula) is None
+    }
+    graph = rule_graph(rule)
+    reverse: dict[str, set[str]] = {}
+    for node, successors in graph.items():
+        for successor in successors:
+            reverse.setdefault(successor, set()).add(node)
+    red = reachable_from(reverse, sorted(black))
+    for head in rule.heads:
+        if head in red or head in black:
+            colours[head] = "red" if head not in black else "black"
+        else:
+            colours[head] = "green"
+    # Black nodes are also red by the paper's flooding; expose both.
+    for head in black:
+        colours[head] = "black"
+    return colours
+
+
+def unsatisfiable_daglike_rule() -> Rule:
+    """A canonical unsatisfiable functional dag-like rule.
+
+    ``x ∧ x.(u·v) ∧ u.(y·a) ∧ v.(y·b) ∧ y.Σ*``: the siblings ``u`` and
+    ``v`` are disjoint yet both must contain ``y`` at incompatible
+    boundary positions — Figure 3's undirected-cycle obstruction.
+    """
+    return Rule(
+        var_binding("x"),
+        (
+            ("x", concat(var_binding("u"), var_binding("v"))),
+            ("u", concat(var_binding("y"), char("a"))),
+            ("v", concat(var_binding("y"), char("b"))),
+            ("y", ANY_STAR),
+        ),
+    )
+
+
+def _replace_variables(formula: Rgx, mapping: dict[Variable, Rgx]) -> Rgx:
+    """Replace bare variable occurrences by the given expressions."""
+
+    def transform(node: Rgx) -> Rgx:
+        if isinstance(node, VarBind) and node.variable in mapping:
+            return mapping[node.variable]
+        return node
+
+    return simplify(map_expression(formula, transform))
+
+
+class _CycleEliminator:
+    """One run of the Theorem 4.7 rewriting (restarted when the forced-ε
+
+    set grows, which happens at most once per variable)."""
+
+    def __init__(self, rule: Rule) -> None:
+        self.original = rule
+        self.force_empty: set[Variable] = set()
+        self.aux_names = (f"u_{i}" for i in count())
+        self.taken = set(rule.variables())
+
+    def fresh_aux(self) -> Variable:
+        for name in self.aux_names:
+            if name not in self.taken:
+                self.taken.add(name)
+                return name
+        raise AssertionError("unreachable")
+
+    def run(self) -> Rule:
+        for _ in range(len(self.original.variables()) + 2):
+            outcome = self._single_pass()
+            if outcome is not None:
+                return outcome
+        raise RuleError("cycle elimination did not converge")
+
+    # -- one full pass ----------------------------------------------------------
+
+    def _single_pass(self) -> Rule | None:
+        rule = self.original
+        colours = colour_nodes(rule)
+        graph = rule_graph(rule)
+        formula_of = dict(rule.conjuncts)
+        components = [
+            component
+            for component in reversed(strongly_connected_components(graph))
+            if component != [DOC]
+        ]
+        emitted: list[tuple[Variable, Rgx]] = []
+        root = rule.root
+        force_empty = set(self.force_empty)
+
+        def mark_empty(variables) -> None:
+            force_empty.update(v for v in variables if v != DOC)
+
+        for component in components:
+            members = set(component)
+            nontrivial = len(component) > 1 or (
+                component[0] in graph.get(component[0], ())
+            )
+            if not nontrivial:
+                head = component[0]
+                formula = formula_of[head]
+                if head in force_empty:
+                    stripped = nu(formula)
+                    if stripped is None:
+                        return unsatisfiable_daglike_rule()
+                    emitted.append((head, stripped))
+                    # Everything inside an ε-span is itself empty; only the
+                    # variables ν kept can still be assigned.
+                    mark_empty(stripped.variables())
+                else:
+                    emitted.append((head, formula))
+                continue
+            if len(component) == 1:
+                # A self-loop x.ϕ with x ∈ var(ϕ): under the mapping
+                # semantics, x{ϕ} would rebind x, so the conjunct can
+                # never be satisfied once x is instantiated.  (Deviation
+                # from the paper's type-2 treatment, which overlooks the
+                # rebinding; see DESIGN.md.)
+                head = component[0]
+                dead = self.fresh_aux()
+                emitted.append(
+                    (
+                        head,
+                        concat(
+                            var_binding(dead),
+                            Letter(CharSet.any()),
+                            var_binding(dead),
+                        ),
+                    )
+                )
+                continue
+            # Non-trivial component: red means unsatisfiable (a member needs
+            # strictly growing content along the cycle — Figure 2's cases).
+            if any(colours.get(member) in ("red", "black") for member in members):
+                return unsatisfiable_daglike_rule()
+            is_simple_cycle = self._is_simple_cycle(graph, members)
+            aux = self.fresh_aux()
+            if is_simple_cycle and not (members & force_empty):
+                ordered = self._cycle_order(graph, members)
+                replaced_ok = self._splice_aux(emitted, root, members, aux)
+                if replaced_ok is None:
+                    return None  # force_empty grew: restart
+                emitted, root = replaced_ok
+                emitted.append((aux, var_binding(ordered[0])))
+                for position, member in enumerate(ordered):
+                    stripped = nu(formula_of[member])
+                    assert stripped is not None  # members are green
+                    if position == len(ordered) - 1:
+                        stripped = _replace_variables(
+                            stripped, {ordered[0]: ANY_STAR}
+                        )
+                    stripped = simplify(stripped)
+                    emitted.append((member, stripped))
+                    # The members share one value; everything else ν kept
+                    # in their formulas lies between equal spans, hence ε.
+                    mark_empty(stripped.variables() - members)
+            else:
+                # Chorded component (or one forced empty): members have
+                # empty content at a single shared position.
+                mark_empty(members)
+                replaced_ok = self._splice_aux(emitted, root, members, aux)
+                if replaced_ok is None:
+                    return None
+                emitted, root = replaced_ok
+                emitted.append(
+                    (aux, concat(*(var_binding(m) for m in sorted(members))))
+                )
+                erase = {member: EPSILON for member in members}
+                for member in sorted(members):
+                    stripped = nu(formula_of[member])
+                    assert stripped is not None
+                    rewritten = _replace_variables(stripped, erase)
+                    emitted.append((member, rewritten))
+                    mark_empty(rewritten.variables())
+        if force_empty != self.force_empty:
+            self.force_empty = force_empty
+            return None
+        return Rule(root, tuple(emitted))
+
+    @staticmethod
+    def _is_simple_cycle(graph: dict[str, set[str]], members: set[str]) -> bool:
+        for member in members:
+            if len(graph.get(member, set()) & members) != 1:
+                return False
+        return True
+
+    @staticmethod
+    def _cycle_order(graph: dict[str, set[str]], members: set[str]) -> list[str]:
+        start = sorted(members)[0]
+        ordered = [start]
+        while True:
+            (successor,) = graph[ordered[-1]] & members
+            if successor == start:
+                return ordered
+            ordered.append(successor)
+
+    def _splice_aux(
+        self,
+        emitted: list[tuple[Variable, Rgx]],
+        root: Rgx,
+        members: set[str],
+        aux: Variable,
+    ) -> tuple[list[tuple[Variable, Rgx]], Rgx] | None:
+        """Replace member occurrences by ``aux`` in the root and emitted
+        conjuncts.  Formulas mentioning several members force the content
+        between the mentions to ε; discovering new forced-ε variables
+        aborts the pass (``None``) so it can restart with the larger set.
+        """
+        new_emitted: list[tuple[Variable, Rgx]] = []
+        new_root, grew = self._splice_formula(root, members, aux)
+        if grew:
+            return None
+        for head, formula in emitted:
+            updated, grew = self._splice_formula(formula, members, aux)
+            if grew:
+                return None
+            new_emitted.append((head, updated))
+        return new_emitted, new_root
+
+    def _splice_formula(
+        self, formula: Rgx, members: set[str], aux: Variable
+    ) -> tuple[Rgx, bool]:
+        mentioned = formula.variables() & members
+        if not mentioned:
+            return formula, False
+        if len(mentioned) == 1:
+            replaced = _replace_variables(
+                formula, {next(iter(mentioned)): var_binding(aux)}
+            )
+            return replaced, False
+        # Several members in one formula: they carry equal spans, so the
+        # content between mentions is empty.  Work disjunct by disjunct.
+        grew = False
+        disjuncts: list[Rgx] = []
+        for form in path_disjuncts(formula):
+            positions = [
+                i for i, v in enumerate(form.variables) if v in members
+            ]
+            if not positions:
+                disjuncts.append(form.to_rgx())
+                continue
+            first, last = positions[0], positions[-1]
+            # Regexes strictly between the first and last mention must
+            # derive ε; variables between are forced to empty content.
+            feasible = True
+            for regex in form.regexes[first + 1 : last + 1]:
+                if not derives_epsilon(regex):
+                    feasible = False
+                    break
+            if not feasible:
+                continue
+            between = [
+                v
+                for v in form.variables[first + 1 : last]
+                if v not in members
+            ]
+            for variable in between:
+                if variable not in self.force_empty:
+                    self.force_empty.add(variable)
+                    grew = True
+            pieces: list[Rgx] = [form.regexes[0]]
+            for i, variable in enumerate(form.variables):
+                if i == first:
+                    pieces.append(var_binding(aux))
+                elif first < i <= last and variable in members:
+                    pass  # later mentions collapse into the aux occurrence
+                else:
+                    pieces.append(var_binding(variable))
+                if first <= i < last:
+                    continue  # the ε-forced gap contributes nothing
+                pieces.append(form.regexes[i + 1])
+            disjuncts.append(simplify(concat(*pieces)))
+        if not disjuncts:
+            # Every disjunct died: whenever this conjunct's head is
+            # instantiated the rule cannot be satisfied.  ``v·Σ·v`` (a
+            # doubly-used fresh variable) is an unsatisfiable spanRGX, so
+            # it kills exactly those tuples.
+            dead = self.fresh_aux()
+            return (
+                concat(
+                    var_binding(dead), Letter(CharSet.any()), var_binding(dead)
+                ),
+                grew,
+            )
+        return simplify(union(*disjuncts)), grew
+
+
+def to_daglike(rule: Rule) -> Rule:
+    """Theorem 4.7: an equivalent functional dag-like rule.
+
+    Requires a simple rule with functional spanRGX formulas.  Equivalence
+    is up to the auxiliary ``u_i`` variables, which the caller should
+    project away (see ``tests/rules/test_cycles.py``).
+    """
+    if not rule.is_simple():
+        raise RuleError("cycle elimination is defined for simple rules")
+    if not rule.is_functional():
+        raise RuleError("cycle elimination requires functional formulas")
+    normalized = rule.normalized()
+    return _CycleEliminator(normalized).run()
+
+
+def auxiliary_variables(before: Rule, after: Rule) -> frozenset[Variable]:
+    """The fresh variables introduced by :func:`to_daglike`."""
+    return frozenset(after.variables() - before.variables())

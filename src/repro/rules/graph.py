@@ -1,0 +1,90 @@
+"""Rule graphs and the simple / dag-like / tree-like hierarchy (§4.3).
+
+The graph ``Gϕ`` of a rule has one node per head variable plus a ``doc``
+node for ``ϕ0``; there is an edge ``(x, y)`` when the conjunct ``x.R``
+mentions ``y``, and ``(doc, x)`` when ``ϕ0`` mentions ``x``.  A simple
+rule is *dag-like* when ``Gϕ`` is acyclic and *tree-like* when ``Gϕ`` is a
+tree rooted at ``doc``.
+"""
+
+from __future__ import annotations
+
+from repro.rules.rule import Rule
+from repro.spans.mapping import Variable
+from repro.util.graphs import reachable_from, strongly_connected_components
+
+DOC = "⊤doc"
+"""The distinguished root node of a rule graph (not a legal variable name)."""
+
+
+def rule_graph(rule: Rule) -> dict[str, set[str]]:
+    """``Gϕ`` as an adjacency mapping.  Nodes: head variables and ``DOC``."""
+    graph: dict[str, set[str]] = {DOC: set()}
+    heads = set(rule.heads)
+    for variable in rule.root.variables():
+        if variable in heads:
+            graph[DOC].add(variable)
+    for head, formula in rule.conjuncts:
+        graph.setdefault(head, set())
+        for variable in formula.variables():
+            if variable in heads:
+                graph[head].add(variable)
+    return graph
+
+
+def is_dag_like(rule: Rule) -> bool:
+    """Simple and acyclic (Section 4.3)."""
+    if not rule.is_simple():
+        return False
+    graph = rule_graph(rule)
+    for component in strongly_connected_components(graph):
+        if len(component) > 1:
+            return False
+        node = component[0]
+        if node in graph.get(node, ()):  # self-loop such as x.(a x b)
+            return False
+    return True
+
+
+def is_tree_like(rule: Rule) -> bool:
+    """Simple, acyclic, every variable reachable from ``doc`` exactly once.
+
+    Following the paper, ``Gϕ`` must be a tree rooted at ``doc``: every
+    head has in-degree one (counting ``doc``) and is reachable from the
+    root.  We count *edge multiplicity per distinct parent* — a variable
+    mentioned by two different conjuncts breaks tree-likeness, while two
+    mentions inside one formula (e.g. in different union branches) do not.
+    """
+    if not is_dag_like(rule):
+        return False
+    graph = rule_graph(rule)
+    in_degree: dict[str, int] = {head: 0 for head in rule.heads}
+    for node, successors in graph.items():
+        for successor in successors:
+            if successor in in_degree:
+                in_degree[successor] += 1
+    if any(count > 1 for count in in_degree.values()):
+        return False
+    reached = reachable_from(graph, [DOC])
+    return all(head in reached for head in rule.heads)
+
+
+def reachable_heads(rule: Rule) -> set[Variable]:
+    """Head variables reachable from ``doc`` (the instantiable ones)."""
+    graph = rule_graph(rule)
+    return {node for node in reachable_from(graph, [DOC]) if node != DOC}
+
+
+def prune_unreachable(rule: Rule) -> Rule:
+    """Drop conjuncts whose head can never be instantiated.
+
+    A variable unreachable from ``doc`` in ``Gϕ`` is never in the ivar
+    closure, so its conjunct is vacuous; removing it preserves ``⟦ϕ⟧_d``.
+    """
+    keep = reachable_heads(rule)
+    kept = tuple(
+        (head, formula) for head, formula in rule.conjuncts if head in keep
+    )
+    if len(kept) == len(rule.conjuncts):
+        return rule
+    return Rule(rule.root, kept, rule.check_span_rgx)

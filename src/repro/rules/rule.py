@@ -1,0 +1,200 @@
+"""Extraction rules (paper, Section 3.3).
+
+A rule has the shape (†)::
+
+    ϕ = ϕ0 ∧ x1.ϕ1 ∧ ... ∧ xm.ϕm
+
+where each ``ϕi`` is a spanRGX formula: ``ϕ0`` is evaluated against the
+whole document, and ``xi.ϕi`` against the span captured by ``xi``.  The
+mapping semantics handles nondeterminism through *instantiated variables*:
+``ivar(ϕ, µ̄)`` is the least set containing ``dom(µ0)`` and closed under
+"if ``xi`` is instantiated then ``dom(µi)`` is too"; conjuncts of
+non-instantiated variables are vacuous.  A tuple ``(µ0, ..., µm)``
+satisfies the rule when (1) ``µ0 ∈ ⟦ϕ0⟧_d``, (2) ``µi ∈ ⟦xi.ϕi⟧_d`` for
+instantiated ``xi`` and ``µi = ∅`` otherwise, (3) the tuple is pairwise
+compatible; the rule's output is the union of the tuple.
+
+In the AST a bare rule variable ``x`` is represented as ``x{Σ*}``
+(:func:`repro.rgx.ast.var`), exactly the shorthand the paper uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.rgx.ast import ANY_STAR, Rgx, VarBind, concat, var as var_binding
+from repro.rgx.properties import is_functional, is_sequential, is_span_rgx
+from repro.spans.document import Document, as_text
+from repro.spans.mapping import Mapping, Variable
+from repro.util.errors import RuleError
+
+Conjunct = tuple[Variable, Rgx]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """An extraction rule ``ϕ0 ∧ x1.ϕ1 ∧ ... ∧ xm.ϕm``.
+
+    ``conjuncts`` may repeat a head variable — that is precisely what
+    distinguishes general rules from *simple* ones (Section 4.3).
+    """
+
+    root: Rgx
+    conjuncts: tuple[Conjunct, ...] = ()
+    check_span_rgx: bool = field(default=True, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.check_span_rgx:
+            for formula in self.formulas():
+                if not is_span_rgx(formula):
+                    raise RuleError(
+                        f"rule formulas must be spanRGX, got {formula}"
+                    )
+
+    # -- inspection ------------------------------------------------------------
+
+    def formulas(self) -> list[Rgx]:
+        return [self.root] + [formula for _, formula in self.conjuncts]
+
+    @property
+    def heads(self) -> tuple[Variable, ...]:
+        """The head variables ``x1, ..., xm`` in conjunct order."""
+        return tuple(head for head, _ in self.conjuncts)
+
+    def variables(self) -> frozenset[Variable]:
+        """Every variable occurring anywhere in the rule."""
+        collected = set(self.heads)
+        for formula in self.formulas():
+            collected |= formula.variables()
+        return frozenset(collected)
+
+    def is_simple(self) -> bool:
+        """Simple rules: pairwise distinct head variables (Section 4.3)."""
+        return len(set(self.heads)) == len(self.heads)
+
+    def is_functional(self) -> bool:
+        """All formulas functional — the premise of Theorem 4.7."""
+        return all(is_functional(formula) for formula in self.formulas())
+
+    def is_sequential(self) -> bool:
+        """All formulas sequential — the premise of Theorem 5.9."""
+        return all(is_sequential(formula) for formula in self.formulas())
+
+    def normalized(self) -> "Rule":
+        """Add ``x.Σ*`` for occurring variables without a conjunct.
+
+        The appendix proofs assume every variable heads exactly one
+        extraction expression; ``x.Σ*`` is vacuous, so this preserves the
+        semantics.
+        """
+        present = set(self.heads)
+        extra = [
+            (variable, ANY_STAR)
+            for variable in sorted(self.variables() - present)
+        ]
+        if not extra:
+            return self
+        return Rule(self.root, self.conjuncts + tuple(extra), self.check_span_rgx)
+
+    def __str__(self) -> str:
+        parts = [str(self.root)]
+        parts.extend(f"{head}.({formula})" for head, formula in self.conjuncts)
+        return " ∧ ".join(parts)
+
+    # -- semantics -------------------------------------------------------------
+
+    def evaluate(self, document: "Document | str") -> set[Mapping]:
+        """``⟦ϕ⟧_d`` — the mapping semantics of Section 3.3.
+
+        The search instantiates conjuncts lazily following the ivar
+        closure; sets of candidate mappings per conjunct are computed with
+        the automaton evaluator.  Worst-case exponential (Theorem 5.8 shows
+        even emptiness is NP-hard); the tractable tree-like algorithm lives
+        in :mod:`repro.evaluation.rules_eval`.
+        """
+        text = as_text(document)
+        root_mappings = _formula_mappings(self.root, text)
+        conjunct_mappings = [
+            _conjunct_mappings(head, formula, text)
+            for head, formula in self.conjuncts
+        ]
+
+        results: set[Mapping] = set()
+        for mu0 in root_mappings:
+            self._instantiate(
+                mu0,
+                self._initial_pending(mu0),
+                frozenset(),
+                conjunct_mappings,
+                results,
+            )
+        return results
+
+    def _initial_pending(self, mu0: Mapping) -> frozenset[int]:
+        return frozenset(
+            i for i, head in enumerate(self.heads) if head in mu0.domain
+        )
+
+    def _instantiate(
+        self,
+        merged: Mapping,
+        pending: frozenset[int],
+        done: frozenset[int],
+        conjunct_mappings: list[set[Mapping]],
+        results: set[Mapping],
+    ) -> None:
+        if not pending:
+            results.add(merged)
+            return
+        index = min(pending)
+        rest = pending - {index}
+        for candidate in conjunct_mappings[index]:
+            if not merged.compatible(candidate):
+                continue
+            combined = merged.union(candidate)
+            newly = frozenset(
+                i
+                for i, head in enumerate(self.heads)
+                if i not in done
+                and i != index
+                and i not in rest
+                and head in combined.domain
+            )
+            self._instantiate(
+                combined,
+                rest | newly,
+                done | {index},
+                conjunct_mappings,
+                results,
+            )
+
+
+def _formula_mappings(formula: Rgx, text: str) -> set[Mapping]:
+    """``⟦ϕ⟧_d`` for a spanRGX formula, via the automaton evaluator."""
+    from repro.automata.simulate import evaluate_va
+    from repro.automata.thompson import to_va
+
+    return evaluate_va(to_va(formula), text)
+
+
+def _conjunct_mappings(head: Variable, formula: Rgx, text: str) -> set[Mapping]:
+    """``⟦x.ϕ⟧_d = {µ | ∃s: (s, µ) ∈ [x{ϕ}]_d}``.
+
+    Equal to ``⟦Σ* . x{ϕ} . Σ*⟧_d``: the padding walks to any span, and
+    binds nothing itself.
+    """
+    from repro.automata.simulate import evaluate_va
+    from repro.automata.thompson import to_va
+
+    padded = concat(ANY_STAR, VarBind(head, formula), ANY_STAR)
+    return evaluate_va(to_va(padded), text)
+
+
+def rule(root: Rgx, *conjuncts: Conjunct) -> Rule:
+    """Convenience constructor: ``rule(φ0, ("x", φx), ("y", φy))``."""
+    return Rule(root, tuple(conjuncts))
+
+
+def bare(variable: Variable) -> VarBind:
+    """The rule shorthand ``x`` for ``x{Σ*}``."""
+    return var_binding(variable)

@@ -1,0 +1,179 @@
+"""spanRGX path decomposition (used by Propositions 4.8 and 4.9).
+
+A spanRGX formula treats variables as atomic tokens (``x`` abbreviates
+``x{Σ*}``), so it can be decomposed into a finite union of *path forms*
+
+    R1 · w1 · R2 · w2 · ... · wk · R(k+1)
+
+with pure regular expressions ``Ri`` and pairwise-distinct variables
+``wi`` — each path form is a functional spanRGX.  This is the paper's
+``PUstk`` decomposition specialised to spanRGX (its example:
+``(x|y)(z|w) ≡ ε | x·z | x·w | y·z | y·w`` — sic, with the variable-free
+disjunct arising from stars).  Stars over variable-containing bodies are
+unrolled: a variable can contribute at most once, so the unrolling is
+finite, with the variable-free residue folded back into a star.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+
+from repro.rgx.ast import (
+    EPSILON,
+    Concat,
+    Epsilon,
+    Letter,
+    Rgx,
+    Star,
+    Union,
+    VarBind,
+    concat,
+    star,
+    union,
+    var as var_binding,
+)
+from repro.rgx.properties import is_span_rgx
+from repro.rgx.rewrite import simplify
+from repro.spans.mapping import Variable
+from repro.util.errors import BudgetExceededError, RuleError
+
+#: Default ceiling on the number of path forms produced.
+DEFAULT_PATH_BUDGET = 50_000
+
+
+@dataclass(frozen=True)
+class PathForm:
+    """``R1 · w1 · R2 · ... · wk · R(k+1)`` — regexes interleaved with variables."""
+
+    regexes: tuple[Rgx, ...]  # k + 1 pure regular expressions
+    variables: tuple[Variable, ...]  # k pairwise-distinct variables
+
+    def __post_init__(self) -> None:
+        if len(self.regexes) != len(self.variables) + 1:
+            raise RuleError("malformed path form")
+
+    def to_rgx(self) -> Rgx:
+        """The functional spanRGX this path form denotes."""
+        parts: list[Rgx] = [self.regexes[0]]
+        for variable, regex in zip(self.variables, self.regexes[1:]):
+            parts.append(var_binding(variable))
+            parts.append(regex)
+        return simplify(concat(*parts))
+
+    def var_set(self) -> frozenset[Variable]:
+        return frozenset(self.variables)
+
+
+def _combine(first: PathForm, second: PathForm) -> PathForm | None:
+    """Concatenate two path forms; ``None`` when variables would repeat."""
+    if set(first.variables) & set(second.variables):
+        return None
+    glued = simplify(concat(first.regexes[-1], second.regexes[0]))
+    return PathForm(
+        first.regexes[:-1] + (glued,) + second.regexes[1:],
+        first.variables + second.variables,
+    )
+
+
+def path_disjuncts(
+    formula: Rgx, budget: int = DEFAULT_PATH_BUDGET
+) -> list[PathForm]:
+    """All path forms of a spanRGX formula (their union is equivalent).
+
+    The decomposition is exact under the mapping semantics: derivations
+    repeating a variable produce no mapping (Table 2 demands disjoint
+    domains), so dropping them loses nothing.
+    """
+    if not is_span_rgx(formula):
+        raise RuleError(f"path decomposition requires spanRGX, got {formula}")
+    return _decompose(formula, budget)
+
+
+def _decompose(formula: Rgx, budget: int) -> list[PathForm]:
+    if isinstance(formula, Epsilon):
+        return [PathForm((EPSILON,), ())]
+    if isinstance(formula, Letter):
+        return [PathForm((formula,), ())]
+    if isinstance(formula, VarBind):
+        return [PathForm((EPSILON, EPSILON), (formula.variable,))]
+    if isinstance(formula, Concat):
+        current = _decompose(formula.parts[0], budget)
+        for part in formula.parts[1:]:
+            part_forms = _decompose(part, budget)
+            combined: list[PathForm] = []
+            for left in current:
+                for right in part_forms:
+                    glued = _combine(left, right)
+                    if glued is not None:
+                        combined.append(glued)
+                    if len(combined) > budget:
+                        raise BudgetExceededError("path decomposition", budget)
+            current = _dedupe_forms(combined)
+        return current
+    if isinstance(formula, Union):
+        collected: list[PathForm] = []
+        for option in formula.options:
+            collected.extend(_decompose(option, budget))
+            if len(collected) > budget:
+                raise BudgetExceededError("path decomposition", budget)
+        return _dedupe_forms(collected)
+    if isinstance(formula, Star):
+        return _decompose_star(formula, budget)
+    raise RuleError(f"unknown spanRGX node {formula!r}")
+
+
+def _decompose_star(formula: Star, budget: int) -> list[PathForm]:
+    body_forms = _decompose(formula.body, budget)
+    pure = [form for form in body_forms if not form.variables]
+    with_vars = [form for form in body_forms if form.variables]
+    if not with_vars:
+        # Ordinary star over a variable-free body: keep it intact.
+        return [PathForm((simplify(star(formula.body)),), ())]
+    # The variable-free residue may repeat arbitrarily between the
+    # variable-carrying iterations.
+    if pure:
+        residue = simplify(star(union(*(form.regexes[0] for form in pure))))
+    else:
+        residue = EPSILON
+    residue_form = PathForm((residue,), ())
+    results: list[PathForm] = [residue_form]
+    # Enumerate ordered sequences of variable-carrying disjuncts with
+    # pairwise-disjoint variables (longer sequences repeat a variable and
+    # produce no mapping).
+    for count in range(1, len(with_vars) + 1):
+        for sequence in permutations(range(len(with_vars)), count):
+            assembled: PathForm | None = residue_form
+            for index in sequence:
+                assembled = _combine(assembled, with_vars[index])
+                if assembled is None:
+                    break
+                assembled = _combine(assembled, residue_form)
+                if assembled is None:
+                    break
+            if assembled is not None:
+                results.append(assembled)
+            if len(results) > budget:
+                raise BudgetExceededError("star unrolling", budget)
+    return _dedupe_forms(results)
+
+
+def _dedupe_forms(forms: list[PathForm]) -> list[PathForm]:
+    seen: set[PathForm] = set()
+    unique: list[PathForm] = []
+    for form in forms:
+        if form not in seen:
+            seen.add(form)
+            unique.append(form)
+    return unique
+
+
+def functional_decomposition(
+    formula: Rgx, budget: int = DEFAULT_PATH_BUDGET
+) -> list[Rgx]:
+    """A spanRGX as an equivalent union of *functional* spanRGX formulas.
+
+    This is the first step of Proposition 4.8 (its possible exponential
+    size is the proposition's own caveat).
+    """
+    return [form.to_rgx() for form in path_disjuncts(formula, budget)]

@@ -1,0 +1,479 @@
+"""Translations between rules and RGX (§4.3, Propositions 4.8/4.9,
+Lemmas B.1/B.2, Theorem 4.10).
+
+The pipeline established by the paper::
+
+    simple rule ──(4.8)──▶ union of functional dag-like rules
+                ──(4.9)──▶ union of functional tree-like rules
+                ──(B.1)──▶ RGX                    (and back via B.2)
+
+Each step may blow up exponentially (doubly so end-to-end) — the paper
+says as much — so every function takes a budget.
+
+Equivalence caveat: Theorem 4.7 introduces auxiliary variables, so rule
+unions produced here are equivalent to their source *after projecting
+away* :func:`repro.rules.cycles.auxiliary_variables`; benchmark E15
+checks exactly that.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.rgx.ast import (
+    Concat,
+    Epsilon,
+    Letter,
+    Rgx,
+    Star,
+    Union,
+    VarBind,
+    concat,
+    union,
+    var as var_binding,
+)
+from repro.rgx.properties import derives_epsilon
+from repro.rgx.rewrite import simplify
+from repro.rules.graph import DOC, is_dag_like, is_tree_like, prune_unreachable
+from repro.rules.rule import Rule
+from repro.rules.spanrgx import PathForm, path_disjuncts
+from repro.spans.mapping import Variable
+from repro.util.errors import BudgetExceededError, RuleError
+
+DEFAULT_RULE_BUDGET = 20_000
+
+
+# ---------------------------------------------------------------------------
+# Proposition 4.8: simple rule → union of functional dag-like rules
+# ---------------------------------------------------------------------------
+
+
+def to_functional_rules(rule: Rule, budget: int = DEFAULT_RULE_BUDGET) -> list[Rule]:
+    """Replace every formula by a functional disjunct, in all combinations.
+
+    The first half of Proposition 4.8 — the paper's example::
+
+        (x|y) ∧ x.(a|b) ∧ y.c  ≡  {x∧x.a∧y.c, x∧x.b∧y.c, y∧x.a∧y.c, y∧x.b∧y.c}
+    """
+    if not rule.is_simple():
+        raise RuleError("Proposition 4.8 is stated for simple rules")
+    root_choices = [form.to_rgx() for form in path_disjuncts(rule.root, budget)]
+    conjunct_choices: list[list[Rgx]] = []
+    for _, formula in rule.conjuncts:
+        conjunct_choices.append(
+            [form.to_rgx() for form in path_disjuncts(formula, budget)]
+        )
+    combinations: list[Rule] = []
+    for chosen in product(root_choices, *conjunct_choices):
+        root = chosen[0]
+        conjuncts = tuple(
+            (head, formula)
+            for (head, _), formula in zip(rule.conjuncts, chosen[1:])
+        )
+        combinations.append(Rule(root, conjuncts))
+        if len(combinations) > budget:
+            raise BudgetExceededError("functional rule expansion", budget)
+    return combinations
+
+
+def to_functional_daglike(
+    rule: Rule, budget: int = DEFAULT_RULE_BUDGET
+) -> list[Rule]:
+    """Proposition 4.8 in full: a union of functional *dag-like* rules."""
+    from repro.rules.cycles import to_daglike
+
+    return [to_daglike(functional) for functional in to_functional_rules(rule, budget)]
+
+
+# ---------------------------------------------------------------------------
+# Proposition 4.9: satisfiable dag-like rule → union of functional tree-like
+# ---------------------------------------------------------------------------
+
+
+class _Candidate:
+    """A rule in *path form*: every formula is a single PathForm.
+
+    In such a rule every reachable variable is instantiated whenever its
+    parent is (path forms have no unions), which is what licenses dropping
+    a candidate as soon as any conjunct becomes unsatisfiable.
+    """
+
+    def __init__(self, root: PathForm, conjuncts: dict[Variable, PathForm]) -> None:
+        self.root = root
+        self.conjuncts = conjuncts
+
+    def graph(self) -> dict[str, set[str]]:
+        graph: dict[str, set[str]] = {DOC: set(self.root.variables) & set(self.conjuncts)}
+        for head, form in self.conjuncts.items():
+            graph[head] = set(form.variables) & set(self.conjuncts)
+        return graph
+
+    def form_of(self, node: str) -> PathForm:
+        return self.root if node == DOC else self.conjuncts[node]
+
+    def set_form(self, node: str, form: PathForm) -> None:
+        if node == DOC:
+            self.root = form
+        else:
+            self.conjuncts[node] = form
+
+    def to_rule(self) -> Rule:
+        return prune_unreachable(
+            Rule(
+                self.root.to_rgx(),
+                tuple(
+                    (head, form.to_rgx())
+                    for head, form in self.conjuncts.items()
+                ),
+            )
+        )
+
+
+def _force_right_of(form: PathForm, variable: Variable) -> tuple[PathForm, list[Variable]] | None:
+    """ε-force everything right of ``variable``'s occurrence; ``None`` = unsat."""
+    position = form.variables.index(variable)
+    return _force_range(form, position + 1, len(form.variables), position + 1, len(form.regexes))
+
+
+def _force_left_of(form: PathForm, variable: Variable) -> tuple[PathForm, list[Variable]] | None:
+    position = form.variables.index(variable)
+    return _force_range(form, 0, position, 0, position + 1)
+
+
+def _force_between(
+    form: PathForm, left: Variable, right: Variable
+) -> tuple[PathForm, list[Variable]] | None:
+    i = form.variables.index(left)
+    j = form.variables.index(right)
+    if i > j:
+        i, j = j, i
+    return _force_range(form, i + 1, j, i + 1, j + 1)
+
+
+def _force_range(
+    form: PathForm,
+    var_start: int,
+    var_end: int,
+    regex_start: int,
+    regex_end: int,
+) -> tuple[PathForm, list[Variable]] | None:
+    """Force the regexes in ``[regex_start, regex_end)`` to ε.
+
+    Returns the rewritten form plus the variables in ``[var_start,
+    var_end)`` (now squeezed into an empty region, hence ε-forced), or
+    ``None`` when some regex cannot derive ε.
+    """
+    from repro.rgx.ast import EPSILON
+
+    regexes = list(form.regexes)
+    for index in range(regex_start, regex_end):
+        if not derives_epsilon(regexes[index]):
+            return None
+        regexes[index] = EPSILON
+    forced = list(form.variables[var_start:var_end])
+    return PathForm(tuple(regexes), form.variables), forced
+
+
+def _remove_occurrence(form: PathForm, variable: Variable) -> PathForm:
+    position = form.variables.index(variable)
+    regexes = list(form.regexes)
+    merged = simplify(concat(regexes[position], regexes[position + 1]))
+    new_regexes = tuple(regexes[:position] + [merged] + regexes[position + 2 :])
+    new_variables = form.variables[:position] + form.variables[position + 1 :]
+    return PathForm(new_regexes, new_variables)
+
+
+def _nu_form(form: PathForm) -> PathForm | None:
+    """ν on a path form: every regex must derive ε (else unsatisfiable)."""
+    from repro.rgx.ast import EPSILON
+
+    for regex in form.regexes:
+        if not derives_epsilon(regex):
+            return None
+    return PathForm((EPSILON,) * len(form.regexes), form.variables)
+
+
+def _find_parents(candidate: _Candidate, node: Variable) -> list[str]:
+    parents = []
+    if node in candidate.root.variables:
+        parents.append(DOC)
+    for head, form in candidate.conjuncts.items():
+        if node in form.variables:
+            parents.append(head)
+    return parents
+
+
+def _bfs_path(graph: dict[str, set[str]], source: str, target: str) -> list[str] | None:
+    from collections import deque
+
+    queue = deque([[source]])
+    seen = {source}
+    while queue:
+        path = queue.popleft()
+        node = path[-1]
+        if node == target:
+            return path
+        for successor in sorted(graph.get(node, ())):
+            if successor not in seen:
+                seen.add(successor)
+                queue.append(path + [successor])
+    return None
+
+
+def daglike_to_treelike(
+    rule: Rule, budget: int = DEFAULT_RULE_BUDGET
+) -> list[Rule]:
+    """Proposition 4.9: a union of functional tree-like rules.
+
+    An empty result certifies that the input rule is unsatisfiable (the
+    paper's "abort" case) — used by the rule satisfiability decision.
+    """
+    if not is_dag_like(rule):
+        raise RuleError("Proposition 4.9 expects a dag-like rule")
+    normalized = prune_unreachable(rule.normalized())
+    candidates = _expand_candidates(normalized, budget)
+    surviving: list[Rule] = []
+    for candidate in candidates:
+        resolved = _resolve_candidate(candidate)
+        if resolved is None:
+            continue
+        result = resolved.to_rule()
+        if is_tree_like(result):
+            surviving.append(result)
+        if len(surviving) > budget:
+            raise BudgetExceededError("tree-like expansion", budget)
+    return surviving
+
+
+def _expand_candidates(rule: Rule, budget: int) -> list[_Candidate]:
+    root_forms = path_disjuncts(rule.root, budget)
+    per_conjunct = [
+        (head, path_disjuncts(formula, budget))
+        for head, formula in rule.conjuncts
+    ]
+    candidates: list[_Candidate] = []
+    for root_form in root_forms:
+        for chosen in product(*(forms for _, forms in per_conjunct)):
+            conjuncts = {
+                head: form
+                for (head, _), form in zip(per_conjunct, chosen)
+            }
+            candidates.append(_Candidate(root_form, conjuncts))
+            if len(candidates) > budget:
+                raise BudgetExceededError("candidate expansion", budget)
+    return candidates
+
+
+def _resolve_candidate(candidate: _Candidate) -> _Candidate | None:
+    """Iteratively remove undirected cycles; ``None`` when unsatisfiable."""
+    force_empty: set[Variable] = set()
+    for _ in range(1 + sum(len(f.variables) for f in candidate.conjuncts.values()) * 4 + len(candidate.root.variables)):
+        graph = candidate.graph()
+        shared = _find_shared_node(candidate)
+        if shared is None:
+            break
+        if not _break_one_cycle(candidate, graph, shared, force_empty):
+            return None
+    else:
+        raise RuleError("undirected-cycle elimination did not converge")
+    # Apply the accumulated ε-forcing transitively.
+    pending = sorted(force_empty)
+    processed: set[Variable] = set()
+    while pending:
+        head = pending.pop()
+        if head in processed or head not in candidate.conjuncts:
+            continue
+        processed.add(head)
+        stripped = _nu_form(candidate.conjuncts[head])
+        if stripped is None:
+            return None
+        candidate.conjuncts[head] = stripped
+        pending.extend(v for v in stripped.variables if v not in processed)
+    return candidate
+
+
+def _find_shared_node(candidate: _Candidate) -> Variable | None:
+    for head in sorted(candidate.conjuncts):
+        if len(_find_parents(candidate, head)) >= 2:
+            return head
+    return None
+
+
+def _break_one_cycle(
+    candidate: _Candidate,
+    graph: dict[str, set[str]],
+    shared: Variable,
+    force_empty: set[Variable],
+) -> bool:
+    parents = _find_parents(candidate, shared)
+    first_path = _bfs_path(graph, DOC, parents[0])
+    second_path = _bfs_path(graph, DOC, parents[1])
+    if first_path is None or second_path is None:
+        # An unreachable parent's conjunct is vacuous: drop the mention by
+        # removing the edge (equivalent because the head never
+        # instantiates).
+        unreachable = parents[0] if first_path is None else parents[1]
+        candidate.conjuncts[unreachable] = _remove_occurrence(
+            candidate.conjuncts[unreachable], shared
+        )
+        return True
+    path_one = first_path + [shared]
+    path_two = second_path + [shared]
+    # Last node of path_one also on path_two: suffixes beyond it are
+    # disjoint (a DAG cannot re-converge before `shared`).
+    common = set(path_one[:-1]) & set(path_two[:-1])
+    pivot_index = max(i for i, node in enumerate(path_one[:-1]) if node in common)
+    pivot = path_one[pivot_index]
+    suffix_one = path_one[path_one.index(pivot) :]
+    suffix_two = path_two[path_two.index(pivot) :]
+    u2, v2 = suffix_one[1], suffix_two[1]
+    pivot_form = candidate.form_of(pivot)
+    if pivot_form.variables.index(u2) > pivot_form.variables.index(v2):
+        suffix_one, suffix_two = suffix_two, suffix_one
+        u2, v2 = v2, u2
+    # (1) between the two children of the pivot everything is ε;
+    outcome = _force_between(pivot_form, u2, v2)
+    if outcome is None:
+        return False
+    new_form, forced = outcome
+    candidate.set_form(pivot, new_form)
+    force_empty.update(forced)
+    # (2) right of the next hop along the earlier (u-) chain;
+    for i in range(1, len(suffix_one) - 1):
+        node, nxt = suffix_one[i], suffix_one[i + 1]
+        outcome = _force_right_of(candidate.form_of(node), nxt)
+        if outcome is None:
+            return False
+        new_form, forced = outcome
+        candidate.set_form(node, new_form)
+        force_empty.update(forced)
+    # (3) left of the next hop along the later (v-) chain;
+    for i in range(1, len(suffix_two) - 1):
+        node, nxt = suffix_two[i], suffix_two[i + 1]
+        outcome = _force_left_of(candidate.form_of(node), nxt)
+        if outcome is None:
+            return False
+        new_form, forced = outcome
+        candidate.set_form(node, new_form)
+        force_empty.update(forced)
+    # (4) the shared node sits at the junction of two disjoint siblings, so
+    # its own content is ε (Figure 3's deduction);
+    force_empty.add(shared)
+    # (5) drop the shared node's occurrence from the v-side parent.
+    last_parent = suffix_two[-2]
+    candidate.set_form(
+        last_parent, _remove_occurrence(candidate.form_of(last_parent), shared)
+    )
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Lemma B.1: tree-like rule → RGX
+# ---------------------------------------------------------------------------
+
+
+def treelike_to_rgx(rule: Rule) -> Rgx:
+    """Nest each conjunct into its (unique) mention: ``y ↦ y{γ_y}``.
+
+    The paper's example: ``(a·x·b·y) ∧ x.(abc·z) ∧ y.Σ* ∧ z.d`` becomes
+    ``a·x{abc·z{d}}·b·y{Σ*}``.  Worst-case exponential when a variable is
+    mentioned in several union branches.
+    """
+    if not is_tree_like(rule):
+        raise RuleError("Lemma B.1 expects a tree-like rule")
+    normalized = rule.normalized()
+    formula_of = dict(normalized.conjuncts)
+    cache: dict[Variable, Rgx] = {}
+
+    def expanded(variable: Variable) -> Rgx:
+        if variable not in cache:
+            cache[variable] = substitute(formula_of[variable])
+        return cache[variable]
+
+    def substitute(formula: Rgx) -> Rgx:
+        if isinstance(formula, VarBind):
+            if formula.variable in formula_of:
+                return VarBind(formula.variable, expanded(formula.variable))
+            return formula
+        if isinstance(formula, (Epsilon, Letter)):
+            return formula
+        if isinstance(formula, Concat):
+            return concat(*(substitute(part) for part in formula.parts))
+        if isinstance(formula, Union):
+            return union(*(substitute(option) for option in formula.options))
+        if isinstance(formula, Star):
+            return Star(substitute(formula.body))
+        raise RuleError(f"unknown node {formula!r}")
+
+    return simplify(substitute(normalized.root))
+
+
+# ---------------------------------------------------------------------------
+# Lemma B.2: RGX → union of tree-like rules
+# ---------------------------------------------------------------------------
+
+
+def _strip_bindings(expression: Rgx, conjuncts: list[tuple[Variable, Rgx]]) -> Rgx:
+    """Replace top-level bindings by bare variables, recording conjuncts."""
+    if isinstance(expression, VarBind):
+        body = _strip_bindings(expression.body, conjuncts)
+        conjuncts.append((expression.variable, simplify(body)))
+        return var_binding(expression.variable)
+    if isinstance(expression, (Epsilon, Letter)):
+        return expression
+    if isinstance(expression, Concat):
+        return concat(*(_strip_bindings(p, conjuncts) for p in expression.parts))
+    if isinstance(expression, Union):
+        return union(*(_strip_bindings(o, conjuncts) for o in expression.options))
+    if isinstance(expression, Star):
+        return Star(_strip_bindings(expression.body, conjuncts))
+    raise RuleError(f"unknown node {expression!r}")
+
+
+def rgx_to_treelike_rules(expression: Rgx, budget: int = 100_000) -> list[Rule]:
+    """Lemma B.2: every RGX is a union of (simple, tree-like) rules.
+
+    Path-decomposes the RGX through the VAstk path-union construction,
+    then peels each path expression's nested bindings into conjuncts.
+    """
+    from repro.automata.path_union import vastk_to_rgx
+    from repro.automata.thompson import to_vastk
+    from repro.rgx.ast import Union as UnionNode
+
+    path_union = vastk_to_rgx(to_vastk(expression), budget=budget)
+    if path_union is None:
+        return []
+    disjuncts = (
+        list(path_union.options)
+        if isinstance(path_union, UnionNode)
+        else [path_union]
+    )
+    rules: list[Rule] = []
+    for disjunct in disjuncts:
+        conjuncts: list[tuple[Variable, Rgx]] = []
+        root = simplify(_strip_bindings(disjunct, conjuncts))
+        rules.append(Rule(root, tuple(conjuncts), check_span_rgx=False))
+    return rules
+
+
+# ---------------------------------------------------------------------------
+# Theorem 4.10: unions of simple rules ≡ RGX
+# ---------------------------------------------------------------------------
+
+
+def union_of_rules_to_rgx(
+    rules: list[Rule], budget: int = DEFAULT_RULE_BUDGET
+) -> Rgx | None:
+    """The forward direction of Theorem 4.10 (``None`` = unsatisfiable).
+
+    Auxiliary variables introduced by cycle elimination are *kept* in the
+    produced RGX; project them away when comparing with the source rules.
+    """
+    expressions: list[Rgx] = []
+    for simple_rule in rules:
+        for daglike in to_functional_daglike(simple_rule, budget):
+            for treelike in daglike_to_treelike(daglike, budget):
+                expressions.append(treelike_to_rgx(treelike))
+    if not expressions:
+        return None
+    return simplify(union(*expressions))

@@ -1,0 +1,175 @@
+"""High-level spanner API — the convenience layer for downstream users.
+
+A :class:`Spanner` wraps any of the paper's formalisms behind one object
+with a compiled automaton, cached classification (sequential? functional?),
+evaluation, streaming enumeration, extraction of *decoded* results, and
+the algebra/static-analysis operations::
+
+    >>> from repro.spanner import Spanner
+    >>> sp = Spanner.compile(".*Seller: x{[^,\\n]*},.*")
+    >>> sp.extract("Seller: John, ID75\\n")
+    [{'x': 'John'}]
+
+`extract` returns dictionaries of *strings* (or, with ``spans=True``, of
+:class:`~repro.spans.span.Span`) — one per output mapping, with absent
+optional fields simply missing from the dictionary, which is the paper's
+incomplete-information story in API form.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from functools import cached_property
+
+from repro.automata.sequential import is_sequential as _va_sequential
+from repro.automata.simulate import evaluate_va
+from repro.automata.thompson import to_va
+from repro.automata.va import VA
+from repro.evaluation.enumerate import enumerate_va
+from repro.evaluation.eval_problem import eval_va, model_check_va, non_empty_va
+from repro.rgx.ast import Rgx
+from repro.rgx.parser import parse
+from repro.rgx.properties import is_functional
+from repro.spans.document import Document, as_text
+from repro.spans.mapping import ExtendedMapping, Mapping, Variable
+from repro.util.errors import SpannerError
+
+
+class Spanner:
+    """A compiled document spanner under the mapping semantics."""
+
+    def __init__(self, automaton: VA, expression: Rgx | None = None) -> None:
+        self._automaton = automaton
+        self._expression = expression
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def compile(cls, pattern: "str | Rgx") -> "Spanner":
+        """Compile concrete RGX syntax (or an AST) into a spanner."""
+        expression = parse(pattern) if isinstance(pattern, str) else pattern
+        return cls(to_va(expression), expression)
+
+    @classmethod
+    def from_automaton(cls, automaton: VA) -> "Spanner":
+        return cls(automaton)
+
+    # -- inspection ------------------------------------------------------------
+
+    @property
+    def automaton(self) -> VA:
+        return self._automaton
+
+    @property
+    def expression(self) -> Rgx | None:
+        """The source RGX, when compiled from one."""
+        return self._expression
+
+    @property
+    def variables(self) -> frozenset[Variable]:
+        return self._automaton.variables
+
+    @cached_property
+    def is_sequential(self) -> bool:
+        """Membership in the tractable fragment (Theorem 5.7)."""
+        return _va_sequential(self._automaton)
+
+    @cached_property
+    def is_functional(self) -> bool:
+        """Does the source expression lie in funcRGX (Theorem 4.1)?"""
+        if self._expression is None:
+            raise SpannerError("functionality is defined on expressions")
+        return is_functional(self._expression)
+
+    # -- evaluation -------------------------------------------------------------
+
+    def mappings(self, document: "Document | str") -> set[Mapping]:
+        """``⟦γ⟧_d`` — all output mappings."""
+        return evaluate_va(self._automaton, as_text(document))
+
+    def enumerate(self, document: "Document | str") -> Iterator[Mapping]:
+        """Stream the mappings via Algorithm 2 (polynomial delay when
+        :attr:`is_sequential`)."""
+        return enumerate_va(self._automaton, as_text(document))
+
+    def extract(
+        self, document: "Document | str", spans: bool = False
+    ) -> list[dict[str, object]]:
+        """Decoded results: one dict per mapping, absent fields omitted.
+
+        >>> Spanner.compile("x{a}(y{b}|ε)c*").extract("ac")
+        [{'x': 'a'}]
+        """
+        text = as_text(document)
+        results = []
+        for mapping in sorted(
+            self.mappings(text),
+            key=lambda m: sorted((v, s) for v, s in m.items()),
+        ):
+            if spans:
+                results.append({v: s for v, s in mapping.items()})
+            else:
+                results.append(
+                    {v: s.content(text) for v, s in mapping.items()}
+                )
+        return results
+
+    def matches(self, document: "Document | str") -> bool:
+        """``⟦γ⟧_d ≠ ∅`` (NonEmp, Section 5.1)."""
+        return non_empty_va(self._automaton, as_text(document))
+
+    def check(self, document: "Document | str", mapping: Mapping) -> bool:
+        """``µ ∈ ⟦γ⟧_d`` (ModelCheck, Section 5.1)."""
+        return model_check_va(self._automaton, as_text(document), mapping)
+
+    def eval(
+        self, document: "Document | str", pinned: ExtendedMapping
+    ) -> bool:
+        """The ``Eval`` decision problem (Section 5.1)."""
+        return eval_va(self._automaton, as_text(document), pinned)
+
+    # -- algebra (Theorem 4.5) ---------------------------------------------------
+
+    def union(self, other: "Spanner") -> "Spanner":
+        from repro.automata.algebra import union_va
+
+        return Spanner(union_va(self._automaton, other._automaton))
+
+    def project(self, variables) -> "Spanner":
+        from repro.automata.algebra import project_va
+
+        return Spanner(project_va(self._automaton, set(variables)))
+
+    def join(self, other: "Spanner") -> "Spanner":
+        from repro.automata.algebra import join_va
+
+        return Spanner(join_va(self._automaton, other._automaton))
+
+    # -- static analysis (Section 6) ----------------------------------------------
+
+    def is_satisfiable(self) -> bool:
+        from repro.analysis.satisfiability import satisfiable_va
+
+        return satisfiable_va(self._automaton)
+
+    def witness(self) -> str | None:
+        from repro.analysis.satisfiability import satisfying_document
+
+        return satisfying_document(self._automaton)
+
+    def contained_in(self, other: "Spanner") -> bool:
+        from repro.analysis.containment import contained_va
+
+        return contained_va(self._automaton, other._automaton)
+
+    def equivalent_to(self, other: "Spanner") -> bool:
+        from repro.analysis.containment import equivalent_va
+
+        return equivalent_va(self._automaton, other._automaton)
+
+    def __repr__(self) -> str:
+        source = f" from {self._expression}" if self._expression else ""
+        return (
+            f"Spanner({self._automaton.num_states} states, "
+            f"variables {sorted(self.variables)}{source})"
+        )

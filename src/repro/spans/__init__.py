@@ -1,0 +1,30 @@
+"""Spans, documents and mappings — the substrate of Section 2 of the paper."""
+
+from repro.spans.document import Document, as_text
+from repro.spans.mapping import (
+    NULL,
+    ExtendedMapping,
+    Mapping,
+    Variable,
+    all_total_mappings,
+    is_hierarchical_set,
+    join,
+    join_all,
+)
+from repro.spans.span import Span, all_spans, spans_with_content
+
+__all__ = [
+    "Document",
+    "ExtendedMapping",
+    "Mapping",
+    "NULL",
+    "Span",
+    "Variable",
+    "all_spans",
+    "all_total_mappings",
+    "as_text",
+    "is_hierarchical_set",
+    "join",
+    "join_all",
+    "spans_with_content",
+]

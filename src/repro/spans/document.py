@@ -1,0 +1,97 @@
+"""Documents — the strings information is extracted from (paper, Section 2).
+
+A document is just a string over a finite alphabet.  :class:`Document` is a
+thin immutable wrapper that carries span helpers and an explicit alphabet so
+that expressions using the ``Σ`` wildcard can be evaluated against it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.spans.span import Span, all_spans
+from repro.util.errors import SpanError
+
+
+class Document:
+    """An immutable document with 1-based span accessors.
+
+    >>> d0 = Document("Information extraction")
+    >>> len(d0)
+    22
+    >>> d0[Span(1, 12)]
+    'Information'
+    """
+
+    __slots__ = ("_text",)
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+
+    @property
+    def text(self) -> str:
+        """The underlying string."""
+        return self._text
+
+    def __len__(self) -> int:
+        return len(self._text)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Document):
+            return self._text == other._text
+        if isinstance(other, str):
+            return self._text == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._text)
+
+    def __repr__(self) -> str:
+        preview = self._text if len(self._text) <= 40 else self._text[:37] + "..."
+        return f"Document({preview!r})"
+
+    def __str__(self) -> str:
+        return self._text
+
+    def __getitem__(self, span: Span) -> str:
+        """Content of a span: ``d[(i, j)]`` is the infix from ``i`` to ``j-1``."""
+        return span.content(self._text)
+
+    def letter(self, position: int) -> str:
+        """The letter at 1-based ``position`` (``a_position`` in the paper)."""
+        if not 1 <= position <= len(self._text):
+            raise SpanError(
+                f"position {position} outside document of length {len(self._text)}"
+            )
+        return self._text[position - 1]
+
+    @property
+    def positions(self) -> range:
+        """All positions ``1 .. |d| + 1`` (the places a span may begin/end)."""
+        return range(1, len(self._text) + 2)
+
+    def spans(self) -> list[Span]:
+        """``span(d)`` — every span of this document."""
+        return all_spans(len(self._text))
+
+    def iter_spans(self) -> Iterator[Span]:
+        """Lazily iterate over ``span(d)`` in lexicographic order."""
+        limit = len(self._text) + 1
+        for i in range(1, limit + 1):
+            for j in range(i, limit + 1):
+                yield Span(i, j)
+
+    def whole(self) -> Span:
+        """The span ``(1, |d| + 1)`` covering the entire document."""
+        return Span(1, len(self._text) + 1)
+
+    def alphabet(self) -> frozenset[str]:
+        """The set of letters occurring in the document."""
+        return frozenset(self._text)
+
+
+def as_text(document: "Document | str") -> str:
+    """Accept either a :class:`Document` or a plain string (public-API sugar)."""
+    if isinstance(document, Document):
+        return document.text
+    return document

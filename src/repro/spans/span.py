@@ -1,0 +1,141 @@
+"""Spans — intervals inside a document (paper, Section 2).
+
+A *span* of a document ``d`` is a pair ``(i, j)`` with
+``1 <= i <= j <= |d| + 1``.  It denotes the continuous region of ``d`` whose
+content is the infix between positions ``i`` and ``j - 1`` (1-based, as in
+the paper).  When ``i == j`` the content is the empty string.
+
+The 1-based convention is kept deliberately so that every worked example in
+the paper holds verbatim::
+
+    >>> from repro.spans import Span
+    >>> d0 = "Information extraction"
+    >>> Span(1, 12).content(d0)
+    'Information'
+    >>> Span(13, 23).content(d0)
+    'extraction'
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.util.errors import SpanError
+
+
+class Span(NamedTuple):
+    """A span ``(begin, end)`` with the paper's 1-based, end-exclusive style.
+
+    ``begin`` and ``end`` are positions *between* characters: position 1 is
+    before the first character and position ``|d| + 1`` after the last.  The
+    content of ``(i, j)`` is ``d[i-1 : j-1]`` in Python indexing.
+    """
+
+    begin: int
+    end: int
+
+    def __str__(self) -> str:
+        return f"({self.begin}, {self.end})"
+
+    @property
+    def length(self) -> int:
+        """Number of characters covered by the span."""
+        return self.end - self.begin
+
+    def is_empty(self) -> bool:
+        """True when the span covers no characters (``i == j``)."""
+        return self.begin == self.end
+
+    def validate(self, document_length: int | None = None) -> "Span":
+        """Check well-formedness; return ``self`` for chaining.
+
+        Raises :class:`SpanError` if ``begin``/``end`` do not satisfy
+        ``1 <= begin <= end`` (and ``end <= document_length + 1`` when a
+        document length is given).
+        """
+        if self.begin < 1 or self.end < self.begin:
+            raise SpanError(f"ill-formed span {self}")
+        if document_length is not None and self.end > document_length + 1:
+            raise SpanError(
+                f"span {self} exceeds document of length {document_length}"
+            )
+        return self
+
+    def content(self, document: str) -> str:
+        """The substring of ``document`` selected by this span."""
+        self.validate(len(document))
+        return document[self.begin - 1 : self.end - 1]
+
+    def contains(self, other: "Span") -> bool:
+        """True when ``other`` lies fully inside this span (paper's ⊇)."""
+        return self.begin <= other.begin and other.end <= self.end
+
+    def disjoint(self, other: "Span") -> bool:
+        """True when the two spans share no positions strictly inside both.
+
+        Following the standard convention for spans, two spans are disjoint
+        when their character ranges do not overlap; touching at a boundary
+        (``self.end == other.begin``) still counts as disjoint.
+        """
+        return self.end <= other.begin or other.end <= self.begin
+
+    def point_disjoint(self, other: "Span") -> bool:
+        """Section 6's stronger notion: endpoint sets do not intersect.
+
+        Two spans ``(i1, j1)`` and ``(i2, j2)`` are *point-disjoint* if
+        ``{i1, j1} ∩ {i2, j2} = ∅``.
+        """
+        return not ({self.begin, self.end} & {other.begin, other.end})
+
+    def overlaps_hierarchically(self, other: "Span") -> bool:
+        """True when the spans nest or are disjoint (never partially overlap).
+
+        This is the pairwise condition underlying *hierarchical* mappings:
+        either one span contains the other, or they are disjoint.
+        """
+        return (
+            self.contains(other)
+            or other.contains(self)
+            or self.disjoint(other)
+        )
+
+    def concatenate(self, other: "Span") -> "Span":
+        """Concatenation ``s1 . s2``, defined when ``self.end == other.begin``."""
+        if self.end != other.begin:
+            raise SpanError(f"cannot concatenate {self} with {other}")
+        return Span(self.begin, other.end)
+
+    def shift(self, offset: int) -> "Span":
+        """The span translated by ``offset`` positions (used by rule evaluation
+
+        to re-root a sub-document span into document coordinates).
+        """
+        return Span(self.begin + offset, self.end + offset)
+
+
+def all_spans(document_length: int) -> list[Span]:
+    """``span(d)``: every span of a document of the given length.
+
+    The paper defines ``span(d) = {(i, j) | 1 <= i <= j <= |d| + 1}``; there
+    are ``(n + 1)(n + 2) / 2`` of them for ``|d| = n``.
+    """
+    limit = document_length + 1
+    return [
+        Span(i, j) for i in range(1, limit + 1) for j in range(i, limit + 1)
+    ]
+
+
+def spans_with_content(document: str, content: str) -> list[Span]:
+    """All spans of ``document`` whose content equals ``content``.
+
+    Convenience used heavily in tests; mirrors how the paper picks out the
+    pairs in ``[a]_d`` for a letter ``a``.
+    """
+    if content == "":
+        return [Span(i, i) for i in range(1, len(document) + 2)]
+    found: list[Span] = []
+    start = document.find(content)
+    while start != -1:
+        found.append(Span(start + 1, start + 1 + len(content)))
+        start = document.find(content, start + 1)
+    return found

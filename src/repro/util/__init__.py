@@ -1,0 +1,26 @@
+"""Internal utilities shared across the library."""
+
+from repro.util.errors import (
+    AutomatonError,
+    BudgetExceededError,
+    MappingError,
+    NotSupportedError,
+    ParseError,
+    RuleError,
+    SpanError,
+    SpannerError,
+)
+from repro.util.graphs import strongly_connected_components, topological_order
+
+__all__ = [
+    "AutomatonError",
+    "BudgetExceededError",
+    "MappingError",
+    "NotSupportedError",
+    "ParseError",
+    "RuleError",
+    "SpanError",
+    "SpannerError",
+    "strongly_connected_components",
+    "topological_order",
+]

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the spanner library.
+
+Every error raised by the public API derives from :class:`SpannerError` so
+that callers can catch library failures with a single ``except`` clause while
+still being able to distinguish parse errors from semantic misuse.
+"""
+
+from __future__ import annotations
+
+
+class SpannerError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SpanError(SpannerError):
+    """An ill-formed span was constructed or used with the wrong document.
+
+    Spans follow the paper's convention: a span of a document ``d`` is a pair
+    ``(i, j)`` with ``1 <= i <= j <= |d| + 1``.
+    """
+
+
+class ParseError(SpannerError):
+    """The concrete syntax of a variable regex could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class MappingError(SpannerError):
+    """A mapping was used inconsistently.
+
+    Raised, for example, when taking the union of two incompatible mappings
+    (the paper only defines the union ``mu1 | mu2`` when ``mu1 ~ mu2``).
+    """
+
+
+class AutomatonError(SpannerError):
+    """A variable-set automaton was constructed or used incorrectly."""
+
+
+class RuleError(SpannerError):
+    """An extraction rule violates a structural requirement.
+
+    Examples: a non-simple rule passed to an algorithm defined only for simple
+    rules, or a rule whose graph is not tree-like passed to the tree-like
+    evaluation algorithm of Theorem 5.9.
+    """
+
+
+class NotSupportedError(SpannerError):
+    """The requested operation is outside the implemented fragment."""
+
+
+class BudgetExceededError(SpannerError):
+    """A worst-case-exponential construction exceeded its size budget.
+
+    Several translations in the paper incur exponential (or doubly
+    exponential) blowup; the implementations accept a ``budget`` to abort
+    deterministically instead of exhausting memory.
+    """
+
+    def __init__(self, message: str, budget: int) -> None:
+        super().__init__(f"{message} (budget {budget} exceeded)")
+        self.budget = budget

@@ -1,0 +1,112 @@
+"""Graph algorithms used by the rule machinery.
+
+The cycle-elimination procedure of Theorem 4.7 runs Tarjan's strongly
+connected components algorithm on the rule graph and then processes the
+components in (reverse) topological order.  Implemented from scratch
+(iteratively, to avoid recursion limits on long chains).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping, Sequence
+from typing import TypeVar
+
+Node = TypeVar("Node", bound=Hashable)
+
+
+def strongly_connected_components(
+    graph: Mapping[Node, Iterable[Node]],
+) -> list[list[Node]]:
+    """Tarjan's SCC algorithm, iterative form.
+
+    ``graph`` maps each node to its successors.  Nodes that appear only as
+    successors are treated as having no outgoing edges.  The components are
+    returned in *reverse topological order* (a component is emitted only
+    after every component it can reach), which is the order Tarjan's
+    algorithm naturally produces.
+    """
+    adjacency: dict[Node, list[Node]] = {}
+    for node, successors in graph.items():
+        adjacency.setdefault(node, [])
+        for succ in successors:
+            adjacency[node].append(succ)
+            adjacency.setdefault(succ, [])
+
+    index_of: dict[Node, int] = {}
+    lowlink: dict[Node, int] = {}
+    on_stack: set[Node] = set()
+    stack: list[Node] = []
+    components: list[list[Node]] = []
+    counter = 0
+
+    for root in adjacency:
+        if root in index_of:
+            continue
+        # Each work item is (node, iterator over remaining successors).
+        work: list[tuple[Node, int]] = [(root, 0)]
+        while work:
+            node, child_pos = work.pop()
+            if child_pos == 0:
+                index_of[node] = counter
+                lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            recurse = False
+            successors = adjacency[node]
+            for pos in range(child_pos, len(successors)):
+                succ = successors[pos]
+                if succ not in index_of:
+                    work.append((node, pos + 1))
+                    work.append((succ, 0))
+                    recurse = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if recurse:
+                continue
+            if lowlink[node] == index_of[node]:
+                component: list[Node] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
+
+
+def topological_order(graph: Mapping[Node, Iterable[Node]]) -> list[Node]:
+    """Topological order of a DAG (raises ``ValueError`` on a cycle)."""
+    components = strongly_connected_components(graph)
+    adjacency = {node: set(succs) for node, succs in graph.items()}
+    for component in components:
+        if len(component) > 1:
+            raise ValueError(f"graph has a cycle through {component!r}")
+        node = component[0]
+        if node in adjacency.get(node, ()):  # self-loop
+            raise ValueError(f"graph has a self-loop at {node!r}")
+    # Tarjan emits components in reverse topological order.
+    return [component[0] for component in reversed(components)]
+
+
+def reachable_from(
+    graph: Mapping[Node, Iterable[Node]], sources: Sequence[Node]
+) -> set[Node]:
+    """All nodes reachable from ``sources`` (including the sources)."""
+    adjacency: dict[Node, list[Node]] = {}
+    for node, successors in graph.items():
+        adjacency.setdefault(node, []).extend(successors)
+    seen: set[Node] = set()
+    frontier = [node for node in sources]
+    while frontier:
+        node = frontier.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        frontier.extend(adjacency.get(node, ()))
+    return seen

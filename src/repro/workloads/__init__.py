@@ -1,0 +1,23 @@
+"""Synthetic workload generators (Table 1's CSV scenario and friends)."""
+
+from repro.workloads import expressions, land_registry, server_logs
+from repro.workloads.expressions import (
+    field_document,
+    random_document,
+    random_rgx,
+    random_sequential_rgx,
+    random_va,
+    seller_like_sequential_rgx,
+)
+
+__all__ = [
+    "expressions",
+    "field_document",
+    "land_registry",
+    "random_document",
+    "random_rgx",
+    "random_sequential_rgx",
+    "random_va",
+    "seller_like_sequential_rgx",
+    "server_logs",
+]

@@ -1,0 +1,149 @@
+"""Random expression and automaton generators for tests and benchmarks.
+
+Seeded, size-bounded samplers over the RGX grammar, with knobs for the
+fragments the paper distinguishes (sequential, functional, spanRGX).
+Hypothesis strategies for property-based tests are built on top of these
+in ``tests/strategies.py``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.automata.labels import EPS, Close, Open, Sym
+from repro.automata.va import VA, VABuilder
+from repro.alphabet import CharSet
+from repro.rgx.ast import (
+    EPSILON,
+    Rgx,
+    Star,
+    VarBind,
+    char,
+    concat,
+    union,
+    var as var_binding,
+)
+
+
+def random_rgx(
+    size: int,
+    seed: int = 0,
+    alphabet: str = "ab",
+    variables: tuple[str, ...] = ("x", "y", "z"),
+    sequential: bool = False,
+) -> Rgx:
+    """A random RGX of roughly ``size`` AST nodes.
+
+    ``sequential=True`` restricts generation so concatenations never share
+    variables and stars stay variable-free (the seqRGX fragment).
+    """
+    rng = random.Random(seed)
+
+    def build(budget: int, allowed: tuple[str, ...]) -> Rgx:
+        if budget <= 1 or not alphabet:
+            if rng.random() < 0.15:
+                return EPSILON
+            return char(rng.choice(alphabet))
+        choice = rng.random()
+        if choice < 0.35:
+            left_budget = rng.randint(1, budget - 1)
+            if sequential and allowed:
+                split = rng.randint(0, len(allowed))
+                left_vars = allowed[:split]
+                right_vars = allowed[split:]
+            else:
+                left_vars = right_vars = allowed
+            return concat(
+                build(left_budget, left_vars),
+                build(budget - left_budget, right_vars),
+            )
+        if choice < 0.6:
+            left_budget = rng.randint(1, budget - 1)
+            return union(
+                build(left_budget, allowed), build(budget - left_budget, allowed)
+            )
+        if choice < 0.75:
+            body_vars = () if sequential else allowed
+            return Star(build(budget - 1, body_vars))
+        if choice < 0.9 and allowed:
+            variable = rng.choice(allowed)
+            remaining = tuple(v for v in allowed if v != variable)
+            return VarBind(variable, build(budget - 1, remaining))
+        return char(rng.choice(alphabet))
+
+    return build(max(size, 1), variables)
+
+
+def random_sequential_rgx(size: int, seed: int = 0, **kwargs) -> Rgx:
+    return random_rgx(size, seed, sequential=True, **kwargs)
+
+
+def random_va(
+    state_count: int,
+    seed: int = 0,
+    alphabet: str = "ab",
+    variables: tuple[str, ...] = ("x", "y"),
+    edge_factor: float = 1.8,
+) -> VA:
+    """A random variable-set automaton (not necessarily sequential)."""
+    rng = random.Random(seed)
+    builder = VABuilder()
+    states = builder.add_states(max(state_count, 2))
+    edge_count = int(edge_factor * state_count) + 2
+    for _ in range(edge_count):
+        source = rng.choice(states)
+        target = rng.choice(states)
+        kind = rng.random()
+        if kind < 0.55:
+            builder.add(source, Sym(CharSet.single(rng.choice(alphabet))), target)
+        elif kind < 0.7:
+            builder.add(source, EPS, target)
+        elif kind < 0.85 and variables:
+            builder.add(source, Open(rng.choice(variables)), target)
+        elif variables:
+            builder.add(source, Close(rng.choice(variables)), target)
+        else:
+            builder.add(source, EPS, target)
+    # Guarantee some connectivity from the initial state.
+    for index in range(len(states) - 1):
+        if rng.random() < 0.5:
+            builder.add(
+                states[index],
+                Sym(CharSet.single(rng.choice(alphabet))),
+                states[index + 1],
+            )
+    return builder.build(initial=states[0], final=states[-1])
+
+
+def seller_like_sequential_rgx(field_count: int) -> Rgx:
+    """A CSV-style sequential expression with ``field_count`` captures.
+
+    Used by the scaling benchmarks: the number of variables grows with
+    ``field_count`` while staying sequential.
+    """
+    from repro.rgx.ast import not_chars, star, string
+
+    parts: list[Rgx] = [star(not_chars(""))]
+    for index in range(field_count):
+        parts.append(string(f"f{index}="))
+        parts.append(VarBind(f"v{index}", star(not_chars(";\n"))))
+        parts.append(string(";"))
+    parts.append(star(not_chars("")))
+    return concat(*parts)
+
+
+def random_document(length: int, seed: int = 0, alphabet: str = "ab") -> str:
+    rng = random.Random(seed)
+    return "".join(rng.choice(alphabet) for _ in range(length))
+
+
+def field_document(field_count: int, value_length: int = 4, seed: int = 0) -> str:
+    """A document matching :func:`seller_like_sequential_rgx`."""
+    rng = random.Random(seed)
+    pieces = []
+    for index in range(field_count):
+        value = "".join(
+            rng.choice("abcdefgh") for _ in range(value_length)
+        )
+        pieces.append(f"f{index}={value};")
+    return "".join(pieces)

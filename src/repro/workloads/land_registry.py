@@ -1,0 +1,180 @@
+"""The paper's motivating scenario: a land-registry CSV (Table 1).
+
+The paper opens with a CSV file of property transactions::
+
+    Seller: John, ID75↵
+    Buyer: Marcelo, ID832, P78↵
+    Seller: Mark, ID7, $35,000↵
+
+where *some* seller rows carry an additional tax field — the prototypical
+incomplete-information workload.  This module generates such documents
+and builds the Section 3.1 expressions that extract seller names and,
+when present, the tax amount, as partial mappings.
+
+The exact RGX from the paper (Section 3.1)::
+
+    Σ* · Seller:␣ · x{R1} · , · R1 · (,␣ · y{(Σ - {↵})*} | ε) · ↵ · Σ*
+
+with ``R1 = (Σ - {,, ↵})*``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.rgx.ast import (
+    Rgx,
+    VarBind,
+    concat,
+    not_chars,
+    star,
+    string,
+    union,
+    EPSILON,
+)
+from repro.rules.rule import Rule
+from repro.spans.span import Span
+
+_FIRST_NAMES = [
+    "John", "Marcelo", "Mark", "Ana", "Lucia", "Pedro", "Ivana", "Tomas",
+    "Elena", "Diego", "Marta", "Nikola", "Sofia", "Bruno", "Petra", "Luka",
+]
+
+
+@dataclass(frozen=True)
+class RegistryRow:
+    """One CSV row plus its expected extraction (the benchmark oracle)."""
+
+    kind: str  # "Seller" or "Buyer"
+    name: str
+    identifier: str
+    tax: str | None
+
+
+def generate_rows(row_count: int, tax_probability: float = 0.5, seed: int = 0) -> list[RegistryRow]:
+    rng = random.Random(seed)
+    rows = []
+    for index in range(row_count):
+        name = rng.choice(_FIRST_NAMES)
+        identifier = f"ID{rng.randrange(1, 999)}"
+        if rng.random() < 0.5:
+            rows.append(RegistryRow("Buyer", name, identifier, None))
+        else:
+            tax = None
+            if rng.random() < tax_probability:
+                tax = f"${rng.randrange(1, 99)},{rng.randrange(100, 999)}"
+            rows.append(RegistryRow("Seller", name, identifier, tax))
+    return rows
+
+
+def render(rows: list[RegistryRow]) -> str:
+    """The CSV document for a list of rows (the paper's ↵ is ``\\n``)."""
+    lines = []
+    for row in rows:
+        if row.kind == "Buyer":
+            lines.append(f"Buyer: {row.name}, {row.identifier}, P{len(row.name)}")
+        elif row.tax is None:
+            lines.append(f"Seller: {row.name}, {row.identifier}")
+        else:
+            lines.append(f"Seller: {row.name}, {row.identifier}, {row.tax}")
+    return "".join(line + "\n" for line in lines)
+
+
+def generate_document(row_count: int, tax_probability: float = 0.5, seed: int = 0) -> str:
+    return render(generate_rows(row_count, tax_probability, seed))
+
+
+def seller_name_expression() -> Rgx:
+    """Section 3.1's first example: extract seller names only.
+
+    ``Σ* · Seller:␣ · x{(Σ - {,})*} · , · Σ*``
+    """
+    sigma_star = star(not_chars(""))
+    return concat(
+        sigma_star,
+        string("Seller: "),
+        VarBind("x", star(not_chars(",\n"))),
+        string(","),
+        star(not_chars("")),
+    )
+
+
+def seller_tax_expression() -> Rgx:
+    """Section 3.1's incomplete-information example: name + optional tax.
+
+    Produces mappings defined on ``x`` only (no tax field) or on both
+    ``x`` and ``y``.
+    """
+    sigma_star = star(not_chars(""))
+    field = star(not_chars(",\n"))  # the paper's R1
+    optional_tax = union(
+        concat(string(", "), VarBind("y", star(not_chars("\n")))),
+        EPSILON,
+    )
+    return concat(
+        sigma_star,
+        string("Seller: "),
+        VarBind("x", field),
+        string(", "),
+        field,
+        optional_tax,
+        string("\n"),
+        sigma_star,
+    )
+
+
+def seller_rule() -> Rule:
+    """The same extraction as a sequential tree-like rule (Section 3.3).
+
+    The row is captured into ``r``, whose shape is constrained by a
+    conjunct — mirroring how [2] would express the task.
+    """
+    sigma_star = star(not_chars(""))
+    field = star(not_chars(",\n"))
+    row_shape = concat(
+        string("Seller: "),
+        VarBind("x", star(not_chars(""))),
+        string(", "),
+        field,
+        union(concat(string(", "), VarBind("y", star(not_chars("")))), EPSILON),
+    )
+    root = concat(
+        sigma_star,
+        VarBind("r", star(not_chars(""))),
+        string("\n"),
+        sigma_star,
+    )
+    name_shape = field
+    tax_shape = star(not_chars("\n"))
+    return Rule(
+        root,
+        (
+            ("r", row_shape),
+            ("x", name_shape),
+            ("y", tax_shape),
+        ),
+        check_span_rgx=False,
+    )
+
+
+def expected_extraction(rows: list[RegistryRow]) -> set[tuple[str, str | None]]:
+    """Ground truth ``(name, tax)`` pairs for generated rows."""
+    return {
+        (row.name, row.tax) for row in rows if row.kind == "Seller"
+    }
+
+
+def extraction_pairs(document: str, mappings) -> set[tuple[str, str | None]]:
+    """Decode mappings into ``(name, tax)`` pairs for comparison."""
+    pairs = set()
+    for mapping in mappings:
+        name_span: Span = mapping["x"]
+        tax_span: Span | None = mapping.get("y")
+        pairs.add(
+            (
+                name_span.content(document),
+                tax_span.content(document) if tax_span else None,
+            )
+        )
+    return pairs

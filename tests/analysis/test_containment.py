@@ -1,0 +1,147 @@
+"""Containment (Theorems 6.4, 6.6, 6.7)."""
+
+import pytest
+
+from repro.analysis.containment import (
+    contained_det_sequential_point_disjoint,
+    contained_va,
+    containment_counterexample,
+    equivalent_va,
+    is_point_disjoint_va,
+)
+from repro.automata.determinize import determinize
+from repro.automata.sequential import make_sequential
+from repro.automata.thompson import to_va
+from repro.rgx.parser import parse
+from repro.rgx.semantics import mappings
+
+
+def va(text):
+    return to_va(parse(text))
+
+
+class TestGeneralContainment:
+    @pytest.mark.parametrize(
+        "left,right,expected",
+        [
+            ("a*", "(a|b)*", True),
+            ("(a|b)*", "a*", False),
+            ("x{a}b", "x{a}.", True),
+            ("x{a}b", "y{a}b", False),
+            ("x{a}|x{b}", "x{a|b}", True),
+            ("x{a|b}", "x{a}", False),
+            ("x{a*}y{b*}", "x{.*}y{.*}", True),
+            ("x{.*}y{.*}", "x{a*}y{b*}", False),
+            ("x{ab}", "x{a.}", True),
+            ("(x{a}|y{b})*", "x{a}y{b}|y{b}x{a}|x{a}|y{b}|ε", True),
+        ],
+    )
+    def test_containment(self, left, right, expected):
+        assert contained_va(va(left), va(right)) == expected
+
+    def test_counterexample_is_genuine(self):
+        witness = containment_counterexample(va("x{a|b}"), va("x{a}"))
+        assert witness is not None
+        document, mapping = witness
+        assert mapping in mappings(parse("x{a|b}"), document)
+        assert mapping not in mappings(parse("x{a}"), document)
+
+    def test_contained_pair_has_no_counterexample(self):
+        assert containment_counterexample(va("x{a}b"), va("x{a}.")) is None
+
+    def test_unused_open_does_not_confuse(self):
+        # An automaton that opens x and never closes it is equivalent to
+        # one without the open (sequentialisation handles this).
+        from repro.automata.labels import Open, sym
+        from repro.automata.va import VABuilder
+
+        builder = VABuilder()
+        q0, q1, q2 = builder.add_states(3)
+        builder.add(q0, Open("x"), q1)
+        builder.add(q1, sym("a"), q2)
+        opener = builder.build(initial=q0, final=q2)
+        assert equivalent_va(opener, va("a"))
+
+    def test_equivalence_of_translations(self):
+        # x{a*}y{b*} survives a round trip through VAstk and back.
+        from repro.automata.path_union import vastk_to_rgx
+        from repro.automata.thompson import to_vastk
+
+        expression = parse("x{a*}y{b*}")
+        recovered = vastk_to_rgx(to_vastk(expression))
+        assert equivalent_va(to_va(expression), to_va(recovered))
+
+    def test_empty_spanner_contained_in_everything(self):
+        assert contained_va(va("x{a}x{b}"), va("c"))
+
+
+class TestPointDisjointPolynomial:
+    def mk(self, text):
+        return determinize(make_sequential(va(text)))
+
+    @pytest.mark.parametrize(
+        "left,right,expected",
+        [
+            ("x{ab}c", "x{ab}.", True),
+            ("x{a}bc", "x{a}bd", False),
+            ("ax{b}c", "ax{b}c|ax{b}d", True),
+            ("ax{b}c|ax{b}d", "ax{b}c", False),
+            ("ax{bb}cc", "ax{bb}c.", True),
+        ],
+    )
+    def test_matches_general_algorithm(self, left, right, expected):
+        first, second = self.mk(left), self.mk(right)
+        assert is_point_disjoint_va(first, ["abc", "abcd", "abbcc"])
+        assert (
+            contained_det_sequential_point_disjoint(first, second) == expected
+        )
+        assert contained_va(first, second) == expected
+
+    def test_rejects_non_sequential(self):
+        from repro.util.errors import AutomatonError
+
+        non_sequential = va("(x{a})*")
+        with pytest.raises(AutomatonError):
+            contained_det_sequential_point_disjoint(non_sequential, non_sequential)
+
+
+class TestDnfReduction:
+    """Theorem 6.6: the coNP-hardness family solved by the general
+    algorithm; brute force agrees."""
+
+    def test_valid_and_invalid_formulas(self):
+        from repro.reductions.dnf_validity import (
+            DnfFormula,
+            brute_force_valid,
+            containment_holds,
+        )
+
+        tautology = DnfFormula(
+            (
+                (("p0", True), ("p1", True), ("p2", True)),
+                (("p0", False), ("p1", True), ("p2", True)),
+                (("p0", True), ("p1", False), ("p2", True)),
+                (("p0", True), ("p1", True), ("p2", False)),
+                (("p0", False), ("p1", False), ("p2", True)),
+                (("p0", False), ("p1", True), ("p2", False)),
+                (("p0", True), ("p1", False), ("p2", False)),
+                (("p0", False), ("p1", False), ("p2", False)),
+            )
+        )
+        assert brute_force_valid(tautology)
+        assert containment_holds(tautology)
+
+        single = DnfFormula(((("p0", True), ("p1", True), ("p2", True)),))
+        assert not brute_force_valid(single)
+        assert not containment_holds(single)
+
+    def test_random_instances(self):
+        from repro.reductions.dnf_validity import (
+            brute_force_valid,
+            containment_holds,
+            random_dnf,
+        )
+
+        for seed in range(5):
+            formula = random_dnf(2, 3, seed)
+            assert containment_holds(formula) == brute_force_valid(formula)

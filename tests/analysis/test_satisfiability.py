@@ -1,0 +1,114 @@
+"""Satisfiability (Theorems 6.1–6.3 and Lemma D.1)."""
+
+import pytest
+
+from repro.analysis.satisfiability import (
+    satisfiable_rgx,
+    satisfiable_rule,
+    satisfiable_rule_bounded,
+    satisfiable_va,
+    satisfying_document,
+    witness_length_bound,
+)
+from repro.automata.thompson import to_va
+from repro.rgx.ast import ANY_STAR, char, concat, union
+from repro.rgx.parser import parse
+from repro.rgx.semantics import mappings
+from repro.rules.cycles import unsatisfiable_daglike_rule
+from repro.rules.rule import Rule, bare, rule
+from repro.util.errors import NotSupportedError
+
+
+class TestVaSatisfiability:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("a*", True),
+            ("x{a*}y{b*}", True),
+            ("x{a}x{b}", False),       # variable reuse
+            ("x{x{a}}", False),        # self-nesting
+            ("(x{a})*", True),         # one iteration works
+            ("x{[^a]}a", True),
+            ("x{εε}", True),
+        ],
+    )
+    def test_satisfiability(self, text, expected):
+        assert satisfiable_rgx(parse(text)) == expected
+
+    @pytest.mark.parametrize(
+        "text", ["a*", "x{a*}y{b*}", "(x{a})*", "x{[^a]}a", ".*x{ab}.*"]
+    )
+    def test_witness_actually_satisfies(self, text):
+        expression = parse(text)
+        witness = satisfying_document(to_va(expression))
+        assert witness is not None
+        assert mappings(expression, witness)
+
+    @pytest.mark.parametrize("text", ["a*", "x{a*}y{b*}", "(x{a})*", ".*x{ab}.*"])
+    def test_witness_within_pumping_bound(self, text):
+        # Lemma D.1: a witness of length ≤ (2|V|+1)·|Q| exists; ours is a
+        # shortest-path witness, so certainly within the bound.
+        automaton = to_va(parse(text))
+        witness = satisfying_document(automaton)
+        assert witness is not None
+        assert len(witness) <= witness_length_bound(automaton)
+
+    def test_unsatisfiable_has_no_witness(self):
+        assert satisfying_document(to_va(parse("x{a}x{b}"))) is None
+
+    def test_functional_rgx_always_satisfiable(self):
+        # Section 4.3's observation, exercised on a few instances.
+        from repro.rgx.properties import is_functional
+
+        for text in ["x{a}", "x{a*}y{b*}", "x{y{a}b}", "x{a}|x{b}"]:
+            expression = parse(text)
+            assert is_functional(expression)
+            assert satisfiable_rgx(expression)
+
+
+class TestRuleSatisfiability:
+    def test_sequential_treelike_always_satisfiable(self):
+        # Theorem 6.3's positive half.
+        r = rule(bare("x"), ("x", concat(char("a"), bare("y"))), ("y", ANY_STAR))
+        assert satisfiable_rule(r)
+
+    def test_unsatisfiable_daglike_detected(self):
+        assert not satisfiable_rule(unsatisfiable_daglike_rule())
+
+    def test_cyclic_unsatisfiable_rule(self):
+        # x ∧ x.y ∧ y.(a·x): the paper's unsatisfiable example.
+        r = rule(bare("x"), ("x", bare("y")), ("y", concat(char("a"), bare("x"))))
+        assert not satisfiable_rule(r)
+
+    def test_cyclic_satisfiable_rule(self):
+        r = rule(bare("x"), ("x", bare("y")), ("y", bare("x")))
+        assert satisfiable_rule(r)
+
+    def test_non_simple_unsupported(self):
+        r = Rule(bare("x"), (("x", ANY_STAR), ("x", char("a"))))
+        with pytest.raises(NotSupportedError):
+            satisfiable_rule(r)
+
+    @pytest.mark.parametrize(
+        "conjuncts,expected",
+        [
+            (((("x", char("a"))),), True),
+            ((("x", concat(char("a"), bare("y"))), ("y", char("b"))), True),
+        ],
+    )
+    def test_against_bounded_brute_force(self, conjuncts, expected):
+        r = Rule(concat(ANY_STAR, bare("x"), ANY_STAR), tuple(conjuncts))
+        assert satisfiable_rule(r) == expected
+        assert satisfiable_rule_bounded(r, max_length=3) == expected
+
+    def test_reduction_instances_cross_checked(self):
+        from repro.reductions.one_in_three_sat import (
+            brute_force_one_in_three,
+            random_instance,
+            to_daglike_rule,
+        )
+
+        for seed in range(6):
+            instance = random_instance(2, 4, seed)
+            r = to_daglike_rule(instance)
+            assert satisfiable_rule(r) == brute_force_one_in_three(instance)

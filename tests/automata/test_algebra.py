@@ -1,0 +1,100 @@
+"""The spanner algebra ∪/π/⋈ on automata (Theorem 4.5)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.algebra import join_va, project_va, union_va
+from repro.automata.simulate import evaluate_va
+from repro.automata.thompson import to_va
+from repro.rgx.parser import parse
+from repro.rgx.semantics import mappings
+from repro.spans.mapping import join as semantic_join
+from tests.strategies import documents, rgx_expressions
+
+DOCS = ["", "a", "b", "ab", "ba", "aab", "abb"]
+
+
+class TestUnion:
+    @pytest.mark.parametrize(
+        "left,right", [("x{a*}y{b*}", "x{a*}.*"), ("x{a}|b", "y{b}|a")]
+    )
+    def test_matches_semantic_union(self, left, right):
+        e1, e2 = parse(left), parse(right)
+        combined = union_va(to_va(e1), to_va(e2))
+        for document in DOCS:
+            assert evaluate_va(combined, document) == mappings(e1, document) | mappings(
+                e2, document
+            )
+
+    @given(rgx_expressions(), rgx_expressions(), documents(max_length=4))
+    @settings(max_examples=40, deadline=None)
+    def test_union_random(self, first, second, document):
+        combined = union_va(to_va(first), to_va(second))
+        assert evaluate_va(combined, document) == mappings(
+            first, document
+        ) | mappings(second, document)
+
+
+class TestProjection:
+    @pytest.mark.parametrize(
+        "text,keep",
+        [
+            ("x{a*}y{b*}", {"x"}),
+            ("x{a*}y{b*}", {"y"}),
+            ("x{a*}y{b*}", set()),
+            ("(x{a}|y{b})*", {"x"}),
+            ("x{y{a}b}c", {"y"}),
+        ],
+    )
+    def test_matches_semantic_projection(self, text, keep):
+        expression = parse(text)
+        projected = project_va(to_va(expression), keep)
+        for document in DOCS:
+            expected = {m.project(keep) for m in mappings(expression, document)}
+            assert evaluate_va(projected, document) == expected
+
+    def test_projection_respects_variable_discipline(self):
+        # Projecting x away from x{a}x{b} must not make it satisfiable:
+        # the double use of x still invalidates every run.
+        expression = parse("x{a}x{b}")
+        projected = project_va(to_va(expression), set())
+        assert evaluate_va(projected, "ab") == set()
+
+
+class TestJoin:
+    @pytest.mark.parametrize(
+        "left,right",
+        [
+            ("x{a*}y{b*}", "x{a*}.*"),          # shared x
+            ("x{a*}.*", "y{b*}|.*"),            # no shared variables
+            ("x{a}.*", ".*x{a}"),               # shared, positions must agree
+            ("x{a}|y{b}", "x{.}|y{.}"),         # partial domains both sides
+        ],
+    )
+    def test_matches_semantic_join(self, left, right):
+        e1, e2 = parse(left), parse(right)
+        joined = join_va(to_va(e1), to_va(e2))
+        for document in DOCS:
+            expected = semantic_join(
+                mappings(e1, document), mappings(e2, document)
+            )
+            assert evaluate_va(joined, document) == expected, document
+
+    def test_join_keeps_one_sided_assignments(self):
+        # µ1 assigns x, µ2 does not: the join keeps µ1(x) — the crucial
+        # difference from natural join that the paper's mappings enable.
+        e1, e2 = parse("x{a}b"), parse("(y{a}|a)b")
+        joined = join_va(to_va(e1), to_va(e2))
+        result = evaluate_va(joined, "ab")
+        domains = {frozenset(m.domain) for m in result}
+        assert frozenset({"x", "y"}) in domains
+        assert frozenset({"x"}) in domains
+
+    @given(rgx_expressions(max_depth=3), rgx_expressions(max_depth=3), documents(max_length=3))
+    @settings(max_examples=25, deadline=None)
+    def test_join_random(self, first, second, document):
+        joined = join_va(to_va(first), to_va(second))
+        expected = semantic_join(
+            mappings(first, document), mappings(second, document)
+        )
+        assert evaluate_va(joined, document) == expected

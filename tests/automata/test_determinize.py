@@ -1,0 +1,101 @@
+"""Determinisation (Proposition 6.5) and character atoms."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.alphabet import CharSet
+from repro.automata.determinize import (
+    character_atoms,
+    determinize,
+    is_complete_deterministic,
+)
+from repro.automata.simulate import evaluate_va
+from repro.automata.thompson import to_va
+from repro.rgx.parser import parse
+from repro.rgx.semantics import mappings
+from repro.workloads.expressions import random_va
+from tests.strategies import documents, rgx_expressions
+
+
+class TestCharacterAtoms:
+    def test_disjoint_singletons(self):
+        atoms = character_atoms([CharSet.single("a"), CharSet.single("b")])
+        assert sorted(str(a) for a in atoms) == ["a", "b"]
+
+    def test_cofinite_gets_residue_atom(self):
+        atoms = character_atoms([CharSet.excluding("a")])
+        assert any(a.negated for a in atoms)
+
+    def test_atoms_partition_membership(self):
+        charsets = [CharSet.of("ab"), CharSet.excluding("b"), CharSet.single("c")]
+        atoms = character_atoms(charsets)
+        # Two witnesses of the same atom agree on every predicate; two
+        # different atoms disagree on at least one.
+        vectors = []
+        for atom in atoms:
+            first = atom.witness()
+            second = atom.witness(avoid={first})
+            vector = tuple(cs.contains(first) for cs in charsets)
+            if atom.contains(second):
+                assert vector == tuple(cs.contains(second) for cs in charsets)
+            vectors.append(vector)
+        assert len(set(vectors)) == len(vectors)
+
+    def test_empty_input(self):
+        assert character_atoms([]) == []
+
+
+class TestDeterminize:
+    CASES = [
+        ("x{a*}y{b*}", ["", "a", "ab", "aabb", "ba"]),
+        ("(x{(a|b)*}|y{(a|b)*})*", ["", "ab", "aab"]),
+        ("x{a}|b", ["a", "b"]),
+        (".*x{a}.*", ["", "a", "aa", "baa"]),
+    ]
+
+    @pytest.mark.parametrize("text,docs", CASES)
+    def test_preserves_semantics(self, text, docs):
+        expression = parse(text)
+        nfa = to_va(expression)
+        dfa = determinize(nfa)
+        assert is_complete_deterministic(dfa)
+        for document in docs:
+            assert evaluate_va(dfa, document) == mappings(expression, document)
+
+    @given(rgx_expressions(), documents(max_length=4))
+    @settings(max_examples=50, deadline=None)
+    def test_preserves_semantics_random(self, expression, document):
+        dfa = determinize(to_va(expression))
+        assert evaluate_va(dfa, document) == mappings(expression, document)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_va_determinization(self, seed):
+        nfa = random_va(5, seed=seed)
+        dfa = determinize(nfa)
+        assert is_complete_deterministic(dfa)
+        for document in ["", "a", "b", "ab", "ba"]:
+            assert evaluate_va(dfa, document) == evaluate_va(nfa, document)
+
+    def test_blowup_is_possible(self):
+        # (a|b)*a(a|b)^n: the classical exponential family — DFA sizes
+        # double with n (2^{n+1} + extra), matching Proposition 6.5's
+        # worst case.
+        sizes = []
+        for n in (2, 3, 4, 5):
+            expression = parse("(a|b)*a" + "(a|b)" * n)
+            sizes.append(determinize(to_va(expression)).num_states)
+        growth = [later / earlier for earlier, later in zip(sizes, sizes[1:])]
+        assert all(ratio > 1.6 for ratio in growth), sizes
+
+    def test_capture_synchronises_the_blowup_family(self):
+        # With the capture x{a} marking the choice point, the operation
+        # symbol resolves the nondeterminism and the DFA stays linear —
+        # an instructive contrast recorded in EXPERIMENTS.md (E16).
+        sizes = []
+        for n in (2, 3, 4, 5):
+            expression = parse("(a|b)*x{a}" + "(a|b)" * n)
+            sizes.append(determinize(to_va(expression)).num_states)
+        differences = {
+            later - earlier for earlier, later in zip(sizes, sizes[1:])
+        }
+        assert differences == {2}, sizes

@@ -1,0 +1,135 @@
+"""State elimination and path union (Theorems 4.3/4.4, Figure 1)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.path_union import (
+    eliminate_states,
+    enumerate_walks,
+    va_to_rgx,
+    vastk_to_rgx,
+)
+from repro.automata.thompson import to_va, to_vastk
+from repro.automata.va import VABuilder
+from repro.automata.labels import Close, Open, sym
+from repro.rgx.parser import parse
+from repro.rgx.properties import is_functional
+from repro.rgx.ast import Union
+from repro.rgx.semantics import mappings
+from repro.util.errors import NotSupportedError
+from tests.strategies import documents, rgx_expressions
+
+ROUNDTRIP_CASES = [
+    ("x{a*}y{b*}", ["", "a", "b", "ab", "aabb", "ba"]),
+    ("(x{(a|b)*}|y{(a|b)*})*", ["", "a", "ab", "aab"]),
+    ("x{a}|b", ["a", "b"]),
+    ("x{y{a}b}c", ["abc", "ab"]),
+    ("(a|b)*x{c?}d", ["ad", "abcd", "d", "cd"]),
+]
+
+
+class TestVastkToRgx:
+    @pytest.mark.parametrize("text,docs", ROUNDTRIP_CASES)
+    def test_roundtrip_semantics(self, text, docs):
+        expression = parse(text)
+        recovered = vastk_to_rgx(to_vastk(expression))
+        for document in docs:
+            assert mappings(recovered, document) == mappings(
+                expression, document
+            )
+
+    @given(rgx_expressions(), documents(max_length=4))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_random(self, expression, document):
+        recovered = vastk_to_rgx(to_vastk(expression))
+        if recovered is None:
+            assert mappings(expression, document) == set()
+        else:
+            assert mappings(recovered, document) == mappings(
+                expression, document
+            )
+
+    def test_unsatisfiable_yields_none(self):
+        # x{a}x{b} has an empty spanner: the union of walks is empty only
+        # when no consistent walk exists... the Thompson automaton still
+        # has walks (each opening x once), so this yields an expression
+        # equivalent to the empty spanner instead.
+        builder = VABuilder()
+        q0, q1 = builder.add_states(2)
+        va = builder.build_vastk(initial=q0, final=q1)
+        assert vastk_to_rgx(va) is None
+
+    def test_walk_disjuncts_are_functional(self):
+        # Theorem 4.3's corollary: every RGX is an (exponential) union of
+        # functional RGX formulas.
+        expression = parse("(x{(a|b)*}|y{(a|b)*})*")
+        recovered = vastk_to_rgx(to_vastk(expression))
+        disjuncts = (
+            recovered.options if isinstance(recovered, Union) else [recovered]
+        )
+        assert all(is_functional(d) for d in disjuncts)
+        assert len(disjuncts) >= 3  # ε-only, x-only, y-only, both orders
+
+
+class TestVaToRgx:
+    @pytest.mark.parametrize("text,docs", ROUNDTRIP_CASES)
+    def test_roundtrip_semantics(self, text, docs):
+        expression = parse(text)
+        recovered = va_to_rgx(to_va(expression))
+        for document in docs:
+            assert mappings(recovered, document) == mappings(
+                expression, document
+            )
+
+    def test_hierarchical_closes_renested(self):
+        # x and y close at the same position (ε between): ops commute and
+        # the walk can be renested into an RGX.
+        builder = VABuilder()
+        states = builder.add_states(6)
+        builder.add(states[0], Open("x"), states[1])
+        builder.add(states[1], Open("y"), states[2])
+        builder.add(states[2], sym("a"), states[3])
+        builder.add(states[3], Close("x"), states[4])
+        builder.add(states[4], Close("y"), states[5])
+        va = builder.build(initial=states[0], final=states[5])
+        from repro.automata.simulate import evaluate_va
+
+        recovered = va_to_rgx(va)
+        assert mappings(recovered, "a") == evaluate_va(va, "a")
+
+    def test_non_hierarchical_rejected(self):
+        # x opens, a letter, y opens, a letter, x closes, a letter, y
+        # closes: spans properly overlap — no RGX can express this
+        # (Theorem 4.6), and the translation must refuse.
+        builder = VABuilder()
+        states = builder.add_states(8)
+        builder.add(states[0], Open("x"), states[1])
+        builder.add(states[1], sym("a"), states[2])
+        builder.add(states[2], Open("y"), states[3])
+        builder.add(states[3], sym("a"), states[4])
+        builder.add(states[4], Close("x"), states[5])
+        builder.add(states[5], sym("a"), states[6])
+        builder.add(states[6], Close("y"), states[7])
+        va = builder.build(initial=states[0], final=states[7])
+        with pytest.raises(NotSupportedError):
+            va_to_rgx(va)
+
+
+class TestEliminationGraph:
+    def test_graph_shape(self):
+        automaton = to_vastk(parse("x{a}b"))
+        graph = eliminate_states(automaton)
+        # Kept nodes: fresh initial/final plus one per operation.
+        assert graph.op_edge_count() == 2
+        walks = enumerate_walks(graph, stack_discipline=True)
+        assert len(walks) == 1
+
+    def test_walks_bounded_by_variables(self):
+        automaton = to_vastk(parse("(x{a}|y{b})*"))
+        graph = eliminate_states(automaton)
+        walks = enumerate_walks(graph, stack_discipline=True)
+        # Each walk opens each variable at most once.
+        assert 1 <= len(walks) <= 32
+        for walk in walks:
+            opens = [e for e in walk if isinstance(e.op, Open)]
+            assert len({e.op.variable for e in opens}) == len(opens)

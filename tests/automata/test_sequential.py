@@ -1,0 +1,106 @@
+"""Sequentiality: the check of Prop 5.5 and the construction of Prop 5.6."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.labels import EPS, Close, Open, sym
+from repro.automata.sequential import is_sequential, make_sequential
+from repro.automata.simulate import evaluate_va
+from repro.automata.thompson import to_va
+from repro.automata.va import VABuilder
+from repro.rgx.parser import parse
+from repro.workloads.expressions import random_va
+from tests.strategies import documents
+
+
+class TestCheck:
+    @pytest.mark.parametrize(
+        "text", ["x{a*}y{b*}", "(a|b)*x{a}", "x{(a|b)*}(y{a*}|ε)", "x{a}|x{b}"]
+    )
+    def test_sequential_expressions(self, text):
+        assert is_sequential(to_va(parse(text)))
+
+    @pytest.mark.parametrize("text", ["x{a}x{b}", "(x{a})*"])
+    def test_non_sequential_expressions(self, text):
+        assert not is_sequential(to_va(parse(text)))
+
+    def test_double_open_path(self):
+        builder = VABuilder()
+        q0, q1, q2 = builder.add_states(3)
+        builder.add(q0, Open("x"), q1)
+        builder.add(q1, Open("x"), q2)
+        assert not is_sequential(builder.build(initial=q0, final=q2))
+
+    def test_close_before_open_path(self):
+        builder = VABuilder()
+        q0, q1 = builder.add_states(2)
+        builder.add(q0, Close("x"), q1)
+        assert not is_sequential(builder.build(initial=q0, final=q1))
+
+    def test_open_without_close_path(self):
+        # Condition (2): opened variables must be closed on every path.
+        builder = VABuilder()
+        q0, q1 = builder.add_states(2)
+        builder.add(q0, Open("x"), q1)
+        assert not is_sequential(builder.build(initial=q0, final=q1))
+
+    def test_violation_on_dead_branch_is_ignored(self):
+        # Our check only considers initial-to-final paths (the walk of the
+        # paper's algorithm); violations in dead-end branches don't count.
+        builder = VABuilder()
+        q0, q1, dead = builder.add_states(3)
+        builder.add(q0, sym("a"), q1)
+        builder.add(q0, Close("x"), dead)
+        assert is_sequential(builder.build(initial=q0, final=q1))
+
+    def test_variable_free_automaton_is_sequential(self):
+        builder = VABuilder()
+        q0, q1 = builder.add_states(2)
+        builder.add(q0, sym("a"), q1)
+        builder.add(q1, EPS, q0)
+        assert is_sequential(builder.build(initial=q0, final=q1))
+
+
+class TestMakeSequential:
+    @pytest.mark.parametrize(
+        "text,docs",
+        [
+            ("x{a}x{b}", ["", "a", "ab"]),
+            ("(x{a})*", ["", "a", "aa"]),
+            ("(x{a}|y{b})*", ["", "a", "ab", "ba", "aab"]),
+        ],
+    )
+    def test_preserves_semantics(self, text, docs):
+        original = to_va(parse(text))
+        sequential = make_sequential(original)
+        assert is_sequential(sequential)
+        for document in docs:
+            assert evaluate_va(sequential, document) == evaluate_va(
+                original, document
+            )
+
+    def test_unclosed_open_becomes_skip(self):
+        builder = VABuilder()
+        q0, q1, q2 = builder.add_states(3)
+        builder.add(q0, Open("x"), q1)
+        builder.add(q1, sym("a"), q2)
+        original = builder.build(initial=q0, final=q2)
+        sequential = make_sequential(original)
+        assert is_sequential(sequential)
+        assert evaluate_va(sequential, "a") == evaluate_va(original, "a")
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_va_sequentialization(self, seed):
+        original = random_va(6, seed=seed)
+        sequential = make_sequential(original)
+        assert is_sequential(sequential)
+        for document in ["", "a", "b", "ab", "ba", "aab"]:
+            assert evaluate_va(sequential, document) == evaluate_va(
+                original, document
+            ), (seed, document)
+
+    def test_idempotent_on_sequential_input(self):
+        va = to_va(parse("x{a*}y{b*}"))
+        once = make_sequential(va)
+        for document in ["", "ab", "aabb"]:
+            assert evaluate_va(once, document) == evaluate_va(va, document)

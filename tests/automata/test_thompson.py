@@ -1,0 +1,78 @@
+"""Thompson construction (Theorem 4.3, RGX → automata) cross-validation."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.sequential import is_sequential
+from repro.automata.simulate import evaluate_va
+from repro.automata.thompson import to_va, to_vastk
+from repro.rgx.parser import parse
+from repro.rgx.properties import is_sequential as rgx_sequential
+from repro.rgx.semantics import mappings
+from tests.strategies import documents, rgx_expressions
+
+PAPER_CASES = [
+    ("x{a*}y{b*}", ["", "a", "ab", "aabb", "ba", "aaabbb"]),
+    ("(x{(a|b)*}|y{(a|b)*})*", ["", "a", "ab", "aab"]),
+    ("x{a}|b", ["a", "b", "ab"]),
+    ("x{y{a}b}c", ["abc", "ab", "c"]),
+    ("(a|b)*x{c?}d", ["ad", "abcd", "d", "cd"]),
+    ("x{εε}(a|b)*", ["", "ab"]),
+]
+
+
+class TestAgainstReferenceSemantics:
+    @pytest.mark.parametrize("text,docs", PAPER_CASES)
+    def test_va_matches_table2(self, text, docs):
+        expression = parse(text)
+        automaton = to_va(expression)
+        for document in docs:
+            assert evaluate_va(automaton, document) == mappings(
+                expression, document
+            )
+
+    @pytest.mark.parametrize("text,docs", PAPER_CASES)
+    def test_vastk_matches_table2(self, text, docs):
+        expression = parse(text)
+        automaton = to_vastk(expression)
+        for document in docs:
+            assert automaton.evaluate(document) == mappings(expression, document)
+
+    @given(rgx_expressions(), documents(max_length=5))
+    @settings(max_examples=120, deadline=None)
+    def test_va_matches_table2_random(self, expression, document):
+        assert evaluate_va(to_va(expression), document) == mappings(
+            expression, document
+        )
+
+    @given(rgx_expressions(), documents(max_length=4))
+    @settings(max_examples=60, deadline=None)
+    def test_vastk_matches_table2_random(self, expression, document):
+        assert to_vastk(expression).evaluate(document) == mappings(
+            expression, document
+        )
+
+
+class TestStructure:
+    def test_construction_is_linear(self):
+        expression = parse("((a|b)*x{c}d)*" * 1)
+        small = to_va(expression)
+        bigger = to_va(parse("(a|b)*x{c}d(a|b)*x{c}d".replace("x", "y")))
+        assert small.size() < 70
+        assert bigger.size() < 2.5 * small.size() + 20
+
+    @given(rgx_expressions())
+    @settings(max_examples=150, deadline=None)
+    def test_sequential_rgx_yields_sequential_va(self, expression):
+        # The key step in the proof of Theorem 5.7.
+        if rgx_sequential(expression):
+            assert is_sequential(to_va(expression))
+
+    def test_vastk_to_va_roundtrip(self):
+        expression = parse("x{a*}y{b*}|c")
+        stack_automaton = to_vastk(expression)
+        converted = stack_automaton.to_va()
+        for document in ["", "ab", "c", "aabb"]:
+            assert evaluate_va(converted, document) == mappings(
+                expression, document
+            )

@@ -1,0 +1,186 @@
+"""VA construction, validation, and the run semantics of Section 3.2."""
+
+import pytest
+
+from repro.alphabet import CharSet
+from repro.automata.labels import EPS, POP, Close, Open, Sym, any_sym, sym
+from repro.automata.simulate import accepts_string, evaluate_va
+from repro.automata.va import VA, VABuilder, is_deterministic
+from repro.spans.mapping import Mapping
+from repro.spans.span import Span
+from repro.util.errors import AutomatonError
+
+
+def simple_va() -> VA:
+    """q0 --x⊢--> q1 --a--> q2 --⊣x--> q3"""
+    builder = VABuilder()
+    q0, q1, q2, q3 = builder.add_states(4)
+    builder.add(q0, Open("x"), q1)
+    builder.add(q1, sym("a"), q2)
+    builder.add(q2, Close("x"), q3)
+    return builder.build(initial=q0, final=q3)
+
+
+class TestConstruction:
+    def test_variables_from_opens(self):
+        assert simple_va().variables == {"x"}
+
+    def test_out_of_range_state_rejected(self):
+        with pytest.raises(AutomatonError):
+            VA(2, 0, 1, ((0, sym("a"), 5),))
+
+    def test_bad_initial_rejected(self):
+        with pytest.raises(AutomatonError):
+            VA(2, 7, 1, ())
+
+    def test_pop_label_rejected_in_va(self):
+        with pytest.raises(AutomatonError):
+            VA(2, 0, 1, ((0, POP, 1),))
+
+    def test_size(self):
+        assert simple_va().size() == 4 + 3
+
+    def test_mentioned_vs_opened_variables(self):
+        builder = VABuilder()
+        q0, q1 = builder.add_states(2)
+        builder.add(q0, Close("ghost"), q1)
+        va = builder.build(initial=q0, final=q1)
+        assert va.variables == frozenset()
+        assert va.mentioned_variables == {"ghost"}
+
+
+class TestRunSemantics:
+    def test_single_capture(self):
+        assert evaluate_va(simple_va(), "a") == {Mapping({"x": Span(1, 2)})}
+
+    def test_rejects_wrong_letter(self):
+        assert evaluate_va(simple_va(), "b") == set()
+
+    def test_rejects_wrong_length(self):
+        assert evaluate_va(simple_va(), "aa") == set()
+
+    def test_close_without_open_never_fires(self):
+        builder = VABuilder()
+        q0, q1 = builder.add_states(2)
+        builder.add(q0, Close("x"), q1)
+        builder.add(q0, EPS, q1)
+        va = builder.build(initial=q0, final=q1)
+        assert evaluate_va(va, "") == {Mapping.empty()}
+
+    def test_open_without_close_is_unused(self):
+        # The paper: a variable opened but never closed stays undefined.
+        builder = VABuilder()
+        q0, q1 = builder.add_states(2)
+        builder.add(q0, Open("x"), q1)
+        va = builder.build(initial=q0, final=q1)
+        assert evaluate_va(va, "") == {Mapping.empty()}
+
+    def test_double_open_is_invalid(self):
+        builder = VABuilder()
+        q0, q1, q2 = builder.add_states(3)
+        builder.add(q0, Open("x"), q1)
+        builder.add(q1, Open("x"), q2)
+        va = builder.build(initial=q0, final=q2)
+        assert evaluate_va(va, "") == set()
+
+    def test_empty_span_capture(self):
+        builder = VABuilder()
+        q0, q1, q2 = builder.add_states(3)
+        builder.add(q0, Open("x"), q1)
+        builder.add(q1, Close("x"), q2)
+        va = builder.build(initial=q0, final=q2)
+        assert evaluate_va(va, "") == {Mapping({"x": Span(1, 1)})}
+
+    def test_charset_transition(self):
+        builder = VABuilder()
+        q0, q1 = builder.add_states(2)
+        builder.add(q0, Sym(CharSet.excluding(",")), q1)
+        va = builder.build(initial=q0, final=q1)
+        assert evaluate_va(va, "z") == {Mapping.empty()}
+        assert evaluate_va(va, ",") == set()
+
+    def test_accepts_string_matches_evaluate(self):
+        va = simple_va()
+        for document in ["", "a", "b", "aa"]:
+            assert accepts_string(va, document) == bool(evaluate_va(va, document))
+
+    def test_pruning_agrees_with_no_pruning(self):
+        va = simple_va()
+        for document in ["", "a", "aa"]:
+            assert evaluate_va(va, document, prune=False) == evaluate_va(
+                va, document, prune=True
+            )
+
+
+class TestRewrites:
+    def test_trimmed_removes_dead_states(self):
+        builder = VABuilder()
+        q0, q1, dead = builder.add_states(3)
+        builder.add(q0, sym("a"), q1)
+        builder.add(dead, sym("b"), dead)
+        va = builder.build(initial=q0, final=q1)
+        trimmed = va.trimmed()
+        assert trimmed.num_states == 2
+        assert evaluate_va(trimmed, "a") == evaluate_va(va, "a")
+
+    def test_trimmed_empty_language(self):
+        builder = VABuilder()
+        q0, q1 = builder.add_states(2)
+        va = builder.build(initial=q0, final=q1)
+        trimmed = va.trimmed()
+        assert evaluate_va(trimmed, "") == set()
+
+    def test_rename_variables(self):
+        renamed = simple_va().rename_variables({"x": "w"})
+        assert renamed.variables == {"w"}
+        assert evaluate_va(renamed, "a") == {Mapping({"w": Span(1, 2)})}
+
+    def test_renumbered_shifts(self):
+        va = simple_va()
+        shifted = va.renumbered(10)
+        assert shifted.initial == va.initial + 10
+        assert evaluate_va(shifted, "a") == evaluate_va(va, "a")
+
+    def test_add_word_builder(self):
+        builder = VABuilder()
+        q0, q1 = builder.add_states(2)
+        builder.add_word(q0, "abc", q1)
+        va = builder.build(initial=q0, final=q1)
+        assert evaluate_va(va, "abc") == {Mapping.empty()}
+        assert evaluate_va(va, "ab") == set()
+
+    def test_describe_mentions_transitions(self):
+        text = simple_va().describe()
+        assert "x⊢" in text and "⊣x" in text
+
+
+class TestDeterminism:
+    def test_simple_chain_is_deterministic(self):
+        assert is_deterministic(simple_va())
+
+    def test_epsilon_breaks_determinism(self):
+        builder = VABuilder()
+        q0, q1 = builder.add_states(2)
+        builder.add(q0, EPS, q1)
+        assert not is_deterministic(builder.build(initial=q0, final=q1))
+
+    def test_overlapping_charsets_break_determinism(self):
+        builder = VABuilder()
+        q0, q1, q2 = builder.add_states(3)
+        builder.add(q0, Sym(CharSet.any()), q1)
+        builder.add(q0, sym("a"), q2)
+        assert not is_deterministic(builder.build(initial=q0, final=q1))
+
+    def test_disjoint_charsets_keep_determinism(self):
+        builder = VABuilder()
+        q0, q1, q2 = builder.add_states(3)
+        builder.add(q0, sym("a"), q1)
+        builder.add(q0, sym("b"), q2)
+        assert is_deterministic(builder.build(initial=q0, final=q1))
+
+    def test_duplicate_op_breaks_determinism(self):
+        builder = VABuilder()
+        q0, q1, q2 = builder.add_states(3)
+        builder.add(q0, Open("x"), q1)
+        builder.add(q0, Open("x"), q2)
+        assert not is_deterministic(builder.build(initial=q0, final=q1))

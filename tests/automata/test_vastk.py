@@ -1,0 +1,97 @@
+"""Variable-stack automata: stack discipline and hierarchical outputs."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.labels import EPS, POP, Close, Open, sym
+from repro.automata.va import VABuilder
+from repro.automata.vastk import VAStk
+from repro.spans.mapping import Mapping
+from repro.spans.span import Span
+from repro.util.errors import AutomatonError
+from tests.strategies import documents, rgx_expressions
+
+
+def nested_automaton() -> VAStk:
+    """x{ y{a} b }"""
+    builder = VABuilder()
+    s = builder.add_states(8)
+    builder.add(s[0], Open("x"), s[1])
+    builder.add(s[1], Open("y"), s[2])
+    builder.add(s[2], sym("a"), s[3])
+    builder.add(s[3], POP, s[4])
+    builder.add(s[4], sym("b"), s[5])
+    builder.add(s[5], POP, s[6])
+    builder.add(s[6], EPS, s[7])
+    return builder.build_vastk(initial=s[0], final=s[7])
+
+
+class TestConstruction:
+    def test_named_close_rejected(self):
+        builder = VABuilder()
+        q0, q1 = builder.add_states(2)
+        builder.add(q0, Close("x"), q1)
+        with pytest.raises(AutomatonError):
+            builder.build_vastk(initial=q0, final=q1)
+
+    def test_variables(self):
+        assert nested_automaton().variables == {"x", "y"}
+
+
+class TestStackSemantics:
+    def test_nested_capture(self):
+        result = nested_automaton().evaluate("ab")
+        assert result == {
+            Mapping({"x": Span(1, 3), "y": Span(1, 2)})
+        }
+
+    def test_pop_on_empty_stack_blocks(self):
+        builder = VABuilder()
+        q0, q1 = builder.add_states(2)
+        builder.add(q0, POP, q1)
+        automaton = builder.build_vastk(initial=q0, final=q1)
+        assert automaton.evaluate("") == set()
+
+    def test_unpopped_variables_are_unused(self):
+        builder = VABuilder()
+        q0, q1 = builder.add_states(2)
+        builder.add(q0, Open("x"), q1)
+        automaton = builder.build_vastk(initial=q0, final=q1)
+        assert automaton.evaluate("") == {Mapping.empty()}
+
+    def test_reopening_blocked(self):
+        builder = VABuilder()
+        s = builder.add_states(4)
+        builder.add(s[0], Open("x"), s[1])
+        builder.add(s[1], POP, s[2])
+        builder.add(s[2], Open("x"), s[3])
+        automaton = builder.build_vastk(initial=s[0], final=s[3])
+        assert automaton.evaluate("") == set()
+
+    def test_outputs_always_hierarchical(self):
+        # LIFO closing forces hierarchical mappings — the point of VAstk.
+        result = nested_automaton().evaluate("ab")
+        assert all(m.is_hierarchical() for m in result)
+
+
+class TestToVa:
+    def test_equivalence_on_nested(self):
+        from repro.automata.simulate import evaluate_va
+
+        automaton = nested_automaton()
+        converted = automaton.to_va()
+        for document in ["", "a", "ab", "ba"]:
+            assert evaluate_va(converted, document) == automaton.evaluate(
+                document
+            )
+
+    @given(rgx_expressions(max_depth=3), documents(max_length=3))
+    @settings(max_examples=30, deadline=None)
+    def test_equivalence_random(self, expression, document):
+        from repro.automata.simulate import evaluate_va
+        from repro.automata.thompson import to_vastk
+
+        automaton = to_vastk(expression)
+        assert evaluate_va(automaton.to_va(), document) == (
+            automaton.evaluate(document)
+        )

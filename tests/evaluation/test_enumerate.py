@@ -1,0 +1,105 @@
+"""Algorithm 2: enumeration by Eval oracle (Theorem 5.1)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.thompson import to_va
+from repro.evaluation.enumerate import (
+    enumerate_direct,
+    enumerate_rgx,
+    enumerate_va,
+    enumerate_with_oracle,
+)
+from repro.rgx.parser import parse
+from repro.rgx.semantics import mappings
+from repro.spans.mapping import ExtendedMapping
+from repro.spans.span import Span
+from tests.strategies import documents, rgx_expressions
+
+
+class TestCompleteness:
+    CASES = [
+        ("x{a*}y{b*}", "aabb"),
+        ("(x{(a|b)*}|y{(a|b)*})*", "aab"),
+        ("x{a}|b", "a"),
+        (".*x{[^b]}.*", "abca"),
+    ]
+
+    @pytest.mark.parametrize("text,document", CASES)
+    def test_enumerates_exactly_the_semantics(self, text, document):
+        expression = parse(text)
+        produced = list(enumerate_rgx(expression, document))
+        assert set(produced) == mappings(expression, document)
+
+    @pytest.mark.parametrize("text,document", CASES)
+    def test_no_duplicates(self, text, document):
+        produced = list(enumerate_rgx(parse(text), document))
+        assert len(produced) == len(set(produced))
+
+    @given(rgx_expressions(max_depth=3), documents(max_length=4))
+    @settings(max_examples=40, deadline=None)
+    def test_random_cross_validation(self, expression, document):
+        automaton = to_va(expression)
+        assert set(enumerate_va(automaton, document)) == mappings(
+            expression, document
+        )
+
+    @pytest.mark.parametrize("text,document", CASES)
+    def test_direct_enumerator_agrees(self, text, document):
+        automaton = to_va(parse(text))
+        assert set(enumerate_direct(automaton, document)) == set(
+            enumerate_va(automaton, document)
+        )
+
+
+class TestOracleDiscipline:
+    def test_oracle_called_polynomially_between_outputs(self):
+        """Theorem 5.1's delay argument: between two outputs the oracle is
+        invoked at most |vars|·(|spans|+1) times."""
+        expression = parse("x{a*}y{b*}")
+        automaton = to_va(expression)
+        document = "aabb"
+        calls = [0]
+
+        from repro.evaluation.eval_problem import eval_va
+
+        def counting_oracle(candidate: ExtendedMapping) -> bool:
+            calls[0] += 1
+            return eval_va(automaton, document, candidate)
+
+        span_count = (len(document) + 1) * (len(document) + 2) // 2
+        bound = 2 * (span_count + 1) + 2  # vars × (spans + ⊥) + slack
+        gaps = []
+        last = 0
+        for _ in enumerate_with_oracle(
+            counting_oracle, {"x", "y"}, document
+        ):
+            gaps.append(calls[0] - last)
+            last = calls[0]
+        assert gaps, "expected at least one output"
+        assert max(gaps) <= bound
+
+    def test_start_constraint_respected(self):
+        expression = parse("(x{(a|b)*}|y{(a|b)*})*")
+        automaton = to_va(expression)
+        document = "ab"
+        from repro.evaluation.eval_problem import eval_va
+
+        start = ExtendedMapping({"x": Span(1, 2)})
+        produced = set(
+            enumerate_with_oracle(
+                lambda candidate: eval_va(automaton, document, candidate),
+                automaton.mentioned_variables,
+                document,
+                start=start,
+            )
+        )
+        expected = {
+            m
+            for m in mappings(expression, document)
+            if m.get("x") == Span(1, 2)
+        }
+        assert produced == expected
+
+    def test_unsatisfiable_enumerates_nothing(self):
+        assert list(enumerate_rgx(parse("x{a}x{b}"), "ab")) == []

@@ -1,0 +1,146 @@
+"""The Eval decision problem (Section 5.1, Theorems 5.7 and 5.10)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.sequential import is_sequential
+from repro.automata.thompson import to_va
+from repro.evaluation.eval_problem import (
+    eval_general_va,
+    eval_sequential_va,
+    eval_va,
+    eval_va_permutation_baseline,
+    model_check_va,
+    non_empty_va,
+)
+from repro.rgx.parser import parse
+from repro.rgx.semantics import mappings
+from repro.spans.mapping import NULL, ExtendedMapping, Mapping
+from repro.spans.span import Span
+from tests.strategies import documents, rgx_expressions
+
+
+def brute_force_eval(expression, document, pinned: ExtendedMapping) -> bool:
+    """Ground truth: does any µ' ∈ ⟦γ⟧_d extend the pinned mapping?"""
+    return any(pinned.admits(m) for m in mappings(expression, document))
+
+
+class TestAgainstBruteForce:
+    CASES = [
+        ("x{a*}y{b*}", "aabb"),
+        ("(x{(a|b)*}|y{(a|b)*})*", "ab"),
+        ("x{a}|b", "a"),
+        ("x{εε}(a|b)*", "ab"),
+        (".*x{a}.*", "aba"),
+    ]
+
+    @pytest.mark.parametrize("text,document", CASES)
+    def test_all_extended_mappings(self, text, document):
+        """Exhaustively compare Eval against the reference on every pin of
+        one variable plus NULL/unconstrained for the others."""
+        expression = parse(text)
+        automaton = to_va(expression)
+        variables = sorted(expression.variables())
+        spans = [
+            Span(i, j)
+            for i in range(1, len(document) + 2)
+            for j in range(i, len(document) + 2)
+        ]
+        for variable in variables:
+            for value in list(spans) + [NULL]:
+                pinned = ExtendedMapping({variable: value})
+                expected = brute_force_eval(expression, document, pinned)
+                assert eval_va(automaton, document, pinned) == expected, (
+                    text,
+                    variable,
+                    value,
+                )
+
+    @pytest.mark.parametrize("text,document", CASES)
+    def test_general_and_baseline_agree(self, text, document):
+        expression = parse(text)
+        automaton = to_va(expression)
+        for mapping in mappings(expression, document):
+            pinned = ExtendedMapping.from_mapping(mapping)
+            assert eval_general_va(automaton, document, pinned)
+            assert eval_va_permutation_baseline(automaton, document, pinned)
+
+    @given(rgx_expressions(max_depth=3), documents(max_length=4))
+    @settings(max_examples=60, deadline=None)
+    def test_nonempty_matches_reference(self, expression, document):
+        automaton = to_va(expression)
+        assert non_empty_va(automaton, document) == bool(
+            mappings(expression, document)
+        )
+
+
+class TestSequentialAlgorithm:
+    def test_agrees_with_general_on_sequential_input(self):
+        expression = parse("x{a*}(y{b}|ε)c*")
+        automaton = to_va(expression)
+        assert is_sequential(automaton)
+        document = "aabc"
+        for value in [Span(1, 3), Span(3, 4), NULL]:
+            for variable in ("x", "y"):
+                pinned = ExtendedMapping({variable: value})
+                assert eval_sequential_va(
+                    automaton, document, pinned
+                ) == eval_general_va(automaton, document, pinned)
+
+    def test_pinned_empty_span(self):
+        expression = parse("x{ε}a")
+        automaton = to_va(expression)
+        assert eval_sequential_va(
+            automaton, "a", ExtendedMapping({"x": Span(1, 1)})
+        )
+        assert not eval_sequential_va(
+            automaton, "a", ExtendedMapping({"x": Span(2, 2)})
+        )
+
+    def test_unknown_variable_pinned(self):
+        automaton = to_va(parse("x{a}"))
+        pinned = ExtendedMapping({"zz": Span(1, 1)})
+        assert not eval_va(automaton, "a", pinned)
+
+    def test_null_forbids_assignment(self):
+        automaton = to_va(parse("x{a}|b"))
+        assert eval_va(automaton, "b", ExtendedMapping({"x": NULL}))
+        assert not eval_va(automaton, "a", ExtendedMapping({"x": NULL}))
+
+    def test_span_out_of_bounds(self):
+        automaton = to_va(parse("x{a*}"))
+        assert not eval_va(automaton, "a", ExtendedMapping({"x": Span(1, 9)}))
+
+
+class TestEmptySpanOrdering:
+    def test_close_cannot_precede_open_at_same_position(self):
+        # y{ε}x{ε}: both spans are (1,1); a pinned check must respect that
+        # each variable opens before it closes within the position.
+        expression = parse("y{ε}x{ε}")
+        automaton = to_va(expression)
+        pinned = ExtendedMapping({"x": Span(1, 1), "y": Span(1, 1)})
+        assert eval_general_va(automaton, "", pinned)
+        assert eval_va_permutation_baseline(automaton, "", pinned)
+
+
+class TestModelCheck:
+    @pytest.mark.parametrize("text,document", [("x{a*}y{b*}", "ab"), ("x{a}|b", "b")])
+    def test_members_check_out(self, text, document):
+        expression = parse(text)
+        automaton = to_va(expression)
+        for mapping in mappings(expression, document):
+            assert model_check_va(automaton, document, mapping)
+
+    def test_non_members_rejected(self):
+        automaton = to_va(parse("x{a*}y{b*}"))
+        assert not model_check_va(
+            automaton, "ab", Mapping({"x": Span(1, 2)})
+        )  # y missing: ModelCheck is exact, unlike Eval
+
+    def test_eval_accepts_where_model_check_rejects(self):
+        automaton = to_va(parse("x{a*}y{b*}"))
+        partial = Mapping({"x": Span(1, 2)})
+        assert eval_va(
+            automaton, "ab", ExtendedMapping.from_mapping(partial)
+        )
+        assert not model_check_va(automaton, "ab", partial)

@@ -1,0 +1,102 @@
+"""Randomised cross-validation of Eval against the reference semantics.
+
+For random expressions, documents, and *random extended mappings* (pins
+to spans, pins to ⊥, free variables), the Eval verdict must equal
+"some reference mapping admits the pin".
+"""
+
+import random
+
+import pytest
+
+from repro.automata.thompson import to_va
+from repro.evaluation.eval_problem import (
+    eval_general_va,
+    eval_va,
+    eval_va_permutation_baseline,
+)
+from repro.rgx.semantics import mappings
+from repro.spans.mapping import NULL, ExtendedMapping
+from repro.spans.span import Span
+from repro.workloads.expressions import random_document, random_rgx
+
+
+def random_pin(variables, document_length: int, rng: random.Random) -> ExtendedMapping:
+    assignments = {}
+    for variable in variables:
+        roll = rng.random()
+        if roll < 0.4:
+            continue  # leave free
+        if roll < 0.6:
+            assignments[variable] = NULL
+            continue
+        begin = rng.randint(1, document_length + 1)
+        end = rng.randint(begin, document_length + 1)
+        assignments[variable] = Span(begin, end)
+    return ExtendedMapping(assignments)
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_eval_matches_reference(seed):
+    rng = random.Random(seed)
+    expression = random_rgx(8, seed=seed)
+    document = random_document(rng.randint(0, 4), seed=seed * 3 + 1)
+    automaton = to_va(expression)
+    reference = mappings(expression, document)
+    for trial in range(4):
+        pinned = random_pin(
+            sorted(expression.variables()), len(document), rng
+        )
+        expected = any(pinned.admits(m) for m in reference)
+        assert eval_va(automaton, document, pinned) == expected, (
+            expression,
+            document,
+            pinned,
+        )
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_general_and_permutation_baseline_agree(seed):
+    rng = random.Random(seed + 7_000)
+    expression = random_rgx(7, seed=seed + 7_000)
+    document = random_document(rng.randint(0, 3), seed=seed * 5 + 2)
+    automaton = to_va(expression)
+    for trial in range(3):
+        pinned = random_pin(
+            sorted(expression.variables()), len(document), rng
+        )
+        assert eval_general_va(
+            automaton, document, pinned
+        ) == eval_va_permutation_baseline(automaton, document, pinned)
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_treelike_rule_eval_matches_reference(seed):
+    """Random sequential tree-like rules: Eval vs the reference semantics."""
+    from repro.evaluation.rules_eval import eval_treelike_rule
+    from repro.rgx.ast import ANY_STAR, char, concat, union, var as bare
+    from repro.rules.rule import Rule
+
+    rng = random.Random(seed + 11_000)
+    # Random small tree: doc -> x (-> y?) with random letter scaffolding.
+    letters = "ab"
+    pieces = [char(rng.choice(letters)), bare("x"), char(rng.choice(letters))]
+    rng.shuffle(pieces)
+    root = concat(*pieces)
+    if rng.random() < 0.7:
+        x_formula = union(
+            concat(bare("y"), char(rng.choice(letters))), ANY_STAR
+        )
+        rule = Rule(root, (("x", x_formula), ("y", ANY_STAR)))
+    else:
+        rule = Rule(root, (("x", ANY_STAR),))
+    document = random_document(rng.randint(0, 4), seed=seed * 9 + 3)
+    reference = rule.evaluate(document)
+    for trial in range(4):
+        pinned = random_pin(["x", "y"], len(document), rng)
+        expected = any(pinned.admits(m) for m in reference)
+        assert eval_treelike_rule(rule, document, pinned) == expected, (
+            str(rule),
+            document,
+            pinned,
+        )

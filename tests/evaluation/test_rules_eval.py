@@ -1,0 +1,112 @@
+"""Tree-like rule evaluation in polynomial time (Theorem 5.9)."""
+
+import pytest
+
+from repro.evaluation.rules_eval import (
+    enumerate_treelike_rule,
+    eval_treelike_rule,
+)
+from repro.rgx.ast import ANY_STAR, char, concat, string, union
+from repro.rgx.parser import parse
+from repro.rules.rule import Rule, bare, rule
+from repro.spans.mapping import NULL, ExtendedMapping, Mapping
+from repro.spans.span import Span
+from repro.util.errors import RuleError
+
+DOCS = ["", "a", "ab", "aab", "abb", "acdbq", "ba", "ca", "b", "cca"]
+
+RULES = [
+    rule(
+        concat(bare("x"), ANY_STAR, bare("y")),
+        ("x", parse("a*")),
+        ("y", parse("b*")),
+    ),
+    rule(union(bare("x"), bare("y")), ("x", parse("ab*")), ("y", parse("ba*"))),
+    rule(
+        concat(char("a"), bare("x"), char("b"), bare("y")),
+        ("x", concat(string("c"), bare("z"))),
+        ("y", ANY_STAR),
+        ("z", char("d")),
+    ),
+    rule(
+        bare("x"),
+        ("x", union(concat(bare("u"), char("a")), char("b"))),
+        ("u", parse("c*")),
+    ),
+]
+
+
+class TestEnumerationMatchesReference:
+    @pytest.mark.parametrize("index", range(len(RULES)))
+    def test_all_documents(self, index):
+        r = RULES[index]
+        for document in DOCS:
+            expected = r.evaluate(document)
+            produced = set(enumerate_treelike_rule(r, document))
+            assert produced == expected, (str(r), document)
+
+
+class TestEvalDecisions:
+    def test_members_accepted(self):
+        r = RULES[0]
+        for document in DOCS:
+            for mapping in r.evaluate(document):
+                pinned = ExtendedMapping.total_for(mapping, r.variables())
+                assert eval_treelike_rule(r, document, pinned)
+
+    def test_partial_pins(self):
+        r = RULES[0]
+        document = "aXb".replace("X", "c")  # "acb"
+        # x must cover a prefix of a's; pin x and leave y free.
+        assert eval_treelike_rule(
+            r, "ab", ExtendedMapping({"x": Span(1, 2)})
+        )
+        assert not eval_treelike_rule(
+            r, "ab", ExtendedMapping({"x": Span(1, 3)})
+        )
+
+    def test_null_pin(self):
+        r = RULES[1]
+        # On "ab" only x can match; pinning x to ⊥ kills everything.
+        assert eval_treelike_rule(r, "ab", ExtendedMapping({"y": NULL}))
+        assert not eval_treelike_rule(r, "ab", ExtendedMapping({"x": NULL}))
+
+    def test_deep_pin_forces_ancestors(self):
+        r = RULES[2]
+        document = "acdbq"
+        # Pinning z forces the x subtree around it.
+        assert eval_treelike_rule(
+            r, document, ExtendedMapping({"z": Span(3, 4)})
+        )
+        assert not eval_treelike_rule(
+            r, document, ExtendedMapping({"z": Span(2, 3)})
+        )
+
+    def test_deep_pin_with_null_ancestor_contradicts(self):
+        r = RULES[2]
+        pinned = ExtendedMapping({"z": Span(3, 4), "x": NULL})
+        assert not eval_treelike_rule(r, "acdbq", pinned)
+
+    def test_requires_tree_like(self):
+        cyclic = rule(bare("x"), ("x", bare("y")), ("y", bare("x")))
+        with pytest.raises(RuleError):
+            eval_treelike_rule(cyclic, "a", ExtendedMapping.empty())
+
+    def test_requires_sequential(self):
+        non_sequential = Rule(
+            concat(bare("x"), bare("x")), (), check_span_rgx=False
+        )
+        with pytest.raises(RuleError):
+            eval_treelike_rule(non_sequential, "a", ExtendedMapping.empty())
+
+
+class TestIncompleteInformationScenario:
+    def test_optional_field_rule(self):
+        from repro.workloads import land_registry
+
+        r = land_registry.seller_rule()
+        document = "Seller: Ana, ID7\nSeller: Bo, ID9, $5,100\n"
+        produced = set(enumerate_treelike_rule(r, document))
+        assert produced == r.evaluate(document)
+        pairs = land_registry.extraction_pairs(document, produced)
+        assert pairs == {("Ana", None), ("Bo", "$5,100")}

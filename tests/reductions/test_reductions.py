@@ -1,0 +1,151 @@
+"""The paper's hardness reductions, cross-checked against brute force."""
+
+import pytest
+
+from repro.reductions.dnf_validity import (
+    DnfFormula,
+    brute_force_valid,
+    containment_holds,
+    random_dnf,
+    to_containment_instance,
+)
+from repro.reductions.hamiltonian import (
+    brute_force_hamiltonian,
+    random_graph,
+    to_relational_va,
+    va_nonempty_on_epsilon,
+)
+from repro.reductions.one_in_three_sat import (
+    OneInThreeInstance,
+    brute_force_one_in_three,
+    random_instance,
+    rule_nonempty_on_hash,
+    spanrgx_nonempty_on_epsilon,
+    to_daglike_rule,
+    to_spanrgx,
+)
+
+
+class TestOneInThreeToSpanRgx:
+    """Theorem 5.2."""
+
+    def test_satisfiable_instance(self):
+        # p ∨ q ∨ r alone: set exactly one true.
+        instance = OneInThreeInstance(((("p", "q", "r")),))
+        instance = OneInThreeInstance((("p", "q", "r"),))
+        assert brute_force_one_in_three(instance)
+        assert spanrgx_nonempty_on_epsilon(instance)
+
+    def test_unsatisfiable_instance(self):
+        # Clauses forcing two different "exactly one" choices of the same
+        # triple to coexist with a contradiction clause.
+        instance = OneInThreeInstance(
+            (
+                ("p", "p", "q"),  # exactly one of p,p,q: impossible for p=T
+                ("p", "q", "r"),
+            )
+        )
+        assert spanrgx_nonempty_on_epsilon(instance) == brute_force_one_in_three(
+            instance
+        )
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_instances(self, seed):
+        instance = random_instance(3, 4, seed)
+        assert spanrgx_nonempty_on_epsilon(instance) == brute_force_one_in_three(
+            instance
+        )
+
+    def test_produced_expression_is_spanrgx(self):
+        from repro.rgx.properties import is_span_rgx
+
+        assert is_span_rgx(to_spanrgx(random_instance(3, 4, 1)))
+
+
+class TestOneInThreeToRules:
+    """Theorem 5.8."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_instances(self, seed):
+        instance = random_instance(2, 4, seed)
+        assert rule_nonempty_on_hash(instance) == brute_force_one_in_three(
+            instance
+        )
+
+    def test_rule_shape(self):
+        from repro.rules.graph import is_dag_like, is_tree_like
+
+        # p is shared by both clauses, making the graph a proper DAG.
+        instance = OneInThreeInstance((("p", "q", "r"), ("p", "s", "t")))
+        rule = to_daglike_rule(instance).normalized()
+        assert rule.is_functional()
+        assert is_dag_like(rule)
+        assert not is_tree_like(rule)  # shared proposition variables
+
+    def test_only_hash_document_satisfies(self):
+        rule = to_daglike_rule(random_instance(2, 4, 3))
+        assert rule.evaluate("##") == set()
+        assert rule.evaluate("a") == set()
+
+
+class TestHamiltonian:
+    """Proposition 5.4 (Figure 4)."""
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_graphs(self, seed):
+        graph = random_graph(4, 0.4, seed)
+        assert va_nonempty_on_epsilon(graph) == brute_force_hamiltonian(graph)
+
+    def test_path_graph(self):
+        graph = {"v0": {"v1"}, "v1": {"v2"}, "v2": set()}
+        assert brute_force_hamiltonian(graph)
+        assert va_nonempty_on_epsilon(graph)
+
+    def test_disconnected_graph(self):
+        graph = {"v0": set(), "v1": set(), "v2": set()}
+        assert not va_nonempty_on_epsilon(graph)
+
+    def test_automaton_is_relational(self):
+        # Every accepting run assigns all vertex variables to (1,1).
+        from repro.automata.simulate import evaluate_va
+
+        graph = {"v0": {"v1"}, "v1": {"v2"}, "v2": {"v0"}}
+        automaton = to_relational_va(graph)
+        result = evaluate_va(automaton, "")
+        domains = {m.domain for m in result}
+        assert len(domains) == 1
+        assert domains == {frozenset({"x_v0", "x_v1", "x_v2"})}
+
+    def test_nonempty_only_on_empty_document(self):
+        graph = {"v0": {"v1"}, "v1": set()}
+        automaton = to_relational_va(graph)
+        from repro.automata.simulate import evaluate_va
+
+        assert evaluate_va(automaton, "a") == set()
+
+
+class TestDnfValidity:
+    """Theorem 6.6."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_formulas(self, seed):
+        formula = random_dnf(2, 3, seed)
+        assert containment_holds(formula) == brute_force_valid(formula)
+
+    def test_instance_automata_are_deterministic_sequential(self):
+        from repro.automata.sequential import is_sequential
+        from repro.automata.va import is_deterministic
+
+        first, second = to_containment_instance(random_dnf(2, 3, 0))
+        assert is_deterministic(first)
+        assert is_sequential(first)
+        assert is_sequential(second)
+
+    def test_instances_are_not_point_disjoint(self):
+        # All spans share position 1 — exactly why Theorem 6.7's polynomial
+        # algorithm does not apply to this family.
+        from repro.automata.simulate import evaluate_va
+
+        first, _ = to_containment_instance(random_dnf(2, 3, 0))
+        result = evaluate_va(first, "")
+        assert result and all(not m.is_point_disjoint() for m in result)

@@ -1,0 +1,156 @@
+"""AST construction helpers, printing, traversal, renaming."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.rgx.ast import (
+    ANY,
+    ANY_STAR,
+    EPSILON,
+    Concat,
+    Epsilon,
+    Letter,
+    Star,
+    Union,
+    VarBind,
+    char,
+    chars,
+    concat,
+    concat_all,
+    map_expression,
+    not_chars,
+    optional,
+    plus,
+    rename_variables,
+    star,
+    string,
+    union,
+    union_all,
+    var,
+    walk,
+)
+from repro.util.errors import SpannerError
+from tests.strategies import rgx_expressions
+
+
+class TestSmartConstructors:
+    def test_char_rejects_strings(self):
+        with pytest.raises(SpannerError):
+            char("ab")
+
+    def test_string_builds_concat(self):
+        assert string("abc") == Concat((char("a"), char("b"), char("c")))
+
+    def test_string_empty_is_epsilon(self):
+        assert string("") == EPSILON
+
+    def test_string_single_is_letter(self):
+        assert string("a") == char("a")
+
+    def test_concat_flattens(self):
+        nested = concat(concat(char("a"), char("b")), char("c"))
+        assert nested == string("abc")
+
+    def test_concat_identity(self):
+        assert concat(char("a")) == char("a")
+        assert concat() == EPSILON
+
+    def test_union_flattens(self):
+        nested = union(union(char("a"), char("b")), char("c"))
+        assert isinstance(nested, Union)
+        assert len(nested.options) == 3
+
+    def test_union_of_nothing_rejected(self):
+        with pytest.raises(SpannerError):
+            union()
+
+    def test_plus_and_optional_desugar(self):
+        assert plus(char("a")) == concat(char("a"), star(char("a")))
+        assert optional(char("a")) == union(char("a"), EPSILON)
+
+    def test_var_default_body(self):
+        assert var("x") == VarBind("x", ANY_STAR)
+
+    def test_list_builders(self):
+        assert concat_all([]) == EPSILON
+        assert union_all([char("a")]) == char("a")
+
+    def test_direct_nested_concat_rejected(self):
+        with pytest.raises(SpannerError):
+            Concat((Concat((char("a"), char("b"))), char("c")))
+
+    def test_operators(self):
+        assert (char("a") | char("b")) == union(char("a"), char("b"))
+        assert (char("a") * char("b")) == concat(char("a"), char("b"))
+
+
+class TestInspection:
+    def test_variables_nested(self):
+        expression = VarBind("x", concat(VarBind("y", ANY), char("a")))
+        assert expression.variables() == {"x", "y"}
+
+    def test_size_counts_nodes(self):
+        assert EPSILON.size() == 1
+        assert string("ab").size() == 3  # concat + two letters
+        assert VarBind("x", char("a")).size() == 2
+
+    def test_walk_preorder(self):
+        expression = concat(char("a"), VarBind("x", char("b")))
+        kinds = [type(node).__name__ for node in walk(expression)]
+        assert kinds == ["Concat", "Letter", "VarBind", "Letter"]
+
+    @given(rgx_expressions())
+    @settings(max_examples=100)
+    def test_walk_count_equals_size(self, expression):
+        assert sum(1 for _ in walk(expression)) == expression.size()
+
+
+class TestRewriting:
+    def test_map_expression_bottom_up(self):
+        expression = concat(char("a"), char("b"))
+
+        def bump(node):
+            if isinstance(node, Letter) and node.charset.is_single():
+                return char("z")
+            return node
+
+        assert map_expression(expression, bump) == string("zz")
+
+    def test_rename_variables(self):
+        expression = VarBind("x", concat(VarBind("y", ANY), char("a")))
+        renamed = rename_variables(expression, {"x": "u", "y": "v"})
+        assert renamed.variables() == {"u", "v"}
+
+    def test_rename_partial(self):
+        expression = concat(var("x"), var("y"))
+        renamed = rename_variables(expression, {"x": "w"})
+        assert renamed.variables() == {"w", "y"}
+
+
+class TestPrinting:
+    @pytest.mark.parametrize(
+        "expression,expected",
+        [
+            (EPSILON, "ε"),
+            (ANY, "."),
+            (char("a"), "a"),
+            (chars("ab"), "[ab]"),
+            (not_chars(","), "[^,]"),
+            (star(char("a")), "a*"),
+            (star(string("ab")), "(ab)*"),
+            (union(char("a"), char("b")), "a|b"),
+            (concat(union(char("a"), char("b")), char("c")), "(a|b)c"),
+            (VarBind("x", star(char("a"))), "x{a*}"),
+            (char("*"), "\\*"),
+            (char("\n"), "\\n"),
+        ],
+    )
+    def test_examples(self, expression, expected):
+        assert str(expression) == expected
+
+    @given(rgx_expressions())
+    @settings(max_examples=100)
+    def test_printing_is_injective_via_parse(self, expression):
+        from repro.rgx.parser import parse
+
+        assert parse(str(expression)) == expression

@@ -1,0 +1,166 @@
+"""Parser tests: concrete syntax, errors, and the print/parse round-trip."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.alphabet import CharSet
+from repro.rgx.ast import (
+    EPSILON,
+    Concat,
+    Epsilon,
+    Letter,
+    Star,
+    Union,
+    VarBind,
+    char,
+    concat,
+    string,
+    union,
+    var,
+)
+from repro.rgx.parser import parse
+from repro.util.errors import ParseError
+from tests.strategies import rgx_expressions
+
+
+class TestAtoms:
+    def test_single_letter(self):
+        assert parse("a") == char("a")
+
+    def test_epsilon_unicode(self):
+        assert parse("ε") == EPSILON
+
+    def test_epsilon_escape(self):
+        assert parse("\\e") == EPSILON
+
+    def test_any_char(self):
+        assert parse(".") == Letter(CharSet.any())
+
+    def test_space_is_a_letter(self):
+        assert parse(" ") == char(" ")
+
+    def test_escaped_metachar(self):
+        assert parse("\\*") == char("*")
+        assert parse("\\(") == char("(")
+        assert parse("\\n") == char("\n")
+
+
+class TestCharClasses:
+    def test_positive_class(self):
+        assert parse("[abc]") == Letter(CharSet.of("abc"))
+
+    def test_negated_class(self):
+        assert parse("[^,]") == Letter(CharSet.excluding(","))
+
+    def test_range(self):
+        assert parse("[a-d]") == Letter(CharSet.of("abcd"))
+
+    def test_range_mixed_with_singletons(self):
+        assert parse("[a-cz]") == Letter(CharSet.of("abcz"))
+
+    def test_unterminated_raises(self):
+        with pytest.raises(ParseError):
+            parse("[ab")
+
+    def test_empty_class_raises(self):
+        with pytest.raises(ParseError):
+            parse("[]")
+
+    def test_negated_empty_class_is_any(self):
+        assert parse("[^]") == Letter(CharSet.any())
+
+
+class TestOperators:
+    def test_union_binds_weakest(self):
+        assert parse("ab|c") == union(concat(char("a"), char("b")), char("c"))
+
+    def test_concat_by_juxtaposition(self):
+        expression = parse("abc")
+        assert isinstance(expression, Concat)
+        assert expression == string("abc")
+
+    def test_star_binds_tightest(self):
+        assert parse("ab*") == concat(char("a"), Star(char("b")))
+
+    def test_plus_desugars(self):
+        assert parse("a+") == concat(char("a"), Star(char("a")))
+
+    def test_question_desugars(self):
+        assert parse("a?") == union(char("a"), EPSILON)
+
+    def test_grouping(self):
+        assert parse("(ab)*") == Star(string("ab"))
+
+    def test_double_star(self):
+        assert parse("a**") == Star(Star(char("a")))
+
+    def test_empty_group_is_epsilon(self):
+        assert parse("()") == EPSILON
+
+    def test_union_of_empty_branch(self):
+        assert parse("a|") == union(char("a"), EPSILON)
+
+
+class TestVariables:
+    def test_simple_binding(self):
+        assert parse("x{a}") == VarBind("x", char("a"))
+
+    def test_binding_with_body_operators(self):
+        assert parse("x{a|b*}") == VarBind("x", union(char("a"), Star(char("b"))))
+
+    def test_multichar_variable_name(self):
+        assert parse("name{a}") == VarBind("name", char("a"))
+
+    def test_identifier_not_followed_by_brace_is_letters(self):
+        assert parse("xy") == concat(char("x"), char("y"))
+
+    def test_nested_bindings(self):
+        assert parse("x{y{a}}") == VarBind("x", VarBind("y", char("a")))
+
+    def test_spanrgx_shorthand_builder(self):
+        assert var("x") == parse("x{.*}")
+
+    def test_unclosed_binding_raises(self):
+        with pytest.raises(ParseError):
+            parse("x{a")
+
+    def test_stray_close_brace_raises(self):
+        with pytest.raises(ParseError):
+            parse("a}")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", ["*", "(", ")a(", "a)", "\\", "x{", "+"])
+    def test_rejects(self, bad):
+        with pytest.raises(ParseError):
+            parse(bad)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("ab}")
+        assert excinfo.value.position is not None
+
+
+class TestRoundTrip:
+    PAPER_EXPRESSIONS = [
+        "x{a*}y{b*}",
+        "(x{(a|b)*}|y{(a|b)*})*",
+        ".*Seller: x{[^,]*},.*",
+        "x{y{a}b}c",
+        "a(x{b})*",
+    ]
+
+    @pytest.mark.parametrize("text", PAPER_EXPRESSIONS)
+    def test_examples_round_trip(self, text):
+        expression = parse(text)
+        assert parse(str(expression)) == expression
+
+    @given(rgx_expressions())
+    @settings(max_examples=200)
+    def test_print_parse_round_trip(self, expression):
+        assert parse(str(expression)) == expression
+
+    def test_letter_before_binding_round_trips(self):
+        # "a" followed by binding "y{b}" must not reparse as variable "ay".
+        expression = concat(char("a"), VarBind("y", char("b")))
+        assert parse(str(expression)) == expression

@@ -1,0 +1,148 @@
+"""funcRGX / seqRGX / spanRGX classification tests (§4.1, §5.2, §3.3)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.rgx.parser import parse
+from repro.rgx.properties import (
+    derives_epsilon,
+    derives_only_epsilon,
+    functional_set,
+    is_functional,
+    is_proper_span_rgx,
+    is_sequential,
+    is_span_rgx,
+    is_variable_free,
+)
+from tests.strategies import rgx_expressions
+
+
+class TestFunctional:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a",
+            "ε",
+            "x{a}",
+            "x{a*}y{b*}",
+            "x{a}|x{b}",          # both branches assign exactly {x}
+            "(a|b)*x{a|b}",
+            "x{y{a}b}",
+        ],
+    )
+    def test_functional(self, text):
+        assert is_functional(parse(text))
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "x{a}|b",             # branches assign different sets
+            "(x{a})*",            # star over a variable
+            "x{a}x{b}",           # same variable twice in a concatenation
+            "x{x{a}}",            # rebinding inside itself
+            "x{a}(y{b}|ε)",       # optional variable
+        ],
+    )
+    def test_not_functional(self, text):
+        assert not is_functional(parse(text))
+
+    def test_functional_set_is_var_set(self):
+        expression = parse("x{a*}y{b*}")
+        assert functional_set(expression) == {"x", "y"}
+
+    @given(rgx_expressions())
+    @settings(max_examples=200)
+    def test_functional_set_none_or_all_variables(self, expression):
+        witness = functional_set(expression)
+        assert witness is None or witness == expression.variables()
+
+
+class TestSequential:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "x{a*}y{b*}",
+            "x{a}|b",              # unions may differ in variables
+            "x{a}|x{b}",           # reuse across union branches is fine
+            "(a|b)*x{c?}d",
+            ".*Seller: x{[^,]*},.*",
+        ],
+    )
+    def test_sequential(self, text):
+        assert is_sequential(parse(text))
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "x{a}x{b}",   # shared variable across a concatenation
+            "(x{a})*",    # variable under a star
+            "x{x{a}}",    # rebinding inside the body
+            "x{a}y{x{b}}",
+        ],
+    )
+    def test_not_sequential(self, text):
+        assert not is_sequential(parse(text))
+
+    @given(rgx_expressions())
+    @settings(max_examples=300)
+    def test_functional_implies_sequential(self, expression):
+        # The inclusion funcRGX ⊆ seqRGX claimed before Proposition 5.3.
+        if is_functional(expression):
+            assert is_sequential(expression)
+
+
+class TestSpanRgx:
+    def test_bare_variable_shorthand(self):
+        assert is_span_rgx(parse("a x{.*} b"))
+
+    def test_constrained_body_is_not_spanrgx(self):
+        assert not is_span_rgx(parse("x{a*}"))
+
+    def test_nesting_is_not_spanrgx(self):
+        assert not is_span_rgx(parse("x{y{.*}}"))
+
+    def test_proper_excludes_reuse(self):
+        assert is_proper_span_rgx(parse("a x{.*} b"))
+        assert not is_proper_span_rgx(parse("x{.*}x{.*}"))
+
+    def test_variable_free(self):
+        assert is_variable_free(parse("(a|b)*"))
+        assert not is_variable_free(parse("x{a}"))
+
+
+class TestEpsilonDerivability:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("ε", True),
+            ("a", False),
+            ("a*", True),
+            ("a|ε", True),
+            ("ab", False),
+            ("(a|ε)(b|ε)", True),
+            ("x{ε}", True),
+            ("x{a}", False),
+        ],
+    )
+    def test_derives_epsilon(self, text, expected):
+        assert derives_epsilon(parse(text)) == expected
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("ε", True),
+            ("ε|ε", True),
+            ("a*", False),
+            ("ε*", True),
+            ("x{ε}", True),
+            ("a|ε", False),
+        ],
+    )
+    def test_derives_only_epsilon(self, text, expected):
+        assert derives_only_epsilon(parse(text)) == expected
+
+    @given(rgx_expressions())
+    @settings(max_examples=200)
+    def test_only_epsilon_implies_epsilon(self, expression):
+        if derives_only_epsilon(expression):
+            assert derives_epsilon(expression)

@@ -1,0 +1,57 @@
+"""Dedicated simplifier tests (beyond the property test in test_semantics)."""
+
+import pytest
+
+from repro.rgx.ast import EPSILON, VarBind, char, concat, star, union
+from repro.rgx.parser import parse
+from repro.rgx.rewrite import simplify
+
+
+class TestIdentities:
+    @pytest.mark.parametrize(
+        "before,after",
+        [
+            ("aε", "a"),
+            ("εa", "a"),
+            ("εε", "ε"),
+            ("ε*", "ε"),
+            ("(a*)*", "a*"),
+            ("a|a", "a"),
+            ("a|b|a", "a|b"),
+            ("(aε)(εb)", "ab"),
+            ("x{aε}", "x{a}"),
+            ("((a*)*)*", "a*"),
+        ],
+    )
+    def test_simplifies(self, before, after):
+        assert simplify(parse(before)) == parse(after)
+
+    @pytest.mark.parametrize(
+        "stable", ["a", "a*", "a|b", "x{a}", "x{ε}", "(ab)*", "a?b"]
+    )
+    def test_fixed_points(self, stable):
+        expression = parse(stable)
+        assert simplify(expression) == expression
+
+    def test_epsilon_binding_body_preserved(self):
+        # x{ε} must NOT collapse: the binding still assigns an empty span.
+        assert simplify(VarBind("x", EPSILON)) == VarBind("x", EPSILON)
+
+    def test_concat_of_epsilons_under_binding(self):
+        assert simplify(VarBind("x", concat(EPSILON, EPSILON))) == VarBind(
+            "x", EPSILON
+        )
+
+    def test_union_order_preserved(self):
+        expression = union(char("b"), char("a"))
+        assert simplify(expression) == expression  # no reordering
+
+    def test_idempotent(self):
+        expression = parse("(((a*)*|ε)εb)|((a*)*|ε)εb")
+        once = simplify(expression)
+        assert simplify(once) == once
+
+    def test_nested_star_with_variables(self):
+        # (x{a}*)* keeps its variable structure (only the star collapses).
+        inner = star(VarBind("x", char("a")))
+        assert simplify(star(inner)) == inner

@@ -1,0 +1,169 @@
+"""The Table 2 denotational semantics, including Example 3.1 verbatim."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.rgx.ast import EPSILON, char, concat, star, union, var
+from repro.rgx.parser import parse
+from repro.rgx.rewrite import simplify
+from repro.rgx.semantics import (
+    classical_semantics,
+    mappings,
+    outputs_relation,
+    pair_semantics,
+)
+from repro.spans.mapping import Mapping
+from repro.spans.span import Span
+from tests.strategies import documents, rgx_expressions
+
+
+class TestExample31:
+    """Example 3.1 of the paper over the document ``aaabbb``."""
+
+    DOC = "aaabbb"
+
+    def test_letter_pairs(self):
+        pairs = pair_semantics(char("a"), self.DOC)
+        assert pairs == {
+            (Span(1, 2), Mapping.empty()),
+            (Span(2, 3), Mapping.empty()),
+            (Span(3, 4), Mapping.empty()),
+        }
+
+    def test_binding_pairs(self):
+        pairs = pair_semantics(parse("x{a}"), self.DOC)
+        assert pairs == {
+            (Span(i, i + 1), Mapping({"x": Span(i, i + 1)})) for i in (1, 2, 3)
+        }
+
+    def test_binding_whole_document_is_empty(self):
+        # ⟦x{a}⟧ is empty: no pair spans the whole document.
+        assert mappings(parse("x{a}"), self.DOC) == set()
+
+    def test_concatenation_example(self):
+        result = mappings(parse("x{a*}y{b*}"), self.DOC)
+        assert result == {Mapping({"x": Span(1, 4), "y": Span(4, 7)})}
+
+    def test_star_over_variables(self):
+        result = mappings(parse("(x{(a|b)*}|y{(a|b)*})*"), self.DOC)
+        # The paper's µ = µ1 ∪ µ2 with y=(1,4), x=(4,7) is among the outputs.
+        assert Mapping({"y": Span(1, 4), "x": Span(4, 7)}) in result
+
+    def test_variable_reuse_outputs_nothing(self):
+        assert mappings(parse("x{a*}x{b*}"), self.DOC) == set()
+
+    def test_self_nested_binding_outputs_nothing(self):
+        assert mappings(parse("x{x{a}}"), "a") == set()
+
+
+class TestRegularExpressionBehaviour:
+    """Variable-free RGX degenerates to ordinary regex acceptance."""
+
+    def test_true_is_empty_mapping(self):
+        assert mappings(parse("a*"), "aaa") == {Mapping.empty()}
+
+    def test_false_is_empty_set(self):
+        assert mappings(parse("a*"), "ab") == set()
+
+    def test_epsilon_on_empty_document(self):
+        assert mappings(EPSILON, "") == {Mapping.empty()}
+
+    def test_epsilon_on_nonempty_document(self):
+        assert mappings(EPSILON, "a") == set()
+
+    @pytest.mark.parametrize(
+        "pattern,doc,accepts",
+        [
+            ("(a|b)*", "abba", True),
+            ("a+", "", False),
+            ("a+", "aa", True),
+            ("a?b", "b", True),
+            ("a?b", "ab", True),
+            ("a?b", "aab", False),
+            (".*", "anything", True),
+            ("[^x]*", "abc", True),
+            ("[^x]*", "axc", False),
+        ],
+    )
+    def test_against_classical_regex(self, pattern, doc, accepts):
+        assert bool(mappings(parse(pattern), doc)) == accepts
+
+
+class TestMappingSemantics:
+    def test_optional_field_produces_two_domains(self):
+        expression = parse("x{a}(y{b}|ε)c*")
+        with_tax = mappings(expression, "abc")
+        without = mappings(expression, "ac")
+        assert {m.domain for m in with_tax} == {frozenset({"x", "y"})}
+        assert {m.domain for m in without} == {frozenset({"x"})}
+
+    def test_empty_span_binding(self):
+        result = mappings(parse("x{ε}a"), "a")
+        assert result == {Mapping({"x": Span(1, 1)})}
+
+    def test_binding_positions_distinguished(self):
+        # Same content, different positions: two distinct mappings.
+        result = mappings(parse(".*x{a}.*"), "aa")
+        assert result == {
+            Mapping({"x": Span(1, 2)}),
+            Mapping({"x": Span(2, 3)}),
+        }
+
+    def test_union_chooses_either_side(self):
+        result = mappings(parse("x{a}|y{a}"), "a")
+        assert result == {
+            Mapping({"x": Span(1, 2)}),
+            Mapping({"y": Span(1, 2)}),
+        }
+
+    def test_star_accumulates_disjoint_domains(self):
+        result = mappings(parse("(x{a}|y{b})*"), "ab")
+        assert result == {Mapping({"x": Span(1, 2), "y": Span(2, 3)})}
+
+    def test_star_cannot_rebind(self):
+        assert mappings(parse("(x{a})*"), "aa") == set()
+
+
+class TestRelationBehaviour:
+    def test_functional_rgx_outputs_relation(self):
+        assert outputs_relation(parse("x{a*}y{b*}"), "ab")
+
+    def test_non_functional_rgx_may_not(self):
+        # On "ab" the optional-y expression yields both the {x} and the
+        # {x, y} domain, so the output is not a relation.
+        expression = parse("x{a}(y{b}|ε).*")
+        assert not outputs_relation(expression, "ab")
+
+
+class TestClassicalSemantics:
+    """Theorem 4.2: [2]'s semantics = join with all total mappings."""
+
+    def test_unmatched_variable_becomes_arbitrary(self):
+        expression = parse("x{a}|y{b}")
+        result = classical_semantics(expression, "a")
+        # x is forced to (1,2); y ranges over all three spans of "a".
+        domains = {m.domain for m in result}
+        assert domains == {frozenset({"x", "y"})}
+        ys = {m["y"] for m in result if m["x"] == Span(1, 2)}
+        assert ys == {Span(1, 1), Span(1, 2), Span(2, 2)}
+
+
+class TestSimplifier:
+    @given(rgx_expressions(), documents(max_length=5))
+    @settings(max_examples=150, deadline=None)
+    def test_simplify_preserves_semantics(self, expression, document):
+        assert mappings(simplify(expression), document) == mappings(
+            expression, document
+        )
+
+    def test_epsilon_unit_dropped(self):
+        assert simplify(concat(char("a"), EPSILON)) == char("a")
+
+    def test_star_of_epsilon(self):
+        assert simplify(star(EPSILON)) == EPSILON
+
+    def test_star_of_star(self):
+        assert simplify(star(star(char("a")))) == star(char("a"))
+
+    def test_union_dedupe(self):
+        assert simplify(union(char("a"), char("a"))) == char("a")

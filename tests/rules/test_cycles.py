@@ -1,0 +1,181 @@
+"""Cycle elimination (Theorem 4.7) — Figure 2's case analysis as tests."""
+
+import pytest
+
+from repro.rgx.ast import ANY_STAR, EPSILON, char, concat, star, union
+from repro.rgx.parser import parse
+from repro.rules.cycles import (
+    auxiliary_variables,
+    colour_nodes,
+    nu,
+    to_daglike,
+    unsatisfiable_daglike_rule,
+)
+from repro.rules.graph import is_dag_like
+from repro.rules.rule import Rule, bare, rule
+from repro.util.errors import RuleError
+
+DOCS = ["", "a", "b", "ab", "ba", "aa", "aab"]
+
+
+def assert_equivalent(original: Rule, transformed: Rule) -> None:
+    """Equivalence up to the auxiliary variables of the construction."""
+    keep = original.variables()
+    for document in DOCS:
+        expected = original.evaluate(document)
+        actual = {m.project(keep) for m in transformed.evaluate(document)}
+        assert actual == expected, (document, expected, actual)
+
+
+class TestNu:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("a", None),                       # ν(a) = H
+            ("ε", "ε"),
+            ("x{.*}", "x{.*}"),                # ν(x) = x
+            ("ab", None),                      # H · α = H
+            ("a|ε", "ε"),                      # H ∨ α = α
+            ("a*", "ε"),                       # ν(ϕ*) = ε
+            ("x{.*}a|y{.*}", "y{.*}"),
+            ("x{.*}y{.*}", "x{.*}y{.*}"),
+            ("(a|b)(c|d)", None),
+        ],
+    )
+    def test_nu_cases(self, text, expected):
+        result = nu(parse(text))
+        if expected is None:
+            assert result is None
+        else:
+            assert result == parse(expected)
+
+
+class TestColouring:
+    def test_black_red_green(self):
+        # x's formula needs a letter → black; doc-reachable ancestors that
+        # can reach it → red; the rest green.
+        r = rule(
+            bare("u"),
+            ("u", bare("x")),
+            ("x", concat(char("a"), bare("y"))),
+            ("y", ANY_STAR),
+        )
+        colours = colour_nodes(r.normalized())
+        assert colours["x"] == "black"
+        assert colours["u"] == "red"
+        assert colours["y"] == "green"
+
+
+class TestCanonicalUnsat:
+    def test_unsat_rule_is_functional_daglike(self):
+        r = unsatisfiable_daglike_rule()
+        assert r.is_functional()
+        assert is_dag_like(r)
+
+    @pytest.mark.parametrize("document", ["", "ab", "ba", "aabb", "abab"])
+    def test_unsat_rule_has_no_models(self, document):
+        assert unsatisfiable_daglike_rule().evaluate(document) == set()
+
+
+class TestToDaglike:
+    def test_paper_example(self):
+        # x ∧ x.y ∧ y.z ∧ z.(u·x)  →  w.x ∧ x.y ∧ y.z ∧ z.(u·Σ*) ∧ u.ε
+        r = rule(
+            bare("x"),
+            ("x", bare("y")),
+            ("y", bare("z")),
+            ("z", concat(bare("u"), bare("x"))),
+        )
+        transformed = to_daglike(r)
+        assert is_dag_like(transformed)
+        assert_equivalent(r, transformed)
+        # u is forced to the empty content, as the paper derives.
+        formula_of = dict(transformed.conjuncts)
+        assert formula_of["u"] == EPSILON
+
+    def test_green_two_cycle(self):
+        r = rule(bare("x"), ("x", bare("y")), ("y", bare("x")))
+        transformed = to_daglike(r)
+        assert is_dag_like(transformed)
+        assert_equivalent(r, transformed)
+
+    def test_self_loop(self):
+        r = rule(bare("x"), ("x", bare("x")))
+        transformed = to_daglike(r)
+        assert is_dag_like(transformed)
+        assert_equivalent(r, transformed)
+
+    def test_red_cycle_unsatisfiable(self):
+        # Figure 2(a) with a letter: content must strictly grow → unsat.
+        r = rule(
+            bare("x"),
+            ("x", concat(char("a"), bare("y"))),
+            ("y", bare("x")),
+        )
+        transformed = to_daglike(r)
+        assert is_dag_like(transformed)
+        for document in DOCS:
+            assert transformed.evaluate(document) == set()
+
+    def test_paper_unsat_example(self):
+        # x ∧ x.y ∧ y.(a·x): "clearly not satisfiable" (§4.3).
+        r = rule(bare("x"), ("x", bare("y")), ("y", concat(char("a"), bare("x"))))
+        transformed = to_daglike(r)
+        for document in DOCS:
+            assert transformed.evaluate(document) == set()
+
+    def test_cycle_with_reachable_node(self):
+        # Figure 2(b): w hangs off the cycle — forced to ε.
+        r = rule(
+            bare("x"),
+            ("x", concat(bare("y"), bare("w"))),
+            ("y", bare("x")),
+            ("w", ANY_STAR),
+        )
+        transformed = to_daglike(r)
+        assert is_dag_like(transformed)
+        assert_equivalent(r, transformed)
+
+    def test_chorded_component(self):
+        # Figure 2(c): a chord forces empty content on the members.
+        r = rule(
+            bare("x"),
+            ("x", concat(bare("y"), bare("z"))),
+            ("y", bare("x")),
+            ("z", bare("x")),
+        )
+        transformed = to_daglike(r)
+        assert is_dag_like(transformed)
+        assert_equivalent(r, transformed)
+
+    def test_requires_simple(self):
+        with pytest.raises(RuleError):
+            to_daglike(Rule(bare("x"), (("x", ANY_STAR), ("x", ANY_STAR))))
+
+    def test_requires_functional(self):
+        with pytest.raises(RuleError):
+            to_daglike(rule(bare("x"), ("x", star(bare("y")))))
+
+    def test_acyclic_input_unchanged_semantically(self):
+        r = rule(bare("x"), ("x", concat(char("a"), bare("y"))), ("y", ANY_STAR))
+        transformed = to_daglike(r)
+        assert is_dag_like(transformed)
+        assert_equivalent(r, transformed)
+        assert auxiliary_variables(r, transformed) == frozenset()
+
+    def test_polynomial_time_scaling(self):
+        # Theorem 4.7 promises polynomial time; long cycles must not blow up.
+        import time
+
+        durations = []
+        for size in (6, 12, 24):
+            heads = [f"v{i}" for i in range(size)]
+            conjuncts = tuple(
+                (heads[i], bare(heads[(i + 1) % size])) for i in range(size)
+            )
+            r = Rule(bare(heads[0]), conjuncts)
+            started = time.perf_counter()
+            transformed = to_daglike(r)
+            durations.append(time.perf_counter() - started)
+            assert is_dag_like(transformed)
+        assert durations[-1] < 2.0

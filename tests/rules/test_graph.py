@@ -1,0 +1,95 @@
+"""Rule graphs and the dag-like / tree-like hierarchy (Section 4.3)."""
+
+from repro.rgx.ast import ANY_STAR, char, concat, union
+from repro.rules.graph import (
+    DOC,
+    is_dag_like,
+    is_tree_like,
+    prune_unreachable,
+    reachable_heads,
+    rule_graph,
+)
+from repro.rules.rule import Rule, bare, rule
+
+
+def chain_rule() -> Rule:
+    return rule(
+        bare("x"),
+        ("x", concat(char("a"), bare("y"))),
+        ("y", ANY_STAR),
+    )
+
+
+class TestGraph:
+    def test_doc_edges(self):
+        graph = rule_graph(chain_rule())
+        assert graph[DOC] == {"x"}
+        assert graph["x"] == {"y"}
+        assert graph["y"] == set()
+
+    def test_non_head_occurrences_are_not_nodes(self):
+        r = rule(bare("x"), ("x", concat(bare("free"), char("a"))))
+        graph = rule_graph(r)
+        assert "free" not in graph
+        assert graph["x"] == set()
+
+
+class TestClassification:
+    def test_chain_is_tree_like(self):
+        assert is_tree_like(chain_rule())
+        assert is_dag_like(chain_rule())
+
+    def test_cycle_is_not_dag_like(self):
+        r = rule(bare("x"), ("x", bare("y")), ("y", bare("x")))
+        assert not is_dag_like(r)
+        assert not is_tree_like(r)
+
+    def test_self_loop_is_not_dag_like(self):
+        r = rule(bare("x"), ("x", concat(char("a"), bare("x"))))
+        assert not is_dag_like(r)
+
+    def test_shared_child_is_dag_not_tree(self):
+        r = rule(
+            concat(bare("u"), bare("v")),
+            ("u", concat(bare("y"), char("a"))),
+            ("v", concat(bare("y"), char("b"))),
+            ("y", ANY_STAR),
+        )
+        assert is_dag_like(r)
+        assert not is_tree_like(r)
+
+    def test_non_simple_is_neither(self):
+        r = Rule(bare("x"), (("x", ANY_STAR), ("x", char("a"))))
+        assert not is_dag_like(r)
+        assert not is_tree_like(r)
+
+    def test_unreachable_head_breaks_tree_likeness(self):
+        r = rule(bare("x"), ("x", ANY_STAR), ("orphan", char("a")))
+        assert is_dag_like(r)
+        assert not is_tree_like(r)
+
+    def test_two_mentions_same_formula_still_tree_like(self):
+        # y in two union branches of one conjunct: a single graph edge.
+        r = rule(
+            bare("x"),
+            ("x", union(concat(char("a"), bare("y")), bare("y"))),
+            ("y", ANY_STAR),
+        )
+        assert is_tree_like(r)
+
+
+class TestReachability:
+    def test_reachable_heads(self):
+        r = rule(bare("x"), ("x", bare("y")), ("y", ANY_STAR), ("orphan", char("a")))
+        assert reachable_heads(r) == {"x", "y"}
+
+    def test_prune_unreachable_preserves_semantics(self):
+        r = rule(bare("x"), ("x", ANY_STAR), ("orphan", char("z")))
+        pruned = prune_unreachable(r)
+        assert set(pruned.heads) == {"x"}
+        for document in ["", "a", "zz"]:
+            assert pruned.evaluate(document) == r.evaluate(document)
+
+    def test_prune_noop_when_all_reachable(self):
+        r = chain_rule()
+        assert prune_unreachable(r) is r

@@ -1,0 +1,143 @@
+"""Randomised checks of the full rule-translation pipeline (§4.3).
+
+Random simple rules (spanRGX formulas, possibly cyclic, possibly
+disjunctive) through Propositions 4.8/4.9 and Theorem 4.10, compared with
+the reference rule semantics on probe documents, projecting away the
+auxiliary variables the constructions introduce.
+"""
+
+import random
+
+import pytest
+
+from repro.rgx.ast import ANY_STAR, Rgx, VarBind, char, concat, map_expression, union
+from repro.rules.graph import is_dag_like, is_tree_like
+from repro.rules.rule import Rule, bare
+from repro.rules.translate import (
+    daglike_to_treelike,
+    to_functional_daglike,
+    union_of_rules_to_rgx,
+)
+from repro.workloads.expressions import random_rgx
+
+PROBES = ["", "a", "b", "ab", "ba", "aa", "aab"]
+
+
+def random_spanrgx(size: int, seed: int, variables) -> Rgx:
+    raw = random_rgx(size, seed, variables=tuple(variables))
+
+    def flatten(node: Rgx) -> Rgx:
+        if isinstance(node, VarBind):
+            return VarBind(node.variable, ANY_STAR)
+        return node
+
+    return map_expression(raw, flatten)
+
+
+def random_simple_rule(seed: int) -> Rule:
+    rng = random.Random(seed)
+    heads = ["x", "y", "z"][: rng.randint(1, 3)]
+    root = random_spanrgx(rng.randint(2, 6), seed * 3 + 1, heads)
+    if not (root.variables() & set(heads)):
+        root = concat(bare(heads[0]), root)
+    conjuncts = []
+    for index, head in enumerate(heads):
+        allowed = [h for h in heads if h != head][: rng.randint(0, 2)]
+        formula = random_spanrgx(rng.randint(2, 5), seed * 7 + index, allowed)
+        conjuncts.append((head, formula))
+    return Rule(root, tuple(conjuncts))
+
+
+def union_eval(rules, document, keep):
+    produced = set()
+    for rule in rules:
+        produced |= {m.project(keep) for m in rule.evaluate(document)}
+    return produced
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_prop_48_random_rules(seed):
+    rule = random_simple_rule(seed)
+    if not rule.is_simple():
+        pytest.skip("generator made a non-simple rule")
+    dags = to_functional_daglike(rule)
+    assert all(is_dag_like(d) for d in dags)
+    keep = rule.variables()
+    for document in PROBES:
+        assert union_eval(dags, document, keep) == rule.evaluate(document), (
+            str(rule),
+            document,
+        )
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_prop_49_random_daglike(seed):
+    rule = random_simple_rule(seed + 400)
+    dags = to_functional_daglike(rule)
+    keep = rule.variables()
+    trees = []
+    for dag in dags:
+        for tree in daglike_to_treelike(dag):
+            assert is_tree_like(tree)
+            trees.append(tree)
+    for document in PROBES:
+        assert union_eval(trees, document, keep) == rule.evaluate(document), (
+            str(rule),
+            document,
+        )
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_theorem_410_random_rules(seed):
+    from repro.rgx.semantics import mappings
+
+    rule = random_simple_rule(seed + 900)
+    expression = union_of_rules_to_rgx([rule])
+    keep = rule.variables()
+    for document in PROBES:
+        expected = rule.evaluate(document)
+        if expression is None:
+            assert expected == set(), (str(rule), document)
+        else:
+            produced = {
+                m.project(keep) for m in mappings(expression, document)
+            }
+            assert produced == expected, (str(rule), document)
+
+
+class TestVastkAlgebra:
+    """Theorem 4.5's other half: VAstk closed under the algebra, into VA."""
+
+    def test_union_and_join(self):
+        from repro.automata.algebra import join_vastk, union_vastk
+        from repro.automata.simulate import evaluate_va
+        from repro.automata.thompson import to_vastk
+        from repro.rgx.parser import parse
+        from repro.rgx.semantics import mappings as rgx_mappings
+        from repro.spans.mapping import join as semantic_join
+
+        first = to_vastk(parse("x{a*}y{b*}"))
+        second = to_vastk(parse("x{a*}.*"))
+        e1, e2 = parse("x{a*}y{b*}"), parse("x{a*}.*")
+        for document in PROBES:
+            m1, m2 = rgx_mappings(e1, document), rgx_mappings(e2, document)
+            assert evaluate_va(union_vastk(first, second), document) == m1 | m2
+            assert evaluate_va(join_vastk(first, second), document) == (
+                semantic_join(m1, m2)
+            )
+
+    def test_projection(self):
+        from repro.automata.algebra import project_vastk
+        from repro.automata.simulate import evaluate_va
+        from repro.automata.thompson import to_vastk
+        from repro.rgx.parser import parse
+        from repro.rgx.semantics import mappings as rgx_mappings
+
+        expression = parse("x{ay{b}}c*")
+        automaton = to_vastk(expression)
+        projected = project_vastk(automaton, {"y"})
+        for document in PROBES + ["abc"]:
+            expected = {
+                m.project({"y"}) for m in rgx_mappings(expression, document)
+            }
+            assert evaluate_va(projected, document) == expected

@@ -1,0 +1,138 @@
+"""Rule syntax and the instantiated-variable semantics of Section 3.3."""
+
+import pytest
+
+from repro.rgx.ast import ANY_STAR, char, concat, union
+from repro.rgx.parser import parse
+from repro.rules.rule import Rule, bare, rule
+from repro.spans.mapping import Mapping
+from repro.spans.span import Span
+from repro.util.errors import RuleError
+
+
+class TestConstruction:
+    def test_spanrgx_enforced(self):
+        with pytest.raises(RuleError):
+            Rule(parse("x{a*}"))  # constrained body is not spanRGX
+
+    def test_spanrgx_check_can_be_disabled(self):
+        Rule(parse("x{a*}"), check_span_rgx=False)
+
+    def test_simple_detection(self):
+        simple = rule(bare("x"), ("x", ANY_STAR), ("y", ANY_STAR))
+        assert simple.is_simple()
+        duplicated = rule(bare("x"), ("x", ANY_STAR), ("x", char("a")))
+        assert not duplicated.is_simple()
+
+    def test_variables_include_heads_and_occurrences(self):
+        r = rule(bare("x"), ("y", concat(bare("z"), char("a"))))
+        assert r.variables() == {"x", "y", "z"}
+
+    def test_normalized_adds_vacuous_conjuncts(self):
+        r = rule(concat(bare("x"), bare("y")), ("x", char("a")))
+        normalized = r.normalized()
+        assert set(normalized.heads) == {"x", "y"}
+        for document in ["a", "ab"]:
+            assert normalized.evaluate(document) == r.evaluate(document)
+
+    def test_str_rendering(self):
+        r = rule(bare("x"), ("x", parse("ab*")))
+        assert "∧" in str(r)
+
+
+class TestSemantics:
+    def test_paper_nondeterminism_example(self):
+        # (x ∨ y) ∧ x.(ab*) ∧ y.(ba*): only the matched variable is
+        # constrained; the other stays undefined.
+        r = rule(
+            union(bare("x"), bare("y")),
+            ("x", parse("ab*")),
+            ("y", parse("ba*")),
+        )
+        assert r.evaluate("ab") == {Mapping({"x": Span(1, 3)})}
+        assert r.evaluate("ba") == {Mapping({"y": Span(1, 3)})}
+        assert r.evaluate("aa") == set()
+
+    def test_unmatched_head_is_vacuous(self):
+        r = rule(char("a"), ("x", char("z")))
+        # x never occurs in the root, so its (unsatisfiable-on-"a")
+        # constraint never fires.
+        assert r.evaluate("a") == {Mapping.empty()}
+
+    def test_conjunction_of_constraints(self):
+        # Σ*·x·Σ* ∧ x.R1 ∧ x.R2 — the same variable constrained twice
+        # (a non-simple rule): x's content must match both.
+        r = Rule(
+            concat(ANY_STAR, bare("x"), ANY_STAR),
+            (("x", parse("ab*")), ("x", parse("a*b"))),
+        )
+        result = r.evaluate("ab")
+        assert Mapping({"x": Span(1, 3)}) in result
+        spans = {m["x"] for m in result}
+        assert Span(1, 2) not in spans  # "a" fails x.(a*b)
+
+    def test_chained_instantiation(self):
+        # doc → x → y: y's constraint applies only through x's match.
+        r = rule(
+            bare("x"),
+            ("x", concat(char("a"), bare("y"))),
+            ("y", parse("b*")),
+        )
+        assert r.evaluate("abb") == {
+            Mapping({"x": Span(1, 4), "y": Span(2, 4)})
+        }
+        assert r.evaluate("aba") == set()
+
+    def test_cyclic_rule_semantics(self):
+        # x ∧ x.y ∧ y.x forces x = y (legal, cyclic).
+        r = rule(bare("x"), ("x", bare("y")), ("y", bare("x")))
+        assert r.evaluate("ab") == {
+            Mapping({"x": Span(1, 3), "y": Span(1, 3)})
+        }
+
+    def test_incompatible_shared_variable(self):
+        # z must sit at the end of x and be the whole of y while x=whole:
+        r = rule(
+            concat(bare("x"), bare("y")),
+            ("x", concat(char("a"), bare("z"))),
+            ("y", bare("z")),
+        )
+        # x="a"+z, y=z: z at (2, j) and also y's whole span (j', 3)...
+        # On "ab": x=(1,2) forces z=(2,2); y=(2,3) needs z=(2,3) — clash.
+        assert r.evaluate("ab") == set()
+
+    def test_empty_document(self):
+        r = rule(bare("x"), ("x", ANY_STAR))
+        assert r.evaluate("") == {Mapping({"x": Span(1, 1)})}
+
+
+class TestTheorem46Incomparability:
+    """Theorem 4.6: rules and RGX are incomparable."""
+
+    def test_rules_define_non_hierarchical_mappings(self):
+        # The paper's witness: x ∧ x.(a·y·a·a) ∧ x.(a·a·z·a) on "aaaaa"
+        # makes y=(2,4) and z=(3,5) overlap non-hierarchically — no RGX
+        # can produce such a mapping.
+        r = Rule(
+            bare("x"),
+            (
+                ("x", concat(char("a"), bare("y"), char("a"), char("a"))),
+                ("x", concat(char("a"), char("a"), bare("z"), char("a"))),
+            ),
+        )
+        result = r.evaluate("aaaaa")
+        witness = Mapping(
+            {"x": Span(1, 6), "y": Span(2, 4), "z": Span(3, 5)}
+        )
+        assert witness in result
+        assert not witness.is_hierarchical()
+
+    def test_rgx_disjunction_of_variables_beyond_rules(self):
+        # γ = (a·x{b}) | (b·x{a}) — the paper proves no single extraction
+        # rule captures it; here we record its two models.
+        from repro.rgx.semantics import mappings
+
+        expression = parse("a(x{b})|b(x{a})")
+        assert mappings(expression, "ab") == {Mapping({"x": Span(2, 3)})}
+        assert mappings(expression, "ba") == {Mapping({"x": Span(2, 3)})}
+        assert mappings(expression, "aa") == set()

@@ -1,0 +1,110 @@
+"""spanRGX path decomposition (the engine of Propositions 4.8/4.9)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rgx.ast import char, concat, star, union, var
+from repro.rgx.parser import parse
+from repro.rgx.properties import is_functional, is_span_rgx
+from repro.rgx.semantics import mappings
+from repro.rules.spanrgx import PathForm, functional_decomposition, path_disjuncts
+from repro.util.errors import RuleError
+
+
+def union_semantics(disjuncts, document):
+    result = set()
+    for disjunct in disjuncts:
+        result |= mappings(disjunct, document)
+    return result
+
+
+class TestPathForms:
+    def test_single_variable(self):
+        forms = path_disjuncts(var("x"))
+        assert len(forms) == 1
+        assert forms[0].variables == ("x",)
+
+    def test_concatenation(self):
+        forms = path_disjuncts(concat(char("a"), var("x"), char("b"), var("y")))
+        assert len(forms) == 1
+        assert forms[0].variables == ("x", "y")
+
+    def test_union_of_variables(self):
+        forms = path_disjuncts(union(var("x"), var("y")))
+        assert {form.variables for form in forms} == {("x",), ("y",)}
+
+    def test_paper_example_shape(self):
+        # (x|y)(z|w) ≡ x·z | x·w | y·z | y·w
+        expression = concat(union(var("x"), var("y")), union(var("z"), var("w")))
+        forms = path_disjuncts(expression)
+        assert {form.variables for form in forms} == {
+            ("x", "z"), ("x", "w"), ("y", "z"), ("y", "w"),
+        }
+
+    def test_repeated_variable_branch_dropped(self):
+        # x·x can never produce a mapping: no path form survives.
+        assert path_disjuncts(concat(var("x"), var("x"))) == []
+
+    def test_star_unrolling(self):
+        forms = path_disjuncts(star(union(var("x"), char("a"))))
+        variable_sets = {form.variables for form in forms}
+        assert () in variable_sets and ("x",) in variable_sets
+
+    def test_star_two_variables_all_orders(self):
+        forms = path_disjuncts(star(union(var("x"), var("y"))))
+        orders = {form.variables for form in forms}
+        assert ("x", "y") in orders and ("y", "x") in orders
+
+    def test_rejects_non_spanrgx(self):
+        with pytest.raises(RuleError):
+            path_disjuncts(parse("x{a*}"))
+
+    def test_malformed_path_form_rejected(self):
+        with pytest.raises(RuleError):
+            PathForm((char("a"),), ("x",))
+
+
+class TestEquivalence:
+    CASES = [
+        "x{.*}a|b",
+        "(x{.*}|y{.*})*",
+        "a*x{.*}b*",
+        "(x{.*}(a|b))*",
+        "x{.*}(y{.*}|ε)c*",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_union_of_forms_equivalent(self, text):
+        expression = parse(text)
+        disjuncts = functional_decomposition(expression)
+        for document in ["", "a", "b", "ab", "ba", "abc", "cc"]:
+            assert union_semantics(disjuncts, document) == mappings(
+                expression, document
+            ), (text, document)
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_disjuncts_are_functional_spanrgx(self, text):
+        for disjunct in functional_decomposition(parse(text)):
+            assert is_functional(disjunct), disjunct
+            assert is_span_rgx(disjunct), disjunct
+
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=40, deadline=None)
+    def test_random_spanrgx_decomposition(self, seed):
+        from repro.rgx.ast import map_expression, Rgx, VarBind, ANY_STAR
+        from repro.workloads.expressions import random_rgx
+
+        raw = random_rgx(8, seed)
+
+        def to_span(node: Rgx) -> Rgx:
+            if isinstance(node, VarBind):
+                return VarBind(node.variable, ANY_STAR)
+            return node
+
+        expression = map_expression(raw, to_span)
+        disjuncts = functional_decomposition(expression)
+        for document in ["", "a", "ab"]:
+            assert union_semantics(disjuncts, document) == mappings(
+                expression, document
+            )

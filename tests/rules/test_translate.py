@@ -1,0 +1,195 @@
+"""Rule ↔ RGX translations (Props 4.8/4.9, Lemmas B.1/B.2, Theorem 4.10)."""
+
+import pytest
+
+from repro.rgx.ast import ANY_STAR, char, concat, union
+from repro.rgx.parser import parse
+from repro.rgx.properties import is_functional
+from repro.rgx.semantics import mappings
+from repro.rules.cycles import unsatisfiable_daglike_rule
+from repro.rules.graph import is_dag_like, is_tree_like
+from repro.rules.rule import Rule, bare, rule
+from repro.rules.translate import (
+    daglike_to_treelike,
+    rgx_to_treelike_rules,
+    to_functional_daglike,
+    to_functional_rules,
+    treelike_to_rgx,
+    union_of_rules_to_rgx,
+)
+from repro.util.errors import RuleError
+
+DOCS = ["", "a", "b", "c", "ab", "ba", "aa", "abc", "aab"]
+
+
+def union_eval(rules, document, keep=None):
+    result = set()
+    for r in rules:
+        for mapping in r.evaluate(document):
+            result.add(mapping.project(keep) if keep is not None else mapping)
+    return result
+
+
+class TestProposition48:
+    def test_paper_example_count(self):
+        # (x|y) ∧ x.(a|b) ∧ y.c → four functional rules.
+        r = rule(
+            union(bare("x"), bare("y")),
+            ("x", union(char("a"), char("b"))),
+            ("y", char("c")),
+        )
+        functionals = to_functional_rules(r)
+        assert len(functionals) == 4
+        assert all(f.is_functional() for f in functionals)
+        for document in DOCS:
+            assert union_eval(functionals, document) == r.evaluate(document)
+
+    def test_full_pipeline_to_daglike(self):
+        r = rule(
+            union(bare("x"), bare("y")),
+            ("x", union(char("a"), char("b"))),
+            ("y", char("c")),
+        )
+        dags = to_functional_daglike(r)
+        assert all(is_dag_like(d) for d in dags)
+        keep = r.variables()
+        for document in DOCS:
+            assert union_eval(dags, document, keep) == r.evaluate(document)
+
+    def test_cyclic_rule_becomes_acyclic_union(self):
+        r = rule(bare("x"), ("x", bare("y")), ("y", bare("x")))
+        dags = to_functional_daglike(r)
+        assert all(is_dag_like(d) for d in dags)
+        keep = r.variables()
+        for document in DOCS:
+            assert union_eval(dags, document, keep) == r.evaluate(document)
+
+    def test_requires_simple(self):
+        with pytest.raises(RuleError):
+            to_functional_rules(
+                Rule(bare("x"), (("x", ANY_STAR), ("x", ANY_STAR)))
+            )
+
+
+class TestProposition49:
+    def test_paper_example(self):
+        # (x·Σ*·y) ∧ x.(a·z·b*) ∧ y.(b*·z·a): satisfiable only by "aa"
+        # with z pinned to the empty junction span.
+        r = rule(
+            concat(bare("x"), ANY_STAR, bare("y")),
+            ("x", concat(char("a"), bare("z"), parse("b*"))),
+            ("y", concat(parse("b*"), bare("z"), char("a"))),
+            ("z", ANY_STAR),
+        )
+        trees = daglike_to_treelike(r)
+        assert trees and all(is_tree_like(t) for t in trees)
+        keep = r.variables()
+        for document in DOCS:
+            assert union_eval(trees, document, keep) == r.evaluate(document)
+
+    def test_unsatisfiable_daglike_aborts_to_empty_union(self):
+        assert daglike_to_treelike(unsatisfiable_daglike_rule()) == []
+
+    def test_tree_like_input_passes_through(self):
+        r = rule(bare("x"), ("x", concat(char("a"), bare("y"))), ("y", ANY_STAR))
+        trees = daglike_to_treelike(r)
+        assert trees
+        for document in DOCS:
+            assert union_eval(trees, document, r.variables()) == r.evaluate(
+                document
+            )
+
+    def test_requires_daglike(self):
+        cyclic = rule(bare("x"), ("x", bare("y")), ("y", bare("x")))
+        with pytest.raises(RuleError):
+            daglike_to_treelike(cyclic)
+
+    def test_outputs_are_functional(self):
+        r = rule(
+            concat(bare("u"), bare("v")),
+            ("u", concat(bare("y"), parse("a*"))),
+            ("v", concat(parse("b*"), bare("y"))),
+            ("y", ANY_STAR),
+        )
+        for tree in daglike_to_treelike(r):
+            assert all(
+                is_functional(formula) for formula in tree.formulas()
+            )
+
+
+class TestLemmaB1:
+    def test_paper_example(self):
+        # (a·x·b·y) ∧ x.(abc·z) ∧ y.Σ* ∧ z.d → a·x{abc·z{d}}·b·y{Σ*}
+        r = rule(
+            concat(char("a"), bare("x"), char("b"), bare("y")),
+            ("x", concat(parse("abc"), bare("z"))),
+            ("y", ANY_STAR),
+            ("z", char("d")),
+        )
+        expression = treelike_to_rgx(r)
+        for document in ["aabcdbq", "aabcdb", "abcd", ""]:
+            assert mappings(expression, document) == r.evaluate(document)
+
+    def test_requires_tree_like(self):
+        cyclic = rule(bare("x"), ("x", bare("y")), ("y", bare("x")))
+        with pytest.raises(RuleError):
+            treelike_to_rgx(cyclic)
+
+    def test_optional_branch_preserved(self):
+        r = rule(
+            bare("x"),
+            ("x", union(concat(char("a"), bare("y")), char("b"))),
+            ("y", parse("c*")),
+        )
+        expression = treelike_to_rgx(r)
+        for document in ["a", "b", "ac", "acc", "c"]:
+            assert mappings(expression, document) == r.evaluate(document)
+
+
+class TestLemmaB2:
+    CASES = ["x{a*}y{b*}", "a(x{y{b}c}|d)e*", "x{a}|b", "(x{a}|y{b})*"]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_rgx_to_treelike_union(self, text):
+        expression = parse(text)
+        rules = rgx_to_treelike_rules(expression)
+        for document in DOCS + ["abce", "ade", "e"]:
+            assert union_eval(rules, document) == mappings(
+                expression, document
+            ), (text, document)
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_outputs_are_simple(self, text):
+        for r in rgx_to_treelike_rules(parse(text)):
+            assert r.is_simple()
+
+
+class TestTheorem410:
+    def test_round_trip_from_rules(self):
+        r = rule(
+            union(bare("x"), bare("y")),
+            ("x", parse("ab*")),
+            ("y", parse("ba*")),
+        )
+        expression = union_of_rules_to_rgx([r])
+        keep = r.variables()
+        for document in DOCS:
+            projected = {
+                m.project(keep) for m in mappings(expression, document)
+            }
+            assert projected == r.evaluate(document)
+
+    def test_union_of_two_rules(self):
+        first = rule(bare("x"), ("x", parse("a*")))
+        second = rule(bare("y"), ("y", parse("b*")))
+        expression = union_of_rules_to_rgx([first, second])
+        keep = first.variables() | second.variables()
+        for document in DOCS:
+            expected = union_eval([first, second], document)
+            projected = {
+                m.project(keep) for m in mappings(expression, document)
+            }
+            assert projected == expected
+
+    def test_unsatisfiable_union_is_none(self):
+        assert union_of_rules_to_rgx([unsatisfiable_daglike_rule()]) is None

@@ -1,0 +1,64 @@
+"""Tests for the Document wrapper."""
+
+import pytest
+from hypothesis import given
+
+from repro.spans.document import Document, as_text
+from repro.spans.span import Span
+from repro.util.errors import SpanError
+from tests.strategies import documents
+
+
+class TestDocument:
+    def test_length_and_text(self):
+        doc = Document("abc")
+        assert len(doc) == 3
+        assert doc.text == "abc"
+        assert str(doc) == "abc"
+
+    def test_equality_with_strings(self):
+        assert Document("abc") == "abc"
+        assert Document("abc") == Document("abc")
+        assert Document("abc") != Document("abd")
+
+    def test_getitem_by_span(self):
+        doc = Document("Information extraction")
+        assert doc[Span(1, 12)] == "Information"
+
+    def test_letter_is_one_based(self):
+        doc = Document("abc")
+        assert doc.letter(1) == "a"
+        assert doc.letter(3) == "c"
+        with pytest.raises(SpanError):
+            doc.letter(4)
+        with pytest.raises(SpanError):
+            doc.letter(0)
+
+    def test_positions(self):
+        assert list(Document("ab").positions) == [1, 2, 3]
+
+    def test_whole(self):
+        assert Document("abc").whole() == Span(1, 4)
+        assert Document("").whole() == Span(1, 1)
+
+    def test_alphabet(self):
+        assert Document("abab").alphabet() == frozenset("ab")
+
+    def test_as_text(self):
+        assert as_text("raw") == "raw"
+        assert as_text(Document("wrapped")) == "wrapped"
+
+    @given(documents())
+    def test_spans_matches_iter_spans(self, text):
+        doc = Document(text)
+        assert doc.spans() == list(doc.iter_spans())
+
+    @given(documents())
+    def test_every_span_content_is_substring(self, text):
+        doc = Document(text)
+        for span in doc.iter_spans():
+            assert doc[span] in text or doc[span] == ""
+
+    def test_hash_consistency(self):
+        assert hash(Document("x")) == hash(Document("x"))
+        assert len({Document("x"), Document("x")}) == 1

@@ -1,0 +1,214 @@
+"""Unit and property tests for mappings — the paper's central object."""
+
+import pytest
+from hypothesis import given
+
+from repro.spans.mapping import (
+    NULL,
+    ExtendedMapping,
+    Mapping,
+    all_total_mappings,
+    join,
+    join_all,
+)
+from repro.spans.span import Span
+from repro.util.errors import MappingError
+from tests.strategies import mappings_over
+
+
+class TestBasics:
+    def test_empty_mapping(self):
+        assert Mapping.empty().domain == frozenset()
+        assert len(Mapping.empty()) == 0
+
+    def test_singleton(self):
+        mu = Mapping.singleton("x", Span(1, 12))
+        assert mu.domain == {"x"}
+        assert mu["x"] == Span(1, 12)
+
+    def test_undefined_variable_raises(self):
+        with pytest.raises(MappingError):
+            Mapping.empty()["x"]
+
+    def test_get_returns_none(self):
+        assert Mapping.empty().get("x") is None
+
+    def test_rejects_non_span_values(self):
+        with pytest.raises(MappingError):
+            Mapping({"x": (1, 2)})  # a raw tuple is not a Span
+
+    def test_hashable_and_equal(self):
+        first = Mapping({"x": Span(1, 2), "y": Span(3, 3)})
+        second = Mapping({"y": Span(3, 3), "x": Span(1, 2)})
+        assert first == second
+        assert hash(first) == hash(second)
+        assert len({first, second}) == 1
+
+
+class TestCompatibility:
+    def test_disjoint_domains_compatible(self):
+        assert Mapping({"x": Span(1, 2)}).compatible(Mapping({"y": Span(1, 2)}))
+
+    def test_agreeing_overlap_compatible(self):
+        a = Mapping({"x": Span(1, 2), "y": Span(2, 3)})
+        b = Mapping({"x": Span(1, 2), "z": Span(1, 1)})
+        assert a.compatible(b)
+
+    def test_disagreeing_overlap_incompatible(self):
+        a = Mapping({"x": Span(1, 2)})
+        b = Mapping({"x": Span(1, 3)})
+        assert not a.compatible(b)
+
+    @given(mappings_over(), mappings_over())
+    def test_compatibility_symmetric(self, a, b):
+        assert a.compatible(b) == b.compatible(a)
+
+    @given(mappings_over())
+    def test_empty_compatible_with_everything(self, mu):
+        assert Mapping.empty().compatible(mu)
+
+
+class TestUnion:
+    def test_union_extends(self):
+        a = Mapping({"x": Span(1, 2)})
+        b = Mapping({"y": Span(2, 3)})
+        assert a.union(b) == Mapping({"x": Span(1, 2), "y": Span(2, 3)})
+
+    def test_union_incompatible_raises(self):
+        with pytest.raises(MappingError):
+            Mapping({"x": Span(1, 2)}).union(Mapping({"x": Span(2, 2)}))
+
+    def test_disjoint_union_rejects_overlap(self):
+        a = Mapping({"x": Span(1, 2)})
+        with pytest.raises(MappingError):
+            a.disjoint_union(a)
+
+    @given(mappings_over(), mappings_over())
+    def test_union_commutative_when_compatible(self, a, b):
+        if a.compatible(b):
+            assert a.union(b) == b.union(a)
+
+    @given(mappings_over())
+    def test_union_idempotent(self, mu):
+        assert mu.union(mu) == mu
+
+
+class TestStructuralPredicates:
+    def test_hierarchical_nested(self):
+        assert Mapping({"x": Span(1, 9), "y": Span(2, 5)}).is_hierarchical()
+
+    def test_hierarchical_disjoint(self):
+        assert Mapping({"x": Span(1, 3), "y": Span(3, 5)}).is_hierarchical()
+
+    def test_not_hierarchical_partial_overlap(self):
+        assert not Mapping({"x": Span(1, 4), "y": Span(2, 6)}).is_hierarchical()
+
+    def test_point_disjoint(self):
+        assert Mapping({"x": Span(1, 2), "y": Span(3, 4)}).is_point_disjoint()
+        assert not Mapping({"x": Span(1, 2), "y": Span(2, 4)}).is_point_disjoint()
+
+    @given(mappings_over())
+    def test_singleton_always_hierarchical(self, mu):
+        for variable in mu.domain:
+            assert mu.project({variable}).is_hierarchical()
+
+
+class TestProjectionsAndRenaming:
+    def test_project(self):
+        mu = Mapping({"x": Span(1, 2), "y": Span(2, 3)})
+        assert mu.project({"x"}) == Mapping({"x": Span(1, 2)})
+
+    def test_drop(self):
+        mu = Mapping({"x": Span(1, 2), "y": Span(2, 3)})
+        assert mu.drop({"x"}) == Mapping({"y": Span(2, 3)})
+
+    def test_rename(self):
+        mu = Mapping({"x": Span(1, 2)})
+        assert mu.rename({"x": "w"}) == Mapping({"w": Span(1, 2)})
+
+    def test_shift(self):
+        mu = Mapping({"x": Span(1, 2)})
+        assert mu.shift(2) == Mapping({"x": Span(3, 4)})
+
+    def test_extends(self):
+        small = Mapping({"x": Span(1, 2)})
+        large = Mapping({"x": Span(1, 2), "y": Span(2, 2)})
+        assert large.extends(small)
+        assert not small.extends(large)
+
+
+class TestJoin:
+    def test_paper_definition(self):
+        m1 = {Mapping({"x": Span(1, 2)})}
+        m2 = {Mapping({"y": Span(2, 3)}), Mapping({"x": Span(9, 9)})}
+        joined = join(m1, m2)
+        assert joined == {Mapping({"x": Span(1, 2), "y": Span(2, 3)})}
+
+    def test_join_with_empty_set_is_empty(self):
+        assert join({Mapping.empty()}, set()) == set()
+
+    def test_join_with_empty_mapping_is_identity(self):
+        mappings = {Mapping({"x": Span(1, 2)}), Mapping.empty()}
+        assert join(mappings, {Mapping.empty()}) == mappings
+
+    @given(mappings_over(), mappings_over())
+    def test_join_commutative(self, a, b):
+        assert join({a}, {b}) == join({b}, {a})
+
+    def test_join_all_empty_product(self):
+        assert join_all([]) == {Mapping.empty()}
+
+    def test_join_all_three_way(self):
+        sets = [
+            {Mapping({"x": Span(1, 2)})},
+            {Mapping({"y": Span(1, 1)})},
+            {Mapping({"x": Span(1, 2), "z": Span(4, 4)})},
+        ]
+        assert join_all(sets) == {
+            Mapping({"x": Span(1, 2), "y": Span(1, 1), "z": Span(4, 4)})
+        }
+
+    def test_all_total_mappings_count(self):
+        # (n+1)(n+2)/2 spans per variable, squared for two variables.
+        result = all_total_mappings(["x", "y"], 2)
+        assert len(result) == 6 * 6
+
+
+class TestExtendedMappings:
+    def test_null_is_singleton(self):
+        assert NULL is type(NULL)()
+
+    def test_admits_respects_null(self):
+        pinned = ExtendedMapping({"x": Span(1, 2), "y": NULL})
+        assert pinned.admits(Mapping({"x": Span(1, 2)}))
+        assert pinned.admits(Mapping({"x": Span(1, 2), "z": Span(1, 1)}))
+        assert not pinned.admits(Mapping({"x": Span(1, 2), "y": Span(1, 1)}))
+        assert not pinned.admits(Mapping({"x": Span(1, 3)}))
+
+    def test_total_for_pins_missing_to_null(self):
+        pinned = ExtendedMapping.total_for(Mapping({"x": Span(1, 2)}), ["x", "y"])
+        assert pinned.value("y") is NULL
+        assert pinned.assigned() == Mapping({"x": Span(1, 2)})
+        assert pinned.nulled() == {"y"}
+
+    def test_from_mapping_conflict_raises(self):
+        with pytest.raises(MappingError):
+            ExtendedMapping.from_mapping(
+                Mapping({"x": Span(1, 2)}), null_variables=["x"]
+            )
+
+    def test_pin_refinement(self):
+        empty = ExtendedMapping.empty()
+        pinned = empty.pin("x", Span(1, 1)).pin("y", NULL)
+        assert pinned.value("x") == Span(1, 1)
+        assert pinned.value("y") is NULL
+        assert pinned.value("z") is None
+
+    @given(mappings_over())
+    def test_total_for_admits_exactly_itself(self, mu):
+        pinned = ExtendedMapping.total_for(mu, {"x", "y", "z"})
+        assert pinned.admits(mu)
+        other = mu.extend("w", Span(1, 1))
+        assert pinned.admits(other)  # w unconstrained
+        for variable in {"x", "y", "z"} - mu.domain:
+            assert not pinned.admits(mu.extend(variable, Span(1, 1)))

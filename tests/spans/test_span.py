@@ -1,0 +1,121 @@
+"""Unit and property tests for spans (paper, Section 2)."""
+
+import pytest
+from hypothesis import given
+
+from repro.spans.span import Span, all_spans, spans_with_content
+from repro.util.errors import SpanError
+from tests.strategies import spans
+
+
+class TestPaperConventions:
+    """The worked example of Section 2 must hold verbatim."""
+
+    DOCUMENT = "Information extraction"
+
+    def test_document_length(self):
+        assert len(self.DOCUMENT) == 22
+
+    def test_whole_document_span(self):
+        assert Span(1, 23).content(self.DOCUMENT) == "Information extraction"
+
+    def test_first_word(self):
+        assert Span(1, 12).content(self.DOCUMENT) == "Information"
+
+    def test_second_word(self):
+        assert Span(13, 23).content(self.DOCUMENT) == "extraction"
+
+    def test_empty_span_content(self):
+        assert Span(5, 5).content(self.DOCUMENT) == ""
+
+    def test_span_count_formula(self):
+        # |span(d)| = (n+1)(n+2)/2 for |d| = n.
+        for n in range(0, 7):
+            assert len(all_spans(n)) == (n + 1) * (n + 2) // 2
+
+
+class TestValidation:
+    def test_rejects_zero_begin(self):
+        with pytest.raises(SpanError):
+            Span(0, 1).validate()
+
+    def test_rejects_inverted(self):
+        with pytest.raises(SpanError):
+            Span(3, 2).validate()
+
+    def test_rejects_past_end(self):
+        with pytest.raises(SpanError):
+            Span(1, 5).content("ab")
+
+    def test_boundary_is_allowed(self):
+        assert Span(3, 3).content("ab") == ""
+
+
+class TestConcatenation:
+    def test_adjacent(self):
+        assert Span(1, 3).concatenate(Span(3, 5)) == Span(1, 5)
+
+    def test_not_adjacent_raises(self):
+        with pytest.raises(SpanError):
+            Span(1, 3).concatenate(Span(4, 5))
+
+    def test_empty_is_neutral(self):
+        assert Span(2, 2).concatenate(Span(2, 6)) == Span(2, 6)
+        assert Span(2, 6).concatenate(Span(6, 6)) == Span(2, 6)
+
+
+class TestPredicates:
+    def test_contains(self):
+        assert Span(1, 10).contains(Span(3, 5))
+        assert Span(1, 10).contains(Span(1, 10))
+        assert not Span(3, 5).contains(Span(1, 10))
+
+    def test_disjoint_touching(self):
+        assert Span(1, 3).disjoint(Span(3, 5))
+        assert not Span(1, 4).disjoint(Span(3, 5))
+
+    def test_point_disjoint_is_stronger(self):
+        touching = (Span(1, 3), Span(3, 5))
+        assert touching[0].disjoint(touching[1])
+        assert not touching[0].point_disjoint(touching[1])
+        assert Span(1, 2).point_disjoint(Span(3, 4))
+
+    def test_hierarchical_overlap(self):
+        assert Span(1, 5).overlaps_hierarchically(Span(2, 3))
+        assert Span(1, 3).overlaps_hierarchically(Span(3, 6))
+        assert not Span(1, 4).overlaps_hierarchically(Span(2, 6))
+
+    @given(spans(), spans())
+    def test_disjoint_symmetry(self, first, second):
+        assert first.disjoint(second) == second.disjoint(first)
+
+    @given(spans(), spans())
+    def test_point_disjoint_symmetry(self, first, second):
+        assert first.point_disjoint(second) == second.point_disjoint(first)
+
+    @given(spans(), spans())
+    def test_point_disjoint_spans_never_touch(self, first, second):
+        if first.point_disjoint(second):
+            assert first.end != second.begin
+            assert second.end != first.begin
+            assert first.begin != second.begin
+            assert first.end != second.end
+
+
+class TestHelpers:
+    def test_spans_with_content(self):
+        assert spans_with_content("abab", "ab") == [Span(1, 3), Span(3, 5)]
+
+    def test_spans_with_empty_content(self):
+        assert spans_with_content("ab", "") == [Span(1, 1), Span(2, 2), Span(3, 3)]
+
+    def test_overlapping_occurrences(self):
+        assert spans_with_content("aaa", "aa") == [Span(1, 3), Span(2, 4)]
+
+    def test_shift(self):
+        assert Span(2, 4).shift(3) == Span(5, 7)
+
+    @given(spans())
+    def test_length_nonnegative(self, span):
+        assert span.length >= 0
+        assert span.is_empty() == (span.length == 0)

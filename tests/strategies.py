@@ -1,0 +1,88 @@
+"""Hypothesis strategies shared by the property-based tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.rgx.ast import (
+    EPSILON,
+    Rgx,
+    Star,
+    VarBind,
+    char,
+    concat,
+    union,
+)
+from repro.spans.mapping import Mapping
+from repro.spans.span import Span
+
+ALPHABET = "ab"
+VARIABLES = ("x", "y", "z")
+
+
+@st.composite
+def spans(draw, max_position: int = 9) -> Span:
+    begin = draw(st.integers(min_value=1, max_value=max_position))
+    end = draw(st.integers(min_value=begin, max_value=max_position))
+    return Span(begin, end)
+
+
+@st.composite
+def documents(draw, max_length: int = 8) -> str:
+    return draw(
+        st.text(alphabet=ALPHABET, min_size=0, max_size=max_length)
+    )
+
+
+@st.composite
+def mappings_over(draw, document_length: int = 6) -> Mapping:
+    limit = document_length + 1
+    assignments = {}
+    for variable in draw(
+        st.sets(st.sampled_from(VARIABLES), min_size=0, max_size=3)
+    ):
+        begin = draw(st.integers(min_value=1, max_value=limit))
+        end = draw(st.integers(min_value=begin, max_value=limit))
+        assignments[variable] = Span(begin, end)
+    return Mapping(assignments)
+
+
+def _leaves() -> st.SearchStrategy[Rgx]:
+    return st.one_of(
+        st.just(EPSILON),
+        st.sampled_from([char(c) for c in ALPHABET]),
+    )
+
+
+def rgx_expressions(
+    max_depth: int = 4, allow_variables: bool = True
+) -> st.SearchStrategy[Rgx]:
+    """Random RGX ASTs (small, for cross-validation against Table 2)."""
+
+    def extend(children: st.SearchStrategy[Rgx]) -> st.SearchStrategy[Rgx]:
+        options = [
+            st.builds(lambda a, b: concat(a, b), children, children),
+            st.builds(lambda a, b: union(a, b), children, children),
+            st.builds(Star, children),
+        ]
+        if allow_variables:
+            options.append(
+                st.builds(
+                    VarBind, st.sampled_from(VARIABLES), children
+                )
+            )
+        return st.one_of(*options)
+
+    return st.recursive(_leaves(), extend, max_leaves=max_depth * 2)
+
+
+def sequential_rgx_expressions(max_size: int = 14) -> st.SearchStrategy[Rgx]:
+    """Sequential RGX via the seeded generator (filtered for the class)."""
+    from repro.rgx.properties import is_sequential
+    from repro.workloads.expressions import random_rgx
+
+    return st.builds(
+        lambda seed, size: random_rgx(size, seed, sequential=True),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=2, max_value=max_size),
+    ).filter(is_sequential)

@@ -1,0 +1,97 @@
+"""Algebraic laws of the mapping join and the spanner algebra.
+
+These invariants are not stated as theorems in the paper but follow from
+the Section 2 definitions; they pin down the semantics against regression.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.spans.mapping import Mapping, join
+from repro.spans.span import Span
+from tests.strategies import mappings_over
+
+
+class TestJoinLaws:
+    @given(mappings_over(), mappings_over(), mappings_over())
+    @settings(max_examples=150)
+    def test_join_associative(self, a, b, c):
+        assert join(join({a}, {b}), {c}) == join({a}, join({b}, {c}))
+
+    @given(mappings_over(), mappings_over())
+    def test_join_distributes_over_union(self, a, b):
+        others = {Mapping({"w": Span(1, 1)}), Mapping.empty()}
+        assert join({a} | {b}, others) == join({a}, others) | join({b}, others)
+
+    @given(mappings_over())
+    def test_empty_mapping_is_unit(self, mu):
+        assert join({mu}, {Mapping.empty()}) == {mu}
+
+    @given(mappings_over())
+    def test_join_idempotent_on_singletons(self, mu):
+        assert join({mu}, {mu}) == {mu}
+
+
+class TestSpannerAlgebraLaws:
+    DOCS = ["", "a", "b", "ab", "ba"]
+
+    def spanners(self):
+        from repro.spanner import Spanner
+
+        return (
+            Spanner.compile("x{a*}y{b*}"),
+            Spanner.compile("x{a*}.*"),
+            Spanner.compile("(y{b}|ε).*"),
+        )
+
+    def test_union_commutative(self):
+        s1, s2, _ = self.spanners()
+        left, right = s1.union(s2), s2.union(s1)
+        for document in self.DOCS:
+            assert left.mappings(document) == right.mappings(document)
+
+    def test_join_commutative(self):
+        s1, s2, _ = self.spanners()
+        left, right = s1.join(s2), s2.join(s1)
+        for document in self.DOCS:
+            assert left.mappings(document) == right.mappings(document)
+
+    def test_join_associative_on_semantics(self):
+        s1, s2, s3 = self.spanners()
+        left = s1.join(s2).join(s3)
+        right = s1.join(s2.join(s3))
+        for document in self.DOCS:
+            assert left.mappings(document) == right.mappings(document)
+
+    def test_projection_composes(self):
+        s1, _, _ = self.spanners()
+        twice = s1.project({"x", "y"}).project({"x"})
+        once = s1.project({"x"})
+        for document in self.DOCS:
+            assert twice.mappings(document) == once.mappings(document)
+
+    def test_projection_to_empty_is_boolean(self):
+        s1, _, _ = self.spanners()
+        boolean = s1.project(set())
+        for document in self.DOCS:
+            result = boolean.mappings(document)
+            assert result in (set(), {Mapping.empty()})
+            assert bool(result) == bool(s1.mappings(document))
+
+    def test_union_contains_both_sides(self):
+        s1, s2, _ = self.spanners()
+        combined = s1.union(s2)
+        assert s1.contained_in(combined)
+        assert s2.contained_in(combined)
+
+    def test_join_contained_in_neither_necessarily(self):
+        # µ1 ∪ µ2 typically has a larger domain than either side's output,
+        # so the join is generally incomparable — but joining with the
+        # universal boolean spanner is the identity.
+        from repro.spanner import Spanner
+
+        s1, _, _ = self.spanners()
+        true_spanner = Spanner.compile(".*")
+        identity = s1.join(true_spanner)
+        for document in self.DOCS:
+            assert identity.mappings(document) == s1.mappings(document)

@@ -1,0 +1,118 @@
+"""CharSet algebra and representative alphabets."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.alphabet import CharSet, representative_alphabet
+from repro.util.errors import SpannerError
+
+
+def charsets() -> st.SearchStrategy[CharSet]:
+    return st.builds(
+        lambda chars, negated: CharSet(frozenset(chars), negated)
+        if (chars or negated)
+        else CharSet.any(),
+        st.sets(st.sampled_from("abcd"), max_size=3),
+        st.booleans(),
+    )
+
+
+class TestConstruction:
+    def test_single(self):
+        assert CharSet.single("a").contains("a")
+        assert not CharSet.single("a").contains("b")
+
+    def test_excluding(self):
+        cs = CharSet.excluding(",\n")
+        assert cs.contains("a")
+        assert not cs.contains(",")
+
+    def test_any(self):
+        assert CharSet.any().contains("ξ")
+
+    def test_empty_positive_rejected(self):
+        with pytest.raises(SpannerError):
+            CharSet(frozenset())
+
+    def test_multichar_member_rejected(self):
+        with pytest.raises(SpannerError):
+            CharSet(frozenset({"ab"}))
+
+    def test_the_single(self):
+        assert CharSet.single("x").the_single() == "x"
+        with pytest.raises(SpannerError):
+            CharSet.of("ab").the_single()
+
+
+class TestIntersection:
+    def test_finite_finite(self):
+        assert CharSet.of("ab").intersect(CharSet.of("bc")) == CharSet.of("b")
+        assert CharSet.of("a").intersect(CharSet.of("b")) is None
+
+    def test_finite_cofinite(self):
+        assert CharSet.of("ab").intersect(CharSet.excluding("a")) == CharSet.of("b")
+        assert CharSet.of("a").intersect(CharSet.excluding("a")) is None
+
+    def test_cofinite_cofinite(self):
+        merged = CharSet.excluding("a").intersect(CharSet.excluding("b"))
+        assert merged == CharSet.excluding("ab")
+
+    @given(charsets(), charsets())
+    def test_intersection_soundness(self, first, second):
+        merged = first.intersect(second)
+        for probe in "abcdez~":
+            both = first.contains(probe) and second.contains(probe)
+            if merged is None:
+                assert not both
+            else:
+                assert merged.contains(probe) == both
+
+    @given(charsets(), charsets())
+    def test_intersection_commutative(self, first, second):
+        assert first.intersect(second) == second.intersect(first)
+
+
+class TestWitness:
+    @given(charsets())
+    def test_witness_is_member(self, charset):
+        assert charset.contains(charset.witness())
+
+    def test_witness_avoids_when_possible(self):
+        assert CharSet.of("ab").witness(avoid={"a"}) == "b"
+        # Cannot avoid the only member:
+        assert CharSet.of("a").witness(avoid={"a"}) == "a"
+
+    def test_cofinite_witness_avoids_excluded(self):
+        witness = CharSet.excluding("~@0z").witness()
+        assert witness not in "~@0z"
+
+
+class TestRepresentativeAlphabet:
+    def test_covers_mentioned_plus_fresh(self):
+        reps = representative_alphabet([CharSet.of("ab"), CharSet.excluding("c")])
+        assert set("abc") <= set(reps)
+        assert len(reps) == 4  # a, b, c, and one fresh
+
+    def test_no_cofinite_no_fresh(self):
+        reps = representative_alphabet([CharSet.of("ab")])
+        assert set(reps) == {"a", "b"}
+
+    def test_empty_input_single_fresh(self):
+        reps = representative_alphabet([])
+        assert len(reps) == 1
+
+    @given(st.lists(charsets(), max_size=4))
+    def test_representatives_distinguish_predicates(self, sets):
+        # Every character that matches at least one predicate behaves like
+        # some representative (characters matching nothing can never be
+        # consumed by any transition, so they need no representative).
+        reps = representative_alphabet(sets)
+        for probe in "abcdz~ξ":
+            vector = tuple(cs.contains(probe) for cs in sets)
+            if not any(vector):
+                continue
+            assert any(
+                tuple(cs.contains(rep) for cs in sets) == vector
+                for rep in reps
+            )

@@ -1,0 +1,77 @@
+"""Budget guards on the worst-case-exponential constructions.
+
+The paper proves several translations are inherently exponential (or
+doubly so); the implementations take explicit budgets and must fail
+deterministically with :class:`BudgetExceededError` instead of exhausting
+memory.
+"""
+
+import pytest
+
+from repro.util.errors import BudgetExceededError
+
+
+def big_star_expression(k: int):
+    from repro.rgx.ast import VarBind, star, union, chars
+
+    options = [VarBind(f"x{i}", star(chars("ab"))) for i in range(k)]
+    return star(union(*options))
+
+
+class TestPathUnionBudget:
+    def test_walk_budget_triggers(self):
+        from repro.automata.path_union import vastk_to_rgx
+        from repro.automata.thompson import to_vastk
+
+        automaton = to_vastk(big_star_expression(5))
+        with pytest.raises(BudgetExceededError):
+            vastk_to_rgx(automaton, budget=10)
+
+    def test_budget_error_carries_limit(self):
+        from repro.automata.path_union import vastk_to_rgx
+        from repro.automata.thompson import to_vastk
+
+        automaton = to_vastk(big_star_expression(5))
+        with pytest.raises(BudgetExceededError) as excinfo:
+            vastk_to_rgx(automaton, budget=7)
+        assert excinfo.value.budget == 7
+
+
+class TestPathDecompositionBudget:
+    def test_star_unrolling_budget(self):
+        from repro.rgx.ast import VarBind, star, union, ANY_STAR
+        from repro.rules.spanrgx import path_disjuncts
+
+        expression = star(
+            union(*(VarBind(f"x{i}", ANY_STAR) for i in range(6)))
+        )
+        with pytest.raises(BudgetExceededError):
+            path_disjuncts(expression, budget=20)
+
+
+class TestRuleTranslationBudget:
+    def test_functional_expansion_budget(self):
+        from repro.rgx.ast import union, char
+        from repro.rules.rule import Rule, bare
+        from repro.rules.translate import to_functional_rules
+
+        wide = union(*(char(c) for c in "ab"))
+        rule = Rule(
+            bare("x"),
+            tuple((f"v{i}", union(wide, char("c"))) for i in range(1)),
+        )
+        # A generous rule but a tiny budget.
+        with pytest.raises(BudgetExceededError):
+            to_functional_rules(rule, budget=0)
+
+
+class TestContainmentBudget:
+    def test_search_budget_triggers(self):
+        from repro.analysis.containment import contained_va
+        from repro.automata.thompson import to_va
+        from repro.rgx.parser import parse
+
+        left = to_va(parse("(a|b)*a(a|b)(a|b)(a|b)"))
+        right = to_va(parse("(a|b)*...."))
+        with pytest.raises(BudgetExceededError):
+            contained_va(left, right, budget=3)

@@ -1,0 +1,67 @@
+"""The ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import run
+
+
+def lines(capsys):
+    return [
+        line for line in capsys.readouterr().out.splitlines() if line.strip()
+    ]
+
+
+class TestExtraction:
+    def test_extract_from_stdin(self, capsys):
+        code = run([".*x{a+}.*"], stdin="baab")
+        assert code == 0
+        records = [json.loads(line) for line in lines(capsys)]
+        assert {"x": "aa"} in records
+
+    def test_extract_from_file(self, tmp_path, capsys):
+        path = tmp_path / "doc.txt"
+        path.write_text("Seller: John, ID75\n")
+        code = run([".*Seller: x{[^,\n]*},.*", str(path)])
+        assert code == 0
+        assert json.loads(lines(capsys)[0]) == {"x": "John"}
+
+    def test_spans_mode(self, capsys):
+        run(["x{a}b", "--spans"], stdin="ab")
+        assert json.loads(lines(capsys)[0]) == {"x": [1, 2]}
+
+    def test_optional_fields_missing_keys(self, capsys):
+        run(["x{a}(y{b}|ε)c*"], stdin="ac")
+        assert json.loads(lines(capsys)[0]) == {"x": "a"}
+
+    def test_count_mode(self, capsys):
+        run([".*x{a}.*", "--count"], stdin="aaa")
+        assert lines(capsys) == ["3"]
+
+    def test_no_matches_prints_nothing(self, capsys):
+        code = run(["x{z}"], stdin="ab")
+        assert code == 0
+        assert lines(capsys) == []
+
+
+class TestCheckMode:
+    def test_satisfiable_pattern(self, capsys):
+        code = run(["x{ab}c", "--check"])
+        assert code == 0
+        output = "\n".join(lines(capsys))
+        assert "satisfiable:  True" in output
+        assert "witness:" in output
+        assert "sequential:   True" in output
+
+    def test_unsatisfiable_pattern(self, capsys):
+        run(["x{a}x{b}", "--check"])
+        output = "\n".join(lines(capsys))
+        assert "satisfiable:  False" in output
+        assert "witness" not in output
+
+
+class TestErrors:
+    def test_parse_error_exit_code(self, capsys):
+        assert run(["(((", "--check"]) == 2
+        assert "error" in capsys.readouterr().err

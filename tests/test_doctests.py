@@ -1,0 +1,30 @@
+"""Run the doctests embedded in the public API docstrings."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.rgx.parser
+import repro.rgx.semantics
+import repro.spanner
+import repro.spans.document
+import repro.spans.span
+
+MODULES = [
+    repro,
+    repro.rgx.parser,
+    repro.rgx.semantics,
+    repro.spanner,
+    repro.spans.document,
+    repro.spans.span,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    failures, attempted = doctest.testmod(
+        module, verbose=False, raise_on_error=False
+    ).failed, doctest.testmod(module, verbose=False).attempted
+    assert attempted > 0, f"{module.__name__} has no doctests"
+    assert failures == 0

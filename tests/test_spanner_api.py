@@ -1,0 +1,114 @@
+"""The high-level Spanner facade."""
+
+import pytest
+
+from repro.spanner import Spanner
+from repro.spans.mapping import ExtendedMapping, Mapping, NULL
+from repro.spans.span import Span
+from repro.util.errors import SpannerError
+
+
+class TestCompileAndExtract:
+    def test_extract_decodes_contents(self):
+        spanner = Spanner.compile(".*Seller: x{[^,\n]*},.*")
+        assert spanner.extract("Seller: John, ID75\n") == [{"x": "John"}]
+
+    def test_extract_spans(self):
+        spanner = Spanner.compile("x{a*}y{b*}")
+        assert spanner.extract("aab", spans=True) == [
+            {"x": Span(1, 3), "y": Span(3, 4)}
+        ]
+
+    def test_optional_fields_are_omitted(self):
+        spanner = Spanner.compile("x{a}(y{b}|ε)c*")
+        assert spanner.extract("ac") == [{"x": "a"}]
+        assert spanner.extract("abc") == [{"x": "a", "y": "b"}]
+
+    def test_extract_is_deterministic_order(self):
+        spanner = Spanner.compile(".*x{a}.*")
+        assert spanner.extract("aa") == [{"x": "a"}, {"x": "a"}]
+        assert spanner.extract("aa", spans=True) == [
+            {"x": Span(1, 2)},
+            {"x": Span(2, 3)},
+        ]
+
+    def test_compile_from_ast(self):
+        from repro.rgx import parse
+
+        spanner = Spanner.compile(parse("x{a}"))
+        assert spanner.extract("a") == [{"x": "a"}]
+
+
+class TestClassification:
+    def test_sequential_flag(self):
+        assert Spanner.compile("x{a*}y{b*}").is_sequential
+        assert not Spanner.compile("(x{a})*").is_sequential
+
+    def test_functional_flag(self):
+        assert Spanner.compile("x{a*}y{b*}").is_functional
+        assert not Spanner.compile("x{a}|b").is_functional
+
+    def test_functional_needs_expression(self):
+        from repro.automata.thompson import to_va
+        from repro.rgx import parse
+
+        spanner = Spanner.from_automaton(to_va(parse("x{a}")))
+        with pytest.raises(SpannerError):
+            spanner.is_functional
+
+
+class TestDecisionProblems:
+    def test_matches(self):
+        spanner = Spanner.compile("x{a+}")
+        assert spanner.matches("aa")
+        assert not spanner.matches("b")
+
+    def test_check(self):
+        spanner = Spanner.compile("x{a*}y{b*}")
+        good = Mapping({"x": Span(1, 2), "y": Span(2, 3)})
+        assert spanner.check("ab", good)
+        assert not spanner.check("ab", Mapping({"x": Span(1, 2)}))
+
+    def test_eval_with_pins(self):
+        spanner = Spanner.compile("x{a*}(y{b}|ε)")
+        assert spanner.eval("a", ExtendedMapping({"y": NULL}))
+        assert not spanner.eval("ab", ExtendedMapping({"y": NULL}))
+
+    def test_enumerate_streams_everything(self):
+        spanner = Spanner.compile("(x{a}|y{b})*")
+        assert set(spanner.enumerate("ab")) == spanner.mappings("ab")
+
+
+class TestAlgebraAndAnalysis:
+    def test_union(self):
+        combined = Spanner.compile("x{a}").union(Spanner.compile("y{b}"))
+        assert combined.mappings("a") == {Mapping({"x": Span(1, 2)})}
+        assert combined.mappings("b") == {Mapping({"y": Span(1, 2)})}
+
+    def test_project(self):
+        projected = Spanner.compile("x{a}y{ε}").project({"x"})
+        assert projected.mappings("a") == {Mapping({"x": Span(1, 2)})}
+
+    def test_join(self):
+        joined = Spanner.compile("x{a}.*").join(Spanner.compile(".*y{b}"))
+        assert joined.mappings("ab") == {
+            Mapping({"x": Span(1, 2), "y": Span(2, 3)})
+        }
+
+    def test_satisfiability_and_witness(self):
+        satisfiable = Spanner.compile("x{ab}")
+        assert satisfiable.is_satisfiable()
+        witness = satisfiable.witness()
+        assert witness is not None and satisfiable.matches(witness)
+        assert not Spanner.compile("x{a}x{b}").is_satisfiable()
+
+    def test_containment_and_equivalence(self):
+        small = Spanner.compile("x{a}b")
+        large = Spanner.compile("x{a}.")
+        assert small.contained_in(large)
+        assert not large.contained_in(small)
+        assert small.equivalent_to(Spanner.compile("x{a}(b)"))
+
+    def test_repr(self):
+        text = repr(Spanner.compile("x{a}"))
+        assert "states" in text and "x" in text

@@ -1,0 +1,330 @@
+"""One executable check per theorem — the reproduction's golden suite.
+
+Each test demonstrates the *statement* of a theorem or proposition of the
+paper on concrete instances (constructions are exercised in depth in the
+per-module test files; benchmarks measure the complexity-theoretic
+*shape*).  EXPERIMENTS.md indexes these.
+"""
+
+import pytest
+
+from repro.analysis.containment import (
+    contained_det_sequential_point_disjoint,
+    contained_va,
+    equivalent_va,
+)
+from repro.analysis.satisfiability import satisfiable_va, satisfying_document
+from repro.automata.algebra import join_va, project_va, union_va
+from repro.automata.determinize import determinize, is_complete_deterministic
+from repro.automata.path_union import va_to_rgx, vastk_to_rgx
+from repro.automata.sequential import is_sequential, make_sequential
+from repro.automata.simulate import evaluate_va
+from repro.automata.thompson import to_va, to_vastk
+from repro.rgx.parser import parse
+from repro.rgx.properties import is_functional
+from repro.rgx.semantics import classical_semantics, mappings, outputs_relation
+from repro.rules.cycles import to_daglike, unsatisfiable_daglike_rule
+from repro.rules.graph import is_dag_like, is_tree_like
+from repro.rules.rule import Rule, bare, rule
+from repro.rules.translate import (
+    daglike_to_treelike,
+    rgx_to_treelike_rules,
+    treelike_to_rgx,
+    union_of_rules_to_rgx,
+)
+from repro.spans.mapping import Mapping, all_total_mappings, join
+from repro.spans.span import Span
+
+DOCS = ["", "a", "b", "ab", "ba", "aa", "bb", "aab", "abb"]
+
+
+def test_theorem_4_1_functional_rgx_defines_relations():
+    """funcRGX = the regex formulas of [8]: outputs are total relations."""
+    for text in ["x{a*}y{b*}", "x{a}|x{b}", "x{y{a}b}"]:
+        expression = parse(text)
+        assert is_functional(expression)
+        for document in DOCS:
+            assert outputs_relation(expression, document)
+            for mapping in mappings(expression, document):
+                assert mapping.domain == expression.variables()
+
+
+def test_theorem_4_2_span_regular_expression_semantics():
+    """spanRGX + join with all total mappings = the semantics of [2]."""
+    expression = parse("x{.*}a|b")
+    for document in ["a", "b", "ba"]:
+        expected = join(
+            all_total_mappings(expression.variables(), len(document)),
+            mappings(expression, document),
+        )
+        assert classical_semantics(expression, document) == expected
+
+
+def test_theorem_4_3_rgx_equals_vastk():
+    """RGX ≡ VAstk via Thompson and path union."""
+    for text in ["x{a*}y{b*}", "(x{(a|b)*}|y{(a|b)*})*", "x{a}|b"]:
+        expression = parse(text)
+        automaton = to_vastk(expression)
+        for document in DOCS:
+            assert automaton.evaluate(document) == mappings(expression, document)
+        recovered = vastk_to_rgx(automaton)
+        for document in DOCS:
+            assert mappings(recovered, document) == mappings(expression, document)
+
+
+def test_theorem_4_4_hierarchical_va_equals_rgx():
+    """Hierarchical VA ≡ RGX."""
+    expression = parse("x{ay{b}}c*")
+    automaton = to_va(expression)
+    recovered = va_to_rgx(automaton)
+    for document in ["ab", "abc", "abcc", ""]:
+        assert mappings(recovered, document) == mappings(expression, document)
+
+
+def test_theorem_4_5_algebra_closure():
+    """VA is closed under ∪, π, ⋈ of mappings."""
+    first = to_va(parse("x{a*}y{b*}"))
+    second = to_va(parse("x{a*}.*"))
+    for document in DOCS:
+        m1, m2 = evaluate_va(first, document), evaluate_va(second, document)
+        assert evaluate_va(union_va(first, second), document) == m1 | m2
+        assert evaluate_va(project_va(first, {"x"}), document) == {
+            m.project({"x"}) for m in m1
+        }
+        assert evaluate_va(join_va(first, second), document) == join(m1, m2)
+
+
+def test_theorem_4_6_incomparability():
+    """Rules express non-hierarchical mappings; RGX outputs never are."""
+    overlap_rule = Rule(
+        bare("x"),
+        (
+            ("x", parse("a(y{.*})aa")),
+            ("x", parse("aa(z{.*})a")),
+        ),
+    )
+    produced = overlap_rule.evaluate("aaaaa")
+    assert any(not m.is_hierarchical() for m in produced)
+    for text in ["x{a*}y{b*}", "(x{(a|b)*}|y{(a|b)*})*", "x{y{a}b}c"]:
+        for document in DOCS:
+            for mapping in mappings(parse(text), document):
+                assert mapping.is_hierarchical()
+
+
+def test_theorem_4_7_cycle_elimination():
+    """Functional simple rules → equivalent dag-like rules, in PTIME."""
+    cyclic = rule(
+        bare("x"),
+        ("x", bare("y")),
+        ("y", bare("z")),
+        ("z", parse("u{.*}x{.*}")),
+    )
+    transformed = to_daglike(cyclic)
+    assert is_dag_like(transformed)
+    keep = cyclic.variables()
+    for document in DOCS:
+        assert {
+            m.project(keep) for m in transformed.evaluate(document)
+        } == cyclic.evaluate(document)
+
+
+def test_proposition_4_8_and_4_9_pipeline():
+    """Simple rule → union of functional dag-like → union of tree-like."""
+    from repro.rules.translate import to_functional_daglike
+
+    r = rule(
+        parse("x{.*}|y{.*}"),
+        ("x", parse("ab*")),
+        ("y", parse("ba*")),
+    )
+    keep = r.variables()
+    dags = to_functional_daglike(r)
+    assert dags and all(is_dag_like(d) for d in dags)
+    trees = [tree for dag in dags for tree in daglike_to_treelike(dag)]
+    assert trees and all(is_tree_like(t) for t in trees)
+    for document in DOCS:
+        produced = set()
+        for tree in trees:
+            produced |= {m.project(keep) for m in tree.evaluate(document)}
+        assert produced == r.evaluate(document)
+
+
+def test_theorem_4_10_rgx_equals_unions_of_simple_rules():
+    """Both directions of the equivalence."""
+    r = rule(parse("x{.*}|y{.*}"), ("x", parse("ab*")), ("y", parse("ba*")))
+    expression = union_of_rules_to_rgx([r])
+    keep = r.variables()
+    for document in DOCS:
+        assert {
+            m.project(keep) for m in mappings(expression, document)
+        } == r.evaluate(document)
+
+    source = parse("x{a*}y{b*}|c")
+    back = rgx_to_treelike_rules(source)
+    for document in DOCS + ["c"]:
+        produced = set()
+        for tree in back:
+            produced |= tree.evaluate(document)
+        assert produced == mappings(source, document)
+
+
+def test_theorem_5_1_and_5_7_polynomial_delay_enumeration():
+    """Eval in PTIME ⟹ polynomial-delay enumeration for seqRGX."""
+    from repro.evaluation.enumerate import enumerate_rgx
+
+    expression = parse(".*f=x{[^;]*};.*(g=y{[^;]*};.*|ε)")
+    document = "f=ab;g=cd;"
+    produced = set(enumerate_rgx(expression, document))
+    assert produced == mappings(expression, document)
+
+
+def test_theorem_5_2_nonemp_spanrgx_reduction():
+    """NonEmp[spanRGX] decides 1-IN-3-SAT."""
+    from repro.reductions.one_in_three_sat import (
+        brute_force_one_in_three,
+        random_instance,
+        spanrgx_nonempty_on_epsilon,
+    )
+
+    for seed in (0, 1, 2):
+        instance = random_instance(3, 4, seed)
+        assert spanrgx_nonempty_on_epsilon(instance) == (
+            brute_force_one_in_three(instance)
+        )
+
+
+def test_proposition_5_3_functional_eval():
+    """Eval[funcRGX] is decided by the sequential algorithm."""
+    from repro.evaluation.eval_problem import eval_va
+    from repro.spans.mapping import ExtendedMapping
+
+    expression = parse("x{a*}y{b*}")
+    automaton = to_va(expression)
+    assert is_sequential(automaton)  # funcRGX ⊆ seqRGX
+    assert eval_va(automaton, "aabb", ExtendedMapping({"x": Span(1, 3)}))
+    assert not eval_va(automaton, "aabb", ExtendedMapping({"x": Span(2, 3)}))
+
+
+def test_proposition_5_4_relational_va_hardness_family():
+    """The Figure 4 family is relational yet encodes Hamiltonicity."""
+    from repro.reductions.hamiltonian import (
+        brute_force_hamiltonian,
+        random_graph,
+        va_nonempty_on_epsilon,
+    )
+
+    for seed in (0, 1, 2, 3):
+        graph = random_graph(4, 0.5, seed)
+        assert va_nonempty_on_epsilon(graph) == brute_force_hamiltonian(graph)
+
+
+def test_proposition_5_5_sequentiality_check():
+    assert is_sequential(to_va(parse("x{a*}y{b*}")))
+    assert not is_sequential(to_va(parse("(x{a})*")))
+
+
+def test_proposition_5_6_sequentialisation():
+    original = to_va(parse("(x{a}|y{b})*"))
+    assert not is_sequential(original)
+    sequential = make_sequential(original)
+    assert is_sequential(sequential)
+    for document in DOCS:
+        assert evaluate_va(sequential, document) == evaluate_va(
+            original, document
+        )
+
+
+def test_theorem_5_8_rule_nonemptiness_reduction():
+    from repro.reductions.one_in_three_sat import (
+        brute_force_one_in_three,
+        random_instance,
+        rule_nonempty_on_hash,
+    )
+
+    for seed in (0, 1, 2):
+        instance = random_instance(2, 4, seed)
+        assert rule_nonempty_on_hash(instance) == brute_force_one_in_three(
+            instance
+        )
+
+
+def test_theorem_5_9_treelike_rule_eval():
+    from repro.evaluation.rules_eval import enumerate_treelike_rule
+
+    r = rule(
+        parse("x{.*}.*y{.*}"), ("x", parse("a*")), ("y", parse("b*"))
+    )
+    assert is_tree_like(r) and r.is_sequential()
+    for document in DOCS:
+        assert set(enumerate_treelike_rule(r, document)) == r.evaluate(document)
+
+
+def test_theorem_5_10_fpt_eval():
+    """The general Eval algorithm is exact on non-sequential automata."""
+    from repro.evaluation.eval_problem import eval_general_va
+    from repro.spans.mapping import ExtendedMapping
+
+    expression = parse("(x{a}|y{b})*")
+    automaton = to_va(expression)
+    assert not is_sequential(automaton)
+    for document in DOCS:
+        for mapping in mappings(expression, document):
+            assert eval_general_va(
+                automaton, document, ExtendedMapping.from_mapping(mapping)
+            )
+
+
+def test_theorem_6_1_satisfiability():
+    assert satisfiable_va(to_va(parse("x{a*}y{b*}")))
+    assert not satisfiable_va(to_va(parse("x{a}x{b}")))
+
+
+def test_theorem_6_2_sequential_satisfiability_is_reachability():
+    automaton = to_va(parse("x{a*}(y{b}|ε)"))
+    assert is_sequential(automaton)
+    witness = satisfying_document(automaton)
+    assert witness is not None
+    assert mappings(parse("x{a*}(y{b}|ε)"), witness)
+
+
+def test_theorem_6_3_rule_satisfiability():
+    from repro.analysis.satisfiability import satisfiable_rule
+
+    tree = rule(bare("x"), ("x", parse("a(y{.*})")), ("y", parse(".*")))
+    assert satisfiable_rule(tree)  # sequential tree-like: always
+    assert not satisfiable_rule(unsatisfiable_daglike_rule())
+
+
+def test_theorem_6_4_containment():
+    assert contained_va(to_va(parse("x{a}b")), to_va(parse("x{a}.")))
+    assert not contained_va(to_va(parse("x{a}.")), to_va(parse("x{a}b")))
+
+
+def test_proposition_6_5_determinisation():
+    for text in ["x{a*}y{b*}", "(x{(a|b)*}|y{(a|b)*})*"]:
+        expression = parse(text)
+        deterministic = determinize(to_va(expression))
+        assert is_complete_deterministic(deterministic)
+        for document in DOCS:
+            assert evaluate_va(deterministic, document) == mappings(
+                expression, document
+            )
+
+
+def test_theorem_6_6_dnf_validity_reduction():
+    from repro.reductions.dnf_validity import (
+        brute_force_valid,
+        containment_holds,
+        random_dnf,
+    )
+
+    for seed in (0, 1):
+        formula = random_dnf(2, 3, seed)
+        assert containment_holds(formula) == brute_force_valid(formula)
+
+
+def test_theorem_6_7_point_disjoint_containment():
+    first = determinize(make_sequential(to_va(parse("x{ab}c"))))
+    second = determinize(make_sequential(to_va(parse("x{ab}."))))
+    assert contained_det_sequential_point_disjoint(first, second)
+    assert not contained_det_sequential_point_disjoint(second, first)

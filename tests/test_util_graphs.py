@@ -1,0 +1,90 @@
+"""Tarjan SCC and topological order (used by Theorem 4.7)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.graphs import (
+    reachable_from,
+    strongly_connected_components,
+    topological_order,
+)
+
+
+class TestScc:
+    def test_single_cycle(self):
+        graph = {"a": ["b"], "b": ["c"], "c": ["a"]}
+        components = strongly_connected_components(graph)
+        assert len(components) == 1
+        assert set(components[0]) == {"a", "b", "c"}
+
+    def test_dag_gives_singletons(self):
+        graph = {"a": ["b", "c"], "b": ["c"], "c": []}
+        components = strongly_connected_components(graph)
+        assert all(len(c) == 1 for c in components)
+
+    def test_reverse_topological_emission(self):
+        graph = {"a": ["b"], "b": []}
+        components = strongly_connected_components(graph)
+        # b can't reach a, so b's component is emitted first.
+        assert components[0] == ["b"]
+
+    def test_two_cycles_bridge(self):
+        graph = {
+            "a": ["b"], "b": ["a", "c"],
+            "c": ["d"], "d": ["c"],
+        }
+        components = strongly_connected_components(graph)
+        assert sorted(sorted(c) for c in components) == [["a", "b"], ["c", "d"]]
+        # {c,d} is downstream, emitted before {a,b}.
+        assert set(components[0]) == {"c", "d"}
+
+    def test_implicit_nodes(self):
+        graph = {"a": ["ghost"]}
+        components = strongly_connected_components(graph)
+        assert sorted(sorted(c) for c in components) == [["a"], ["ghost"]]
+
+    def test_deep_chain_no_recursion_error(self):
+        graph = {i: [i + 1] for i in range(5000)}
+        components = strongly_connected_components(graph)
+        assert len(components) == 5001
+
+    @given(
+        st.dictionaries(
+            st.integers(0, 7),
+            st.sets(st.integers(0, 7), max_size=4).map(list),
+            max_size=8,
+        )
+    )
+    def test_components_partition_nodes(self, graph):
+        components = strongly_connected_components(graph)
+        nodes = set(graph) | {s for succ in graph.values() for s in succ}
+        flattened = [node for component in components for node in component]
+        assert sorted(flattened) == sorted(nodes)
+
+
+class TestTopologicalOrder:
+    def test_simple_dag(self):
+        order = topological_order({"a": ["b"], "b": ["c"], "c": []})
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_cycle_raises(self):
+        with pytest.raises(ValueError):
+            topological_order({"a": ["b"], "b": ["a"]})
+
+    def test_self_loop_raises(self):
+        with pytest.raises(ValueError):
+            topological_order({"a": ["a"]})
+
+
+class TestReachability:
+    def test_includes_sources(self):
+        assert reachable_from({"a": ["b"]}, ["a"]) == {"a", "b"}
+
+    def test_unreachable_excluded(self):
+        graph = {"a": ["b"], "c": ["d"]}
+        assert reachable_from(graph, ["a"]) == {"a", "b"}
+
+    def test_multiple_sources(self):
+        graph = {"a": ["b"], "c": ["d"]}
+        assert reachable_from(graph, ["a", "c"]) == {"a", "b", "c", "d"}

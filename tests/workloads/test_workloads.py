@@ -1,0 +1,119 @@
+"""Workload generators and their ground-truth oracles."""
+
+import pytest
+
+from repro.automata.simulate import evaluate_va
+from repro.automata.thompson import to_va
+from repro.rgx.properties import is_functional, is_sequential
+from repro.workloads import land_registry, server_logs
+from repro.workloads.expressions import (
+    field_document,
+    random_document,
+    random_rgx,
+    random_sequential_rgx,
+    random_va,
+    seller_like_sequential_rgx,
+)
+
+
+class TestLandRegistry:
+    def test_rendering_matches_paper_shape(self):
+        rows = [
+            land_registry.RegistryRow("Seller", "John", "ID75", None),
+            land_registry.RegistryRow("Seller", "Mark", "ID7", "$35,000"),
+        ]
+        document = land_registry.render(rows)
+        assert "Seller: John, ID75\n" in document
+        assert "Seller: Mark, ID7, $35,000\n" in document
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_expression_extracts_ground_truth(self, seed):
+        rows = land_registry.generate_rows(8, seed=seed)
+        document = land_registry.render(rows)
+        output = evaluate_va(to_va(land_registry.seller_tax_expression()), document)
+        assert land_registry.extraction_pairs(document, output) == (
+            land_registry.expected_extraction(rows)
+        )
+
+    def test_name_only_expression(self):
+        rows = land_registry.generate_rows(6, seed=1)
+        document = land_registry.render(rows)
+        output = evaluate_va(to_va(land_registry.seller_name_expression()), document)
+        names = {m["x"].content(document) for m in output}
+        assert names == {r.name for r in rows if r.kind == "Seller"}
+
+    def test_rule_agrees_with_expression(self):
+        rows = land_registry.generate_rows(5, seed=2)
+        document = land_registry.render(rows)
+        rule_result = land_registry.seller_rule().evaluate(document)
+        assert land_registry.extraction_pairs(document, rule_result) == (
+            land_registry.expected_extraction(rows)
+        )
+
+    def test_incomplete_rows_have_partial_mappings(self):
+        document = "Seller: Ana, ID1\n"
+        output = evaluate_va(to_va(land_registry.seller_tax_expression()), document)
+        assert {m.domain for m in output} == {frozenset({"x"})}
+
+    def test_deterministic_given_seed(self):
+        assert land_registry.generate_document(5, seed=7) == (
+            land_registry.generate_document(5, seed=7)
+        )
+
+
+class TestServerLogs:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_expression_extracts_ground_truth(self, seed):
+        lines = server_logs.generate_lines(7, seed=seed)
+        document = server_logs.render(lines)
+        output = evaluate_va(to_va(server_logs.access_expression()), document)
+        assert server_logs.extraction_tuples(document, output) == (
+            server_logs.expected_tuples(lines)
+        )
+
+    def test_four_mapping_domains_possible(self):
+        lines = [
+            server_logs.LogLine("/a", "200", None, None),
+            server_logs.LogLine("/b", "200", "u", None),
+            server_logs.LogLine("/c", "200", None, "/a"),
+            server_logs.LogLine("/d", "200", "u", "/a"),
+        ]
+        document = server_logs.render(lines)
+        output = evaluate_va(to_va(server_logs.access_expression()), document)
+        domains = {frozenset(m.domain) for m in output}
+        assert len(domains) == 4
+
+
+class TestGenerators:
+    def test_random_rgx_is_seeded(self):
+        assert random_rgx(12, 5) == random_rgx(12, 5)
+        samples = {random_rgx(12, seed) for seed in range(10)}
+        assert len(samples) > 3  # different seeds explore the space
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_sequential_rgx_is_sequential(self, seed):
+        assert is_sequential(random_sequential_rgx(12, seed))
+
+    def test_seller_like_rgx_properties(self):
+        expression = seller_like_sequential_rgx(4)
+        assert is_sequential(expression)
+        assert len(expression.variables()) == 4
+
+    def test_field_document_matches_expression(self):
+        from repro.rgx.semantics import mappings
+
+        expression = seller_like_sequential_rgx(3)
+        document = field_document(3, seed=1)
+        result = evaluate_va(to_va(expression), document)
+        assert len(result) == 1
+        mapping = next(iter(result))
+        assert mapping.is_total_on({"v0", "v1", "v2"})
+
+    def test_random_document_alphabet(self):
+        document = random_document(50, seed=3, alphabet="xy")
+        assert set(document) <= {"x", "y"}
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_va_evaluates(self, seed):
+        automaton = random_va(5, seed=seed)
+        evaluate_va(automaton, "ab")  # must not raise
