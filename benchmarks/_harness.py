@@ -8,8 +8,19 @@ pytest-benchmark.  The printed series is what EXPERIMENTS.md records.
 from __future__ import annotations
 
 import math
+import os
 import time
 from collections.abc import Callable, Sequence
+
+
+def quick_mode() -> bool:
+    """True when ``REPRO_BENCH_QUICK`` is set (CI smoke runs tiny inputs)."""
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def sizes(full: Sequence, quick: Sequence) -> Sequence:
+    """The scaling series to sweep: ``quick`` under ``REPRO_BENCH_QUICK``."""
+    return quick if quick_mode() else full
 
 
 def measure(action: Callable[[], object], repeat: int = 3) -> float:

@@ -12,12 +12,12 @@ import time
 
 import pytest
 
-from benchmarks._harness import loglog_slope, print_table
+from benchmarks._harness import loglog_slope, print_table, quick_mode, sizes
 from repro.automata.thompson import to_va
 from repro.evaluation.enumerate import enumerate_va
 from repro.workloads import land_registry
 
-ROW_COUNTS = [1, 2, 3, 4, 6]
+ROW_COUNTS = sizes(full=[1, 2, 3, 4, 6], quick=[2, 3])
 
 
 def _delays(automaton, document):
@@ -61,7 +61,8 @@ def test_e01_enumeration_delay(benchmark):
         rows,
     )
     print(f"max-delay log-log slope vs |d|: {slope:.2f} (polynomial ⇔ bounded; paper: PTIME Eval)")
-    assert slope < 5.0
+    if not quick_mode():  # tiny sweeps are too noisy for a slope estimate
+        assert slope < 5.0
 
     document = land_registry.generate_document(2, seed=7)
     benchmark(lambda: list(enumerate_va(automaton, document)))

@@ -10,7 +10,6 @@ import pytest
 from benchmarks._harness import loglog_slope, measure, print_table
 from repro.automata.thompson import to_va
 from repro.evaluation.eval_problem import eval_va
-from repro.rgx.properties import functional_set
 from repro.spans.mapping import ExtendedMapping
 from repro.spans.span import Span
 from repro.workloads.expressions import field_document, seller_like_sequential_rgx

@@ -1,0 +1,90 @@
+"""E19 — the compiled engine vs. the seed oracle enumerator.
+
+The compiled engine (:mod:`repro.engine`) must enumerate exactly the seed
+path's mapping set — in the seed's output order — while cutting the
+per-output delay.  We run the paper's seller/tax extraction (the E1
+workload) over growing land-registry documents and record, for both
+engines, the median and maximum gap between consecutive outputs.  The
+engine's three levers are measured together: precompiled transition
+tables, reachability-based span pruning, and prefix-sharing oracles.
+
+Acceptance: the compiled engine's median per-output delay is at least 2×
+lower than the seed's on every measured size (the observed gap is two to
+three orders of magnitude).  Under ``REPRO_BENCH_QUICK`` the sweep shrinks
+to one tiny size and only the equality of outputs is asserted — the CI
+smoke job exists to catch breakage, not to time a loaded runner.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from benchmarks._harness import print_table, quick_mode, sizes
+from repro.automata.thompson import to_va
+from repro.evaluation.enumerate import enumerate_va, enumerate_va_oracle
+from repro.workloads import land_registry
+
+ROW_COUNTS = sizes(full=[2, 3, 4, 6], quick=[2])
+MINIMUM_SPEEDUP = 2.0
+
+
+def _delays(iterator):
+    gaps, outputs = [], []
+    last = time.perf_counter()
+    for mapping in iterator:
+        now = time.perf_counter()
+        gaps.append(now - last)
+        last = now
+        outputs.append(mapping)
+    return gaps, outputs
+
+
+@pytest.mark.benchmark(group="e19")
+def test_e19_compiled_engine(benchmark):
+    automaton = to_va(land_registry.seller_tax_expression())
+    rows = []
+    for row_count in ROW_COUNTS:
+        document = land_registry.generate_document(row_count, seed=7)
+        seed_gaps, seed_outputs = _delays(enumerate_va_oracle(automaton, document))
+        compiled_gaps, compiled_outputs = _delays(enumerate_va(automaton, document))
+        assert compiled_outputs == seed_outputs  # same mappings, same order
+        if not seed_outputs:
+            continue
+        seed_median = statistics.median(seed_gaps)
+        compiled_median = statistics.median(compiled_gaps)
+        speedup = seed_median / compiled_median if compiled_median else float("inf")
+        rows.append(
+            (
+                row_count,
+                len(document),
+                len(seed_outputs),
+                seed_median,
+                compiled_median,
+                max(seed_gaps),
+                max(compiled_gaps),
+                speedup,
+            )
+        )
+        if not quick_mode():
+            assert speedup >= MINIMUM_SPEEDUP, (
+                f"compiled median delay only {speedup:.2f}x better "
+                f"at {row_count} rows"
+            )
+    print_table(
+        "E19: compiled engine vs seed oracle enumeration (seller/tax seqRGX)",
+        [
+            "rows",
+            "|d|",
+            "#out",
+            "seed med s",
+            "compiled med s",
+            "seed max s",
+            "compiled max s",
+            "speedup",
+        ],
+        rows,
+    )
+
+    document = land_registry.generate_document(ROW_COUNTS[-1], seed=7)
+    benchmark(lambda: list(enumerate_va(automaton, document)))

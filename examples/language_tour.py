@@ -7,8 +7,7 @@ Theorem 4.6's incomparability.  Run with::
     python examples/language_tour.py
 """
 
-from repro.automata import to_va, to_vastk, vastk_to_rgx
-from repro.automata.simulate import evaluate_va
+from repro.automata import to_vastk, vastk_to_rgx
 from repro.rgx import mappings, parse
 from repro.rules import Rule, rgx_to_treelike_rules, treelike_to_rgx
 from repro.rules.rule import bare

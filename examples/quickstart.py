@@ -8,6 +8,7 @@ public API.  Run with::
 
 from repro import Document, Span, mappings, parse
 from repro.automata import to_va
+from repro.engine import compile_spanner
 from repro.evaluation import enumerate_va
 
 
@@ -49,6 +50,24 @@ def main() -> None:
     print(f"\nenumerating .*x{{ab}}.* over {document!r}:")
     for mapping in enumerate_va(automaton, document):
         print(f"  {mapping}")
+
+    # --- the batch API: compile once, evaluate many ------------------------
+    # compile_spanner precompiles the automaton into indexed tables; the
+    # CompiledSpanner then serves any number of documents through a memoised
+    # Eval oracle with span pruning — the engine behind enumerate_va above.
+    engine = compile_spanner(".*Seller: x{[^,]*}, y{[^,]*}")
+    documents = [
+        "Seller: John, ID75",
+        "Seller: Mark, ID7",
+        "Buyer: Ana, ID3",
+    ]
+    print("\nbatch extraction over three documents:")
+    for doc, result in zip(documents, engine.evaluate_many(documents)):
+        decoded = [
+            {v: s.content(doc) for v, s in mapping.items()}
+            for mapping in sorted(result, key=lambda m: sorted(m.items()))
+        ]
+        print(f"  {doc!r} -> {decoded}")
 
 
 if __name__ == "__main__":

@@ -21,6 +21,7 @@ Quickstart::
 """
 
 from repro.alphabet import CharSet
+from repro.engine import CompiledSpanner, compile_spanner
 from repro.rgx.parser import parse
 from repro.rgx.semantics import mappings
 from repro.spanner import Spanner
@@ -32,12 +33,14 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CharSet",
+    "CompiledSpanner",
     "Document",
     "ExtendedMapping",
     "Mapping",
     "NULL",
     "Span",
     "Spanner",
+    "compile_spanner",
     "join",
     "mappings",
     "parse",

@@ -14,9 +14,13 @@ Modes:
 * ``--spans`` — emit ``[begin, end]`` pairs instead of contents;
 * ``--check`` — print satisfiability, sequentiality and a witness
   document for the pattern, then exit (static analysis, Section 6);
-* ``--count`` — print only the number of mappings.
+* ``--count`` — print only the number of mappings;
+* ``--engine {compiled,seed}`` — evaluation engine; ``compiled`` (the
+  default) uses :mod:`repro.engine`'s tables, pruning, and memoisation.
 
-Reads from stdin when no file is given.
+Reads from stdin when no file is given.  With several files the pattern is
+compiled once and evaluated in batch; each record carries a ``"_file"``
+key identifying its document.
 """
 
 from __future__ import annotations
@@ -39,9 +43,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("pattern", help="variable regex, e.g. '.*x{a+}.*'")
     parser.add_argument(
-        "file",
-        nargs="?",
-        help="document file (defaults to stdin)",
+        "files",
+        nargs="*",
+        metavar="file",
+        help="document file(s); defaults to stdin, several run as a batch",
     )
     parser.add_argument(
         "--spans",
@@ -58,7 +63,38 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="static analysis of the pattern (no document needed)",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("compiled", "seed"),
+        default="compiled",
+        help="evaluation engine (default: the compiled engine)",
+    )
     return parser
+
+
+def _extract(spanner: Spanner, document: str, engine: str, spans: bool):
+    if engine == "compiled":
+        return spanner.compiled.extract(document, spans=spans)
+    return spanner.extract(document, spans=spans)
+
+
+def _count(spanner: Spanner, document: str, engine: str) -> int:
+    if engine == "compiled":
+        return spanner.compiled.count(document)
+    return len(spanner.mappings(document))
+
+
+def _emit(record: dict, spans: bool, file_name: str | None) -> None:
+    if spans:
+        payload: dict = {
+            variable: [span.begin, span.end]
+            for variable, span in record.items()
+        }
+    else:
+        payload = dict(record)
+    if file_name is not None:
+        payload["_file"] = file_name
+    print(json.dumps(payload, sort_keys=True, ensure_ascii=False))
 
 
 def run(argv: list[str] | None = None, stdin: str | None = None) -> int:
@@ -79,25 +115,38 @@ def run(argv: list[str] | None = None, stdin: str | None = None) -> int:
             print(f"witness:      {spanner.witness()!r}")
         return 0
 
-    if arguments.file is not None:
-        with open(arguments.file, encoding="utf-8") as handle:
-            document = handle.read()
+    if arguments.files:
+        documents = []
+        for path in arguments.files:
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    documents.append(handle.read())
+            except OSError as error:
+                print(f"error: cannot read {path}: {error}", file=sys.stderr)
+                return 2
     elif stdin is not None:
-        document = stdin
+        documents = [stdin]
     else:
-        document = sys.stdin.read()
+        documents = [sys.stdin.read()]
+    batch = len(arguments.files) > 1
 
     if arguments.count:
-        print(len(spanner.mappings(document)))
+        total = sum(
+            _count(spanner, document, arguments.engine)
+            for document in documents
+        )
+        print(total)
         return 0
 
-    for record in spanner.extract(document, spans=arguments.spans):
-        if arguments.spans:
-            payload = {
-                variable: [span.begin, span.end]
-                for variable, span in record.items()
-            }
-        else:
-            payload = record
-        print(json.dumps(payload, sort_keys=True, ensure_ascii=False))
+    for position, document in enumerate(documents):
+        file_name = arguments.files[position] if batch else None
+        for record in _extract(
+            spanner, document, arguments.engine, arguments.spans
+        ):
+            _emit(record, arguments.spans, file_name)
     return 0
+
+
+def main() -> None:
+    """Console-script entry point (``repro`` after ``pip install -e .``)."""
+    sys.exit(run())

@@ -1,0 +1,26 @@
+"""The compiled evaluation engine (hot path of the production roadmap).
+
+Precompiled transition tables (:mod:`repro.engine.tables`), memoised and
+prefix-sharing ``Eval`` oracles (:mod:`repro.engine.oracle`), and the
+reusable :class:`CompiledSpanner` with its batch API
+(:mod:`repro.engine.compiled`).
+"""
+
+from repro.engine.compiled import CompiledSpanner, compile_spanner
+from repro.engine.oracle import (
+    eval_compiled,
+    eval_general_compiled,
+    eval_sequential_compiled,
+)
+from repro.engine.tables import CompiledVA, DocumentIndex, compile_va
+
+__all__ = [
+    "CompiledSpanner",
+    "CompiledVA",
+    "DocumentIndex",
+    "compile_spanner",
+    "compile_va",
+    "eval_compiled",
+    "eval_general_compiled",
+    "eval_sequential_compiled",
+]

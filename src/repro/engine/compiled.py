@@ -1,0 +1,243 @@
+"""The compiled spanner: pruned enumeration, memoised Eval, batch evaluation.
+
+:func:`compile_spanner` accepts concrete RGX syntax, an AST, a VA, or an
+existing :class:`~repro.spanner.Spanner` and returns a reusable
+:class:`CompiledSpanner`.  Compilation work (transition tables, the
+sequentiality check) happens once; per-document work (the reachability
+index) is cached so repeated evaluation of the same document — the serving
+pattern the batch API targets — pays for it once.
+
+Enumeration follows Algorithm 2 exactly, with two engine upgrades:
+
+* candidate spans come from the document index's reachability pruning
+  instead of the full ``O(|d|²)`` span list, preserving the seed's output
+  order on the surviving candidates;
+* the oracle is a per-node :class:`~repro.engine.oracle.NodeSweep` that
+  shares sweep prefixes across sibling branches (sequential automata), or
+  a compiled full sweep otherwise.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.automata.va import VA
+from repro.engine.oracle import (
+    GeneralNode,
+    NodeSweep,
+    eval_compiled,
+)
+from repro.engine.tables import CompiledVA, DocumentIndex, compile_va
+from repro.spans.document import Document, as_text
+from repro.spans.mapping import (
+    NULL,
+    ExtendedMapping,
+    Mapping,
+    Variable,
+)
+from repro.spans.span import Span
+
+#: Per-spanner bound on cached document indexes / verdicts (simple FIFO).
+_DOCUMENT_CACHE_LIMIT = 64
+_VERDICT_CACHE_LIMIT = 4096
+
+
+class CompiledSpanner:
+    """A spanner compiled for repeated, high-throughput evaluation."""
+
+    def __init__(self, automaton: VA, expression=None) -> None:
+        self._va = automaton
+        self._cva: CompiledVA = compile_va(automaton)
+        self._expression = expression
+        self._indexes: dict[str, DocumentIndex] = {}
+        self._verdicts: dict[tuple, bool] = {}
+
+    # -- inspection ------------------------------------------------------------
+
+    @property
+    def automaton(self) -> VA:
+        return self._va
+
+    @property
+    def expression(self):
+        """The source RGX, when compiled from one."""
+        return self._expression
+
+    @property
+    def tables(self) -> CompiledVA:
+        """The underlying transition tables (shared, cached per VA)."""
+        return self._cva
+
+    @property
+    def variables(self) -> frozenset[Variable]:
+        return self._cva.variables
+
+    @property
+    def is_sequential(self) -> bool:
+        return self._cva.is_sequential
+
+    # -- per-document infrastructure --------------------------------------------
+
+    def index(self, document: "Document | str") -> DocumentIndex:
+        """The (cached) reachability index of one document."""
+        text = as_text(document)
+        index = self._indexes.get(text)
+        if index is None:
+            if len(self._indexes) >= _DOCUMENT_CACHE_LIMIT:
+                self._indexes.pop(next(iter(self._indexes)))
+            index = DocumentIndex(self._cva, text)
+            self._indexes[text] = index
+        return index
+
+    # -- decision problems -------------------------------------------------------
+
+    def eval(self, document: "Document | str", pinned: ExtendedMapping) -> bool:
+        """Memoised ``Eval``: verdicts keyed on the frozen extended mapping."""
+        text = as_text(document)
+        key = (text, frozenset(pinned.items()))
+        verdict = self._verdicts.get(key)
+        if verdict is None:
+            if len(self._verdicts) >= _VERDICT_CACHE_LIMIT:
+                self._verdicts.pop(next(iter(self._verdicts)))
+            verdict = eval_compiled(self._cva, text, pinned)
+            self._verdicts[key] = verdict
+        return verdict
+
+    def matches(self, document: "Document | str") -> bool:
+        """``⟦A⟧_d ≠ ∅`` (NonEmp as ``Eval`` with the empty mapping)."""
+        return self.eval(document, ExtendedMapping.empty())
+
+    def check(self, document: "Document | str", mapping: Mapping) -> bool:
+        """``µ ∈ ⟦A⟧_d`` (ModelCheck as a total ``Eval`` instance)."""
+        pinned = ExtendedMapping.total_for(mapping, self._cva.mentioned_variables)
+        return self.eval(document, pinned)
+
+    # -- enumeration ---------------------------------------------------------------
+
+    def enumerate(
+        self,
+        document: "Document | str",
+        start: ExtendedMapping | None = None,
+    ) -> Iterator[Mapping]:
+        """Algorithm 2 with span pruning and prefix-sharing oracles."""
+        text = as_text(document)
+        initial = ExtendedMapping.empty() if start is None else start
+        if not self.eval(text, initial):
+            return
+        index = self.index(text)
+        base = dict(initial.items())
+        remaining = [
+            variable
+            for variable in sorted(self._cva.mentioned_variables)
+            if variable not in base
+        ]
+        yield from self._recurse(text, index, base, remaining)
+
+    def _recurse(
+        self, text: str, index: DocumentIndex, base: dict, remaining: list
+    ) -> Iterator[Mapping]:
+        # Invariant: the oracle has confirmed some completion of `base` is in
+        # the semantics, so a node with no remaining variables is an output.
+        if not remaining:
+            yield Mapping(
+                {v: s for v, s in base.items() if isinstance(s, Span)}
+            )
+            return
+        variable = remaining[0]
+        rest = remaining[1:]
+        if self._cva.is_sequential:
+            node = NodeSweep(self._cva, text, base, variable)
+        else:
+            node = GeneralNode(self._cva, text, base, variable)
+        for span in index.candidate_spans(variable):
+            if node.accepts_span(span):
+                child = dict(base)
+                child[variable] = span
+                yield from self._recurse(text, index, child, rest)
+        if node.accepts_null():
+            child = dict(base)
+            child[variable] = NULL
+            yield from self._recurse(text, index, child, rest)
+
+    # -- materialised results --------------------------------------------------------
+
+    def mappings(self, document: "Document | str") -> set[Mapping]:
+        """``⟦A⟧_d`` as a set (drives :meth:`enumerate`)."""
+        return set(self.enumerate(document))
+
+    def count(self, document: "Document | str") -> int:
+        return sum(1 for _ in self.enumerate(document))
+
+    def extract(
+        self, document: "Document | str", spans: bool = False
+    ) -> list[dict[str, object]]:
+        """Decoded results, one dict per mapping, absent fields omitted."""
+        text = as_text(document)
+        results = []
+        for mapping in sorted(
+            self.mappings(text),
+            key=lambda m: sorted((v, s) for v, s in m.items()),
+        ):
+            if spans:
+                results.append(dict(mapping.items()))
+            else:
+                results.append(
+                    {v: s.content(text) for v, s in mapping.items()}
+                )
+        return results
+
+    # -- batch API ---------------------------------------------------------------------
+
+    def evaluate_many(
+        self, documents: Iterable["Document | str"]
+    ) -> list[set[Mapping]]:
+        """``⟦A⟧_d`` for every document, sharing all compiled state.
+
+        The transition tables, step cache, and sequentiality verdict are
+        computed once for the whole batch; per-document indexes are cached,
+        so repeated documents are almost free.
+        """
+        return [self.mappings(document) for document in documents]
+
+    def extract_many(
+        self, documents: Iterable["Document | str"], spans: bool = False
+    ) -> list[list[dict[str, object]]]:
+        """Decoded batch results (one list of dicts per document)."""
+        return [self.extract(document, spans=spans) for document in documents]
+
+    def __repr__(self) -> str:
+        kind = "sequential" if self.is_sequential else "general"
+        return (
+            f"CompiledSpanner({self._cva.num_states} states, {kind}, "
+            f"variables {sorted(self.variables)})"
+        )
+
+
+def compile_spanner(source) -> CompiledSpanner:
+    """Compile RGX text, an AST, a VA, or a Spanner into a reusable engine.
+
+    >>> from repro.engine import compile_spanner
+    >>> engine = compile_spanner(".*Seller: x{[^,\\n]*},.*")
+    >>> engine.extract("Seller: John, ID75\\n")
+    [{'x': 'John'}]
+    """
+    from repro.rgx.ast import Rgx
+    from repro.rgx.parser import parse
+    from repro.spanner import Spanner
+
+    if isinstance(source, CompiledSpanner):
+        return source
+    if isinstance(source, Spanner):
+        return CompiledSpanner(source.automaton, source.expression)
+    if isinstance(source, VA):
+        return CompiledSpanner(source)
+    if isinstance(source, str):
+        expression = parse(source)
+        from repro.automata.thompson import to_va
+
+        return CompiledSpanner(to_va(expression), expression)
+    if isinstance(source, Rgx):
+        from repro.automata.thompson import to_va
+
+        return CompiledSpanner(to_va(source), source)
+    raise TypeError(f"cannot compile {type(source).__name__} into a spanner")

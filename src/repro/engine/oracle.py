@@ -1,0 +1,352 @@
+"""Compiled, memoised ``Eval`` oracles (Theorems 5.7 / 5.10 on tables).
+
+Two layers:
+
+* :func:`eval_compiled` — a drop-in for
+  :func:`repro.evaluation.eval_problem.eval_va` that runs the same position
+  sweeps over :class:`~repro.engine.tables.CompiledVA` tables.  Sequentiality
+  is decided once at compile time instead of per oracle call, and the letter
+  step is a memoised table lookup.
+
+* :class:`NodeSweep` — the enumeration-time oracle for one recursion node of
+  Algorithm 2.  A node fixes a base extended mapping ``µ`` and refines one
+  variable ``x``; its sibling branches ``µ[x → (i, j)]`` share the entire
+  sweep prefix below position ``i`` (their requirement profiles agree on
+  every earlier position, and ``x`` is classified identically everywhere but
+  ``i`` and ``j``).  ``NodeSweep`` runs that shared prefix once, records the
+  state-set entering every position, and answers each sibling query by
+  resuming from the recorded set — turning the seed's ``O(|d|)`` sweep per
+  candidate into ``O(|d| - i)`` with the prefix amortised across siblings.
+"""
+
+from __future__ import annotations
+
+from repro.engine.tables import CompiledVA, close_key, open_key
+from repro.spans.mapping import NULL, ExtendedMapping, Variable
+from repro.spans.span import Span
+
+_NO_OPS: frozenset = frozenset()
+
+_FRESH, _OPEN, _DONE = range(3)
+
+
+class Requirements:
+    """Pinned operations bucketed by position (compiled ``_Requirements``)."""
+
+    __slots__ = ("valid", "required", "pinned", "nulls")
+
+    def __init__(self, cva: CompiledVA, end: int, pinned) -> None:
+        self.valid = True
+        self.required: dict[int, frozenset] = {}
+        self.pinned: set[Variable] = set()
+        self.nulls: set[Variable] = set()
+        automaton_variables = cva.variables
+        accumulated: dict[int, set] = {}
+        for variable, value in pinned.items():
+            if value is NULL:
+                self.nulls.add(variable)
+                continue
+            if (
+                variable not in automaton_variables
+                or value.begin < 1
+                or value.end > end
+            ):
+                self.valid = False  # no run can ever satisfy this pin
+                return
+            self.pinned.add(variable)
+            accumulated.setdefault(value.begin, set()).add(open_key(variable))
+            accumulated.setdefault(value.end, set()).add(close_key(variable))
+        self.required = {pos: frozenset(ops) for pos, ops in accumulated.items()}
+
+    def at(self, pos: int) -> frozenset:
+        return self.required.get(pos, _NO_OPS)
+
+
+def _closure(cva: CompiledVA, seeds, required: frozenset, pinned, nulls):
+    """Saturate ε/operation moves at one position (count-tracking form)."""
+    out = set(seeds)
+    frontier = list(out)
+    total = len(required)
+    eps, opens, closes = cva.eps, cva.opens, cva.closes
+    while frontier:
+        state, count = frontier.pop()
+        for target in eps[state]:
+            nxt = (target, count)
+            if nxt not in out:
+                out.add(nxt)
+                frontier.append(nxt)
+        for kind, table in (("o", opens), ("c", closes)):
+            for variable, target in table[state]:
+                if variable in nulls:
+                    # ⊥-pin: the open stays available (a dangling open leaves
+                    # the variable unused), only the close is forbidden.
+                    if kind == "c":
+                        continue
+                    nxt = (target, count)
+                elif variable in pinned:
+                    if (kind, variable) not in required or count >= total:
+                        continue
+                    nxt = (target, count + 1)
+                else:
+                    nxt = (target, count)
+                if nxt not in out:
+                    out.add(nxt)
+                    frontier.append(nxt)
+    return out
+
+
+def _advance(cva: CompiledVA, current, letter: str, needed: int):
+    """Letter step: keep runs that performed every required op, reset counts."""
+    seeds = set()
+    step = cva.step
+    for state, count in current:
+        if count != needed:
+            continue
+        for target in step(state, letter):
+            seeds.add((target, 0))
+    return seeds
+
+
+def eval_sequential_compiled(cva: CompiledVA, text: str, pinned) -> bool:
+    """Theorem 5.7's sweep over compiled tables."""
+    end = len(text) + 1
+    requirements = Requirements(cva, end, pinned)
+    if not requirements.valid:
+        return False
+    pinned_set, nulls = requirements.pinned, requirements.nulls
+    current = _closure(
+        cva, {(cva.initial, 0)}, requirements.at(1), pinned_set, nulls
+    )
+    for pos in range(1, end):
+        seeds = _advance(cva, current, text[pos - 1], len(requirements.at(pos)))
+        if not seeds:
+            return False
+        current = _closure(cva, seeds, requirements.at(pos + 1), pinned_set, nulls)
+    return (cva.final, len(requirements.at(end))) in current
+
+
+def _general_closure(cva: CompiledVA, seeds, required: frozenset, pinned, nulls, index):
+    """Theorem 5.10's closure: performed-set plus free-variable statuses."""
+    out = set(seeds)
+    frontier = list(out)
+    eps, opens, closes = cva.eps, cva.opens, cva.closes
+    while frontier:
+        state, done, statuses = frontier.pop()
+        for target in eps[state]:
+            nxt = (target, done, statuses)
+            if nxt not in out:
+                out.add(nxt)
+                frontier.append(nxt)
+        for kind, table, before, after in (
+            ("o", opens, _FRESH, _OPEN),
+            ("c", closes, _OPEN, _DONE),
+        ):
+            for variable, target in table[state]:
+                if variable in nulls and kind == "c":
+                    # ⊥-pin: the close would assign the variable; the open
+                    # stays available and is status-tracked like a free one.
+                    continue
+                if variable in pinned:
+                    key = (kind, variable)
+                    if key in done or key not in required:
+                        continue
+                    if (
+                        kind == "c"
+                        and ("o", variable) in required
+                        and ("o", variable) not in done
+                    ):
+                        # Empty pinned span: the open must precede the close
+                        # within this position for the run to be valid.
+                        continue
+                    nxt = (target, done | {key}, statuses)
+                else:
+                    i = index[variable]
+                    if statuses[i] != before:
+                        continue
+                    nxt = (
+                        target,
+                        done,
+                        statuses[:i] + (after,) + statuses[i + 1 :],
+                    )
+                if nxt not in out:
+                    out.add(nxt)
+                    frontier.append(nxt)
+    return out
+
+
+def eval_general_compiled(cva: CompiledVA, text: str, pinned) -> bool:
+    """Theorem 5.10's FPT sweep over compiled tables."""
+    end = len(text) + 1
+    requirements = Requirements(cva, end, pinned)
+    if not requirements.valid:
+        return False
+    pinned_set, nulls = requirements.pinned, requirements.nulls
+    # ⊥-pinned variables stay status-tracked (opens may fire at most once on
+    # a run); only span-pinned variables leave the status vector.
+    free_variables = tuple(sorted(cva.mentioned_variables - pinned_set))
+    index = {variable: i for i, variable in enumerate(free_variables)}
+    initial = (cva.initial, _NO_OPS, (_FRESH,) * len(free_variables))
+    current = _general_closure(
+        cva, {initial}, requirements.at(1), pinned_set, nulls, index
+    )
+    for pos in range(1, end):
+        required = requirements.at(pos)
+        letter = text[pos - 1]
+        seeds = set()
+        step = cva.step
+        for state, done, statuses in current:
+            if done != required:
+                continue
+            for target in step(state, letter):
+                seeds.add((target, _NO_OPS, statuses))
+        if not seeds:
+            return False
+        current = _general_closure(
+            cva, seeds, requirements.at(pos + 1), pinned_set, nulls, index
+        )
+    required = requirements.at(end)
+    final = cva.final
+    return any(
+        state == final and done == required for state, done, _ in current
+    )
+
+
+def eval_compiled(cva: CompiledVA, text: str, pinned: ExtendedMapping) -> bool:
+    """``Eval[VA]`` on compiled tables (sequentiality decided at compile time)."""
+    if cva.is_sequential:
+        return eval_sequential_compiled(cva, text, pinned)
+    return eval_general_compiled(cva, text, pinned)
+
+
+class NodeSweep:
+    """Sibling-sharing oracle for one recursion node (sequential automata).
+
+    The base context pins every previously fixed variable and treats the
+    refined variable ``x`` as *operation-less pinned* — classified exactly
+    like ``x → ⊥``, so the base sweep simultaneously answers the ``⊥``
+    branch and provides correct entry state-sets for every span branch.
+    """
+
+    __slots__ = (
+        "cva",
+        "text",
+        "end",
+        "variable",
+        "valid",
+        "_requirements",
+        "_pinned",
+        "_nulls",
+        "_entering",
+        "_final_states",
+        "_open_key",
+        "_close_key",
+    )
+
+    def __init__(self, cva: CompiledVA, text: str, base, variable: Variable) -> None:
+        self.cva = cva
+        self.text = text
+        self.end = len(text) + 1
+        self.variable = variable
+        requirements = Requirements(cva, self.end, base)
+        self.valid = requirements.valid
+        self._requirements = requirements
+        self._entering: list = []
+        self._final_states = None
+        self._open_key = open_key(variable)
+        self._close_key = close_key(variable)
+        if not self.valid:
+            return
+        # x joins the pinned set with no required ops anywhere: forbidden at
+        # every position, exactly like the ⊥ pin, so the prefix state-sets
+        # are shared verbatim by every sibling branch.
+        self._pinned = requirements.pinned | {variable}
+        self._nulls = requirements.nulls
+        self._run_base()
+
+    def _run_base(self) -> None:
+        cva, text, end = self.cva, self.text, self.end
+        requirements = self._requirements
+        entering: list = [None] * (end + 1)
+        entering[1] = {(cva.initial, 0)}
+        current = _closure(
+            cva, entering[1], requirements.at(1), self._pinned, self._nulls
+        )
+        for pos in range(1, end):
+            seeds = _advance(
+                cva, current, text[pos - 1], len(requirements.at(pos))
+            )
+            entering[pos + 1] = seeds
+            if not seeds:
+                # Every later position is unreachable in the base context.
+                for later in range(pos + 2, end + 1):
+                    entering[later] = seeds
+                self._entering = entering
+                self._final_states = frozenset()
+                return
+            current = _closure(
+                cva, seeds, requirements.at(pos + 1), self._pinned, self._nulls
+            )
+        self._entering = entering
+        self._final_states = current
+
+    def accepts_null(self) -> bool:
+        """The verdict for ``µ[x → ⊥]`` — the base sweep's own acceptance."""
+        if not self.valid:
+            return False
+        return (self.cva.final, len(self._requirements.at(self.end))) in self._final_states
+
+    def accepts_span(self, span: Span) -> bool:
+        """The verdict for ``µ[x → span]``, resumed from the shared prefix."""
+        if not self.valid:
+            return False
+        i, j = span.begin, span.end
+        if i < 1 or j > self.end or self.variable not in self.cva.variables:
+            return False
+        entering = self._entering[i]
+        if not entering:
+            return False
+        cva, text, end = self.cva, self.text, self.end
+        requirements = self._requirements
+
+        def required_at(pos: int) -> frozenset:
+            base = requirements.at(pos)
+            if pos != i and pos != j:
+                return base
+            extra = set(base)
+            if pos == i:
+                extra.add(self._open_key)
+            if pos == j:
+                extra.add(self._close_key)
+            return frozenset(extra)
+
+        current = _closure(cva, entering, required_at(i), self._pinned, self._nulls)
+        for pos in range(i, end):
+            seeds = _advance(cva, current, text[pos - 1], len(required_at(pos)))
+            if not seeds:
+                return False
+            current = _closure(
+                cva, seeds, required_at(pos + 1), self._pinned, self._nulls
+            )
+        return (cva.final, len(required_at(end))) in current
+
+
+class GeneralNode:
+    """Per-node oracle for non-sequential automata (full sweep per branch)."""
+
+    __slots__ = ("cva", "text", "base", "variable")
+
+    def __init__(self, cva: CompiledVA, text: str, base, variable: Variable) -> None:
+        self.cva = cva
+        self.text = text
+        self.base = base
+        self.variable = variable
+
+    def accepts_null(self) -> bool:
+        pinned = dict(self.base)
+        pinned[self.variable] = NULL
+        return eval_general_compiled(self.cva, self.text, pinned)
+
+    def accepts_span(self, span: Span) -> bool:
+        pinned = dict(self.base)
+        pinned[self.variable] = span
+        return eval_general_compiled(self.cva, self.text, pinned)

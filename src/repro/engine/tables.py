@@ -1,0 +1,254 @@
+"""Compiled transition tables for variable-set automata.
+
+The seed evaluators walk ``va.out_edges(state)`` and dispatch on the label
+class at every simulation step — a linear scan with ``isinstance`` checks in
+the innermost loop.  :class:`CompiledVA` precompiles a :class:`~repro.automata.va.VA`
+once into indexed buckets:
+
+* ``eps[q]`` / ``opens[q]`` / ``closes[q]`` — ε-targets and variable
+  operations, separated so sweeps never touch labels they cannot use;
+* a letter-step table: positive finite charsets are exploded into a
+  per-state ``char → targets`` dict, cofinite predicates stay as a short
+  residual list, and resolved ``(state, char)`` steps are memoised so
+  repeated letters (the common case in CSV/log documents) cost one dict
+  lookup;
+* ``free`` / ``free_reversed`` adjacency — ε and variable operations
+  collapsed into plain edges, the over-approximation used by the
+  reachability index below.
+
+:class:`DocumentIndex` pairs a compiled automaton with one document and
+precomputes, per position, which states any run prefix can occupy
+(``reach``) and which states can still finish the document (``coreach``).
+From those two arrays it derives *candidate spans* per variable: a span
+``(i, j)`` survives only if some ``x⊢`` transition can fire at position
+``i`` and some ``⊣x`` transition at position ``j`` on a live run.  This is
+the span pruning used by the compiled enumerator — the pruned list is
+usually a tiny subset of the ``O(|d|²)`` spans the seed oracle tries.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.automata.labels import Close, Eps, Open, Sym
+from repro.automata.sequential import is_sequential
+from repro.automata.va import VA
+from repro.spans.mapping import Variable
+from repro.spans.span import Span
+
+#: Operation keys — hashable stand-ins for ``Open``/``Close`` labels in the
+#: compiled sweeps (tuple hashing is cheaper than dataclass hashing).
+OPEN, CLOSE = "o", "c"
+OpKey = tuple[str, Variable]
+
+
+def open_key(variable: Variable) -> OpKey:
+    return (OPEN, variable)
+
+
+def close_key(variable: Variable) -> OpKey:
+    return (CLOSE, variable)
+
+
+class CompiledVA:
+    """Indexed transition tables for one automaton (document-independent)."""
+
+    __slots__ = (
+        "va",
+        "num_states",
+        "initial",
+        "final",
+        "eps",
+        "opens",
+        "closes",
+        "sym_edges",
+        "variables",
+        "mentioned_variables",
+        "is_sequential",
+        "_single",
+        "_residual",
+        "_step_cache",
+        "_free",
+        "_free_reversed",
+    )
+
+    def __init__(self, va: VA) -> None:
+        self.va = va
+        self.num_states = va.num_states
+        self.initial = va.initial
+        self.final = va.final
+        count = va.num_states
+        self.eps: list[tuple[int, ...]] = [() for _ in range(count)]
+        self.opens: list[tuple[tuple[Variable, int], ...]] = [() for _ in range(count)]
+        self.closes: list[tuple[tuple[Variable, int], ...]] = [() for _ in range(count)]
+        #: Every letter transition as ``(source, charset, target)`` — used by
+        #: the backward reachability pass of :class:`DocumentIndex`.
+        self.sym_edges: list[tuple[int, object, int]] = []
+        single: list[dict[str, list[int]]] = [{} for _ in range(count)]
+        residual: list[list[tuple[object, int]]] = [[] for _ in range(count)]
+        eps_acc: list[list[int]] = [[] for _ in range(count)]
+        opens_acc: list[list[tuple[Variable, int]]] = [[] for _ in range(count)]
+        closes_acc: list[list[tuple[Variable, int]]] = [[] for _ in range(count)]
+        for source, label, target in va.transitions:
+            if isinstance(label, Eps):
+                eps_acc[source].append(target)
+            elif isinstance(label, Open):
+                opens_acc[source].append((label.variable, target))
+            elif isinstance(label, Close):
+                closes_acc[source].append((label.variable, target))
+            else:
+                assert isinstance(label, Sym)
+                self.sym_edges.append((source, label.charset, target))
+                if label.charset.negated:
+                    residual[source].append((label.charset, target))
+                else:
+                    for char in label.charset.chars:
+                        single[source].setdefault(char, []).append(target)
+        self.eps = [tuple(targets) for targets in eps_acc]
+        self.opens = [tuple(edges) for edges in opens_acc]
+        self.closes = [tuple(edges) for edges in closes_acc]
+        self._single = single
+        self._residual = [tuple(edges) for edges in residual]
+        self._step_cache: dict[tuple[int, str], tuple[int, ...]] = {}
+        self._free = tuple(
+            tuple(
+                list(self.eps[state])
+                + [t for _, t in self.opens[state]]
+                + [t for _, t in self.closes[state]]
+            )
+            for state in range(count)
+        )
+        reversed_free: list[list[int]] = [[] for _ in range(count)]
+        for state in range(count):
+            for target in self._free[state]:
+                reversed_free[target].append(state)
+        self._free_reversed = tuple(tuple(edges) for edges in reversed_free)
+        self.variables = va.variables
+        self.mentioned_variables = va.mentioned_variables
+        self.is_sequential = is_sequential(va)
+
+    # -- letter steps ----------------------------------------------------------
+
+    def step(self, state: int, char: str) -> tuple[int, ...]:
+        """Targets reachable from ``state`` by consuming ``char`` (memoised)."""
+        key = (state, char)
+        cached = self._step_cache.get(key)
+        if cached is not None:
+            return cached
+        targets = list(self._single[state].get(char, ()))
+        for charset, target in self._residual[state]:
+            if charset.contains(char):
+                targets.append(target)
+        resolved = tuple(targets)
+        self._step_cache[key] = resolved
+        return resolved
+
+    # -- operation-free reachability (the pruning over-approximation) -----------
+
+    def free_closure(self, states: set[int]) -> frozenset[int]:
+        """Closure under ε *and* variable operations treated as free moves."""
+        seen = set(states)
+        frontier = list(states)
+        free = self._free
+        while frontier:
+            state = frontier.pop()
+            for target in free[state]:
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        return frozenset(seen)
+
+    def free_closure_reversed(self, states: set[int]) -> frozenset[int]:
+        seen = set(states)
+        frontier = list(states)
+        reversed_free = self._free_reversed
+        while frontier:
+            state = frontier.pop()
+            for source in reversed_free[state]:
+                if source not in seen:
+                    seen.add(source)
+                    frontier.append(source)
+        return frozenset(seen)
+
+
+@lru_cache(maxsize=128)
+def compile_va(va: VA) -> CompiledVA:
+    """Compile (and cache) the transition tables of an automaton."""
+    return CompiledVA(va)
+
+
+class DocumentIndex:
+    """Per-document reachability and candidate-span tables.
+
+    ``reach[p]`` over-approximates the states a run prefix can occupy at
+    position ``p`` (variable operations treated as ε, so no run is missed);
+    ``coreach[p]`` over-approximates the states from which the rest of the
+    document can still be consumed into the final state.  A variable can
+    only open at positions where an ``x⊢`` edge connects the two, and only
+    close where a ``⊣x`` edge does — every span outside the product of
+    those position sets is unreachable and safely skipped.
+    """
+
+    def __init__(self, cva: CompiledVA, text: str) -> None:
+        self.cva = cva
+        self.text = text
+        self.end = len(text) + 1
+        end = self.end
+        reach: list[frozenset[int]] = [frozenset()] * (end + 1)
+        current = cva.free_closure({cva.initial})
+        reach[1] = current
+        for pos in range(1, end):
+            letter = text[pos - 1]
+            seeds: set[int] = set()
+            for state in current:
+                seeds.update(cva.step(state, letter))
+            current = cva.free_closure(seeds) if seeds else frozenset()
+            reach[pos + 1] = current
+        coreach: list[frozenset[int]] = [frozenset()] * (end + 1)
+        current = cva.free_closure_reversed({cva.final})
+        coreach[end] = current
+        for pos in range(end - 1, 0, -1):
+            letter = text[pos - 1]
+            ahead = coreach[pos + 1]
+            seeds = set()
+            if ahead:
+                for source, charset, target in cva.sym_edges:
+                    if target in ahead and charset.contains(letter):
+                        seeds.add(source)
+            coreach[pos] = cva.free_closure_reversed(seeds) if seeds else frozenset()
+        self.reach = reach
+        self.coreach = coreach
+        self._span_cache: dict[Variable, tuple[Span, ...]] = {}
+
+    def open_positions(self, variable: Variable) -> list[int]:
+        """Positions where an ``x⊢`` transition can fire on a live run."""
+        return self._op_positions(self.cva.opens, variable)
+
+    def close_positions(self, variable: Variable) -> list[int]:
+        return self._op_positions(self.cva.closes, variable)
+
+    def _op_positions(self, table, variable: Variable) -> list[int]:
+        edges = [
+            (state, target)
+            for state in range(self.cva.num_states)
+            for var, target in table[state]
+            if var == variable
+        ]
+        positions = []
+        for pos in range(1, self.end + 1):
+            live, ahead = self.reach[pos], self.coreach[pos]
+            if any(state in live and target in ahead for state, target in edges):
+                positions.append(pos)
+        return positions
+
+    def candidate_spans(self, variable: Variable) -> tuple[Span, ...]:
+        """The pruned span list for one variable, in the seed's (i, j) order."""
+        cached = self._span_cache.get(variable)
+        if cached is None:
+            opens = self.open_positions(variable)
+            closes = self.close_positions(variable)
+            cached = tuple(
+                Span(i, j) for i in opens for j in closes if i <= j
+            )
+            self._span_cache[variable] = cached
+        return cached

@@ -4,6 +4,7 @@ from repro.evaluation.enumerate import (
     enumerate_direct,
     enumerate_rgx,
     enumerate_va,
+    enumerate_va_oracle,
     enumerate_with_oracle,
 )
 from repro.evaluation.eval_problem import (
@@ -20,6 +21,7 @@ __all__ = [
     "enumerate_direct",
     "enumerate_rgx",
     "enumerate_va",
+    "enumerate_va_oracle",
     "enumerate_with_oracle",
     "eval_general_va",
     "eval_rgx",

@@ -34,11 +34,22 @@ def enumerate_with_oracle(
     Yields every mapping ``µ' ∈ ⟦γ⟧_d`` with ``µ' ⊇ start`` exactly once
     (each output corresponds to one full assignment of spans/⊥ to the
     variables, and distinct assignments yield distinct mappings).
+
+    The ``O(|d|²)`` candidate-span list is materialised lazily: when every
+    variable is already pinned by ``start`` (or there are no variables at
+    all) the algorithm never builds it.
     """
     text = as_text(document)
     ordered = sorted(set(variables))
-    spans = [Span(i, j) for i in range(1, len(text) + 2) for j in range(i, len(text) + 2)]
     initial = ExtendedMapping.empty() if start is None else start
+    spans: list[Span] = []
+    unpinned = [variable for variable in ordered if variable not in initial]
+    if unpinned:
+        spans = [
+            Span(i, j)
+            for i in range(1, len(text) + 2)
+            for j in range(i, len(text) + 2)
+        ]
 
     def recurse(current: ExtendedMapping, remaining: list[Variable]) -> Iterator[Mapping]:
         if not oracle(current):
@@ -58,9 +69,26 @@ def enumerate_with_oracle(
     yield from recurse(initial, ordered)
 
 
-def enumerate_va(va: VA, document: "Document | str") -> Iterator[Mapping]:
-    """Enumerate ``⟦A⟧_d`` with the ``Eval[VA]`` oracle (poly delay when
-    the automaton is sequential)."""
+def enumerate_va(
+    va: VA, document: "Document | str", compiled: bool = True
+) -> Iterator[Mapping]:
+    """Enumerate ``⟦A⟧_d`` via Algorithm 2 (poly delay when sequential).
+
+    By default this routes through the compiled engine
+    (:mod:`repro.engine`): precompiled transition tables, span pruning, and
+    prefix-sharing oracles, with the same outputs in the same order.  Pass
+    ``compiled=False`` for the seed oracle loop — kept as the reference
+    implementation and as the baseline of benchmark E19.
+    """
+    if compiled:
+        from repro.engine import compile_spanner
+
+        return compile_spanner(va).enumerate(document)
+    return enumerate_va_oracle(va, document)
+
+
+def enumerate_va_oracle(va: VA, document: "Document | str") -> Iterator[Mapping]:
+    """The seed path: Algorithm 2 over the uncompiled ``Eval[VA]`` oracle."""
     text = as_text(document)
 
     def oracle(candidate: ExtendedMapping) -> bool:
@@ -69,11 +97,13 @@ def enumerate_va(va: VA, document: "Document | str") -> Iterator[Mapping]:
     return enumerate_with_oracle(oracle, va.mentioned_variables, text)
 
 
-def enumerate_rgx(expression, document: "Document | str") -> Iterator[Mapping]:
+def enumerate_rgx(
+    expression, document: "Document | str", compiled: bool = True
+) -> Iterator[Mapping]:
     """Enumerate ``⟦γ⟧_d`` through the Thompson translation."""
     from repro.automata.thompson import to_va
 
-    return enumerate_va(to_va(expression), document)
+    return enumerate_va(to_va(expression), document, compiled=compiled)
 
 
 def enumerate_direct(va: VA, document: "Document | str") -> Iterator[Mapping]:

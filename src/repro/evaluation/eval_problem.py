@@ -92,7 +92,10 @@ class _Requirements:
         """One of ``"required"``, ``"free"``, ``"forbidden"`` for an op here."""
         variable = label.variable  # type: ignore[union-attr]
         if variable in self.null_variables:
-            return "forbidden"
+            # A variable opened but never closed is *unused* (VA semantics),
+            # which is exactly what a ⊥ pin demands — so the open stays
+            # available and only the close (which would assign) is forbidden.
+            return "forbidden" if isinstance(label, Close) else "free"
         if variable in self.pinned_variables:
             return "required" if label in self.required_at(pos) else "forbidden"
         return "free"
@@ -175,12 +178,11 @@ def eval_general_va(
     requirements = _Requirements(va, text, pinned)
     if not requirements.valid:
         return False
+    # ⊥-pinned variables stay status-tracked: their opens are legal ε-moves
+    # (an unclosed open leaves the variable unused) but may fire at most once
+    # on a run, and their closes are forbidden by `classify`.
     free_variables = tuple(
-        sorted(
-            va.mentioned_variables
-            - requirements.pinned_variables
-            - requirements.null_variables
-        )
+        sorted(va.mentioned_variables - requirements.pinned_variables)
     )
     index = {variable: i for i, variable in enumerate(free_variables)}
 
@@ -277,12 +279,11 @@ def eval_va_permutation_baseline(
     requirements = _Requirements(va, text, pinned)
     if not requirements.valid:
         return False
+    # ⊥-pinned variables stay status-tracked: their opens are legal ε-moves
+    # (an unclosed open leaves the variable unused) but may fire at most once
+    # on a run, and their closes are forbidden by `classify`.
     free_variables = tuple(
-        sorted(
-            va.mentioned_variables
-            - requirements.pinned_variables
-            - requirements.null_variables
-        )
+        sorted(va.mentioned_variables - requirements.pinned_variables)
     )
     index = {variable: i for i, variable in enumerate(free_variables)}
 

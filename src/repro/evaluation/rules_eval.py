@@ -29,7 +29,7 @@ from repro.evaluation.enumerate import enumerate_with_oracle
 from repro.rules.graph import DOC, is_tree_like
 from repro.rules.rule import Rule
 from repro.spans.document import Document, as_text
-from repro.spans.mapping import ExtendedMapping, Mapping, Variable
+from repro.spans.mapping import ExtendedMapping, Variable
 from repro.spans.span import Span
 from repro.util.errors import RuleError
 

@@ -18,15 +18,12 @@ incomplete-information story in API form.
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
 from functools import cached_property
 
-from repro.automata.sequential import is_sequential as _va_sequential
 from repro.automata.simulate import evaluate_va
 from repro.automata.thompson import to_va
 from repro.automata.va import VA
-from repro.evaluation.enumerate import enumerate_va
-from repro.evaluation.eval_problem import eval_va, model_check_va, non_empty_va
 from repro.rgx.ast import Rgx
 from repro.rgx.parser import parse
 from repro.rgx.properties import is_functional
@@ -70,9 +67,16 @@ class Spanner:
         return self._automaton.variables
 
     @cached_property
+    def compiled(self):
+        """The compiled engine behind this spanner (tables, caches, batch API)."""
+        from repro.engine import compile_spanner
+
+        return compile_spanner(self)
+
+    @property
     def is_sequential(self) -> bool:
         """Membership in the tractable fragment (Theorem 5.7)."""
-        return _va_sequential(self._automaton)
+        return self.compiled.is_sequential
 
     @cached_property
     def is_functional(self) -> bool:
@@ -88,9 +92,15 @@ class Spanner:
         return evaluate_va(self._automaton, as_text(document))
 
     def enumerate(self, document: "Document | str") -> Iterator[Mapping]:
-        """Stream the mappings via Algorithm 2 (polynomial delay when
-        :attr:`is_sequential`)."""
-        return enumerate_va(self._automaton, as_text(document))
+        """Stream the mappings via the compiled engine's Algorithm 2
+        (polynomial delay when :attr:`is_sequential`)."""
+        return self.compiled.enumerate(as_text(document))
+
+    def evaluate_many(
+        self, documents: Iterable["Document | str"]
+    ) -> list[set[Mapping]]:
+        """Batch evaluation: ``⟦γ⟧_d`` for every document, compiling once."""
+        return self.compiled.evaluate_many(documents)
 
     def extract(
         self, document: "Document | str", spans: bool = False
@@ -116,17 +126,17 @@ class Spanner:
 
     def matches(self, document: "Document | str") -> bool:
         """``⟦γ⟧_d ≠ ∅`` (NonEmp, Section 5.1)."""
-        return non_empty_va(self._automaton, as_text(document))
+        return self.compiled.matches(as_text(document))
 
     def check(self, document: "Document | str", mapping: Mapping) -> bool:
         """``µ ∈ ⟦γ⟧_d`` (ModelCheck, Section 5.1)."""
-        return model_check_va(self._automaton, as_text(document), mapping)
+        return self.compiled.check(as_text(document), mapping)
 
     def eval(
         self, document: "Document | str", pinned: ExtendedMapping
     ) -> bool:
-        """The ``Eval`` decision problem (Section 5.1)."""
-        return eval_va(self._automaton, as_text(document), pinned)
+        """The ``Eval`` decision problem (Section 5.1, memoised)."""
+        return self.compiled.eval(as_text(document), pinned)
 
     # -- algebra (Theorem 4.5) ---------------------------------------------------
 

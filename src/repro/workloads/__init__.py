@@ -2,6 +2,7 @@
 
 from repro.workloads import expressions, land_registry, server_logs
 from repro.workloads.expressions import (
+    batch_workload,
     field_document,
     random_document,
     random_rgx,
@@ -11,6 +12,7 @@ from repro.workloads.expressions import (
 )
 
 __all__ = [
+    "batch_workload",
     "expressions",
     "field_document",
     "land_registry",

@@ -21,7 +21,6 @@ from repro.rgx.ast import (
     char,
     concat,
     union,
-    var as var_binding,
 )
 
 
@@ -130,6 +129,22 @@ def seller_like_sequential_rgx(field_count: int) -> Rgx:
         parts.append(string(";"))
     parts.append(star(not_chars("")))
     return concat(*parts)
+
+
+def batch_workload(
+    expression: Rgx, documents
+) -> tuple["object", list[set]]:
+    """Compile ``expression`` once and evaluate every document through it.
+
+    The batch entry point the benchmarks and scaling tests use: returns the
+    :class:`~repro.engine.compiled.CompiledSpanner` (for reuse/inspection)
+    together with one mapping set per document.
+    """
+    from repro.engine import compile_spanner
+
+    engine = compile_spanner(expression)
+    materialised = list(documents)
+    return engine, engine.evaluate_many(materialised)
 
 
 def random_document(length: int, seed: int = 0, alphabet: str = "ab") -> str:

@@ -158,6 +158,29 @@ def seller_rule() -> Rule:
     )
 
 
+def compiled_spanner():
+    """The seller/tax extraction compiled once for repeated serving.
+
+    Returns a :class:`~repro.engine.compiled.CompiledSpanner`; the tables
+    are cached per automaton, so repeated calls share all compiled state.
+    """
+    from repro.engine import compile_spanner
+
+    return compile_spanner(seller_tax_expression())
+
+
+def extract_batch(documents) -> list[set[tuple[str, str | None]]]:
+    """Batch extraction: ``(name, tax)`` pairs per document, compiling once."""
+    from repro.workloads.expressions import batch_workload
+
+    materialised = list(documents)
+    _, batches = batch_workload(seller_tax_expression(), materialised)
+    return [
+        extraction_pairs(document, mappings)
+        for document, mappings in zip(materialised, batches)
+    ]
+
+
 def expected_extraction(rows: list[RegistryRow]) -> set[tuple[str, str | None]]:
     """Ground truth ``(name, tax)`` pairs for generated rows."""
     return {

@@ -101,6 +101,25 @@ def access_expression() -> Rgx:
     )
 
 
+def compiled_spanner():
+    """The access-log extraction compiled once for repeated serving."""
+    from repro.engine import compile_spanner
+
+    return compile_spanner(access_expression())
+
+
+def extract_batch(documents) -> list[set[tuple[str, str, str | None, str | None]]]:
+    """Batch extraction of access tuples per document, compiling once."""
+    from repro.workloads.expressions import batch_workload
+
+    materialised = list(documents)
+    _, batches = batch_workload(access_expression(), materialised)
+    return [
+        extraction_tuples(document, mappings)
+        for document, mappings in zip(materialised, batches)
+    ]
+
+
 def expected_tuples(lines: list[LogLine]) -> set[tuple[str, str, str | None, str | None]]:
     return {(l.path, l.status, l.user, l.referrer) for l in lines}
 

@@ -16,7 +16,6 @@ from repro.analysis.containment import (
     containment_counterexample,
 )
 from repro.automata.thompson import to_va
-from repro.rgx.semantics import mappings
 from repro.workloads.expressions import random_rgx
 
 

@@ -6,12 +6,11 @@ from repro.analysis.satisfiability import (
     satisfiable_rgx,
     satisfiable_rule,
     satisfiable_rule_bounded,
-    satisfiable_va,
     satisfying_document,
     witness_length_bound,
 )
 from repro.automata.thompson import to_va
-from repro.rgx.ast import ANY_STAR, char, concat, union
+from repro.rgx.ast import ANY_STAR, char, concat
 from repro.rgx.parser import parse
 from repro.rgx.semantics import mappings
 from repro.rules.cycles import unsatisfiable_daglike_rule

@@ -1,7 +1,6 @@
 """Sequentiality: the check of Prop 5.5 and the construction of Prop 5.6."""
 
 import pytest
-from hypothesis import given, settings
 
 from repro.automata.labels import EPS, Close, Open, sym
 from repro.automata.sequential import is_sequential, make_sequential
@@ -10,7 +9,6 @@ from repro.automata.thompson import to_va
 from repro.automata.va import VABuilder
 from repro.rgx.parser import parse
 from repro.workloads.expressions import random_va
-from tests.strategies import documents
 
 
 class TestCheck:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.alphabet import CharSet
-from repro.automata.labels import EPS, POP, Close, Open, Sym, any_sym, sym
+from repro.automata.labels import EPS, POP, Close, Open, Sym, sym
 from repro.automata.simulate import accepts_string, evaluate_va
 from repro.automata.va import VA, VABuilder, is_deterministic
 from repro.spans.mapping import Mapping

@@ -1,0 +1,225 @@
+"""Unit tests for the compiled engine (tables, pruning, batch API)."""
+
+import pytest
+
+from repro.automata.labels import EPS, Close, Open, Sym
+from repro.automata.simulate import evaluate_va
+from repro.automata.thompson import to_va
+from repro.automata.va import VABuilder
+from repro.alphabet import CharSet
+from repro.engine import CompiledSpanner, compile_spanner, compile_va
+from repro.evaluation.enumerate import enumerate_va_oracle
+from repro.rgx.parser import parse
+from repro.spanner import Spanner
+from repro.spans.mapping import NULL, ExtendedMapping, Mapping
+from repro.spans.span import Span, all_spans
+
+
+def build_mixed_va():
+    """A small VA with ε, ops, positive and cofinite letter predicates."""
+    b = VABuilder()
+    q0, q1, q2, q3 = b.add_states(4)
+    b.add(q0, EPS, q1)
+    b.add(q0, Sym(CharSet.of("ab")), q1)
+    b.add(q1, Open("x"), q2)
+    b.add(q2, Sym(CharSet.excluding(",")), q2)
+    b.add(q2, Close("x"), q3)
+    return b.build(initial=q0, final=q3)
+
+
+class TestCompiledTables:
+    def test_step_agrees_with_edge_scan(self):
+        va = build_mixed_va()
+        cva = compile_va(va)
+        for state in range(va.num_states):
+            for char in "ab,z~":
+                expected = sorted(
+                    target
+                    for label, target in va.out_edges(state)
+                    if isinstance(label, Sym) and label.charset.contains(char)
+                )
+                assert sorted(cva.step(state, char)) == expected
+
+    def test_step_is_memoised(self):
+        cva = compile_va(build_mixed_va())
+        first = cva.step(2, "z")
+        assert cva.step(2, "z") is first
+
+    def test_buckets_partition_transitions(self):
+        va = build_mixed_va()
+        cva = compile_va(va)
+        bucketed = (
+            sum(len(t) for t in cva.eps)
+            + sum(len(t) for t in cva.opens)
+            + sum(len(t) for t in cva.closes)
+            + len(cva.sym_edges)
+        )
+        assert bucketed == len(va.transitions)
+
+    def test_compile_va_is_cached(self):
+        va = build_mixed_va()
+        assert compile_va(va) is compile_va(va)
+
+    def test_sequentiality_precomputed(self):
+        assert compile_va(to_va(parse("x{a*}y{b*}"))).is_sequential
+        assert not compile_va(to_va(parse("(x{a})*"))).is_sequential
+
+
+class TestSpanPruning:
+    def test_candidates_cover_all_outputs(self):
+        engine = compile_spanner(".*Seller: x{[^,\n]*},.*")
+        document = "Noise line\nSeller: John, ID75\nSeller: Mark, ID7\n"
+        index = engine.index(document)
+        candidates = set(index.candidate_spans("x"))
+        outputs = evaluate_va(engine.automaton, document)
+        for mapping in outputs:
+            assert mapping["x"] in candidates
+
+    def test_pruning_shrinks_candidate_list(self):
+        engine = compile_spanner(".*Seller: x{[^,\n]*},.*")
+        document = "Noise line\nSeller: John, ID75\nSeller: Mark, ID7\n"
+        candidates = engine.index(document).candidate_spans("x")
+        assert 0 < len(candidates) < len(all_spans(len(document))) / 4
+
+    def test_unmatchable_variable_has_no_candidates(self):
+        engine = compile_spanner("x{a}|b")
+        assert engine.index("b").candidate_spans("x") == ()
+
+
+class TestCompiledSpanner:
+    def test_accepts_all_source_kinds(self):
+        pattern = "x{a*}b"
+        from_text = compile_spanner(pattern)
+        from_ast = compile_spanner(parse(pattern))
+        from_va = compile_spanner(to_va(parse(pattern)))
+        from_spanner = compile_spanner(Spanner.compile(pattern))
+        results = {
+            engine.mappings("aab") == {Mapping({"x": Span(1, 3)})}
+            for engine in (from_text, from_ast, from_va, from_spanner)
+        }
+        assert results == {True}
+
+    def test_idempotent_on_compiled(self):
+        engine = compile_spanner("x{a}")
+        assert compile_spanner(engine) is engine
+
+    def test_rejects_unknown_source(self):
+        with pytest.raises(TypeError):
+            compile_spanner(42)
+
+    def test_extract_matches_seed_spanner(self):
+        pattern = ".*Seller: x{[^,\n]*},.*"
+        document = "Seller: John, ID75\nSeller: Mark, ID7\n"
+        assert compile_spanner(pattern).extract(document) == Spanner.compile(
+            pattern
+        ).extract(document)
+
+    def test_enumeration_order_matches_seed(self):
+        va = to_va(parse(".*x{[^b]}.*"))
+        document = "abca"
+        assert list(compile_spanner(va).enumerate(document)) == list(
+            enumerate_va_oracle(va, document)
+        )
+
+    def test_enumerate_with_start_pin(self):
+        engine = compile_spanner("(x{(a|b)*}|y{(a|b)*})*")
+        document = "ab"
+        start = ExtendedMapping({"x": Span(1, 2)})
+        produced = set(engine.enumerate(document, start=start))
+        expected = {
+            m
+            for m in evaluate_va(engine.automaton, document)
+            if m.get("x") == Span(1, 2)
+        }
+        assert produced == expected
+
+    def test_non_sequential_automaton(self):
+        engine = compile_spanner("(x{a})*")
+        assert not engine.is_sequential
+        assert engine.mappings("aa") == evaluate_va(engine.automaton, "aa")
+
+    def test_eval_is_memoised(self):
+        engine = compile_spanner(".*x{a+}.*")
+        pinned = ExtendedMapping({"x": Span(1, 2)})
+        assert engine.eval("aa", pinned)
+        assert ("aa", frozenset(pinned.items())) in engine._verdicts
+        assert engine.eval("aa", pinned)  # second call hits the cache
+
+    def test_eval_null_pin(self):
+        engine = compile_spanner("x{a}|b")
+        assert engine.eval("b", ExtendedMapping({"x": NULL}))
+        assert not engine.eval("a", ExtendedMapping({"x": NULL}))
+
+    def test_matches_and_count(self):
+        engine = compile_spanner(".*x{a}.*")
+        assert engine.matches("bab")
+        assert not engine.matches("bbb")
+        assert engine.count("aaa") == 3
+
+    def test_check_model(self):
+        engine = compile_spanner("x{a}(y{b}|ε)c*")
+        assert engine.check("ac", Mapping({"x": Span(1, 2)}))
+        assert not engine.check(
+            "ac", Mapping({"x": Span(1, 2), "y": Span(2, 3)})
+        )
+
+    def test_empty_document(self):
+        engine = compile_spanner("x{a*}")
+        assert engine.mappings("") == {Mapping({"x": Span(1, 1)})}
+
+    def test_variable_free_pattern(self):
+        engine = compile_spanner("a*")
+        assert engine.mappings("aaa") == {Mapping.empty()}
+        assert engine.mappings("ab") == set()
+
+
+class TestBatchApi:
+    def test_evaluate_many_matches_per_document(self):
+        engine = compile_spanner(".*x{a+}.*")
+        documents = ["baab", "ab", "", "baab"]
+        batch = engine.evaluate_many(documents)
+        assert batch == [engine.mappings(d) for d in documents]
+
+    def test_evaluate_many_caches_repeated_documents(self):
+        engine = compile_spanner(".*x{a+}.*")
+        engine.evaluate_many(["baab", "baab", "baab"])
+        assert len(engine._indexes) == 1
+
+    def test_extract_many(self):
+        engine = compile_spanner("x{a}b")
+        assert engine.extract_many(["ab", "bb"]) == [[{"x": "a"}], []]
+
+    def test_spanner_facade_evaluate_many(self):
+        spanner = Spanner.compile(".*x{a+}.*")
+        documents = ["baab", "ab"]
+        assert spanner.evaluate_many(documents) == [
+            spanner.mappings(d) for d in documents
+        ]
+
+    def test_workload_batch_helpers(self):
+        from repro.workloads import batch_workload, land_registry, server_logs
+
+        documents = [
+            land_registry.generate_document(2, seed=7),
+            land_registry.generate_document(3, seed=11),
+        ]
+        batches = land_registry.extract_batch(documents)
+        expected = [
+            land_registry.expected_extraction(
+                land_registry.generate_rows(2, seed=7)
+            ),
+            land_registry.expected_extraction(
+                land_registry.generate_rows(3, seed=11)
+            ),
+        ]
+        assert batches == expected
+
+        logs = [server_logs.generate_document(3, seed=1)]
+        (tuples,) = server_logs.extract_batch(logs)
+        assert tuples == server_logs.expected_tuples(
+            server_logs.generate_lines(3, seed=1)
+        )
+
+        engine, results = batch_workload(parse(".*x{a+}.*"), ["baab"])
+        assert isinstance(engine, CompiledSpanner)
+        assert results == [engine.mappings("baab")]

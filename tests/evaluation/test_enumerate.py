@@ -12,7 +12,7 @@ from repro.evaluation.enumerate import (
 )
 from repro.rgx.parser import parse
 from repro.rgx.semantics import mappings
-from repro.spans.mapping import ExtendedMapping
+from repro.spans.mapping import NULL, ExtendedMapping
 from repro.spans.span import Span
 from tests.strategies import documents, rgx_expressions
 
@@ -103,3 +103,40 @@ class TestOracleDiscipline:
 
     def test_unsatisfiable_enumerates_nothing(self):
         assert list(enumerate_rgx(parse("x{a}x{b}"), "ab")) == []
+
+
+class TestLazySpanMaterialisation:
+    """Regression: the O(|d|²) span list must not be built when unused."""
+
+    def test_no_spans_built_without_variables(self, monkeypatch):
+        import repro.evaluation.enumerate as module
+
+        def explode(*_args, **_kwargs):
+            raise AssertionError("span list built with no variables to refine")
+
+        monkeypatch.setattr(module, "Span", explode)
+        produced = list(
+            enumerate_with_oracle(lambda candidate: True, [], "a" * 50)
+        )
+        assert produced == [module.Mapping.empty()]
+
+    def test_no_spans_built_when_start_pins_everything(self, monkeypatch):
+        import repro.evaluation.enumerate as module
+
+        start = ExtendedMapping({"x": Span(1, 2), "y": NULL})
+
+        def explode(*_args, **_kwargs):
+            raise AssertionError("span list built although every variable is pinned")
+
+        monkeypatch.setattr(module, "Span", explode)
+        produced = list(
+            enumerate_with_oracle(
+                lambda candidate: True, ["x", "y"], "a" * 50, start=start
+            )
+        )
+        assert produced == [start.assigned()]
+
+    def test_empty_document_still_enumerates(self):
+        produced = list(enumerate_rgx(parse("x{a*}"), ""))
+        assert len(produced) == 1
+        assert produced[0]["x"] == Span(1, 1)

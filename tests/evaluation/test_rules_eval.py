@@ -9,7 +9,7 @@ from repro.evaluation.rules_eval import (
 from repro.rgx.ast import ANY_STAR, char, concat, string, union
 from repro.rgx.parser import parse
 from repro.rules.rule import Rule, bare, rule
-from repro.spans.mapping import NULL, ExtendedMapping, Mapping
+from repro.spans.mapping import NULL, ExtendedMapping
 from repro.spans.span import Span
 from repro.util.errors import RuleError
 
@@ -56,7 +56,6 @@ class TestEvalDecisions:
 
     def test_partial_pins(self):
         r = RULES[0]
-        document = "aXb".replace("X", "c")  # "acb"
         # x must cover a prefix of a's; pin x and leave y free.
         assert eval_treelike_rule(
             r, "ab", ExtendedMapping({"x": Span(1, 2)})

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.reductions.dnf_validity import (
-    DnfFormula,
     brute_force_valid,
     containment_holds,
     random_dnf,

@@ -8,9 +8,7 @@ from repro.rgx.ast import (
     ANY_STAR,
     EPSILON,
     Concat,
-    Epsilon,
     Letter,
-    Star,
     Union,
     VarBind,
     char,

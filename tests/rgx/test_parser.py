@@ -7,10 +7,8 @@ from repro.alphabet import CharSet
 from repro.rgx.ast import (
     EPSILON,
     Concat,
-    Epsilon,
     Letter,
     Star,
-    Union,
     VarBind,
     char,
     concat,

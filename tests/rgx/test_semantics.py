@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings
 
-from repro.rgx.ast import EPSILON, char, concat, star, union, var
+from repro.rgx.ast import EPSILON, char, concat, star, union
 from repro.rgx.parser import parse
 from repro.rgx.rewrite import simplify
 from repro.rgx.semantics import (

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.rgx.ast import ANY_STAR, EPSILON, char, concat, star, union
+from repro.rgx.ast import ANY_STAR, EPSILON, char, concat, star
 from repro.rgx.parser import parse
 from repro.rules.cycles import (
     auxiliary_variables,

@@ -10,7 +10,7 @@ import random
 
 import pytest
 
-from repro.rgx.ast import ANY_STAR, Rgx, VarBind, char, concat, map_expression, union
+from repro.rgx.ast import ANY_STAR, Rgx, VarBind, concat, map_expression
 from repro.rules.graph import is_dag_like, is_tree_like
 from repro.rules.rule import Rule, bare
 from repro.rules.translate import (

@@ -4,7 +4,6 @@ These invariants are not stated as theorems in the paper but follow from
 the Section 2 definitions; they pin down the semantics against regression.
 """
 
-import pytest
 from hypothesis import given, settings
 
 from repro.spans.mapping import Mapping, join

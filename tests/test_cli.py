@@ -2,8 +2,6 @@
 
 import json
 
-import pytest
-
 from repro.cli import run
 
 
@@ -43,6 +41,42 @@ class TestExtraction:
         code = run(["x{z}"], stdin="ab")
         assert code == 0
         assert lines(capsys) == []
+
+    def test_seed_engine_agrees(self, capsys):
+        run([".*x{a+}.*", "--engine", "seed"], stdin="baab")
+        seed_records = [json.loads(line) for line in lines(capsys)]
+        run([".*x{a+}.*", "--engine", "compiled"], stdin="baab")
+        compiled_records = [json.loads(line) for line in lines(capsys)]
+        assert seed_records == compiled_records
+
+
+class TestBatchMode:
+    def test_multiple_files_tag_records(self, tmp_path, capsys):
+        first = tmp_path / "one.txt"
+        second = tmp_path / "two.txt"
+        first.write_text("Seller: John, ID75\n")
+        second.write_text("Seller: Mark, ID7\n")
+        code = run(
+            [".*Seller: x{[^,\n]*},.*", str(first), str(second)]
+        )
+        assert code == 0
+        records = [json.loads(line) for line in lines(capsys)]
+        assert {"x": "John", "_file": str(first)} in records
+        assert {"x": "Mark", "_file": str(second)} in records
+
+    def test_single_file_keeps_plain_format(self, tmp_path, capsys):
+        path = tmp_path / "doc.txt"
+        path.write_text("Seller: John, ID75\n")
+        run([".*Seller: x{[^,\n]*},.*", str(path)])
+        assert json.loads(lines(capsys)[0]) == {"x": "John"}
+
+    def test_count_sums_over_files(self, tmp_path, capsys):
+        first = tmp_path / "one.txt"
+        second = tmp_path / "two.txt"
+        first.write_text("aa")
+        second.write_text("a")
+        run([".*x{a}.*", str(first), str(second), "--count"])
+        assert lines(capsys) == ["3"]
 
 
 class TestCheckMode:

@@ -5,6 +5,7 @@ import doctest
 import pytest
 
 import repro
+import repro.engine.compiled
 import repro.rgx.parser
 import repro.rgx.semantics
 import repro.spanner
@@ -13,6 +14,7 @@ import repro.spans.span
 
 MODULES = [
     repro,
+    repro.engine.compiled,
     repro.rgx.parser,
     repro.rgx.semantics,
     repro.spanner,

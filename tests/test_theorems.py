@@ -6,12 +6,9 @@ per-module test files; benchmarks measure the complexity-theoretic
 *shape*).  EXPERIMENTS.md indexes these.
 """
 
-import pytest
-
 from repro.analysis.containment import (
     contained_det_sequential_point_disjoint,
     contained_va,
-    equivalent_va,
 )
 from repro.analysis.satisfiability import satisfiable_va, satisfying_document
 from repro.automata.algebra import join_va, project_va, union_va
@@ -29,10 +26,9 @@ from repro.rules.rule import Rule, bare, rule
 from repro.rules.translate import (
     daglike_to_treelike,
     rgx_to_treelike_rules,
-    treelike_to_rgx,
     union_of_rules_to_rgx,
 )
-from repro.spans.mapping import Mapping, all_total_mappings, join
+from repro.spans.mapping import all_total_mappings, join
 from repro.spans.span import Span
 
 DOCS = ["", "a", "b", "ab", "ba", "aa", "bb", "aab", "abb"]

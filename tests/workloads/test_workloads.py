@@ -4,7 +4,7 @@ import pytest
 
 from repro.automata.simulate import evaluate_va
 from repro.automata.thompson import to_va
-from repro.rgx.properties import is_functional, is_sequential
+from repro.rgx.properties import is_sequential
 from repro.workloads import land_registry, server_logs
 from repro.workloads.expressions import (
     field_document,
@@ -100,8 +100,6 @@ class TestGenerators:
         assert len(expression.variables()) == 4
 
     def test_field_document_matches_expression(self):
-        from repro.rgx.semantics import mappings
-
         expression = seller_like_sequential_rgx(3)
         document = field_document(3, seed=1)
         result = evaluate_va(to_va(expression), document)
