@@ -1,0 +1,122 @@
+"""E20 — corpus evaluation throughput vs. worker count.
+
+The service layer (:mod:`repro.service`) shards a corpus across a process
+pool; each worker compiles its own engine once and serves every chunk it
+receives.  We evaluate the seller/tax extraction over a land-registry
+corpus and measure throughput (documents/second) for the serial
+``evaluate_many`` baseline and for ``evaluate_corpus`` at 1, 2, and 4
+workers, in ordered mode.
+
+Acceptance (the PR 2 contract):
+
+* ordered-mode outputs are **byte-identical** across all configurations —
+  serialised canonically, every worker count produces exactly the bytes
+  the serial baseline produces;
+* on a machine with ≥2 usable cores, 4 workers beat the serial baseline's
+  throughput on a ≥200-document corpus.  On a single-core runner (or
+  under ``REPRO_BENCH_QUICK``) the speedup assertion is skipped — a
+  process pool cannot beat serial without parallel hardware — but the
+  identity assertion always runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from benchmarks._harness import measure, print_table, quick_mode, sizes
+from repro.service import evaluate_corpus
+from repro.workloads import land_registry
+
+DOCUMENT_COUNT = sizes(full=[240], quick=[12])[0]
+ROWS_PER_DOCUMENT = 2 if quick_mode() else 8
+WORKER_COUNTS = [1, 2, 4]
+MINIMUM_CORPUS = 200
+
+
+def _effective_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _canonical(outputs) -> bytes:
+    """Deterministic bytes for a list of per-document mapping sets."""
+    decoded = [
+        sorted(
+            sorted((variable, [span.begin, span.end]) for variable, span in mapping.items())
+            for mapping in output
+        )
+        for output in outputs
+    ]
+    return json.dumps(decoded, sort_keys=True).encode()
+
+
+@pytest.mark.benchmark(group="e20")
+def test_e20_corpus_scaling(benchmark):
+    corpus = land_registry.corpus(
+        DOCUMENT_COUNT, rows_per_document=ROWS_PER_DOCUMENT, seed=11
+    )
+    texts = [text for _, text in corpus]
+    engine = land_registry.compiled_spanner()
+
+    # Serial baseline: the engine's own batch API.
+    serial_seconds = measure(lambda: engine.evaluate_many(texts), repeat=1)
+    baseline = _canonical(engine.evaluate_many(texts))
+
+    def run_corpus(workers: int):
+        results = list(
+            evaluate_corpus(engine, corpus, workers=workers, ordered=True)
+        )
+        assert all(result.ok for result in results)
+        return [result.mappings for result in results]
+
+    rows = [
+        (
+            "evaluate_many",
+            1,
+            serial_seconds,
+            DOCUMENT_COUNT / serial_seconds,
+            1.0,
+        )
+    ]
+    parallel_seconds = {}
+    for workers in WORKER_COUNTS:
+        outputs = run_corpus(workers)
+        assert _canonical(outputs) == baseline, (
+            f"ordered mode with {workers} workers diverged from serial output"
+        )
+        seconds = measure(lambda w=workers: run_corpus(w), repeat=1)
+        parallel_seconds[workers] = seconds
+        rows.append(
+            (
+                "evaluate_corpus",
+                workers,
+                seconds,
+                DOCUMENT_COUNT / seconds,
+                serial_seconds / seconds,
+            )
+        )
+
+    print_table(
+        f"E20: corpus throughput, {DOCUMENT_COUNT} registry documents "
+        f"x {ROWS_PER_DOCUMENT} rows ({_effective_cpus()} usable cores)",
+        ["api", "workers", "seconds", "docs/s", "speedup"],
+        rows,
+    )
+
+    if (
+        not quick_mode()
+        and DOCUMENT_COUNT >= MINIMUM_CORPUS
+        and _effective_cpus() >= 2
+    ):
+        assert parallel_seconds[4] < serial_seconds, (
+            f"4 workers ({parallel_seconds[4]:.2f}s) did not beat serial "
+            f"evaluate_many ({serial_seconds:.2f}s) on "
+            f"{_effective_cpus()} cores"
+        )
+
+    benchmark(lambda: run_corpus(WORKER_COUNTS[-1]))

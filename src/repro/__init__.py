@@ -24,23 +24,39 @@ from repro.alphabet import CharSet
 from repro.engine import CompiledSpanner, compile_spanner
 from repro.rgx.parser import parse
 from repro.rgx.semantics import mappings
+from repro.service import (
+    Corpus,
+    CorpusResult,
+    DirectoryCorpus,
+    InMemoryCorpus,
+    SpannerCache,
+    evaluate_corpus,
+    extract_corpus,
+)
 from repro.spanner import Spanner
 from repro.spans.document import Document
 from repro.spans.mapping import NULL, ExtendedMapping, Mapping, join
 from repro.spans.span import Span
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CharSet",
     "CompiledSpanner",
+    "Corpus",
+    "CorpusResult",
+    "DirectoryCorpus",
     "Document",
     "ExtendedMapping",
+    "InMemoryCorpus",
     "Mapping",
     "NULL",
     "Span",
     "Spanner",
+    "SpannerCache",
     "compile_spanner",
+    "evaluate_corpus",
+    "extract_corpus",
     "join",
     "mappings",
     "parse",

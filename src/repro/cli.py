@@ -1,4 +1,4 @@
-"""Command-line interface: ``python -m repro``.
+"""Command-line interface: ``python -m repro`` (installed as ``repro``).
 
 Extract mappings from documents with a variable regex, in the paper's
 mapping semantics::
@@ -18,14 +18,26 @@ Modes:
 * ``--engine {compiled,seed}`` — evaluation engine; ``compiled`` (the
   default) uses :mod:`repro.engine`'s tables, pruning, and memoisation.
 
-Reads from stdin when no file is given.  With several files the pattern is
-compiled once and evaluated in batch; each record carries a ``"_file"``
-key identifying its document.
+Batch mode — several files, ``--glob`` patterns, or both — compiles the
+pattern once and evaluates every document through the corpus service
+(:mod:`repro.service`):
+
+* each record carries a ``"_file"`` key identifying its document;
+* ``--workers N`` shards documents across ``N`` worker processes
+  (output order is deterministic and identical to ``--workers 1``);
+* ``--ndjson`` groups output per *document* instead of per mapping —
+  one JSON object per line with ``doc``, ``mappings``, and ``error``
+  keys, and unreadable or failing documents become error records
+  instead of aborting the run.
+
+Reads from stdin when no file or glob is given.  See ``docs/cli.md`` for
+copy-pasteable examples.
 """
 
 from __future__ import annotations
 
 import argparse
+import glob as globbing
 import json
 import sys
 
@@ -40,6 +52,14 @@ def build_parser() -> argparse.ArgumentParser:
             "Document-spanner extraction with mapping semantics "
             "(Maturana, Riveros, Vrgoč, PODS 2018)."
         ),
+        epilog=(
+            "examples:\n"
+            "  echo 'Seller: John, ID75' | repro '.*Seller: x{[^,]*},.*'\n"
+            "  repro '.*x{a+}.*' a.txt b.txt            # batch, records tagged _file\n"
+            "  repro '.*x{a+}.*' --glob 'logs/*.txt' --workers 4 --ndjson\n"
+            "  repro 'x{ab}c' --check                   # static analysis only\n"
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument("pattern", help="variable regex, e.g. '.*x{a+}.*'")
     parser.add_argument(
@@ -47,6 +67,34 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         metavar="file",
         help="document file(s); defaults to stdin, several run as a batch",
+    )
+    parser.add_argument(
+        "--glob",
+        action="append",
+        default=[],
+        metavar="PATTERN",
+        help=(
+            "add files matching a glob pattern (repeatable; ** recurses); "
+            "matches are sorted and deduplicated against explicit files"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "evaluate a batch across N worker processes "
+            "(default 1: in-process; output order is identical either way)"
+        ),
+    )
+    parser.add_argument(
+        "--ndjson",
+        action="store_true",
+        help=(
+            "one JSON object per document (keys: doc, mappings, error) "
+            "instead of one per mapping; errors never abort the batch"
+        ),
     )
     parser.add_argument(
         "--spans",
@@ -84,22 +132,100 @@ def _count(spanner: Spanner, document: str, engine: str) -> int:
     return len(spanner.mappings(document))
 
 
-def _emit(record: dict, spans: bool, file_name: str | None) -> None:
+def _decoded(record: dict, spans: bool) -> dict:
     if spans:
-        payload: dict = {
+        return {
             variable: [span.begin, span.end]
             for variable, span in record.items()
         }
-    else:
-        payload = dict(record)
+    return dict(record)
+
+
+def _emit(record: dict, spans: bool, file_name: str | None) -> None:
+    payload = _decoded(record, spans)
     if file_name is not None:
         payload["_file"] = file_name
     print(json.dumps(payload, sort_keys=True, ensure_ascii=False))
 
 
+def _collect_files(arguments) -> list[str]:
+    """Explicit files plus sorted glob matches, first occurrence wins."""
+    paths: list[str] = list(arguments.files)
+    for pattern in arguments.glob:
+        paths.extend(sorted(globbing.glob(pattern, recursive=True)))
+    seen: set[str] = set()
+    unique = []
+    for path in paths:
+        if path not in seen:
+            seen.add(path)
+            unique.append(path)
+    return unique
+
+
+def _run_corpus(
+    spanner: Spanner, arguments, records: list[tuple[str, str]], batch: bool
+) -> int:
+    """Batch mode through the service layer (``--workers`` / ``--ndjson``)."""
+    from repro.service import extract_corpus
+
+    results = extract_corpus(
+        spanner,
+        records,
+        workers=max(arguments.workers, 1),
+        spans=arguments.spans,
+    )
+
+    if arguments.count:
+        total = 0
+        for result in results:
+            if not result.ok:
+                print(
+                    f"error: {result.doc_id}: {result.error}", file=sys.stderr
+                )
+                return 2
+            total += len(result.mappings)
+        print(total)
+        return 0
+
+    for result in results:
+        if arguments.ndjson:
+            payload = {
+                "doc": result.doc_id,
+                "mappings": None
+                if result.mappings is None
+                else [
+                    _decoded(record, arguments.spans)
+                    for record in result.mappings
+                ],
+                "error": result.error,
+            }
+            print(json.dumps(payload, sort_keys=True, ensure_ascii=False))
+            continue
+        if not result.ok:
+            print(f"error: {result.doc_id}: {result.error}", file=sys.stderr)
+            return 2
+        for record in result.mappings:
+            _emit(record, arguments.spans, result.doc_id if batch else None)
+    return 0
+
+
 def run(argv: list[str] | None = None, stdin: str | None = None) -> int:
     """Entry point; returns the process exit code (testable directly)."""
     arguments = build_parser().parse_args(argv)
+    if arguments.engine == "seed" and (arguments.workers > 1 or arguments.ndjson):
+        print(
+            "error: --workers/--ndjson are served by the corpus service; "
+            "they cannot be combined with --engine seed",
+            file=sys.stderr,
+        )
+        return 2
+    if arguments.ndjson and arguments.count:
+        print(
+            "error: --count cannot be combined with --ndjson "
+            "(per-document mapping counts are visible in the ndjson output)",
+            file=sys.stderr,
+        )
+        return 2
     try:
         spanner = Spanner.compile(arguments.pattern)
     except SpannerError as error:
@@ -115,20 +241,36 @@ def run(argv: list[str] | None = None, stdin: str | None = None) -> int:
             print(f"witness:      {spanner.witness()!r}")
         return 0
 
-    if arguments.files:
-        documents = []
-        for path in arguments.files:
+    files = _collect_files(arguments)
+    if files:
+        records, documents = [], []
+        for path in files:
             try:
                 with open(path, encoding="utf-8") as handle:
-                    documents.append(handle.read())
+                    text = handle.read()
             except OSError as error:
+                if arguments.ndjson:
+                    print(
+                        json.dumps(
+                            {"doc": path, "mappings": None, "error": str(error)},
+                            sort_keys=True,
+                            ensure_ascii=False,
+                        )
+                    )
+                    continue
                 print(f"error: cannot read {path}: {error}", file=sys.stderr)
                 return 2
-    elif stdin is not None:
-        documents = [stdin]
+            records.append((path, text))
+            documents.append(text)
     else:
-        documents = [sys.stdin.read()]
-    batch = len(arguments.files) > 1
+        text = stdin if stdin is not None else sys.stdin.read()
+        records, documents = [("<stdin>", text)], [text]
+    batch = len(files) > 1
+
+    if arguments.engine == "compiled":
+        # Every compiled run goes through the corpus service; the seed
+        # engine keeps the original per-document loop below.
+        return _run_corpus(spanner, arguments, records, batch)
 
     if arguments.count:
         total = sum(
@@ -139,7 +281,7 @@ def run(argv: list[str] | None = None, stdin: str | None = None) -> int:
         return 0
 
     for position, document in enumerate(documents):
-        file_name = arguments.files[position] if batch else None
+        file_name = files[position] if batch else None
         for record in _extract(
             spanner, document, arguments.engine, arguments.spans
         ):

@@ -195,7 +195,13 @@ class CompiledSpanner:
 
         The transition tables, step cache, and sequentiality verdict are
         computed once for the whole batch; per-document indexes are cached,
-        so repeated documents are almost free.
+        so repeated documents are almost free.  For corpus-scale batches
+        with worker-pool sharding and error isolation, see
+        :func:`repro.service.evaluate.evaluate_corpus`.
+
+        >>> engine = compile_spanner(".*x{a+}.*")
+        >>> [len(output) for output in engine.evaluate_many(["ba", "bb"])]
+        [1, 0]
         """
         return [self.mappings(document) for document in documents]
 

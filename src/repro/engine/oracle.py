@@ -212,7 +212,20 @@ def eval_general_compiled(cva: CompiledVA, text: str, pinned) -> bool:
 
 
 def eval_compiled(cva: CompiledVA, text: str, pinned: ExtendedMapping) -> bool:
-    """``Eval[VA]`` on compiled tables (sequentiality decided at compile time)."""
+    """``Eval[VA]`` on compiled tables (sequentiality decided at compile time).
+
+    ``pinned`` constrains the output mapping: a span value pins the
+    assignment, ``⊥`` (:data:`~repro.spans.mapping.NULL`) pins the
+    variable *unassigned*, absence leaves it unconstrained.
+
+    >>> from repro.engine.tables import compile_va
+    >>> from repro.spanner import Spanner
+    >>> cva = compile_va(Spanner.compile("x{a}(y{b}|ε)c*").automaton)
+    >>> eval_compiled(cva, "ac", ExtendedMapping({"y": NULL}))
+    True
+    >>> eval_compiled(cva, "ab", ExtendedMapping({"y": NULL}))
+    False
+    """
     if cva.is_sequential:
         return eval_sequential_compiled(cva, text, pinned)
     return eval_general_compiled(cva, text, pinned)

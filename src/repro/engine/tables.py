@@ -173,7 +173,17 @@ class CompiledVA:
 
 @lru_cache(maxsize=128)
 def compile_va(va: VA) -> CompiledVA:
-    """Compile (and cache) the transition tables of an automaton."""
+    """Compile (and cache) the transition tables of an automaton.
+
+    The cache keys on VA equality; for *structural* sharing across
+    independently built automata (and across processes) use
+    :class:`repro.service.cache.SpannerCache` instead.
+
+    >>> from repro.spanner import Spanner
+    >>> cva = compile_va(Spanner.compile("x{a}b").automaton)
+    >>> cva.is_sequential, sorted(cva.variables)
+    (True, ['x'])
+    """
     return CompiledVA(va)
 
 
@@ -187,6 +197,11 @@ class DocumentIndex:
     only open at positions where an ``x⊢`` edge connects the two, and only
     close where a ``⊣x`` edge does — every span outside the product of
     those position sets is unreachable and safely skipped.
+
+    >>> from repro.spanner import Spanner
+    >>> cva = compile_va(Spanner.compile(".*x{a}.*").automaton)
+    >>> DocumentIndex(cva, "ba").candidate_spans("x")
+    (Span(begin=2, end=3),)
     """
 
     def __init__(self, cva: CompiledVA, text: str) -> None:

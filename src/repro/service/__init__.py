@@ -1,0 +1,52 @@
+"""The corpus evaluation service (one spanner, many documents).
+
+The layer above :mod:`repro.engine` on the production roadmap: document
+*corpora* with stable ids (:mod:`repro.service.corpus`), structural
+memoisation of compiled spanners (:mod:`repro.service.cache`), and
+sharded, error-isolated corpus evaluation with a worker pool
+(:mod:`repro.service.evaluate`).
+
+>>> from repro.service import evaluate_corpus
+>>> [r.doc_id for r in evaluate_corpus("x{a}", ["a", "b"]) if r.mappings]
+['doc-00000']
+"""
+
+from repro.service.cache import (
+    DEFAULT_CACHE,
+    SpannerCache,
+    cached_spanner,
+    va_fingerprint,
+)
+from repro.service.corpus import (
+    Corpus,
+    CorpusRecord,
+    DirectoryCorpus,
+    GeneratorCorpus,
+    InMemoryCorpus,
+    as_corpus,
+)
+from repro.service.evaluate import (
+    CorpusResult,
+    corpus_outputs,
+    evaluate_corpus,
+    extract_corpus,
+)
+from repro.util.errors import CorpusError
+
+__all__ = [
+    "Corpus",
+    "CorpusError",
+    "CorpusRecord",
+    "CorpusResult",
+    "DEFAULT_CACHE",
+    "DirectoryCorpus",
+    "GeneratorCorpus",
+    "InMemoryCorpus",
+    "SpannerCache",
+    "as_corpus",
+    "cached_spanner",
+    "corpus_outputs",
+    "evaluate_corpus",
+    "extract_corpus",
+    "va_fingerprint",
+]

@@ -1,0 +1,192 @@
+"""Compiled-spanner memoisation keyed by a structural VA fingerprint.
+
+:func:`repro.engine.tables.compile_va` already caches transition tables,
+but it keys on VA object *identity-equality* through ``lru_cache`` — two
+structurally identical automata built independently (say, by two requests
+parsing the same pattern) hash to distinct cache slots only when their
+dataclass equality differs, and the cache holds the whole
+:class:`~repro.automata.va.VA` alive as its key.
+
+The service layer instead fingerprints the automaton's *structure*:
+:func:`va_fingerprint` hashes the canonical transition list, so any two
+equal automata — whether parsed, built, or unpickled in a worker process —
+share one digest.  :class:`SpannerCache` memoises whole
+:class:`~repro.engine.compiled.CompiledSpanner` instances (tables *and*
+their document/verdict caches) under that digest, which is what makes
+repeated :func:`~repro.service.evaluate.evaluate_corpus` calls with the
+same pattern reuse all compiled state.
+
+>>> from repro.spanner import Spanner
+>>> first = Spanner.compile(".*x{a+}.*").automaton
+>>> second = Spanner.compile(".*x{a+}.*").automaton
+>>> first is second
+False
+>>> va_fingerprint(first) == va_fingerprint(second)
+True
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.automata.labels import Close, Eps, Open, Sym
+from repro.automata.va import VA
+from repro.engine.compiled import CompiledSpanner, compile_spanner
+
+#: Default bound on distinct spanners held by a cache (FIFO eviction, like
+#: the engine's per-spanner document/verdict caches).
+_DEFAULT_CAPACITY = 128
+
+
+def _canonical_label(label) -> tuple:
+    if isinstance(label, Eps):
+        return ("e",)
+    if isinstance(label, Open):
+        return ("o", label.variable)
+    if isinstance(label, Close):
+        return ("c", label.variable)
+    assert isinstance(label, Sym)
+    return ("s", label.charset.negated, tuple(sorted(label.charset.chars)))
+
+
+def va_fingerprint(va: VA) -> str:
+    """A stable hex digest of an automaton's structure.
+
+    Two automata have equal fingerprints exactly when they have the same
+    states, initial/final states, and transition multiset — including
+    across processes and pickling round-trips, which is what lets worker
+    processes share a cache key with the coordinating process.
+
+    >>> from repro.spanner import Spanner
+    >>> va = Spanner.compile("x{a}").automaton
+    >>> fingerprint = va_fingerprint(va)
+    >>> len(fingerprint), fingerprint == va_fingerprint(va)
+    (64, True)
+    """
+    canonical = (
+        va.num_states,
+        va.initial,
+        va.final,
+        tuple(
+            sorted(
+                (source, _canonical_label(label), target)
+                for source, label, target in va.transitions
+            )
+        ),
+    )
+    return hashlib.sha256(repr(canonical).encode()).hexdigest()
+
+
+class SpannerCache:
+    """Memoised :class:`CompiledSpanner` construction, keyed by fingerprint.
+
+    Accepts everything :func:`~repro.engine.compiled.compile_spanner`
+    accepts (RGX text, an AST, a VA, a ``Spanner``).  String sources are
+    additionally memoised by the pattern text itself, so the common
+    serving pattern — the same pattern string on every request — skips
+    parsing entirely after the first hit.
+
+    >>> cache = SpannerCache()
+    >>> engine = cache.get(".*x{a+}.*")
+    >>> cache.get(".*x{a+}.*") is engine   # same pattern text: no parse
+    True
+    >>> from repro.spanner import Spanner
+    >>> cache.get(Spanner.compile(".*x{a+}.*")) is engine  # same structure
+    True
+    >>> cache.stats()["hits"], cache.stats()["misses"]
+    (2, 1)
+    """
+
+    def __init__(self, capacity: int = _DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self._capacity = capacity
+        self._by_fingerprint: dict[str, CompiledSpanner] = {}
+        self._by_pattern: dict[str, str] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, source) -> CompiledSpanner:
+        """The compiled spanner for ``source``, reused when structurally known."""
+        pattern = source if isinstance(source, str) else None
+        if pattern is not None:
+            fingerprint = self._by_pattern.get(pattern)
+            if fingerprint is not None:
+                cached = self._by_fingerprint.get(fingerprint)
+                if cached is not None:
+                    self._hits += 1
+                    return cached
+        engine = compile_spanner(source)
+        fingerprint = va_fingerprint(engine.automaton)
+        cached = self._by_fingerprint.get(fingerprint)
+        if cached is not None:
+            self._hits += 1
+            engine = cached
+        else:
+            self._misses += 1
+            if len(self._by_fingerprint) >= self._capacity:
+                evicted = next(iter(self._by_fingerprint))
+                del self._by_fingerprint[evicted]
+                self._by_pattern = {
+                    text: digest
+                    for text, digest in self._by_pattern.items()
+                    if digest != evicted
+                }
+            self._by_fingerprint[fingerprint] = engine
+        if pattern is not None:
+            self._by_pattern[pattern] = fingerprint
+        return engine
+
+    def __len__(self) -> int:
+        return len(self._by_fingerprint)
+
+    def __contains__(self, source) -> bool:
+        """Cheap membership: never parses or compiles.
+
+        A string is looked up by pattern text; anything carrying an
+        automaton (a VA, ``Spanner``, or ``CompiledSpanner``) by
+        structural fingerprint.  An uncached pattern string whose
+        *structure* is cached still reports ``False`` — :meth:`get` is
+        the only way to resolve that, and it is the cheap path anyway.
+        """
+        if isinstance(source, str):
+            return self._by_pattern.get(source) in self._by_fingerprint
+        automaton = getattr(source, "automaton", source)
+        if isinstance(automaton, VA):
+            return va_fingerprint(automaton) in self._by_fingerprint
+        return False
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/size counters (for capacity tuning and dashboards)."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "size": len(self._by_fingerprint),
+            "capacity": self._capacity,
+        }
+
+    def clear(self) -> None:
+        self._by_fingerprint.clear()
+        self._by_pattern.clear()
+        self._hits = 0
+        self._misses = 0
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"SpannerCache({stats['size']}/{stats['capacity']} spanners, "
+            f"{stats['hits']} hits, {stats['misses']} misses)"
+        )
+
+
+#: The process-wide default cache used by the service entry points.
+DEFAULT_CACHE = SpannerCache()
+
+
+def cached_spanner(source) -> CompiledSpanner:
+    """Compile through the process-wide :data:`DEFAULT_CACHE`.
+
+    >>> cached_spanner("x{a}b") is cached_spanner("x{a}b")
+    True
+    """
+    return DEFAULT_CACHE.get(source)

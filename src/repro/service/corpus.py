@@ -1,0 +1,218 @@
+"""Document sources for corpus-scale evaluation (the service layer's input).
+
+A *corpus* is an ordered collection of ``(doc_id, text)`` pairs.  Document
+ids are plain strings, unique within one corpus, and stable across
+iterations — they are what result attribution, sharding, and the ordered
+streaming mode of :func:`repro.service.evaluate.evaluate_corpus` key on.
+
+Three concrete sources cover the serving patterns:
+
+* :class:`InMemoryCorpus` — documents already in memory (a dict, a list of
+  texts, or explicit ``(id, text)`` pairs); duplicate ids are rejected at
+  construction;
+* :class:`DirectoryCorpus` — one document per file under a directory,
+  selected by a glob pattern, with the POSIX relative path as the id;
+* :class:`GeneratorCorpus` — a lazily produced stream (a callable
+  returning an iterable), for corpora too large to materialise.
+
+:func:`as_corpus` coerces plain Python values (dicts, lists, iterables)
+into a corpus, so every service entry point accepts both.
+
+>>> corpus = InMemoryCorpus(["aa", "ab"])
+>>> list(corpus)
+[('doc-00000', 'aa'), ('doc-00001', 'ab')]
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator, Mapping
+from pathlib import Path
+
+from repro.spans.document import Document, as_text
+from repro.util.errors import CorpusError
+
+#: One corpus entry: a stable document id paired with the document text.
+CorpusRecord = tuple[str, str]
+
+
+class Corpus:
+    """Base class: an iterable of ``(doc_id, text)`` records.
+
+    Subclasses implement :meth:`__iter__`; ids must be unique and the
+    iteration order stable (it defines the ordered-mode output order).
+    """
+
+    def __iter__(self) -> Iterator[CorpusRecord]:
+        raise NotImplementedError
+
+    def doc_ids(self) -> list[str]:
+        """All document ids, in corpus order."""
+        return [doc_id for doc_id, _ in self]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+
+def _generated_id(position: int) -> str:
+    return f"doc-{position:05d}"
+
+
+class InMemoryCorpus(Corpus):
+    """Documents held in memory, with stable generated or explicit ids.
+
+    Accepts a mapping ``{doc_id: text}``, an iterable of texts (ids are
+    generated as ``doc-00000``, ``doc-00001``, …), or an iterable of
+    ``(doc_id, text)`` pairs.  :class:`~repro.spans.document.Document`
+    instances are accepted wherever a text is.
+
+    >>> InMemoryCorpus({"a.txt": "aa"}).doc_ids()
+    ['a.txt']
+    >>> InMemoryCorpus([("left", "aa"), ("right", "ab")]).doc_ids()
+    ['left', 'right']
+    >>> InMemoryCorpus([("dup", "aa"), ("dup", "ab")])
+    Traceback (most recent call last):
+        ...
+    repro.util.errors.CorpusError: duplicate document id 'dup'
+    """
+
+    def __init__(
+        self,
+        documents: "Mapping[str, Document | str] | Iterable",
+    ) -> None:
+        records: list[CorpusRecord] = []
+        seen: set[str] = set()
+        if isinstance(documents, Mapping):
+            pairs: Iterable = documents.items()
+        else:
+            pairs = (
+                item
+                if isinstance(item, tuple)
+                else (_generated_id(position), item)
+                for position, item in enumerate(documents)
+            )
+        for doc_id, text in pairs:
+            doc_id = str(doc_id)
+            if doc_id in seen:
+                raise CorpusError(f"duplicate document id {doc_id!r}")
+            seen.add(doc_id)
+            records.append((doc_id, as_text(text)))
+        self._records = tuple(records)
+
+    def __iter__(self) -> Iterator[CorpusRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:
+        return f"InMemoryCorpus({len(self._records)} documents)"
+
+
+class DirectoryCorpus(Corpus):
+    """One document per file under ``root`` matching ``pattern``.
+
+    Ids are POSIX-style paths relative to ``root``, sorted for a stable
+    order; file contents are read lazily (UTF-8) during iteration, so a
+    huge directory costs nothing until evaluated.
+
+    >>> import tempfile, pathlib
+    >>> root = pathlib.Path(tempfile.mkdtemp())
+    >>> _ = (root / "a.txt").write_text("aa")
+    >>> _ = (root / "b.log").write_text("ab")
+    >>> DirectoryCorpus(root, "*.txt").doc_ids()
+    ['a.txt']
+    """
+
+    def __init__(self, root: "Path | str", pattern: str = "**/*") -> None:
+        self._root = Path(root)
+        if not self._root.is_dir():
+            raise CorpusError(f"corpus root {str(self._root)!r} is not a directory")
+        self._pattern = pattern
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    def paths(self) -> list[Path]:
+        """The matching files, sorted by relative path."""
+        return sorted(
+            (path for path in self._root.glob(self._pattern) if path.is_file()),
+            key=lambda path: path.relative_to(self._root).as_posix(),
+        )
+
+    def __iter__(self) -> Iterator[CorpusRecord]:
+        for path in self.paths():
+            doc_id = path.relative_to(self._root).as_posix()
+            try:
+                yield doc_id, path.read_text(encoding="utf-8")
+            except OSError as error:
+                raise CorpusError(f"cannot read {doc_id!r}: {error}") from error
+
+    def __len__(self) -> int:
+        return len(self.paths())
+
+    def __repr__(self) -> str:
+        return f"DirectoryCorpus({str(self._root)!r}, pattern={self._pattern!r})"
+
+
+class GeneratorCorpus(Corpus):
+    """A lazily produced document stream.
+
+    ``factory`` is a callable returning an iterable of texts or
+    ``(doc_id, text)`` pairs — a callable (rather than a bare iterator) so
+    the corpus can be iterated more than once.  Ids are generated by
+    position when the factory yields bare texts.  Duplicate ids surface
+    during evaluation (the stream is never materialised here).
+
+    >>> corpus = GeneratorCorpus(lambda: (f"a{'b' * n}" for n in range(3)))
+    >>> corpus.doc_ids()
+    ['doc-00000', 'doc-00001', 'doc-00002']
+    >>> len(corpus.doc_ids()) == len(corpus.doc_ids())  # re-iterable
+    True
+    """
+
+    def __init__(self, factory: Callable[[], Iterable]) -> None:
+        if not callable(factory):
+            raise CorpusError(
+                "GeneratorCorpus takes a callable returning an iterable "
+                "(a bare iterator would be exhausted after one pass)"
+            )
+        self._factory = factory
+
+    def __iter__(self) -> Iterator[CorpusRecord]:
+        for position, item in enumerate(self._factory()):
+            if isinstance(item, tuple):
+                doc_id, text = item
+                yield str(doc_id), as_text(text)
+            else:
+                yield _generated_id(position), as_text(item)
+
+    def __repr__(self) -> str:
+        return f"GeneratorCorpus({self._factory!r})"
+
+
+def as_corpus(source) -> Corpus:
+    """Coerce a plain Python value into a :class:`Corpus`.
+
+    Accepts an existing corpus (returned unchanged), a mapping
+    ``{doc_id: text}``, an iterable of texts or ``(id, text)`` pairs, a
+    callable producing either (wrapped lazily), or a single document —
+    a bare string or :class:`~repro.spans.document.Document` becomes a
+    one-document corpus (it is *not* iterated character-by-character).
+
+    >>> as_corpus({"d1": "aa"}).doc_ids()
+    ['d1']
+    >>> as_corpus(["aa", "ab"]).doc_ids()
+    ['doc-00000', 'doc-00001']
+    >>> as_corpus("banana").doc_ids()
+    ['doc-00000']
+    """
+    if isinstance(source, Corpus):
+        return source
+    if isinstance(source, (str, Document)):
+        return InMemoryCorpus([as_text(source)])
+    if callable(source):
+        return GeneratorCorpus(source)
+    if isinstance(source, (Mapping, Iterable)):
+        return InMemoryCorpus(source)
+    raise CorpusError(f"cannot build a corpus from {type(source).__name__}")

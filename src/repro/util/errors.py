@@ -55,6 +55,15 @@ class NotSupportedError(SpannerError):
     """The requested operation is outside the implemented fragment."""
 
 
+class CorpusError(SpannerError):
+    """A corpus is ill-formed (duplicate document ids, unreadable source).
+
+    Raised by the service layer (:mod:`repro.service`) when a document
+    source violates the corpus contract — most commonly two documents
+    sharing one id, which would make result attribution ambiguous.
+    """
+
+
 class BudgetExceededError(SpannerError):
     """A worst-case-exponential construction exceeded its size budget.
 

@@ -3,6 +3,7 @@
 from repro.workloads import expressions, land_registry, server_logs
 from repro.workloads.expressions import (
     batch_workload,
+    corpus_workload,
     field_document,
     random_document,
     random_rgx,
@@ -13,6 +14,7 @@ from repro.workloads.expressions import (
 
 __all__ = [
     "batch_workload",
+    "corpus_workload",
     "expressions",
     "field_document",
     "land_registry",

@@ -147,6 +147,23 @@ def batch_workload(
     return engine, engine.evaluate_many(materialised)
 
 
+def corpus_workload(
+    expression: Rgx, documents, workers: int = 1
+) -> tuple["object", list]:
+    """The corpus-parallel analog of :func:`batch_workload`.
+
+    Routes the documents through the service layer
+    (:func:`repro.service.evaluate.evaluate_corpus`), sharding across
+    ``workers`` processes, and returns the cached engine together with one
+    mapping set per document *in corpus order* — so its outputs are
+    directly comparable with :func:`batch_workload`'s.
+    """
+    from repro.service import cached_spanner, corpus_outputs
+
+    engine = cached_spanner(expression)
+    return engine, corpus_outputs(engine, documents, workers=workers)
+
+
 def random_document(length: int, seed: int = 0, alphabet: str = "ab") -> str:
     rng = random.Random(seed)
     return "".join(rng.choice(alphabet) for _ in range(length))

@@ -169,6 +169,66 @@ def compiled_spanner():
     return compile_spanner(seller_tax_expression())
 
 
+def corpus(
+    document_count: int,
+    rows_per_document: int = 8,
+    tax_probability: float = 0.5,
+    seed: int = 0,
+):
+    """A registry *corpus*: many CSV documents with stable ids.
+
+    Document ids are ``registry-00000.csv``, ``registry-00001.csv``, … and
+    each document gets its own derived seed, so the corpus is reproducible
+    document-by-document.  Feed it to
+    :func:`repro.service.evaluate.evaluate_corpus` (or the corpus driver
+    below) for the corpus-scale serving workload.
+
+    >>> corpus(2, rows_per_document=1).doc_ids()
+    ['registry-00000.csv', 'registry-00001.csv']
+    """
+    from repro.service import InMemoryCorpus
+
+    return InMemoryCorpus(
+        {
+            f"registry-{index:05d}.csv": generate_document(
+                rows_per_document, tax_probability, seed=seed + index
+            )
+            for index in range(document_count)
+        }
+    )
+
+
+def extract_corpus_pairs(
+    source, workers: int = 1
+) -> dict[str, set[tuple[str, str | None]]]:
+    """Corpus-level driver: ``(name, tax)`` pairs per document id.
+
+    Shards the corpus across ``workers`` processes through the service
+    layer; decoding happens inside the workers, so only the pairs travel
+    back.  Raises on any per-document failure (this workload's documents
+    are trusted).
+
+    >>> pairs = extract_corpus_pairs(corpus(2, rows_per_document=2, seed=3))
+    >>> sorted(pairs) == corpus(2, rows_per_document=2, seed=3).doc_ids()
+    True
+    """
+    from repro.service import extract_corpus
+    from repro.util.errors import CorpusError
+
+    pairs: dict[str, set[tuple[str, str | None]]] = {}
+    for result in extract_corpus(
+        seller_tax_expression(), source, workers=workers
+    ):
+        if not result.ok:
+            raise CorpusError(
+                f"document {result.doc_id!r} failed: {result.error}"
+            )
+        pairs[result.doc_id] = {
+            (record["x"], record.get("y")) for record in result.mappings
+        }
+    return pairs
+
+
 def extract_batch(documents) -> list[set[tuple[str, str | None]]]:
     """Batch extraction: ``(name, tax)`` pairs per document, compiling once."""
     from repro.workloads.expressions import batch_workload

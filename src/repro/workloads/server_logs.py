@@ -108,6 +108,59 @@ def compiled_spanner():
     return compile_spanner(access_expression())
 
 
+def corpus(
+    document_count: int, lines_per_document: int = 12, seed: int = 0
+):
+    """A log *corpus*: many access-log documents with stable ids.
+
+    Ids are ``access-00000.log``, ``access-00001.log``, …; each document
+    draws from its own derived seed.
+
+    >>> corpus(2, lines_per_document=1).doc_ids()
+    ['access-00000.log', 'access-00001.log']
+    """
+    from repro.service import InMemoryCorpus
+
+    return InMemoryCorpus(
+        {
+            f"access-{index:05d}.log": generate_document(
+                lines_per_document, seed=seed + index
+            )
+            for index in range(document_count)
+        }
+    )
+
+
+def extract_corpus_tuples(
+    source, workers: int = 1
+) -> dict[str, set[tuple[str, str, str | None, str | None]]]:
+    """Corpus-level driver: access tuples per document id, optionally sharded.
+
+    >>> tuples = extract_corpus_tuples(corpus(1, lines_per_document=1))
+    >>> list(tuples) == ['access-00000.log']
+    True
+    """
+    from repro.service import extract_corpus
+    from repro.util.errors import CorpusError
+
+    tuples: dict[str, set[tuple[str, str, str | None, str | None]]] = {}
+    for result in extract_corpus(access_expression(), source, workers=workers):
+        if not result.ok:
+            raise CorpusError(
+                f"document {result.doc_id!r} failed: {result.error}"
+            )
+        tuples[result.doc_id] = {
+            (
+                record["path"],
+                record["status"],
+                record.get("user"),
+                record.get("ref"),
+            )
+            for record in result.mappings
+        }
+    return tuples
+
+
 def extract_batch(documents) -> list[set[tuple[str, str, str | None, str | None]]]:
     """Batch extraction of access tuples per document, compiling once."""
     from repro.workloads.expressions import batch_workload

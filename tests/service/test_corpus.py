@@ -1,0 +1,169 @@
+"""Corpus sources and the spanner cache (``repro.service``)."""
+
+import pytest
+
+from repro.service import (
+    DirectoryCorpus,
+    GeneratorCorpus,
+    InMemoryCorpus,
+    SpannerCache,
+    as_corpus,
+    va_fingerprint,
+)
+from repro.spanner import Spanner
+from repro.spans.document import Document
+from repro.util.errors import CorpusError
+
+
+class TestInMemoryCorpus:
+    def test_from_dict_preserves_order(self):
+        corpus = InMemoryCorpus({"b": "x", "a": "y"})
+        assert list(corpus) == [("b", "x"), ("a", "y")]
+
+    def test_from_texts_generates_stable_ids(self):
+        corpus = InMemoryCorpus(["aa", "ab"])
+        assert corpus.doc_ids() == ["doc-00000", "doc-00001"]
+        assert corpus.doc_ids() == corpus.doc_ids()
+
+    def test_from_pairs(self):
+        corpus = InMemoryCorpus([("left", "aa"), ("right", "ab")])
+        assert list(corpus) == [("left", "aa"), ("right", "ab")]
+
+    def test_accepts_document_instances(self):
+        corpus = InMemoryCorpus({"d": Document("abc")})
+        assert list(corpus) == [("d", "abc")]
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(CorpusError, match="duplicate document id 'dup'"):
+            InMemoryCorpus([("dup", "a"), ("dup", "b")])
+
+    def test_len_and_empty(self):
+        assert len(InMemoryCorpus([])) == 0
+        assert len(InMemoryCorpus(["a", "b", "c"])) == 3
+
+
+class TestDirectoryCorpus:
+    def test_ids_are_sorted_relative_posix_paths(self, tmp_path):
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "b.txt").write_text("bb")
+        (tmp_path / "a.txt").write_text("aa")
+        (tmp_path / "sub" / "c.txt").write_text("cc")
+        corpus = DirectoryCorpus(tmp_path)
+        assert corpus.doc_ids() == ["a.txt", "b.txt", "sub/c.txt"]
+        assert dict(corpus)["sub/c.txt"] == "cc"
+
+    def test_glob_pattern_filters(self, tmp_path):
+        (tmp_path / "a.txt").write_text("aa")
+        (tmp_path / "a.log").write_text("ll")
+        assert DirectoryCorpus(tmp_path, "*.txt").doc_ids() == ["a.txt"]
+
+    def test_missing_root_rejected(self, tmp_path):
+        with pytest.raises(CorpusError, match="not a directory"):
+            DirectoryCorpus(tmp_path / "absent")
+
+    def test_lazy_reads(self, tmp_path):
+        (tmp_path / "a.txt").write_text("aa")
+        corpus = DirectoryCorpus(tmp_path)
+        (tmp_path / "b.txt").write_text("bb")  # appears on next iteration
+        assert corpus.doc_ids() == ["a.txt", "b.txt"]
+
+
+class TestGeneratorCorpus:
+    def test_reiterable(self):
+        corpus = GeneratorCorpus(lambda: iter(["aa", "ab"]))
+        assert corpus.doc_ids() == ["doc-00000", "doc-00001"]
+        assert corpus.doc_ids() == ["doc-00000", "doc-00001"]
+
+    def test_pairs_and_bare_texts(self):
+        corpus = GeneratorCorpus(lambda: [("named", "aa")])
+        assert list(corpus) == [("named", "aa")]
+
+    def test_bare_iterator_rejected(self):
+        with pytest.raises(CorpusError, match="callable"):
+            GeneratorCorpus(iter(["aa"]))
+
+
+class TestAsCorpus:
+    def test_passthrough(self):
+        corpus = InMemoryCorpus(["a"])
+        assert as_corpus(corpus) is corpus
+
+    def test_coercions(self):
+        assert as_corpus({"d": "a"}).doc_ids() == ["d"]
+        assert as_corpus(["a", "b"]).doc_ids() == ["doc-00000", "doc-00001"]
+        assert as_corpus(lambda: ["a"]).doc_ids() == ["doc-00000"]
+
+    def test_bare_string_is_one_document(self):
+        corpus = as_corpus("banana")
+        assert list(corpus) == [("doc-00000", "banana")]
+
+    def test_bare_document_is_one_document(self):
+        corpus = as_corpus(Document("banana"))
+        assert list(corpus) == [("doc-00000", "banana")]
+
+    def test_unsupported_source(self):
+        with pytest.raises(CorpusError):
+            as_corpus(42)
+
+
+class TestFingerprint:
+    def test_equal_structure_equal_fingerprint(self):
+        first = Spanner.compile(".*x{a+}.*").automaton
+        second = Spanner.compile(".*x{a+}.*").automaton
+        assert first is not second
+        assert va_fingerprint(first) == va_fingerprint(second)
+
+    def test_different_structure_different_fingerprint(self):
+        first = Spanner.compile("x{a}").automaton
+        second = Spanner.compile("x{b}").automaton
+        assert va_fingerprint(first) != va_fingerprint(second)
+
+    def test_survives_pickling(self):
+        import pickle
+
+        automaton = Spanner.compile(".*x{ab}.*").automaton
+        clone = pickle.loads(pickle.dumps(automaton))
+        assert va_fingerprint(automaton) == va_fingerprint(clone)
+
+
+class TestSpannerCache:
+    def test_same_pattern_same_engine(self):
+        cache = SpannerCache()
+        assert cache.get("x{a}b") is cache.get("x{a}b")
+
+    def test_structural_sharing_across_sources(self):
+        cache = SpannerCache()
+        engine = cache.get(Spanner.compile(".*x{a+}.*"))
+        assert cache.get(Spanner.compile(".*x{a+}.*")) is engine
+        assert cache.get(".*x{a+}.*") is engine
+
+    def test_capacity_eviction(self):
+        cache = SpannerCache(capacity=2)
+        first = cache.get("x{a}")
+        cache.get("x{b}")
+        cache.get("x{c}")  # evicts x{a} (FIFO)
+        assert len(cache) == 2
+        assert cache.get("x{a}") is not first
+
+    def test_stats(self):
+        cache = SpannerCache()
+        cache.get("x{a}")
+        cache.get("x{a}")
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        cache.clear()
+        assert cache.stats()["size"] == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            SpannerCache(capacity=0)
+
+    def test_contains_is_cheap_and_never_compiles(self):
+        cache = SpannerCache()
+        assert "x{a}" not in cache
+        assert cache.stats()["misses"] == 0  # membership did not compile
+        cache.get("x{a}")
+        assert "x{a}" in cache
+        assert Spanner.compile("x{a}") in cache  # fingerprint lookup
+        assert "x{b}" not in cache
+        assert 42 not in cache

@@ -79,6 +79,74 @@ class TestBatchMode:
         assert lines(capsys) == ["3"]
 
 
+class TestCorpusFlags:
+    PATTERN = ".*Seller: x{[^,\n]*},.*"
+
+    def _write(self, tmp_path):
+        first = tmp_path / "one.csv"
+        second = tmp_path / "two.csv"
+        first.write_text("Seller: John, ID75\n")
+        second.write_text("Seller: Mark, ID7\n")
+        return first, second
+
+    def test_glob_expands_sorted(self, tmp_path, capsys):
+        self._write(tmp_path)
+        code = run([self.PATTERN, "--glob", str(tmp_path / "*.csv")])
+        assert code == 0
+        records = [json.loads(line) for line in lines(capsys)]
+        assert [r["x"] for r in records] == ["John", "Mark"]
+        assert records[0]["_file"].endswith("one.csv")
+
+    def test_glob_deduplicates_against_files(self, tmp_path, capsys):
+        first, _ = self._write(tmp_path)
+        run([self.PATTERN, str(first), "--glob", str(tmp_path / "*.csv")])
+        records = [json.loads(line) for line in lines(capsys)]
+        assert sum(r["x"] == "John" for r in records) == 1
+
+    def test_workers_output_identical_to_serial(self, tmp_path, capsys):
+        first, second = self._write(tmp_path)
+        run([self.PATTERN, str(first), str(second)])
+        serial = lines(capsys)
+        run([self.PATTERN, str(first), str(second), "--workers", "2"])
+        assert lines(capsys) == serial
+
+    def test_ndjson_groups_per_document(self, tmp_path, capsys):
+        first, second = self._write(tmp_path)
+        code = run([self.PATTERN, str(first), str(second), "--ndjson"])
+        assert code == 0
+        records = [json.loads(line) for line in lines(capsys)]
+        assert [r["doc"] for r in records] == [str(first), str(second)]
+        assert records[0]["mappings"] == [{"x": "John"}]
+        assert records[0]["error"] is None
+
+    def test_ndjson_reports_unreadable_file(self, tmp_path, capsys):
+        first, _ = self._write(tmp_path)
+        missing = tmp_path / "absent.csv"
+        code = run([self.PATTERN, str(first), str(missing), "--ndjson"])
+        assert code == 0  # errors are records, not aborts
+        records = [json.loads(line) for line in lines(capsys)]
+        by_doc = {r["doc"]: r for r in records}
+        assert by_doc[str(first)]["error"] is None
+        assert by_doc[str(missing)]["mappings"] is None
+        assert by_doc[str(missing)]["error"]
+
+    def test_ndjson_from_stdin(self, capsys):
+        run([".*x{a+}.*", "--ndjson"], stdin="ba")
+        record = json.loads(lines(capsys)[0])
+        assert record == {"doc": "<stdin>", "error": None, "mappings": [{"x": "a"}]}
+
+    def test_count_sums_with_workers(self, tmp_path, capsys):
+        first, second = self._write(tmp_path)
+        run([self.PATTERN, str(first), str(second), "--count", "--workers", "2"])
+        assert lines(capsys) == ["2"]
+
+    def test_spans_mode_through_service(self, tmp_path, capsys):
+        first, _ = self._write(tmp_path)
+        run([self.PATTERN, str(first), "--spans"])
+        record = json.loads(lines(capsys)[0])
+        assert record == {"x": [9, 13]}
+
+
 class TestCheckMode:
     def test_satisfiable_pattern(self, capsys):
         code = run(["x{ab}c", "--check"])
@@ -99,3 +167,13 @@ class TestErrors:
     def test_parse_error_exit_code(self, capsys):
         assert run(["(((", "--check"]) == 2
         assert "error" in capsys.readouterr().err
+
+    def test_seed_engine_rejects_service_flags(self, capsys):
+        assert run(["x{a}", "--engine", "seed", "--workers", "2"]) == 2
+        assert "--engine seed" in capsys.readouterr().err
+        assert run(["x{a}", "--engine", "seed", "--ndjson"]) == 2
+        assert "--engine seed" in capsys.readouterr().err
+
+    def test_count_rejects_ndjson(self, capsys):
+        assert run(["x{a}", "--count", "--ndjson"]) == 2
+        assert "--count" in capsys.readouterr().err

@@ -1,0 +1,58 @@
+"""The documentation is executable: tools/check_docs.py passes.
+
+Runs the same checker the CI docs job runs — every fenced python block in
+README.md and docs/*.md must execute, and every intra-repo markdown link
+must resolve — so documentation drift fails the tier-1 suite, not just CI.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CHECKER = REPO_ROOT / "tools" / "check_docs.py"
+
+
+def test_docs_tree_exists():
+    for page in ("architecture.md", "api.md", "semantics.md", "cli.md"):
+        assert (REPO_ROOT / "docs" / page).is_file(), f"docs/{page} missing"
+
+
+def test_check_docs_passes():
+    completed = subprocess.run(
+        [sys.executable, str(CHECKER)],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        timeout=300,
+    )
+    assert completed.returncode == 0, (
+        f"docs check failed:\n{completed.stdout}\n{completed.stderr}"
+    )
+    assert "python block(s) executed" in completed.stdout
+
+
+def test_check_docs_catches_broken_link(tmp_path):
+    page = tmp_path / "page.md"
+    page.write_text("see [missing](./absent.md)\n")
+    completed = subprocess.run(
+        [sys.executable, str(CHECKER), str(page)],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert completed.returncode == 1
+    assert "broken link" in completed.stderr
+
+
+def test_check_docs_catches_failing_block(tmp_path):
+    page = tmp_path / "page.md"
+    page.write_text("```python\nraise RuntimeError('drifted')\n```\n")
+    completed = subprocess.run(
+        [sys.executable, str(CHECKER), str(page)],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert completed.returncode == 1
+    assert "code block failed" in completed.stderr

@@ -6,20 +6,36 @@ import pytest
 
 import repro
 import repro.engine.compiled
+import repro.engine.oracle
+import repro.engine.tables
 import repro.rgx.parser
 import repro.rgx.semantics
+import repro.service
+import repro.service.cache
+import repro.service.corpus
+import repro.service.evaluate
 import repro.spanner
 import repro.spans.document
 import repro.spans.span
+import repro.workloads.land_registry
+import repro.workloads.server_logs
 
 MODULES = [
     repro,
     repro.engine.compiled,
+    repro.engine.oracle,
+    repro.engine.tables,
     repro.rgx.parser,
     repro.rgx.semantics,
+    repro.service,
+    repro.service.cache,
+    repro.service.corpus,
+    repro.service.evaluate,
     repro.spanner,
     repro.spans.document,
     repro.spans.span,
+    repro.workloads.land_registry,
+    repro.workloads.server_logs,
 ]
 
 

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Executable-documentation checker (the CI docs job).
+
+Two guarantees over ``README.md`` and the ``docs/`` tree:
+
+1. every fenced ``python`` code block *runs*: blocks containing ``>>>``
+   prompts are executed as doctests (outputs must match), plain blocks
+   are ``exec``'d in a fresh namespace — so the documentation can never
+   drift from the public API it describes;
+2. every intra-repo markdown link resolves to an existing file.
+
+Usage::
+
+    python tools/check_docs.py                 # README.md + docs/*.md
+    python tools/check_docs.py docs/api.md     # specific files
+
+Exit code 0 when everything passes, 1 with a failure list otherwise.
+Fenced blocks in other languages (``bash``, ``text``, …) are link-checked
+but never executed.
+"""
+
+from __future__ import annotations
+
+import doctest
+import io
+import re
+import sys
+import traceback
+from contextlib import redirect_stderr, redirect_stdout
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_FENCE = re.compile(r"^```(\S*)\s*$")
+# [text](target) — excluding images' inner parens and bare autolinks.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _display(path: Path) -> str:
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:
+        return str(path)
+
+
+def code_blocks(text: str) -> list[tuple[str, str, int]]:
+    """``(language, code, first_line)`` for every fenced block."""
+    blocks = []
+    language, lines, start = None, [], 0
+    for number, line in enumerate(text.splitlines(), start=1):
+        fence = _FENCE.match(line.strip())
+        if fence and language is None:
+            language, lines, start = fence.group(1).lower(), [], number + 1
+        elif line.strip() == "```" and language is not None:
+            blocks.append((language, "\n".join(lines), start))
+            language = None
+        elif language is not None:
+            lines.append(line)
+    return blocks
+
+
+def run_python_block(code: str, name: str) -> str | None:
+    """Execute one python block; the error description, or None on success."""
+    if ">>>" in code:
+        parser = doctest.DocTestParser()
+        try:
+            test = parser.get_doctest(code, {}, name, name, 0)
+        except ValueError as error:
+            return f"unparseable doctest block: {error}"
+        output = io.StringIO()
+        runner = doctest.DocTestRunner(verbose=False)
+        with redirect_stdout(output), redirect_stderr(io.StringIO()):
+            runner.run(test)
+        if runner.failures:
+            return f"{runner.failures} doctest failure(s):\n{output.getvalue()}"
+        return None
+    try:
+        with redirect_stdout(io.StringIO()), redirect_stderr(io.StringIO()):
+            exec(compile(code, name, "exec"), {"__name__": "__docs__"})
+    except Exception:
+        return traceback.format_exc(limit=3)
+    return None
+
+
+def check_links(path: Path, text: str) -> list[str]:
+    """Broken intra-repo link descriptions for one markdown file."""
+    problems = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{_display(path)}:{number}: broken link -> {target}"
+                )
+    return problems
+
+
+def check_file(path: Path) -> tuple[list[str], int]:
+    """``(problems, executed_python_block_count)`` for one markdown file."""
+    problems = []
+    executed = 0
+    text = path.read_text(encoding="utf-8")
+    problems.extend(check_links(path, text))
+    for language, code, line in code_blocks(text):
+        if language not in ("python", "py", "pycon"):
+            continue
+        executed += 1
+        name = f"{_display(path)}:{line}"
+        error = run_python_block(code, name)
+        if error is not None:
+            problems.append(f"{name}: code block failed\n{error}")
+    return problems, executed
+
+
+def default_files() -> list[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def main(argv: list[str]) -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    files = [Path(arg).resolve() for arg in argv] or default_files()
+    problems = []
+    checked_blocks = 0
+    for path in files:
+        file_problems, executed = check_file(path)
+        problems.extend(file_problems)
+        checked_blocks += executed
+    if problems:
+        print(f"docs check: {len(problems)} problem(s)", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"docs check: {len(files)} file(s), {checked_blocks} python "
+        "block(s) executed, all links resolve"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
