@@ -1,0 +1,159 @@
+"""E21 — the compilation planner vs. the straight (unplanned) pipeline.
+
+The planner (:mod:`repro.plan`) must pay for itself: compile+evaluate
+through the pass pipeline (ε-elimination, trimming, predicate fusion,
+sequentialisation) must beat the straight Thompson-translation engine on
+the library's own workloads, while producing *identical* outputs at every
+opt level.  Three measurements:
+
+* the **expressions** workload — the seller-like sequential CSV
+  extraction, where the win is the smaller post-pass automaton;
+* the **server-logs** workload — the access-log extraction over growing
+  documents, same lever (the pass pipeline roughly halves the states the
+  per-position sweeps touch);
+* a **non-sequential VA** — the CSV automaton plus one bogus
+  ``v0⊢`` self-loop on the final state, which no valid run can take but
+  which makes the automaton fail Proposition 5.5's check.  Unplanned,
+  every oracle call pays the ``O(2^{2k}·3^k)`` general sweep of Theorem
+  5.10; planned, the sequentialisation pass (Proposition 5.6) restores
+  the polynomial Theorem-5.7 sweep — the asymptotics, not just the
+  constant, change.
+
+Acceptance: identical mapping outputs at opt levels 0, 1 and 2 on every
+workload, and (full mode) planned compile+evaluate at least
+``MINIMUM_SPEEDUP`` faster than unplanned on the non-sequential sweep's
+larger configurations.  Under ``REPRO_BENCH_QUICK`` only output equality
+is asserted.
+"""
+
+import time
+
+import pytest
+
+from benchmarks._harness import print_table, quick_mode, sizes
+from repro.automata.labels import Open
+from repro.automata.thompson import to_va
+from repro.automata.va import VA
+from repro.engine.compiled import CompiledSpanner
+from repro.plan import OPT_LEVELS, plan
+from repro.workloads import server_logs
+from repro.workloads.expressions import (
+    field_document,
+    seller_like_sequential_rgx,
+)
+
+MINIMUM_SPEEDUP = 1.1
+
+FIELD_COUNTS = sizes(full=[3, 4, 5], quick=[2])
+LOG_LINES = sizes(full=[8, 16], quick=[2])
+DOCUMENTS_PER_CONFIG = 8
+
+
+def _timed_run(source, documents, opt_level=None, repeat=2):
+    """Compile (planned or not) and evaluate every document.
+
+    Returns best-of-``repeat`` wall-clock seconds for the full
+    compile+evaluate cycle (a fresh engine each time, so compilation and
+    planning costs are inside the measurement) and the outputs.
+    """
+    best, outputs = float("inf"), None
+    for _ in range(repeat):
+        started = time.perf_counter()
+        if opt_level is None:
+            # The unplanned straight path: Thompson translation, no passes.
+            automaton = source if isinstance(source, VA) else to_va(source)
+            engine = CompiledSpanner(automaton)
+        else:
+            engine = CompiledSpanner(plan=plan(source, opt_level))
+        outputs = [engine.mappings(document) for document in documents]
+        best = min(best, time.perf_counter() - started)
+    return best, outputs
+
+
+def _non_sequential_csv_va(field_count: int) -> VA:
+    """The seller-like CSV automaton plus a bogus open on the final state.
+
+    Every accepting path of the chain opens and closes each variable, so
+    the extra ``v0⊢`` self-loop is unusable by any valid run — semantics
+    are untouched — but a path through it opens ``v0`` twice, so the
+    automaton is non-sequential and the unplanned engine falls back to
+    the general (FPT, exponential-in-``k``) sweep.
+    """
+    automaton = to_va(seller_like_sequential_rgx(field_count))
+    looped = automaton.transitions + (
+        (automaton.final, Open("v0"), automaton.final),
+    )
+    return VA(automaton.num_states, automaton.initial, automaton.final, looped)
+
+
+def _sweep(source, documents):
+    """Unplanned vs. planned-at-every-level rows; asserts identical outputs."""
+    unplanned_time, unplanned_outputs = _timed_run(source, documents)
+    row = [unplanned_time]
+    for level in OPT_LEVELS:
+        planned_time, planned_outputs = _timed_run(source, documents, level)
+        assert planned_outputs == unplanned_outputs, (
+            f"planned opt {level} diverged from the unplanned engine"
+        )
+        row.append(planned_time)
+    return row, unplanned_outputs
+
+
+@pytest.mark.benchmark(group="e21")
+def test_e21_planner(benchmark):
+    _timed_run(seller_like_sequential_rgx(2), ["f0=a;f1=b;"], 1)  # warm caches
+    rows = []
+
+    for field_count in FIELD_COUNTS:
+        documents = [
+            field_document(field_count, value_length=6, seed=seed)
+            for seed in range(DOCUMENTS_PER_CONFIG)
+        ]
+        expression = seller_like_sequential_rgx(field_count)
+        times, _ = _sweep(expression, documents)
+        rows.append(("expressions", f"k={field_count}", *times, times[0] / times[2]))
+
+    for line_count in LOG_LINES:
+        documents = [
+            server_logs.generate_document(line_count, seed=seed)
+            for seed in range(2)
+        ]
+        times, _ = _sweep(server_logs.access_expression(), documents)
+        rows.append(("server-logs", f"lines={line_count}", *times, times[0] / times[2]))
+
+    non_sequential_speedups = []
+    for field_count in FIELD_COUNTS:
+        documents = [
+            field_document(field_count, value_length=6, seed=seed)
+            for seed in range(DOCUMENTS_PER_CONFIG)
+        ]
+        automaton = _non_sequential_csv_va(field_count)
+        times, outputs = _sweep(automaton, documents)
+        assert any(outputs), "the non-sequential workload must produce mappings"
+        speedup = times[0] / times[2]
+        non_sequential_speedups.append((field_count, speedup))
+        rows.append(("non-seq VA", f"k={field_count}", *times, speedup))
+
+    print_table(
+        "E21: planned vs unplanned compile+evaluate (opt levels 0/1/2)",
+        ["workload", "size", "unplanned s", "opt0 s", "opt1 s", "opt2 s", "speedup@1"],
+        rows,
+    )
+
+    if not quick_mode():
+        # The asymptotic claim: on the larger non-sequential configurations
+        # the sequentialisation pass must beat the general sweep outright.
+        field_count, speedup = max(
+            non_sequential_speedups, key=lambda pair: pair[0]
+        )
+        assert speedup >= MINIMUM_SPEEDUP, (
+            f"planned opt 1 only {speedup:.2f}x faster than the unplanned "
+            f"general sweep at k={field_count}"
+        )
+
+    documents = [
+        field_document(FIELD_COUNTS[-1], value_length=6, seed=seed)
+        for seed in range(DOCUMENTS_PER_CONFIG)
+    ]
+    automaton = _non_sequential_csv_va(FIELD_COUNTS[-1])
+    benchmark(lambda: _timed_run(automaton, documents, 1))

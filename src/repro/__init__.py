@@ -22,6 +22,7 @@ Quickstart::
 
 from repro.alphabet import CharSet
 from repro.engine import CompiledSpanner, compile_spanner
+from repro.plan import Plan
 from repro.rgx.parser import parse
 from repro.rgx.semantics import mappings
 from repro.service import (
@@ -38,7 +39,7 @@ from repro.spans.document import Document
 from repro.spans.mapping import NULL, ExtendedMapping, Mapping, join
 from repro.spans.span import Span
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CharSet",
@@ -51,6 +52,7 @@ __all__ = [
     "InMemoryCorpus",
     "Mapping",
     "NULL",
+    "Plan",
     "Span",
     "Spanner",
     "SpannerCache",

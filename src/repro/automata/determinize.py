@@ -22,6 +22,7 @@ from __future__ import annotations
 from repro.alphabet import CharSet
 from repro.automata.labels import Close, Eps, Label, Open, Sym
 from repro.automata.va import VA
+from repro.util.errors import BudgetExceededError
 
 
 def character_atoms(charsets: list[CharSet]) -> list[CharSet]:
@@ -43,12 +44,15 @@ def character_atoms(charsets: list[CharSet]) -> list[CharSet]:
     return atoms
 
 
-def determinize(va: VA) -> VA:
+def determinize(va: VA, max_states: int | None = None) -> VA:
     """An equivalent deterministic VA via subset construction.
 
     The result satisfies :func:`repro.automata.va.is_deterministic`; the
     state count is worst-case exponential (benchmark E16 measures the
-    blowup on random automata).
+    blowup on random automata).  ``max_states`` bounds the subset
+    exploration, raising :class:`~repro.util.errors.BudgetExceededError`
+    instead of exhausting memory — the planner's opt-level-2 pass uses
+    this to keep determinisation strictly best-effort.
     """
     atoms = character_atoms(va.charsets())
     operations = sorted(
@@ -100,6 +104,8 @@ def determinize(va: VA) -> VA:
             if not successor:
                 continue
             if successor not in subset_index:
+                if max_states is not None and len(subset_index) >= max_states:
+                    raise BudgetExceededError("determinisation subsets", max_states)
                 subset_index[successor] = len(subset_index)
                 frontier.append(successor)
             transitions.append((source, symbol, subset_index[successor]))

@@ -1,0 +1,66 @@
+"""Structural fingerprints of variable-set automata.
+
+:func:`va_fingerprint` digests an automaton's *structure* — states,
+initial/final, and the canonical transition multiset — so two equal
+automata share one digest no matter how (or in which process) they were
+built.  The compilation planner keys its plans on this digest, and the
+service layer's :class:`~repro.service.cache.SpannerCache` memoises
+compiled engines under the digest of the *post-optimisation* automaton,
+which is what lets structurally different sources that plan to the same
+automaton share one engine.
+
+>>> from repro.spanner import Spanner
+>>> first = Spanner.compile(".*x{a+}.*").automaton
+>>> second = Spanner.compile(".*x{a+}.*").automaton
+>>> first is second
+False
+>>> va_fingerprint(first) == va_fingerprint(second)
+True
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.automata.labels import Close, Eps, Open, Sym
+from repro.automata.va import VA
+
+
+def canonical_label(label) -> tuple:
+    """A hashable, orderable stand-in for a transition label."""
+    if isinstance(label, Eps):
+        return ("e", "")
+    if isinstance(label, Open):
+        return ("o", label.variable)
+    if isinstance(label, Close):
+        return ("c", label.variable)
+    assert isinstance(label, Sym)
+    return ("s", label.charset.negated, tuple(sorted(label.charset.chars)))
+
+
+def va_fingerprint(va: VA) -> str:
+    """A stable hex digest of an automaton's structure.
+
+    Two automata have equal fingerprints exactly when they have the same
+    states, initial/final states, and transition multiset — including
+    across processes and pickling round-trips, which is what lets worker
+    processes share a cache key with the coordinating process.
+
+    >>> from repro.spanner import Spanner
+    >>> va = Spanner.compile("x{a}").automaton
+    >>> fingerprint = va_fingerprint(va)
+    >>> len(fingerprint), fingerprint == va_fingerprint(va)
+    (64, True)
+    """
+    canonical = (
+        va.num_states,
+        va.initial,
+        va.final,
+        tuple(
+            sorted(
+                (source, canonical_label(label), target)
+                for source, label, target in va.transitions
+            )
+        ),
+    )
+    return hashlib.sha256(repr(canonical).encode()).hexdigest()

@@ -24,6 +24,7 @@ from __future__ import annotations
 from repro.automata.labels import EPS, Close, Eps, Label, Open, Sym
 from repro.automata.va import VA
 from repro.spans.mapping import Variable
+from repro.util.errors import BudgetExceededError
 
 _FRESH, _OPEN, _DONE, _SKIPPED = range(4)
 
@@ -88,7 +89,9 @@ def _sequential_for(va: VA, variable: Variable, co_reachable: set[int]) -> bool:
     return (va.final, _OPEN) not in seen
 
 
-def make_sequential(va: VA, prune: bool = True) -> VA:
+def make_sequential(
+    va: VA, prune: bool = True, max_states: int | None = None
+) -> VA:
     """Proposition 5.6: an equivalent sequential VA.
 
     Product states pair an original state with a status vector over the
@@ -98,6 +101,11 @@ def make_sequential(va: VA, prune: bool = True) -> VA:
     nothing).  Closes require status ``open``.  Acceptance requires no
     variable to remain ``open``, and a fresh final state keeps the
     automaton single-final.  ``prune=True`` trims dead states.
+
+    The product is worst-case ``|Q| · 4^k`` states; ``max_states`` aborts
+    with :class:`~repro.util.errors.BudgetExceededError` instead of
+    exhausting memory (the planner's sequentialisation pass relies on
+    this to fall back to the general evaluation path).
     """
     variables = tuple(sorted(va.mentioned_variables))
     index = {variable: i for i, variable in enumerate(variables)}
@@ -107,6 +115,8 @@ def make_sequential(va: VA, prune: bool = True) -> VA:
 
     def state_of(key: tuple[int, tuple[int, ...]]) -> int:
         if key not in states:
+            if max_states is not None and len(states) >= max_states:
+                raise BudgetExceededError("sequentialisation product", max_states)
             states[key] = len(states)
         return states[key]
 

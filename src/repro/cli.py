@@ -14,9 +14,14 @@ Modes:
 * ``--spans`` — emit ``[begin, end]`` pairs instead of contents;
 * ``--check`` — print satisfiability, sequentiality and a witness
   document for the pattern, then exit (static analysis, Section 6);
+* ``--explain`` — print the compilation planner's pass log (states and
+  transitions before/after every pass, timings), then exit;
 * ``--count`` — print only the number of mappings;
 * ``--engine {compiled,seed}`` — evaluation engine; ``compiled`` (the
-  default) uses :mod:`repro.engine`'s tables, pruning, and memoisation.
+  default) uses :mod:`repro.engine`'s tables, pruning, and memoisation;
+* ``--opt-level {0,1,2}`` — the planner pipeline behind the compiled
+  engine (0 straight translation, 1 default passes, 2 adds budgeted
+  determinisation).
 
 Batch mode — several files, ``--glob`` patterns, or both — compiles the
 pattern once and evaluates every document through the corpus service
@@ -45,6 +50,31 @@ from repro.spanner import Spanner
 from repro.util.errors import SpannerError
 
 
+def _distribution_version() -> str:
+    """The installed package version (falls back to the source tree's)."""
+    from importlib import metadata
+
+    try:
+        return metadata.version("repro-spanners")
+    except metadata.PackageNotFoundError:
+        from repro import __version__
+
+        return __version__
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for flags that require a positive integer."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer (got {value})"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -60,6 +90,11 @@ def build_parser() -> argparse.ArgumentParser:
             "  repro 'x{ab}c' --check                   # static analysis only\n"
         ),
         formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {_distribution_version()}",
     )
     parser.add_argument("pattern", help="variable regex, e.g. '.*x{a+}.*'")
     parser.add_argument(
@@ -80,7 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--workers",
-        type=int,
+        type=_positive_int,
         default=1,
         metavar="N",
         help=(
@@ -116,6 +151,21 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("compiled", "seed"),
         default="compiled",
         help="evaluation engine (default: the compiled engine)",
+    )
+    parser.add_argument(
+        "--opt-level",
+        type=int,
+        choices=(0, 1, 2),
+        default=1,
+        help=(
+            "compilation planner opt level: 0 straight translation, "
+            "1 default pass pipeline, 2 adds budgeted determinisation"
+        ),
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the compilation plan's pass log, then exit",
     )
     return parser
 
@@ -171,7 +221,7 @@ def _run_corpus(
     results = extract_corpus(
         spanner,
         records,
-        workers=max(arguments.workers, 1),
+        workers=arguments.workers,
         spans=arguments.spans,
     )
 
@@ -227,10 +277,16 @@ def run(argv: list[str] | None = None, stdin: str | None = None) -> int:
         )
         return 2
     try:
-        spanner = Spanner.compile(arguments.pattern)
+        spanner = Spanner.compile(
+            arguments.pattern, opt_level=arguments.opt_level
+        )
     except SpannerError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+
+    if arguments.explain:
+        print(spanner.plan.explain())
+        return 0
 
     if arguments.check:
         print(f"variables:    {sorted(spanner.variables)}")

@@ -1,11 +1,17 @@
 """The compiled spanner: pruned enumeration, memoised Eval, batch evaluation.
 
-:func:`compile_spanner` accepts concrete RGX syntax, an AST, a VA, or an
-existing :class:`~repro.spanner.Spanner` and returns a reusable
-:class:`CompiledSpanner`.  Compilation work (transition tables, the
-sequentiality check) happens once; per-document work (the reachability
-index) is cached so repeated evaluation of the same document — the serving
-pattern the batch API targets — pays for it once.
+:func:`compile_spanner` accepts concrete RGX syntax, an AST, an extraction
+:class:`~repro.rules.rule.Rule`, a VA, an existing
+:class:`~repro.spanner.Spanner`, or a prepared
+:class:`~repro.plan.Plan` and returns a reusable :class:`CompiledSpanner`.
+Every source is routed through the pass-based compilation planner
+(:mod:`repro.plan`): the front-end normalises it to a VA, the pass
+pipeline optimises it (ε-elimination, trimming, predicate fusion,
+sequentialisation — ``opt_level`` picks the pipeline), and the engine
+compiles the *planned* automaton.  Compilation work (the plan, transition
+tables, the sequentiality check) happens once; per-document work (the
+reachability index) is cached so repeated evaluation of the same document
+— the serving pattern the batch API targets — pays for it once.
 
 Enumeration follows Algorithm 2 exactly, with two engine upgrades:
 
@@ -28,6 +34,7 @@ from repro.engine.oracle import (
     eval_compiled,
 )
 from repro.engine.tables import CompiledVA, DocumentIndex, compile_va
+from repro.plan import Plan, plan as build_plan
 from repro.spans.document import Document, as_text
 from repro.spans.mapping import (
     NULL,
@@ -43,12 +50,28 @@ _VERDICT_CACHE_LIMIT = 4096
 
 
 class CompiledSpanner:
-    """A spanner compiled for repeated, high-throughput evaluation."""
+    """A spanner compiled for repeated, high-throughput evaluation.
 
-    def __init__(self, automaton: VA, expression=None) -> None:
+    Built either directly from an automaton (the worker-process path —
+    the automaton is then assumed to be planned already) or from a
+    :class:`~repro.plan.Plan`, in which case the engine runs on the
+    plan's optimised automaton while classification questions
+    (:attr:`is_sequential`) answer about the *source*.
+    """
+
+    def __init__(
+        self, automaton: VA | None = None, expression=None, plan: "Plan | None" = None
+    ) -> None:
+        if plan is not None:
+            automaton = plan.automaton
+            if expression is None:
+                expression = plan.source_expression
+        if automaton is None:
+            raise TypeError("CompiledSpanner needs an automaton or a plan")
         self._va = automaton
         self._cva: CompiledVA = compile_va(automaton)
         self._expression = expression
+        self._plan = plan
         self._indexes: dict[str, DocumentIndex] = {}
         self._verdicts: dict[tuple, bool] = {}
 
@@ -56,7 +79,14 @@ class CompiledSpanner:
 
     @property
     def automaton(self) -> VA:
+        """The (planned) automaton the engine evaluates."""
         return self._va
+
+    @property
+    def plan(self) -> "Plan | None":
+        """The compilation plan this engine came from (``None`` when built
+        directly from an automaton, e.g. inside a worker process)."""
+        return self._plan
 
     @property
     def expression(self):
@@ -74,6 +104,14 @@ class CompiledSpanner:
 
     @property
     def is_sequential(self) -> bool:
+        """Fragment membership of the *source* (Theorem 5.7's condition).
+
+        Planning may have sequentialised the automaton the engine sweeps
+        (so a ``False`` here can still enjoy the polynomial sweep); the
+        running automaton's property is ``tables.is_sequential``.
+        """
+        if self._plan is not None:
+            return self._plan.source_sequential
         return self._cva.is_sequential
 
     # -- per-document infrastructure --------------------------------------------
@@ -212,38 +250,31 @@ class CompiledSpanner:
         return [self.extract(document, spans=spans) for document in documents]
 
     def __repr__(self) -> str:
-        kind = "sequential" if self.is_sequential else "general"
+        # The kind describes the sweep the engine actually runs (the
+        # planned automaton's property), not the source classification.
+        kind = "sequential" if self._cva.is_sequential else "general"
         return (
             f"CompiledSpanner({self._cva.num_states} states, {kind}, "
             f"variables {sorted(self.variables)})"
         )
 
 
-def compile_spanner(source) -> CompiledSpanner:
-    """Compile RGX text, an AST, a VA, or a Spanner into a reusable engine.
+def compile_spanner(source, opt_level: int | None = None) -> CompiledSpanner:
+    """Compile any formalism into a reusable engine, through the planner.
+
+    ``source`` may be RGX text, an AST, an extraction rule, a VA, a
+    ``Spanner``, an existing ``CompiledSpanner`` (returned as-is), or a
+    prepared :class:`~repro.plan.Plan`.  ``opt_level`` picks the planner
+    pipeline (default: :data:`repro.plan.DEFAULT_OPT_LEVEL`); a plan at a
+    different level is re-planned from its original source.
 
     >>> from repro.engine import compile_spanner
     >>> engine = compile_spanner(".*Seller: x{[^,\\n]*},.*")
     >>> engine.extract("Seller: John, ID75\\n")
     [{'x': 'John'}]
+    >>> engine.plan.opt_level
+    1
     """
-    from repro.rgx.ast import Rgx
-    from repro.rgx.parser import parse
-    from repro.spanner import Spanner
-
     if isinstance(source, CompiledSpanner):
         return source
-    if isinstance(source, Spanner):
-        return CompiledSpanner(source.automaton, source.expression)
-    if isinstance(source, VA):
-        return CompiledSpanner(source)
-    if isinstance(source, str):
-        expression = parse(source)
-        from repro.automata.thompson import to_va
-
-        return CompiledSpanner(to_va(expression), expression)
-    if isinstance(source, Rgx):
-        from repro.automata.thompson import to_va
-
-        return CompiledSpanner(to_va(source), source)
-    raise TypeError(f"cannot compile {type(source).__name__} into a spanner")
+    return CompiledSpanner(plan=build_plan(source, opt_level=opt_level))

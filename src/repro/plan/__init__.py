@@ -1,0 +1,35 @@
+"""The pass-based compilation planner (any formalism → optimised engine).
+
+Every entry point — :func:`repro.engine.compiled.compile_spanner`,
+:meth:`repro.spanner.Spanner.compile`, the service cache, the CLI —
+routes compilation through :func:`plan`: front-ends normalise RGX text,
+ASTs, extraction rules (§4.3 translation), VAs and spanners to one
+automaton, then an ordered pass pipeline (ε-elimination, trimming,
+predicate fusion, sequentialisation, budgeted determinisation) optimises
+it with per-pass recorded metrics.  See :mod:`repro.plan.planner` for
+the pipeline and :mod:`repro.plan.passes` for the individual passes.
+
+>>> from repro.plan import plan
+>>> plan(".*x{a+}.*").opt_level
+1
+"""
+
+from repro.plan.planner import (
+    DEFAULT_DETERMINIZE_BUDGET,
+    DEFAULT_OPT_LEVEL,
+    DEFAULT_SEQUENTIALIZE_BUDGET,
+    OPT_LEVELS,
+    Plan,
+    PassRecord,
+    plan,
+)
+
+__all__ = [
+    "DEFAULT_DETERMINIZE_BUDGET",
+    "DEFAULT_OPT_LEVEL",
+    "DEFAULT_SEQUENTIALIZE_BUDGET",
+    "OPT_LEVELS",
+    "Plan",
+    "PassRecord",
+    "plan",
+]

@@ -1,4 +1,4 @@
-"""Compiled-spanner memoisation keyed by a structural VA fingerprint.
+"""Compiled-spanner memoisation keyed by the *post-optimisation* plan.
 
 :func:`repro.engine.tables.compile_va` already caches transition tables,
 but it keys on VA object *identity-equality* through ``lru_cache`` — two
@@ -7,14 +7,22 @@ parsing the same pattern) hash to distinct cache slots only when their
 dataclass equality differs, and the cache holds the whole
 :class:`~repro.automata.va.VA` alive as its key.
 
-The service layer instead fingerprints the automaton's *structure*:
-:func:`va_fingerprint` hashes the canonical transition list, so any two
-equal automata — whether parsed, built, or unpickled in a worker process —
-share one digest.  :class:`SpannerCache` memoises whole
-:class:`~repro.engine.compiled.CompiledSpanner` instances (tables *and*
-their document/verdict caches) under that digest, which is what makes
-repeated :func:`~repro.service.evaluate.evaluate_corpus` calls with the
-same pattern reuse all compiled state.
+The service layer instead keys on the compilation planner's output:
+:class:`SpannerCache` plans every source through :func:`repro.plan.plan`
+and memoises whole :class:`~repro.engine.compiled.CompiledSpanner`
+instances (tables *and* their document/verdict caches) under
+:attr:`~repro.plan.Plan.fingerprint` — the structural digest of the
+automaton *after* the pass pipeline.  Structurally different sources
+that plan to the same automaton therefore share one compiled engine:
+
+>>> cache = SpannerCache()
+>>> cache.get("x{a}|x{a}") is cache.get("x{a}")   # simplify merges the union
+True
+
+:func:`va_fingerprint` (re-exported from
+:mod:`repro.automata.fingerprint`) hashes the canonical transition list,
+so any two equal automata — whether parsed, built, or unpickled in a
+worker process — share one digest.
 
 >>> from repro.spanner import Spanner
 >>> first = Spanner.compile(".*x{a+}.*").automaton
@@ -27,71 +35,37 @@ True
 
 from __future__ import annotations
 
-import hashlib
+from repro.automata.fingerprint import va_fingerprint
+from repro.engine.compiled import CompiledSpanner
+from repro.plan import DEFAULT_OPT_LEVEL, Plan, plan as build_plan
 
-from repro.automata.labels import Close, Eps, Open, Sym
-from repro.automata.va import VA
-from repro.engine.compiled import CompiledSpanner, compile_spanner
+__all__ = [
+    "DEFAULT_CACHE",
+    "SpannerCache",
+    "cached_spanner",
+    "va_fingerprint",
+]
 
 #: Default bound on distinct spanners held by a cache (FIFO eviction, like
 #: the engine's per-spanner document/verdict caches).
 _DEFAULT_CAPACITY = 128
 
 
-def _canonical_label(label) -> tuple:
-    if isinstance(label, Eps):
-        return ("e",)
-    if isinstance(label, Open):
-        return ("o", label.variable)
-    if isinstance(label, Close):
-        return ("c", label.variable)
-    assert isinstance(label, Sym)
-    return ("s", label.charset.negated, tuple(sorted(label.charset.chars)))
-
-
-def va_fingerprint(va: VA) -> str:
-    """A stable hex digest of an automaton's structure.
-
-    Two automata have equal fingerprints exactly when they have the same
-    states, initial/final states, and transition multiset — including
-    across processes and pickling round-trips, which is what lets worker
-    processes share a cache key with the coordinating process.
-
-    >>> from repro.spanner import Spanner
-    >>> va = Spanner.compile("x{a}").automaton
-    >>> fingerprint = va_fingerprint(va)
-    >>> len(fingerprint), fingerprint == va_fingerprint(va)
-    (64, True)
-    """
-    canonical = (
-        va.num_states,
-        va.initial,
-        va.final,
-        tuple(
-            sorted(
-                (source, _canonical_label(label), target)
-                for source, label, target in va.transitions
-            )
-        ),
-    )
-    return hashlib.sha256(repr(canonical).encode()).hexdigest()
-
-
 class SpannerCache:
-    """Memoised :class:`CompiledSpanner` construction, keyed by fingerprint.
+    """Memoised :class:`CompiledSpanner` construction, keyed by plan fingerprint.
 
-    Accepts everything :func:`~repro.engine.compiled.compile_spanner`
-    accepts (RGX text, an AST, a VA, a ``Spanner``).  String sources are
-    additionally memoised by the pattern text itself, so the common
-    serving pattern — the same pattern string on every request — skips
-    parsing entirely after the first hit.
+    Accepts everything :func:`~repro.plan.plan` accepts (RGX text, an
+    AST, a rule, a VA, a ``Spanner``, a prepared ``Plan``).  String
+    sources are additionally memoised by ``(pattern text, opt level)``,
+    so the common serving pattern — the same pattern string on every
+    request — skips parsing and planning entirely after the first hit.
 
     >>> cache = SpannerCache()
     >>> engine = cache.get(".*x{a+}.*")
     >>> cache.get(".*x{a+}.*") is engine   # same pattern text: no parse
     True
     >>> from repro.spanner import Spanner
-    >>> cache.get(Spanner.compile(".*x{a+}.*")) is engine  # same structure
+    >>> cache.get(Spanner.compile(".*x{a+}.*")) is engine  # same plan
     True
     >>> cache.stats()["hits"], cache.stats()["misses"]
     (2, 1)
@@ -102,22 +76,35 @@ class SpannerCache:
             raise ValueError("cache capacity must be positive")
         self._capacity = capacity
         self._by_fingerprint: dict[str, CompiledSpanner] = {}
-        self._by_pattern: dict[str, str] = {}
+        self._by_pattern: dict[tuple[str, int], str] = {}
         self._hits = 0
         self._misses = 0
 
-    def get(self, source) -> CompiledSpanner:
-        """The compiled spanner for ``source``, reused when structurally known."""
+    def _resolve_plan(self, source, opt_level: int | None) -> Plan:
+        """The plan for ``source``, reusing one the source already carries."""
+        candidate = source if isinstance(source, Plan) else getattr(source, "plan", None)
+        if not isinstance(candidate, Plan):
+            candidate = None
+        if candidate is not None and (
+            opt_level is None or candidate.opt_level == opt_level
+        ):
+            return candidate
+        base = candidate.source if candidate is not None else source
+        return build_plan(base, opt_level=opt_level)
+
+    def get(self, source, opt_level: int | None = None) -> CompiledSpanner:
+        """The compiled spanner for ``source``, reused when its plan is known."""
         pattern = source if isinstance(source, str) else None
+        level = DEFAULT_OPT_LEVEL if opt_level is None else opt_level
         if pattern is not None:
-            fingerprint = self._by_pattern.get(pattern)
+            fingerprint = self._by_pattern.get((pattern, level))
             if fingerprint is not None:
                 cached = self._by_fingerprint.get(fingerprint)
                 if cached is not None:
                     self._hits += 1
                     return cached
-        engine = compile_spanner(source)
-        fingerprint = va_fingerprint(engine.automaton)
+        plan = self._resolve_plan(source, opt_level)
+        fingerprint = plan.fingerprint
         cached = self._by_fingerprint.get(fingerprint)
         if cached is not None:
             self._hits += 1
@@ -128,33 +115,45 @@ class SpannerCache:
                 evicted = next(iter(self._by_fingerprint))
                 del self._by_fingerprint[evicted]
                 self._by_pattern = {
-                    text: digest
-                    for text, digest in self._by_pattern.items()
+                    key: digest
+                    for key, digest in self._by_pattern.items()
                     if digest != evicted
                 }
+            if (
+                isinstance(source, CompiledSpanner)
+                and source.automaton is plan.automaton
+            ):
+                engine = source  # already compiled on exactly this plan
+            else:
+                engine = CompiledSpanner(plan=plan)
             self._by_fingerprint[fingerprint] = engine
         if pattern is not None:
-            self._by_pattern[pattern] = fingerprint
+            self._by_pattern[(pattern, level)] = fingerprint
         return engine
 
     def __len__(self) -> int:
         return len(self._by_fingerprint)
 
     def __contains__(self, source) -> bool:
-        """Cheap membership: never parses or compiles.
+        """Membership without ever constructing an engine.
 
-        A string is looked up by pattern text; anything carrying an
-        automaton (a VA, ``Spanner``, or ``CompiledSpanner``) by
-        structural fingerprint.  An uncached pattern string whose
-        *structure* is cached still reports ``False`` — :meth:`get` is
-        the only way to resolve that, and it is the cheap path anyway.
+        A string is looked up by pattern text; anything else is *planned*
+        — cheap relative to engine compilation — and looked up by plan
+        fingerprint.  Sources that do not carry a plan of their own are
+        resolved at the *default* opt level, so entries populated via
+        ``get(source, opt_level=0|2)`` may not be visible here; an
+        uncached pattern string whose *structure* is cached likewise
+        reports ``False``.  :meth:`get` is the authoritative (and still
+        cheap) path in both cases.
         """
         if isinstance(source, str):
-            return self._by_pattern.get(source) in self._by_fingerprint
-        automaton = getattr(source, "automaton", source)
-        if isinstance(automaton, VA):
-            return va_fingerprint(automaton) in self._by_fingerprint
-        return False
+            key = (source, DEFAULT_OPT_LEVEL)
+            return self._by_pattern.get(key) in self._by_fingerprint
+        try:
+            plan = self._resolve_plan(source, None)
+        except TypeError:
+            return False
+        return plan.fingerprint in self._by_fingerprint
 
     def stats(self) -> dict[str, int]:
         """Hit/miss/size counters (for capacity tuning and dashboards)."""
@@ -183,10 +182,10 @@ class SpannerCache:
 DEFAULT_CACHE = SpannerCache()
 
 
-def cached_spanner(source) -> CompiledSpanner:
+def cached_spanner(source, opt_level: int | None = None) -> CompiledSpanner:
     """Compile through the process-wide :data:`DEFAULT_CACHE`.
 
     >>> cached_spanner("x{a}b") is cached_spanner("x{a}b")
     True
     """
-    return DEFAULT_CACHE.get(source)
+    return DEFAULT_CACHE.get(source, opt_level)

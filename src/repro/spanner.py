@@ -35,17 +35,32 @@ from repro.util.errors import SpannerError
 class Spanner:
     """A compiled document spanner under the mapping semantics."""
 
-    def __init__(self, automaton: VA, expression: Rgx | None = None) -> None:
+    def __init__(
+        self,
+        automaton: VA,
+        expression: Rgx | None = None,
+        *,
+        opt_level: int | None = None,
+    ) -> None:
         self._automaton = automaton
         self._expression = expression
+        self._opt_level = opt_level
 
     # -- construction -----------------------------------------------------------
 
     @classmethod
-    def compile(cls, pattern: "str | Rgx") -> "Spanner":
-        """Compile concrete RGX syntax (or an AST) into a spanner."""
+    def compile(
+        cls, pattern: "str | Rgx", *, opt_level: int | None = None
+    ) -> "Spanner":
+        """Compile concrete RGX syntax (or an AST) into a spanner.
+
+        ``opt_level`` selects the compilation planner's pass pipeline for
+        the engine behind this spanner (see :mod:`repro.plan`); the
+        spanner's own :attr:`automaton` stays the straight translation,
+        which is what the algebra and static-analysis operations use.
+        """
         expression = parse(pattern) if isinstance(pattern, str) else pattern
-        return cls(to_va(expression), expression)
+        return cls(to_va(expression), expression, opt_level=opt_level)
 
     @classmethod
     def from_automaton(cls, automaton: VA) -> "Spanner":
@@ -67,16 +82,34 @@ class Spanner:
         return self._automaton.variables
 
     @cached_property
+    def plan(self):
+        """The compilation plan for this spanner (lazy; see :mod:`repro.plan`)."""
+        from repro.plan import plan as build_plan
+
+        return build_plan(self, opt_level=self._opt_level)
+
+    @cached_property
     def compiled(self):
-        """The compiled engine behind this spanner (tables, caches, batch API)."""
+        """The compiled engine behind this spanner (tables, caches, batch API).
+
+        Compiled from :attr:`plan`, so the engine sweeps the planner's
+        optimised automaton while this object keeps the straight
+        translation for algebra and analysis.
+        """
         from repro.engine import compile_spanner
 
-        return compile_spanner(self)
+        return compile_spanner(self.plan)
 
-    @property
+    @cached_property
     def is_sequential(self) -> bool:
-        """Membership in the tractable fragment (Theorem 5.7)."""
-        return self.compiled.is_sequential
+        """Membership in the tractable fragment (Theorem 5.7).
+
+        Answered directly on the raw automaton — classification must not
+        pay for planning or engine compilation (``--check`` is static).
+        """
+        from repro.automata.sequential import is_sequential
+
+        return is_sequential(self._automaton)
 
     @cached_property
     def is_functional(self) -> bool:

@@ -158,6 +158,26 @@ class TestSpannerCache:
         with pytest.raises(ValueError):
             SpannerCache(capacity=0)
 
+    def test_rekeyed_on_post_optimization_fingerprint(self):
+        # Structurally different sources that *plan* to the same automaton
+        # share one compiled engine: the cache keys on the planner's
+        # post-pass fingerprint, not the raw source structure.
+        cache = SpannerCache()
+        engine = cache.get("x{a}|x{a}")  # simplify merges the union options
+        assert cache.get("x{a}") is engine
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1 and stats["size"] == 1
+
+    def test_distinct_opt_levels_get_distinct_engines(self):
+        cache = SpannerCache()
+        straight = cache.get(".*x{a+}.*", opt_level=0)
+        planned = cache.get(".*x{a+}.*", opt_level=1)
+        assert straight is not planned
+        assert straight.automaton.num_states > planned.automaton.num_states
+        # Each (pattern, level) slot is memoised independently.
+        assert cache.get(".*x{a+}.*", opt_level=0) is straight
+        assert cache.get(".*x{a+}.*") is planned  # default level = 1
+
     def test_contains_is_cheap_and_never_compiles(self):
         cache = SpannerCache()
         assert "x{a}" not in cache

@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.cli import run
 
 
@@ -161,6 +163,66 @@ class TestCheckMode:
         output = "\n".join(lines(capsys))
         assert "satisfiable:  False" in output
         assert "witness" not in output
+
+
+class TestVersion:
+    def test_version_prints_package_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run(["--version"])
+        assert excinfo.value.code == 0
+        output = capsys.readouterr().out
+        assert output.startswith("repro ")
+        from repro import __version__
+
+        assert __version__ in output
+
+
+class TestPlannerFlags:
+    def test_explain_prints_pass_log(self, capsys):
+        code = run([".*x{a+}.*", "--explain"])
+        assert code == 0
+        output = "\n".join(lines(capsys))
+        assert "opt level 1" in output
+        for name in ("eliminate-epsilon", "trim", "fuse-predicates", "sequentialize"):
+            assert name in output
+        assert "states" in output and "result:" in output
+
+    def test_explain_respects_opt_level(self, capsys):
+        run([".*x{a+}.*", "--explain", "--opt-level", "2"])
+        output = "\n".join(lines(capsys))
+        assert "opt level 2" in output
+        assert "determinize" in output
+        run([".*x{a+}.*", "--explain", "--opt-level", "0"])
+        assert "passes: none" in "\n".join(lines(capsys))
+
+    def test_opt_levels_produce_identical_output(self, capsys):
+        outputs = []
+        for level in ("0", "1", "2"):
+            assert run([".*x{a+}.*", "--opt-level", level], stdin="baab") == 0
+            outputs.append(lines(capsys))
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_invalid_opt_level_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run(["x{a}", "--opt-level", "3"], stdin="a")
+        assert excinfo.value.code == 2
+
+
+class TestWorkersValidation:
+    @pytest.mark.parametrize("value", ["0", "-1", "-4"])
+    def test_non_positive_workers_is_an_argparse_error(self, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run(["x{a}", "--workers", value], stdin="a")
+        assert excinfo.value.code == 2
+        assert "must be a positive integer" in capsys.readouterr().err
+
+    def test_non_integer_workers_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run(["x{a}", "--workers", "two"], stdin="a")
+        assert excinfo.value.code == 2
+
+    def test_workers_one_still_accepted(self, capsys):
+        assert run(["x{a}", "--workers", "1"], stdin="a") == 0
 
 
 class TestErrors:

@@ -2,19 +2,26 @@
 
 The reference evaluator (`repro.rgx.semantics`) is the ground truth; this
 module drives seeded random expressions and documents through every other
-evaluation path in the library and demands identical mapping sets.
+evaluation path in the library and demands identical mapping sets.  The
+final class property-tests the compilation planner: the planned engine at
+*every* opt level must agree with the unplanned engine on random VAs and
+documents.
 """
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.automata.determinize import determinize
 from repro.automata.sequential import make_sequential
 from repro.automata.simulate import evaluate_va
 from repro.automata.thompson import to_va, to_vastk
+from repro.engine.compiled import CompiledSpanner
 from repro.evaluation.enumerate import enumerate_va
+from repro.plan import OPT_LEVELS, plan
 from repro.rgx.rewrite import simplify
 from repro.rgx.semantics import mappings
-from repro.workloads.expressions import random_document, random_rgx
+from repro.workloads.expressions import random_document, random_rgx, random_va
 
 SEEDS = range(24)
 
@@ -106,3 +113,52 @@ def test_outputs_always_hierarchical(seed):
     expression, document = _case(seed)
     for mapping in mappings(expression, document):
         assert mapping.is_hierarchical()
+
+
+class TestPlanEquivalence:
+    """The planner is invisible to semantics: planned == unplanned, always."""
+
+    @given(
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_planned_engine_matches_unplanned_on_random_vas(
+        self, va_seed, doc_seed
+    ):
+        automaton = random_va(6, seed=va_seed)
+        document = random_document(5, seed=doc_seed)
+        unplanned = CompiledSpanner(automaton).mappings(document)
+        for level in OPT_LEVELS:
+            planned = CompiledSpanner(plan=plan(automaton, level))
+            assert planned.mappings(document) == unplanned, level
+
+    @given(
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_planned_engine_matches_reference_on_random_rgx(
+        self, rgx_seed, doc_seed
+    ):
+        expression = random_rgx(8, seed=rgx_seed)
+        document = random_document(4, seed=doc_seed)
+        expected = mappings(expression, document)
+        for level in OPT_LEVELS:
+            planned = CompiledSpanner(plan=plan(expression, level))
+            assert planned.mappings(document) == expected, level
+
+    @given(
+        st.integers(min_value=0, max_value=300),
+        st.integers(min_value=0, max_value=300),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_planned_enumeration_order_matches_unplanned(
+        self, va_seed, doc_seed
+    ):
+        automaton = random_va(6, seed=va_seed)
+        document = random_document(4, seed=doc_seed)
+        unplanned = list(CompiledSpanner(automaton).enumerate(document))
+        for level in OPT_LEVELS:
+            planned = CompiledSpanner(plan=plan(automaton, level))
+            assert list(planned.enumerate(document)) == unplanned, level

@@ -5,9 +5,12 @@ import doctest
 import pytest
 
 import repro
+import repro.automata.fingerprint
 import repro.engine.compiled
 import repro.engine.oracle
 import repro.engine.tables
+import repro.plan
+import repro.plan.planner
 import repro.rgx.parser
 import repro.rgx.semantics
 import repro.service
@@ -22,9 +25,12 @@ import repro.workloads.server_logs
 
 MODULES = [
     repro,
+    repro.automata.fingerprint,
     repro.engine.compiled,
     repro.engine.oracle,
     repro.engine.tables,
+    repro.plan,
+    repro.plan.planner,
     repro.rgx.parser,
     repro.rgx.semantics,
     repro.service,
