@@ -7,6 +7,7 @@ pytest-benchmark.  The printed series is what EXPERIMENTS.md records.
 
 from __future__ import annotations
 
+import json
 import math
 import os
 import time
@@ -31,6 +32,59 @@ def measure(action: Callable[[], object], repeat: int = 3) -> float:
         action()
         best = min(best, time.perf_counter() - started)
     return best
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """The ``fraction`` percentile (0..1) with linear interpolation.
+
+    >>> percentile([1.0, 2.0, 3.0, 4.0], 0.5)
+    2.5
+    >>> percentile([5.0], 0.9)
+    5.0
+    """
+    ordered = sorted(values)
+    if not ordered:
+        return math.nan
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = fraction * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    return ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
+
+
+def results_dir() -> str | None:
+    """Where machine-readable results go, or ``None`` when disabled.
+
+    Controlled by ``REPRO_BENCH_JSON``: unset/``0`` disables, ``1`` means
+    the current directory, anything else is the output directory itself.
+    """
+    value = os.environ.get("REPRO_BENCH_JSON", "")
+    if value in ("", "0"):
+        return None
+    return "." if value == "1" else value
+
+
+def write_results(name: str, payload: dict) -> str | None:
+    """Write ``BENCH_<name>.json`` so the perf trajectory is tracked across PRs.
+
+    ``payload`` should carry the benchmark's headline series — median/p90
+    timings and speedup ratios — exactly as printed.  A ``quick`` flag is
+    stamped in so CI smoke numbers are never confused with full runs.
+    Returns the path written, or ``None`` when ``REPRO_BENCH_JSON`` is off.
+    """
+    directory = results_dir()
+    if directory is None:
+        return None
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    document = {"benchmark": name, "quick": quick_mode(), **payload}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> None:

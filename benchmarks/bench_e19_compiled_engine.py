@@ -20,7 +20,7 @@ import time
 
 import pytest
 
-from benchmarks._harness import print_table, quick_mode, sizes
+from benchmarks._harness import print_table, quick_mode, sizes, write_results
 from repro.automata.thompson import to_va
 from repro.evaluation.enumerate import enumerate_va, enumerate_va_oracle
 from repro.workloads import land_registry
@@ -84,6 +84,28 @@ def test_e19_compiled_engine(benchmark):
             "speedup",
         ],
         rows,
+    )
+    write_results(
+        "e19",
+        {
+            "series": [
+                {
+                    "rows": row[0],
+                    "document_length": row[1],
+                    "outputs": row[2],
+                    "seed_median_s": row[3],
+                    "compiled_median_s": row[4],
+                    "seed_max_s": row[5],
+                    "compiled_max_s": row[6],
+                    "speedup": row[7],
+                }
+                for row in rows
+            ],
+            "median_speedup": statistics.median(row[7] for row in rows)
+            if rows
+            else None,
+            "minimum_speedup": MINIMUM_SPEEDUP,
+        },
     )
 
     document = land_registry.generate_document(ROW_COUNTS[-1], seed=7)

@@ -30,7 +30,7 @@ import time
 
 import pytest
 
-from benchmarks._harness import print_table, quick_mode, sizes
+from benchmarks._harness import print_table, quick_mode, sizes, write_results
 from repro.automata.labels import Open
 from repro.automata.thompson import to_va
 from repro.automata.va import VA
@@ -138,6 +138,28 @@ def test_e21_planner(benchmark):
         "E21: planned vs unplanned compile+evaluate (opt levels 0/1/2)",
         ["workload", "size", "unplanned s", "opt0 s", "opt1 s", "opt2 s", "speedup@1"],
         rows,
+    )
+    write_results(
+        "e21",
+        {
+            "series": [
+                {
+                    "workload": row[0],
+                    "size": row[1],
+                    "unplanned_s": row[2],
+                    "opt0_s": row[3],
+                    "opt1_s": row[4],
+                    "opt2_s": row[5],
+                    "speedup_at_opt1": row[6],
+                }
+                for row in rows
+            ],
+            "non_sequential_speedups": [
+                {"fields": fields, "speedup": speedup}
+                for fields, speedup in non_sequential_speedups
+            ],
+            "minimum_speedup": MINIMUM_SPEEDUP,
+        },
     )
 
     if not quick_mode():

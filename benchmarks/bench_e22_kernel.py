@@ -1,0 +1,215 @@
+"""E22 — the bitmask kernel engine vs. the set-based engine.
+
+PR 4's tentpole: alphabet-class compression, bitmask state sets and the
+lazy-DFA memo (:mod:`repro.engine.kernel`) must beat the set-based sweeps
+they replace — on *identical outputs* — across the two serving shapes the
+ROADMAP targets:
+
+* **enumeration delay** — the seller/tax extraction over growing
+  land-registry documents; per-output gap medians and p90s, old engine
+  (:func:`~repro.engine.kernel.kernel_disabled`) vs. new;
+* **corpus throughput** — many small documents (the server-logs and
+  land-registry workloads) through one engine, the pattern the corpus
+  service runs in every worker; total wall-clock per corpus, old vs. new.
+
+Both modes share the compiled tables; the only variable is the kernel.
+The lazy-DFA memo is *meant* to stay warm across documents — that is the
+serving behaviour — and the set path symmetrically keeps its own
+``(state, char)`` step cache, so the comparison is warm-vs-warm.
+
+Acceptance: byte-identical outputs everywhere, and (full mode) a median
+speedup of at least ``MINIMUM_SPEEDUP`` on both workload families.  With
+``REPRO_BENCH_JSON`` set, the measured series lands in ``BENCH_e22.json``
+(median/p90 timings and speedup ratios) for cross-PR tracking.  Under
+``REPRO_BENCH_QUICK`` only output equality is asserted.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from benchmarks._harness import (
+    percentile,
+    print_table,
+    quick_mode,
+    sizes,
+    write_results,
+)
+from repro.automata.thompson import to_va
+from repro.engine import compile_spanner, kernel_disabled
+from repro.workloads import land_registry, server_logs
+
+ROW_COUNTS = sizes(full=[5, 7, 9], quick=[2])
+CORPUS_DOCUMENTS = sizes(full=[48], quick=[4])[0]
+LOG_LINES = 4
+REGISTRY_ROWS = 2
+MINIMUM_SPEEDUP = 3.0
+
+
+def _delays(iterator):
+    gaps, outputs = [], []
+    last = time.perf_counter()
+    for mapping in iterator:
+        now = time.perf_counter()
+        gaps.append(now - last)
+        last = now
+        outputs.append(mapping)
+    return gaps, outputs
+
+
+def _enumerate_best(automaton, document, repeat=3):
+    """Best-of-``repeat`` delay profile (lowest median), fresh engine each
+    run (empty per-spanner caches), shared warm tables."""
+    best_gaps, outputs = None, None
+    for _ in range(1 if quick_mode() else repeat):
+        gaps, outputs = _delays(compile_spanner(automaton).enumerate(document))
+        if best_gaps is None or (
+            gaps and statistics.median(gaps) < statistics.median(best_gaps)
+        ):
+            best_gaps = gaps
+    return best_gaps, outputs
+
+
+def _corpus_once(source, documents):
+    engine = compile_spanner(source)
+    started = time.perf_counter()
+    outputs = [engine.mappings(document) for document in documents]
+    return time.perf_counter() - started, outputs
+
+
+def _best_corpus(source, documents, repeat=3):
+    best, outputs = float("inf"), None
+    for _ in range(repeat):
+        elapsed, outputs = _corpus_once(source, documents)
+        best = min(best, elapsed)
+    return best, outputs
+
+
+@pytest.mark.benchmark(group="e22")
+def test_e22_kernel_engine(benchmark):
+    automaton = to_va(land_registry.seller_tax_expression())
+
+    enumeration_rows = []
+    enumeration_records = []
+    for row_count in ROW_COUNTS:
+        document = land_registry.generate_document(row_count, seed=7)
+        with kernel_disabled():
+            old_gaps, old_outputs = _enumerate_best(automaton, document)
+        new_gaps, new_outputs = _enumerate_best(automaton, document)
+        assert new_outputs == old_outputs  # same mappings, same order
+        if not new_outputs:
+            continue
+        old_median = statistics.median(old_gaps)
+        new_median = statistics.median(new_gaps)
+        speedup = old_median / new_median if new_median else float("inf")
+        enumeration_rows.append(
+            (
+                row_count,
+                len(document),
+                len(new_outputs),
+                old_median,
+                new_median,
+                percentile(old_gaps, 0.9),
+                percentile(new_gaps, 0.9),
+                speedup,
+            )
+        )
+        enumeration_records.append(
+            {
+                "rows": row_count,
+                "document_length": len(document),
+                "outputs": len(new_outputs),
+                "sets_median_s": old_median,
+                "kernel_median_s": new_median,
+                "sets_p90_s": percentile(old_gaps, 0.9),
+                "kernel_p90_s": percentile(new_gaps, 0.9),
+                "speedup": speedup,
+            }
+        )
+
+    corpora = [
+        (
+            "server-logs",
+            server_logs.access_expression(),
+            [
+                server_logs.generate_document(LOG_LINES, seed=seed)
+                for seed in range(CORPUS_DOCUMENTS)
+            ],
+        ),
+        (
+            "land-registry",
+            to_va(land_registry.seller_tax_expression()),
+            [
+                land_registry.generate_document(REGISTRY_ROWS, seed=seed)
+                for seed in range(CORPUS_DOCUMENTS)
+            ],
+        ),
+    ]
+    corpus_rows = []
+    corpus_records = []
+    for name, source, documents in corpora:
+        with kernel_disabled():
+            old_time, old_outputs = _best_corpus(source, documents)
+        new_time, new_outputs = _best_corpus(source, documents)
+        assert new_outputs == old_outputs
+        speedup = old_time / new_time if new_time else float("inf")
+        corpus_rows.append(
+            (name, len(documents), old_time, new_time, speedup)
+        )
+        corpus_records.append(
+            {
+                "workload": name,
+                "documents": len(documents),
+                "sets_s": old_time,
+                "kernel_s": new_time,
+                "kernel_docs_per_s": len(documents) / new_time if new_time else None,
+                "speedup": speedup,
+            }
+        )
+
+    print_table(
+        "E22: kernel vs set-based engine — enumeration delay (seller/tax)",
+        ["rows", "|d|", "#out", "sets med s", "kernel med s",
+         "sets p90 s", "kernel p90 s", "speedup"],
+        enumeration_rows,
+    )
+    print_table(
+        "E22: kernel vs set-based engine — corpus throughput",
+        ["workload", "docs", "sets s", "kernel s", "speedup"],
+        corpus_rows,
+    )
+
+    assert enumeration_records, "every enumeration size produced zero outputs"
+    enumeration_speedup = statistics.median(
+        record["speedup"] for record in enumeration_records
+    )
+    corpus_speedup = statistics.median(
+        record["speedup"] for record in corpus_records
+    )
+    write_results(
+        "e22",
+        {
+            "enumeration": enumeration_records,
+            "corpus": corpus_records,
+            "median_speedup": {
+                "enumeration": enumeration_speedup,
+                "corpus": corpus_speedup,
+            },
+            "minimum_speedup": MINIMUM_SPEEDUP,
+        },
+    )
+
+    if not quick_mode():
+        assert enumeration_speedup >= MINIMUM_SPEEDUP, (
+            f"kernel enumeration median delay only {enumeration_speedup:.2f}x "
+            f"better than the set-based engine"
+        )
+        assert corpus_speedup >= MINIMUM_SPEEDUP, (
+            f"kernel corpus throughput only {corpus_speedup:.2f}x "
+            f"better than the set-based engine"
+        )
+
+    documents = corpora[0][2]
+    expression = corpora[0][1]
+    benchmark(lambda: _best_corpus(expression, documents, repeat=1))

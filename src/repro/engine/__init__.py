@@ -1,26 +1,41 @@
 """The compiled evaluation engine (hot path of the production roadmap).
 
-Precompiled transition tables (:mod:`repro.engine.tables`), memoised and
-prefix-sharing ``Eval`` oracles (:mod:`repro.engine.oracle`), and the
-reusable :class:`CompiledSpanner` with its batch API
-(:mod:`repro.engine.compiled`).
+Precompiled transition tables (:mod:`repro.engine.tables`), the bitmask
+kernel — alphabet-class compression, mask state sets and the lazy-DFA
+memo (:mod:`repro.engine.kernel`) — memoised and prefix-sharing ``Eval``
+oracles (:mod:`repro.engine.oracle`), and the reusable
+:class:`CompiledSpanner` with its batch API (:mod:`repro.engine.compiled`).
 """
 
 from repro.engine.compiled import CompiledSpanner, compile_spanner
+from repro.engine.kernel import (
+    AlphabetClasses,
+    Kernel,
+    kernel_disabled,
+    kernel_enabled,
+)
 from repro.engine.oracle import (
     eval_compiled,
     eval_general_compiled,
     eval_sequential_compiled,
+    eval_sequential_kernel,
+    eval_sequential_sets,
 )
 from repro.engine.tables import CompiledVA, DocumentIndex, compile_va
 
 __all__ = [
+    "AlphabetClasses",
     "CompiledSpanner",
     "CompiledVA",
     "DocumentIndex",
+    "Kernel",
     "compile_spanner",
     "compile_va",
     "eval_compiled",
     "eval_general_compiled",
     "eval_sequential_compiled",
+    "eval_sequential_kernel",
+    "eval_sequential_sets",
+    "kernel_disabled",
+    "kernel_enabled",
 ]

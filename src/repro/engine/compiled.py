@@ -25,13 +25,14 @@ Enumeration follows Algorithm 2 exactly, with two engine upgrades:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from collections.abc import Iterable, Iterator
 
 from repro.automata.va import VA
 from repro.engine.oracle import (
     GeneralNode,
-    NodeSweep,
     eval_compiled,
+    node_sweep,
 )
 from repro.engine.tables import CompiledVA, DocumentIndex, compile_va
 from repro.plan import Plan, plan as build_plan
@@ -44,7 +45,9 @@ from repro.spans.mapping import (
 )
 from repro.spans.span import Span
 
-#: Per-spanner bound on cached document indexes / verdicts (simple FIFO).
+#: Per-spanner bound on cached document indexes / verdicts (LRU).  Cache
+#: keys are ``(len(text), hash(text))``-based so an entry's key stays O(1)
+#: regardless of document size.
 _DOCUMENT_CACHE_LIMIT = 64
 _VERDICT_CACHE_LIMIT = 4096
 
@@ -72,8 +75,8 @@ class CompiledSpanner:
         self._cva: CompiledVA = compile_va(automaton)
         self._expression = expression
         self._plan = plan
-        self._indexes: dict[str, DocumentIndex] = {}
-        self._verdicts: dict[tuple, bool] = {}
+        self._indexes: OrderedDict[tuple[int, int], DocumentIndex] = OrderedDict()
+        self._verdicts: OrderedDict[tuple, bool] = OrderedDict()
 
     # -- inspection ------------------------------------------------------------
 
@@ -102,6 +105,18 @@ class CompiledSpanner:
     def variables(self) -> frozenset[Variable]:
         return self._cva.variables
 
+    def kernel_stats(self) -> dict[str, int]:
+        """Memo sizes of the shared bitmask kernel (lazy-DFA entries,
+        alphabet classes, sweep contexts) — a live view of the state every
+        document this engine evaluates shares.  Forces the kernel build.
+
+        >>> engine = compile_spanner(".*x{a+}.*")
+        >>> _ = engine.mappings("baa")
+        >>> engine.kernel_stats()["classes"] >= 2
+        True
+        """
+        return self._cva.kernel.stats()
+
     @property
     def is_sequential(self) -> bool:
         """Fragment membership of the *source* (Theorem 5.7's condition).
@@ -117,28 +132,48 @@ class CompiledSpanner:
     # -- per-document infrastructure --------------------------------------------
 
     def index(self, document: "Document | str") -> DocumentIndex:
-        """The (cached) reachability index of one document."""
+        """The (cached, LRU) reachability index of one document.
+
+        The key is ``(len(text), hash(text))`` — O(1) memory per entry —
+        and the stored index's own text is compared on hit, so a hash
+        collision costs a rebuild, never a wrong index.
+        """
         text = as_text(document)
-        index = self._indexes.get(text)
-        if index is None:
-            if len(self._indexes) >= _DOCUMENT_CACHE_LIMIT:
-                self._indexes.pop(next(iter(self._indexes)))
-            index = DocumentIndex(self._cva, text)
-            self._indexes[text] = index
+        key = (len(text), hash(text))
+        index = self._indexes.get(key)
+        if index is not None and index.text == text:
+            self._indexes.move_to_end(key)
+            return index
+        if index is None and len(self._indexes) >= _DOCUMENT_CACHE_LIMIT:
+            self._indexes.popitem(last=False)
+        index = DocumentIndex(self._cva, text)
+        self._indexes[key] = index
         return index
 
     # -- decision problems -------------------------------------------------------
 
     def eval(self, document: "Document | str", pinned: ExtendedMapping) -> bool:
-        """Memoised ``Eval``: verdicts keyed on the frozen extended mapping."""
+        """Memoised ``Eval``: verdicts keyed on the document digest and the
+        frozen extended mapping (LRU-bounded).
+
+        The document key is ``(len(text), hash(text))`` so entries never
+        retain the document itself — the point of the scheme — which
+        means a 64-bit hash collision between two same-length documents
+        would alias their verdicts.  Unlike :meth:`index` there is no
+        stored text to verify against; the risk is accepted as
+        negligible (siphash collisions at ~2⁻⁶⁴ per candidate pair)
+        in exchange for O(1) memory per cached verdict.
+        """
         text = as_text(document)
-        key = (text, frozenset(pinned.items()))
+        key = (len(text), hash(text), frozenset(pinned.items()))
         verdict = self._verdicts.get(key)
         if verdict is None:
             if len(self._verdicts) >= _VERDICT_CACHE_LIMIT:
-                self._verdicts.pop(next(iter(self._verdicts)))
+                self._verdicts.popitem(last=False)
             verdict = eval_compiled(self._cva, text, pinned)
             self._verdicts[key] = verdict
+        else:
+            self._verdicts.move_to_end(key)
         return verdict
 
     def matches(self, document: "Document | str") -> bool:
@@ -184,7 +219,7 @@ class CompiledSpanner:
         variable = remaining[0]
         rest = remaining[1:]
         if self._cva.is_sequential:
-            node = NodeSweep(self._cva, text, base, variable)
+            node = node_sweep(self._cva, text, base, variable, index.classes)
         else:
             node = GeneralNode(self._cva, text, base, variable)
         for span in index.candidate_spans(variable):

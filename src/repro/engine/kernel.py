@@ -1,0 +1,458 @@
+"""Bitmask kernel: alphabet compression + lazy-DFA state sets.
+
+The set-based sweeps in :mod:`repro.engine.tables` and
+:mod:`repro.engine.oracle` simulate the NFA as Python sets of tuples —
+per-character dict lookups, ``frozenset`` churn, and a worklist loop at
+every document position.  This module applies two classic regex-engine
+techniques (the machinery behind RE2-style lazy DFAs) to variable-set
+automata:
+
+* **Alphabet compression** (:class:`AlphabetClasses`) — characters are
+  partitioned once per :class:`~repro.engine.tables.CompiledVA` into
+  equivalence classes by which ``Sym`` edges they enable.  Cofinite
+  charsets (``Σ - S``) contribute a *residual* class standing for every
+  character no predicate mentions.  Each document is interned once into a
+  class-id sequence, after which the simulation never touches characters.
+
+* **Bitmask state sets** (:class:`Kernel`) — a state set is a Python int
+  with bit ``q`` for state ``q``.  Free closure (ε and variable
+  operations treated as free moves) is precomputed per state as a mask,
+  so closing a set is an OR-fold instead of a worklist loop; the letter
+  step is a per-class per-state target-mask table (plus its transpose,
+  used by the backward co-reachability sweep).
+
+* **A lazy DFA** — ``delta[(mask, class_id)] → mask`` memoises the
+  composite "letter step then closure" transition on demand.  Repeated
+  positions (the common case in CSV/log text) cost one dict hit.  The
+  memo lives on the kernel, which lives on the ``CompiledVA``, so it is
+  shared by every document a :class:`~repro.engine.compiled.CompiledSpanner`
+  evaluates — and, through the worker-resident engine of
+  :mod:`repro.service.evaluate`, by the whole corpus batch a worker
+  processes.  Each memo is bounded by :data:`DELTA_LIMIT` entries;
+  once full, transitions are still computed, just no longer recorded.
+
+Pinned sweeps (the ``Eval`` oracle and enumeration nodes) run over a
+:class:`SweepContext`: the same machinery with the closure graph
+restricted by the pin context — operations of span-pinned variables only
+fire where required, closes of ⊥-pinned variables never fire — and a
+per-context delta memo.  Contexts are cached per kernel, so sibling
+recursion nodes and repeated oracle calls share closures and memos.
+
+The kernel accelerates the *sequential* sweep (Theorem 5.7) and the
+op-free reachability index; the general FPT sweep (Theorem 5.10) keeps
+the set-based representation — its states carry performed-sets and
+status vectors that do not pack into per-state bits.  The set-based
+sequential path also remains, both as the cross-validation baseline and
+behind :func:`kernel_disabled` for old-vs-new benchmarking.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import TYPE_CHECKING
+
+from repro.alphabet import CharSet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (tables imports us)
+    from repro.engine.tables import CompiledVA
+
+#: Per-memo bound on lazy-DFA entries.  Each entry is two small ints and a
+#: mask; the bound caps a kernel's memory at a few MB even on adversarial
+#: document streams (see docs/api.md).
+DELTA_LIMIT = 1 << 18
+
+#: Interned class-id sequences kept per kernel (LRU, keyed by
+#: ``(len(text), hash(text))`` with the text verified on hit).
+_INTERN_LIMIT = 64
+
+#: Pin contexts kept per kernel (LRU).  Enumeration revisits the same
+#: (pinned, nulls) partitions at every recursion depth and across
+#: documents, so this hit rate is high.
+_CONTEXT_LIMIT = 256
+
+_ENABLED = True
+
+
+def kernel_enabled() -> bool:
+    """Whether the bitmask kernel is active (see :func:`kernel_disabled`).
+
+    ``REPRO_NO_KERNEL=1`` forces the set-based paths process-wide;
+    unset or ``0`` leaves the kernel on (the same 0/1 convention as the
+    benchmark harness's ``REPRO_BENCH_JSON``).
+    """
+    return _ENABLED and os.environ.get("REPRO_NO_KERNEL", "") in ("", "0")
+
+
+@contextmanager
+def kernel_disabled():
+    """Force the set-based engine paths (benchmarks and cross-validation).
+
+    >>> from repro.engine import compile_spanner
+    >>> engine = compile_spanner(".*x{a+}.*")
+    >>> with kernel_disabled():
+    ...     old = engine.mappings("baa")
+    >>> engine.mappings("baa") == old
+    True
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = False
+    try:
+        yield
+    finally:
+        _ENABLED = previous
+
+
+def iter_bits(mask: int):
+    """The set bit indices of ``mask`` (lowest first)."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class AlphabetClasses:
+    """Character equivalence classes for a family of ``CharSet`` predicates.
+
+    Two characters are equivalent iff every predicate classifies them
+    identically — simulating on one is simulating on the other.  All
+    characters mentioned by no predicate share the *residual* class
+    (non-empty exactly because cofinite predicates exist, or trivially
+    when the automaton reads nothing).
+
+    >>> classes = AlphabetClasses([CharSet.of("ab"), CharSet.excluding(",")])
+    >>> classes.classify("a") == classes.classify("b")
+    True
+    >>> classes.classify("z") == classes.residual
+    True
+    >>> classes.classify(",") in (classes.classify("a"), classes.residual)
+    False
+    """
+
+    __slots__ = ("count", "residual", "representatives", "_class_of")
+
+    def __init__(self, charsets) -> None:
+        distinct = list(dict.fromkeys(charsets))
+        mentioned = sorted({ch for cs in distinct for ch in cs.chars})
+        by_signature: dict[tuple[bool, ...], int] = {}
+        class_of: dict[str, int] = {}
+        members: list[list[str]] = []
+        for char in mentioned:
+            signature = tuple(cs.contains(char) for cs in distinct)
+            class_id = by_signature.setdefault(signature, len(by_signature))
+            if class_id == len(members):
+                members.append([])
+            members[class_id].append(char)
+            class_of[char] = class_id
+        # The residual: contained exactly by the cofinite predicates.  Its
+        # signature can coincide with a mentioned character's (e.g. a char
+        # excluded by no predicate), in which case the classes merge.
+        residual_signature = tuple(cs.negated for cs in distinct)
+        self.residual = by_signature.setdefault(
+            residual_signature, len(by_signature)
+        )
+        if self.residual == len(members):
+            members.append([])
+        self.count = len(by_signature)
+        self._class_of = class_of
+        fresh = CharSet.excluding(mentioned).witness()
+        self.representatives = tuple(
+            group[0] if group else fresh for group in members
+        )
+
+    def classify(self, char: str) -> int:
+        return self._class_of.get(char, self.residual)
+
+    def intern(self, text: str) -> tuple[int, ...]:
+        """The class-id sequence of a document (one pass, then cached
+        upstream by :meth:`Kernel.intern`)."""
+        class_of, residual = self._class_of, self.residual
+        return tuple(class_of.get(char, residual) for char in text)
+
+
+def _closure_masks(count: int, adjacency) -> tuple[int, ...]:
+    """Per-state reachability masks over a free-move adjacency.
+
+    ``adjacency[q]`` lists the states reachable in one free move; the
+    result masks include ``q`` itself (reflexive-transitive closure).
+    """
+    masks = []
+    for start in range(count):
+        seen = 1 << start
+        frontier = [start]
+        while frontier:
+            state = frontier.pop()
+            for target in adjacency[state]:
+                bit = 1 << target
+                if not seen & bit:
+                    seen |= bit
+                    frontier.append(target)
+        masks.append(seen)
+    return tuple(masks)
+
+
+class Kernel:
+    """Bitmask tables and lazy-DFA memos for one compiled automaton."""
+
+    __slots__ = (
+        "cva",
+        "classes",
+        "num_states",
+        "free",
+        "free_rev",
+        "step",
+        "step_rev",
+        "delta",
+        "delta_rev",
+        "_interned",
+        "_contexts",
+    )
+
+    def __init__(self, cva: "CompiledVA") -> None:
+        self.cva = cva
+        count = cva.num_states
+        self.num_states = count
+        self.classes = AlphabetClasses(
+            charset for _, charset, _ in cva.sym_edges
+        )
+        self.free = _closure_masks(count, cva.free_adjacency)
+        self.free_rev = _closure_masks(count, cva.free_adjacency_reversed)
+        step: list[tuple[int, ...]] = []
+        step_rev: list[list[int]] = []
+        for representative in self.classes.representatives:
+            forward = []
+            backward = [0] * count
+            for state in range(count):
+                mask = 0
+                for target in cva.step(state, representative):
+                    mask |= 1 << target
+                    backward[target] |= 1 << state
+                forward.append(mask)
+            step.append(tuple(forward))
+            step_rev.append(backward)
+        self.step = tuple(step)
+        self.step_rev = tuple(tuple(masks) for masks in step_rev)
+        self.delta: dict[tuple[int, int], int] = {}
+        self.delta_rev: dict[tuple[int, int], int] = {}
+        self._interned: OrderedDict[tuple[int, int], tuple[str, tuple[int, ...]]]
+        self._interned = OrderedDict()
+        self._contexts: OrderedDict[tuple[frozenset, frozenset], SweepContext]
+        self._contexts = OrderedDict()
+
+    # -- documents -------------------------------------------------------------
+
+    def intern(self, text: str) -> tuple[int, ...]:
+        """The (cached) class-id sequence of a document.
+
+        Keyed by ``(len, hash)`` so keys stay O(1); the stored text is
+        compared on hit, so a hash collision costs a re-intern, never a
+        wrong answer.
+        """
+        key = (len(text), hash(text))
+        entry = self._interned.get(key)
+        if entry is not None and entry[0] == text:
+            self._interned.move_to_end(key)
+            return entry[1]
+        classes = self.classes.intern(text)
+        if len(self._interned) >= _INTERN_LIMIT:
+            self._interned.popitem(last=False)
+        self._interned[key] = (text, classes)
+        return classes
+
+    # -- free (operation-ignoring) sweeps ---------------------------------------
+
+    def close(self, mask: int) -> int:
+        """Free closure of a state mask (OR-fold of per-state masks)."""
+        out = 0
+        free = self.free
+        for state in iter_bits(mask):
+            out |= free[state]
+        return out
+
+    def close_rev(self, mask: int) -> int:
+        out = 0
+        free_rev = self.free_rev
+        for state in iter_bits(mask):
+            out |= free_rev[state]
+        return out
+
+    def delta_step(self, mask: int, class_id: int) -> int:
+        """Lazy-DFA transition: letter step then free closure, memoised."""
+        key = (mask, class_id)
+        cached = self.delta.get(key)
+        if cached is not None:
+            return cached
+        table = self.step[class_id]
+        seeds = 0
+        for state in iter_bits(mask):
+            seeds |= table[state]
+        result = self.close(seeds) if seeds else 0
+        if len(self.delta) < DELTA_LIMIT:
+            self.delta[key] = result
+        return result
+
+    def delta_rev_step(self, mask: int, class_id: int) -> int:
+        """Backward transition: reverse letter step then reverse closure."""
+        key = (mask, class_id)
+        cached = self.delta_rev.get(key)
+        if cached is not None:
+            return cached
+        table = self.step_rev[class_id]
+        seeds = 0
+        for state in iter_bits(mask):
+            seeds |= table[state]
+        result = self.close_rev(seeds) if seeds else 0
+        if len(self.delta_rev) < DELTA_LIMIT:
+            self.delta_rev[key] = result
+        return result
+
+    # -- pinned sweeps -----------------------------------------------------------
+
+    def context(self, pinned: frozenset, nulls: frozenset) -> "SweepContext":
+        """The (cached) sweep context for one pin partition."""
+        key = (pinned, nulls)
+        context = self._contexts.get(key)
+        if context is not None:
+            self._contexts.move_to_end(key)
+            return context
+        context = SweepContext(self, pinned, nulls)
+        if len(self._contexts) >= _CONTEXT_LIMIT:
+            self._contexts.popitem(last=False)
+        self._contexts[key] = context
+        return context
+
+    def stats(self) -> dict[str, int]:
+        """Memo sizes, for dashboards and the memory-bound docs."""
+        return {
+            "classes": self.classes.count,
+            "delta": len(self.delta),
+            "delta_rev": len(self.delta_rev),
+            "contexts": len(self._contexts),
+            "context_delta": sum(
+                len(ctx.delta)
+                for ctx in self._contexts.values()
+                if ctx.delta is not self.delta  # the no-pin context aliases it
+            ),
+            "interned": len(self._interned),
+        }
+
+
+class SweepContext:
+    """Kernel tables specialised to one pin partition ``(pinned, nulls)``.
+
+    The *base* closure treats ε, operations of unconstrained variables,
+    and opens of ⊥-pinned variables as free; closes of ⊥-pinned variables
+    and every operation of a span-pinned variable are excluded — the
+    latter re-enter only as *counted* edges at the positions where
+    :class:`~repro.engine.oracle.Requirements` demands them (see
+    :meth:`closure_counted`).  With no pins the context degenerates to
+    the kernel's own free closure and shares its semantics (but keeps a
+    separate memo).
+    """
+
+    __slots__ = ("kernel", "pinned", "nulls", "closure", "delta", "_op_edges")
+
+    def __init__(self, kernel: Kernel, pinned: frozenset, nulls: frozenset) -> None:
+        self.kernel = kernel
+        self.pinned = pinned
+        self.nulls = nulls
+        cva = kernel.cva
+        count = cva.num_states
+        self._op_edges: dict[tuple[str, str], tuple[tuple[int, int], ...]] = {}
+        if not pinned and not nulls:
+            # No pins: the base closure IS the free closure, so share the
+            # kernel's masks *and* its delta memo — the reachability index
+            # and the unpinned eval sweep warm the same lazy DFA.
+            self.closure = kernel.free
+            self.delta: dict[tuple[int, int], int] = kernel.delta
+            return
+        adjacency: list[list[int]] = [[] for _ in range(count)]
+        for state in range(count):
+            targets = adjacency[state]
+            targets.extend(cva.eps[state])
+            for variable, target in cva.opens[state]:
+                if variable not in pinned:
+                    # ⊥-pinned opens stay free: a dangling open leaves
+                    # the variable unused (run-DAG semantics).
+                    targets.append(target)
+            for variable, target in cva.closes[state]:
+                if variable not in pinned and variable not in nulls:
+                    targets.append(target)
+        self.closure = _closure_masks(count, adjacency)
+        self.delta = {}
+
+    # -- primitive steps ---------------------------------------------------------
+
+    def close(self, mask: int) -> int:
+        out = 0
+        closure = self.closure
+        for state in iter_bits(mask):
+            out |= closure[state]
+        return out
+
+    def letter(self, mask: int, class_id: int) -> int:
+        """The raw letter step (no closure) — used before a counted closure."""
+        table = self.kernel.step[class_id]
+        seeds = 0
+        for state in iter_bits(mask):
+            seeds |= table[state]
+        return seeds
+
+    def delta_step(self, mask: int, class_id: int) -> int:
+        """Letter step then base closure, memoised per context."""
+        key = (mask, class_id)
+        cached = self.delta.get(key)
+        if cached is not None:
+            return cached
+        seeds = self.letter(mask, class_id)
+        result = self.close(seeds) if seeds else 0
+        if len(self.delta) < DELTA_LIMIT:
+            self.delta[key] = result
+        return result
+
+    # -- counted closures (positions with required operations) -------------------
+
+    def op_edges(self, key: tuple[str, str]) -> tuple[tuple[int, int], ...]:
+        """``(source_bit, target_bit)`` pairs for one required op key."""
+        cached = self._op_edges.get(key)
+        if cached is None:
+            kind, variable = key
+            cva = self.kernel.cva
+            table = (
+                cva.opens_by_variable if kind == "o" else cva.closes_by_variable
+            )
+            cached = tuple(
+                (1 << source, 1 << target)
+                for source, target in table.get(variable, ())
+            )
+            self._op_edges[key] = cached
+        return cached
+
+    def closure_counted(self, seeds: list[int], required: frozenset) -> list[int]:
+        """Closure at a position with required ops, as per-count masks.
+
+        ``seeds[c]`` holds the states that have performed ``c`` required
+        operations; the result is the saturation under base-free moves
+        (count unchanged) and required-op edges (count + 1), mirroring the
+        set-based ``oracle._closure`` exactly.  Required ops fire level by
+        level — counts only grow — so one pass over ``0..total`` suffices.
+        """
+        total = len(required)
+        edges = [edge for key in required for edge in self.op_edges(key)]
+        out = [0] * (total + 1)
+        carry = 0
+        for count in range(total + 1):
+            mask = carry | (seeds[count] if count < len(seeds) else 0)
+            if not mask:
+                carry = 0
+                continue
+            closed = self.close(mask)
+            out[count] = closed
+            if count < total:
+                carry = 0
+                for source_bit, target_bit in edges:
+                    if closed & source_bit:
+                        carry |= target_bit
+        return out

@@ -17,10 +17,22 @@ Two layers:
   state-set entering every position, and answers each sibling query by
   resuming from the recorded set — turning the seed's ``O(|d|)`` sweep per
   candidate into ``O(|d| - i)`` with the prefix amortised across siblings.
+
+On kernel-enabled automata the sequential sweeps run over the bitmask
+kernel (:mod:`repro.engine.kernel`): state sets are ints, the per-count
+buckets of the requirement-tracking closure are per-count masks, and
+positions without required operations are single lazy-DFA dict hits
+shared across every oracle call on the same automaton.
+:func:`eval_sequential_sets` and the set-based :class:`NodeSweep` remain
+as the fallback path and the cross-validation baseline; the general
+(FPT) sweep of Theorem 5.10 is always set-based — its simulation states
+carry performed-sets and status vectors that do not pack into per-state
+bits.
 """
 
 from __future__ import annotations
 
+from repro.engine.kernel import Kernel
 from repro.engine.tables import CompiledVA, close_key, open_key
 from repro.spans.mapping import NULL, ExtendedMapping, Variable
 from repro.spans.span import Span
@@ -107,8 +119,8 @@ def _advance(cva: CompiledVA, current, letter: str, needed: int):
     return seeds
 
 
-def eval_sequential_compiled(cva: CompiledVA, text: str, pinned) -> bool:
-    """Theorem 5.7's sweep over compiled tables."""
+def eval_sequential_sets(cva: CompiledVA, text: str, pinned) -> bool:
+    """Theorem 5.7's sweep over compiled tables (set-based fallback)."""
     end = len(text) + 1
     requirements = Requirements(cva, end, pinned)
     if not requirements.valid:
@@ -123,6 +135,90 @@ def eval_sequential_compiled(cva: CompiledVA, text: str, pinned) -> bool:
             return False
         current = _closure(cva, seeds, requirements.at(pos + 1), pinned_set, nulls)
     return (cva.final, len(requirements.at(end))) in current
+
+
+def _sweep_masks(context, classes, start, end, masks, needed, required_at, entering=None):
+    """Advance per-count masks from position ``start`` up to ``end``.
+
+    The one copy of the kernel sweep loop shared by the ``Eval`` oracle
+    and both phases of :class:`KernelNodeSweep`.  ``masks``/``needed``
+    are the closure at ``start`` (``masks[needed]`` is the live set);
+    ``required_at(pos)`` yields the required-op set entering ``pos``
+    (falsy for none — the memoised lazy-DFA fast path).  When
+    ``entering`` is given, the count-0 closed mask entering every swept
+    position is recorded into it.  Returns the final ``(masks, needed)``
+    pair, or ``None`` once no run survives.
+    """
+    for pos in range(start, end):
+        mask = masks[needed]
+        if not mask:
+            return None
+        class_id = classes[pos - 1]
+        upcoming = required_at(pos + 1)
+        if upcoming:
+            seeds = context.letter(mask, class_id)
+            masks = context.closure_counted([seeds], upcoming) if seeds else None
+            if entering is not None:
+                entering[pos + 1] = masks[0] if masks else 0
+            if masks is None:
+                return None
+            needed = len(upcoming)
+        else:
+            mask = context.delta_step(mask, class_id)
+            if entering is not None:
+                entering[pos + 1] = mask
+            if not mask:
+                return None
+            masks = [mask]
+            needed = 0
+    return masks, needed
+
+
+def eval_sequential_kernel(
+    cva: CompiledVA,
+    text: str,
+    pinned,
+    kernel: Kernel | None = None,
+    classes: "tuple[int, ...] | None" = None,
+) -> bool:
+    """Theorem 5.7's sweep over the bitmask kernel.
+
+    The requirement-tracking state sets become per-count masks; positions
+    with no required operations (all but the ≤ 2k pinned-span endpoints)
+    are one memoised lazy-DFA transition each.
+    """
+    end = len(text) + 1
+    requirements = Requirements(cva, end, pinned)
+    if not requirements.valid:
+        return False
+    if kernel is None:
+        kernel = cva.kernel
+    context = kernel.context(
+        frozenset(requirements.pinned), frozenset(requirements.nulls)
+    )
+    if classes is None:
+        classes = kernel.intern(text)
+    required = requirements.required
+    first = required.get(1)
+    initial_mask = 1 << cva.initial
+    if first:
+        masks = context.closure_counted([initial_mask], first)
+        needed = len(first)
+    else:
+        masks = [context.close(initial_mask)]
+        needed = 0
+    swept = _sweep_masks(context, classes, 1, end, masks, needed, required.get)
+    if swept is None:
+        return False
+    masks, needed = swept
+    return bool((masks[needed] >> cva.final) & 1)
+
+
+def eval_sequential_compiled(cva: CompiledVA, text: str, pinned) -> bool:
+    """Theorem 5.7's sweep: the kernel path when enabled, sets otherwise."""
+    if cva.kernel_or_none() is not None:
+        return eval_sequential_kernel(cva, text, pinned)
+    return eval_sequential_sets(cva, text, pinned)
 
 
 def _general_closure(cva: CompiledVA, seeds, required: frozenset, pinned, nulls, index):
@@ -341,6 +437,151 @@ class NodeSweep:
                 cva, seeds, required_at(pos + 1), self._pinned, self._nulls
             )
         return (cva.final, len(required_at(end))) in current
+
+
+class KernelNodeSweep:
+    """The :class:`NodeSweep` oracle over the bitmask kernel.
+
+    Same prefix-sharing contract: the base sweep (one lazy-DFA hit per
+    position) records the count-0 closed mask *entering* every position,
+    and each sibling span ``(i, j)`` resumes from position ``i`` with the
+    open/close requirements spliced in — base closure is idempotent, so
+    resuming from the closed mask is equivalent to resuming from the raw
+    seeds the set-based sweep records.
+    """
+
+    __slots__ = (
+        "cva",
+        "text",
+        "end",
+        "variable",
+        "valid",
+        "_context",
+        "_classes",
+        "_required",
+        "_entering",
+        "_final_masks",
+        "_final_needed",
+        "_open_key",
+        "_close_key",
+    )
+
+    def __init__(
+        self,
+        cva: CompiledVA,
+        text: str,
+        base,
+        variable: Variable,
+        kernel: Kernel | None = None,
+        classes: "tuple[int, ...] | None" = None,
+    ) -> None:
+        self.cva = cva
+        self.text = text
+        self.end = len(text) + 1
+        self.variable = variable
+        requirements = Requirements(cva, self.end, base)
+        self.valid = requirements.valid
+        self._open_key = open_key(variable)
+        self._close_key = close_key(variable)
+        if not self.valid:
+            return
+        if kernel is None:
+            kernel = cva.kernel
+        # x joins the pinned set with no required ops anywhere: forbidden at
+        # every position, exactly like the ⊥ pin, so the prefix masks are
+        # shared verbatim by every sibling branch.
+        self._context = kernel.context(
+            frozenset(requirements.pinned | {variable}),
+            frozenset(requirements.nulls),
+        )
+        self._classes = kernel.intern(text) if classes is None else classes
+        self._required = requirements.required
+        self._run_base()
+
+    def _run_base(self) -> None:
+        context, classes = self._context, self._classes
+        required = self._required
+        end = self.end
+        entering = [0] * (end + 1)
+        initial_mask = 1 << self.cva.initial
+        entering[1] = context.close(initial_mask)
+        first = required.get(1)
+        if first:
+            masks = context.closure_counted([initial_mask], first)
+            needed = len(first)
+        else:
+            masks = [entering[1]]
+            needed = 0
+        swept = _sweep_masks(
+            context, classes, 1, end, masks, needed, required.get, entering
+        )
+        self._entering = entering
+        if swept is None:
+            # Some position was unreachable in the base context; every
+            # later ``entering`` slot stays 0 and no branch can accept.
+            self._final_masks = [0]
+            self._final_needed = 0
+        else:
+            self._final_masks, self._final_needed = swept
+
+    def accepts_null(self) -> bool:
+        """The verdict for ``µ[x → ⊥]`` — the base sweep's own acceptance."""
+        if not self.valid:
+            return False
+        tail = len(self._required.get(self.end, _NO_OPS))
+        if tail != self._final_needed:
+            return False
+        return bool((self._final_masks[tail] >> self.cva.final) & 1)
+
+    def accepts_span(self, span: Span) -> bool:
+        """The verdict for ``µ[x → span]``, resumed from the shared prefix."""
+        if not self.valid:
+            return False
+        i, j = span.begin, span.end
+        if i < 1 or j > self.end or self.variable not in self.cva.variables:
+            return False
+        entering = self._entering[i]
+        if not entering:
+            return False
+        context, classes = self._context, self._classes
+        required = self._required
+        end = self.end
+        open_at, close_at = self._open_key, self._close_key
+
+        def required_at(pos: int) -> frozenset:
+            base = required.get(pos, _NO_OPS)
+            if pos != i and pos != j:
+                return base
+            extra = set(base)
+            if pos == i:
+                extra.add(open_at)
+            if pos == j:
+                extra.add(close_at)
+            return frozenset(extra)
+
+        first = required_at(i)
+        masks = context.closure_counted([entering], first)
+        swept = _sweep_masks(
+            context, classes, i, end, masks, len(first), required_at
+        )
+        if swept is None:
+            return False
+        masks, needed = swept
+        return bool((masks[needed] >> self.cva.final) & 1)
+
+
+def node_sweep(
+    cva: CompiledVA,
+    text: str,
+    base,
+    variable: Variable,
+    classes: "tuple[int, ...] | None" = None,
+):
+    """The sequential enumeration-node oracle: kernel path when enabled."""
+    kernel = cva.kernel_or_none()
+    if kernel is not None:
+        return KernelNodeSweep(cva, text, base, variable, kernel, classes)
+    return NodeSweep(cva, text, base, variable)
 
 
 class GeneralNode:

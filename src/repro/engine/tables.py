@@ -33,6 +33,7 @@ from functools import lru_cache
 from repro.automata.labels import Close, Eps, Open, Sym
 from repro.automata.sequential import is_sequential
 from repro.automata.va import VA
+from repro.engine.kernel import Kernel, iter_bits, kernel_enabled
 from repro.spans.mapping import Variable
 from repro.spans.span import Span
 
@@ -62,6 +63,8 @@ class CompiledVA:
         "opens",
         "closes",
         "sym_edges",
+        "opens_by_variable",
+        "closes_by_variable",
         "variables",
         "mentioned_variables",
         "is_sequential",
@@ -70,6 +73,7 @@ class CompiledVA:
         "_step_cache",
         "_free",
         "_free_reversed",
+        "_kernel",
     )
 
     def __init__(self, va: VA) -> None:
@@ -107,6 +111,23 @@ class CompiledVA:
         self.eps = [tuple(targets) for targets in eps_acc]
         self.opens = [tuple(edges) for edges in opens_acc]
         self.closes = [tuple(edges) for edges in closes_acc]
+        #: Per-variable operation edges as ``(source, target)`` lists —
+        #: precomputed so per-query code (candidate spans, counted
+        #: closures) never rescans every state.
+        by_open: dict[Variable, list[tuple[int, int]]] = {}
+        by_close: dict[Variable, list[tuple[int, int]]] = {}
+        for state in range(count):
+            for variable, target in self.opens[state]:
+                by_open.setdefault(variable, []).append((state, target))
+            for variable, target in self.closes[state]:
+                by_close.setdefault(variable, []).append((state, target))
+        self.opens_by_variable = {
+            variable: tuple(edges) for variable, edges in by_open.items()
+        }
+        self.closes_by_variable = {
+            variable: tuple(edges) for variable, edges in by_close.items()
+        }
+        self._kernel: Kernel | None = None
         self._single = single
         self._residual = [tuple(edges) for edges in residual]
         self._step_cache: dict[tuple[int, str], tuple[int, ...]] = {}
@@ -126,6 +147,31 @@ class CompiledVA:
         self.variables = va.variables
         self.mentioned_variables = va.mentioned_variables
         self.is_sequential = is_sequential(va)
+
+    # -- the bitmask kernel ----------------------------------------------------
+
+    @property
+    def free_adjacency(self) -> tuple[tuple[int, ...], ...]:
+        """ε and variable operations collapsed into plain edges."""
+        return self._free
+
+    @property
+    def free_adjacency_reversed(self) -> tuple[tuple[int, ...], ...]:
+        return self._free_reversed
+
+    @property
+    def kernel(self) -> Kernel:
+        """The bitmask kernel of this automaton (built lazily, then shared
+        by every document index, oracle call and sweep context)."""
+        if self._kernel is None:
+            self._kernel = Kernel(self)
+        return self._kernel
+
+    def kernel_or_none(self) -> Kernel | None:
+        """The kernel, or ``None`` inside :func:`~repro.engine.kernel.kernel_disabled`."""
+        if not kernel_enabled():
+            return None
+        return self.kernel
 
     # -- letter steps ----------------------------------------------------------
 
@@ -198,17 +244,61 @@ class DocumentIndex:
     close where a ``⊣x`` edge does — every span outside the product of
     those position sets is unreachable and safely skipped.
 
+    On kernel-enabled automata (the default) both sweeps run over the
+    bitmask kernel: the document is interned once into alphabet-class
+    ids, the forward pass is one lazy-DFA hit per position, and the
+    backward pass uses the precomputed *reverse* class-step table instead
+    of rescanning every letter edge at every position.  The set-based
+    sweeps remain as the fallback (``use_kernel=False``, or inside
+    :func:`~repro.engine.kernel.kernel_disabled`).
+
     >>> from repro.spanner import Spanner
     >>> cva = compile_va(Spanner.compile(".*x{a}.*").automaton)
     >>> DocumentIndex(cva, "ba").candidate_spans("x")
     (Span(begin=2, end=3),)
     """
 
-    def __init__(self, cva: CompiledVA, text: str) -> None:
+    def __init__(self, cva: CompiledVA, text: str, use_kernel: bool = True) -> None:
         self.cva = cva
         self.text = text
         self.end = len(text) + 1
+        self.classes: tuple[int, ...] | None = None
+        self._reach_masks: list[int] | None = None
+        self._coreach_masks: list[int] | None = None
+        self._reach_sets: list[frozenset[int]] | None = None
+        self._coreach_sets: list[frozenset[int]] | None = None
+        self._span_cache: dict[Variable, tuple[Span, ...]] = {}
+        kernel = cva.kernel_or_none() if use_kernel else None
+        if kernel is not None:
+            self._build_kernel(kernel, text)
+        else:
+            self._build_sets(text)
+
+    def _build_kernel(self, kernel, text: str) -> None:
         end = self.end
+        cva = self.cva
+        classes = kernel.intern(text)
+        self.classes = classes
+        reach = [0] * (end + 1)
+        current = kernel.free[cva.initial]
+        reach[1] = current
+        delta = kernel.delta_step
+        for pos in range(1, end):
+            current = delta(current, classes[pos - 1]) if current else 0
+            reach[pos + 1] = current
+        coreach = [0] * (end + 1)
+        current = kernel.free_rev[cva.final]
+        coreach[end] = current
+        delta_rev = kernel.delta_rev_step
+        for pos in range(end - 1, 0, -1):
+            current = delta_rev(current, classes[pos - 1]) if current else 0
+            coreach[pos] = current
+        self._reach_masks = reach
+        self._coreach_masks = coreach
+
+    def _build_sets(self, text: str) -> None:
+        end = self.end
+        cva = self.cva
         reach: list[frozenset[int]] = [frozenset()] * (end + 1)
         current = cva.free_closure({cva.initial})
         reach[1] = current
@@ -231,27 +321,59 @@ class DocumentIndex:
                     if target in ahead and charset.contains(letter):
                         seeds.add(source)
             coreach[pos] = cva.free_closure_reversed(seeds) if seeds else frozenset()
-        self.reach = reach
-        self.coreach = coreach
-        self._span_cache: dict[Variable, tuple[Span, ...]] = {}
+        self._reach_sets = reach
+        self._coreach_sets = coreach
+
+    @property
+    def reach(self) -> list[frozenset[int]]:
+        """Per-position reach state sets (materialised from masks on the
+        kernel path; kept for inspection and cross-validation)."""
+        if self._reach_sets is None:
+            self._reach_sets = [
+                frozenset(iter_bits(mask)) for mask in self._reach_masks
+            ]
+        return self._reach_sets
+
+    @property
+    def coreach(self) -> list[frozenset[int]]:
+        if self._coreach_sets is None:
+            self._coreach_sets = [
+                frozenset(iter_bits(mask)) for mask in self._coreach_masks
+            ]
+        return self._coreach_sets
 
     def open_positions(self, variable: Variable) -> list[int]:
         """Positions where an ``x⊢`` transition can fire on a live run."""
-        return self._op_positions(self.cva.opens, variable)
+        return self._op_positions(self.cva.opens_by_variable, variable)
 
     def close_positions(self, variable: Variable) -> list[int]:
-        return self._op_positions(self.cva.closes, variable)
+        return self._op_positions(self.cva.closes_by_variable, variable)
 
     def _op_positions(self, table, variable: Variable) -> list[int]:
-        edges = [
-            (state, target)
-            for state in range(self.cva.num_states)
-            for var, target in table[state]
-            if var == variable
-        ]
+        edges = table.get(variable, ())
+        if not edges:
+            return []
         positions = []
+        if self._reach_masks is not None:
+            pairs = [(1 << source, 1 << target) for source, target in edges]
+            source_all = 0
+            target_all = 0
+            for source_bit, target_bit in pairs:
+                source_all |= source_bit
+                target_all |= target_bit
+            reach, coreach = self._reach_masks, self._coreach_masks
+            for pos in range(1, self.end + 1):
+                live, ahead = reach[pos], coreach[pos]
+                if not (live & source_all and ahead & target_all):
+                    continue
+                if any(
+                    live & source_bit and ahead & target_bit
+                    for source_bit, target_bit in pairs
+                ):
+                    positions.append(pos)
+            return positions
         for pos in range(1, self.end + 1):
-            live, ahead = self.reach[pos], self.coreach[pos]
+            live, ahead = self._reach_sets[pos], self._coreach_sets[pos]
             if any(state in live and target in ahead for state, target in edges):
                 positions.append(pos)
         return positions

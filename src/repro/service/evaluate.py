@@ -7,7 +7,11 @@ and evaluates them either serially or across a
 :class:`concurrent.futures.ProcessPoolExecutor` — each worker process
 compiles its own engine once from the pickled automaton and keeps it for
 every chunk it receives, so the per-document cost matches the serial batch
-path and the only overhead is shipping documents and results.
+path and the only overhead is shipping documents and results.  Keeping the
+engine also keeps its bitmask kernel (:mod:`repro.engine.kernel`): the
+lazy-DFA ``delta`` memo and alphabet classes warm up on the first
+documents and are shared across the worker's whole batch, which is where
+the kernel's corpus-throughput win (benchmark E22) comes from.
 
 Results stream back as :class:`CorpusResult` records:
 
@@ -76,8 +80,9 @@ class CorpusResult:
 # -- worker-process state ---------------------------------------------------
 #
 # Each worker compiles the automaton once (the initializer receives the
-# pickled VA) and serves every chunk from that engine — document indexes
-# and Eval verdicts accumulate in the worker exactly as they do serially.
+# pickled VA) and serves every chunk from that engine — document indexes,
+# Eval verdicts, and the kernel's lazy-DFA memo accumulate in the worker
+# exactly as they do serially.
 
 _WORKER_ENGINE: CompiledSpanner | None = None
 

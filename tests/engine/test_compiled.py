@@ -142,7 +142,8 @@ class TestCompiledSpanner:
         engine = compile_spanner(".*x{a+}.*")
         pinned = ExtendedMapping({"x": Span(1, 2)})
         assert engine.eval("aa", pinned)
-        assert ("aa", frozenset(pinned.items())) in engine._verdicts
+        key = (len("aa"), hash("aa"), frozenset(pinned.items()))
+        assert key in engine._verdicts
         assert engine.eval("aa", pinned)  # second call hits the cache
 
     def test_eval_null_pin(self):
@@ -184,6 +185,46 @@ class TestBatchApi:
         engine = compile_spanner(".*x{a+}.*")
         engine.evaluate_many(["baab", "baab", "baab"])
         assert len(engine._indexes) == 1
+
+    def test_index_cache_keys_are_constant_size(self):
+        # (len, hash) keys instead of the document text: no unbounded key
+        # memory on large documents, text verified on hit.
+        engine = compile_spanner(".*x{a+}.*")
+        document = "b" * 1000 + "a"
+        index = engine.index(document)
+        assert engine.index(document) is index
+        assert (len(document), hash(document)) in engine._indexes
+
+    def test_index_cache_eviction_is_lru_not_fifo(self):
+        from repro.engine import compiled as compiled_module
+
+        engine = compile_spanner(".*x{a+}.*")
+        documents = [f"a{'b' * i}" for i in range(compiled_module._DOCUMENT_CACHE_LIMIT)]
+        for document in documents:
+            engine.index(document)
+        oldest = engine.index(documents[0])  # touch: becomes most-recent
+        engine.index("a new document")  # evicts documents[1], not [0]
+        assert engine.index(documents[0]) is oldest
+        assert (len(documents[1]), hash(documents[1])) not in engine._indexes
+
+    def test_verdict_cache_eviction_is_lru(self):
+        from repro.engine import compiled as compiled_module
+
+        engine = compile_spanner(".*x{a+}.*")
+        empty = ExtendedMapping.empty()
+        engine.eval("a", empty)
+        first_key = (1, hash("a"), frozenset())
+        assert first_key in engine._verdicts
+        limit = compiled_module._VERDICT_CACHE_LIMIT
+        documents = [f"a{'b' * i}" for i in range(1, limit)]
+        for document in documents:
+            engine.eval(document, empty)
+        engine.eval("a", empty)  # touch: most-recent again
+        engine.eval("one more", empty)  # evicts the oldest untouched entry
+        assert first_key in engine._verdicts
+        assert (len(documents[0]), hash(documents[0]), frozenset()) not in (
+            engine._verdicts
+        )
 
     def test_extract_many(self):
         engine = compile_spanner("x{a}b")

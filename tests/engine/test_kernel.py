@@ -1,0 +1,251 @@
+"""The bitmask kernel: alphabet classes, mask sweeps, lazy-DFA memos.
+
+Every test cross-validates the kernel against the set-based engine paths
+it replaces (which remain first-class as the fallback), or pins down the
+kernel's own invariants — class partitioning with cofinite charsets,
+memo bounds, prefix sharing.  All tests carry the ``kernel`` marker, so
+``pytest -m kernel`` is the fast loop for engine work.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alphabet import CharSet
+from repro.automata.labels import Open
+from repro.automata.thompson import to_va
+from repro.automata.va import VA
+from repro.engine import compile_spanner, compile_va, kernel_disabled
+from repro.engine import kernel as kernel_module
+from repro.engine.kernel import AlphabetClasses, iter_bits
+from repro.engine.oracle import (
+    KernelNodeSweep,
+    NodeSweep,
+    eval_sequential_kernel,
+    eval_sequential_sets,
+)
+from repro.engine.tables import DocumentIndex
+from repro.plan import OPT_LEVELS, plan
+from repro.rgx.parser import parse
+from repro.spans.mapping import NULL, ExtendedMapping
+from repro.spans.span import Span, all_spans
+from repro.workloads.expressions import seller_like_sequential_rgx
+from tests.strategies import VARIABLES, documents, rgx_expressions
+
+pytestmark = pytest.mark.kernel
+
+
+class TestAlphabetClasses:
+    def test_positive_charsets_group_equivalent_letters(self):
+        classes = AlphabetClasses([CharSet.of("ab"), CharSet.of("bc")])
+        assert classes.classify("a") != classes.classify("b")
+        assert classes.classify("b") != classes.classify("c")
+        assert classes.classify("a") != classes.classify("c")
+
+    def test_cofinite_charset_gets_a_residual_class(self):
+        classes = AlphabetClasses([CharSet.of("ab"), CharSet.excluding(",")])
+        # a and b enable exactly the same predicates: one class.
+        assert classes.classify("a") == classes.classify("b")
+        # every unmentioned character shares the residual class ...
+        assert classes.classify("z") == classes.residual
+        assert classes.classify("é") == classes.residual
+        # ... and the excluded comma is in neither of those classes.
+        assert classes.classify(",") not in (
+            classes.classify("a"),
+            classes.residual,
+        )
+
+    def test_residual_never_merges_with_a_mentioned_letter(self):
+        # A mentioned character always differs from the residual on the
+        # predicate that mentions it (positive: contains; cofinite:
+        # excludes), so the residual class is its own class.
+        for charsets in (
+            [CharSet.excluding("a")],
+            [CharSet.of("a"), CharSet.excluding("b")],
+            [CharSet.excluding("ab"), CharSet.of("a")],
+        ):
+            classes = AlphabetClasses(charsets)
+            mentioned = {ch for cs in charsets for ch in cs.chars}
+            assert all(
+                classes.classify(ch) != classes.residual for ch in mentioned
+            )
+
+    def test_representatives_are_faithful(self):
+        charsets = [CharSet.of("ab"), CharSet.excluding(",x")]
+        classes = AlphabetClasses(charsets)
+        for char in "abx,z~Q":
+            representative = classes.representatives[classes.classify(char)]
+            for charset in charsets:
+                assert charset.contains(representative) == charset.contains(char)
+
+    def test_intern_maps_text_to_class_ids(self):
+        classes = AlphabetClasses([CharSet.of("ab")])
+        interned = classes.intern("abz")
+        assert interned == (
+            classes.classify("a"),
+            classes.classify("b"),
+            classes.residual,
+        )
+
+    def test_no_sym_edges_still_has_a_residual(self):
+        classes = AlphabetClasses([])
+        assert classes.count == 1
+        assert classes.intern("xyz") == (classes.residual,) * 3
+
+
+class TestKernelTables:
+    def test_free_closure_masks_match_set_closure(self):
+        cva = compile_va(to_va(parse(".*x{a+}y{b*}.*")))
+        for state in range(cva.num_states):
+            expected = cva.free_closure({state})
+            assert frozenset(iter_bits(cva.kernel.free[state])) == expected
+            expected_rev = cva.free_closure_reversed({state})
+            assert frozenset(iter_bits(cva.kernel.free_rev[state])) == expected_rev
+
+    def test_class_step_masks_match_step(self):
+        cva = compile_va(to_va(seller_like_sequential_rgx(2)))
+        kernel = cva.kernel
+        for class_id, representative in enumerate(kernel.classes.representatives):
+            for state in range(cva.num_states):
+                expected = 0
+                for target in cva.step(state, representative):
+                    expected |= 1 << target
+                assert kernel.step[class_id][state] == expected
+
+    def test_delta_memo_records_transitions(self):
+        cva = compile_va(to_va(seller_like_sequential_rgx(1)))
+        kernel = cva.kernel
+        kernel.delta.clear()
+        mask = kernel.free[cva.initial]
+        class_id = kernel.classes.residual
+        first = kernel.delta_step(mask, class_id)
+        assert kernel.delta[(mask, class_id)] == first
+        assert kernel.delta_step(mask, class_id) == first  # memo hit
+
+    def test_delta_memo_is_bounded(self, monkeypatch):
+        cva = compile_va(to_va(seller_like_sequential_rgx(1)))
+        kernel = cva.kernel
+        kernel.delta.clear()
+        monkeypatch.setattr(kernel_module, "DELTA_LIMIT", 0)
+        mask = kernel.free[cva.initial]
+        class_id = kernel.classes.classify("f")
+        computed = kernel.delta_step(mask, class_id)
+        # over the bound: still computed correctly, just not recorded
+        assert kernel.delta == {}
+        seeds = 0
+        for state in iter_bits(mask):
+            seeds |= kernel.step[class_id][state]
+        assert computed == (kernel.close(seeds) if seeds else 0)
+
+    def test_intern_cache_verifies_text_on_hit(self):
+        cva = compile_va(to_va(seller_like_sequential_rgx(1)))
+        kernel = cva.kernel
+        first = kernel.intern("f0=a;")
+        assert kernel.intern("f0=a;") is first  # cached
+        assert kernel.intern("f0=b;") != ()  # different text, no false hit
+
+
+@st.composite
+def extended_pins(draw, document_length: int = 4) -> ExtendedMapping:
+    limit = document_length + 1
+    pins = {}
+    for variable in draw(
+        st.sets(st.sampled_from(VARIABLES), min_size=0, max_size=3)
+    ):
+        if draw(st.booleans()):
+            begin = draw(st.integers(min_value=1, max_value=limit))
+            end = draw(st.integers(min_value=begin, max_value=limit))
+            pins[variable] = Span(begin, end)
+        else:
+            pins[variable] = NULL
+    return ExtendedMapping(pins)
+
+
+class TestKernelAgainstSets:
+    @given(expression=rgx_expressions(), document=documents())
+    @settings(max_examples=60, deadline=None)
+    def test_document_index_matches_set_index(self, expression, document):
+        compiled = plan(expression, opt_level=1)
+        cva = compile_va(compiled.automaton)
+        kernel_index = DocumentIndex(cva, document, use_kernel=True)
+        set_index = DocumentIndex(cva, document, use_kernel=False)
+        assert kernel_index.reach == set_index.reach
+        assert kernel_index.coreach == set_index.coreach
+        for variable in sorted(cva.variables):
+            assert kernel_index.candidate_spans(variable) == set_index.candidate_spans(
+                variable
+            )
+
+    @given(
+        expression=rgx_expressions(),
+        document=documents(max_length=5),
+        pinned=extended_pins(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sequential_eval_matches_sets(self, expression, document, pinned):
+        cva = compile_va(plan(expression, opt_level=1).automaton)
+        if not cva.is_sequential:
+            return
+        assert eval_sequential_kernel(cva, document, pinned) == eval_sequential_sets(
+            cva, document, pinned
+        )
+
+    @given(expression=rgx_expressions(), document=documents(max_length=5))
+    @settings(max_examples=40, deadline=None)
+    def test_node_sweep_matches_set_sweep(self, expression, document):
+        cva = compile_va(plan(expression, opt_level=1).automaton)
+        if not cva.is_sequential or not cva.mentioned_variables:
+            return
+        variable = sorted(cva.mentioned_variables)[0]
+        kernel_node = KernelNodeSweep(cva, document, {}, variable)
+        set_node = NodeSweep(cva, document, {}, variable)
+        assert kernel_node.accepts_null() == set_node.accepts_null()
+        for span in all_spans(len(document)):
+            assert kernel_node.accepts_span(span) == set_node.accepts_span(span), span
+
+    @given(expression=rgx_expressions(), document=documents())
+    @settings(max_examples=40, deadline=None)
+    def test_mappings_identical_at_every_opt_level(self, expression, document):
+        for level in OPT_LEVELS:
+            engine = compile_spanner(expression, opt_level=level)
+            with_kernel = engine.mappings(document)
+            with kernel_disabled():
+                without = compile_spanner(expression, opt_level=level).mappings(
+                    document
+                )
+            assert with_kernel == without
+
+    def test_sequentialised_non_sequential_source(self):
+        # The e21 trick: a bogus unusable open makes the source fail the
+        # sequentiality check; planning sequentialises it, and the kernel
+        # then runs the Theorem-5.7 sweep on the planned automaton.
+        base = to_va(seller_like_sequential_rgx(2))
+        looped = base.transitions + ((base.final, Open("v0"), base.final),)
+        automaton = VA(base.num_states, base.initial, base.final, looped)
+        document = "f0=ab;f1=cd;"
+        engine = compile_spanner(automaton, opt_level=1)
+        assert engine.tables.is_sequential  # the plan sequentialised it
+        with kernel_disabled():
+            expected = compile_spanner(automaton, opt_level=1).mappings(document)
+        assert engine.mappings(document) == expected
+        assert expected  # the workload must actually produce mappings
+
+
+class TestKernelSharing:
+    def test_delta_memo_shared_across_documents(self):
+        engine = compile_spanner(".*x{a+}.*")
+        engine.tables.kernel.delta.clear()
+        assert engine.mappings("baa")
+        entries = len(engine.tables.kernel.delta)
+        assert entries > 0
+        assert engine.mappings("aab")  # same classes, mostly memo hits
+        stats = engine.kernel_stats()
+        assert stats["delta"] >= entries
+        assert stats["classes"] >= 2
+
+    def test_kernel_disabled_forces_set_paths(self):
+        engine = compile_spanner(".*x{a+}.*")
+        with kernel_disabled():
+            index = engine.index("ba")
+            assert index.classes is None  # set-based build
+        assert engine.index("ab").classes is not None  # distinct cache entry

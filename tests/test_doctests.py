@@ -7,6 +7,7 @@ import pytest
 import repro
 import repro.automata.fingerprint
 import repro.engine.compiled
+import repro.engine.kernel
 import repro.engine.oracle
 import repro.engine.tables
 import repro.plan
@@ -27,6 +28,7 @@ MODULES = [
     repro,
     repro.automata.fingerprint,
     repro.engine.compiled,
+    repro.engine.kernel,
     repro.engine.oracle,
     repro.engine.tables,
     repro.plan,
