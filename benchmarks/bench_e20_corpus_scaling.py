@@ -26,7 +26,13 @@ import os
 
 import pytest
 
-from benchmarks._harness import measure, print_table, quick_mode, sizes
+from benchmarks._harness import (
+    measure,
+    print_table,
+    quick_mode,
+    sizes,
+    write_results,
+)
 from repro.service import evaluate_corpus
 from repro.workloads import land_registry
 
@@ -106,6 +112,25 @@ def test_e20_corpus_scaling(benchmark):
         f"x {ROWS_PER_DOCUMENT} rows ({_effective_cpus()} usable cores)",
         ["api", "workers", "seconds", "docs/s", "speedup"],
         rows,
+    )
+
+    write_results(
+        "e20",
+        {
+            "documents": DOCUMENT_COUNT,
+            "rows_per_document": ROWS_PER_DOCUMENT,
+            "usable_cores": _effective_cpus(),
+            "series": [
+                {
+                    "api": api,
+                    "workers": workers,
+                    "seconds": seconds,
+                    "docs_per_s": throughput,
+                    "speedup": speedup,
+                }
+                for api, workers, seconds, throughput, speedup in rows
+            ],
+        },
     )
 
     if (

@@ -39,7 +39,7 @@ from repro.spans.document import Document
 from repro.spans.mapping import NULL, ExtendedMapping, Mapping, join
 from repro.spans.span import Span
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CharSet",

@@ -21,7 +21,17 @@ Modes:
   default) uses :mod:`repro.engine`'s tables, pruning, and memoisation;
 * ``--opt-level {0,1,2}`` — the planner pipeline behind the compiled
   engine (0 straight translation, 1 default passes, 2 adds budgeted
-  determinisation).
+  determinisation);
+* ``--stats`` — after the run, print the engine's kernel memo sizes and
+  cache hit/miss counters to stderr.
+
+Serving mode — ``repro serve`` starts the long-running HTTP server
+(:mod:`repro.server`) instead of a one-shot extraction::
+
+    $ repro serve --port 8080 --workers 4
+
+See ``repro serve --help`` for the batching/backpressure flags and
+``docs/server.md`` for the endpoints.
 
 Batch mode — several files, ``--glob`` patterns, or both — compiles the
 pattern once and evaluates every document through the corpus service
@@ -167,7 +177,103 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the compilation plan's pass log, then exit",
     )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help=(
+            "after the run, print kernel memo sizes and cache hit/miss "
+            "counters to stderr (compiled engine only)"
+        ),
+    )
     return parser
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    """The ``repro serve`` flags (mirrors :class:`repro.server.ServerConfig`)."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Serve spanner evaluation over HTTP: POST /evaluate, "
+            "POST /enumerate, GET /healthz, GET /metrics.  Concurrent "
+            "requests for one pattern share a compile; documents from "
+            "many requests are micro-batched onto shared workers; "
+            "SIGTERM drains gracefully.  See docs/server.md."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="bind port (0 picks a free one; default 8080)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "evaluate batches on N worker processes; 0 (default) stays "
+            "in-process on a thread pool"
+        ),
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=16,
+        metavar="N",
+        help="flush a micro-batch at N documents (default 16)",
+    )
+    parser.add_argument(
+        "--batch-delay",
+        type=float,
+        default=0.002,
+        metavar="SECONDS",
+        help=(
+            "flush a micro-batch this long after its first document "
+            "(default 0.002)"
+        ),
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=_positive_int,
+        default=1024,
+        metavar="N",
+        help=(
+            "shed requests (HTTP 429) past N queued + in-flight "
+            "documents (default 1024)"
+        ),
+    )
+    parser.add_argument(
+        "--drain-grace",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="seconds granted to in-flight requests on SIGTERM (default 10)",
+    )
+    return parser
+
+
+def _run_serve(argv: list[str]) -> int:
+    from repro.server import ServerConfig, serve
+
+    arguments = build_serve_parser().parse_args(argv)
+    if arguments.workers < 0:
+        print("error: --workers must be >= 0", file=sys.stderr)
+        return 2
+    if arguments.port < 0 or arguments.port > 65535:
+        print("error: --port must be in 0..65535", file=sys.stderr)
+        return 2
+    config = ServerConfig(
+        host=arguments.host,
+        port=arguments.port,
+        workers=arguments.workers,
+        batch_max_size=arguments.batch_size,
+        batch_max_delay=arguments.batch_delay,
+        max_pending=arguments.max_pending,
+        drain_grace=arguments.drain_grace,
+    )
+    return serve(config)
 
 
 def _extract(spanner: Spanner, document: str, engine: str, spans: bool):
@@ -212,14 +318,35 @@ def _collect_files(arguments) -> list[str]:
     return unique
 
 
+def _print_stats(engine, workers: int) -> None:
+    """The ``--stats`` report: kernel memos + cache counters, to stderr."""
+    from repro.service import DEFAULT_CACHE
+
+    def formatted(table: dict) -> str:
+        return " ".join(f"{key}={value}" for key, value in table.items())
+
+    print(f"stats: kernel {formatted(engine.kernel_stats())}", file=sys.stderr)
+    print(f"stats: engine {formatted(engine.cache_stats())}", file=sys.stderr)
+    print(
+        f"stats: spanner-cache {formatted(DEFAULT_CACHE.stats())}",
+        file=sys.stderr,
+    )
+    if workers > 1:
+        print(
+            "stats: note: with --workers > 1 per-document counters accrue "
+            "in the worker processes, not here",
+            file=sys.stderr,
+        )
+
+
 def _run_corpus(
-    spanner: Spanner, arguments, records: list[tuple[str, str]], batch: bool
+    engine, arguments, records: list[tuple[str, str]], batch: bool
 ) -> int:
     """Batch mode through the service layer (``--workers`` / ``--ndjson``)."""
     from repro.service import extract_corpus
 
     results = extract_corpus(
-        spanner,
+        engine,
         records,
         workers=arguments.workers,
         spans=arguments.spans,
@@ -261,11 +388,21 @@ def _run_corpus(
 
 def run(argv: list[str] | None = None, stdin: str | None = None) -> int:
     """Entry point; returns the process exit code (testable directly)."""
-    arguments = build_parser().parse_args(argv)
+    raw_arguments = sys.argv[1:] if argv is None else argv
+    if raw_arguments and raw_arguments[0] == "serve":
+        return _run_serve(raw_arguments[1:])
+    arguments = build_parser().parse_args(raw_arguments)
     if arguments.engine == "seed" and (arguments.workers > 1 or arguments.ndjson):
         print(
             "error: --workers/--ndjson are served by the corpus service; "
             "they cannot be combined with --engine seed",
+            file=sys.stderr,
+        )
+        return 2
+    if arguments.engine == "seed" and arguments.stats:
+        print(
+            "error: --stats reads the compiled engine's counters; "
+            "it cannot be combined with --engine seed",
             file=sys.stderr,
         )
         return 2
@@ -324,9 +461,18 @@ def run(argv: list[str] | None = None, stdin: str | None = None) -> int:
     batch = len(files) > 1
 
     if arguments.engine == "compiled":
-        # Every compiled run goes through the corpus service; the seed
-        # engine keeps the original per-document loop below.
-        return _run_corpus(spanner, arguments, records, batch)
+        # Every compiled run goes through the corpus service.  Resolving
+        # the engine through the service cache up front means ``--stats``
+        # reads the counters of the very engine that does the work (the
+        # cache may hand back an engine compiled earlier in this
+        # process).  The seed engine keeps the original loop below.
+        from repro.service import cached_spanner
+
+        engine = cached_spanner(spanner.compiled)
+        code = _run_corpus(engine, arguments, records, batch)
+        if arguments.stats:
+            _print_stats(engine, arguments.workers)
+        return code
 
     if arguments.count:
         total = sum(

@@ -25,9 +25,11 @@ Enumeration follows Algorithm 2 exactly, with two engine upgrades:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from collections.abc import Iterable, Iterator
 
+from repro.automata.fingerprint import va_fingerprint
 from repro.automata.va import VA
 from repro.engine.oracle import (
     GeneralNode,
@@ -75,8 +77,19 @@ class CompiledSpanner:
         self._cva: CompiledVA = compile_va(automaton)
         self._expression = expression
         self._plan = plan
+        self._fingerprint: str | None = None
+        # The per-spanner LRU caches are mutated under this lock so one
+        # engine can serve concurrent threads (the async server's
+        # in-process executor).  Index/verdict *computation* happens
+        # outside the lock; the kernel's own memos are plain dicts whose
+        # check-then-insert races only duplicate deterministic work.
+        self._lock = threading.Lock()
         self._indexes: OrderedDict[tuple[int, int], DocumentIndex] = OrderedDict()
         self._verdicts: OrderedDict[tuple, bool] = OrderedDict()
+        self._index_hits = 0
+        self._index_misses = 0
+        self._verdict_hits = 0
+        self._verdict_misses = 0
 
     # -- inspection ------------------------------------------------------------
 
@@ -105,6 +118,22 @@ class CompiledSpanner:
     def variables(self) -> frozenset[Variable]:
         return self._cva.variables
 
+    @property
+    def fingerprint(self) -> str:
+        """The structural digest of the automaton the engine runs.
+
+        Identical to :attr:`repro.plan.Plan.fingerprint` when the engine
+        came from a plan — both digest the post-optimisation automaton —
+        and computable even for worker-built engines that carry no plan.
+
+        >>> engine = compile_spanner("x{a}|x{a}")
+        >>> engine.fingerprint == compile_spanner("x{a}").fingerprint
+        True
+        """
+        if self._fingerprint is None:
+            self._fingerprint = va_fingerprint(self._va)
+        return self._fingerprint
+
     def kernel_stats(self) -> dict[str, int]:
         """Memo sizes of the shared bitmask kernel (lazy-DFA entries,
         alphabet classes, sweep contexts) — a live view of the state every
@@ -116,6 +145,32 @@ class CompiledSpanner:
         True
         """
         return self._cva.kernel.stats()
+
+    def cache_stats(self) -> dict[str, int]:
+        """Hit/miss/size counters of the per-spanner LRU caches.
+
+        ``indexes`` counts :meth:`index` lookups (one per evaluated
+        document), ``verdicts`` counts memoised ``Eval`` calls — the
+        counters behind the CLI's ``--stats`` and the server's
+        ``/metrics``.
+
+        >>> engine = compile_spanner(".*x{a+}.*")
+        >>> _ = engine.mappings("baa"); _ = engine.mappings("baa")
+        >>> stats = engine.cache_stats()
+        >>> stats["index_misses"], stats["index_hits"] >= 1
+        (1, True)
+        """
+        with self._lock:
+            return {
+                "index_hits": self._index_hits,
+                "index_misses": self._index_misses,
+                "index_size": len(self._indexes),
+                "index_capacity": _DOCUMENT_CACHE_LIMIT,
+                "verdict_hits": self._verdict_hits,
+                "verdict_misses": self._verdict_misses,
+                "verdict_size": len(self._verdicts),
+                "verdict_capacity": _VERDICT_CACHE_LIMIT,
+            }
 
     @property
     def is_sequential(self) -> bool:
@@ -140,15 +195,22 @@ class CompiledSpanner:
         """
         text = as_text(document)
         key = (len(text), hash(text))
-        index = self._indexes.get(key)
-        if index is not None and index.text == text:
-            self._indexes.move_to_end(key)
-            return index
-        if index is None and len(self._indexes) >= _DOCUMENT_CACHE_LIMIT:
-            self._indexes.popitem(last=False)
-        index = DocumentIndex(self._cva, text)
-        self._indexes[key] = index
-        return index
+        with self._lock:
+            index = self._indexes.get(key)
+            if index is not None and index.text == text:
+                self._indexes.move_to_end(key)
+                self._index_hits += 1
+                return index
+        built = DocumentIndex(self._cva, text)  # heavy: outside the lock
+        with self._lock:
+            self._index_misses += 1
+            current = self._indexes.get(key)
+            if current is not None and current.text == text:
+                return current  # another thread built it first
+            if current is None and len(self._indexes) >= _DOCUMENT_CACHE_LIMIT:
+                self._indexes.popitem(last=False)
+            self._indexes[key] = built
+        return built
 
     # -- decision problems -------------------------------------------------------
 
@@ -166,14 +228,19 @@ class CompiledSpanner:
         """
         text = as_text(document)
         key = (len(text), hash(text), frozenset(pinned.items()))
-        verdict = self._verdicts.get(key)
-        if verdict is None:
-            if len(self._verdicts) >= _VERDICT_CACHE_LIMIT:
-                self._verdicts.popitem(last=False)
-            verdict = eval_compiled(self._cva, text, pinned)
-            self._verdicts[key] = verdict
-        else:
-            self._verdicts.move_to_end(key)
+        with self._lock:
+            verdict = self._verdicts.get(key)
+            if verdict is not None:
+                self._verdicts.move_to_end(key)
+                self._verdict_hits += 1
+                return verdict
+        verdict = eval_compiled(self._cva, text, pinned)  # outside the lock
+        with self._lock:
+            self._verdict_misses += 1
+            if key not in self._verdicts:
+                if len(self._verdicts) >= _VERDICT_CACHE_LIMIT:
+                    self._verdicts.popitem(last=False)
+                self._verdicts[key] = verdict
         return verdict
 
     def matches(self, document: "Document | str") -> bool:

@@ -1,0 +1,169 @@
+"""A small blocking client for the spanner server (stdlib ``http.client``).
+
+One :class:`ServerClient` wraps one keep-alive connection — not
+thread-safe, so a load generator gives each of its threads its own
+client (benchmark E23 does exactly that).
+
+>>> from repro.server import ServerClient, ServerConfig, ServerThread
+>>> with ServerThread(ServerConfig(port=0)) as server:
+...     client = ServerClient(*server.address)
+...     reply = client.enumerate(".*x{a+}.*", ["baa"])
+...     health = client.healthz()
+...     client.close()
+>>> reply["results"][0]["mappings"]
+[{'x': 'a'}, {'x': 'aa'}, {'x': 'a'}]
+>>> health["status"]
+'ok'
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+from repro.server.protocol import NDJSON_CONTENT_TYPE
+
+__all__ = ["ServerClient", "ServerResponseError"]
+
+
+class ServerResponseError(Exception):
+    """A non-2xx response; carries the HTTP status and the server's message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServerClient:
+    """A persistent connection to one server, JSON in / JSON out."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._connection = http.client.HTTPConnection(
+            host, port, timeout=timeout
+        )
+
+    # -- plumbing --------------------------------------------------------------
+
+    def request_raw(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        content_type: str = "application/json",
+    ) -> tuple[int, bytes]:
+        """One round-trip; returns ``(status, body)`` without decoding."""
+        headers = {"Content-Type": content_type} if body is not None else {}
+        self._connection.request(method, path, body=body, headers=headers)
+        response = self._connection.getresponse()
+        return response.status, response.read()
+
+    def _request_json(self, method: str, path: str, payload=None) -> dict:
+        body = (
+            None
+            if payload is None
+            else json.dumps(payload).encode("utf-8")
+        )
+        status, raw = self.request_raw(method, path, body)
+        try:
+            decoded = json.loads(raw)
+        except ValueError:
+            decoded = {"error": raw.decode("utf-8", "replace")}
+        if status >= 400:
+            raise ServerResponseError(
+                status, decoded.get("error", "<no message>")
+            )
+        return decoded
+
+    @staticmethod
+    def _payload(pattern: str, documents, opt_level, spans=None) -> dict:
+        payload: dict[str, object] = {"pattern": pattern}
+        if isinstance(documents, str):
+            payload["document"] = documents
+        else:
+            payload["documents"] = documents
+        if opt_level is not None:
+            payload["opt_level"] = opt_level
+        if spans:
+            payload["spans"] = True
+        return payload
+
+    # -- endpoints --------------------------------------------------------------
+
+    def evaluate(
+        self, pattern: str, documents, opt_level: int | None = None
+    ) -> dict:
+        """``POST /evaluate`` — NonEmp verdicts per document."""
+        return self._request_json(
+            "POST", "/evaluate", self._payload(pattern, documents, opt_level)
+        )
+
+    def enumerate(
+        self,
+        pattern: str,
+        documents,
+        opt_level: int | None = None,
+        spans: bool = False,
+    ) -> dict:
+        """``POST /enumerate`` — decoded mappings per document."""
+        return self._request_json(
+            "POST",
+            "/enumerate",
+            self._payload(pattern, documents, opt_level, spans),
+        )
+
+    def enumerate_ndjson(
+        self,
+        pattern: str,
+        documents,
+        opt_level: int | None = None,
+        spans: bool = False,
+    ) -> list[dict]:
+        """``POST /enumerate`` with an NDJSON body; one dict per line back.
+
+        ``documents`` is an iterable of texts or ``(id, text)`` pairs.
+        """
+        header: dict[str, object] = {"pattern": pattern}
+        if opt_level is not None:
+            header["opt_level"] = opt_level
+        if spans:
+            header["spans"] = True
+        lines = [json.dumps(header)]
+        for item in documents:
+            if isinstance(item, str):
+                lines.append(json.dumps(item))
+            else:
+                doc_id, text = item
+                lines.append(json.dumps({"id": doc_id, "text": text}))
+        status, raw = self.request_raw(
+            "POST",
+            "/enumerate",
+            ("\n".join(lines) + "\n").encode("utf-8"),
+            content_type=NDJSON_CONTENT_TYPE,
+        )
+        if status >= 400:
+            message = json.loads(raw).get("error", "<no message>")
+            raise ServerResponseError(status, message)
+        return [
+            json.loads(line)
+            for line in raw.decode("utf-8").splitlines()
+            if line.strip()
+        ]
+
+    def healthz(self) -> dict:
+        return self._request_json("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        status, raw = self.request_raw("GET", "/metrics")
+        if status != 200:
+            raise ServerResponseError(status, raw.decode("utf-8", "replace"))
+        return raw.decode("utf-8")
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,363 @@
+"""The coalescing dispatcher: shared compiles, micro-batches, backpressure.
+
+The heart of the serving subsystem.  Three mechanisms turn many small
+concurrent requests into the large warm batches the engine is built for:
+
+* **request coalescing** — concurrent requests for the same
+  ``(pattern, opt_level)`` share one compile: the first request plans and
+  compiles through the thread-safe
+  :class:`~repro.service.cache.SpannerCache` in an executor thread, every
+  other request awaits the same future, and later requests resolve via
+  the cache's ``(pattern, opt level)`` memo — the one bounded store of
+  compiled engines, so its stats describe what is actually served;
+* **micro-batching** — documents are appended to a per-``(engine, kind)``
+  batch that flushes when it reaches ``batch_max_size`` documents *or*
+  ``batch_max_delay`` seconds after its first document (size/latency
+  watermarks), so one flush serves documents from many requests and each
+  executor round-trip amortises over the whole batch;
+* **bounded queues** — at most ``max_pending`` documents may be queued or
+  in flight; past the watermark new work is shed with :class:`Overloaded`
+  (the HTTP layer answers 429) instead of growing the queue without
+  bound.
+
+Batches execute either on the :class:`~repro.service.evaluate.WorkerPool`
+process pool (``workers >= 1`` — each worker's kernel memo stays warm
+across batches, and hence across requests) or on an in-process thread
+pool (``workers = 0`` — no pickling, engines shared across threads, which
+is what the engine's cache locks exist for).
+
+``naive=True`` is the ablation baseline the serving benchmark (E23)
+compares against: no cache, no coalescing, no batching — every request
+compiles its own engine and every document runs alone, the
+one-request-one-eval server someone would write first.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.engine.compiled import CompiledSpanner, compile_spanner
+from repro.server.metrics import Metrics
+from repro.server.protocol import EVALUATE, SpanRequest
+from repro.service.cache import SpannerCache
+from repro.service.evaluate import WorkerPool, evaluate_records
+
+__all__ = ["Dispatcher", "DispatcherConfig", "Overloaded", "RequestTooLarge"]
+
+
+class Overloaded(Exception):
+    """The pending-document queue is full; shed the request (HTTP 429)."""
+
+
+class RequestTooLarge(Exception):
+    """More documents than ``max_pending`` in one request: retrying can
+    never succeed, so the HTTP layer answers 413, not 429."""
+
+
+@dataclass
+class DispatcherConfig:
+    """Tuning knobs for the dispatcher (see the module docstring)."""
+
+    #: Worker processes for batch evaluation; 0 evaluates in-process on a
+    #: thread pool (no pickling, engines shared across threads).
+    workers: int = 0
+    #: Flush a batch at this many documents …
+    batch_max_size: int = 16
+    #: … or this many seconds after its first document, whichever first.
+    batch_max_delay: float = 0.002
+    #: Queued + in-flight documents beyond which submissions are shed.
+    max_pending: int = 1024
+    #: Threads for the in-process executor (``workers == 0``); None picks
+    #: a small multiple of the CPU count.
+    inline_threads: int | None = None
+    #: Disable cache, coalescing, and batching (the E23 baseline).
+    naive: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if self.batch_max_size < 1:
+            raise ValueError("batch_max_size must be >= 1")
+        if self.batch_max_delay < 0:
+            raise ValueError("batch_max_delay must be >= 0")
+        if self.max_pending < 0:
+            raise ValueError("max_pending must be >= 0")
+
+
+class _Batch:
+    """One open micro-batch: items plus the pending flush timer."""
+
+    __slots__ = ("engine", "kind", "spans", "items", "timer")
+
+    def __init__(self, engine: CompiledSpanner, kind: str, spans: bool) -> None:
+        self.engine = engine
+        self.kind = kind
+        self.spans = spans
+        # (doc_id, text, future) per document, in arrival order.
+        self.items: list[tuple[str, str, asyncio.Future]] = []
+        self.timer: asyncio.TimerHandle | None = None
+
+
+def _request_kind(request: SpanRequest) -> str:
+    return "matches" if request.mode == EVALUATE else "extract"
+
+
+class Dispatcher:
+    """Routes parsed requests onto shared engines and batched executors."""
+
+    def __init__(
+        self,
+        config: DispatcherConfig | None = None,
+        metrics: Metrics | None = None,
+        cache: SpannerCache | None = None,
+    ) -> None:
+        self.config = config if config is not None else DispatcherConfig()
+        self.metrics = metrics if metrics is not None else Metrics()
+        # NB: `cache or SpannerCache()` would silently replace an *empty*
+        # cache — SpannerCache defines __len__, so empty means falsy.
+        self.cache = cache if cache is not None else SpannerCache()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._compile_pool: ThreadPoolExecutor | None = None
+        self._eval_pool: ThreadPoolExecutor | None = None
+        self._worker_pool: WorkerPool | None = None
+        # In-flight compiles, keyed by (pattern, opt_level).  Resolved
+        # engines live only in the SpannerCache — a loop-local mirror
+        # would dodge the cache's capacity bound and make its stats (and
+        # /healthz) lie about what is actually being served.
+        self._compiles: dict[tuple[str, int | None], asyncio.Future] = {}
+        self._batches: dict[tuple, _Batch] = {}
+        self._batch_tasks: set[asyncio.Task] = set()
+        self._pending = 0
+        self._flush_immediately = False
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._compile_pool = ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="repro-compile"
+        )
+        if self.config.workers >= 1:
+            self._worker_pool = WorkerPool(self.config.workers)
+        else:
+            threads = self.config.inline_threads or min(
+                32, (os.cpu_count() or 1) + 4
+            )
+            self._eval_pool = ThreadPoolExecutor(
+                max_workers=threads, thread_name_prefix="repro-eval"
+            )
+
+    def flush_all(self) -> None:
+        """Flush every open batch now and every future batch on arrival.
+
+        The first step of a graceful drain: request handlers still
+        running may submit more documents, and those must not wait out a
+        latency watermark the server no longer intends to honour.
+        """
+        self._flush_immediately = True
+        for key in list(self._batches):
+            self._flush(key)
+
+    async def close(self) -> None:
+        """Flush, wait for every in-flight batch, release the executors."""
+        self.flush_all()
+        while self._batch_tasks:
+            await asyncio.gather(*list(self._batch_tasks), return_exceptions=True)
+        self._closed = True
+        if self._compile_pool is not None:
+            self._compile_pool.shutdown(wait=False)
+        if self._eval_pool is not None:
+            self._eval_pool.shutdown(wait=True)
+        if self._worker_pool is not None:
+            self._worker_pool.shutdown(wait=True)
+
+    # -- compilation (coalesced) ------------------------------------------------
+
+    async def engine(self, request: SpanRequest) -> CompiledSpanner:
+        """The compiled engine for one request, compiling at most once.
+
+        Raises whatever the planner raises on a bad pattern (the HTTP
+        layer answers 400).
+        """
+        assert self._loop is not None, "Dispatcher.start() was never awaited"
+        if self.config.naive:
+            # Ablation baseline: a fresh compile for every request.
+            self.metrics.inc("repro_compile_requests_total")
+            return await self._loop.run_in_executor(
+                self._compile_pool,
+                lambda: compile_spanner(request.pattern, request.opt_level),
+            )
+        key = request.key
+        self.metrics.inc("repro_compile_requests_total")
+        in_flight = self._compiles.get(key)
+        if in_flight is not None:
+            self.metrics.inc("repro_compiles_coalesced_total")
+            return await asyncio.shield(in_flight)
+        future: asyncio.Future = self._loop.create_future()
+        self._compiles[key] = future
+        started = time.perf_counter()
+        try:
+            engine = await self._loop.run_in_executor(
+                self._compile_pool,
+                lambda: self.cache.get(request.pattern, request.opt_level),
+            )
+        except BaseException as error:
+            self._compiles.pop(key, None)
+            future.set_exception(error)
+            future.exception()  # consumed: waiters got theirs via shield
+            raise
+        self.metrics.observe(
+            "repro_compile_seconds", time.perf_counter() - started
+        )
+        self._compiles.pop(key, None)
+        future.set_result(engine)
+        return engine
+
+    # -- submission + batching ---------------------------------------------------
+
+    def submit(
+        self, engine: CompiledSpanner, request: SpanRequest
+    ) -> list[asyncio.Future]:
+        """Queue every document of a request; one future per document.
+
+        Each future resolves to a ``(payload, error)`` pair.  Raises
+        :class:`Overloaded` — queueing nothing — when the request would
+        push the pending count past ``max_pending``.
+        """
+        assert self._loop is not None, "Dispatcher.start() was never awaited"
+        if self._closed:
+            raise RuntimeError("dispatcher is closed")
+        count = len(request.documents)
+        if count > self.config.max_pending:
+            # Even an empty queue could never admit this request: a 429
+            # retry loop would spin forever, so reject it outright.
+            raise RequestTooLarge(
+                f"{count} documents in one request exceeds the server's "
+                f"queue capacity ({self.config.max_pending}); split the "
+                f"request or use the corpus service"
+            )
+        if self._pending + count > self.config.max_pending:
+            self.metrics.inc("repro_shed_total", count)
+            raise Overloaded(
+                f"{self._pending} documents pending (limit "
+                f"{self.config.max_pending}); retry later"
+            )
+        self._pending += count
+        self.metrics.inc("repro_documents_total", count)
+        self.metrics.gauge("repro_queue_depth", self._pending)
+        kind = _request_kind(request)
+        futures = []
+        for doc_id, text in request.documents:
+            futures.append(self._enqueue(engine, kind, request.spans, doc_id, text))
+        return futures
+
+    def _enqueue(
+        self,
+        engine: CompiledSpanner,
+        kind: str,
+        spans: bool,
+        doc_id: str,
+        text: str,
+    ) -> asyncio.Future:
+        future: asyncio.Future = self._loop.create_future()
+        if self.config.naive:
+            # One document, one executor round-trip, no shared state.
+            task = self._loop.create_task(
+                self._run_batch(
+                    _Batch(engine, kind, spans), [(doc_id, text, future)]
+                )
+            )
+            self._track(task)
+            return future
+        key = (id(engine), kind, spans)
+        batch = self._batches.get(key)
+        if batch is None:
+            batch = _Batch(engine, kind, spans)
+            self._batches[key] = batch
+            if not self._flush_immediately and self.config.batch_max_delay > 0:
+                batch.timer = self._loop.call_later(
+                    self.config.batch_max_delay, self._flush, key
+                )
+        batch.items.append((doc_id, text, future))
+        if (
+            len(batch.items) >= self.config.batch_max_size
+            or self._flush_immediately
+            or self.config.batch_max_delay <= 0
+        ):
+            self._flush(key)
+        return future
+
+    def _flush(self, key: tuple) -> None:
+        batch = self._batches.pop(key, None)
+        if batch is None:
+            return  # already flushed by the size watermark
+        if batch.timer is not None:
+            batch.timer.cancel()
+        self.metrics.inc("repro_batches_total")
+        self.metrics.observe("repro_batch_documents", len(batch.items))
+        task = self._loop.create_task(self._run_batch(batch, batch.items))
+        self._track(task)
+
+    def _track(self, task: asyncio.Task) -> None:
+        self._batch_tasks.add(task)
+        self.metrics.gauge("repro_inflight_batches", len(self._batch_tasks))
+        task.add_done_callback(self._untrack)
+
+    def _untrack(self, task: asyncio.Task) -> None:
+        self._batch_tasks.discard(task)
+        self.metrics.gauge("repro_inflight_batches", len(self._batch_tasks))
+
+    async def _run_batch(self, batch: _Batch, items: list) -> None:
+        records = [(doc_id, text) for doc_id, text, _ in items]
+        try:
+            if self._worker_pool is not None:
+                triples = await asyncio.wrap_future(
+                    self._worker_pool.submit(
+                        batch.engine, records, kind=batch.kind, spans=batch.spans
+                    )
+                )
+            else:
+                triples = await self._loop.run_in_executor(
+                    self._eval_pool,
+                    lambda: evaluate_records(
+                        batch.engine, records, batch.kind, batch.spans
+                    ),
+                )
+            # Results come back in submission order.  Document ids are
+            # only unique *within* one request — a batch spans many — so
+            # matching must be positional, never by id.
+            if len(triples) != len(items):
+                raise RuntimeError(
+                    f"batch returned {len(triples)} results for "
+                    f"{len(items)} documents"
+                )
+            outcomes = [(payload, error) for _, payload, error in triples]
+        except Exception as error:
+            # The whole batch failed (e.g. a broken pool): report every
+            # document rather than losing the requests.
+            described = f"{type(error).__name__}: {error}"
+            outcomes = [(None, described)] * len(items)
+        finally:
+            self._pending -= len(items)
+            self.metrics.gauge("repro_queue_depth", self._pending)
+        for (_, _, future), outcome in zip(items, outcomes):
+            if not future.done():
+                future.set_result(outcome)
+
+    # -- introspection -----------------------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        """A live snapshot for ``/healthz`` and tests."""
+        return {
+            "pending_documents": self._pending,
+            "inflight_batches": len(self._batch_tasks),
+            "open_batches": len(self._batches),
+            "cache": self.cache.stats(),
+            "workers": self.config.workers,
+            "naive": self.config.naive,
+        }

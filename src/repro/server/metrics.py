@@ -1,0 +1,128 @@
+"""Live serving metrics: counters and gauges with Prometheus exposition.
+
+A deliberately small metrics registry (stdlib only) shared by the
+dispatcher and the HTTP app.  Counters only go up, gauges are set or
+adjusted, and both take optional labels.  :meth:`Metrics.render` emits
+the Prometheus text format served at ``GET /metrics``;
+:meth:`Metrics.snapshot` returns the same numbers as a plain dictionary
+for tests and the ``/healthz`` payload.
+
+Thread-safe: the server mutates metrics from the event loop *and* from
+executor threads (compile timings), so every operation takes one lock.
+
+>>> metrics = Metrics()
+>>> metrics.inc("repro_requests_total", endpoint="evaluate")
+>>> metrics.inc("repro_requests_total", endpoint="evaluate")
+>>> metrics.gauge("repro_queue_depth", 3)
+>>> metrics.snapshot()["repro_requests_total"]
+{'endpoint="evaluate"': 2}
+>>> print(metrics.render())
+# TYPE repro_queue_depth gauge
+repro_queue_depth 3
+# TYPE repro_requests_total counter
+repro_requests_total{endpoint="evaluate"} 2
+<BLANKLINE>
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["Metrics"]
+
+
+def _escape(value: str) -> str:
+    """Prometheus label-value escaping (backslash, quote, newline)."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _label_key(labels: dict[str, str]) -> str:
+    """The canonical ``k="v",…`` rendering (sorted, stable, escaped)."""
+    return ",".join(
+        f'{name}="{_escape(value)}"' for name, value in sorted(labels.items())
+    )
+
+
+class Metrics:
+    """A registry of named counters and gauges, optionally labelled."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # name -> label_key -> value; counters and gauges kept apart so
+        # the exposition can emit the right # TYPE line for each.
+        self._counters: dict[str, dict[str, float]] = {}
+        self._gauges: dict[str, dict[str, float]] = {}
+
+    # -- writing ---------------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1, **labels: str) -> None:
+        """Add ``amount`` (default 1) to a counter."""
+        key = _label_key(labels)
+        with self._lock:
+            series = self._counters.setdefault(name, {})
+            series[key] = series.get(key, 0) + amount
+
+    def gauge(self, name: str, value: float, **labels: str) -> None:
+        """Set a gauge to ``value``."""
+        with self._lock:
+            self._gauges.setdefault(name, {})[_label_key(labels)] = value
+
+    def adjust(self, name: str, delta: float, **labels: str) -> None:
+        """Add ``delta`` (may be negative) to a gauge."""
+        key = _label_key(labels)
+        with self._lock:
+            series = self._gauges.setdefault(name, {})
+            series[key] = series.get(key, 0) + delta
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        """Record one observation as ``<name>_sum`` / ``<name>_count``.
+
+        The summary-lite shape: enough to derive a live average (request
+        latency, batch size) without histogram buckets.
+        """
+        self.inc(f"{name}_sum", value, **labels)
+        self.inc(f"{name}_count", 1, **labels)
+
+    # -- reading ---------------------------------------------------------------
+
+    def value(self, name: str, **labels: str) -> float:
+        """One series' current value (0 when never written)."""
+        key = _label_key(labels)
+        with self._lock:
+            for table in (self._counters, self._gauges):
+                if name in table and key in table[name]:
+                    return table[name][key]
+        return 0
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Every series, as ``{name: {label_key: value}}``."""
+        with self._lock:
+            merged: dict[str, dict[str, float]] = {}
+            for table in (self._counters, self._gauges):
+                for name, series in table.items():
+                    merged[name] = dict(series)
+            return merged
+
+    def render(self) -> str:
+        """The Prometheus text exposition (sorted for stable scrapes)."""
+        with self._lock:
+            lines = []
+            typed = [("counter", self._counters), ("gauge", self._gauges)]
+            for kind, table in typed:
+                for name in table:
+                    lines.append((name, f"# TYPE {name} {kind}", table[name]))
+            out: list[str] = []
+            for name, type_line, series in sorted(lines):
+                out.append(type_line)
+                for key, value in sorted(series.items()):
+                    rendered = (
+                        str(int(value)) if value == int(value) else repr(value)
+                    )
+                    suffix = f"{{{key}}}" if key else ""
+                    out.append(f"{name}{suffix} {rendered}")
+            return "\n".join(out) + "\n"

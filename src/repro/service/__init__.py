@@ -27,6 +27,7 @@ from repro.service.corpus import (
 )
 from repro.service.evaluate import (
     CorpusResult,
+    WorkerPool,
     corpus_outputs,
     evaluate_corpus,
     extract_corpus,
@@ -43,6 +44,7 @@ __all__ = [
     "GeneratorCorpus",
     "InMemoryCorpus",
     "SpannerCache",
+    "WorkerPool",
     "as_corpus",
     "cached_spanner",
     "corpus_outputs",

@@ -35,6 +35,8 @@ True
 
 from __future__ import annotations
 
+import threading
+
 from repro.automata.fingerprint import va_fingerprint
 from repro.engine.compiled import CompiledSpanner
 from repro.plan import DEFAULT_OPT_LEVEL, Plan, plan as build_plan
@@ -75,6 +77,12 @@ class SpannerCache:
         if capacity < 1:
             raise ValueError("cache capacity must be positive")
         self._capacity = capacity
+        # All bookkeeping happens under this lock: the async server's
+        # executor threads share one cache, and an unguarded dict-evict
+        # racing a lookup could hand out a half-evicted entry.  Planning
+        # and engine compilation stay *outside* the lock (they dominate
+        # the cost); a lost race compiles twice and keeps the first.
+        self._lock = threading.RLock()
         self._by_fingerprint: dict[str, CompiledSpanner] = {}
         self._by_pattern: dict[tuple[str, int], str] = {}
         self._hits = 0
@@ -97,42 +105,51 @@ class SpannerCache:
         pattern = source if isinstance(source, str) else None
         level = DEFAULT_OPT_LEVEL if opt_level is None else opt_level
         if pattern is not None:
-            fingerprint = self._by_pattern.get((pattern, level))
-            if fingerprint is not None:
-                cached = self._by_fingerprint.get(fingerprint)
-                if cached is not None:
-                    self._hits += 1
-                    return cached
-        plan = self._resolve_plan(source, opt_level)
+            with self._lock:
+                fingerprint = self._by_pattern.get((pattern, level))
+                if fingerprint is not None:
+                    cached = self._by_fingerprint.get(fingerprint)
+                    if cached is not None:
+                        self._hits += 1
+                        return cached
+        plan = self._resolve_plan(source, opt_level)  # heavy: outside the lock
         fingerprint = plan.fingerprint
-        cached = self._by_fingerprint.get(fingerprint)
-        if cached is not None:
-            self._hits += 1
-            engine = cached
+        with self._lock:
+            cached = self._by_fingerprint.get(fingerprint)
+            if cached is not None:
+                self._hits += 1
+                if pattern is not None:
+                    self._by_pattern[(pattern, level)] = fingerprint
+                return cached
+        if isinstance(source, CompiledSpanner) and source.automaton is plan.automaton:
+            engine = source  # already compiled on exactly this plan
         else:
-            self._misses += 1
-            if len(self._by_fingerprint) >= self._capacity:
-                evicted = next(iter(self._by_fingerprint))
-                del self._by_fingerprint[evicted]
-                self._by_pattern = {
-                    key: digest
-                    for key, digest in self._by_pattern.items()
-                    if digest != evicted
-                }
-            if (
-                isinstance(source, CompiledSpanner)
-                and source.automaton is plan.automaton
-            ):
-                engine = source  # already compiled on exactly this plan
+            engine = CompiledSpanner(plan=plan)  # heavy: outside the lock
+        with self._lock:
+            cached = self._by_fingerprint.get(fingerprint)
+            if cached is not None:
+                # A concurrent get() compiled the same plan; keep the
+                # canonical first entry so callers share one engine.
+                self._hits += 1
+                engine = cached
             else:
-                engine = CompiledSpanner(plan=plan)
-            self._by_fingerprint[fingerprint] = engine
-        if pattern is not None:
-            self._by_pattern[(pattern, level)] = fingerprint
-        return engine
+                self._misses += 1
+                if len(self._by_fingerprint) >= self._capacity:
+                    evicted = next(iter(self._by_fingerprint))
+                    del self._by_fingerprint[evicted]
+                    self._by_pattern = {
+                        key: digest
+                        for key, digest in self._by_pattern.items()
+                        if digest != evicted
+                    }
+                self._by_fingerprint[fingerprint] = engine
+            if pattern is not None:
+                self._by_pattern[(pattern, level)] = fingerprint
+            return engine
 
     def __len__(self) -> int:
-        return len(self._by_fingerprint)
+        with self._lock:
+            return len(self._by_fingerprint)
 
     def __contains__(self, source) -> bool:
         """Membership without ever constructing an engine.
@@ -148,27 +165,31 @@ class SpannerCache:
         """
         if isinstance(source, str):
             key = (source, DEFAULT_OPT_LEVEL)
-            return self._by_pattern.get(key) in self._by_fingerprint
+            with self._lock:
+                return self._by_pattern.get(key) in self._by_fingerprint
         try:
             plan = self._resolve_plan(source, None)
         except TypeError:
             return False
-        return plan.fingerprint in self._by_fingerprint
+        with self._lock:
+            return plan.fingerprint in self._by_fingerprint
 
     def stats(self) -> dict[str, int]:
         """Hit/miss/size counters (for capacity tuning and dashboards)."""
-        return {
-            "hits": self._hits,
-            "misses": self._misses,
-            "size": len(self._by_fingerprint),
-            "capacity": self._capacity,
-        }
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "size": len(self._by_fingerprint),
+                "capacity": self._capacity,
+            }
 
     def clear(self) -> None:
-        self._by_fingerprint.clear()
-        self._by_pattern.clear()
-        self._hits = 0
-        self._misses = 0
+        with self._lock:
+            self._by_fingerprint.clear()
+            self._by_pattern.clear()
+            self._hits = 0
+            self._misses = 0
 
     def __repr__(self) -> str:
         stats = self.stats()

@@ -113,7 +113,9 @@ class DirectoryCorpus(Corpus):
 
     Ids are POSIX-style paths relative to ``root``, sorted for a stable
     order; file contents are read lazily (UTF-8) during iteration, so a
-    huge directory costs nothing until evaluated.
+    huge directory costs nothing until evaluated.  An unreadable or
+    non-UTF-8 file raises :class:`~repro.util.errors.CorpusError` naming
+    the offending document.
 
     >>> import tempfile, pathlib
     >>> root = pathlib.Path(tempfile.mkdtemp())
@@ -145,6 +147,10 @@ class DirectoryCorpus(Corpus):
             doc_id = path.relative_to(self._root).as_posix()
             try:
                 yield doc_id, path.read_text(encoding="utf-8")
+            except UnicodeDecodeError as error:
+                raise CorpusError(
+                    f"{doc_id!r} is not valid UTF-8: {error}"
+                ) from error
             except OSError as error:
                 raise CorpusError(f"cannot read {doc_id!r}: {error}") from error
 

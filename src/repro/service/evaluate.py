@@ -3,11 +3,13 @@
 :func:`evaluate_corpus` is the service layer's main entry point.  It
 compiles the spanner once (through the process-wide
 :class:`~repro.service.cache.SpannerCache`), shards the corpus into chunks,
-and evaluates them either serially or across a
-:class:`concurrent.futures.ProcessPoolExecutor` — each worker process
-compiles its own engine once from the pickled automaton and keeps it for
-every chunk it receives, so the per-document cost matches the serial batch
-path and the only overhead is shipping documents and results.  Keeping the
+and evaluates them either serially or across a :class:`WorkerPool` — each
+worker process compiles its own engine once from the pickled automaton
+(memoised by fingerprint, so one pool can serve many spanners) and keeps
+it for every chunk it receives, so the per-document cost matches the
+serial batch path and the dominant overhead is shipping documents and
+results (the automaton rides along as a once-pickled blob that warm
+workers never even unpickle).  Keeping the
 engine also keeps its bitmask kernel (:mod:`repro.engine.kernel`): the
 lazy-DFA ``delta`` memo and alphabet classes warm up on the first
 documents and are shared across the worker's whole batch, which is where
@@ -34,8 +36,10 @@ exactly one error record.
 from __future__ import annotations
 
 import itertools
-from collections import deque
-from collections.abc import Iterator
+import pickle
+import weakref
+from collections import OrderedDict, deque
+from collections.abc import Iterator, Sequence
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 
@@ -79,17 +83,31 @@ class CorpusResult:
 
 # -- worker-process state ---------------------------------------------------
 #
-# Each worker compiles the automaton once (the initializer receives the
-# pickled VA) and serves every chunk from that engine — document indexes,
-# Eval verdicts, and the kernel's lazy-DFA memo accumulate in the worker
-# exactly as they do serially.
+# Each worker keeps a bounded table of compiled engines keyed by automaton
+# fingerprint.  The first batch for a spanner compiles it (from the pickled
+# VA shipped with the batch); every later batch for the same fingerprint —
+# whether from the same corpus run or, under the online server, from a
+# completely different request — reuses the warm engine, so document
+# indexes, Eval verdicts, and the kernel's lazy-DFA memo accumulate in the
+# worker exactly as they do serially.
 
-_WORKER_ENGINE: CompiledSpanner | None = None
+#: Distinct engines a worker keeps warm (LRU); the online server can route
+#: many patterns through one pool.
+_WORKER_ENGINE_LIMIT = 32
+
+_WORKER_ENGINES: "OrderedDict[str, CompiledSpanner]" = OrderedDict()
 
 
-def _initialize_worker(automaton) -> None:
-    global _WORKER_ENGINE
-    _WORKER_ENGINE = CompiledSpanner(automaton)
+def _worker_engine(fingerprint: str, automaton_blob: bytes) -> CompiledSpanner:
+    engine = _WORKER_ENGINES.get(fingerprint)
+    if engine is None:
+        if len(_WORKER_ENGINES) >= _WORKER_ENGINE_LIMIT:
+            _WORKER_ENGINES.popitem(last=False)
+        engine = CompiledSpanner(pickle.loads(automaton_blob))
+        _WORKER_ENGINES[fingerprint] = engine
+    else:
+        _WORKER_ENGINES.move_to_end(fingerprint)
+    return engine
 
 
 def _describe(error: BaseException) -> str:
@@ -115,13 +133,121 @@ def _evaluate_one(
         return (doc_id, None, _describe(error))
 
 
-def _evaluate_chunk(chunk, decode: bool, spans: bool):
-    """Evaluate one shard in a worker; per-document errors become records."""
-    engine = _WORKER_ENGINE
+def evaluate_records(
+    engine: CompiledSpanner, records, kind: str = "mappings", spans: bool = False
+):
+    """Evaluate records on one engine; per-document errors become triples.
+
+    ``kind`` selects the per-document payload: ``"mappings"`` (the frozen
+    output set), ``"extract"`` (decoded dictionaries), or ``"matches"``
+    (the boolean NonEmp verdict the server's ``/evaluate`` returns).  The
+    single definition of batch semantics, shared by the worker processes
+    and the online server's in-process executor.
+
+    >>> from repro.engine import compile_spanner
+    >>> evaluate_records(
+    ...     compile_spanner("x{a}"), [("d0", "a")], kind="matches"
+    ... )
+    [('d0', True, None)]
+    """
+    if kind == "matches":
+        results = []
+        for doc_id, text in records:
+            try:
+                results.append((doc_id, engine.matches(text), None))
+            except Exception as error:
+                results.append((doc_id, None, _describe(error)))
+        return results
     return [
-        _evaluate_one(engine, doc_id, text, decode, spans)
-        for doc_id, text in chunk
+        _evaluate_one(engine, doc_id, text, kind == "extract", spans)
+        for doc_id, text in records
     ]
+
+
+def _evaluate_batch(
+    fingerprint: str, automaton_blob: bytes, records, kind: str, spans: bool
+):
+    """One batch inside a worker process: warm engine lookup, then records."""
+    return evaluate_records(
+        _worker_engine(fingerprint, automaton_blob), records, kind, spans
+    )
+
+
+class WorkerPool:
+    """A persistent process pool whose workers keep engines warm per spanner.
+
+    The reusable substrate under both :func:`evaluate_corpus` and the
+    online server (:mod:`repro.server`): batches of ``(doc_id, text)``
+    records are shipped to worker processes together with the automaton
+    and its fingerprint, and each worker memoises compiled engines by
+    fingerprint (LRU of :data:`_WORKER_ENGINE_LIMIT`), so consecutive
+    batches for the same spanner — no matter which request or corpus run
+    they came from — hit a warm kernel.
+
+    >>> from repro.engine import compile_spanner
+    >>> with WorkerPool(2) as pool:
+    ...     future = pool.submit(
+    ...         compile_spanner(".*x{a+}.*"), [("d0", "ba")], kind="extract"
+    ...     )
+    ...     future.result()
+    [('d0', ({'x': 'a'},), None)]
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self._workers = workers
+        self._pool = ProcessPoolExecutor(max_workers=workers)
+        # The automaton is serialised once per engine, not once per batch
+        # (workers only unpickle it on an engine-cache miss anyway).
+        self._blobs: "weakref.WeakKeyDictionary[CompiledSpanner, bytes]" = (
+            weakref.WeakKeyDictionary()
+        )
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def _automaton_blob(self, engine: CompiledSpanner) -> bytes:
+        blob = self._blobs.get(engine)
+        if blob is None:
+            blob = pickle.dumps(
+                engine.automaton, protocol=pickle.HIGHEST_PROTOCOL
+            )
+            self._blobs[engine] = blob
+        return blob
+
+    def submit(
+        self,
+        engine: CompiledSpanner,
+        records: "Sequence[CorpusRecord]",
+        *,
+        kind: str = "mappings",
+        spans: bool = False,
+    ) -> Future:
+        """Ship one batch; resolves to ``(doc_id, payload, error)`` triples."""
+        if kind not in ("mappings", "extract", "matches"):
+            raise ValueError(f"unknown batch kind {kind!r}")
+        return self._pool.submit(
+            _evaluate_batch,
+            engine.fingerprint,
+            self._automaton_blob(engine),
+            list(records),
+            kind,
+            spans,
+        )
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return f"WorkerPool({self._workers} workers)"
 
 
 def _unique_records(corpus: Corpus) -> Iterator[CorpusRecord]:
@@ -145,18 +271,15 @@ def _serial(engine: CompiledSpanner, records, decode: bool, spans: bool):
 
 
 def _parallel(
-    automaton,
+    engine: CompiledSpanner,
     chunks: Iterator[list[CorpusRecord]],
     workers: int,
     ordered: bool,
     decode: bool,
     spans: bool,
 ) -> Iterator[CorpusResult]:
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        initializer=_initialize_worker,
-        initargs=(automaton,),
-    ) as pool:
+    kind = "extract" if decode else "mappings"
+    with WorkerPool(workers) as pool:
         backlog = workers * _BACKLOG_PER_WORKER
         pending: deque[tuple[Future, list[CorpusRecord]]] = deque()
 
@@ -165,7 +288,7 @@ def _parallel(
             if chunk is None:
                 return False
             pending.append(
-                (pool.submit(_evaluate_chunk, chunk, decode, spans), chunk)
+                (pool.submit(engine, chunk, kind=kind, spans=spans), chunk)
             )
             return True
 
@@ -237,9 +360,7 @@ def evaluate_corpus(
             yield from _serial(engine, records, _decode, _spans)
             return
         chunks = _chunked(records, chunk_size or DEFAULT_CHUNK_SIZE)
-        yield from _parallel(
-            engine.automaton, chunks, workers, ordered, _decode, _spans
-        )
+        yield from _parallel(engine, chunks, workers, ordered, _decode, _spans)
 
     return stream()
 

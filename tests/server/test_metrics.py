@@ -1,0 +1,49 @@
+"""The metrics registry: counters, gauges, exposition hygiene."""
+
+from repro.server.metrics import Metrics
+
+
+class TestMetrics:
+    def test_counters_accumulate_per_label(self):
+        metrics = Metrics()
+        metrics.inc("hits", endpoint="a")
+        metrics.inc("hits", 2, endpoint="a")
+        metrics.inc("hits", endpoint="b")
+        assert metrics.value("hits", endpoint="a") == 3
+        assert metrics.value("hits", endpoint="b") == 1
+        assert metrics.value("hits", endpoint="absent") == 0
+
+    def test_gauges_set_and_adjust(self):
+        metrics = Metrics()
+        metrics.gauge("depth", 5)
+        metrics.adjust("depth", -2)
+        assert metrics.value("depth") == 3
+
+    def test_observe_is_sum_and_count(self):
+        metrics = Metrics()
+        metrics.observe("latency", 0.5)
+        metrics.observe("latency", 1.5)
+        assert metrics.value("latency_sum") == 2.0
+        assert metrics.value("latency_count") == 2
+
+    def test_label_values_are_escaped_in_exposition(self):
+        metrics = Metrics()
+        metrics.inc("requests", path='a"b\\c\nd')
+        rendered = metrics.render()
+        # Quotes, backslashes, and newlines must not break the text
+        # format: exactly one payload line, with escapes.
+        (line,) = [
+            candidate
+            for candidate in rendered.splitlines()
+            if candidate.startswith("requests{")
+        ]
+        assert line == 'requests{path="a\\"b\\\\c\\nd"} 1'
+
+    def test_render_is_sorted_and_typed(self):
+        metrics = Metrics()
+        metrics.gauge("b_gauge", 1)
+        metrics.inc("a_counter")
+        rendered = metrics.render()
+        assert rendered.index("a_counter") < rendered.index("b_gauge")
+        assert "# TYPE a_counter counter" in rendered
+        assert "# TYPE b_gauge gauge" in rendered

@@ -67,6 +67,47 @@ class TestDirectoryCorpus:
         (tmp_path / "b.txt").write_text("bb")  # appears on next iteration
         assert corpus.doc_ids() == ["a.txt", "b.txt"]
 
+    def test_glob_matching_nothing_is_an_empty_corpus(self, tmp_path):
+        (tmp_path / "a.txt").write_text("aa")
+        corpus = DirectoryCorpus(tmp_path, "*.absent")
+        assert corpus.doc_ids() == []
+        assert len(corpus) == 0
+        # An empty corpus evaluates to an empty result stream, not an error.
+        from repro.service import evaluate_corpus
+
+        assert list(evaluate_corpus("x{a}", corpus)) == []
+
+    def test_empty_file_is_an_empty_document(self, tmp_path):
+        (tmp_path / "empty.txt").write_text("")
+        corpus = DirectoryCorpus(tmp_path)
+        assert dict(corpus) == {"empty.txt": ""}
+        from repro.service import evaluate_corpus
+
+        (result,) = evaluate_corpus(".*x{a+}.*", corpus)
+        assert result.ok and result.mappings == frozenset()
+
+    def test_non_utf8_file_raises_corpus_error_naming_it(self, tmp_path):
+        (tmp_path / "good.txt").write_text("aa")
+        (tmp_path / "bad.bin").write_bytes(b"\xff\xfe\x00broken")
+        corpus = DirectoryCorpus(tmp_path)
+        with pytest.raises(CorpusError, match="'bad.bin' is not valid UTF-8"):
+            list(corpus)
+
+    def test_unreadable_file_raises_corpus_error(self, tmp_path):
+        import os
+        import stat
+
+        if os.geteuid() == 0:
+            pytest.skip("root ignores file permission bits")
+        target = tmp_path / "locked.txt"
+        target.write_text("aa")
+        target.chmod(0)
+        try:
+            with pytest.raises(CorpusError, match="cannot read 'locked.txt'"):
+                list(DirectoryCorpus(tmp_path))
+        finally:
+            target.chmod(stat.S_IRUSR | stat.S_IWUSR)
+
 
 class TestGeneratorCorpus:
     def test_reiterable(self):

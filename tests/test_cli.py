@@ -239,3 +239,75 @@ class TestErrors:
     def test_count_rejects_ndjson(self, capsys):
         assert run(["x{a}", "--count", "--ndjson"]) == 2
         assert "--count" in capsys.readouterr().err
+
+
+class TestStatsFlag:
+    def test_stats_prints_counters_to_stderr(self, capsys):
+        code = run([".*x{a+}.*", "--stats"], stdin="baa")
+        assert code == 0
+        captured = capsys.readouterr()
+        assert json.loads(captured.out.splitlines()[0]) == {"x": "a"}
+        stats_lines = [
+            line for line in captured.err.splitlines() if line.startswith("stats:")
+        ]
+        assert any("kernel" in line and "classes=" in line for line in stats_lines)
+        assert any("engine" in line and "index_misses=" in line for line in stats_lines)
+        assert any("spanner-cache" in line and "hits=" in line for line in stats_lines)
+
+    def test_stats_counts_the_engine_that_did_the_work(self, capsys):
+        # A pattern no other test compiles: its cache entry (and the
+        # engine's counters) are born in this very run.
+        run([".*stats_q{a+}_flag.*", "--stats"], stdin="xstats_aa_flagx")
+        err = capsys.readouterr().err
+        engine_line = next(
+            line for line in err.splitlines() if line.startswith("stats: engine")
+        )
+        # The run evaluated one document through this very engine.
+        assert "index_misses=1" in engine_line
+
+    def test_stats_notes_worker_processes(self, tmp_path, capsys):
+        first = tmp_path / "a.txt"
+        second = tmp_path / "b.txt"
+        first.write_text("ba")
+        second.write_text("aa")
+        code = run(
+            [".*x{a+}.*", str(first), str(second), "--workers", "2", "--stats"]
+        )
+        assert code == 0
+        assert "worker processes" in capsys.readouterr().err
+
+    def test_stats_rejected_with_seed_engine(self, capsys):
+        assert run(["x{a}", "--engine", "seed", "--stats"]) == 2
+        assert "--stats" in capsys.readouterr().err
+
+
+class TestServeDispatch:
+    def test_serve_help_mentions_endpoints(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run(["serve", "--help"])
+        assert excinfo.value.code == 0
+        assert "/evaluate" in capsys.readouterr().out
+
+    def test_serve_rejects_bad_port(self, capsys):
+        assert run(["serve", "--port", "70000"]) == 2
+        assert "--port" in capsys.readouterr().err
+
+    def test_serve_parser_defaults_match_server_config(self):
+        from repro.cli import build_serve_parser
+        from repro.server import ServerConfig
+
+        defaults = build_serve_parser().parse_args([])
+        config = ServerConfig()
+        assert defaults.host == config.host
+        assert defaults.port == config.port
+        assert defaults.workers == config.workers
+        assert defaults.batch_size == config.batch_max_size
+        assert defaults.batch_delay == config.batch_max_delay
+        assert defaults.max_pending == config.max_pending
+        assert defaults.drain_grace == config.drain_grace
+
+    def test_serve_pattern_still_usable_as_pattern(self, capsys):
+        # Only the *first* argument dispatches to serving; a pattern named
+        # "serve" elsewhere keeps working.
+        assert run(["x{serve}", "--count"], stdin="serve") == 0
+        assert lines(capsys) == ["1"]

@@ -14,6 +14,10 @@ import repro.plan
 import repro.plan.planner
 import repro.rgx.parser
 import repro.rgx.semantics
+import repro.server.app
+import repro.server.client
+import repro.server.metrics
+import repro.server.protocol
 import repro.service
 import repro.service.cache
 import repro.service.corpus
@@ -35,6 +39,10 @@ MODULES = [
     repro.plan.planner,
     repro.rgx.parser,
     repro.rgx.semantics,
+    repro.server.app,
+    repro.server.client,
+    repro.server.metrics,
+    repro.server.protocol,
     repro.service,
     repro.service.cache,
     repro.service.corpus,
