@@ -37,7 +37,8 @@ from benchmarks._harness import (
     write_results,
 )
 from repro.automata.thompson import to_va
-from repro.engine import compile_spanner, kernel_disabled
+from repro.engine import kernel_disabled
+from repro.engine.compiled import compile_spanner
 from repro.workloads import land_registry, server_logs
 
 ROW_COUNTS = sizes(full=[5, 7, 9], quick=[2])

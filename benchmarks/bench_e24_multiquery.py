@@ -1,0 +1,213 @@
+"""E24 — multi-query plan sharing: one QuerySet engine vs. N independent runs.
+
+PR 6's tentpole: the query-set compiler
+(:class:`repro.service.queryset.QuerySet`) factors common sub-automata
+across a set of registered algebra queries — projections peel off to the
+decode edge, cores deduplicate by plan fingerprint, and the distinct
+cores union into **one** combined engine — so each document is scanned
+once no matter how many queries are registered.
+
+The workload is the multi-tenant shape the ROADMAP names: twenty-four
+named queries over a land-registry-style corpus, built from three
+distinct cores (seller records, buyer records, and their union) with
+the full projection lattice over the three variables on top.  The
+baseline compiles one independent engine per query and scans every
+document twenty-four times; the query set answers all twenty-four from
+one pass.  The corpus is sized past the engine's per-spanner
+document-index LRU so every timed pass pays the per-document
+reachability sweep — the serving scenario (a stream of fresh
+documents), and exactly the cost the shared engine amortises.
+
+Acceptance: per-query decoded mappings byte-identical to the independent
+engines on every document, and (full mode) at least
+``MINIMUM_SPEEDUP``x faster end-to-end.  With ``REPRO_BENCH_JSON`` set,
+the measured series lands in ``BENCH_e24.json``.  Under
+``REPRO_BENCH_QUICK`` only output equality is asserted.
+"""
+
+import pytest
+
+from benchmarks._harness import (
+    print_table,
+    quick_mode,
+    sizes,
+    write_results,
+)
+from repro.algebra import query
+from repro.engine.compiled import CompiledSpanner
+from repro.plan import plan as build_plan
+from repro.service.queryset import QuerySet
+
+# Past the engine's 64-entry per-spanner document-index LRU (see above).
+DOCUMENT_COUNT = sizes(full=[96], quick=[4])[0]
+ROWS_PER_DOCUMENT = sizes(full=[40], quick=[4])[0]
+OPT_LEVEL = 1
+MINIMUM_SPEEDUP = 2.0
+REPEAT = 3
+
+_SELLER_RECORDS = ".*Seller: x{[^,]*}, ID y{[0-9]+}, lot z{[0-9]+}.*"
+_BUYER_RECORDS = ".*Buyer: x{[^,]*}, ID y{[0-9]+}, lot z{[0-9]+}.*"
+
+#: The projection lattice over {x: name, y: id, z: lot} — eight query
+#: shapes per core, ``None`` meaning the unprojected record query.
+_SUBSETS = (
+    ("records", None),
+    ("names", ("x",)),
+    ("ids", ("y",)),
+    ("lots", ("z",)),
+    ("name_ids", ("x", "y")),
+    ("name_lots", ("x", "z")),
+    ("id_lots", ("y", "z")),
+    ("exists", ()),
+)
+
+
+def _expressions():
+    """Twenty-four named algebra queries over three distinct cores."""
+    seller = query(_SELLER_RECORDS)
+    buyer = query(_BUYER_RECORDS)
+    cores = {"seller": seller, "buyer": buyer, "party": seller.union(buyer)}
+    return {
+        f"{prefix}_{label}": core if keep is None else core.project(keep)
+        for prefix, core in cores.items()
+        for label, keep in _SUBSETS
+    }
+
+
+def _register(queryset: QuerySet) -> None:
+    """The same queries in wire-spec form, exercising Ref sharing."""
+    queryset.register("seller_records", _SELLER_RECORDS)
+    queryset.register("buyer_records", _BUYER_RECORDS)
+    queryset.register(
+        "party_records",
+        {
+            "op": "union",
+            "of": [
+                {"op": "ref", "name": "seller_records"},
+                {"op": "ref", "name": "buyer_records"},
+            ],
+        },
+    )
+    for prefix in ("seller", "buyer", "party"):
+        for label, keep in _SUBSETS:
+            if keep is None:
+                continue
+            queryset.register(
+                f"{prefix}_{label}",
+                {
+                    "op": "project",
+                    "of": {"op": "ref", "name": f"{prefix}_records"},
+                    "keep": list(keep),
+                },
+            )
+
+
+def _corpus(documents: int, rows: int) -> list[str]:
+    """Registry-style documents: mostly filler, a few deal rows each.
+
+    Matches are kept sparse so the per-document cost is the reachability
+    index sweep, not output enumeration — the shape a serving deployment
+    sees, and the cost the shared engine pays once instead of N times.
+    """
+    names = ("John", "Mark", "Ann", "Sue", "Pat")
+    texts = []
+    for position in range(documents):
+        lines = []
+        for row in range(rows):
+            if row % (rows // 2 or 1) == 0:
+                role = "Seller" if (position + row) % 2 == 0 else "Buyer"
+                name = names[(position * 3 + row) % len(names)]
+                lines.append(
+                    f"{role}: {name}, ID {position % 10}{row}, lot {row % 7}"
+                )
+            else:
+                lines.append(
+                    f"Log: parcel {position}-{row} surveyed and filed"
+                )
+        texts.append("\n".join(lines))
+    return texts
+
+
+def _best_of(action, repeat: int = REPEAT) -> float:
+    import time
+
+    best = float("inf")
+    for _ in range(repeat):
+        started = time.perf_counter()
+        action()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_multiquery_sharing():
+    documents = _corpus(DOCUMENT_COUNT, ROWS_PER_DOCUMENT)
+    expressions = _expressions()
+
+    # Baseline: one independent engine per query (compiled up front — the
+    # comparison is about evaluation sharing, not compile time).
+    independent = {
+        name: CompiledSpanner(
+            plan=build_plan(expression, opt_level=OPT_LEVEL)
+        )
+        for name, expression in expressions.items()
+    }
+
+    queryset = QuerySet(opt_level=OPT_LEVEL)
+    _register(queryset)
+    stats = queryset.stats()
+    assert stats["queries"] == len(expressions) == 24
+    assert stats["cores"] == 3, queryset.explain()
+    assert sorted(queryset.names()) == sorted(expressions)
+
+    # Byte-identical decoded mappings, per query, per document.
+    for text in documents:
+        shared = queryset.extract(text)
+        for name, engine in independent.items():
+            assert shared[name] == engine.extract(text), (name, text)
+
+    def run_independent():
+        for text in documents:
+            for engine in independent.values():
+                engine.extract(text)
+
+    def run_shared():
+        for text in documents:
+            queryset.extract(text)
+
+    run_independent()  # warm both paths before timing
+    run_shared()
+    baseline = _best_of(run_independent)
+    shared_time = _best_of(run_shared)
+    speedup = baseline / shared_time if shared_time > 0 else float("inf")
+
+    print_table(
+        "E24: multi-query plan sharing "
+        f"({len(expressions)} queries, {stats['cores']} cores, "
+        f"{len(documents)} documents)",
+        ["path", "seconds", "speedup"],
+        [
+            ["independent engines", baseline, 1.0],
+            ["shared QuerySet engine", shared_time, speedup],
+        ],
+    )
+    write_results(
+        "e24",
+        {
+            "queries": stats["queries"],
+            "cores": stats["cores"],
+            "documents": len(documents),
+            "rows_per_document": ROWS_PER_DOCUMENT,
+            "opt_level": OPT_LEVEL,
+            "engine_states": stats["engine_states"],
+            "independent_seconds": baseline,
+            "shared_seconds": shared_time,
+            "speedup": speedup,
+        },
+    )
+    if quick_mode():
+        pytest.skip("quick mode: outputs checked, speedup not asserted")
+    assert speedup >= MINIMUM_SPEEDUP, (
+        f"shared engine only {speedup:.2f}x faster "
+        f"(need {MINIMUM_SPEEDUP}x); baseline {baseline:.4f}s, "
+        f"shared {shared_time:.4f}s"
+    )

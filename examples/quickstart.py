@@ -6,11 +6,9 @@ public API.  Run with::
     python examples/quickstart.py
 """
 
-from repro import Document, Span, mappings, parse
+from repro import Document, Span, api, mappings, parse
 from repro.automata import to_va
-from repro.engine import compile_spanner
 from repro.evaluation import enumerate_va
-from repro.service import extract_corpus
 
 
 def main() -> None:
@@ -53,10 +51,10 @@ def main() -> None:
         print(f"  {mapping}")
 
     # --- the batch API: compile once, evaluate many ------------------------
-    # compile_spanner precompiles the automaton into indexed tables; the
+    # api.compile precompiles the automaton into indexed tables; the
     # CompiledSpanner then serves any number of documents through a memoised
     # Eval oracle with span pruning — the engine behind enumerate_va above.
-    engine = compile_spanner(".*Seller: x{[^,]*}, y{[^,]*}")
+    engine = api.compile(".*Seller: x{[^,]*}, y{[^,]*}")
     documents = [
         "Seller: John, ID75",
         "Seller: Mark, ID7",
@@ -71,9 +69,9 @@ def main() -> None:
         print(f"  {doc!r} -> {decoded}")
 
     # --- the corpus service: many documents, stable ids, worker pools ------
-    # evaluate_corpus/extract_corpus stream (doc_id, output) results; with
-    # workers=N documents are sharded over a process pool and, in ordered
-    # mode (the default), the output is identical to the serial run.  A bad
+    # api.evaluate streams (doc_id, output) results; with workers=N
+    # documents are sharded over a process pool and, in ordered mode (the
+    # default), the output is identical to the serial run.  A bad
     # document yields an error record instead of aborting the corpus —
     # mirrored on the command line by:
     #   repro '.*Seller: x{[^,]*},.*' --glob 'data/*.csv' --workers 4 --ndjson
@@ -83,11 +81,24 @@ def main() -> None:
         "broken.csv": None,  # unreadable: reported, never fatal
     }
     print("\ncorpus extraction with per-document error isolation:")
-    for result in extract_corpus(".*Seller: x{[^,\n]*},.*", corpus):
+    for result in api.evaluate(".*Seller: x{[^,\n]*},.*", corpus):
         if result.ok:
             print(f"  {result.doc_id}: {list(result.mappings)}")
         else:
             print(f"  {result.doc_id}: ERROR {result.error}")
+
+    # --- many queries, one engine pass -------------------------------------
+    # api.query registers named algebra queries (strings, expression
+    # combinators, or JSON specs with "ref" cross-references) and factors
+    # their shared cores into one combined engine per document.
+    queries = api.query({
+        "sellers": ".*Seller: x{[^,\n]*},.*",
+        "names": {"op": "project", "of": {"op": "ref", "name": "sellers"},
+                  "keep": ["x"]},
+    })
+    print("\nmulti-query extraction (one engine pass):")
+    for name, rows in queries.extract("Seller: John, ID75\n").items():
+        print(f"  {name}: {rows}")
 
 
 if __name__ == "__main__":

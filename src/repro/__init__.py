@@ -11,35 +11,48 @@ variable-set automata (:mod:`repro.automata`) and extraction rules
 (:mod:`repro.reductions`) and synthetic workload generators
 (:mod:`repro.workloads`).
 
-Quickstart::
+**The public Python surface is** :mod:`repro.api` — ``compile``,
+``evaluate``, ``enumerate``, ``query``, ``connect``::
 
-    >>> from repro import parse, mappings
-    >>> doc = "Seller: John, ID75"
-    >>> expr = parse(".*Seller: x{[^,]*},.*")
-    >>> [m["x"].content(doc) for m in mappings(expr, doc)]
+    >>> from repro import api
+    >>> engine = api.compile(".*Seller: x{[^,]*},.*")
+    >>> [m["x"] for m in engine.extract("Seller: John, ID75")]
     ['John']
+
+The paper-level building blocks (``parse``, ``mappings``, ``Span``,
+``Mapping``, …) stay importable from here; the old engine entry points
+``repro.Spanner`` and ``repro.compile_spanner`` are deprecated in favour
+of :func:`repro.api.compile` and warn on first use.
 """
 
+import warnings as _warnings
+
 from repro.alphabet import CharSet
-from repro.engine import CompiledSpanner, compile_spanner
+from repro.engine.compiled import CompiledSpanner
 from repro.plan import Plan
 from repro.rgx.parser import parse
 from repro.rgx.semantics import mappings
-from repro.service import (
-    Corpus,
-    CorpusResult,
-    DirectoryCorpus,
-    InMemoryCorpus,
-    SpannerCache,
-    evaluate_corpus,
-    extract_corpus,
-)
-from repro.spanner import Spanner
+from repro.service.cache import SpannerCache
+from repro.service.corpus import Corpus, DirectoryCorpus, InMemoryCorpus
+from repro.service.evaluate import CorpusResult, evaluate_corpus, extract_corpus
 from repro.spans.document import Document
 from repro.spans.mapping import NULL, ExtendedMapping, Mapping, join
 from repro.spans.span import Span
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
+
+#: Deprecated top-level names: {name: (module, attribute, replacement)}.
+#: Resolved lazily via module __getattr__ so ``import repro`` stays silent
+#: and each name warns exactly once per process (the resolved object is
+#: cached into the module namespace).
+_DEPRECATED = {
+    "Spanner": ("repro.spanner", "Spanner", "repro.api.compile"),
+    "compile_spanner": (
+        "repro.engine.compiled",
+        "compile_spanner",
+        "repro.api.compile",
+    ),
+}
 
 __all__ = [
     "CharSet",
@@ -64,3 +77,20 @@ __all__ = [
     "parse",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    deprecated = _DEPRECATED.get(name)
+    if deprecated is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    module_name, attribute, replacement = deprecated
+    _warnings.warn(
+        f"repro.{name} is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attribute)
+    globals()[name] = value  # warn once: later lookups bypass __getattr__
+    return value

@@ -1,0 +1,364 @@
+"""Algebra query expressions: ∪ / π / ⋈ over any spanner formalism.
+
+The paper's Theorem 4.5 closes VA under union, projection and join of
+*mappings*; :mod:`repro.automata.algebra` implements the automaton-level
+constructions.  This module is the user-facing counterpart: a small,
+immutable expression AST whose leaves are anything the compilation
+planner accepts — RGX text, a parsed :class:`~repro.rgx.ast.Rgx`, an
+extraction :class:`~repro.rules.rule.Rule`, a
+:class:`~repro.automata.va.VA`, a :class:`~repro.spanner.Spanner` — plus
+:class:`Ref` leaves naming sibling queries of a
+:class:`~repro.service.queryset.QuerySet`.
+
+A :class:`QueryExpr` is a planner *source*: ``repro.plan.plan`` (and
+therefore ``repro.api.compile``) lowers it through the automaton algebra
+and runs the ordinary pass pipeline over the combined automaton.
+
+>>> expression = query("x{a+}b").union(query("y{b+}a")).project(["x"])
+>>> str(expression)
+"π{x}(('x{a+}b' ∪ 'y{b+}a'))"
+>>> sorted(expression.variables())
+['x']
+
+The JSON wire form (the server's ``POST /query`` and the CLI's
+``--queries`` files) mirrors the AST one-to-one::
+
+    "x{a+}b"                                        an atom (RGX text)
+    {"op": "rgx", "pattern": "x{a+}b"}              the same, spelled out
+    {"op": "union", "of": [spec, spec, ...]}
+    {"op": "join", "of": [spec, spec, ...]}
+    {"op": "project", "of": spec, "keep": ["x"]}
+    {"op": "ref", "name": "other-query"}
+
+>>> spec = {"op": "project", "of": {"op": "union", "of": ["x{a}", "y{b}"]},
+...         "keep": ["x"]}
+>>> sorted(query(spec).variables())
+['x']
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping as AbstractMapping
+
+from repro.util.errors import SpannerError
+
+__all__ = [
+    "Atom",
+    "JoinExpr",
+    "ProjectExpr",
+    "QueryExpr",
+    "Ref",
+    "UnionExpr",
+    "query",
+    "query_from_spec",
+]
+
+
+class QueryExpr:
+    """Base class of algebra query expressions (immutable, hashable).
+
+    Combinators build bigger expressions; the planner front-end
+    (:func:`repro.plan.plan`) lowers them to one automaton.
+    """
+
+    __slots__ = ()
+
+    # -- combinators -----------------------------------------------------------
+
+    def union(self, other) -> "UnionExpr":
+        """``self ∪ other`` (mapping-set union, Theorem 4.5)."""
+        return UnionExpr((self, query(other)))
+
+    def join(self, other) -> "JoinExpr":
+        """``self ⋈ other`` (the paper's mapping join, Theorem 4.5)."""
+        return JoinExpr((self, query(other)))
+
+    def project(self, variables) -> "ProjectExpr":
+        """``π_variables(self)`` — restrict every mapping to ``variables``."""
+        return ProjectExpr(self, frozenset(variables))
+
+    # -- structure -------------------------------------------------------------
+
+    def children(self) -> tuple["QueryExpr", ...]:
+        return ()
+
+    def variables(self) -> frozenset:
+        """The output variables the expression can assign (no planning)."""
+        raise NotImplementedError
+
+    def references(self) -> frozenset[str]:
+        """Names of every :class:`Ref` leaf in the expression."""
+        names: set[str] = set()
+        for child in self.children():
+            names |= child.references()
+        return frozenset(names)
+
+    def resolve(
+        self, bindings: "AbstractMapping[str, QueryExpr]"
+    ) -> "QueryExpr":
+        """Substitute every :class:`Ref` leaf from ``bindings``.
+
+        Substitution is recursive (a binding may itself contain refs) and
+        cycle-checked: ``a -> b -> a`` raises
+        :class:`~repro.util.errors.SpannerError` instead of recursing
+        forever.
+        """
+        return self._resolve(bindings, ())
+
+    def _resolve(self, bindings, stack: tuple[str, ...]) -> "QueryExpr":
+        return self
+
+
+def _leaf_variables(source) -> frozenset:
+    from repro.automata.va import VA
+    from repro.rgx.ast import Rgx
+    from repro.rules.rule import Rule
+
+    if isinstance(source, str):
+        from repro.rgx.parser import parse
+
+        return frozenset(parse(source).variables())
+    if isinstance(source, Rgx):
+        return frozenset(source.variables())
+    if isinstance(source, Rule):
+        return frozenset(source.variables())
+    if isinstance(source, VA):
+        return frozenset(source.variables)
+    variables = getattr(source, "variables", None)
+    if variables is not None:
+        return frozenset(variables)
+    raise SpannerError(
+        f"cannot read variables of a {type(source).__name__} query atom"
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class Atom(QueryExpr):
+    """A leaf: any single-formalism source the planner accepts."""
+
+    source: object
+
+    def variables(self) -> frozenset:
+        return _leaf_variables(self.source)
+
+    def __str__(self) -> str:
+        if isinstance(self.source, str):
+            return repr(self.source)
+        return f"<{type(self.source).__name__}>"
+
+
+@dataclass(frozen=True, slots=True)
+class Ref(QueryExpr):
+    """A reference to a named sibling query (resolved by the query set)."""
+
+    name: str
+
+    def variables(self) -> frozenset:
+        raise SpannerError(
+            f"unresolved query reference {self.name!r}; resolve it against "
+            f"a query set (or a bindings mapping) before planning"
+        )
+
+    def references(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def _resolve(self, bindings, stack):
+        if self.name in stack:
+            cycle = " -> ".join((*stack, self.name))
+            raise SpannerError(f"cyclic query reference: {cycle}")
+        target = bindings.get(self.name)
+        if target is None:
+            raise SpannerError(
+                f"unknown query reference {self.name!r} "
+                f"(known: {sorted(bindings) or 'none'})"
+            )
+        return target._resolve(bindings, (*stack, self.name))
+
+    def __str__(self) -> str:
+        return f"@{self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class UnionExpr(QueryExpr):
+    """``e1 ∪ e2 ∪ …`` — the union of the parts' mapping sets."""
+
+    parts: tuple[QueryExpr, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise SpannerError("union needs at least two operands")
+
+    def children(self) -> tuple[QueryExpr, ...]:
+        return self.parts
+
+    def variables(self) -> frozenset:
+        result: frozenset = frozenset()
+        for part in self.parts:
+            result |= part.variables()
+        return result
+
+    def _resolve(self, bindings, stack):
+        return UnionExpr(
+            tuple(part._resolve(bindings, stack) for part in self.parts)
+        )
+
+    def __str__(self) -> str:
+        return "(" + " ∪ ".join(str(part) for part in self.parts) + ")"
+
+
+@dataclass(frozen=True, slots=True)
+class JoinExpr(QueryExpr):
+    """``e1 ⋈ e2 ⋈ …`` — the paper's join, which keeps one-sided
+    assignments of shared variables (unlike relational natural join)."""
+
+    parts: tuple[QueryExpr, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise SpannerError("join needs at least two operands")
+
+    def children(self) -> tuple[QueryExpr, ...]:
+        return self.parts
+
+    def variables(self) -> frozenset:
+        result: frozenset = frozenset()
+        for part in self.parts:
+            result |= part.variables()
+        return result
+
+    def _resolve(self, bindings, stack):
+        return JoinExpr(
+            tuple(part._resolve(bindings, stack) for part in self.parts)
+        )
+
+    def __str__(self) -> str:
+        return "(" + " ⋈ ".join(str(part) for part in self.parts) + ")"
+
+
+@dataclass(frozen=True, slots=True)
+class ProjectExpr(QueryExpr):
+    """``π_keep(child)`` — mappings restricted to the ``keep`` variables."""
+
+    child: QueryExpr
+    keep: frozenset
+
+    def children(self) -> tuple[QueryExpr, ...]:
+        return (self.child,)
+
+    def variables(self) -> frozenset:
+        return self.child.variables() & self.keep
+
+    def _resolve(self, bindings, stack):
+        return ProjectExpr(self.child._resolve(bindings, stack), self.keep)
+
+    def __str__(self) -> str:
+        keep = ",".join(sorted(self.keep))
+        return f"π{{{keep}}}({self.child})"
+
+
+def peel_projections(expression: QueryExpr) -> tuple[QueryExpr, frozenset | None]:
+    """Strip every top-level projection: ``(core, keep)``.
+
+    ``π_A(π_B(e))`` restricts to ``A ∩ B``, so nested projections fold
+    into one edge projection over the unprojected core — which is what
+    lets a query set share one compiled core between ``π_x(Q)`` and
+    ``π_y(Q)``.  ``keep`` is ``None`` when there was no projection.
+    """
+    keep: frozenset | None = None
+    while isinstance(expression, ProjectExpr):
+        keep = expression.keep if keep is None else (keep & expression.keep)
+        expression = expression.child
+    return expression, keep
+
+
+def _atom_source(source) -> object:
+    """Validate one non-dict leaf source (lazily imported type checks)."""
+    from repro.automata.va import VA
+    from repro.rgx.ast import Rgx
+    from repro.rules.rule import Rule
+
+    if isinstance(source, (str, Rgx, Rule, VA)):
+        return source
+    # Spanner / CompiledSpanner (and duck-typed equivalents) expose both
+    # an automaton and a variables attribute; accept them structurally so
+    # this module never has to import the heavy engine stack.
+    if hasattr(source, "automaton") and hasattr(source, "variables"):
+        return source
+    raise SpannerError(
+        f"cannot use a {type(source).__name__} as a query atom; expected "
+        f"RGX text, an Rgx AST, a Rule, a VA, or a (Compiled)Spanner"
+    )
+
+
+def query(source) -> QueryExpr:
+    """Coerce anything query-like into a :class:`QueryExpr`.
+
+    Expressions pass through, dictionaries parse as JSON wire specs (see
+    the module docstring), everything else becomes an :class:`Atom`.
+
+    >>> query("x{a}").union("y{b}").variables() == frozenset({"x", "y"})
+    True
+    """
+    if isinstance(source, QueryExpr):
+        return source
+    if isinstance(source, dict):
+        return query_from_spec(source)
+    return Atom(_atom_source(source))
+
+
+def query_from_spec(spec) -> QueryExpr:
+    """Parse the JSON wire form of a query expression.
+
+    >>> expression = query_from_spec(
+    ...     {"op": "join", "of": ["x{a}.*", {"op": "ref", "name": "base"}]}
+    ... )
+    >>> sorted(expression.references())
+    ['base']
+    """
+    if isinstance(spec, str):
+        if not spec:
+            raise SpannerError("query spec string must not be empty")
+        return Atom(spec)
+    if isinstance(spec, QueryExpr):
+        return spec
+    if not isinstance(spec, dict):
+        raise SpannerError(
+            f"query spec must be a string or an object, "
+            f"not {type(spec).__name__}"
+        )
+    op = spec.get("op")
+    if op == "rgx":
+        pattern = spec.get("pattern")
+        if not isinstance(pattern, str) or not pattern:
+            raise SpannerError('{"op": "rgx"} needs a "pattern" string')
+        return Atom(pattern)
+    if op == "ref":
+        name = spec.get("name")
+        if not isinstance(name, str) or not name:
+            raise SpannerError('{"op": "ref"} needs a "name" string')
+        return Ref(name)
+    if op in ("union", "join"):
+        parts = spec.get("of")
+        if not isinstance(parts, list) or len(parts) < 2:
+            raise SpannerError(
+                f'{{"op": "{op}"}} needs an "of" list of at least two specs'
+            )
+        constructor = UnionExpr if op == "union" else JoinExpr
+        return constructor(tuple(query_from_spec(part) for part in parts))
+    if op == "project":
+        child = spec.get("of")
+        keep = spec.get("keep")
+        if child is None:
+            raise SpannerError('{"op": "project"} needs an "of" spec')
+        if not isinstance(keep, list) or not all(
+            isinstance(variable, str) for variable in keep
+        ):
+            raise SpannerError(
+                '{"op": "project"} needs a "keep" list of variable names'
+            )
+        return ProjectExpr(query_from_spec(child), frozenset(keep))
+    raise SpannerError(
+        f"unknown query op {op!r}; expected one of "
+        f"'rgx', 'ref', 'union', 'join', 'project'"
+    )

@@ -33,6 +33,13 @@ Serving mode — ``repro serve`` starts the long-running HTTP server
 See ``repro serve --help`` for the batching/backpressure flags and
 ``docs/server.md`` for the endpoints.
 
+Multi-query mode — ``repro query`` evaluates a *set* of named queries
+(algebra expressions over RGX and named sub-queries) through one shared
+compiled engine, so every document is scanned once for all queries::
+
+    $ repro query -q seller='.*Seller: x{[^,]*},.*' \\
+                  -q buyer='.*Buyer: y{[^,]*},.*' registry.csv
+
 Batch mode — several files, ``--glob`` patterns, or both — compiles the
 pattern once and evaluates every document through the corpus service
 (:mod:`repro.service`):
@@ -254,6 +261,234 @@ def build_serve_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_query_parser() -> argparse.ArgumentParser:
+    """The ``repro query`` flags (multi-query evaluation via a QuerySet)."""
+    parser = argparse.ArgumentParser(
+        prog="repro query",
+        description=(
+            "Evaluate a set of named algebra queries (union / projection / "
+            "join over RGX and named sub-queries) against documents.  The "
+            "queries compile into one shared engine, so every document is "
+            "scanned once no matter how many queries are registered.  See "
+            "docs/cli.md for the query spec forms."
+        ),
+        epilog=(
+            "examples:\n"
+            "  echo 'Seller: John, ID75' | repro query -q "
+            "seller='.*Seller: x{[^,]*},.*'\n"
+            "  repro query --queries rules.json --glob 'logs/*.txt' "
+            "--workers 4 --ndjson\n"
+            "  repro query -q a='x{a+}' -q b='x{a+}|y{b+}' --explain\n"
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "-q",
+        "--query",
+        action="append",
+        default=[],
+        metavar="NAME=PATTERN",
+        help="register one named RGX query (repeatable)",
+    )
+    parser.add_argument(
+        "--queries",
+        metavar="FILE",
+        help=(
+            "register queries from a JSON file: an object mapping names "
+            "to query specs (RGX text or the algebra spec form)"
+        ),
+    )
+    parser.add_argument(
+        "files",
+        nargs="*",
+        metavar="file",
+        help="document file(s); defaults to stdin, several run as a batch",
+    )
+    parser.add_argument(
+        "--glob",
+        action="append",
+        default=[],
+        metavar="PATTERN",
+        help="add files matching a glob pattern (repeatable; ** recurses)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="evaluate a batch across N worker processes (default 1)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="documents shipped to a worker per task (default 8)",
+    )
+    parser.add_argument(
+        "--ndjson",
+        action="store_true",
+        help=(
+            "one JSON object per document (keys: doc, queries, error) "
+            "instead of one per mapping"
+        ),
+    )
+    parser.add_argument(
+        "--spans",
+        action="store_true",
+        help="emit [begin, end] positions instead of contents",
+    )
+    parser.add_argument(
+        "--opt-level",
+        type=int,
+        choices=(0, 1, 2),
+        default=None,
+        help="compilation planner opt level for the combined engine",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the query-set sharing report, then exit",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help=(
+            "after the run, print kernel memo sizes and cache hit/miss "
+            "counters to stderr (worker counters merged in)"
+        ),
+    )
+    return parser
+
+
+def _run_query(argv: list[str], stdin: str | None = None) -> int:
+    """The ``repro query`` subcommand: many named queries, one engine."""
+    from repro.service.cache import DEFAULT_CACHE
+    from repro.service.queryset import QuerySet
+
+    arguments = build_query_parser().parse_args(argv)
+    queries = QuerySet(opt_level=arguments.opt_level, cache=DEFAULT_CACHE)
+    if arguments.queries:
+        try:
+            with open(arguments.queries, encoding="utf-8") as handle:
+                specs = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(
+                f"error: cannot read {arguments.queries}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+        if not isinstance(specs, dict):
+            print(
+                "error: --queries file must be a JSON object "
+                "mapping names to query specs",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            for name, spec in specs.items():
+                queries.register(name, spec)
+        except SpannerError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    for item in arguments.query:
+        name, equals, pattern = item.partition("=")
+        if not equals or not name or not pattern:
+            print(
+                f"error: -q/--query needs NAME=PATTERN, got {item!r}",
+                file=sys.stderr,
+            )
+            return 2
+        source: object = pattern
+        if pattern.lstrip().startswith("{"):
+            # No RGX pattern starts with a bare '{' (bindings need a
+            # variable name first), so this is the JSON spec form.
+            try:
+                source = json.loads(pattern)
+            except ValueError as error:
+                print(
+                    f"error: query {name!r}: invalid JSON spec: {error}",
+                    file=sys.stderr,
+                )
+                return 2
+        try:
+            queries.register(name, source)
+        except SpannerError as error:
+            print(f"error: query {name!r}: {error}", file=sys.stderr)
+            return 2
+    if not len(queries):
+        print(
+            "error: no queries registered; "
+            "use -q NAME=PATTERN and/or --queries FILE",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        compiled = queries.compile()
+    except SpannerError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if arguments.explain:
+        print(queries.explain())
+        return 0
+
+    records, failures, batch = _load_records(arguments, stdin)
+    if failures:
+        if arguments.ndjson:
+            for path, message in failures:
+                print(
+                    json.dumps(
+                        {"doc": path, "queries": None, "error": message},
+                        sort_keys=True,
+                        ensure_ascii=False,
+                    )
+                )
+        else:
+            path, message = failures[0]
+            print(f"error: cannot read {path}: {message}", file=sys.stderr)
+            return 2
+
+    worker_stats: dict = {}
+    results = queries.evaluate_corpus(
+        records,
+        workers=arguments.workers,
+        batch_size=arguments.batch_size,
+        spans=arguments.spans,
+        on_worker_stats=worker_stats.update if arguments.stats else None,
+    )
+    code = 0
+    for result in results:
+        if arguments.ndjson:
+            payload = {
+                "doc": result.doc_id,
+                "queries": None
+                if result.queries is None
+                else {
+                    name: [
+                        _decoded(record, arguments.spans) for record in rows
+                    ]
+                    for name, rows in result.queries.items()
+                },
+                "error": result.error,
+            }
+            print(json.dumps(payload, sort_keys=True, ensure_ascii=False))
+            continue
+        if not result.ok:
+            print(f"error: {result.doc_id}: {result.error}", file=sys.stderr)
+            return 2
+        for name, rows in result.queries.items():
+            for record in rows:
+                payload = _decoded(record, arguments.spans)
+                payload["_query"] = name
+                if batch:
+                    payload["_file"] = result.doc_id
+                print(json.dumps(payload, sort_keys=True, ensure_ascii=False))
+    if arguments.stats:
+        _print_stats(compiled.engine, arguments.workers, worker_stats or None)
+    return code
+
+
 def _run_serve(argv: list[str]) -> int:
     from repro.server import ServerConfig, serve
 
@@ -318,38 +553,89 @@ def _collect_files(arguments) -> list[str]:
     return unique
 
 
-def _print_stats(engine, workers: int) -> None:
-    """The ``--stats`` report: kernel memos + cache counters, to stderr."""
-    from repro.service import DEFAULT_CACHE
+def _load_records(arguments, stdin: str | None):
+    """Read files/globs (or stdin) into ``(doc_id, text)`` records.
+
+    Returns ``(records, failures, batch)``: unreadable files become
+    ``(path, message)`` failures for the caller to report in its own
+    format (ndjson error records, or stderr + exit 2).
+    """
+    files = _collect_files(arguments)
+    if not files:
+        text = stdin if stdin is not None else sys.stdin.read()
+        return [("<stdin>", text)], [], False
+    records, failures = [], []
+    for path in files:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                records.append((path, handle.read()))
+        except OSError as error:
+            failures.append((path, str(error)))
+    return records, failures, len(files) > 1
+
+
+def _print_stats(
+    engine, workers: int, worker_stats: dict | None = None
+) -> None:
+    """The ``--stats`` report: kernel memos + cache counters, to stderr.
+
+    With ``--workers > 1`` the per-document counters accrue in the worker
+    processes; ``worker_stats`` (the :meth:`WorkerPool.stats` summary the
+    run captured) is summed into the local engine's tables so the report
+    covers the work actually done.
+    """
+    from repro.service.cache import DEFAULT_CACHE
 
     def formatted(table: dict) -> str:
         return " ".join(f"{key}={value}" for key, value in table.items())
 
-    print(f"stats: kernel {formatted(engine.kernel_stats())}", file=sys.stderr)
-    print(f"stats: engine {formatted(engine.cache_stats())}", file=sys.stderr)
+    def merged(local: dict, remote: dict) -> dict:
+        combined = dict(local)
+        for key, value in remote.items():
+            combined[key] = combined.get(key, 0) + value
+        return combined
+
+    kernel = engine.kernel_stats()
+    cache = engine.cache_stats()
+    reported = bool(worker_stats) and worker_stats.get("workers", 0) > 0
+    if reported:
+        kernel = merged(kernel, worker_stats["kernel"])
+        cache = merged(cache, worker_stats["cache"])
+    print(f"stats: kernel {formatted(kernel)}", file=sys.stderr)
+    print(f"stats: engine {formatted(cache)}", file=sys.stderr)
     print(
         f"stats: spanner-cache {formatted(DEFAULT_CACHE.stats())}",
         file=sys.stderr,
     )
-    if workers > 1:
+    if reported:
         print(
-            "stats: note: with --workers > 1 per-document counters accrue "
-            "in the worker processes, not here",
+            f"stats: merged counters from {worker_stats['workers']} "
+            f"worker process(es)",
+            file=sys.stderr,
+        )
+    elif workers > 1:
+        print(
+            "stats: note: no worker counters were reported",
             file=sys.stderr,
         )
 
 
 def _run_corpus(
-    engine, arguments, records: list[tuple[str, str]], batch: bool
+    engine,
+    arguments,
+    records: list[tuple[str, str]],
+    batch: bool,
+    on_worker_stats=None,
 ) -> int:
     """Batch mode through the service layer (``--workers`` / ``--ndjson``)."""
-    from repro.service import extract_corpus
+    from repro.service.evaluate import extract_corpus
 
     results = extract_corpus(
         engine,
         records,
         workers=arguments.workers,
         spans=arguments.spans,
+        on_worker_stats=on_worker_stats,
     )
 
     if arguments.count:
@@ -391,6 +677,8 @@ def run(argv: list[str] | None = None, stdin: str | None = None) -> int:
     raw_arguments = sys.argv[1:] if argv is None else argv
     if raw_arguments and raw_arguments[0] == "serve":
         return _run_serve(raw_arguments[1:])
+    if raw_arguments and raw_arguments[0] == "query":
+        return _run_query(raw_arguments[1:], stdin)
     arguments = build_parser().parse_args(raw_arguments)
     if arguments.engine == "seed" and (arguments.workers > 1 or arguments.ndjson):
         print(
@@ -434,31 +722,22 @@ def run(argv: list[str] | None = None, stdin: str | None = None) -> int:
             print(f"witness:      {spanner.witness()!r}")
         return 0
 
-    files = _collect_files(arguments)
-    if files:
-        records, documents = [], []
-        for path in files:
-            try:
-                with open(path, encoding="utf-8") as handle:
-                    text = handle.read()
-            except OSError as error:
-                if arguments.ndjson:
-                    print(
-                        json.dumps(
-                            {"doc": path, "mappings": None, "error": str(error)},
-                            sort_keys=True,
-                            ensure_ascii=False,
-                        )
+    records, failures, batch = _load_records(arguments, stdin)
+    if failures:
+        if arguments.ndjson:
+            for path, message in failures:
+                print(
+                    json.dumps(
+                        {"doc": path, "mappings": None, "error": message},
+                        sort_keys=True,
+                        ensure_ascii=False,
                     )
-                    continue
-                print(f"error: cannot read {path}: {error}", file=sys.stderr)
-                return 2
-            records.append((path, text))
-            documents.append(text)
-    else:
-        text = stdin if stdin is not None else sys.stdin.read()
-        records, documents = [("<stdin>", text)], [text]
-    batch = len(files) > 1
+                )
+        else:
+            path, message = failures[0]
+            print(f"error: cannot read {path}: {message}", file=sys.stderr)
+            return 2
+    documents = [text for _, text in records]
 
     if arguments.engine == "compiled":
         # Every compiled run goes through the corpus service.  Resolving
@@ -466,12 +745,19 @@ def run(argv: list[str] | None = None, stdin: str | None = None) -> int:
         # reads the counters of the very engine that does the work (the
         # cache may hand back an engine compiled earlier in this
         # process).  The seed engine keeps the original loop below.
-        from repro.service import cached_spanner
+        from repro.service.cache import cached_spanner
 
         engine = cached_spanner(spanner.compiled)
-        code = _run_corpus(engine, arguments, records, batch)
+        worker_stats: dict = {}
+        code = _run_corpus(
+            engine,
+            arguments,
+            records,
+            batch,
+            on_worker_stats=worker_stats.update if arguments.stats else None,
+        )
         if arguments.stats:
-            _print_stats(engine, arguments.workers)
+            _print_stats(engine, arguments.workers, worker_stats or None)
         return code
 
     if arguments.count:

@@ -7,7 +7,9 @@ oracles (:mod:`repro.engine.oracle`), and the reusable
 :class:`CompiledSpanner` with its batch API (:mod:`repro.engine.compiled`).
 """
 
-from repro.engine.compiled import CompiledSpanner, compile_spanner
+import warnings as _warnings
+
+from repro.engine.compiled import CompiledSpanner
 from repro.engine.kernel import (
     AlphabetClasses,
     Kernel,
@@ -39,3 +41,18 @@ __all__ = [
     "kernel_disabled",
     "kernel_enabled",
 ]
+
+
+def __getattr__(name: str):
+    if name == "compile_spanner":
+        _warnings.warn(
+            "repro.engine.compile_spanner is deprecated; "
+            "use repro.api.compile instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.engine.compiled import compile_spanner
+
+        globals()[name] = compile_spanner  # warn exactly once per process
+        return compile_spanner
+    raise AttributeError(f"module 'repro.engine' has no attribute {name!r}")

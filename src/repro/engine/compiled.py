@@ -370,7 +370,7 @@ def compile_spanner(source, opt_level: int | None = None) -> CompiledSpanner:
     pipeline (default: :data:`repro.plan.DEFAULT_OPT_LEVEL`); a plan at a
     different level is re-planned from its original source.
 
-    >>> from repro.engine import compile_spanner
+    >>> from repro.engine.compiled import compile_spanner
     >>> engine = compile_spanner(".*Seller: x{[^,\\n]*},.*")
     >>> engine.extract("Seller: John, ID75\\n")
     [{'x': 'John'}]

@@ -89,7 +89,7 @@ def kernel_enabled() -> bool:
 def kernel_disabled():
     """Force the set-based engine paths (benchmarks and cross-validation).
 
-    >>> from repro.engine import compile_spanner
+    >>> from repro.engine.compiled import compile_spanner
     >>> engine = compile_spanner(".*x{a+}.*")
     >>> with kernel_disabled():
     ...     old = engine.mappings("baa")

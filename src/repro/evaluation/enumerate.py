@@ -81,7 +81,7 @@ def enumerate_va(
     implementation and as the baseline of benchmark E19.
     """
     if compiled:
-        from repro.engine import compile_spanner
+        from repro.engine.compiled import compile_spanner
 
         return compile_spanner(va).enumerate(document)
     return enumerate_va_oracle(va, document)

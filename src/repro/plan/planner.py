@@ -41,8 +41,16 @@ import time
 from dataclasses import dataclass
 from functools import cached_property
 
+from repro.algebra import (
+    Atom,
+    JoinExpr,
+    ProjectExpr,
+    QueryExpr,
+    Ref,
+    UnionExpr,
+)
 from repro.automata.fingerprint import va_fingerprint
-from repro.automata.sequential import is_sequential
+from repro.automata.sequential import is_sequential, make_sequential
 from repro.automata.thompson import to_va
 from repro.automata.va import VA
 from repro.plan.passes import (
@@ -57,6 +65,7 @@ from repro.rgx.parser import parse
 from repro.rgx.rewrite import simplify
 from repro.rules.rule import Rule
 from repro.rules.translate import DEFAULT_RULE_BUDGET, union_of_rules_to_rgx
+from repro.util.errors import BudgetExceededError, SpannerError
 
 #: The opt level entry points use when none is requested.
 DEFAULT_OPT_LEVEL = 1
@@ -160,7 +169,7 @@ class Plan:
         return sum(record.elapsed for record in self.passes)
 
     def describe_source(self) -> str:
-        if self.source_kind == "rgx-text":
+        if self.source_kind in ("rgx-text", "algebra"):
             text = str(self.source)
         elif self.source_expression is not None:
             text = str(self.source_expression)
@@ -302,7 +311,7 @@ def plan(
 
     records: list[PassRecord] = []
     kind, source_expression, working_expression, raw, working = _front_end(
-        source, level, rule_budget, records
+        source, level, rule_budget, sequentialize_budget, records
     )
 
     if level >= 1:
@@ -340,7 +349,13 @@ def plan(
     )
 
 
-def _front_end(source, level: int, rule_budget: int, records: list[PassRecord]):
+def _front_end(
+    source,
+    level: int,
+    rule_budget: int,
+    sequentialize_budget: int,
+    records: list[PassRecord],
+):
     """Normalise a source to ``(kind, source_rgx, rgx, raw_va, working_va)``.
 
     The returned ``working_va`` is where the VA pass pipeline starts: the
@@ -362,6 +377,10 @@ def _front_end(source, level: int, rule_budget: int, records: list[PassRecord]):
         return _rule_front_end(source, level, rule_budget, records)
     if isinstance(source, VA):
         return "va", None, None, source, source
+    if isinstance(source, QueryExpr):
+        return _query_front_end(
+            source, rule_budget, sequentialize_budget, records
+        )
     if isinstance(source, Spanner):
         if source.expression is not None:
             return _expression_front_end(
@@ -371,6 +390,133 @@ def _front_end(source, level: int, rule_budget: int, records: list[PassRecord]):
     if isinstance(source, CompiledSpanner):
         return "compiled", None, None, source.automaton, source.automaton
     raise TypeError(f"cannot plan {type(source).__name__} into a spanner")
+
+
+def _query_front_end(
+    expression: QueryExpr,
+    rule_budget: int,
+    sequentialize_budget: int,
+    records: list[PassRecord],
+):
+    """Lower an algebra query expression through Theorem 4.5's constructions.
+
+    Leaves reuse the single-source front-ends; union/projection/join
+    combine the leaf automata at the raw level, and the ordinary pass
+    pipeline then runs over the combined automaton.  Join operands are
+    sequentialised up front under the planner's budget (Proposition 5.6
+    is a semantic precondition of the join product, not an optimisation),
+    so a non-sequential operand whose product would explode raises a
+    :class:`~repro.util.errors.SpannerError` instead of exhausting memory.
+    """
+    started = time.perf_counter()
+    counts = {"atoms": 0, "union": 0, "project": 0, "join": 0}
+    notes: list[str] = []
+    raw = _query_to_va(
+        expression, rule_budget, sequentialize_budget, counts, notes
+    )
+    elapsed = time.perf_counter() - started
+    note = " ".join(f"{name}={count}" for name, count in counts.items() if count)
+    if notes:
+        note += "; " + "; ".join(notes)
+    records.append(
+        PassRecord(
+            name="algebra",
+            states_before=raw.num_states,
+            states_after=raw.num_states,
+            transitions_before=len(raw.transitions),
+            transitions_after=len(raw.transitions),
+            elapsed=elapsed,
+            changed=True,
+            note=note,
+        )
+    )
+    return "algebra", None, None, raw, raw
+
+
+def _query_leaf_va(source, rule_budget: int) -> VA:
+    """The straight translation of one algebra atom."""
+    if isinstance(source, str):
+        return to_va(parse(source))
+    if isinstance(source, Rgx):
+        return to_va(source)
+    if isinstance(source, Rule):
+        translated, auxiliary = _translate_rule(source, rule_budget)
+        return _rule_to_va(translated, auxiliary)
+    if isinstance(source, VA):
+        return source
+    automaton = getattr(source, "automaton", None)
+    if isinstance(automaton, VA):  # Spanner / CompiledSpanner
+        return automaton
+    raise TypeError(
+        f"cannot use a {type(source).__name__} as a query atom"
+    )
+
+
+def _sequential_join_operand(
+    va: VA, sequentialize_budget: int, notes: list[str]
+) -> VA:
+    if is_sequential(va):
+        return va
+    try:
+        rewritten = make_sequential(va, max_states=sequentialize_budget)
+    except BudgetExceededError:
+        raise SpannerError(
+            f"join operand is not sequential and its Proposition 5.6 "
+            f"product exceeds the budget of {sequentialize_budget} states; "
+            f"raise sequentialize_budget or rewrite the operand"
+        ) from None
+    notes.append(
+        f"sequentialised join operand "
+        f"({va.num_states} -> {rewritten.num_states} states, "
+        f"budget {sequentialize_budget})"
+    )
+    return rewritten
+
+
+def _query_to_va(
+    expression: QueryExpr,
+    rule_budget: int,
+    sequentialize_budget: int,
+    counts: dict[str, int],
+    notes: list[str],
+) -> VA:
+    from repro.automata.algebra import join_va, project_va, union_va
+
+    if isinstance(expression, Atom):
+        counts["atoms"] += 1
+        return _query_leaf_va(expression.source, rule_budget)
+    if isinstance(expression, Ref):
+        raise SpannerError(
+            f"unresolved query reference {expression.name!r}; plan this "
+            f"expression through a QuerySet (or call .resolve() first)"
+        )
+    parts = [
+        _query_to_va(child, rule_budget, sequentialize_budget, counts, notes)
+        for child in expression.children()
+    ]
+    if isinstance(expression, UnionExpr):
+        counts["union"] += 1
+        combined = parts[0]
+        for part in parts[1:]:
+            combined = union_va(combined, part)
+        return combined
+    if isinstance(expression, ProjectExpr):
+        counts["project"] += 1
+        return project_va(parts[0], expression.keep)
+    if isinstance(expression, JoinExpr):
+        counts["join"] += 1
+        combined = _sequential_join_operand(
+            parts[0], sequentialize_budget, notes
+        )
+        for part in parts[1:]:
+            combined = join_va(
+                combined,
+                _sequential_join_operand(part, sequentialize_budget, notes),
+            )
+        return combined
+    raise TypeError(
+        f"cannot lower {type(expression).__name__} into an automaton"
+    )
 
 
 def _expression_front_end(kind, source, expression, level, records):

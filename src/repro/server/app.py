@@ -50,12 +50,16 @@ from repro.server.protocol import (
     ProtocolError,
     SpanRequest,
     encode_error,
+    encode_query_results,
     encode_result_line,
     encode_results,
+    parse_query_request,
     parse_request,
+    query_result_entry,
     result_entry,
 )
 from repro.service.cache import SpannerCache
+from repro.service.queryset import QuerySet
 from repro.util.errors import SpannerError
 
 __all__ = ["ServerConfig", "ServerThread", "SpannerServer", "serve"]
@@ -125,6 +129,10 @@ class SpannerServer:
         self.dispatcher = Dispatcher(
             self.config.dispatcher_config(), self.metrics, cache
         )
+        # The server-wide query set behind POST /query; its combined
+        # engine compiles through the dispatcher's SpannerCache, so
+        # /healthz and /metrics account for it like any other engine.
+        self.queryset = QuerySet(cache=self.dispatcher.cache)
         self._server: asyncio.base_events.Server | None = None
         self._connections: dict[asyncio.Task, _Connection] = {}
         self._draining = False
@@ -286,7 +294,7 @@ class SpannerServer:
         # Only known routes become label values: a client looping over
         # random paths must not grow the metrics registry (nor inject
         # exposition-breaking characters).
-        known = {"/healthz", "/metrics", "/evaluate", "/enumerate"}
+        known = {"/healthz", "/metrics", "/evaluate", "/enumerate", "/query"}
         endpoint = path.strip("/") if path in known else "other"
         self.metrics.inc("repro_requests_total", endpoint=endpoint)
         try:
@@ -315,6 +323,17 @@ class SpannerServer:
                 return await self._extraction(
                     writer, mode, headers, body, keep_alive
                 )
+            if path == "/query":
+                if method != "POST":
+                    await self._write_response(
+                        writer,
+                        405,
+                        encode_error("/query takes POST"),
+                        close=not keep_alive,
+                        extra_headers=(("Allow", "POST"),),
+                    )
+                    return keep_alive
+                return await self._query(writer, headers, body, keep_alive)
             await self._write_response(
                 writer, 404, encode_error(f"no route {path}"), close=not keep_alive
             )
@@ -399,6 +418,110 @@ class SpannerServer:
             entries.append(result_entry(request, doc_id, payload, error))
         await self._write_response(
             writer, 200, encode_results(request, entries), close=not keep_alive
+        )
+        return keep_alive
+
+    async def _query(self, writer, headers, body: bytes, keep_alive: bool) -> bool:
+        """``POST /query``: register named queries and/or evaluate them.
+
+        Registrations land in the server-wide query set; evaluation runs
+        every document once through the set's combined engine, submitted
+        via the dispatcher so query documents share the micro-batches,
+        queue accounting, and shedding of the single-pattern endpoints.
+        """
+        try:
+            request = parse_query_request(body, headers.get("content-type", ""))
+        except ProtocolError as error:
+            await self._write_response(
+                writer, 400, encode_error(str(error)), close=not keep_alive
+            )
+            return keep_alive
+        try:
+            for name, spec in request.register:
+                self.queryset.register(name, spec)
+        except SpannerError as error:
+            await self._write_response(
+                writer,
+                400,
+                encode_error(f"bad query: {error}"),
+                close=not keep_alive,
+            )
+            return keep_alive
+        added = [name for name, _ in request.register]
+        registered = self.queryset.names()
+        if not request.documents:
+            payload = {"registered": added, "queries": registered}
+            await self._write_response(
+                writer,
+                200,
+                json.dumps(payload, sort_keys=True).encode("utf-8"),
+                close=not keep_alive,
+            )
+            return keep_alive
+        unknown = (
+            [] if request.names is None
+            else [name for name in request.names if name not in registered]
+        )
+        if unknown or not registered:
+            message = (
+                "no queries registered"
+                if not registered
+                else f"unknown quer{'y' if len(unknown) == 1 else 'ies'}: "
+                f"{', '.join(unknown)}"
+            )
+            await self._write_response(
+                writer, 400, encode_error(message), close=not keep_alive
+            )
+            return keep_alive
+        try:
+            compiled = await self.dispatcher.compile_query_set(self.queryset)
+        except SpannerError as error:
+            await self._write_response(
+                writer,
+                400,
+                encode_error(f"bad query: {error}"),
+                close=not keep_alive,
+            )
+            return keep_alive
+        self.metrics.gauge("repro_queryset_queries", len(compiled.queries))
+        self.metrics.gauge("repro_queryset_cores", len(compiled.cores))
+        try:
+            futures = self.dispatcher.submit_documents(
+                compiled.engine, request.documents, kind="mappings"
+            )
+        except RequestTooLarge as error:
+            await self._write_response(
+                writer, 413, encode_error(str(error)), close=not keep_alive
+            )
+            return keep_alive
+        except Overloaded as error:
+            await self._write_response(
+                writer,
+                429,
+                encode_error(str(error)),
+                close=not keep_alive,
+                extra_headers=(("Retry-After", "1"),),
+            )
+            return keep_alive
+        names = (
+            compiled.names() if request.names is None else list(request.names)
+        )
+        entries = []
+        for (doc_id, text), future in zip(request.documents, futures):
+            payload, error = await future
+            queries = None
+            if error is None:
+                queries = compiled.decode(
+                    payload, text, names, spans=request.spans
+                )
+            entries.append(
+                query_result_entry(doc_id, queries, error, request.spans)
+            )
+        await self._write_response(
+            writer,
+            200,
+            encode_query_results(added, names, entries),
+            close=not keep_alive,
         )
         return keep_alive
 

@@ -150,6 +150,45 @@ class ServerClient:
             if line.strip()
         ]
 
+    def query(
+        self,
+        register: dict | None = None,
+        documents=None,
+        *,
+        evaluate=None,
+        spans: bool = False,
+    ) -> dict:
+        """``POST /query`` — register and/or evaluate named algebra queries.
+
+        ``register`` maps names to query specs (RGX text or the
+        :mod:`repro.algebra` JSON wire form); ``documents`` is a single
+        text or a collection; ``evaluate`` selects a subset of registered
+        query names (default: all).  Omit ``documents`` to only register.
+        Keyword names match the HTTP protocol fields one-to-one.
+
+        >>> from repro.server import ServerClient, ServerConfig, ServerThread
+        >>> with ServerThread(ServerConfig(port=0)) as server:
+        ...     client = ServerClient(*server.address)
+        ...     _ = client.query(register={"vowels": ".*x{a+}.*"})
+        ...     reply = client.query(documents=["baa"])
+        ...     client.close()
+        >>> reply["results"][0]["queries"]["vowels"]
+        [{'x': 'a'}, {'x': 'aa'}, {'x': 'a'}]
+        """
+        payload: dict[str, object] = {}
+        if register is not None:
+            payload["register"] = register
+        if documents is not None:
+            if isinstance(documents, str):
+                payload["document"] = documents
+            else:
+                payload["documents"] = documents
+        if evaluate is not None:
+            payload["evaluate"] = evaluate
+        if spans:
+            payload["spans"] = True
+        return self._request_json("POST", "/query", payload)
+
     def healthz(self) -> dict:
         return self._request_json("GET", "/healthz")
 

@@ -178,6 +178,41 @@ class Dispatcher:
 
     # -- compilation (coalesced) ------------------------------------------------
 
+    async def _coalesced(self, key: tuple, build):
+        """Run ``build`` in the compile pool, coalescing concurrent callers.
+
+        Every concurrent caller with the same ``key`` awaits one executor
+        round-trip; the winner's result (or exception) fans out to all of
+        them.  Resolved values are never memoised here — ``build`` is
+        expected to consult its own bounded store (the
+        :class:`~repro.service.cache.SpannerCache`, a query set's version
+        memo), so the dispatcher cannot make that store's stats lie.
+        """
+        assert self._loop is not None, "Dispatcher.start() was never awaited"
+        self.metrics.inc("repro_compile_requests_total")
+        in_flight = self._compiles.get(key)
+        if in_flight is not None:
+            self.metrics.inc("repro_compiles_coalesced_total")
+            return await asyncio.shield(in_flight)
+        future: asyncio.Future = self._loop.create_future()
+        self._compiles[key] = future
+        started = time.perf_counter()
+        try:
+            result = await self._loop.run_in_executor(
+                self._compile_pool, build
+            )
+        except BaseException as error:
+            self._compiles.pop(key, None)
+            future.set_exception(error)
+            future.exception()  # consumed: waiters got theirs via shield
+            raise
+        self.metrics.observe(
+            "repro_compile_seconds", time.perf_counter() - started
+        )
+        self._compiles.pop(key, None)
+        future.set_result(result)
+        return result
+
     async def engine(self, request: SpanRequest) -> CompiledSpanner:
         """The compiled engine for one request, compiling at most once.
 
@@ -192,31 +227,25 @@ class Dispatcher:
                 self._compile_pool,
                 lambda: compile_spanner(request.pattern, request.opt_level),
             )
-        key = request.key
-        self.metrics.inc("repro_compile_requests_total")
-        in_flight = self._compiles.get(key)
-        if in_flight is not None:
-            self.metrics.inc("repro_compiles_coalesced_total")
-            return await asyncio.shield(in_flight)
-        future: asyncio.Future = self._loop.create_future()
-        self._compiles[key] = future
-        started = time.perf_counter()
-        try:
-            engine = await self._loop.run_in_executor(
-                self._compile_pool,
-                lambda: self.cache.get(request.pattern, request.opt_level),
-            )
-        except BaseException as error:
-            self._compiles.pop(key, None)
-            future.set_exception(error)
-            future.exception()  # consumed: waiters got theirs via shield
-            raise
-        self.metrics.observe(
-            "repro_compile_seconds", time.perf_counter() - started
+        return await self._coalesced(
+            request.key,
+            lambda: self.cache.get(request.pattern, request.opt_level),
         )
-        self._compiles.pop(key, None)
-        future.set_result(engine)
-        return engine
+
+    async def compile_query_set(self, queryset):
+        """The compiled snapshot of a query set, compiling at most once.
+
+        The coalescing key carries the registry version, so a request that
+        lands after a registration waits on (or starts) the new combined
+        engine's compile while in-flight evaluations keep their snapshot.
+        Even in naive mode the *compile* is coalesced — the query set's
+        whole point is the shared engine — only caching/batching of the
+        evaluation itself stays ablated.
+        """
+        return await self._coalesced(
+            ("\x00queryset", id(queryset), queryset.version),
+            queryset.compile,
+        )
 
     # -- submission + batching ---------------------------------------------------
 
@@ -229,10 +258,33 @@ class Dispatcher:
         :class:`Overloaded` — queueing nothing — when the request would
         push the pending count past ``max_pending``.
         """
+        return self.submit_documents(
+            engine,
+            request.documents,
+            kind=_request_kind(request),
+            spans=request.spans,
+        )
+
+    def submit_documents(
+        self,
+        engine: CompiledSpanner,
+        documents,
+        *,
+        kind: str,
+        spans: bool = False,
+    ) -> list[asyncio.Future]:
+        """Queue ``(doc_id, text)`` pairs onto ``engine``'s micro-batches.
+
+        The endpoint-agnostic core of :meth:`submit` — ``/query`` submits
+        its combined engine here with ``kind="mappings"`` so query-set
+        documents share the queue accounting, shedding, and batching of
+        the single-pattern endpoints.
+        """
         assert self._loop is not None, "Dispatcher.start() was never awaited"
         if self._closed:
             raise RuntimeError("dispatcher is closed")
-        count = len(request.documents)
+        documents = list(documents)
+        count = len(documents)
         if count > self.config.max_pending:
             # Even an empty queue could never admit this request: a 429
             # retry loop would spin forever, so reject it outright.
@@ -250,10 +302,9 @@ class Dispatcher:
         self._pending += count
         self.metrics.inc("repro_documents_total", count)
         self.metrics.gauge("repro_queue_depth", self._pending)
-        kind = _request_kind(request)
         futures = []
-        for doc_id, text in request.documents:
-            futures.append(self._enqueue(engine, kind, request.spans, doc_id, text))
+        for doc_id, text in documents:
+            futures.append(self._enqueue(engine, kind, spans, doc_id, text))
         return futures
 
     def _enqueue(
@@ -353,7 +404,7 @@ class Dispatcher:
 
     def stats(self) -> dict[str, object]:
         """A live snapshot for ``/healthz`` and tests."""
-        return {
+        snapshot: dict[str, object] = {
             "pending_documents": self._pending,
             "inflight_batches": len(self._batch_tasks),
             "open_batches": len(self._batches),
@@ -361,3 +412,6 @@ class Dispatcher:
             "workers": self.config.workers,
             "naive": self.config.naive,
         }
+        if self._worker_pool is not None:
+            snapshot["worker_stats"] = self._worker_pool.stats()
+        return snapshot

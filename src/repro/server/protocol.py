@@ -36,16 +36,21 @@ __all__ = [
     "EVALUATE",
     "ENUMERATE",
     "NDJSON_CONTENT_TYPE",
+    "QUERY",
     "ProtocolError",
+    "QueryRequest",
     "SpanRequest",
+    "encode_query_results",
     "encode_result_line",
     "encode_results",
+    "parse_query_request",
     "parse_request",
 ]
 
-#: Request modes (the two POST endpoints).
+#: Request modes (the POST endpoints).
 EVALUATE = "evaluate"
 ENUMERATE = "enumerate"
+QUERY = "query"
 
 NDJSON_CONTENT_TYPE = "application/x-ndjson"
 
@@ -206,6 +211,79 @@ def parse_request(raw: bytes, mode: str, content_type: str) -> SpanRequest:
     )
 
 
+# -- query sets --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One parsed ``POST /query`` body.
+
+    ``register`` carries ``(name, spec)`` pairs to add to the server's
+    query set (specs in the :mod:`repro.algebra` JSON wire form);
+    ``names`` selects which registered queries to answer (``None`` = all);
+    ``documents`` may be empty for a registration-only request.
+    """
+
+    register: tuple[tuple[str, object], ...]
+    names: tuple[str, ...] | None
+    documents: tuple[tuple[str, str], ...]
+    spans: bool = False
+
+
+def parse_query_request(raw: bytes, content_type: str) -> QueryRequest:
+    """Parse one ``POST /query`` body into a :class:`QueryRequest`.
+
+    >>> request = parse_query_request(
+    ...     b'{"register": {"q": "x{a}"}, "documents": ["ab"]}', ""
+    ... )
+    >>> request.register, request.names
+    ((('q', 'x{a}'),), None)
+    """
+    if NDJSON_CONTENT_TYPE in (content_type or "").lower():
+        raise ProtocolError("/query only accepts JSON bodies")
+    body = _parse_json(raw, "request body")
+    if not isinstance(body, dict):
+        raise ProtocolError("request body must be a JSON object")
+    register_spec = body.get("register")
+    register: tuple[tuple[str, object], ...] = ()
+    if register_spec is not None:
+        if not isinstance(register_spec, dict) or not register_spec:
+            raise ProtocolError(
+                '"register" must be a non-empty object of name -> query spec'
+            )
+        for name in register_spec:
+            if not isinstance(name, str) or not name:
+                raise ProtocolError(
+                    "query names must be non-empty strings"
+                )
+        register = tuple(register_spec.items())
+    evaluate = body.get("evaluate")
+    if evaluate is None or evaluate is True:
+        names = None
+    elif isinstance(evaluate, list) and all(
+        isinstance(name, str) for name in evaluate
+    ):
+        names = tuple(evaluate)
+    else:
+        raise ProtocolError(
+            '"evaluate" must be true or a list of query names'
+        )
+    if body.get("document") is None and body.get("documents") is None:
+        documents: tuple[tuple[str, str], ...] = ()
+        if not register:
+            raise ProtocolError(
+                'request needs "register" and/or "document"/"documents"'
+            )
+    else:
+        documents = _documents(body)
+    spans = body.get("spans", False)
+    if not isinstance(spans, bool):
+        raise ProtocolError('"spans" must be a boolean')
+    return QueryRequest(
+        register=register, names=names, documents=documents, spans=spans
+    )
+
+
 # -- responses ---------------------------------------------------------------
 
 
@@ -251,6 +329,34 @@ def encode_results(
 ) -> bytes:
     """The aggregate JSON response body for a non-NDJSON request."""
     payload = {"pattern": request.pattern, "results": entries}
+    return _dump(payload).encode("utf-8")
+
+
+def query_result_entry(
+    doc_id: str,
+    queries: "dict[str, list[dict]] | None",
+    error: str | None,
+    spans: bool,
+) -> dict:
+    """One document's ``/query`` response object."""
+    decoded = None
+    if error is None:
+        decoded = {
+            name: [_decoded(record, spans) for record in records]
+            for name, records in queries.items()
+        }
+    return {"doc": doc_id, "error": error, "queries": decoded}
+
+
+def encode_query_results(
+    registered: list[str], names: list[str], entries: list[dict]
+) -> bytes:
+    """The aggregate JSON response body for a ``/query`` request."""
+    payload: dict[str, object] = {
+        "registered": registered,
+        "queries": names,
+        "results": entries,
+    }
     return _dump(payload).encode("utf-8")
 
 

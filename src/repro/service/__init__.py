@@ -11,10 +11,11 @@ sharded, error-isolated corpus evaluation with a worker pool
 ['doc-00000']
 """
 
+import warnings as _warnings
+
 from repro.service.cache import (
     DEFAULT_CACHE,
     SpannerCache,
-    cached_spanner,
     va_fingerprint,
 )
 from repro.service.corpus import (
@@ -32,6 +33,7 @@ from repro.service.evaluate import (
     evaluate_corpus,
     extract_corpus,
 )
+from repro.service.queryset import QuerySet, QuerySetResult
 from repro.util.errors import CorpusError
 
 __all__ = [
@@ -43,6 +45,8 @@ __all__ = [
     "DirectoryCorpus",
     "GeneratorCorpus",
     "InMemoryCorpus",
+    "QuerySet",
+    "QuerySetResult",
     "SpannerCache",
     "WorkerPool",
     "as_corpus",
@@ -52,3 +56,18 @@ __all__ = [
     "extract_corpus",
     "va_fingerprint",
 ]
+
+
+def __getattr__(name: str):
+    if name == "cached_spanner":
+        _warnings.warn(
+            "repro.service.cached_spanner is deprecated; "
+            "use repro.api.compile instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.service.cache import cached_spanner
+
+        globals()[name] = cached_spanner  # warn exactly once per process
+        return cached_spanner
+    raise AttributeError(f"module 'repro.service' has no attribute {name!r}")

@@ -36,7 +36,9 @@ exactly one error record.
 from __future__ import annotations
 
 import itertools
+import os
 import pickle
+import threading
 import weakref
 from collections import OrderedDict, deque
 from collections.abc import Iterator, Sequence
@@ -144,7 +146,7 @@ def evaluate_records(
     single definition of batch semantics, shared by the worker processes
     and the online server's in-process executor.
 
-    >>> from repro.engine import compile_spanner
+    >>> from repro.engine.compiled import compile_spanner
     >>> evaluate_records(
     ...     compile_spanner("x{a}"), [("d0", "a")], kind="matches"
     ... )
@@ -167,10 +169,23 @@ def evaluate_records(
 def _evaluate_batch(
     fingerprint: str, automaton_blob: bytes, records, kind: str, spans: bool
 ):
-    """One batch inside a worker process: warm engine lookup, then records."""
-    return evaluate_records(
-        _worker_engine(fingerprint, automaton_blob), records, kind, spans
-    )
+    """One batch inside a worker process: warm engine lookup, then records.
+
+    Returns ``(triples, (fingerprint, snapshot))``: alongside the result
+    triples, each batch ships back a snapshot of the worker engine's
+    cumulative kernel/cache counters, so the coordinating process can
+    report merged ``--stats`` instead of silently showing only its own
+    (cold) engine.  Counters are cumulative per worker engine, so the
+    pool keeps only the *latest* snapshot per ``(pid, fingerprint)``.
+    """
+    engine = _worker_engine(fingerprint, automaton_blob)
+    triples = evaluate_records(engine, records, kind, spans)
+    snapshot = {
+        "pid": os.getpid(),
+        "kernel": engine.kernel_stats(),
+        "cache": engine.cache_stats(),
+    }
+    return triples, (fingerprint, snapshot)
 
 
 class WorkerPool:
@@ -184,7 +199,7 @@ class WorkerPool:
     batches for the same spanner — no matter which request or corpus run
     they came from — hit a warm kernel.
 
-    >>> from repro.engine import compile_spanner
+    >>> from repro.engine.compiled import compile_spanner
     >>> with WorkerPool(2) as pool:
     ...     future = pool.submit(
     ...         compile_spanner(".*x{a+}.*"), [("d0", "ba")], kind="extract"
@@ -203,6 +218,10 @@ class WorkerPool:
         self._blobs: "weakref.WeakKeyDictionary[CompiledSpanner, bytes]" = (
             weakref.WeakKeyDictionary()
         )
+        # Latest cumulative counter snapshot per (pid, fingerprint); see
+        # _evaluate_batch.  Guarded: done-callbacks run on executor threads.
+        self._stats_lock = threading.Lock()
+        self._worker_stats: dict[tuple[int, str], dict] = {}
 
     @property
     def workers(self) -> int:
@@ -228,7 +247,7 @@ class WorkerPool:
         """Ship one batch; resolves to ``(doc_id, payload, error)`` triples."""
         if kind not in ("mappings", "extract", "matches"):
             raise ValueError(f"unknown batch kind {kind!r}")
-        return self._pool.submit(
+        inner = self._pool.submit(
             _evaluate_batch,
             engine.fingerprint,
             self._automaton_blob(engine),
@@ -236,6 +255,50 @@ class WorkerPool:
             kind,
             spans,
         )
+        # Peel the stats snapshot off inside a done-callback so callers
+        # keep seeing plain triples, exactly as before.
+        outer: Future = Future()
+
+        def _peel(done: Future) -> None:
+            if done.cancelled():
+                outer.cancel()
+                return
+            error = done.exception()
+            if error is not None:
+                outer.set_exception(error)
+                return
+            triples, (fingerprint, snapshot) = done.result()
+            with self._stats_lock:
+                self._worker_stats[(snapshot["pid"], fingerprint)] = snapshot
+            if not outer.cancelled():
+                outer.set_result(triples)
+
+        inner.add_done_callback(_peel)
+        return outer
+
+    def stats(self, fingerprint: str | None = None) -> dict:
+        """Summed worker-side kernel/cache counters (latest per worker).
+
+        Restricted to one engine when ``fingerprint`` is given; empty
+        component dictionaries when no worker has reported yet.
+        """
+        with self._stats_lock:
+            snapshots = [
+                snapshot
+                for (pid, fp), snapshot in self._worker_stats.items()
+                if fingerprint is None or fp == fingerprint
+            ]
+        kernel: dict[str, int] = {}
+        cache: dict[str, int] = {}
+        for snapshot in snapshots:
+            for target, source in ((kernel, "kernel"), (cache, "cache")):
+                for key, value in snapshot[source].items():
+                    target[key] = target.get(key, 0) + value
+        return {
+            "workers": len({snapshot["pid"] for snapshot in snapshots}),
+            "kernel": kernel,
+            "cache": cache,
+        }
 
     def shutdown(self, wait: bool = True) -> None:
         self._pool.shutdown(wait=wait)
@@ -277,6 +340,7 @@ def _parallel(
     ordered: bool,
     decode: bool,
     spans: bool,
+    on_worker_stats=None,
 ) -> Iterator[CorpusResult]:
     kind = "extract" if decode else "mappings"
     with WorkerPool(workers) as pool:
@@ -316,6 +380,8 @@ def _parallel(
                 continue
             for doc_id, payload, problem in future.result():
                 yield CorpusResult(doc_id, payload, problem)
+        if on_worker_stats is not None:
+            on_worker_stats(pool.stats(engine.fingerprint))
 
 
 def evaluate_corpus(
@@ -325,6 +391,7 @@ def evaluate_corpus(
     workers: int = 1,
     ordered: bool = True,
     chunk_size: int | None = None,
+    on_worker_stats=None,
     _decode: bool = False,
     _spans: bool = False,
 ) -> Iterator[CorpusResult]:
@@ -338,6 +405,11 @@ def evaluate_corpus(
     finishes first.  Duplicate document ids raise
     :class:`~repro.util.errors.CorpusError`; evaluation failures are
     reported per document in the result stream.
+
+    ``on_worker_stats``, if given, is called once after the last result —
+    parallel runs pass the pool's summed worker-side kernel/cache counters
+    (see :meth:`WorkerPool.stats`); serial runs skip the call, since the
+    caller's own engine already carries the counters.
 
     >>> [r.doc_id for r in evaluate_corpus("x{a}", {"one": "a", "two": "b"})]
     ['one', 'two']
@@ -360,7 +432,9 @@ def evaluate_corpus(
             yield from _serial(engine, records, _decode, _spans)
             return
         chunks = _chunked(records, chunk_size or DEFAULT_CHUNK_SIZE)
-        yield from _parallel(engine, chunks, workers, ordered, _decode, _spans)
+        yield from _parallel(
+            engine, chunks, workers, ordered, _decode, _spans, on_worker_stats
+        )
 
     return stream()
 
@@ -373,6 +447,7 @@ def extract_corpus(
     ordered: bool = True,
     spans: bool = False,
     chunk_size: int | None = None,
+    on_worker_stats=None,
 ) -> Iterator[CorpusResult]:
     """Like :func:`evaluate_corpus`, but with *decoded* per-document results.
 
@@ -391,6 +466,7 @@ def extract_corpus(
         workers=workers,
         ordered=ordered,
         chunk_size=chunk_size,
+        on_worker_stats=on_worker_stats,
         _decode=True,
         _spans=spans,
     )

@@ -1,0 +1,502 @@
+"""The query-set compiler: many named queries, one engine per document.
+
+The multi-tenant serving scenario the ROADMAP names: many users each
+register their own extraction query, and every incoming document should
+be scanned *once*, not once per query.  A :class:`QuerySet` gets there in
+three steps:
+
+1. **resolve + peel** — registered expressions (:mod:`repro.algebra`)
+   are resolved against their sibling queries (``Ref`` leaves), and
+   top-level projections are peeled off: ``π_x(Q)`` and ``π_y(Q)`` share
+   the unprojected *core* ``Q``, with the projection applied per query at
+   the decode edge (``π_A(π_B(e))`` folds to ``π_{A∩B}(e)``).
+2. **fingerprint + factor** — every distinct core is planned through the
+   pass pipeline and deduplicated by
+   :attr:`~repro.plan.Plan.fingerprint`: syntactically different queries
+   that plan to the same automaton share one core.
+3. **tag + combine** — each distinct core is prefixed with a private tag
+   variable (``__q0``, ``__q1``, …: opened and immediately closed before
+   the first character, so every output mapping carries its branch tag as
+   a trivial span) and the tagged cores are unioned into **one** combined
+   automaton, compiled into **one**
+   :class:`~repro.engine.compiled.CompiledSpanner`.  One evaluation —
+   one :class:`~repro.engine.tables.DocumentIndex`, one kernel, one sweep
+   — answers every registered query; the decode edge groups mappings by
+   tag, drops the tag, applies each query's edge projection, and decodes
+   byte-identically to
+   :meth:`~repro.engine.compiled.CompiledSpanner.extract`.
+
+The tag variables start with an underscore so they sort before ordinary
+variable names: Algorithm 2 assigns them *first*, which pins the branch
+at the top of the enumeration tree and keeps per-branch work separate.
+
+>>> queries = QuerySet()
+>>> _ = queries.register("sellers", ".*Seller: x{[^,]*},.*")
+>>> _ = queries.register("first", {"op": "project", "of": {"op": "ref",
+...                                "name": "sellers"}, "keep": []})
+>>> result = queries.extract("Seller: John, ID75")
+>>> result["sellers"], result["first"]
+([{'x': 'John'}], [{}])
+>>> queries.stats()["queries"], queries.stats()["cores"]
+(2, 1)
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.algebra import Atom, QueryExpr, peel_projections, query
+from repro.automata.labels import Close, Open
+from repro.automata.va import VA
+from repro.engine.compiled import CompiledSpanner
+from repro.plan import plan as build_plan
+from repro.service.corpus import as_corpus
+from repro.spans.document import Document, as_text
+from repro.spans.mapping import Mapping
+from repro.util.errors import SpannerError
+
+__all__ = ["QuerySet", "QuerySetResult"]
+
+
+@dataclass(frozen=True)
+class QuerySetResult:
+    """One document's outcome: decoded results per query name, or an error."""
+
+    doc_id: str
+    queries: dict[str, list[dict]] | None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def __repr__(self) -> str:
+        if self.error is not None:
+            return f"QuerySetResult({self.doc_id!r}, error={self.error!r})"
+        return f"QuerySetResult({self.doc_id!r}, {len(self.queries)} queries)"
+
+
+@dataclass(frozen=True)
+class _Query:
+    """One registered query after compilation: its core plus edge projection."""
+
+    name: str
+    expression: QueryExpr
+    core_fingerprint: str
+    keep: frozenset | None  # None: no edge projection
+
+
+@dataclass(frozen=True)
+class _Core:
+    """One distinct planned core shared by one or more queries."""
+
+    fingerprint: str
+    tag: str
+    states: int
+
+
+def _decode_mappings(
+    mappings: "set[Mapping] | frozenset[Mapping]", text: str, spans: bool
+) -> list[dict]:
+    """Decode a mapping set exactly like ``CompiledSpanner.extract``."""
+    results: list[dict] = []
+    for mapping in sorted(
+        mappings, key=lambda m: sorted((v, s) for v, s in m.items())
+    ):
+        if spans:
+            results.append(dict(mapping.items()))
+        else:
+            results.append({v: s.content(text) for v, s in mapping.items()})
+    return results
+
+
+class _CompiledQuerySet:
+    """An immutable compiled snapshot of a query set at one version.
+
+    Holds the combined engine plus everything the decode edge needs; the
+    owning :class:`QuerySet` swaps whole snapshots on re-registration, so
+    in-flight evaluations keep decoding against the snapshot they were
+    submitted under.
+    """
+
+    def __init__(
+        self,
+        version: int,
+        queries: dict[str, _Query],
+        cores: dict[str, _Core],
+        engine: CompiledSpanner,
+    ) -> None:
+        self.version = version
+        self.queries = queries
+        self.cores = cores
+        self.engine = engine
+        self._tags = {core.tag: fingerprint for fingerprint, core in cores.items()}
+
+    def names(self) -> list[str]:
+        return list(self.queries)
+
+    def split(
+        self, mappings: "set[Mapping] | frozenset[Mapping]"
+    ) -> dict[str, set[Mapping]]:
+        """Group a combined output set into per-core sets, tags dropped."""
+        by_core: dict[str, set[Mapping]] = {
+            fingerprint: set() for fingerprint in self.cores
+        }
+        for mapping in mappings:
+            for variable in mapping.domain:
+                fingerprint = self._tags.get(variable)
+                if fingerprint is not None:
+                    by_core[fingerprint].add(mapping.drop((variable,)))
+                    break
+        return by_core
+
+    def decode(
+        self,
+        mappings: "set[Mapping] | frozenset[Mapping]",
+        text: str,
+        names: "list[str] | None" = None,
+        spans: bool = False,
+    ) -> dict[str, list[dict]]:
+        """Per-query decoded results from one combined output set.
+
+        Byte-identical to evaluating each query on its own engine and
+        calling :meth:`~repro.engine.compiled.CompiledSpanner.extract`.
+        """
+        selected = self.names() if names is None else list(names)
+        by_core = self.split(mappings)
+        results: dict[str, list[dict]] = {}
+        for name in selected:
+            registered = self.queries.get(name)
+            if registered is None:
+                raise SpannerError(
+                    f"unknown query {name!r} "
+                    f"(registered: {self.names() or 'none'})"
+                )
+            core_set = by_core[registered.core_fingerprint]
+            if registered.keep is not None:
+                keep = registered.keep
+                final = {mapping.project(keep) for mapping in core_set}
+            else:
+                final = core_set
+            results[name] = _decode_mappings(final, text, spans)
+        return results
+
+
+def _parse_string_atoms(expression: QueryExpr) -> None:
+    if isinstance(expression, Atom) and isinstance(expression.source, str):
+        from repro.rgx.parser import parse
+
+        parse(expression.source)  # ParseError is a SpannerError
+    for child in expression.children():
+        _parse_string_atoms(child)
+
+
+class QuerySet:
+    """A registry of named algebra queries compiled into one shared engine.
+
+    ``register`` accepts everything :func:`repro.algebra.query` accepts —
+    RGX text, JSON wire specs, :class:`~repro.algebra.QueryExpr`
+    combinators, rules, automata — plus ``Ref`` leaves naming sibling
+    queries.  Compilation is lazy and cached per registry version;
+    evaluation answers every (or a selected subset of) registered query
+    from one engine pass per document.
+    """
+
+    def __init__(self, *, opt_level: int | None = None, cache=None) -> None:
+        self.opt_level = opt_level
+        #: Optional :class:`~repro.service.cache.SpannerCache` the combined
+        #: engine is resolved through (the server shares its dispatcher
+        #: cache here, so /query and /evaluate draw from one bounded pool).
+        self.cache = cache
+        self._lock = threading.RLock()
+        self._registry: dict[str, QueryExpr] = {}
+        self._version = 0
+        self._compiled: _CompiledQuerySet | None = None
+
+    # -- registration -----------------------------------------------------------
+
+    def register(self, name: str, source) -> QueryExpr:
+        """Register (or replace) one named query; returns its expression.
+
+        Malformed RGX atoms raise here, at registration — a bad pattern
+        must not poison every later evaluation of the whole set.
+        """
+        if not isinstance(name, str) or not name:
+            raise SpannerError("query name must be a non-empty string")
+        expression = query(source)
+        _parse_string_atoms(expression)
+        with self._lock:
+            self._registry[name] = expression
+            self._version += 1
+            self._compiled = None
+        return expression
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return list(self._registry)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._registry)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._registry
+
+    @property
+    def version(self) -> int:
+        """Bumped on every registration — the coalescing/compile cache key."""
+        with self._lock:
+            return self._version
+
+    # -- compilation ------------------------------------------------------------
+
+    def compile(self) -> _CompiledQuerySet:
+        """The compiled snapshot for the current registry (cached).
+
+        Planning and engine compilation happen outside the lock; a lost
+        race compiles twice and keeps the first, like the spanner cache.
+        """
+        with self._lock:
+            compiled = self._compiled
+            version = self._version
+            registry = dict(self._registry)
+        if compiled is not None and compiled.version == version:
+            return compiled
+        built = self._build(version, registry)
+        with self._lock:
+            if self._compiled is not None and self._compiled.version == version:
+                return self._compiled
+            if self._version == version:
+                self._compiled = built
+        return built
+
+    @property
+    def engine(self) -> CompiledSpanner:
+        """The one combined engine answering every registered query."""
+        return self.compile().engine
+
+    def _build(
+        self, version: int, registry: dict[str, QueryExpr]
+    ) -> _CompiledQuerySet:
+        if not registry:
+            raise SpannerError("query set is empty; register a query first")
+        plans: dict[QueryExpr, object] = {}  # core expression -> Plan
+        cores: dict[str, _Core] = {}
+        core_automata: dict[str, VA] = {}
+        queries: dict[str, _Query] = {}
+        for name, expression in registry.items():
+            resolved = expression.resolve(registry)
+            core, keep = peel_projections(resolved)
+            core_plan = plans.get(core)
+            if core_plan is None:
+                core_plan = build_plan(core, opt_level=self.opt_level)
+                plans[core] = core_plan
+            fingerprint = core_plan.fingerprint
+            if fingerprint not in cores:
+                cores[fingerprint] = _Core(
+                    fingerprint=fingerprint,
+                    tag="",  # assigned below, once all cores are known
+                    states=core_plan.automaton.num_states,
+                )
+                core_automata[fingerprint] = core_plan.automaton
+            queries[name] = _Query(
+                name=name,
+                expression=resolved,
+                core_fingerprint=fingerprint,
+                keep=keep,
+            )
+        cores = self._assign_tags(cores, core_automata)
+        combined = self._combine(cores, core_automata)
+        combined_plan = build_plan(combined, opt_level=self.opt_level)
+        if self.cache is not None:
+            engine = self.cache.get(combined_plan)
+        else:
+            engine = CompiledSpanner(plan=combined_plan)
+        return _CompiledQuerySet(version, queries, cores, engine)
+
+    @staticmethod
+    def _assign_tags(
+        cores: dict[str, _Core], core_automata: dict[str, VA]
+    ) -> dict[str, _Core]:
+        taken: set = set()
+        for automaton in core_automata.values():
+            taken |= automaton.mentioned_variables
+        prefix = "__q"
+        # A user variable could legitimately be called "__q0"; escalate
+        # the prefix until the whole tag family is collision-free.
+        while any(f"{prefix}{i}" in taken for i in range(len(cores))):
+            prefix = "_" + prefix
+        return {
+            fingerprint: _Core(
+                fingerprint=fingerprint,
+                tag=f"{prefix}{position}",
+                states=core.states,
+            )
+            for position, (fingerprint, core) in enumerate(cores.items())
+        }
+
+    @staticmethod
+    def _combine(
+        cores: dict[str, _Core], core_automata: dict[str, VA]
+    ) -> VA:
+        from repro.automata.algebra import union_va
+
+        pieces = []
+        for fingerprint, core in cores.items():
+            automaton = core_automata[fingerprint]
+            # Two fresh prefix states open and immediately close the tag
+            # before the first character: every output mapping of this
+            # branch carries ``tag ↦ [1,1⟩`` and nothing else changes.
+            shifted = automaton.renumbered(2)
+            transitions = (
+                (0, Open(core.tag), 1),
+                (1, Close(core.tag), shifted.initial),
+                *shifted.transitions,
+            )
+            pieces.append(
+                VA(shifted.num_states, 0, shifted.final, transitions)
+            )
+        combined = pieces[0]
+        for piece in pieces[1:]:
+            combined = union_va(combined, piece)
+        return combined.trimmed()
+
+    # -- evaluation -------------------------------------------------------------
+
+    def mappings_by_query(
+        self, document: "Document | str", names: "list[str] | None" = None
+    ) -> dict[str, set[Mapping]]:
+        """Raw per-query mapping sets from one engine pass."""
+        compiled = self.compile()
+        text = as_text(document)
+        by_core = compiled.split(compiled.engine.mappings(text))
+        selected = compiled.names() if names is None else list(names)
+        results: dict[str, set[Mapping]] = {}
+        for name in selected:
+            registered = compiled.queries.get(name)
+            if registered is None:
+                raise SpannerError(f"unknown query {name!r}")
+            core_set = by_core[registered.core_fingerprint]
+            if registered.keep is not None:
+                keep = registered.keep
+                results[name] = {m.project(keep) for m in core_set}
+            else:
+                results[name] = set(core_set)
+        return results
+
+    def extract(
+        self,
+        document: "Document | str",
+        names: "list[str] | None" = None,
+        spans: bool = False,
+    ) -> dict[str, list[dict]]:
+        """Decoded per-query results from one engine pass over the document."""
+        compiled = self.compile()
+        text = as_text(document)
+        return compiled.decode(
+            compiled.engine.mappings(text), text, names, spans
+        )
+
+    def evaluate_corpus(
+        self,
+        corpus,
+        *,
+        names: "list[str] | None" = None,
+        workers: int = 1,
+        ordered: bool = True,
+        batch_size: int | None = None,
+        spans: bool = False,
+        on_worker_stats=None,
+    ) -> Iterator[QuerySetResult]:
+        """Every registered query over every document, one engine pass each.
+
+        Mirrors :func:`repro.service.evaluate.evaluate_corpus` (sharding,
+        ordering, per-document error isolation) with per-query decoded
+        results.  ``batch_size`` is the per-worker chunk size.
+        """
+        from repro.service.evaluate import evaluate_corpus as _evaluate
+
+        compiled = self.compile()
+        if names is not None:  # validate before the first document
+            for name in names:
+                if name not in compiled.queries:
+                    raise SpannerError(f"unknown query {name!r}")
+        texts: dict[str, str] = {}
+        source = as_corpus(corpus)
+
+        def feed():
+            for doc_id, text in source:
+                texts[doc_id] = text
+                yield doc_id, text
+
+        def stream() -> Iterator[QuerySetResult]:
+            results = _evaluate(
+                compiled.engine,
+                feed,
+                workers=workers,
+                ordered=ordered,
+                chunk_size=batch_size,
+                on_worker_stats=on_worker_stats,
+            )
+            for result in results:
+                text = texts.pop(result.doc_id, "")
+                if not result.ok:
+                    yield QuerySetResult(result.doc_id, None, result.error)
+                    continue
+                yield QuerySetResult(
+                    result.doc_id,
+                    compiled.decode(result.mappings, text, names, spans),
+                    None,
+                )
+
+        return stream()
+
+    # -- introspection ----------------------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        """Sharing counters: queries vs distinct compiled cores."""
+        compiled = self.compile()
+        return {
+            "queries": len(compiled.queries),
+            "cores": len(compiled.cores),
+            "version": compiled.version,
+            "engine_states": compiled.engine.automaton.num_states,
+            "fingerprint": compiled.engine.fingerprint,
+        }
+
+    def explain(self) -> str:
+        """A human-readable sharing report (the CLI's ``query --explain``)."""
+        compiled = self.compile()
+        by_core: dict[str, list[str]] = {
+            fingerprint: [] for fingerprint in compiled.cores
+        }
+        for name, registered in compiled.queries.items():
+            by_core[registered.core_fingerprint].append(name)
+        count = len(compiled.queries)
+        lines = [
+            f"query set: {count} quer{'y' if count == 1 else 'ies'}, "
+            f"{len(compiled.cores)} distinct core(s)"
+        ]
+        for fingerprint, core in compiled.cores.items():
+            members = ", ".join(by_core[fingerprint])
+            lines.append(
+                f"  core [{core.tag}] {fingerprint[:12]} "
+                f"({core.states} states): {members}"
+            )
+        automaton = compiled.engine.automaton
+        lines.append(
+            f"  combined engine: {automaton.num_states} states, "
+            f"{len(automaton.transitions)} transitions, "
+            f"fingerprint {compiled.engine.fingerprint[:12]}"
+        )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"QuerySet({len(self._registry)} queries, "
+                f"version {self._version})"
+            )

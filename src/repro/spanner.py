@@ -96,7 +96,7 @@ class Spanner:
         optimised automaton while this object keeps the straight
         translation for algebra and analysis.
         """
-        from repro.engine import compile_spanner
+        from repro.engine.compiled import compile_spanner
 
         return compile_spanner(self.plan)
 

@@ -140,7 +140,7 @@ def batch_workload(
     :class:`~repro.engine.compiled.CompiledSpanner` (for reuse/inspection)
     together with one mapping set per document.
     """
-    from repro.engine import compile_spanner
+    from repro.engine.compiled import compile_spanner
 
     engine = compile_spanner(expression)
     materialised = list(documents)
@@ -158,7 +158,8 @@ def corpus_workload(
     mapping set per document *in corpus order* — so its outputs are
     directly comparable with :func:`batch_workload`'s.
     """
-    from repro.service import cached_spanner, corpus_outputs
+    from repro.service.cache import cached_spanner
+    from repro.service.evaluate import corpus_outputs
 
     engine = cached_spanner(expression)
     return engine, corpus_outputs(engine, documents, workers=workers)

@@ -164,7 +164,7 @@ def compiled_spanner():
     Returns a :class:`~repro.engine.compiled.CompiledSpanner`; the tables
     are cached per automaton, so repeated calls share all compiled state.
     """
-    from repro.engine import compile_spanner
+    from repro.engine.compiled import compile_spanner
 
     return compile_spanner(seller_tax_expression())
 
@@ -186,7 +186,7 @@ def corpus(
     >>> corpus(2, rows_per_document=1).doc_ids()
     ['registry-00000.csv', 'registry-00001.csv']
     """
-    from repro.service import InMemoryCorpus
+    from repro.service.corpus import InMemoryCorpus
 
     return InMemoryCorpus(
         {
@@ -212,7 +212,7 @@ def extract_corpus_pairs(
     >>> sorted(pairs) == corpus(2, rows_per_document=2, seed=3).doc_ids()
     True
     """
-    from repro.service import extract_corpus
+    from repro.service.evaluate import extract_corpus
     from repro.util.errors import CorpusError
 
     pairs: dict[str, set[tuple[str, str | None]]] = {}

@@ -103,7 +103,7 @@ def access_expression() -> Rgx:
 
 def compiled_spanner():
     """The access-log extraction compiled once for repeated serving."""
-    from repro.engine import compile_spanner
+    from repro.engine.compiled import compile_spanner
 
     return compile_spanner(access_expression())
 
@@ -119,7 +119,7 @@ def corpus(
     >>> corpus(2, lines_per_document=1).doc_ids()
     ['access-00000.log', 'access-00001.log']
     """
-    from repro.service import InMemoryCorpus
+    from repro.service.corpus import InMemoryCorpus
 
     return InMemoryCorpus(
         {
@@ -140,7 +140,7 @@ def extract_corpus_tuples(
     >>> list(tuples) == ['access-00000.log']
     True
     """
-    from repro.service import extract_corpus
+    from repro.service.evaluate import extract_corpus
     from repro.util.errors import CorpusError
 
     tuples: dict[str, set[tuple[str, str, str | None, str | None]]] = {}

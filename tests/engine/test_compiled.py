@@ -7,7 +7,8 @@ from repro.automata.simulate import evaluate_va
 from repro.automata.thompson import to_va
 from repro.automata.va import VABuilder
 from repro.alphabet import CharSet
-from repro.engine import CompiledSpanner, compile_spanner, compile_va
+from repro.engine import CompiledSpanner, compile_va
+from repro.engine.compiled import compile_spanner
 from repro.evaluation.enumerate import enumerate_va_oracle
 from repro.rgx.parser import parse
 from repro.spanner import Spanner

@@ -11,7 +11,8 @@ from hypothesis import strategies as st
 
 from repro.automata.simulate import evaluate_va
 from repro.automata.thompson import to_va
-from repro.engine import compile_spanner, compile_va
+from repro.engine import compile_va
+from repro.engine.compiled import compile_spanner
 from repro.engine.oracle import eval_compiled
 from repro.evaluation.enumerate import enumerate_direct, enumerate_va_oracle
 from repro.evaluation.eval_problem import eval_va

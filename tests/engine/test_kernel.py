@@ -15,7 +15,8 @@ from repro.alphabet import CharSet
 from repro.automata.labels import Open
 from repro.automata.thompson import to_va
 from repro.automata.va import VA
-from repro.engine import compile_spanner, compile_va, kernel_disabled
+from repro.engine import compile_va, kernel_disabled
+from repro.engine.compiled import compile_spanner
 from repro.engine import kernel as kernel_module
 from repro.engine.kernel import AlphabetClasses, iter_bits
 from repro.engine.oracle import (

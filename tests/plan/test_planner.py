@@ -4,7 +4,7 @@ import pytest
 
 from repro.automata.thompson import to_va
 from repro.automata.simulate import evaluate_va
-from repro.engine import compile_spanner
+from repro.engine.compiled import compile_spanner
 from repro.plan import (
     DEFAULT_OPT_LEVEL,
     OPT_LEVELS,

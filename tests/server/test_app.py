@@ -38,7 +38,7 @@ class TestEndpoints:
         assert [entry["matches"] for entry in reply["results"]] == [True, False]
 
     def test_enumerate_matches_engine_output(self, client):
-        from repro.engine import compile_spanner
+        from repro.engine.compiled import compile_spanner
 
         reply = client.enumerate(".*x{a+}.*", ["baa"])
         assert (

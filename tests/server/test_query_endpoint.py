@@ -1,0 +1,140 @@
+"""The /query endpoint: server-side query registry, shared-engine batches."""
+
+import json
+
+import pytest
+
+from repro.server import (
+    ServerClient,
+    ServerConfig,
+    ServerResponseError,
+    ServerThread,
+)
+
+SELLER = ".*Seller: x{[^,]*}, ID y{[0-9]+}.*"
+DOC = "Seller: John, ID 75"
+
+
+@pytest.fixture()
+def server():
+    config = ServerConfig(port=0, batch_max_delay=0.001)
+    with ServerThread(config) as thread:
+        yield thread
+
+
+@pytest.fixture()
+def client(server):
+    with ServerClient(*server.address) as connection:
+        yield connection
+
+
+class TestRegistration:
+    def test_register_only(self, client):
+        reply = client.query(register={"sellers": SELLER})
+        assert reply["registered"] == ["sellers"]
+        assert "sellers" in reply["queries"]
+        assert "results" not in reply
+
+    def test_registry_persists_across_requests(self, client):
+        client.query(register={"sellers": SELLER})
+        reply = client.query(documents=[DOC])
+        assert reply["registered"] == []
+        entry = reply["results"][0]
+        assert entry["error"] is None
+        assert entry["queries"]["sellers"] == [
+            {"x": "John", "y": "7"},
+            {"x": "John", "y": "75"},
+        ]
+
+    def test_register_and_evaluate_in_one_request(self, client):
+        reply = client.query(
+            register={
+                "sellers": SELLER,
+                "names": {
+                    "op": "project",
+                    "of": {"op": "ref", "name": "sellers"},
+                    "keep": ["x"],
+                },
+            },
+            documents=[DOC],
+        )
+        assert sorted(reply["registered"]) == ["names", "sellers"]
+        queries = reply["results"][0]["queries"]
+        assert queries["names"] == [{"x": "John"}]
+        assert queries["sellers"] == [
+            {"x": "John", "y": "7"},
+            {"x": "John", "y": "75"},
+        ]
+
+    def test_evaluate_subset_by_name(self, client):
+        reply = client.query(
+            register={
+                "sellers": SELLER,
+                "names": {
+                    "op": "project",
+                    "of": {"op": "ref", "name": "sellers"},
+                    "keep": ["x"],
+                },
+            },
+            documents=[DOC],
+            evaluate=["names"],
+        )
+        assert reply["queries"] == ["names"]
+        assert set(reply["results"][0]["queries"]) == {"names"}
+
+    def test_spans_mode(self, client):
+        reply = client.query(
+            register={"q": "x{a+}b"}, documents=["aab"], spans=True
+        )
+        assert reply["results"][0]["queries"]["q"] == [{"x": [1, 3]}]
+
+
+class TestQueryErrors:
+    def test_bad_query_is_400_at_registration(self, client):
+        with pytest.raises(ServerResponseError) as caught:
+            client.query(register={"broken": "x{"})
+        assert caught.value.status == 400
+        assert "bad query" in caught.value.message
+        # The broken query must not have poisoned the registry.
+        reply = client.query(register={"ok": "x{a}"}, documents=["a"])
+        assert reply["results"][0]["queries"]["ok"] == [{"x": "a"}]
+
+    def test_unknown_name_is_400(self, client):
+        client.query(register={"sellers": SELLER})
+        with pytest.raises(ServerResponseError) as caught:
+            client.query(documents=[DOC], evaluate=["ghost"])
+        assert caught.value.status == 400
+
+    def test_evaluate_against_empty_registry_is_400(self, client):
+        with pytest.raises(ServerResponseError) as caught:
+            client.query(documents=[DOC])
+        assert caught.value.status == 400
+
+    def test_empty_request_is_400(self, client):
+        status, raw = client.request_raw("POST", "/query", b"{}")
+        assert status == 400
+        assert "register" in json.loads(raw)["error"]
+
+    def test_get_is_405(self, client):
+        status, _ = client.request_raw("GET", "/query")
+        assert status == 405
+
+    def test_ndjson_content_type_rejected(self, client):
+        status, raw = client.request_raw(
+            "POST",
+            "/query",
+            b'{"register": {"q": "x{a}"}}',
+            content_type="application/x-ndjson",
+        )
+        assert status == 400
+        assert "JSON" in json.loads(raw)["error"]
+
+
+class TestMetrics:
+    def test_queryset_gauges_exported(self, client):
+        client.query(register={"sellers": SELLER}, documents=[DOC])
+        status, raw = client.request_raw("GET", "/metrics")
+        assert status == 200
+        text = raw.decode()
+        assert "repro_queryset_queries 1" in text
+        assert "repro_queryset_cores 1" in text

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.engine import compile_spanner
+from repro.engine.compiled import compile_spanner
 from repro.service import (
     GeneratorCorpus,
     InMemoryCorpus,

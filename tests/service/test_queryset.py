@@ -1,0 +1,173 @@
+"""The query-set compiler: core sharing, per-query decode, corpus runs."""
+
+import pytest
+
+from repro.engine.compiled import CompiledSpanner
+from repro.plan import plan as build_plan
+from repro.service.queryset import QuerySet, QuerySetResult
+from repro.util.errors import SpannerError
+
+SELLER = ".*Seller: x{[^,]*}, ID y{[0-9]+}.*"
+BUYER = ".*Buyer: x{[^,]*}, ID y{[0-9]+}.*"
+DOC = "Seller: John, ID 75\nBuyer: Ann, ID 12"
+
+
+def _registry() -> QuerySet:
+    queries = QuerySet()
+    queries.register("sellers", SELLER)
+    queries.register(
+        "seller_names",
+        {"op": "project", "of": {"op": "ref", "name": "sellers"}, "keep": ["x"]},
+    )
+    queries.register(
+        "seller_ids",
+        {"op": "project", "of": {"op": "ref", "name": "sellers"}, "keep": ["y"]},
+    )
+    queries.register("buyers", BUYER)
+    return queries
+
+
+class TestSharing:
+    def test_projections_share_their_core(self):
+        queries = _registry()
+        stats = queries.stats()
+        assert stats["queries"] == 4
+        # sellers / seller_names / seller_ids all share one core; buyers
+        # is the second.
+        assert stats["cores"] == 2
+
+    def test_explain_reports_members_per_core(self):
+        report = _registry().explain()
+        assert "4 queries" in report
+        assert "2 distinct core" in report
+        for name in ("sellers", "seller_names", "seller_ids", "buyers"):
+            assert name in report
+
+    def test_identical_sources_deduplicate(self):
+        queries = QuerySet()
+        queries.register("one", "x{a+}b")
+        queries.register("two", "x{a+}b")
+        assert queries.stats()["cores"] == 1
+
+    def test_extract_matches_independent_engines(self):
+        queries = _registry()
+        shared = queries.extract(DOC)
+        from repro.algebra import query
+
+        independent = {
+            "sellers": query(SELLER),
+            "seller_names": query(SELLER).project(["x"]),
+            "seller_ids": query(SELLER).project(["y"]),
+            "buyers": query(BUYER),
+        }
+        for name, expression in independent.items():
+            engine = CompiledSpanner(plan=build_plan(expression))
+            assert shared[name] == engine.extract(DOC), name
+
+    def test_spans_mode(self):
+        queries = QuerySet()
+        queries.register("q", "x{a+}b")
+        decoded = queries.extract("aab", spans=True)
+        assert decoded["q"] == [{"x": [1, 3]}] or decoded["q"] == [
+            {"x": (1, 3)}
+        ]
+
+
+class TestRegistration:
+    def test_bad_pattern_rejected_eagerly(self):
+        queries = QuerySet()
+        with pytest.raises(SpannerError):
+            queries.register("broken", "x{")
+        assert "broken" not in queries
+
+    def test_bad_name_rejected(self):
+        queries = QuerySet()
+        with pytest.raises(SpannerError):
+            queries.register("", "x{a}")
+        with pytest.raises(SpannerError):
+            queries.register(None, "x{a}")
+
+    def test_unknown_reference_fails_at_compile(self):
+        queries = QuerySet()
+        queries.register("q", {"op": "ref", "name": "ghost"})
+        with pytest.raises(SpannerError, match="ghost"):
+            queries.compile()
+
+    def test_cyclic_reference_fails_at_compile(self):
+        queries = QuerySet()
+        queries.register("a", {"op": "ref", "name": "b"})
+        queries.register("b", {"op": "ref", "name": "a"})
+        with pytest.raises(SpannerError, match="cycl"):
+            queries.compile()
+
+    def test_replacing_a_query_bumps_version_and_recompiles(self):
+        queries = QuerySet()
+        queries.register("q", "x{a}")
+        before = queries.version
+        assert queries.extract("a")["q"] == [{"x": "a"}]
+        queries.register("q", "x{b}")
+        assert queries.version > before
+        assert queries.extract("b")["q"] == [{"x": "b"}]
+        assert queries.extract("a")["q"] == []
+
+    def test_empty_set_cannot_compile(self):
+        with pytest.raises(SpannerError):
+            QuerySet().compile()
+
+    def test_names_and_containment(self):
+        queries = _registry()
+        assert sorted(queries.names()) == [
+            "buyers",
+            "seller_ids",
+            "seller_names",
+            "sellers",
+        ]
+        assert "sellers" in queries
+        assert "ghost" not in queries
+        assert len(queries) == 4
+
+
+class TestEvaluation:
+    def test_names_subset(self):
+        queries = _registry()
+        decoded = queries.extract(DOC, names=["seller_names"])
+        assert set(decoded) == {"seller_names"}
+
+    def test_unknown_name_rejected(self):
+        queries = _registry()
+        with pytest.raises(SpannerError, match="ghost"):
+            queries.extract(DOC, names=["ghost"])
+
+    def test_corpus_serial_matches_parallel(self):
+        queries = _registry()
+        corpus = {f"doc-{i}": DOC for i in range(6)}
+        serial = list(queries.evaluate_corpus(corpus))
+        parallel = list(queries.evaluate_corpus(corpus, workers=2))
+        assert serial == parallel
+        assert all(isinstance(r, QuerySetResult) and r.ok for r in serial)
+        assert serial[0].queries["sellers"] == [{"x": "John", "y": "7"},
+                                                {"x": "John", "y": "75"}]
+
+    def test_corpus_error_isolation(self):
+        queries = _registry()
+        results = {
+            r.doc_id: r
+            for r in queries.evaluate_corpus({"good": DOC, "bad": None})
+        }
+        assert results["good"].ok
+        assert not results["bad"].ok
+        assert results["bad"].queries is None
+        assert results["bad"].error
+
+    def test_corpus_reports_worker_stats(self):
+        queries = _registry()
+        collected: dict = {}
+        list(
+            queries.evaluate_corpus(
+                {f"d{i}": DOC for i in range(4)},
+                workers=2,
+                on_worker_stats=collected.update,
+            )
+        )
+        assert collected.get("workers", 0) >= 1
+        assert "kernel" in collected

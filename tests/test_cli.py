@@ -265,7 +265,7 @@ class TestStatsFlag:
         # The run evaluated one document through this very engine.
         assert "index_misses=1" in engine_line
 
-    def test_stats_notes_worker_processes(self, tmp_path, capsys):
+    def test_stats_merges_worker_counters(self, tmp_path, capsys):
         first = tmp_path / "a.txt"
         second = tmp_path / "b.txt"
         first.write_text("ba")
@@ -274,7 +274,16 @@ class TestStatsFlag:
             [".*x{a+}.*", str(first), str(second), "--workers", "2", "--stats"]
         )
         assert code == 0
-        assert "worker processes" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        # Worker-side counters come back through the pool and are merged
+        # into the report, so the kernel line reflects real work even
+        # though every document ran in another process.
+        assert "merged counters from" in err
+        assert "worker process(es)" in err
+        kernel_line = next(
+            line for line in err.splitlines() if line.startswith("stats: kernel")
+        )
+        assert "contexts=0" not in kernel_line
 
     def test_stats_rejected_with_seed_engine(self, capsys):
         assert run(["x{a}", "--engine", "seed", "--stats"]) == 2

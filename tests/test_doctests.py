@@ -5,6 +5,8 @@ import doctest
 import pytest
 
 import repro
+import repro.algebra
+import repro.api
 import repro.automata.fingerprint
 import repro.engine.compiled
 import repro.engine.kernel
@@ -22,6 +24,7 @@ import repro.service
 import repro.service.cache
 import repro.service.corpus
 import repro.service.evaluate
+import repro.service.queryset
 import repro.spanner
 import repro.spans.document
 import repro.spans.span
@@ -30,6 +33,8 @@ import repro.workloads.server_logs
 
 MODULES = [
     repro,
+    repro.algebra,
+    repro.api,
     repro.automata.fingerprint,
     repro.engine.compiled,
     repro.engine.kernel,
@@ -47,6 +52,7 @@ MODULES = [
     repro.service.cache,
     repro.service.corpus,
     repro.service.evaluate,
+    repro.service.queryset,
     repro.spanner,
     repro.spans.document,
     repro.spans.span,

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Deprecated-entry-point checker (part of the CI docs job).
+
+The public surface is the ``repro.api`` facade; the old top-level
+re-exports still work behind deprecation shims, but documentation and
+examples must not teach them.  This tool scans ``README.md``, the
+``docs/`` tree, and ``examples/`` for imports of deprecated entry
+points and fails with the ``repro.api`` replacement to use instead.
+
+Usage::
+
+    python tools/check_deprecated.py                  # default file set
+    python tools/check_deprecated.py docs/api.md      # specific files
+
+Exit code 0 when everything is clean, 1 with a failure list otherwise.
+Mentions inside prose are fine — only ``import`` statements count, so
+the deprecation policy section can name the old spellings it retires.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# (pattern, replacement) — matched per line, only on import statements.
+# The docs may *mention* repro.Spanner in prose (e.g. the deprecation
+# table); what they must not do is teach the deprecated import.
+_DEPRECATED: list[tuple[re.Pattern[str], str]] = [
+    (
+        re.compile(
+            r"from\s+repro\s+import\s+(?:[\w\s,()]*\b)?"
+            r"(Spanner|compile_spanner)\b"
+        ),
+        "use `repro.api.compile` (or `repro.spanner.Spanner` for the "
+        "paper-level layer)",
+    ),
+    (
+        re.compile(
+            r"from\s+repro\.engine\s+import\s+(?:[\w\s,()]*\b)?"
+            r"(compile_spanner|CompiledSpanner)\b"
+        ),
+        "import from `repro.engine.compiled` or use `repro.api.compile`",
+    ),
+    (
+        re.compile(
+            r"from\s+repro\.service\s+import\s+(?:[\w\s,()]*\b)?"
+            r"(cached_spanner)\b"
+        ),
+        "use `repro.api.compile` (process-wide cache included)",
+    ),
+    (
+        re.compile(r"import\s+repro\.engine\.compiled\s+as\s+api\b"),
+        "use `from repro import api`",
+    ),
+]
+
+
+def _display(path: Path) -> str:
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:
+        return str(path)
+
+
+def check_file(path: Path) -> list[str]:
+    """Deprecated-import findings for one file."""
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    for number, line in enumerate(text.splitlines(), start=1):
+        for pattern, replacement in _DEPRECATED:
+            match = pattern.search(line)
+            if match:
+                problems.append(
+                    f"{_display(path)}:{number}: deprecated import "
+                    f"`{match.group(0).strip()}` — {replacement}"
+                )
+    return problems
+
+
+def default_files() -> list[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    files.extend(sorted((REPO_ROOT / "examples").glob("*.py")))
+    return [path for path in files if path.exists()]
+
+
+def main(argv: list[str]) -> int:
+    files = [Path(arg).resolve() for arg in argv] or default_files()
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    if problems:
+        print(
+            f"deprecated-entry-point check: {len(problems)} problem(s)",
+            file=sys.stderr,
+        )
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"deprecated-entry-point check: {len(files)} file(s) clean "
+        "(docs and examples import only supported surfaces)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
