@@ -1,0 +1,210 @@
+"""E25 — the flat-table kernel vs. the dict bitmask kernel.
+
+This PR's tentpole: interned integer state ids walking contiguous
+``array``-backed transition rows (:class:`~repro.engine.kernel.FlatTables`,
+:class:`~repro.engine.oracle.FlatNodeSweep`) must beat the dict-keyed
+``delta[(mask, class)]`` memo they compile away — on *identical outputs* —
+across the same two serving shapes benchmark E22 locked down for the
+layer below:
+
+* **enumeration delay** — seller/tax extraction over land-registry
+  documents large enough that span verdicts dominate (the flat sweep's
+  lazy open-sweep and backward co-acceptance caches are the win);
+* **corpus throughput** — server-logs documents through one warm engine,
+  the worker-process serving pattern.
+
+Both paths share the compiled tables and alphabet classes; the only
+variable is the flat layer (:func:`~repro.engine.kernel.flat_disabled`
+pins the old dict path, exactly as ``kernel_disabled`` pins E22's
+baseline).  Warm-vs-warm: each side keeps its own memo across repeats.
+
+Acceptance: byte-identical outputs everywhere, and (full mode) a median
+speedup of at least ``MINIMUM_SPEEDUP`` on both workload families.  With
+``REPRO_BENCH_JSON`` set the series lands in ``BENCH_e25.json``.  Under
+``REPRO_BENCH_QUICK`` only output equality is asserted.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from benchmarks._harness import (
+    percentile,
+    print_table,
+    quick_mode,
+    sizes,
+    write_results,
+)
+from repro.automata.thompson import to_va
+from repro.engine import flat_disabled
+from repro.engine.compiled import compile_spanner
+from repro.workloads import land_registry, server_logs
+
+#: Enumeration documents: large enough that per-span verdict work, not
+#: index construction, dominates (the flat layer's target regime).
+ROW_COUNTS = sizes(full=[29, 37, 45], quick=[3])
+#: Corpus shape: fewer, larger documents than E22 — per-document sweep
+#: cost is where the flat rows pay off.
+LOG_LINES = sizes(full=[32, 48], quick=[4])
+CORPUS_DOCUMENTS = sizes(full=[12], quick=[3])[0]
+MINIMUM_SPEEDUP = 3.0
+
+
+def _delays(iterator):
+    gaps, outputs = [], []
+    last = time.perf_counter()
+    for mapping in iterator:
+        now = time.perf_counter()
+        gaps.append(now - last)
+        last = now
+        outputs.append(mapping)
+    return gaps, outputs
+
+
+def _enumerate_best(automaton, document, repeat=3):
+    """Best-of-``repeat`` delay profile (lowest median), fresh engine each
+    run (empty per-spanner caches), shared warm tables."""
+    best_gaps, outputs = None, None
+    for _ in range(1 if quick_mode() else repeat):
+        gaps, outputs = _delays(compile_spanner(automaton).enumerate(document))
+        if best_gaps is None or (
+            gaps and statistics.median(gaps) < statistics.median(best_gaps)
+        ):
+            best_gaps = gaps
+    return best_gaps, outputs
+
+
+def _corpus_once(source, documents):
+    engine = compile_spanner(source)
+    started = time.perf_counter()
+    outputs = [engine.mappings(document) for document in documents]
+    return time.perf_counter() - started, outputs
+
+
+def _best_corpus(source, documents, repeat=3):
+    best, outputs = float("inf"), None
+    for _ in range(repeat):
+        elapsed, outputs = _corpus_once(source, documents)
+        best = min(best, elapsed)
+    return best, outputs
+
+
+@pytest.mark.benchmark(group="e25")
+def test_e25_flat_kernel(benchmark):
+    automaton = to_va(land_registry.seller_tax_expression())
+
+    enumeration_rows = []
+    enumeration_records = []
+    for row_count in ROW_COUNTS:
+        document = land_registry.generate_document(row_count, seed=7)
+        with flat_disabled():
+            old_gaps, old_outputs = _enumerate_best(automaton, document)
+        new_gaps, new_outputs = _enumerate_best(automaton, document)
+        assert new_outputs == old_outputs  # same mappings, same order
+        if not new_outputs:
+            continue
+        old_median = statistics.median(old_gaps)
+        new_median = statistics.median(new_gaps)
+        speedup = old_median / new_median if new_median else float("inf")
+        enumeration_rows.append(
+            (
+                row_count,
+                len(document),
+                len(new_outputs),
+                old_median,
+                new_median,
+                percentile(old_gaps, 0.9),
+                percentile(new_gaps, 0.9),
+                speedup,
+            )
+        )
+        enumeration_records.append(
+            {
+                "rows": row_count,
+                "document_length": len(document),
+                "outputs": len(new_outputs),
+                "dict_median_s": old_median,
+                "flat_median_s": new_median,
+                "dict_p90_s": percentile(old_gaps, 0.9),
+                "flat_p90_s": percentile(new_gaps, 0.9),
+                "speedup": speedup,
+            }
+        )
+
+    corpus_rows = []
+    corpus_records = []
+    expression = server_logs.access_expression()
+    for lines in LOG_LINES:
+        documents = [
+            server_logs.generate_document(lines, seed=seed)
+            for seed in range(CORPUS_DOCUMENTS)
+        ]
+        with flat_disabled():
+            old_time, old_outputs = _best_corpus(expression, documents)
+        new_time, new_outputs = _best_corpus(expression, documents)
+        assert new_outputs == old_outputs
+        speedup = old_time / new_time if new_time else float("inf")
+        name = f"server-logs/{lines}"
+        corpus_rows.append(
+            (name, len(documents), old_time, new_time, speedup)
+        )
+        corpus_records.append(
+            {
+                "workload": name,
+                "lines": lines,
+                "documents": len(documents),
+                "dict_s": old_time,
+                "flat_s": new_time,
+                "flat_docs_per_s": len(documents) / new_time if new_time else None,
+                "speedup": speedup,
+            }
+        )
+
+    print_table(
+        "E25: flat vs dict kernel — enumeration delay (seller/tax)",
+        ["rows", "|d|", "#out", "dict med s", "flat med s",
+         "dict p90 s", "flat p90 s", "speedup"],
+        enumeration_rows,
+    )
+    print_table(
+        "E25: flat vs dict kernel — corpus throughput (server logs)",
+        ["workload", "docs", "dict s", "flat s", "speedup"],
+        corpus_rows,
+    )
+
+    assert enumeration_records, "every enumeration size produced zero outputs"
+    enumeration_speedup = statistics.median(
+        record["speedup"] for record in enumeration_records
+    )
+    corpus_speedup = statistics.median(
+        record["speedup"] for record in corpus_records
+    )
+    write_results(
+        "e25",
+        {
+            "enumeration": enumeration_records,
+            "corpus": corpus_records,
+            "median_speedup": {
+                "enumeration": enumeration_speedup,
+                "corpus": corpus_speedup,
+            },
+            "minimum_speedup": MINIMUM_SPEEDUP,
+        },
+    )
+
+    if not quick_mode():
+        assert enumeration_speedup >= MINIMUM_SPEEDUP, (
+            f"flat enumeration median delay only {enumeration_speedup:.2f}x "
+            f"better than the dict kernel"
+        )
+        assert corpus_speedup >= MINIMUM_SPEEDUP, (
+            f"flat corpus throughput only {corpus_speedup:.2f}x "
+            f"better than the dict kernel"
+        )
+
+    documents = [
+        server_logs.generate_document(LOG_LINES[0], seed=seed)
+        for seed in range(CORPUS_DOCUMENTS)
+    ]
+    benchmark(lambda: _best_corpus(expression, documents, repeat=1))

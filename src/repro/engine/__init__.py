@@ -12,7 +12,11 @@ import warnings as _warnings
 from repro.engine.compiled import CompiledSpanner
 from repro.engine.kernel import (
     AlphabetClasses,
+    FlatOverflow,
+    FlatTables,
     Kernel,
+    flat_disabled,
+    flat_enabled,
     kernel_disabled,
     kernel_enabled,
 )
@@ -20,6 +24,7 @@ from repro.engine.oracle import (
     eval_compiled,
     eval_general_compiled,
     eval_sequential_compiled,
+    eval_sequential_flat,
     eval_sequential_kernel,
     eval_sequential_sets,
 )
@@ -30,14 +35,19 @@ __all__ = [
     "CompiledSpanner",
     "CompiledVA",
     "DocumentIndex",
+    "FlatOverflow",
+    "FlatTables",
     "Kernel",
     "compile_spanner",
     "compile_va",
     "eval_compiled",
     "eval_general_compiled",
     "eval_sequential_compiled",
+    "eval_sequential_flat",
     "eval_sequential_kernel",
     "eval_sequential_sets",
+    "flat_disabled",
+    "flat_enabled",
     "kernel_disabled",
     "kernel_enabled",
 ]

@@ -65,7 +65,11 @@ class CompiledSpanner:
     """
 
     def __init__(
-        self, automaton: VA | None = None, expression=None, plan: "Plan | None" = None
+        self,
+        automaton: VA | None = None,
+        expression=None,
+        plan: "Plan | None" = None,
+        source_sequential: bool | None = None,
     ) -> None:
         if plan is not None:
             automaton = plan.automaton
@@ -77,6 +81,9 @@ class CompiledSpanner:
         self._cva: CompiledVA = compile_va(automaton)
         self._expression = expression
         self._plan = plan
+        #: Source-classification override for plan-less engines rebuilt
+        #: from serialized artifacts (the plan itself is not persisted).
+        self._source_sequential = source_sequential
         self._fingerprint: str | None = None
         # The per-spanner LRU caches are mutated under this lock so one
         # engine can serve concurrent threads (the async server's
@@ -182,6 +189,8 @@ class CompiledSpanner:
         """
         if self._plan is not None:
             return self._plan.source_sequential
+        if self._source_sequential is not None:
+            return self._source_sequential
         return self._cva.is_sequential
 
     # -- per-document infrastructure --------------------------------------------

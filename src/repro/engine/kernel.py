@@ -38,6 +38,23 @@ fire where required, closes of ⊥-pinned variables never fire — and a
 per-context delta memo.  Contexts are cached per kernel, so sibling
 recursion nodes and repeated oracle calls share closures and memos.
 
+* **Flat tables** (:class:`FlatTables` / :class:`FlatDFA`) — the third
+  layer, on top of the mask kernel.  The lazy-DFA memo becomes an
+  *interned* DFA: each distinct state mask gets a small integer id, and
+  the memo is a contiguous class-indexed row per id (``array('i')``,
+  ``-1`` = unexplored) instead of a ``(mask, class) → mask`` dict.
+  Documents are interned to ``bytes`` of class ids in one C-level
+  ``str.translate`` pass (with an optional numpy fast path for long
+  documents), so the inner sweep loop is two indexed loads per
+  character — no tuple allocation, no big-int hashing.  Mask blow-up is
+  bounded by :data:`FLAT_STATE_LIMIT` interned states per DFA; beyond
+  it :class:`FlatOverflow` drops the caller back to the dict kernel,
+  which remains byte-for-byte identical in observable behaviour (the
+  differential suite in ``tests/engine/test_flat_differential.py`` pins
+  this down).  :func:`flat_disabled` forces the dict kernel for
+  benchmarking (``bench_e25``) and cross-validation, mirroring
+  :func:`kernel_disabled` one layer up.
+
 The kernel accelerates the *sequential* sweep (Theorem 5.7) and the
 op-free reachability index; the general FPT sweep (Theorem 5.10) keeps
 the set-based representation — its states carry performed-sets and
@@ -49,11 +66,17 @@ behind :func:`kernel_disabled` for old-vs-new benchmarking.
 from __future__ import annotations
 
 import os
+from array import array
 from collections import OrderedDict
 from contextlib import contextmanager
 from typing import TYPE_CHECKING
 
 from repro.alphabet import CharSet
+
+try:  # pragma: no cover - absence is exercised via monkeypatching in tests
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (tables imports us)
     from repro.engine.tables import CompiledVA
@@ -72,7 +95,25 @@ _INTERN_LIMIT = 64
 #: documents, so this hit rate is high.
 _CONTEXT_LIMIT = 256
 
+#: Interned flat-DFA states per :class:`FlatDFA`.  Each state costs one
+#: ``array('i')`` row of ``num_classes`` entries plus the mask itself;
+#: the bound keeps a pathological (exponential-subset) automaton from
+#: materialising its whole powerset — beyond it :class:`FlatOverflow`
+#: sends the caller to the dict kernel, which stays lazy per (mask,
+#: class) pair and is bounded by :data:`DELTA_LIMIT` on its own.
+FLAT_STATE_LIMIT = 1 << 12
+
+#: Documents at least this long take the numpy interning path (when
+#: numpy is importable): one vectorised table lookup over the UTF-32
+#: code points instead of the per-character ``str.translate`` dict walk.
+_NUMPY_INTERN_MIN = 2048
+
 _ENABLED = True
+_FLAT_ENABLED = True
+
+
+class FlatOverflow(RuntimeError):
+    """A flat DFA hit :data:`FLAT_STATE_LIMIT` — fall back to the dict kernel."""
 
 
 def kernel_enabled() -> bool:
@@ -103,6 +144,37 @@ def kernel_disabled():
         yield
     finally:
         _ENABLED = previous
+
+
+def flat_enabled() -> bool:
+    """Whether the flat-table layer is active (see :func:`flat_disabled`).
+
+    ``REPRO_NO_FLAT=1`` forces the dict kernel process-wide; unset or
+    ``0`` leaves the flat tables on.  Orthogonal to
+    :func:`kernel_enabled` — with the kernel off entirely, the flat
+    layer never comes into play.
+    """
+    return _FLAT_ENABLED and os.environ.get("REPRO_NO_FLAT", "") in ("", "0")
+
+
+@contextmanager
+def flat_disabled():
+    """Force the dict-kernel paths (benchmarks and cross-validation).
+
+    >>> from repro.engine.compiled import compile_spanner
+    >>> engine = compile_spanner(".*x{a+}.*")
+    >>> with flat_disabled():
+    ...     old = engine.mappings("baa")
+    >>> engine.mappings("baa") == old
+    True
+    """
+    global _FLAT_ENABLED
+    previous = _FLAT_ENABLED
+    _FLAT_ENABLED = False
+    try:
+        yield
+    finally:
+        _FLAT_ENABLED = previous
 
 
 def iter_bits(mask: int):
@@ -162,6 +234,27 @@ class AlphabetClasses:
             group[0] if group else fresh for group in members
         )
 
+    @classmethod
+    def from_parts(
+        cls,
+        class_of: dict[str, int],
+        residual: int,
+        count: int,
+        representatives,
+    ) -> "AlphabetClasses":
+        """Rebuild a partition from its serialized parts (artifact loads).
+
+        Bypasses the signature computation entirely — the parts were
+        produced by a previous :meth:`__init__` and round-tripped through
+        :mod:`repro.engine.artifact`.
+        """
+        self = cls.__new__(cls)
+        self._class_of = dict(class_of)
+        self.residual = residual
+        self.count = count
+        self.representatives = tuple(representatives)
+        return self
+
     def classify(self, char: str) -> int:
         return self._class_of.get(char, self.residual)
 
@@ -208,6 +301,7 @@ class Kernel:
         "delta_rev",
         "_interned",
         "_contexts",
+        "_flat",
     )
 
     def __init__(self, cva: "CompiledVA") -> None:
@@ -240,6 +334,39 @@ class Kernel:
         self._interned = OrderedDict()
         self._contexts: OrderedDict[tuple[frozenset, frozenset], SweepContext]
         self._contexts = OrderedDict()
+        self._flat: FlatTables | None = None
+
+    @classmethod
+    def from_tables(
+        cls,
+        cva: "CompiledVA",
+        classes: AlphabetClasses,
+        free,
+        free_rev,
+        step,
+        step_rev,
+    ) -> "Kernel":
+        """Rebuild a kernel from precomputed tables (artifact loads).
+
+        The mask tables may be any integer-indexable sequences — in
+        particular the zero-copy ``memoryview`` rows that
+        :mod:`repro.engine.artifact` casts straight out of an mmap'd
+        artifact file.  Memos start empty; they are per-process state.
+        """
+        self = cls.__new__(cls)
+        self.cva = cva
+        self.num_states = cva.num_states
+        self.classes = classes
+        self.free = free
+        self.free_rev = free_rev
+        self.step = step
+        self.step_rev = step_rev
+        self.delta = {}
+        self.delta_rev = {}
+        self._interned = OrderedDict()
+        self._contexts = OrderedDict()
+        self._flat = None
+        return self
 
     # -- documents -------------------------------------------------------------
 
@@ -267,15 +394,19 @@ class Kernel:
         """Free closure of a state mask (OR-fold of per-state masks)."""
         out = 0
         free = self.free
-        for state in iter_bits(mask):
-            out |= free[state]
+        while mask:  # iter_bits, inlined: this fold is the hot primitive
+            low = mask & -mask
+            out |= free[low.bit_length() - 1]
+            mask ^= low
         return out
 
     def close_rev(self, mask: int) -> int:
         out = 0
         free_rev = self.free_rev
-        for state in iter_bits(mask):
-            out |= free_rev[state]
+        while mask:
+            low = mask & -mask
+            out |= free_rev[low.bit_length() - 1]
+            mask ^= low
         return out
 
     def delta_step(self, mask: int, class_id: int) -> int:
@@ -323,8 +454,26 @@ class Kernel:
         self._contexts[key] = context
         return context
 
+    # -- flat tables -------------------------------------------------------------
+
+    def flat_or_none(self) -> "FlatTables | None":
+        """The flat-table layer, or ``None`` inside :func:`flat_disabled`."""
+        if not flat_enabled():
+            return None
+        if self._flat is None:
+            self._flat = FlatTables(self)
+        return self._flat
+
     def stats(self) -> dict[str, int]:
         """Memo sizes, for dashboards and the memory-bound docs."""
+        flat = self._flat
+        flat_states = 0
+        if flat is not None:
+            seen = {id(flat.dfa): flat.dfa, id(flat.dfa_rev): flat.dfa_rev}
+            for ctx in self._contexts.values():
+                if ctx.flat_dfa is not None:
+                    seen[id(ctx.flat_dfa)] = ctx.flat_dfa
+            flat_states = sum(len(dfa.masks) for dfa in seen.values())
         return {
             "classes": self.classes.count,
             "delta": len(self.delta),
@@ -336,6 +485,7 @@ class Kernel:
                 if ctx.delta is not self.delta  # the no-pin context aliases it
             ),
             "interned": len(self._interned),
+            "flat_states": flat_states,
         }
 
 
@@ -352,24 +502,50 @@ class SweepContext:
     separate memo).
     """
 
-    __slots__ = ("kernel", "pinned", "nulls", "closure", "delta", "_op_edges")
+    __slots__ = (
+        "kernel",
+        "pinned",
+        "nulls",
+        "closure",
+        "closure_rev",
+        "delta",
+        "flat_dfa",
+        "flat_dfa_rev",
+        "_op_edges",
+    )
 
     def __init__(self, kernel: Kernel, pinned: frozenset, nulls: frozenset) -> None:
         self.kernel = kernel
         self.pinned = pinned
         self.nulls = nulls
-        cva = kernel.cva
-        count = cva.num_states
+        count = kernel.cva.num_states
         self._op_edges: dict[tuple[str, str], tuple[tuple[int, int], ...]] = {}
+        #: The interned flat DFAs over this context's closure (forward and
+        #: reverse), attached lazily by :meth:`FlatTables.context` /
+        #: :meth:`FlatTables.context_rev` (``None`` until first use).
+        self.flat_dfa: FlatDFA | None = None
+        self.flat_dfa_rev: FlatDFA | None = None
+        #: Reverse restricted closure — built lazily by
+        #: :meth:`closure_rev_masks` (only backward co-acceptance sweeps
+        #: need it).
+        self.closure_rev: tuple[int, ...] | None = None
         if not pinned and not nulls:
             # No pins: the base closure IS the free closure, so share the
             # kernel's masks *and* its delta memo — the reachability index
             # and the unpinned eval sweep warm the same lazy DFA.
             self.closure = kernel.free
+            self.closure_rev = kernel.free_rev
             self.delta: dict[tuple[int, int], int] = kernel.delta
             return
-        adjacency: list[list[int]] = [[] for _ in range(count)]
-        for state in range(count):
+        self.closure = _closure_masks(count, self._adjacency())
+        self.delta = {}
+
+    def _adjacency(self) -> list[list[int]]:
+        """The restricted free-move adjacency of this pin partition."""
+        cva = self.kernel.cva
+        pinned, nulls = self.pinned, self.nulls
+        adjacency: list[list[int]] = [[] for _ in range(cva.num_states)]
+        for state in range(cva.num_states):
             targets = adjacency[state]
             targets.extend(cva.eps[state])
             for variable, target in cva.opens[state]:
@@ -380,24 +556,40 @@ class SweepContext:
             for variable, target in cva.closes[state]:
                 if variable not in pinned and variable not in nulls:
                     targets.append(target)
-        self.closure = _closure_masks(count, adjacency)
-        self.delta = {}
+        return adjacency
+
+    def closure_rev_masks(self) -> tuple[int, ...]:
+        """Per-state *reverse* restricted closure masks (built lazily)."""
+        masks = self.closure_rev
+        if masks is None:
+            adjacency = self._adjacency()
+            reversed_adjacency: list[list[int]] = [[] for _ in adjacency]
+            for source, targets in enumerate(adjacency):
+                for target in targets:
+                    reversed_adjacency[target].append(source)
+            masks = _closure_masks(len(adjacency), reversed_adjacency)
+            self.closure_rev = masks
+        return masks
 
     # -- primitive steps ---------------------------------------------------------
 
     def close(self, mask: int) -> int:
         out = 0
         closure = self.closure
-        for state in iter_bits(mask):
-            out |= closure[state]
+        while mask:  # iter_bits, inlined: this fold is the hot primitive
+            low = mask & -mask
+            out |= closure[low.bit_length() - 1]
+            mask ^= low
         return out
 
     def letter(self, mask: int, class_id: int) -> int:
         """The raw letter step (no closure) — used before a counted closure."""
         table = self.kernel.step[class_id]
         seeds = 0
-        for state in iter_bits(mask):
-            seeds |= table[state]
+        while mask:
+            low = mask & -mask
+            seeds |= table[low.bit_length() - 1]
+            mask ^= low
         return seeds
 
     def delta_step(self, mask: int, class_id: int) -> int:
@@ -456,3 +648,288 @@ class SweepContext:
                     if closed & source_bit:
                         carry |= target_bit
         return out
+
+    # -- reverse primitives (backward co-acceptance sweeps) ----------------------
+
+    def close_rev(self, mask: int) -> int:
+        """Reverse restricted closure fold (mirror of :meth:`close`)."""
+        out = 0
+        closure = self.closure_rev or self.closure_rev_masks()
+        while mask:
+            low = mask & -mask
+            out |= closure[low.bit_length() - 1]
+            mask ^= low
+        return out
+
+    def letter_rev(self, mask: int, class_id: int) -> int:
+        """The raw reverse letter step: sources that step into ``mask``."""
+        table = self.kernel.step_rev[class_id]
+        seeds = 0
+        while mask:
+            low = mask & -mask
+            seeds |= table[low.bit_length() - 1]
+            mask ^= low
+        return seeds
+
+    def closure_counted_rev(self, seeds: list[int], required: frozenset) -> list[int]:
+        """Backward counted closure — :meth:`closure_counted` mirrored.
+
+        ``seeds[c]`` holds states from which a *suffix* run has ``c``
+        required operations behind it; op edges are traversed backwards
+        (target → source) under the reverse restricted closure.  A
+        reversed path from a seed back to a state at the top count is
+        exactly a forward path firing all required ops, so intersecting
+        the top level with a forward mask answers "can any of these
+        states fire the ops here and then complete?".
+        """
+        total = len(required)
+        edges = [edge for key in required for edge in self.op_edges(key)]
+        out = [0] * (total + 1)
+        carry = 0
+        for count in range(total + 1):
+            mask = carry | (seeds[count] if count < len(seeds) else 0)
+            if not mask:
+                carry = 0
+                continue
+            closed = self.close_rev(mask)
+            out[count] = closed
+            if count < total:
+                carry = 0
+                for source_bit, target_bit in edges:
+                    if closed & target_bit:  # reversed traversal
+                        carry |= source_bit
+        return out
+
+
+class _TranslateTable(dict):
+    """``str.translate`` table mapping code points to class-id characters.
+
+    Unmentioned code points default to the residual class; the miss is
+    memoised so repeated exotic characters cost one dict hit like
+    everything else.
+    """
+
+    __slots__ = ("residual",)
+
+    def __missing__(self, code: int) -> str:
+        value = self.residual
+        self[code] = value
+        return value
+
+
+class FlatDFA:
+    """An interned lazy DFA over one closure: integer state ids, flat rows.
+
+    The dict kernel memoises ``(mask, class) → mask``; here each distinct
+    state mask is interned to a small integer id and the memo is one
+    contiguous class-indexed ``array('i')`` row per id (``-1`` =
+    unexplored, id ``0`` = the dead state).  The hot sweep loop is then
+    ``row[class_id]`` — two indexed loads per character, no tuple keys,
+    no big-int hashing.  Exploration still goes through the mask tables,
+    so semantics are exactly the dict kernel's.
+    """
+
+    __slots__ = (
+        "closure",
+        "step_flat",
+        "num_states",
+        "num_classes",
+        "masks",
+        "ids",
+        "rows",
+        "_blank",
+    )
+
+    def __init__(self, closure, step_flat, num_states: int, num_classes: int) -> None:
+        #: Per-state closure masks this DFA saturates with (the kernel's
+        #: free closure, its reverse, or a pin context's restriction).
+        self.closure = closure
+        #: Class-major flat letter table: ``step_flat[class_id * n + q]``.
+        self.step_flat = step_flat
+        self.num_states = num_states
+        self.num_classes = num_classes
+        self.masks: list[int] = [0]
+        self.ids: dict[int, int] = {0: 0}
+        # The dead state loops to itself on every class, so a dead sweep
+        # short-circuits without ever exploring.
+        self.rows: list[array] = [array("i", [0]) * num_classes]
+        self._blank = array("i", [-1]) * num_classes
+
+    def intern(self, mask: int) -> int:
+        """The state id of ``mask`` (assigning one on first sight)."""
+        sid = self.ids.get(mask)
+        if sid is None:
+            if len(self.masks) >= FLAT_STATE_LIMIT:
+                raise FlatOverflow(
+                    f"flat DFA exceeded {FLAT_STATE_LIMIT} interned states"
+                )
+            sid = len(self.masks)
+            self.ids[mask] = sid
+            self.masks.append(mask)
+            self.rows.append(self._blank[:])
+        return sid
+
+    def explore(self, sid: int, class_id: int) -> int:
+        """Resolve one unexplored transition (letter step then closure)."""
+        mask = self.masks[sid]
+        step = self.step_flat
+        base = class_id * self.num_states
+        seeds = 0
+        while mask:
+            low = mask & -mask
+            seeds |= step[base + low.bit_length() - 1]
+            mask ^= low
+        out = 0
+        closure = self.closure
+        while seeds:
+            low = seeds & -seeds
+            out |= closure[low.bit_length() - 1]
+            seeds ^= low
+        target = self.intern(out)
+        self.rows[sid][class_id] = target
+        return target
+
+
+class FlatTables:
+    """The flat-table layer of one kernel: interned documents + flat DFAs.
+
+    Built lazily by :meth:`Kernel.flat_or_none` and shared exactly like
+    the kernel itself — per :class:`~repro.engine.tables.CompiledVA`,
+    across every document and oracle call.  Holds the forward/backward
+    document-index DFAs; pinned sweep contexts get their own
+    :class:`FlatDFA` on first use (attached to the cached
+    :class:`SweepContext`, so they obey the same LRU lifetime).
+    """
+
+    __slots__ = (
+        "kernel",
+        "classes",
+        "num_states",
+        "num_classes",
+        "step_flat",
+        "step_rev_flat",
+        "dfa",
+        "dfa_rev",
+        "_translate",
+        "_np_table",
+        "_interned",
+    )
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self.classes = kernel.classes
+        self.num_states = kernel.num_states
+        self.num_classes = kernel.classes.count
+        step_flat: list[int] = []
+        for row in kernel.step:
+            step_flat.extend(row)
+        self.step_flat = step_flat
+        step_rev_flat: list[int] = []
+        for row in kernel.step_rev:
+            step_rev_flat.extend(row)
+        self.step_rev_flat = step_rev_flat
+        self.dfa = FlatDFA(kernel.free, step_flat, self.num_states, self.num_classes)
+        self.dfa_rev = FlatDFA(
+            kernel.free_rev, step_rev_flat, self.num_states, self.num_classes
+        )
+        self._translate: _TranslateTable | None = None
+        self._np_table = None
+        self._interned: OrderedDict[tuple[int, int], tuple[str, bytes]]
+        self._interned = OrderedDict()
+
+    # -- documents -------------------------------------------------------------
+
+    def intern(self, text: str):
+        """The (cached) class-id sequence of a document as ``bytes``.
+
+        One C-level ``str.translate`` pass (or a vectorised numpy table
+        lookup for long documents) instead of the per-character dict walk
+        of :meth:`AlphabetClasses.intern`.  Automata with more than 256
+        alphabet classes fall back to the kernel's tuple interning —
+        the sweeps index either representation identically.
+        """
+        if self.num_classes > 256:
+            return self.kernel.intern(text)
+        key = (len(text), hash(text))
+        entry = self._interned.get(key)
+        if entry is not None and entry[0] == text:
+            self._interned.move_to_end(key)
+            return entry[1]
+        ids = self._intern_now(text)
+        if len(self._interned) >= _INTERN_LIMIT:
+            self._interned.popitem(last=False)
+        self._interned[key] = (text, ids)
+        return ids
+
+    def _intern_now(self, text: str) -> bytes:
+        if _np is not None and len(text) >= _NUMPY_INTERN_MIN:
+            return self._intern_numpy(text)
+        table = self._translate
+        if table is None:
+            table = _TranslateTable(
+                (ord(char), chr(class_id))
+                for char, class_id in self.classes._class_of.items()
+            )
+            table.residual = chr(self.classes.residual)
+            self._translate = table
+        return text.translate(table).encode("latin-1")
+
+    def _intern_numpy(self, text: str) -> bytes:
+        table = self._np_table
+        if table is None:
+            class_of = self.classes._class_of
+            size = max((ord(char) for char in class_of), default=0) + 2
+            table = _np.full(size, self.classes.residual, dtype=_np.uint8)
+            for char, class_id in class_of.items():
+                table[ord(char)] = class_id
+            self._np_table = table
+        codes = _np.frombuffer(text.encode("utf-32-le"), dtype=_np.uint32)
+        # Code points past the table (all unmentioned) clip onto the last
+        # slot, which is one past the highest mentioned code point and
+        # therefore always residual.
+        return table[_np.minimum(codes, len(table) - 1)].tobytes()
+
+    # -- sweep contexts ----------------------------------------------------------
+
+    def context(self, context: SweepContext) -> FlatDFA:
+        """The flat DFA of one sweep context (built on first use).
+
+        The no-pin context shares the forward document-index DFA — the
+        reachability sweep and the unpinned eval sweep warm the same
+        interned states, mirroring the dict layer's shared delta memo.
+        """
+        dfa = context.flat_dfa
+        if dfa is None:
+            if context.closure is self.kernel.free:
+                dfa = self.dfa
+            else:
+                dfa = FlatDFA(
+                    context.closure,
+                    self.step_flat,
+                    self.num_states,
+                    self.num_classes,
+                )
+            context.flat_dfa = dfa
+        return dfa
+
+    def context_rev(self, context: SweepContext) -> FlatDFA:
+        """The *reverse* flat DFA of one sweep context (built on first use).
+
+        Drives the backward co-acceptance sweep of
+        :class:`~repro.engine.oracle.FlatNodeSweep`; the no-pin context
+        shares the document-index coreach DFA.
+        """
+        dfa = context.flat_dfa_rev
+        if dfa is None:
+            closure_rev = context.closure_rev_masks()
+            if closure_rev is self.kernel.free_rev:
+                dfa = self.dfa_rev
+            else:
+                dfa = FlatDFA(
+                    closure_rev,
+                    self.step_rev_flat,
+                    self.num_states,
+                    self.num_classes,
+                )
+            context.flat_dfa_rev = dfa
+        return dfa

@@ -32,7 +32,7 @@ bits.
 
 from __future__ import annotations
 
-from repro.engine.kernel import Kernel
+from repro.engine.kernel import FlatOverflow, Kernel
 from repro.engine.tables import CompiledVA, close_key, open_key
 from repro.spans.mapping import NULL, ExtendedMapping, Variable
 from repro.spans.span import Span
@@ -214,11 +214,133 @@ def eval_sequential_kernel(
     return bool((masks[needed] >> cva.final) & 1)
 
 
+def _flat_sweep(fdfa, context, classes, start, end, masks, needed, required, entering=None):
+    """Advance per-count masks from ``start`` to ``end`` on the flat DFA.
+
+    The flat twin of :func:`_sweep_masks`: positions with required
+    operations (the sorted keys of the ``required`` dict in
+    ``(start, end]``) are handled exactly like the dict path — raw
+    letter step, counted closure — while every run of plain positions
+    between them is walked on the interned DFA: two indexed loads per
+    character, re-interning the live mask only when re-entering from a
+    counted closure.  Verdicts match :func:`_sweep_masks` bit for bit;
+    the recorded ``entering`` slots hold interned *state ids* (resolve
+    through ``fdfa.masks``; id 0 is the dead mask, so the 0-then-stop
+    dead convention carries over).  A state-table overflow raises
+    :class:`~repro.engine.kernel.FlatOverflow` for the caller to fall
+    back.
+    """
+    if start >= end:
+        return masks, needed
+    if not masks[needed]:
+        return None
+    if required:
+        points = sorted(pos for pos in required if start < pos <= end)
+    else:
+        points = []
+    points.append(end + 1)  # sentinel: a final plain run to ``end``
+    rows = fdfa.rows
+    state_masks = fdfa.masks
+    explore = fdfa.explore
+    pos = start
+    state = fdfa.intern(masks[needed])
+    for point in points:
+        limit = point - 1 if point <= end else end
+        if pos < limit:
+            row = rows[state]
+            if entering is None:
+                for class_id in classes[pos - 1 : limit - 1]:
+                    target = row[class_id]
+                    if target < 0:
+                        target = explore(state, class_id)
+                    if not target:
+                        return None
+                    state = target
+                    row = rows[target]
+            else:
+                for ahead, class_id in enumerate(classes[pos - 1 : limit - 1], pos + 1):
+                    target = row[class_id]
+                    if target < 0:
+                        target = explore(state, class_id)
+                    entering[ahead] = target
+                    if not target:
+                        return None
+                    state = target
+                    row = rows[target]
+            pos = limit
+        if point > end:
+            return [state_masks[state]], 0
+        # Counted landing at ``point``: raw letter step off the live mask,
+        # then the requirement-tracking closure — same as the dict path.
+        upcoming = required[point]
+        seeds = context.letter(state_masks[state], classes[point - 2])
+        masks = context.closure_counted([seeds], upcoming) if seeds else None
+        if entering is not None:
+            entering[point] = fdfa.intern(masks[0]) if masks else 0
+        if masks is None:
+            return None
+        needed = len(upcoming)
+        if point == end:
+            return masks, needed
+        pos = point
+        live = masks[needed]
+        if not live:
+            return None
+        state = fdfa.intern(live)
+    raise AssertionError("unreachable: the sentinel point always returns")
+
+
+def eval_sequential_flat(
+    cva: CompiledVA,
+    text: str,
+    pinned,
+    kernel: Kernel,
+    flat,
+    classes=None,
+) -> bool:
+    """Theorem 5.7's sweep over the flat tables.
+
+    May raise :class:`~repro.engine.kernel.FlatOverflow`; callers fall
+    back to :func:`eval_sequential_kernel` (same verdicts, dict memo).
+    """
+    end = len(text) + 1
+    requirements = Requirements(cva, end, pinned)
+    if not requirements.valid:
+        return False
+    context = kernel.context(
+        frozenset(requirements.pinned), frozenset(requirements.nulls)
+    )
+    if classes is None:
+        classes = flat.intern(text)
+    fdfa = flat.context(context)
+    required = requirements.required
+    first = required.get(1)
+    initial_mask = 1 << cva.initial
+    if first:
+        masks = context.closure_counted([initial_mask], first)
+        needed = len(first)
+    else:
+        masks = [context.close(initial_mask)]
+        needed = 0
+    swept = _flat_sweep(fdfa, context, classes, 1, end, masks, needed, required)
+    if swept is None:
+        return False
+    masks, needed = swept
+    return bool((masks[needed] >> cva.final) & 1)
+
+
 def eval_sequential_compiled(cva: CompiledVA, text: str, pinned) -> bool:
-    """Theorem 5.7's sweep: the kernel path when enabled, sets otherwise."""
-    if cva.kernel_or_none() is not None:
-        return eval_sequential_kernel(cva, text, pinned)
-    return eval_sequential_sets(cva, text, pinned)
+    """Theorem 5.7's sweep: flat tables, then the dict kernel, then sets."""
+    kernel = cva.kernel_or_none()
+    if kernel is None:
+        return eval_sequential_sets(cva, text, pinned)
+    flat = kernel.flat_or_none()
+    if flat is not None:
+        try:
+            return eval_sequential_flat(cva, text, pinned, kernel, flat)
+        except FlatOverflow:
+            pass
+    return eval_sequential_kernel(cva, text, pinned, kernel)
 
 
 def _general_closure(cva: CompiledVA, seeds, required: frozenset, pinned, nulls, index):
@@ -570,18 +692,331 @@ class KernelNodeSweep:
         return bool((masks[needed] >> self.cva.final) & 1)
 
 
+class FlatNodeSweep:
+    """The :class:`NodeSweep` oracle over the flat tables.
+
+    Same prefix-sharing contract as :class:`KernelNodeSweep` — the base
+    sweep records the count-0 closed mask entering every position, each
+    sibling span resumes from position ``i`` with the open/close
+    requirements spliced in — but plain positions walk the interned flat
+    DFA, and the sharing goes two levels deeper:
+
+    * for a fixed open position ``i``, one *open sweep* (the open
+      spliced at ``i``) records the masks entering every later position,
+      so each sibling close position ``j`` resumes from a recorded mask
+      instead of re-sweeping ``i..j`` (the candidate-span list is
+      ``i``-major, so this cache hits);
+    * one *backward co-acceptance sweep* per node records, for every
+      position ``j``, the states that can still complete the suffix
+      ``j..end`` under the base requirements — so the run from ``j`` to
+      ``end`` that both dict-path resumes repeat per span collapses to a
+      single mask intersection.  Forward masks are closed under the
+      context's free moves and the backward masks are closed under their
+      reversal, so a non-empty intersection is exactly suffix
+      acceptance.
+
+    A span verdict is then one counted closure plus two table lookups;
+    a rejected span usually costs a single list lookup (its recorded
+    open-sweep mask is 0).  A state-table overflow during construction
+    propagates (:func:`node_sweep` falls back to a
+    :class:`KernelNodeSweep`); an overflow during a span query is
+    absorbed by delegating that node to a lazily built dict-kernel twin,
+    so callers never see it.
+    """
+
+    __slots__ = (
+        "cva",
+        "text",
+        "end",
+        "variable",
+        "valid",
+        "_kernel",
+        "_context",
+        "_fdfa",
+        "_classes",
+        "_base",
+        "_required",
+        "_entering",
+        "_final_masks",
+        "_final_needed",
+        "_open_key",
+        "_close_key",
+        "_open_at",
+        "_open_entering",
+        "_open_pos",
+        "_open_state",
+        "_flat",
+        "_coaccept_masks",
+        "_coaccept_table",
+        "_fallback",
+    )
+
+    def __init__(
+        self,
+        cva: CompiledVA,
+        text: str,
+        base,
+        variable: Variable,
+        kernel: Kernel,
+        flat,
+        classes=None,
+    ) -> None:
+        self.cva = cva
+        self.text = text
+        self.end = len(text) + 1
+        self.variable = variable
+        requirements = Requirements(cva, self.end, base)
+        self.valid = requirements.valid
+        self._open_key = open_key(variable)
+        self._close_key = close_key(variable)
+        self._open_at = 0  # position of the cached open sweep (0 = none)
+        self._open_entering: list[int] | None = None
+        self._coaccept_masks: list[int] | None = None
+        self._coaccept_table: list[int] | None = None
+        self._fallback: KernelNodeSweep | None = None
+        if not self.valid:
+            return
+        self._kernel = kernel
+        self._base = base
+        self._flat = flat
+        self._context = kernel.context(
+            frozenset(requirements.pinned | {variable}),
+            frozenset(requirements.nulls),
+        )
+        self._classes = flat.intern(text) if classes is None else classes
+        self._fdfa = flat.context(self._context)
+        self._required = requirements.required
+        self._run_base()
+
+    def _run_base(self) -> None:
+        context, classes = self._context, self._classes
+        required = self._required
+        end = self.end
+        entering = [0] * (end + 1)
+        initial_mask = 1 << self.cva.initial
+        closed = context.close(initial_mask)
+        entering[1] = self._fdfa.intern(closed)
+        first = required.get(1)
+        if first:
+            masks = context.closure_counted([initial_mask], first)
+            needed = len(first)
+        else:
+            masks = [closed]
+            needed = 0
+        swept = _flat_sweep(
+            self._fdfa, context, classes, 1, end, masks, needed, required, entering
+        )
+        self._entering = entering
+        if swept is None:
+            self._final_masks = [0]
+            self._final_needed = 0
+        else:
+            self._final_masks, self._final_needed = swept
+
+    def _dict_twin(self) -> "KernelNodeSweep":
+        """The dict-kernel twin of this node (flat-DFA overflow escape)."""
+        if self._fallback is None:
+            self._fallback = KernelNodeSweep(
+                self.cva,
+                self.text,
+                self._base,
+                self.variable,
+                self._kernel,
+                self._classes,
+            )
+        return self._fallback
+
+    def accepts_null(self) -> bool:
+        """The verdict for ``µ[x → ⊥]`` — the base sweep's own acceptance."""
+        if not self.valid:
+            return False
+        tail = len(self._required.get(self.end, _NO_OPS))
+        if tail != self._final_needed:
+            return False
+        return bool((self._final_masks[tail] >> self.cva.final) & 1)
+
+    def _open_sweep(self, i: int, j: int) -> list[int]:
+        """Masks entering positions ``(i, j]`` after splicing the open at ``i``.
+
+        One sweep per distinct ``i``, cached and extended *lazily*: the
+        candidate-span list is ``i``-major, so sibling close positions
+        hit the cache, and the walk only ever advances to the largest
+        ``j`` queried — candidate spans are usually short, so this stays
+        far from ``end``.  Slot ``j`` holds the interned id of the
+        count-0 closed mask entering ``j`` for runs that satisfied the
+        base requirements *and* opened ``x`` at ``i`` (0 = no such run,
+        so the span ``(i, j)`` is rejected for free).
+        """
+        fdfa = self._fdfa
+        if self._open_at != i:
+            ops = self._required.get(i, _NO_OPS) | {self._open_key}
+            masks = self._context.closure_counted(
+                [fdfa.masks[self._entering[i]]], ops
+            )
+            live = masks[len(ops)]
+            self._open_at = i
+            self._open_entering = [0] * (self.end + 1)
+            self._open_pos = i
+            self._open_state = fdfa.intern(live) if live else 0
+        entering = self._open_entering
+        pos = self._open_pos
+        if pos >= j:
+            return entering
+        state = self._open_state
+        if not state:
+            return entering  # dead frontier: later slots stay 0
+        rows, state_masks, explore = fdfa.rows, fdfa.masks, fdfa.explore
+        context, classes = self._context, self._classes
+        required = self._required
+        while pos < j and state:
+            ahead = pos + 1
+            ops = required.get(ahead)
+            if ops is None:
+                class_id = classes[pos - 1]
+                target = rows[state][class_id]
+                if target < 0:
+                    target = explore(state, class_id)
+                entering[ahead] = target
+                state = target
+            else:
+                seeds = context.letter(state_masks[state], classes[pos - 1])
+                if seeds:
+                    masks = context.closure_counted([seeds], ops)
+                    entering[ahead] = fdfa.intern(masks[0])
+                    live = masks[len(ops)]
+                    state = fdfa.intern(live) if live else 0
+                else:
+                    state = 0
+            pos = ahead
+        self._open_pos = pos
+        self._open_state = state
+        return entering
+
+    def _coaccept(self) -> list[int]:
+        """Co-acceptance ids: slot ``j`` interns the states (post-closure
+        at ``j``, all of ``j``'s operations done) from which the suffix
+        ``j..end`` still accepts under the base requirements.
+
+        One backward sweep per node, computed on the first span query:
+        plain positions walk the reverse flat DFA, required positions
+        run the backward counted closure (op edges traversed target →
+        source).  The masks come out closed under the reverse free
+        moves, which is what makes the forward/backward intersection
+        test exact: a forward-closed live mask meets slot ``j`` iff it
+        meets the raw co-acceptance set.  Resolve ids through
+        ``_coaccept_table`` (the reverse DFA's mask list).
+        """
+        w = self._coaccept_masks
+        if w is not None:
+            return w
+        context, classes = self._context, self._classes
+        end = self.end
+        required = self._required
+        w = [0] * (end + 1)
+        final_mask = 1 << self.cva.final
+        tail = required.get(end)
+        if tail:
+            levels = context.closure_counted_rev([final_mask], tail)
+            current = levels[len(tail)]
+        else:
+            current = context.close_rev(final_mask)
+        fdfa = self._flat.context_rev(context)
+        self._coaccept_table = fdfa.masks
+        state_masks = fdfa.masks
+        rows = fdfa.rows
+        explore = fdfa.explore
+        state = fdfa.intern(current)
+        points = [p for p in sorted(required, reverse=True) if p < end]
+        points.append(0)  # sentinel: a final plain run down to position 1
+        position = end - 1
+        for point in points:
+            row = rows[state] if state else None
+            while position > point and state:
+                # Plain position: one reverse-DFA step is the whole
+                # letter-then-closure composite, and its id is both the
+                # recorded slot and the continuation.
+                class_id = classes[position - 1]
+                target = row[class_id]
+                if target < 0:
+                    target = explore(state, class_id)
+                w[position] = target
+                state = target
+                row = rows[target]
+                position -= 1
+            if not state or not point:
+                break
+            seeds = context.letter_rev(state_masks[state], classes[point - 1])
+            if not seeds:
+                break
+            ops = required[point]
+            levels = context.closure_counted_rev([seeds], ops)
+            # Level 0 is the closed co-acceptance slot (the span's own
+            # ops fire forward, in the resume's counted closure); the
+            # top level carries the base ops backward.
+            w[point] = fdfa.intern(levels[0])
+            top = levels[len(ops)]
+            state = fdfa.intern(top) if top else 0
+            position = point - 1
+        self._coaccept_masks = w
+        return w
+
+    def accepts_span(self, span: Span) -> bool:
+        """The verdict for ``µ[x → span]``, resumed from the shared prefix."""
+        if not self.valid:
+            return False
+        i, j = span.begin, span.end
+        if i < 1 or j > self.end or self.variable not in self.cva.variables:
+            return False
+        entering = self._entering[i]
+        if not entering:
+            return False
+        context = self._context
+        required = self._required
+        state_masks = self._fdfa.masks
+        try:
+            if i == j:
+                # Empty span: both operations splice into one position's
+                # counted closure, resumed from the base entering mask.
+                ops = required.get(i, _NO_OPS) | {self._open_key, self._close_key}
+                levels = context.closure_counted([state_masks[entering]], ops)
+            else:
+                opened = self._open_sweep(i, j)[j]
+                if not opened:
+                    return False
+                # Resume at ``j``: the close joins whatever base operations
+                # ``j`` already requires (closure idempotence makes resuming
+                # from the recorded closed mask exact, as at the node level).
+                ops = required.get(j, _NO_OPS) | {self._close_key}
+                levels = context.closure_counted([state_masks[opened]], ops)
+            live = levels[len(ops)]
+            if not live:
+                return False
+            if j == self.end:
+                return bool((live >> self.cva.final) & 1)
+            coaccept = self._coaccept()[j]
+            return bool(coaccept and live & self._coaccept_table[coaccept])
+        except FlatOverflow:
+            return self._dict_twin().accepts_span(span)
+
+
 def node_sweep(
     cva: CompiledVA,
     text: str,
     base,
     variable: Variable,
-    classes: "tuple[int, ...] | None" = None,
+    classes=None,
 ):
-    """The sequential enumeration-node oracle: kernel path when enabled."""
+    """The sequential enumeration-node oracle: flat, dict kernel, or sets."""
     kernel = cva.kernel_or_none()
-    if kernel is not None:
-        return KernelNodeSweep(cva, text, base, variable, kernel, classes)
-    return NodeSweep(cva, text, base, variable)
+    if kernel is None:
+        return NodeSweep(cva, text, base, variable)
+    flat = kernel.flat_or_none()
+    if flat is not None:
+        try:
+            return FlatNodeSweep(cva, text, base, variable, kernel, flat, classes)
+        except FlatOverflow:
+            pass
+    return KernelNodeSweep(cva, text, base, variable, kernel, classes)
 
 
 class GeneralNode:

@@ -33,7 +33,7 @@ from functools import lru_cache
 from repro.automata.labels import Close, Eps, Open, Sym
 from repro.automata.sequential import is_sequential
 from repro.automata.va import VA
-from repro.engine.kernel import Kernel, iter_bits, kernel_enabled
+from repro.engine.kernel import FlatOverflow, Kernel, iter_bits, kernel_enabled
 from repro.spans.mapping import Variable
 from repro.spans.span import Span
 
@@ -245,11 +245,15 @@ class DocumentIndex:
     those position sets is unreachable and safely skipped.
 
     On kernel-enabled automata (the default) both sweeps run over the
-    bitmask kernel: the document is interned once into alphabet-class
-    ids, the forward pass is one lazy-DFA hit per position, and the
-    backward pass uses the precomputed *reverse* class-step table instead
-    of rescanning every letter edge at every position.  The set-based
-    sweeps remain as the fallback (``use_kernel=False``, or inside
+    flat-table layer: the document is interned once into a ``bytes`` of
+    alphabet-class ids, and each pass walks the interned flat DFA — two
+    indexed loads per position (:class:`~repro.engine.kernel.FlatDFA`),
+    with the backward pass on the precomputed *reverse* class-step
+    table.  A flat-DFA state overflow
+    (:class:`~repro.engine.kernel.FlatOverflow`) or
+    :func:`~repro.engine.kernel.flat_disabled` drops to the dict-memo
+    kernel sweep; the set-based sweeps remain as the final fallback
+    (``use_kernel=False``, or inside
     :func:`~repro.engine.kernel.kernel_disabled`).
 
     >>> from repro.spanner import Spanner
@@ -262,7 +266,9 @@ class DocumentIndex:
         self.cva = cva
         self.text = text
         self.end = len(text) + 1
-        self.classes: tuple[int, ...] | None = None
+        #: Interned class ids — ``bytes`` on the flat path, a tuple on the
+        #: dict-kernel path, ``None`` on the set-based fallback.
+        self.classes: "bytes | tuple[int, ...] | None" = None
         self._reach_masks: list[int] | None = None
         self._coreach_masks: list[int] | None = None
         self._reach_sets: list[frozenset[int]] | None = None
@@ -270,9 +276,62 @@ class DocumentIndex:
         self._span_cache: dict[Variable, tuple[Span, ...]] = {}
         kernel = cva.kernel_or_none() if use_kernel else None
         if kernel is not None:
+            flat = kernel.flat_or_none()
+            if flat is not None:
+                try:
+                    self._build_flat(kernel, flat, text)
+                    return
+                except FlatOverflow:
+                    pass  # fall through: the dict sweep rebuilds everything
             self._build_kernel(kernel, text)
         else:
             self._build_sets(text)
+
+    def _build_flat(self, kernel, flat, text: str) -> None:
+        end = self.end
+        cva = self.cva
+        classes = flat.intern(text)
+        self.classes = classes
+        dfa = flat.dfa
+        rows = dfa.rows
+        explore = dfa.explore
+        state = dfa.intern(kernel.free[cva.initial])
+        reach_ids = [0] * (end + 1)
+        reach_ids[1] = state
+        row = rows[state]
+        pos = 1
+        while pos < end and state:
+            class_id = classes[pos - 1]
+            target = row[class_id]
+            if target < 0:
+                target = explore(state, class_id)
+            reach_ids[pos + 1] = target
+            state = target
+            if target:
+                row = rows[target]
+            pos += 1
+        masks = dfa.masks
+        self._reach_masks = [masks[sid] for sid in reach_ids]
+        dfa_rev = flat.dfa_rev
+        rows = dfa_rev.rows
+        explore = dfa_rev.explore
+        state = dfa_rev.intern(kernel.free_rev[cva.final])
+        coreach_ids = [0] * (end + 1)
+        coreach_ids[end] = state
+        row = rows[state]
+        pos = end - 1
+        while pos > 0 and state:
+            class_id = classes[pos - 1]
+            target = row[class_id]
+            if target < 0:
+                target = explore(state, class_id)
+            coreach_ids[pos] = target
+            state = target
+            if target:
+                row = rows[target]
+            pos -= 1
+        masks = dfa_rev.masks
+        self._coreach_masks = [masks[sid] for sid in coreach_ids]
 
     def _build_kernel(self, kernel, text: str) -> None:
         end = self.end

@@ -95,6 +95,8 @@ class ServerConfig:
     drain_grace: float = 10.0
     #: The E23 ablation baseline: no cache, no coalescing, no batching.
     naive: bool = False
+    #: Durable engine-artifact cache directory (None: in-memory only).
+    artifact_dir: str | None = None
 
     def dispatcher_config(self) -> DispatcherConfig:
         return DispatcherConfig(
@@ -104,6 +106,7 @@ class ServerConfig:
             max_pending=self.max_pending,
             inline_threads=self.inline_threads,
             naive=self.naive,
+            artifact_dir=self.artifact_dir,
         )
 
 
@@ -301,6 +304,7 @@ class SpannerServer:
             if path == "/healthz":
                 return await self._healthz(writer, keep_alive)
             if path == "/metrics":
+                self.dispatcher.publish_artifact_metrics()
                 await self._write_response(
                     writer,
                     200,

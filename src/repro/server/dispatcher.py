@@ -76,6 +76,9 @@ class DispatcherConfig:
     inline_threads: int | None = None
     #: Disable cache, coalescing, and batching (the E23 baseline).
     naive: bool = False
+    #: Directory of durable engine artifacts; None leaves the cache purely
+    #: in-memory (see repro.service.artifact_store).
+    artifact_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -120,6 +123,14 @@ class Dispatcher:
         # NB: `cache or SpannerCache()` would silently replace an *empty*
         # cache — SpannerCache defines __len__, so empty means falsy.
         self.cache = cache if cache is not None else SpannerCache()
+        self.artifacts = None
+        if self.config.artifact_dir:
+            from repro.service.artifact_store import ArtifactStore
+
+            self.artifacts = ArtifactStore(self.config.artifact_dir)
+            self.cache.attach_artifacts(self.artifacts)
+        elif getattr(self.cache, "artifacts", None) is not None:
+            self.artifacts = self.cache.artifacts
         self._loop: asyncio.AbstractEventLoop | None = None
         self._compile_pool: ThreadPoolExecutor | None = None
         self._eval_pool: ThreadPoolExecutor | None = None
@@ -143,7 +154,9 @@ class Dispatcher:
             max_workers=2, thread_name_prefix="repro-compile"
         )
         if self.config.workers >= 1:
-            self._worker_pool = WorkerPool(self.config.workers)
+            self._worker_pool = WorkerPool(
+                self.config.workers, artifact_dir=self.config.artifact_dir
+            )
         else:
             threads = self.config.inline_threads or min(
                 32, (os.cpu_count() or 1) + 4
@@ -402,6 +415,21 @@ class Dispatcher:
 
     # -- introspection -----------------------------------------------------------
 
+    def artifact_counters(self) -> dict[str, int]:
+        """Dispatcher-side plus worker-side artifact hit/miss/save/error sums."""
+        totals: dict[str, int] = {}
+        if self.artifacts is not None:
+            totals.update(self.artifacts.counters())
+        if self._worker_pool is not None:
+            for key, value in self._worker_pool.stats()["artifacts"].items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def publish_artifact_metrics(self) -> None:
+        """Refresh the ``repro_artifact_*`` gauges from the live counters."""
+        for key, value in self.artifact_counters().items():
+            self.metrics.gauge(f"repro_artifact_{key}", value)
+
     def stats(self) -> dict[str, object]:
         """A live snapshot for ``/healthz`` and tests."""
         snapshot: dict[str, object] = {
@@ -412,6 +440,8 @@ class Dispatcher:
             "workers": self.config.workers,
             "naive": self.config.naive,
         }
+        if self.artifacts is not None or self._worker_pool is not None:
+            snapshot["artifacts"] = self.artifact_counters()
         if self._worker_pool is not None:
             snapshot["worker_stats"] = self._worker_pool.stats()
         return snapshot

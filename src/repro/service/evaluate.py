@@ -99,13 +99,43 @@ _WORKER_ENGINE_LIMIT = 32
 
 _WORKER_ENGINES: "OrderedDict[str, CompiledSpanner]" = OrderedDict()
 
+#: The worker's artifact store; ``False`` until first resolved from the
+#: environment (``None`` when no directory is configured).
+_WORKER_ARTIFACTS: object = False
+
+
+def _worker_init(artifact_dir: "str | None") -> None:
+    """Process-pool initializer: point workers at the parent's artifact dir."""
+    if artifact_dir:
+        from repro.service.artifact_store import ARTIFACT_DIR_ENV
+
+        os.environ[ARTIFACT_DIR_ENV] = artifact_dir
+
+
+def _worker_artifacts():
+    global _WORKER_ARTIFACTS
+    if _WORKER_ARTIFACTS is False:
+        from repro.service.artifact_store import store_from_env
+
+        _WORKER_ARTIFACTS = store_from_env()
+    return _WORKER_ARTIFACTS
+
 
 def _worker_engine(fingerprint: str, automaton_blob: bytes) -> CompiledSpanner:
     engine = _WORKER_ENGINES.get(fingerprint)
     if engine is None:
         if len(_WORKER_ENGINES) >= _WORKER_ENGINE_LIMIT:
             _WORKER_ENGINES.popitem(last=False)
-        engine = CompiledSpanner(pickle.loads(automaton_blob))
+        store = _worker_artifacts()
+        if store is not None:
+            # Warm-load the finished engine — tables, kernel masks and
+            # all — from the artifact the coordinating process saved,
+            # instead of re-deriving everything from the pickled VA.
+            engine = store.load(fingerprint)
+        else:
+            engine = None
+        if engine is None:
+            engine = CompiledSpanner(pickle.loads(automaton_blob))
         _WORKER_ENGINES[fingerprint] = engine
     else:
         _WORKER_ENGINES.move_to_end(fingerprint)
@@ -180,10 +210,14 @@ def _evaluate_batch(
     """
     engine = _worker_engine(fingerprint, automaton_blob)
     triples = evaluate_records(engine, records, kind, spans)
+    store = _worker_artifacts()
     snapshot = {
         "pid": os.getpid(),
         "kernel": engine.kernel_stats(),
         "cache": engine.cache_stats(),
+        # Store-wide (per worker process), not per engine: merged by
+        # elementwise max per pid on the coordinating side.
+        "artifacts": store.counters() if store is not None else {},
     }
     return triples, (fingerprint, snapshot)
 
@@ -208,11 +242,19 @@ class WorkerPool:
     [('d0', ({'x': 'a'},), None)]
     """
 
-    def __init__(self, workers: int) -> None:
+    def __init__(self, workers: int, artifact_dir: "str | None" = None) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self._workers = workers
-        self._pool = ProcessPoolExecutor(max_workers=workers)
+        if artifact_dir is None:
+            from repro.service.artifact_store import ARTIFACT_DIR_ENV
+
+            artifact_dir = os.environ.get(ARTIFACT_DIR_ENV)
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(artifact_dir,),
+        )
         # The automaton is serialised once per engine, not once per batch
         # (workers only unpickle it on an engine-cache miss anyway).
         self._blobs: "weakref.WeakKeyDictionary[CompiledSpanner, bytes]" = (
@@ -288,16 +330,31 @@ class WorkerPool:
                 for (pid, fp), snapshot in self._worker_stats.items()
                 if fingerprint is None or fp == fingerprint
             ]
+            all_snapshots = list(self._worker_stats.values())
         kernel: dict[str, int] = {}
         cache: dict[str, int] = {}
         for snapshot in snapshots:
             for target, source in ((kernel, "kernel"), (cache, "cache")):
                 for key, value in snapshot[source].items():
                     target[key] = target.get(key, 0) + value
+        # Artifact counters are store-wide per worker process (cumulative
+        # across every engine the worker touched), so the per-fingerprint
+        # filter does not apply: take the elementwise max per pid — the
+        # counters only grow, so the max is the latest — then sum pids.
+        per_pid: dict[int, dict[str, int]] = {}
+        for snapshot in all_snapshots:
+            merged = per_pid.setdefault(snapshot["pid"], {})
+            for key, value in snapshot.get("artifacts", {}).items():
+                merged[key] = max(merged.get(key, 0), value)
+        artifacts: dict[str, int] = {}
+        for merged in per_pid.values():
+            for key, value in merged.items():
+                artifacts[key] = artifacts.get(key, 0) + value
         return {
             "workers": len({snapshot["pid"] for snapshot in snapshots}),
             "kernel": kernel,
             "cache": cache,
+            "artifacts": artifacts,
         }
 
     def shutdown(self, wait: bool = True) -> None:

@@ -1,0 +1,53 @@
+"""Shared pytest configuration: the ``slow``/``differential`` marker split.
+
+The tier-1 loop (``pytest -x -q``) must stay fast, so:
+
+* tests marked ``slow`` are *skipped* by default — opt in with
+  ``--run-slow`` or an explicit ``-m slow`` / ``-m "slow or ..."``
+  selection (CI's dedicated job does the latter);
+* tests marked ``differential`` always run, but their hypothesis example
+  budget defaults low and scales up through the
+  ``REPRO_DIFFERENTIAL_EXAMPLES`` environment variable — the dedicated
+  CI job sets it to a few hundred, the default run stays cheap.
+
+:func:`differential_examples` is the one place the budget is read, so
+every differential suite scales together.
+"""
+
+import os
+
+import pytest
+
+#: Default hypothesis example budget for ``differential`` suites.
+_DEFAULT_DIFFERENTIAL_EXAMPLES = 25
+
+
+def differential_examples() -> int:
+    """The per-test hypothesis budget for differential suites."""
+    try:
+        value = int(os.environ.get("REPRO_DIFFERENTIAL_EXAMPLES", ""))
+    except ValueError:
+        return _DEFAULT_DIFFERENTIAL_EXAMPLES
+    return value if value > 0 else _DEFAULT_DIFFERENTIAL_EXAMPLES
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-slow",
+        action="store_true",
+        default=False,
+        help="run tests marked slow (skipped by default)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-slow"):
+        return
+    # An explicit marker selection naming `slow` is also an opt-in.
+    selection = config.getoption("-m") or ""
+    if "slow" in selection:
+        return
+    skip = pytest.mark.skip(reason="slow: opt in with --run-slow or -m slow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip)

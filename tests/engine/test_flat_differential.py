@@ -1,0 +1,252 @@
+"""Differential harness: the flat-table kernel against every older path.
+
+The flat layer (:class:`~repro.engine.kernel.FlatTables` and the
+:class:`~repro.engine.oracle.FlatNodeSweep`) re-expresses the dict
+bitmask kernel as contiguous integer-indexed tables, and the dict kernel
+in turn re-expresses the set-based reference engine — three
+implementations of one semantics.  Every test here runs the same input
+through at least two of them and asserts *identical* observable output:
+index contents, sweep verdicts, enumeration order, decoded mappings.
+
+These tests carry the ``differential`` marker: the hypothesis budget
+defaults low so the tier-1 run stays fast, and the dedicated CI job
+raises it through ``REPRO_DIFFERENTIAL_EXAMPLES``.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.labels import Open
+from repro.automata.thompson import to_va
+from repro.automata.va import VA
+from repro.engine import compile_va, flat_disabled, kernel_disabled
+from repro.engine.compiled import compile_spanner
+from repro.engine.kernel import FlatOverflow
+from repro.engine.oracle import (
+    FlatNodeSweep,
+    KernelNodeSweep,
+    NodeSweep,
+    eval_sequential_flat,
+    eval_sequential_kernel,
+    eval_sequential_sets,
+)
+from repro.engine.tables import DocumentIndex
+from repro.plan import OPT_LEVELS, plan
+from repro.rgx.parser import parse
+from repro.spans.mapping import NULL, ExtendedMapping
+from repro.spans.span import Span, all_spans
+from repro.workloads.expressions import seller_like_sequential_rgx
+from tests.strategies import VARIABLES, documents, rgx_expressions
+
+pytestmark = [pytest.mark.kernel, pytest.mark.differential]
+
+
+def _examples(default: int = 25) -> int:
+    try:
+        value = int(os.environ.get("REPRO_DIFFERENTIAL_EXAMPLES", ""))
+    except ValueError:
+        return default
+    return value if value > 0 else default
+
+
+EXAMPLES = _examples()
+
+
+@st.composite
+def extended_pins(draw, document_length: int = 4) -> ExtendedMapping:
+    limit = document_length + 1
+    pins = {}
+    for variable in draw(
+        st.sets(st.sampled_from(VARIABLES), min_size=0, max_size=3)
+    ):
+        if draw(st.booleans()):
+            begin = draw(st.integers(min_value=1, max_value=limit))
+            end = draw(st.integers(min_value=begin, max_value=limit))
+            pins[variable] = Span(begin, end)
+        else:
+            pins[variable] = NULL
+    return ExtendedMapping(pins)
+
+
+class TestFlatAgainstDictAndSets:
+    """Hypothesis sweeps: flat vs dict-kernel vs set-based, same output."""
+
+    @given(expression=rgx_expressions(), document=documents())
+    @settings(max_examples=EXAMPLES, deadline=None)
+    def test_document_index_three_ways(self, expression, document):
+        cva = compile_va(plan(expression, opt_level=1).automaton)
+        flat_index = DocumentIndex(cva, document, use_kernel=True)
+        with flat_disabled():
+            dict_index = DocumentIndex(
+                compile_va(plan(expression, opt_level=1).automaton),
+                document,
+                use_kernel=True,
+            )
+        set_index = DocumentIndex(cva, document, use_kernel=False)
+        assert flat_index.reach == dict_index.reach == set_index.reach
+        assert (
+            flat_index.coreach == dict_index.coreach == set_index.coreach
+        )
+        for variable in sorted(cva.variables):
+            spans = flat_index.candidate_spans(variable)
+            assert spans == dict_index.candidate_spans(variable)
+            assert spans == set_index.candidate_spans(variable)
+
+    @given(
+        expression=rgx_expressions(),
+        document=documents(max_length=5),
+        pinned=extended_pins(),
+    )
+    @settings(max_examples=EXAMPLES, deadline=None)
+    def test_sequential_eval_three_ways(self, expression, document, pinned):
+        cva = compile_va(plan(expression, opt_level=1).automaton)
+        if not cva.is_sequential:
+            return
+        kernel = cva.kernel
+        flat = kernel.flat_or_none()
+        assert flat is not None  # tiny automata never overflow the table
+        try:
+            flat_verdict = eval_sequential_flat(
+                cva, document, pinned, kernel, flat
+            )
+        except FlatOverflow:  # pragma: no cover - tiny automata
+            return
+        assert flat_verdict == eval_sequential_kernel(
+            cva, document, pinned, kernel
+        )
+        assert flat_verdict == eval_sequential_sets(cva, document, pinned)
+
+    @given(expression=rgx_expressions(), document=documents(max_length=5))
+    @settings(max_examples=EXAMPLES, deadline=None)
+    def test_node_sweep_three_ways(self, expression, document):
+        """Every span verdict — and so the enumeration order — agrees.
+
+        Queries run in candidate order (``i``-major), the access pattern
+        the flat sweep's lazy open-sweep and backward co-acceptance
+        caches are built for; querying *all* spans additionally hits the
+        cache-extension and dead-state paths.
+        """
+        cva = compile_va(plan(expression, opt_level=1).automaton)
+        if not cva.is_sequential or not cva.mentioned_variables:
+            return
+        kernel = cva.kernel
+        flat = kernel.flat_or_none()
+        assert flat is not None
+        for variable in sorted(cva.mentioned_variables):
+            flat_node = FlatNodeSweep(cva, document, {}, variable, kernel, flat)
+            dict_node = KernelNodeSweep(cva, document, {}, variable, kernel)
+            set_node = NodeSweep(cva, document, {}, variable)
+            assert (
+                flat_node.accepts_null()
+                == dict_node.accepts_null()
+                == set_node.accepts_null()
+            )
+            for span in all_spans(len(document)):
+                flat_verdict = flat_node.accepts_span(span)
+                assert flat_verdict == dict_node.accepts_span(span), span
+                assert flat_verdict == set_node.accepts_span(span), span
+
+    @given(expression=rgx_expressions(), document=documents())
+    @settings(max_examples=EXAMPLES, deadline=None)
+    def test_mappings_identical_at_every_opt_level(self, expression, document):
+        for level in OPT_LEVELS:
+            flat_out = compile_spanner(expression, opt_level=level).mappings(
+                document
+            )
+            with flat_disabled():
+                dict_out = compile_spanner(
+                    expression, opt_level=level
+                ).mappings(document)
+            with kernel_disabled():
+                set_out = compile_spanner(
+                    expression, opt_level=level
+                ).mappings(document)
+            assert flat_out == dict_out == set_out
+
+    @given(expression=rgx_expressions(), document=documents())
+    @settings(max_examples=EXAMPLES, deadline=None)
+    def test_decoded_enumeration_order_matches(self, expression, document):
+        """``extract`` is ordered — the flat path must not reorder it."""
+        flat_rows = list(
+            compile_spanner(expression, opt_level=1).extract(document)
+        )
+        with flat_disabled():
+            dict_rows = list(
+                compile_spanner(expression, opt_level=1).extract(document)
+            )
+        assert flat_rows == dict_rows
+
+
+class TestFlatEdgeCases:
+    """Deterministic corners the hypothesis grammar rarely reaches."""
+
+    COFINITE = ".*x{[^,;]+};.*"
+
+    def test_cofinite_charset_with_residual_heavy_document(self):
+        # 'Q', '~' and 'é' are unmentioned: all land in the residual
+        # class; ',' and ';' are excluded/mentioned and must not.
+        document = "Q~é,ab;tail"
+        flat_out = compile_spanner(self.COFINITE).mappings(document)
+        with flat_disabled():
+            dict_out = compile_spanner(self.COFINITE).mappings(document)
+        with kernel_disabled():
+            set_out = compile_spanner(self.COFINITE).mappings(document)
+        assert flat_out == dict_out == set_out
+        assert flat_out  # the corner must actually produce mappings
+
+    @pytest.mark.parametrize("document", ["", "a", "z", "zzzz"])
+    def test_tiny_and_all_residual_documents(self, document):
+        for expression in (".*x{a+}.*", "x{a*}", self.COFINITE):
+            flat_out = compile_spanner(expression).mappings(document)
+            with flat_disabled():
+                dict_out = compile_spanner(expression).mappings(document)
+            assert flat_out == dict_out
+
+    def test_sequentialised_source_runs_flat(self):
+        # The e21 trick: a bogus unusable open makes the source fail the
+        # sequentiality check; planning sequentialises it and the flat
+        # sweep must agree with both fallback paths on the result.
+        base = to_va(seller_like_sequential_rgx(2))
+        looped = base.transitions + ((base.final, Open("v0"), base.final),)
+        automaton = VA(base.num_states, base.initial, base.final, looped)
+        document = "f0=ab;f1=cd;"
+        engine = compile_spanner(automaton, opt_level=1)
+        assert engine.tables.is_sequential
+        flat_out = engine.mappings(document)
+        with flat_disabled():
+            dict_out = compile_spanner(automaton, opt_level=1).mappings(
+                document
+            )
+        with kernel_disabled():
+            set_out = compile_spanner(automaton, opt_level=1).mappings(
+                document
+            )
+        assert flat_out == dict_out == set_out
+        assert flat_out
+
+    def test_non_sequential_pins_hit_the_flat_context_path(self):
+        # Pinned variables build restricted sweep contexts; the flat
+        # layer shares or forks its DFA per context.  Cross-check the
+        # verdict for every pin of one variable over a short document.
+        expression = parse(".*x{a+}y{b*}.*")
+        cva = compile_va(plan(expression, opt_level=1).automaton)
+        kernel = cva.kernel
+        flat = kernel.flat_or_none()
+        document = "aabb"
+        for span in all_spans(len(document)):
+            for pins in (
+                ExtendedMapping({"x": span}),
+                ExtendedMapping({"x": span, "y": NULL}),
+            ):
+                flat_verdict = eval_sequential_flat(
+                    cva, document, pins, kernel, flat
+                )
+                assert flat_verdict == eval_sequential_kernel(
+                    cva, document, pins, kernel
+                ), (span, pins)
+                assert flat_verdict == eval_sequential_sets(
+                    cva, document, pins
+                ), (span, pins)

@@ -15,7 +15,7 @@ from repro.alphabet import CharSet
 from repro.automata.labels import Open
 from repro.automata.thompson import to_va
 from repro.automata.va import VA
-from repro.engine import compile_va, kernel_disabled
+from repro.engine import compile_va, flat_disabled, kernel_disabled
 from repro.engine.compiled import compile_spanner
 from repro.engine import kernel as kernel_module
 from repro.engine.kernel import AlphabetClasses, iter_bits
@@ -236,13 +236,22 @@ class TestKernelSharing:
     def test_delta_memo_shared_across_documents(self):
         engine = compile_spanner(".*x{a+}.*")
         engine.tables.kernel.delta.clear()
-        assert engine.mappings("baa")
-        entries = len(engine.tables.kernel.delta)
-        assert entries > 0
-        assert engine.mappings("aab")  # same classes, mostly memo hits
+        with flat_disabled():  # the dict memo is the layer under test
+            assert engine.mappings("baa")
+            entries = len(engine.tables.kernel.delta)
+            assert entries > 0
+            assert engine.mappings("aab")  # same classes, mostly memo hits
         stats = engine.kernel_stats()
         assert stats["delta"] >= entries
         assert stats["classes"] >= 2
+
+    def test_flat_states_shared_across_documents(self):
+        engine = compile_spanner(".*x{a+}.*")
+        assert engine.mappings("baa")
+        states = engine.kernel_stats()["flat_states"]
+        assert states > 0
+        assert engine.mappings("aab")  # same classes: mostly interned hits
+        assert engine.kernel_stats()["flat_states"] >= states
 
     def test_kernel_disabled_forces_set_paths(self):
         engine = compile_spanner(".*x{a+}.*")

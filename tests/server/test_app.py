@@ -211,6 +211,69 @@ class TestGracefulDrain:
         # exiting the context drains a third time; nothing raises
 
 
+class TestArtifactCache:
+    def test_restart_serves_from_warm_artifacts(self, tmp_path):
+        """A restarted server answers its first request without recompiling.
+
+        The cold instance compiles and persists the engine; the warm
+        instance (same artifact directory) must report an artifact hit
+        and zero compiles-from-scratch, with identical output.
+        """
+        directory = str(tmp_path)
+
+        def run_once():
+            config = ServerConfig(
+                port=0, batch_max_delay=0.001, artifact_dir=directory
+            )
+            with ServerThread(config) as server:
+                with ServerClient(*server.address) as client:
+                    response = client.enumerate(".*x{a+}.*", ["baa"])
+                    metrics = client.metrics_text()
+            gauges = {
+                line.split()[0]: float(line.split()[1])
+                for line in metrics.splitlines()
+                if line.startswith("repro_artifact_")
+            }
+            return response, gauges
+
+        cold, cold_gauges = run_once()
+        warm, warm_gauges = run_once()
+        assert warm == cold
+        assert cold_gauges["repro_artifact_misses"] == 1
+        assert cold_gauges["repro_artifact_saves"] == 1
+        assert warm_gauges["repro_artifact_hits"] == 1
+        assert warm_gauges["repro_artifact_misses"] == 0
+
+    def test_worker_pool_reads_the_artifact_dir(self, tmp_path):
+        directory = str(tmp_path)
+        config = ServerConfig(
+            port=0, workers=2, batch_max_delay=0.005, artifact_dir=directory
+        )
+        with ServerThread(config) as server:
+            with ServerClient(*server.address) as client:
+                expected = client.enumerate(".*x{a+}.*", ["baa"])
+        # Restart with workers: the batches evaluated in worker processes
+        # must warm-load the artifact the first run saved.
+        with ServerThread(config) as server:
+            with ServerClient(*server.address) as client:
+                assert client.enumerate(".*x{a+}.*", ["baa"]) == expected
+                deadline = time.time() + 5
+                hits = 0.0
+                while time.time() < deadline:
+                    metrics = client.metrics_text()
+                    gauges = {
+                        line.split()[0]: float(line.split()[1])
+                        for line in metrics.splitlines()
+                        if line.startswith("repro_artifact_")
+                    }
+                    # dispatcher hit + at least one worker-side hit
+                    hits = gauges.get("repro_artifact_hits", 0.0)
+                    if hits >= 2:
+                        break
+                    time.sleep(0.05)
+        assert hits >= 2
+
+
 class TestWorkerProcesses:
     def test_server_on_worker_pool(self):
         config = ServerConfig(port=0, workers=2, batch_max_delay=0.005)

@@ -110,6 +110,40 @@ class TestParallel:
         assert serial == parallel
         assert set(serial) == set(corpus.doc_ids())
 
+    def test_merged_worker_stats_are_the_sum_of_per_worker_counters(self):
+        # The --stats/--workers contract: the merged report equals the
+        # sum over workers of each worker's latest cumulative snapshot
+        # (kernel/cache summed per (pid, fingerprint); artifact counters
+        # summed per pid).
+        from repro.service.evaluate import WorkerPool
+
+        engine = compile_spanner(PATTERN)
+        with WorkerPool(2) as pool:
+            futures = [
+                pool.submit(engine, [(f"d{i}", "f0=aa;" * 3)])
+                for i in range(6)
+            ]
+            for future in futures:
+                future.result()
+            merged = pool.stats(engine.fingerprint)
+            with pool._stats_lock:
+                snapshots = [
+                    dict(snapshot)
+                    for (pid, fp), snapshot in pool._worker_stats.items()
+                    if fp == engine.fingerprint
+                ]
+        assert merged["workers"] == len(
+            {snapshot["pid"] for snapshot in snapshots}
+        )
+        assert merged["workers"] >= 1
+        for section in ("kernel", "cache"):
+            expected: dict = {}
+            for snapshot in snapshots:
+                for key, value in snapshot[section].items():
+                    expected[key] = expected.get(key, 0) + value
+            assert merged[section] == expected
+        assert merged["kernel"].get("flat_states", 0) > 0  # real work merged
+
 
 class TestExtractCorpus:
     def test_decoded_results(self):
