@@ -360,6 +360,15 @@ def build_serve_parser() -> argparse.ArgumentParser:
             "(defaults to $REPRO_ARTIFACT_DIR when set)"
         ),
     )
+    parser.add_argument(
+        "--no-shm",
+        action="store_true",
+        help=(
+            "do not publish engines to worker processes through "
+            "shared-memory segments (also: REPRO_NO_SHM=1); workers fall "
+            "back to the artifact cache or the pickled automaton"
+        ),
+    )
     return parser
 
 
@@ -615,6 +624,7 @@ def _run_serve(argv: list[str]) -> int:
         max_pending=arguments.max_pending,
         drain_grace=arguments.drain_grace,
         artifact_dir=artifact_dir,
+        shared_memory=False if arguments.no_shm else None,
     )
     return serve(config)
 
@@ -748,6 +758,9 @@ def _print_stats(
             artifacts[key] = artifacts.get(key, 0) + value
     if artifacts:
         print(f"stats: artifacts {formatted(artifacts)}", file=sys.stderr)
+    shm = dict(worker_stats.get("shm", {})) if worker_stats else {}
+    if shm:
+        print(f"stats: shm {formatted(shm)}", file=sys.stderr)
     if reported:
         print(
             f"stats: merged counters from {worker_stats['workers']} "

@@ -29,6 +29,7 @@ from repro.engine.oracle import (
     eval_sequential_sets,
 )
 from repro.engine.tables import CompiledVA, DocumentIndex, compile_va
+from repro.engine.vector import vector_disabled, vector_enabled
 
 __all__ = [
     "AlphabetClasses",
@@ -50,6 +51,8 @@ __all__ = [
     "flat_enabled",
     "kernel_disabled",
     "kernel_enabled",
+    "vector_disabled",
+    "vector_enabled",
 ]
 
 

@@ -66,6 +66,7 @@ behind :func:`kernel_disabled` for old-vs-new benchmarking.
 from __future__ import annotations
 
 import os
+import warnings
 from array import array
 from collections import OrderedDict
 from contextlib import contextmanager
@@ -95,18 +96,61 @@ _INTERN_LIMIT = 64
 #: documents, so this hit rate is high.
 _CONTEXT_LIMIT = 256
 
+
+def _env_limit(name: str, default: int, minimum: int = 1) -> int:
+    """A positive integer tuning knob from the environment.
+
+    Invalid values (non-integers, or below ``minimum``) warn and fall
+    back to the default rather than poisoning import — soak runs set
+    these once and should find out loudly, not crash every child
+    process.
+    """
+    raw = os.environ.get(name, "")
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        value = minimum - 1
+    if value < minimum:
+        warnings.warn(
+            f"{name}={raw!r} is not an integer >= {minimum}; "
+            f"using the default {default}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return default
+    return value
+
+
 #: Interned flat-DFA states per :class:`FlatDFA`.  Each state costs one
 #: ``array('i')`` row of ``num_classes`` entries plus the mask itself;
 #: the bound keeps a pathological (exponential-subset) automaton from
 #: materialising its whole powerset — beyond it :class:`FlatOverflow`
 #: sends the caller to the dict kernel, which stays lazy per (mask,
 #: class) pair and is bounded by :data:`DELTA_LIMIT` on its own.
-FLAT_STATE_LIMIT = 1 << 12
+#: Overridable via ``REPRO_FLAT_STATE_LIMIT`` for soak-run tuning.
+FLAT_STATE_LIMIT = _env_limit("REPRO_FLAT_STATE_LIMIT", 1 << 12)
 
 #: Documents at least this long take the numpy interning path (when
 #: numpy is importable): one vectorised table lookup over the UTF-32
 #: code points instead of the per-character ``str.translate`` dict walk.
-_NUMPY_INTERN_MIN = 2048
+#: Overridable via ``REPRO_NUMPY_INTERN_MIN``.
+_NUMPY_INTERN_MIN = _env_limit("REPRO_NUMPY_INTERN_MIN", 2048)
+
+
+def numpy_or_none():
+    """The ``numpy`` module, or ``None`` when absent or disabled.
+
+    ``REPRO_NO_NUMPY=1`` forces every numpy fast path off process-wide —
+    the pure-python lane CI runs — without uninstalling anything; unset
+    or ``0`` leaves numpy on when importable.  The single gate shared by
+    document interning and the vector layer
+    (:mod:`repro.engine.vector`).
+    """
+    if _np is None or os.environ.get("REPRO_NO_NUMPY", "") not in ("", "0"):
+        return None
+    return _np
 
 _ENABLED = True
 _FLAT_ENABLED = True
@@ -813,6 +857,7 @@ class FlatTables:
         "_translate",
         "_np_table",
         "_interned",
+        "_vector",
     )
 
     def __init__(self, kernel: Kernel) -> None:
@@ -836,6 +881,10 @@ class FlatTables:
         self._np_table = None
         self._interned: OrderedDict[tuple[int, int], tuple[str, bytes]]
         self._interned = OrderedDict()
+        #: The numpy vector layer over these tables, attached lazily by
+        #: :func:`repro.engine.vector.vector_tables` (``None`` until a
+        #: batch sweep first asks for it).
+        self._vector = None
 
     # -- documents -------------------------------------------------------------
 
@@ -862,7 +911,7 @@ class FlatTables:
         return ids
 
     def _intern_now(self, text: str) -> bytes:
-        if _np is not None and len(text) >= _NUMPY_INTERN_MIN:
+        if len(text) >= _NUMPY_INTERN_MIN and numpy_or_none() is not None:
             return self._intern_numpy(text)
         table = self._translate
         if table is None:

@@ -34,6 +34,7 @@ from repro.automata.labels import Close, Eps, Open, Sym
 from repro.automata.sequential import is_sequential
 from repro.automata.va import VA
 from repro.engine.kernel import FlatOverflow, Kernel, iter_bits, kernel_enabled
+from repro.engine.vector import op_positions_np
 from repro.spans.mapping import Variable
 from repro.spans.span import Span
 
@@ -273,6 +274,11 @@ class DocumentIndex:
         self._coreach_masks: list[int] | None = None
         self._reach_sets: list[frozenset[int]] | None = None
         self._coreach_sets: list[frozenset[int]] | None = None
+        #: Per-position masks as ``uint64`` numpy arrays — set only by
+        #: :meth:`from_flat_sweeps` on ≤64-state automata, enabling the
+        #: vectorized candidate-span filter.
+        self._reach_np = None
+        self._coreach_np = None
         self._span_cache: dict[Variable, tuple[Span, ...]] = {}
         kernel = cva.kernel_or_none() if use_kernel else None
         if kernel is not None:
@@ -286,6 +292,38 @@ class DocumentIndex:
             self._build_kernel(kernel, text)
         else:
             self._build_sets(text)
+
+    @classmethod
+    def from_flat_sweeps(
+        cls,
+        cva: CompiledVA,
+        text: str,
+        classes,
+        reach_masks: list[int],
+        coreach_masks: list[int],
+        reach_np=None,
+        coreach_np=None,
+    ) -> "DocumentIndex":
+        """An index from precomputed flat sweeps (the batch vector path).
+
+        :func:`repro.engine.vector.batch_index` runs the reach/coreach
+        sweeps for a whole document batch in lockstep and hands each
+        document's per-position masks here — the same masks
+        :meth:`_build_flat` would compute one document at a time.
+        """
+        self = cls.__new__(cls)
+        self.cva = cva
+        self.text = text
+        self.end = len(text) + 1
+        self.classes = classes
+        self._reach_masks = reach_masks
+        self._coreach_masks = coreach_masks
+        self._reach_sets = None
+        self._coreach_sets = None
+        self._reach_np = reach_np
+        self._coreach_np = coreach_np
+        self._span_cache = {}
+        return self
 
     def _build_flat(self, kernel, flat, text: str) -> None:
         end = self.end
@@ -413,6 +451,10 @@ class DocumentIndex:
         if not edges:
             return []
         positions = []
+        if self._reach_np is not None:
+            vectorized = op_positions_np(self._reach_np, self._coreach_np, edges)
+            if vectorized is not None:
+                return vectorized
         if self._reach_masks is not None:
             pairs = [(1 << source, 1 << target) for source, target in edges]
             source_all = 0

@@ -97,6 +97,9 @@ class ServerConfig:
     naive: bool = False
     #: Durable engine-artifact cache directory (None: in-memory only).
     artifact_dir: str | None = None
+    #: Shared-memory engine segments for worker processes (None:
+    #: auto-detect; False: pickled/artifact path only).
+    shared_memory: bool | None = None
 
     def dispatcher_config(self) -> DispatcherConfig:
         return DispatcherConfig(
@@ -107,6 +110,7 @@ class ServerConfig:
             inline_threads=self.inline_threads,
             naive=self.naive,
             artifact_dir=self.artifact_dir,
+            shared_memory=self.shared_memory,
         )
 
 

@@ -79,6 +79,10 @@ class DispatcherConfig:
     #: Directory of durable engine artifacts; None leaves the cache purely
     #: in-memory (see repro.service.artifact_store).
     artifact_dir: str | None = None
+    #: Publish engines to worker processes through shared-memory segments
+    #: (see repro.service.shm_store).  None auto-detects; False forces the
+    #: pickled/artifact path.  Only meaningful with ``workers >= 1``.
+    shared_memory: bool | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -155,7 +159,9 @@ class Dispatcher:
         )
         if self.config.workers >= 1:
             self._worker_pool = WorkerPool(
-                self.config.workers, artifact_dir=self.config.artifact_dir
+                self.config.workers,
+                artifact_dir=self.config.artifact_dir,
+                shared_memory=self.config.shared_memory,
             )
         else:
             threads = self.config.inline_threads or min(
@@ -425,10 +431,18 @@ class Dispatcher:
                 totals[key] = totals.get(key, 0) + value
         return totals
 
+    def shm_counters(self) -> dict[str, int]:
+        """The pool's shared-memory counters (publish and attach side)."""
+        if self._worker_pool is None:
+            return {}
+        return dict(self._worker_pool.stats().get("shm", {}))
+
     def publish_artifact_metrics(self) -> None:
-        """Refresh the ``repro_artifact_*`` gauges from the live counters."""
+        """Refresh the ``repro_artifact_*`` / ``repro_shm_*`` gauges."""
         for key, value in self.artifact_counters().items():
             self.metrics.gauge(f"repro_artifact_{key}", value)
+        for key, value in self.shm_counters().items():
+            self.metrics.gauge(f"repro_shm_{key}", value)
 
     def stats(self) -> dict[str, object]:
         """A live snapshot for ``/healthz`` and tests."""
@@ -443,5 +457,6 @@ class Dispatcher:
         if self.artifacts is not None or self._worker_pool is not None:
             snapshot["artifacts"] = self.artifact_counters()
         if self._worker_pool is not None:
+            snapshot["shm"] = self.shm_counters()
             snapshot["worker_stats"] = self._worker_pool.stats()
         return snapshot

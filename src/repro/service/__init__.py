@@ -34,6 +34,7 @@ from repro.service.evaluate import (
     extract_corpus,
 )
 from repro.service.queryset import QuerySet, QuerySetResult
+from repro.service.shm_store import ShmStore, shm_available
 from repro.util.errors import CorpusError
 
 __all__ = [
@@ -47,9 +48,11 @@ __all__ = [
     "InMemoryCorpus",
     "QuerySet",
     "QuerySetResult",
+    "ShmStore",
     "SpannerCache",
     "WorkerPool",
     "as_corpus",
+    "shm_available",
     "cached_spanner",
     "corpus_outputs",
     "evaluate_corpus",

@@ -216,6 +216,21 @@ class ArtifactStore:
         # fingerprint fails there, never here.
         return fingerprint if len(fingerprint) == 64 else None
 
+    def read_blob(self, fingerprint: str) -> "bytes | None":
+        """The raw artifact bytes for ``fingerprint``, or ``None``.
+
+        A plain read for callers that want the *bytes* rather than an
+        engine — the shared-memory publisher reuses a saved artifact
+        instead of re-serialising.  Deliberately counter-free: this is
+        not a cache hit or miss, and the blob is validated wherever it
+        is eventually deserialised.
+        """
+        try:
+            with open(self.artifact_path(fingerprint), "rb") as handle:
+                return handle.read()
+        except OSError:
+            return None
+
     def load(self, fingerprint: str):
         """The engine for ``fingerprint``, rebuilt zero-copy from its mmap.
 

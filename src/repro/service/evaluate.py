@@ -110,6 +110,11 @@ def _worker_init(artifact_dir: "str | None") -> None:
         from repro.service.artifact_store import ARTIFACT_DIR_ENV
 
         os.environ[ARTIFACT_DIR_ENV] = artifact_dir
+    # Fork-started workers inherit the parent's counter state; their
+    # snapshots must report only their own attaches.
+    from repro.service.shm_store import reset_worker_counters
+
+    reset_worker_counters()
 
 
 def _worker_artifacts():
@@ -121,19 +126,28 @@ def _worker_artifacts():
     return _WORKER_ARTIFACTS
 
 
-def _worker_engine(fingerprint: str, automaton_blob: bytes) -> CompiledSpanner:
+def _worker_engine(
+    fingerprint: str, automaton_blob: bytes, segment=None
+) -> CompiledSpanner:
     engine = _WORKER_ENGINES.get(fingerprint)
     if engine is None:
         if len(_WORKER_ENGINES) >= _WORKER_ENGINE_LIMIT:
             _WORKER_ENGINES.popitem(last=False)
-        store = _worker_artifacts()
-        if store is not None:
-            # Warm-load the finished engine — tables, kernel masks and
-            # all — from the artifact the coordinating process saved,
-            # instead of re-deriving everything from the pickled VA.
-            engine = store.load(fingerprint)
-        else:
-            engine = None
+        if segment is not None:
+            # Cheapest first: rebuild from the segment the coordinating
+            # process published — shared pages, zero-copy mask views.
+            from repro.service import shm_store
+
+            engine = shm_store.attach_engine(segment, fingerprint)
+            if engine is None:
+                shm_store.count_fallback()
+        if engine is None:
+            store = _worker_artifacts()
+            if store is not None:
+                # Warm-load the finished engine — tables, kernel masks and
+                # all — from the artifact the coordinating process saved,
+                # instead of re-deriving everything from the pickled VA.
+                engine = store.load(fingerprint)
         if engine is None:
             engine = CompiledSpanner(pickle.loads(automaton_blob))
         _WORKER_ENGINES[fingerprint] = engine
@@ -176,13 +190,31 @@ def evaluate_records(
     single definition of batch semantics, shared by the worker processes
     and the online server's in-process executor.
 
+    Batches take the vector layer when available: ``"matches"`` resolves
+    verdicts through one lockstep forward sweep
+    (:meth:`~repro.engine.compiled.CompiledSpanner.matches_many`), the
+    other kinds pre-warm the per-document indexes in lockstep chunks
+    (:meth:`~repro.engine.compiled.CompiledSpanner.prewarm`) before the
+    per-document pass.  Verdicts, mappings, and error isolation are
+    identical either way.
+
     >>> from repro.engine.compiled import compile_spanner
     >>> evaluate_records(
     ...     compile_spanner("x{a}"), [("d0", "a")], kind="matches"
     ... )
     [('d0', True, None)]
     """
+    records = list(records)
     if kind == "matches":
+        if all(isinstance(text, str) for _, text in records):
+            try:
+                verdicts = engine.matches_many([text for _, text in records])
+                return [
+                    (doc_id, verdict, None)
+                    for (doc_id, _), verdict in zip(records, verdicts)
+                ]
+            except Exception:
+                pass  # isolate errors per document below
         results = []
         for doc_id, text in records:
             try:
@@ -190,25 +222,43 @@ def evaluate_records(
             except Exception as error:
                 results.append((doc_id, None, _describe(error)))
         return results
-    return [
-        _evaluate_one(engine, doc_id, text, kind == "extract", spans)
-        for doc_id, text in records
-    ]
+    # Interleave prewarm and evaluation so batches wider than the
+    # engine's index cache never evict an index before it is used.
+    limit = getattr(engine, "prewarm_limit", len(records)) or len(records)
+    results = []
+    for start in range(0, len(records), limit):
+        chunk = records[start : start + limit]
+        engine.prewarm(text for _, text in chunk)
+        results.extend(
+            _evaluate_one(engine, doc_id, text, kind == "extract", spans)
+            for doc_id, text in chunk
+        )
+    return results
 
 
 def _evaluate_batch(
-    fingerprint: str, automaton_blob: bytes, records, kind: str, spans: bool
+    fingerprint: str,
+    automaton_blob: bytes,
+    records,
+    kind: str,
+    spans: bool,
+    segment=None,
 ):
     """One batch inside a worker process: warm engine lookup, then records.
 
-    Returns ``(triples, (fingerprint, snapshot))``: alongside the result
-    triples, each batch ships back a snapshot of the worker engine's
-    cumulative kernel/cache counters, so the coordinating process can
-    report merged ``--stats`` instead of silently showing only its own
-    (cold) engine.  Counters are cumulative per worker engine, so the
-    pool keeps only the *latest* snapshot per ``(pid, fingerprint)``.
+    ``segment`` is the published shared-memory descriptor for the
+    engine, when the coordinating process has one (see
+    :mod:`repro.service.shm_store`).  Returns ``(triples, (fingerprint,
+    snapshot))``: alongside the result triples, each batch ships back a
+    snapshot of the worker engine's cumulative kernel/cache counters, so
+    the coordinating process can report merged ``--stats`` instead of
+    silently showing only its own (cold) engine.  Counters are
+    cumulative per worker engine, so the pool keeps only the *latest*
+    snapshot per ``(pid, fingerprint)``.
     """
-    engine = _worker_engine(fingerprint, automaton_blob)
+    from repro.service import shm_store
+
+    engine = _worker_engine(fingerprint, automaton_blob, segment)
     triples = evaluate_records(engine, records, kind, spans)
     store = _worker_artifacts()
     snapshot = {
@@ -218,6 +268,7 @@ def _evaluate_batch(
         # Store-wide (per worker process), not per engine: merged by
         # elementwise max per pid on the coordinating side.
         "artifacts": store.counters() if store is not None else {},
+        "shm": shm_store.worker_counters(),
     }
     return triples, (fingerprint, snapshot)
 
@@ -242,7 +293,12 @@ class WorkerPool:
     [('d0', ({'x': 'a'},), None)]
     """
 
-    def __init__(self, workers: int, artifact_dir: "str | None" = None) -> None:
+    def __init__(
+        self,
+        workers: int,
+        artifact_dir: "str | None" = None,
+        shared_memory: "bool | None" = None,
+    ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self._workers = workers
@@ -250,6 +306,7 @@ class WorkerPool:
             from repro.service.artifact_store import ARTIFACT_DIR_ENV
 
             artifact_dir = os.environ.get(ARTIFACT_DIR_ENV)
+        self._artifact_dir = artifact_dir
         self._pool = ProcessPoolExecutor(
             max_workers=workers,
             initializer=_worker_init,
@@ -260,6 +317,17 @@ class WorkerPool:
         self._blobs: "weakref.WeakKeyDictionary[CompiledSpanner, bytes]" = (
             weakref.WeakKeyDictionary()
         )
+        # Engine segments published for this pool's workers; ``None``
+        # when shared memory is off (explicitly, or unavailable).  The
+        # finalizer mirrors shutdown() so abandoned pools — dropped
+        # references, exceptions before shutdown, interpreter exit —
+        # still unlink their segments instead of leaking /dev/shm files.
+        from repro.service.shm_store import ShmStore, shm_available
+
+        use_shm = shared_memory if shared_memory is not None else shm_available()
+        self._shm = ShmStore() if use_shm else None
+        if self._shm is not None:
+            self._shm_finalizer = weakref.finalize(self, self._shm.close)
         # Latest cumulative counter snapshot per (pid, fingerprint); see
         # _evaluate_batch.  Guarded: done-callbacks run on executor threads.
         self._stats_lock = threading.Lock()
@@ -277,6 +345,21 @@ class WorkerPool:
             )
             self._blobs[engine] = blob
         return blob
+
+    def _segment(self, engine: CompiledSpanner):
+        """The engine's published shared-memory descriptor, or ``None``."""
+        if self._shm is None:
+            return None
+        artifact_blob = None
+        if self._artifact_dir:
+            # Reuse the bytes the artifact store already serialised
+            # rather than serialising the engine a second time.
+            from repro.service.artifact_store import ArtifactStore
+
+            artifact_blob = ArtifactStore(self._artifact_dir).read_blob(
+                engine.fingerprint
+            )
+        return self._shm.publish(engine, blob=artifact_blob)
 
     def submit(
         self,
@@ -296,6 +379,7 @@ class WorkerPool:
             list(records),
             kind,
             spans,
+            self._segment(engine),
         )
         # Peel the stats snapshot off inside a done-callback so callers
         # keep seeing plain triples, exactly as before.
@@ -337,28 +421,41 @@ class WorkerPool:
             for target, source in ((kernel, "kernel"), (cache, "cache")):
                 for key, value in snapshot[source].items():
                     target[key] = target.get(key, 0) + value
-        # Artifact counters are store-wide per worker process (cumulative
-        # across every engine the worker touched), so the per-fingerprint
-        # filter does not apply: take the elementwise max per pid — the
-        # counters only grow, so the max is the latest — then sum pids.
-        per_pid: dict[int, dict[str, int]] = {}
-        for snapshot in all_snapshots:
-            merged = per_pid.setdefault(snapshot["pid"], {})
-            for key, value in snapshot.get("artifacts", {}).items():
-                merged[key] = max(merged.get(key, 0), value)
-        artifacts: dict[str, int] = {}
-        for merged in per_pid.values():
-            for key, value in merged.items():
-                artifacts[key] = artifacts.get(key, 0) + value
+        # Artifact and shm counters are store-wide per worker process
+        # (cumulative across every engine the worker touched), so the
+        # per-fingerprint filter does not apply: take the elementwise max
+        # per pid — the counters only grow, so the max is the latest —
+        # then sum pids.
+        def merged_per_pid(source: str) -> dict[str, int]:
+            per_pid: dict[int, dict[str, int]] = {}
+            for snapshot in all_snapshots:
+                merged = per_pid.setdefault(snapshot["pid"], {})
+                for key, value in snapshot.get(source, {}).items():
+                    merged[key] = max(merged.get(key, 0), value)
+            totals: dict[str, int] = {}
+            for merged in per_pid.values():
+                for key, value in merged.items():
+                    totals[key] = totals.get(key, 0) + value
+            return totals
+
+        shm = merged_per_pid("shm")
+        if self._shm is not None:
+            for key, value in self._shm.counters().items():
+                shm[key] = shm.get(key, 0) + value
         return {
             "workers": len({snapshot["pid"] for snapshot in snapshots}),
             "kernel": kernel,
             "cache": cache,
-            "artifacts": artifacts,
+            "artifacts": merged_per_pid("artifacts"),
+            "shm": shm,
         }
 
     def shutdown(self, wait: bool = True) -> None:
         self._pool.shutdown(wait=wait)
+        # After the workers are done (their mapped pages survive the
+        # unlink; only *new* attaches would fail): drop the segments.
+        if self._shm is not None:
+            self._shm.close()
 
     def __enter__(self) -> "WorkerPool":
         return self

@@ -1,0 +1,325 @@
+"""Host-wide shared-memory segments for compiled-engine artifacts.
+
+A :class:`~repro.service.evaluate.WorkerPool` ships each automaton to its
+workers as a pickled blob, and PR 7's :class:`ArtifactStore
+<repro.service.artifact_store.ArtifactStore>` let warm workers mmap a
+finished engine from disk instead of recompiling.  This module closes
+the remaining gap: the *coordinating* process publishes each engine's
+RPRA artifact bytes into one ``multiprocessing.shared_memory`` segment
+keyed by plan fingerprint, and every worker on the host attaches the
+same physical pages and rebuilds its engine as zero-copy views into
+them — so per-worker engine memory stays flat no matter how many
+workers share a pool, and cold workers skip both recompilation *and*
+the disk read.
+
+Attachment discipline (the part that is easy to get wrong):
+
+* The **parent** owns every segment.  It creates them with
+  ``SharedMemory(create=True)``, keeps the handles in a process-wide
+  refcounted registry (two pools publishing the same engine share one
+  segment), and unlinks them when the last pool holding a reference
+  shuts down — with an ``atexit`` net for pools that never shut down
+  cleanly.
+* **Workers never construct a ``SharedMemory`` object.**  On CPython a
+  child that merely *attaches* a segment registers it with its own
+  resource tracker, which unlinks the segment out from under the parent
+  when the child exits (and warns about a leak).  Workers instead open
+  ``/dev/shm/<name>`` directly and ``mmap`` it read-only — same pages,
+  no tracker involvement — and keep the mapping alive for as long as
+  the engine's zero-copy mask views need it.
+
+Every failure path falls back: a publish error means batches ship
+without a segment, an attach error means the worker falls back to the
+artifact store (and then to the pickled automaton), and both are
+counted, so ``--stats`` and ``/metrics`` show exactly how engines
+reached the workers (``repro_shm_*``).
+
+>>> from repro.engine.compiled import compile_spanner
+>>> engine = compile_spanner(".*x{a+}.*")
+>>> store = ShmStore()
+>>> segment = store.publish(engine)
+>>> if segment is not None:  # shared memory available on this host
+...     warm = attach_engine(segment, engine.fingerprint)
+...     assert warm is not None
+...     assert warm.matches("baa") and not warm.matches("bb")
+...     store.close()
+"""
+
+from __future__ import annotations
+
+import atexit
+import mmap
+import os
+import threading
+
+from repro.engine.artifact import ArtifactError, deserialize_engine, serialize_engine
+
+__all__ = ["ShmStore", "attach_engine", "shm_available", "worker_counters"]
+
+#: Where POSIX shared-memory segments surface as files (Linux).  Workers
+#: attach through this path; no directory means no shared memory.
+_SHM_DIR = "/dev/shm"
+
+
+def shm_available() -> bool:
+    """Whether engine segments can work on this host.
+
+    Requires ``multiprocessing.shared_memory`` *and* a ``/dev/shm`` for
+    workers to attach through; ``REPRO_NO_SHM=1`` switches the layer off
+    (the same 0/1 convention as the engine's ``REPRO_NO_*`` knobs).
+    """
+    if os.environ.get("REPRO_NO_SHM", "") not in ("", "0"):
+        return False
+    if not os.path.isdir(_SHM_DIR):
+        return False
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover - stdlib module
+        return False
+    return True
+
+
+# -- parent side: publish ----------------------------------------------------
+#
+# One process-wide registry of live segments, refcounted per fingerprint:
+# each ShmStore (one per WorkerPool) acquires at most one reference per
+# fingerprint and drops all of them on close().  The segment is unlinked
+# when its last reference goes, so overlapping pools sharing an engine
+# share its pages too.
+
+
+class _Segment:
+    __slots__ = ("name", "size", "memory", "refs")
+
+    def __init__(self, name: str, size: int, memory) -> None:
+        self.name = name
+        self.size = size
+        self.memory = memory
+        self.refs = 0
+
+
+_REGISTRY_LOCK = threading.Lock()
+_REGISTRY: dict[str, _Segment] = {}
+_SEQUENCE = 0
+
+
+def _segment_name(fingerprint: str) -> str:
+    global _SEQUENCE
+    _SEQUENCE += 1
+    return f"repro_{fingerprint[:16]}_{os.getpid()}_{_SEQUENCE}"
+
+
+def _unlink(segment: _Segment) -> None:
+    try:
+        segment.memory.close()
+        segment.memory.unlink()
+    except OSError:  # pragma: no cover - already gone
+        pass
+
+
+@atexit.register
+def _unlink_leftovers() -> None:
+    """Safety net: never leave segments behind in ``/dev/shm``."""
+    with _REGISTRY_LOCK:
+        leftovers = list(_REGISTRY.values())
+        _REGISTRY.clear()
+    for segment in leftovers:
+        _unlink(segment)
+
+
+class ShmStore:
+    """One pool's handle on the host-wide engine segments.
+
+    :meth:`publish` maps a compiled engine to a live ``(name, size)``
+    segment descriptor (serialising it at most once, or reusing the
+    bytes another pool already published); :meth:`close` drops every
+    reference this store holds, unlinking segments nobody else holds.
+    Thread-safe; every method degrades to ``None`` rather than raising.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._held: dict[str, _Segment] = {}
+        self._failed: set[str] = set()
+        self._closed = False
+        self._publishes = 0
+        self._reuses = 0
+        self._errors = 0
+        self._bytes = 0
+
+    def publish(self, engine, blob: bytes | None = None):
+        """The ``(name, size)`` segment descriptor for ``engine``, or ``None``.
+
+        The first call for a fingerprint serialises the engine (or takes
+        the ready-made artifact ``blob``) and copies it into a fresh
+        segment; later calls — from this store or any other — reuse it.
+        ``None`` when shared memory is off or the publish failed; the
+        caller just ships batches without a segment.
+        """
+        fingerprint = engine.fingerprint
+        with self._lock:
+            if self._closed or fingerprint in self._failed:
+                return None
+            held = self._held.get(fingerprint)
+            if held is not None:
+                self._reuses += 1
+                return held.name, held.size
+        if not shm_available():
+            return None
+        with _REGISTRY_LOCK:
+            segment = _REGISTRY.get(fingerprint)
+            if segment is not None:
+                segment.refs += 1
+        if segment is None:
+            segment = self._create(fingerprint, engine, blob)
+            if segment is None:
+                with self._lock:
+                    self._failed.add(fingerprint)
+                    self._errors += 1
+                return None
+        with self._lock:
+            if self._closed:  # raced with shutdown: give the ref back
+                self._release(fingerprint, segment)
+                return None
+            if fingerprint not in self._held:
+                self._held[fingerprint] = segment
+                self._publishes += 1
+                self._bytes += segment.size
+            else:  # raced with ourselves: drop the duplicate reference
+                self._release(fingerprint, segment)
+                segment = self._held[fingerprint]
+                self._reuses += 1
+        return segment.name, segment.size
+
+    def _create(self, fingerprint: str, engine, blob: bytes | None):
+        from multiprocessing import shared_memory
+
+        try:
+            if blob is None:
+                blob = serialize_engine(engine)
+            memory = shared_memory.SharedMemory(
+                name=_segment_name(fingerprint), create=True, size=len(blob)
+            )
+            memory.buf[: len(blob)] = blob
+        except (OSError, ValueError, ArtifactError):
+            return None
+        segment = _Segment(memory.name, len(blob), memory)
+        with _REGISTRY_LOCK:
+            raced = _REGISTRY.get(fingerprint)
+            if raced is not None:  # another thread won: keep theirs
+                raced.refs += 1
+            else:
+                segment.refs = 1
+                _REGISTRY[fingerprint] = segment
+        if raced is not None:
+            _unlink(segment)
+            return raced
+        return segment
+
+    @staticmethod
+    def _release(fingerprint: str, segment: _Segment) -> None:
+        with _REGISTRY_LOCK:
+            segment.refs -= 1
+            last = segment.refs <= 0
+            if last and _REGISTRY.get(fingerprint) is segment:
+                del _REGISTRY[fingerprint]
+        if last:
+            _unlink(segment)
+
+    def close(self) -> None:
+        """Drop every reference; unlink segments nobody else holds."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            held = list(self._held.items())
+            self._held.clear()
+        for fingerprint, segment in held:
+            self._release(fingerprint, segment)
+
+    def counters(self) -> dict[str, int]:
+        """This store's publish-side counters (``repro_shm_*`` names)."""
+        with self._lock:
+            return {
+                "publishes": self._publishes,
+                "reuses": self._reuses,
+                "publish_errors": self._errors,
+                "bytes": self._bytes,
+                "segments": len(self._held),
+            }
+
+    def __enter__(self) -> "ShmStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        counters = self.counters()
+        return (
+            f"ShmStore({counters['segments']} segments, "
+            f"{counters['bytes']} bytes)"
+        )
+
+
+# -- worker side: attach -----------------------------------------------------
+
+#: Live read-only mappings by segment name — kept for the life of the
+#: worker because rebuilt engines hold zero-copy views into the pages.
+_ATTACHED: dict[str, tuple] = {}
+
+_WORKER_COUNTERS = {"attaches": 0, "attach_errors": 0, "fallbacks": 0}
+
+
+def worker_counters() -> dict[str, int]:
+    """This process's attach-side counters (cumulative)."""
+    return dict(_WORKER_COUNTERS)
+
+
+def reset_worker_counters() -> None:
+    """Zero the attach-side counters.
+
+    Called by the worker-pool initializer: fork-started workers inherit
+    the parent's module state, and counting the parent's attaches as the
+    worker's would double-report in merged stats.
+    """
+    for key in _WORKER_COUNTERS:
+        _WORKER_COUNTERS[key] = 0
+
+
+def attach_engine(segment, fingerprint: str):
+    """The engine rebuilt from a published segment, or ``None``.
+
+    ``segment`` is the ``(name, size)`` descriptor shipped with a batch.
+    Attaches by mapping ``/dev/shm/<name>`` read-only (deliberately
+    *not* through ``SharedMemory`` — see the module docstring), trims
+    the view to the published size, and validates the artifact the same
+    way the disk store does.  Any failure counts and returns ``None``;
+    the caller falls back to the artifact store or the pickled
+    automaton.
+    """
+    try:
+        name, size = segment
+        path = os.path.join(_SHM_DIR, name)
+        cached = _ATTACHED.get(name)
+        if cached is None:
+            descriptor = os.open(path, os.O_RDONLY)
+            try:
+                mapped = mmap.mmap(descriptor, 0, access=mmap.ACCESS_READ)
+            finally:
+                os.close(descriptor)
+            view = memoryview(mapped)[:size]
+            _ATTACHED[name] = (mapped, view)
+        else:
+            _, view = cached
+        engine = deserialize_engine(view, expected_fingerprint=fingerprint)
+    except (OSError, ValueError, ArtifactError):
+        _WORKER_COUNTERS["attach_errors"] += 1
+        return None
+    _WORKER_COUNTERS["attaches"] += 1
+    return engine
+
+
+def count_fallback() -> None:
+    """Record that a batch shipped a segment the worker could not use."""
+    _WORKER_COUNTERS["fallbacks"] += 1

@@ -245,9 +245,16 @@ class TestArtifactCache:
         assert warm_gauges["repro_artifact_misses"] == 0
 
     def test_worker_pool_reads_the_artifact_dir(self, tmp_path):
+        # Shared-memory segments would satisfy the workers before they
+        # ever touch the artifact directory; force the disk path — this
+        # test is about the artifact fallback chain staying intact.
         directory = str(tmp_path)
         config = ServerConfig(
-            port=0, workers=2, batch_max_delay=0.005, artifact_dir=directory
+            port=0,
+            workers=2,
+            batch_max_delay=0.005,
+            artifact_dir=directory,
+            shared_memory=False,
         )
         with ServerThread(config) as server:
             with ServerClient(*server.address) as client:

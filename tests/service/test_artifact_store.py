@@ -210,7 +210,9 @@ class TestWorkerWarmLoad:
         store = ArtifactStore(str(tmp_path))
         engine = compile_spanner(PATTERN)
         store.save(engine, opt_level=1)
-        with WorkerPool(2, artifact_dir=store.root) as pool:
+        # Shared-memory segments would satisfy the workers first; turn
+        # them off — this test pins down the disk warm-load path.
+        with WorkerPool(2, artifact_dir=store.root, shared_memory=False) as pool:
             futures = [
                 pool.submit(engine, [(f"d{i}", DOCUMENT)], kind="extract")
                 for i in range(4)

@@ -1,0 +1,216 @@
+"""Shared-memory engine segments: publish, attach, refcounts, cleanup.
+
+The invariants under test: workers attached through a segment produce
+byte-identical results to every other engine-delivery path; segments
+are host-visible ``/dev/shm`` files that are *always* unlinked when the
+owning pool goes away — clean shutdown, abandoned pool, or a worker
+killed mid-batch — and never via the child resource tracker (which
+would also warn); and every failure falls back to the artifact store or
+the pickled automaton, with counters telling the story.
+"""
+
+import glob
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.engine.compiled import compile_spanner
+from repro.service.artifact_store import ArtifactStore
+from repro.service.evaluate import WorkerPool, evaluate_records
+from repro.service.shm_store import (
+    ShmStore,
+    attach_engine,
+    shm_available,
+    worker_counters,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="shared memory unavailable on this host"
+)
+
+PATTERN = "(a|b)*x{(ab)+}y{b*}(a|b)*"
+DOCS = [(f"d{i}", "ab" * (i % 5) + "b") for i in range(24)]
+
+
+def _segments() -> set:
+    return set(glob.glob("/dev/shm/repro_*"))
+
+
+class TestShmStore:
+    def test_publish_attach_roundtrip(self):
+        engine = compile_spanner(PATTERN)
+        with ShmStore() as store:
+            segment = store.publish(engine)
+            assert segment is not None
+            name, size = segment
+            assert os.path.exists(os.path.join("/dev/shm", name))
+            assert os.path.getsize(os.path.join("/dev/shm", name)) >= size
+            warm = attach_engine(segment, engine.fingerprint)
+            assert warm is not None
+            for _, text in DOCS:
+                assert warm.mappings(text) == engine.mappings(text)
+        assert not os.path.exists(os.path.join("/dev/shm", name))
+
+    def test_republish_reuses_the_segment(self):
+        engine = compile_spanner(PATTERN)
+        with ShmStore() as store:
+            first = store.publish(engine)
+            second = store.publish(engine)
+            assert first == second
+            counters = store.counters()
+            assert counters["publishes"] == 1
+            assert counters["reuses"] == 1
+            assert counters["segments"] == 1
+
+    def test_two_stores_share_one_segment_until_both_close(self):
+        engine = compile_spanner(PATTERN)
+        store_a, store_b = ShmStore(), ShmStore()
+        segment = store_a.publish(engine)
+        assert store_b.publish(engine) == segment
+        path = os.path.join("/dev/shm", segment[0])
+        store_a.close()
+        assert os.path.exists(path)  # store_b still holds a reference
+        store_b.close()
+        assert not os.path.exists(path)
+
+    def test_attach_failure_counts_and_returns_none(self):
+        before = worker_counters()["attach_errors"]
+        assert attach_engine(("repro_no_such_segment", 64), "0" * 64) is None
+        assert worker_counters()["attach_errors"] == before + 1
+
+    def test_attach_rejects_wrong_fingerprint(self):
+        engine = compile_spanner(PATTERN)
+        with ShmStore() as store:
+            segment = store.publish(engine)
+            assert attach_engine(segment, "f" * 64) is None
+
+    def test_publish_reuses_artifact_blob(self, tmp_path):
+        engine = compile_spanner(PATTERN)
+        disk = ArtifactStore(str(tmp_path))
+        assert disk.save(engine)
+        blob = disk.read_blob(engine.fingerprint)
+        assert blob is not None
+        with ShmStore() as store:
+            segment = store.publish(engine, blob=blob)
+            assert segment is not None
+            assert segment[1] == len(blob)
+            warm = attach_engine(segment, engine.fingerprint)
+            assert warm is not None
+            assert warm.matches("ab") == engine.matches("ab")
+
+    def test_no_shm_env_disables_publishing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_SHM", "1")
+        assert not shm_available()
+        with ShmStore() as store:
+            assert store.publish(compile_spanner(PATTERN)) is None
+
+
+class TestWorkerPoolIntegration:
+    def test_pool_results_identical_and_segments_unlinked(self):
+        engine = compile_spanner(PATTERN)
+        serial = evaluate_records(engine, DOCS, kind="mappings")
+        before = _segments()
+        with WorkerPool(2) as pool:
+            futures = [
+                pool.submit(engine, DOCS[i : i + 8], kind="mappings")
+                for i in range(0, len(DOCS), 8)
+            ]
+            parallel = [t for f in futures for t in f.result()]
+            assert _segments() - before  # a live segment during the run
+            stats = pool.stats()
+        assert parallel == serial
+        assert not _segments() - before
+        assert stats["shm"]["publishes"] == 1
+        assert stats["shm"]["attaches"] >= 1
+        assert stats["shm"]["attach_errors"] == 0
+
+    def test_shared_memory_false_ships_no_segments(self):
+        engine = compile_spanner(PATTERN)
+        before = _segments()
+        with WorkerPool(2, shared_memory=False) as pool:
+            future = pool.submit(engine, DOCS[:8], kind="matches")
+            future.result()
+            assert not _segments() - before
+            stats = pool.stats()
+        assert "publishes" not in stats["shm"]
+
+    def test_unlinked_segment_falls_back_to_pickle(self):
+        # Rip the segment file out from under the pool before any worker
+        # attaches: every batch must still evaluate (via the pickled
+        # automaton) and the fallback must be counted.
+        engine = compile_spanner(PATTERN)
+        serial = evaluate_records(engine, DOCS[:8], kind="mappings")
+        with WorkerPool(1) as pool:
+            segment = pool._shm.publish(engine)
+            assert segment is not None
+            os.unlink(os.path.join("/dev/shm", segment[0]))
+            future = pool.submit(engine, DOCS[:8], kind="mappings")
+            assert future.result() == serial
+            stats = pool.stats()
+        assert stats["shm"]["attach_errors"] >= 1
+        assert stats["shm"]["fallbacks"] >= 1
+
+    def test_killed_worker_mid_batch_leaves_no_segments(self):
+        """The regression: SIGKILL a worker, segments still unlink and the
+        parent (not a child resource tracker) owns the cleanup."""
+        engine = compile_spanner(PATTERN)
+        before = _segments()
+        pool = WorkerPool(2)
+        pool.submit(engine, DOCS[:4], kind="matches").result()
+        victim = next(iter(pool._pool._processes))
+        os.kill(victim, signal.SIGKILL)
+        try:
+            pool.submit(engine, DOCS[4:8], kind="matches").result()
+        except BrokenProcessPool:
+            pass
+        pool.shutdown()
+        assert not _segments() - before
+
+    def test_no_resource_tracker_warnings(self):
+        """Workers attach via mmap, never SharedMemory — so no child ever
+        registers a segment with its resource tracker, and a full
+        pool lifecycle (including worker exit) stays silent on stderr."""
+        code = (
+            "from repro.engine.compiled import compile_spanner\n"
+            "from repro.service.evaluate import WorkerPool\n"
+            f"engine = compile_spanner({PATTERN!r})\n"
+            f"docs = {DOCS[:8]!r}\n"
+            "with WorkerPool(2) as pool:\n"
+            "    pool.submit(engine, docs, kind='mappings').result()\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(
+            os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        )
+        result = subprocess.run(
+            [sys.executable, "-W", "error::UserWarning", "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "resource_tracker" not in result.stderr
+        assert "leaked" not in result.stderr
+
+    def test_abandoned_pool_finalizer_unlinks(self):
+        """A pool that is dropped without shutdown() must not leak
+        segments: the weakref finalizer mirrors shutdown."""
+        before = _segments()
+        engine = compile_spanner(".*x{a+}.*")
+        pool = WorkerPool(1)
+        pool.submit(engine, [("d0", "baa")], kind="matches").result()
+        assert _segments() - before
+        pool._pool.shutdown()  # stop workers without touching the store
+        finalizer = pool._shm_finalizer
+        del pool
+        for _ in range(50):
+            if not finalizer.alive:
+                break
+            time.sleep(0.05)
+        finalizer()  # idempotent: force it if gc has not collected yet
+        assert not _segments() - before
