@@ -92,6 +92,49 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _nonnegative_int(text: str) -> int:
+    """argparse type for flags that require an integer >= 0."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative integer (got {value})"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type for durations that must be strictly positive."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid float value: {text!r}"
+        ) from None
+    if not value > 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number of seconds (got {text})"
+        )
+    return value
+
+
+def _nonnegative_float(text: str) -> float:
+    """argparse type for durations where zero means "immediately"."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid float value: {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 seconds (got {text})"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -146,6 +189,17 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "one JSON object per document (keys: doc, mappings, error) "
             "instead of one per mapping; errors never abort the batch"
+        ),
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "deadline per worker task; a batch that exceeds it is retried "
+            "on a fresh worker (default: $REPRO_TASK_TIMEOUT, else none; "
+            "needs --workers > 1)"
         ),
     )
     parser.add_argument(
@@ -325,12 +379,12 @@ def build_serve_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--batch-delay",
-        type=float,
+        type=_nonnegative_float,
         default=0.002,
         metavar="SECONDS",
         help=(
             "flush a micro-batch this long after its first document "
-            "(default 0.002)"
+            "(default 0.002; 0 flushes immediately)"
         ),
     )
     parser.add_argument(
@@ -345,10 +399,40 @@ def build_serve_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--drain-grace",
-        type=float,
+        type=_positive_float,
         default=10.0,
         metavar="SECONDS",
         help="seconds granted to in-flight requests on SIGTERM (default 10)",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "deadline per worker task; a batch that exceeds it is retried "
+            "on a fresh worker (default: $REPRO_TASK_TIMEOUT, else none)"
+        ),
+    )
+    parser.add_argument(
+        "--max-rebuilds",
+        type=_nonnegative_int,
+        default=5,
+        metavar="N",
+        help=(
+            "consecutive worker-pool rebuilds tolerated before the server "
+            "degrades to in-process evaluation (default 5)"
+        ),
+    )
+    parser.add_argument(
+        "--degraded-reset",
+        type=_positive_float,
+        default=30.0,
+        metavar="SECONDS",
+        help=(
+            "after degrading, wait this long before trying to revive the "
+            "worker pool (default 30)"
+        ),
     )
     parser.add_argument(
         "--artifact-dir",
@@ -625,6 +709,9 @@ def _run_serve(argv: list[str]) -> int:
         drain_grace=arguments.drain_grace,
         artifact_dir=artifact_dir,
         shared_memory=False if arguments.no_shm else None,
+        task_timeout=arguments.task_timeout,
+        max_rebuilds=arguments.max_rebuilds,
+        degraded_reset=arguments.degraded_reset,
     )
     return serve(config)
 
@@ -761,6 +848,16 @@ def _print_stats(
     shm = dict(worker_stats.get("shm", {})) if worker_stats else {}
     if shm:
         print(f"stats: shm {formatted(shm)}", file=sys.stderr)
+    resilience = (
+        dict(worker_stats.get("resilience", {})) if worker_stats else {}
+    )
+    if resilience:
+        summary = {
+            key: resilience[key]
+            for key in ("restarts", "retries", "timeouts", "failed")
+            if key in resilience
+        }
+        print(f"stats: resilience {formatted(summary)}", file=sys.stderr)
     if reported:
         print(
             f"stats: merged counters from {worker_stats['workers']} "
@@ -790,6 +887,7 @@ def _run_corpus(
         workers=arguments.workers,
         spans=arguments.spans,
         on_worker_stats=on_worker_stats,
+        task_timeout=getattr(arguments, "task_timeout", None),
     )
 
     if arguments.count:

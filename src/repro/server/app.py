@@ -38,6 +38,7 @@ import time
 from dataclasses import dataclass
 
 from repro.server.dispatcher import (
+    BreakerOpen,
     Dispatcher,
     DispatcherConfig,
     Overloaded,
@@ -73,6 +74,7 @@ _REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
+    422: "Unprocessable Entity",
     429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
@@ -100,6 +102,36 @@ class ServerConfig:
     #: Shared-memory engine segments for worker processes (None:
     #: auto-detect; False: pickled/artifact path only).
     shared_memory: bool | None = None
+    #: Per-batch worker deadline, seconds (None: REPRO_TASK_TIMEOUT).
+    task_timeout: float | None = None
+    #: Consecutive pool rebuilds tolerated before degrading to threads.
+    max_rebuilds: int = 5
+    #: Compile failures that open a pattern's circuit breaker …
+    breaker_threshold: int = 5
+    #: … and seconds it stays open before a half-open probe.
+    breaker_reset: float = 30.0
+    #: Seconds a degraded server waits before reviving its worker pool.
+    degraded_reset: float = 30.0
+
+    def __post_init__(self) -> None:
+        # Timeout-ish knobs where zero or a negative would misbehave
+        # far downstream (a drain that never waits, a batch window that
+        # never flushes by time, a deadline that fires immediately) are
+        # rejected here, at construction.
+        if self.drain_grace <= 0:
+            raise ValueError("drain_grace must be positive")
+        if self.batch_max_delay < 0:
+            raise ValueError("batch_max_delay must be >= 0")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("task_timeout must be positive (or None)")
+        if self.max_rebuilds < 0:
+            raise ValueError("max_rebuilds must be >= 0")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if self.breaker_reset <= 0:
+            raise ValueError("breaker_reset must be positive")
+        if self.degraded_reset <= 0:
+            raise ValueError("degraded_reset must be positive")
 
     def dispatcher_config(self) -> DispatcherConfig:
         return DispatcherConfig(
@@ -111,6 +143,11 @@ class ServerConfig:
             naive=self.naive,
             artifact_dir=self.artifact_dir,
             shared_memory=self.shared_memory,
+            task_timeout=self.task_timeout,
+            max_rebuilds=self.max_rebuilds,
+            breaker_threshold=self.breaker_threshold,
+            breaker_reset=self.breaker_reset,
+            degraded_reset=self.degraded_reset,
         )
 
 
@@ -309,6 +346,7 @@ class SpannerServer:
                 return await self._healthz(writer, keep_alive)
             if path == "/metrics":
                 self.dispatcher.publish_artifact_metrics()
+                self.dispatcher.publish_resilience_metrics()
                 await self._write_response(
                     writer,
                     200,
@@ -363,13 +401,31 @@ class SpannerServer:
 
     async def _healthz(self, writer, keep_alive: bool) -> bool:
         stats = self.dispatcher.stats()
+        resilience = stats["resilience"]
+        if self._draining:
+            status = "draining"
+        elif resilience["degraded"]:
+            status = "degraded"
+        else:
+            status = "ok"
         payload = {
-            "status": "draining" if self._draining else "ok",
+            "status": status,
             "pending_documents": stats["pending_documents"],
             "inflight_batches": stats["inflight_batches"],
             "spanners_cached": stats["cache"]["size"],
             "workers": stats["workers"],
+            "degraded": resilience["degraded"],
+            "breakers": resilience["breakers"],
         }
+        pool = resilience.get("pool")
+        if pool is not None:
+            payload["pool"] = {
+                "alive": not pool["failed"],
+                "worker_restarts": pool["restarts"],
+                "task_retries": pool["retries"],
+                "task_timeouts": pool["timeouts"],
+                "last_restart": pool["last_restart"],
+            }
         await self._write_response(
             writer,
             200,
@@ -398,6 +454,19 @@ class SpannerServer:
                 400,
                 encode_error(f"bad pattern: {error}"),
                 close=not keep_alive,
+            )
+            return keep_alive
+        except BreakerOpen as error:
+            # This pattern keeps failing to compile: fail fast instead
+            # of re-planning it under coalesced load.
+            await self._write_response(
+                writer,
+                422,
+                encode_error(str(error)),
+                close=not keep_alive,
+                extra_headers=(
+                    ("Retry-After", str(max(1, int(error.retry_after)))),
+                ),
             )
             return keep_alive
         try:
@@ -673,6 +742,16 @@ class ServerThread:
         try:
             future = asyncio.run_coroutine_threadsafe(server.drain(), loop)
             future.result(timeout=timeout)
+        except concurrent.futures.TimeoutError:
+            # Drain overran its budget (e.g. a wedged in-flight handler).
+            # The caller wanted the server *stopped*, not an exception:
+            # log it and let __exit__ still join the (daemon) thread.
+            print(
+                f"repro server: drain did not finish within {timeout:g}s; "
+                f"abandoning the wait",
+                file=sys.stderr,
+                flush=True,
+            )
         except (RuntimeError, concurrent.futures.CancelledError):
             # The loop finished (or cancelled the duplicate coroutine)
             # because an earlier drain already completed; only a failure

@@ -20,10 +20,16 @@ from __future__ import annotations
 
 import http.client
 import json
+import time
 
 from repro.server.protocol import NDJSON_CONTENT_TYPE
 
 __all__ = ["ServerClient", "ServerResponseError"]
+
+#: Connect-retry backoff: first delay, growth factor, per-wait cap.
+_RETRY_BASE = 0.05
+_RETRY_FACTOR = 2.0
+_RETRY_CAP = 1.0
 
 
 class ServerResponseError(Exception):
@@ -36,14 +42,45 @@ class ServerResponseError(Exception):
 
 
 class ServerClient:
-    """A persistent connection to one server, JSON in / JSON out."""
+    """A persistent connection to one server, JSON in / JSON out.
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+    ``retries`` (opt-in, default 0: exactly the old behaviour) retries a
+    *failed connect* up to that many times with capped exponential
+    backoff — for harnesses and cold coordinators that race the
+    listener's bind.  Only ``ConnectionError``/``OSError`` while
+    establishing the TCP connection is retried; once a request has been
+    written, errors propagate untouched (the request may have executed).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        retries: int = 0,
+    ) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self._retries = retries
         self._connection = http.client.HTTPConnection(
             host, port, timeout=timeout
         )
 
     # -- plumbing --------------------------------------------------------------
+
+    def _connect_with_retries(self) -> None:
+        """Establish the TCP connection, retrying refused/unreachable."""
+        attempts = self._retries + 1
+        delay = _RETRY_BASE
+        for attempt in range(attempts):
+            try:
+                self._connection.connect()
+                return
+            except (ConnectionError, OSError):
+                if attempt == attempts - 1:
+                    raise
+                time.sleep(delay)
+                delay = min(_RETRY_CAP, delay * _RETRY_FACTOR)
 
     def request_raw(
         self,
@@ -54,6 +91,8 @@ class ServerClient:
     ) -> tuple[int, bytes]:
         """One round-trip; returns ``(status, body)`` without decoding."""
         headers = {"Content-Type": content_type} if body is not None else {}
+        if self._retries and self._connection.sock is None:
+            self._connect_with_retries()
         self._connection.request(method, path, body=body, headers=headers)
         response = self._connection.getresponse()
         return response.status, response.read()

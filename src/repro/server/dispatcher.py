@@ -35,18 +35,34 @@ one-request-one-eval server someone would write first.
 from __future__ import annotations
 
 import asyncio
+import logging
 import os
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.engine.compiled import CompiledSpanner, compile_spanner
 from repro.server.metrics import Metrics
 from repro.server.protocol import EVALUATE, SpanRequest
+from repro.service import faults
 from repro.service.cache import SpannerCache
-from repro.service.evaluate import WorkerPool, evaluate_records
+from repro.service.evaluate import DEFAULT_MAX_REBUILDS, WorkerPool, evaluate_records
+from repro.service.resilience import BreakerOpen, CircuitBreaker, PoolBroken
 
-__all__ = ["Dispatcher", "DispatcherConfig", "Overloaded", "RequestTooLarge"]
+__all__ = [
+    "BreakerOpen",
+    "Dispatcher",
+    "DispatcherConfig",
+    "Overloaded",
+    "RequestTooLarge",
+]
+
+_LOGGER = logging.getLogger("repro.server")
+
+#: Distinct (pattern, opt_level) circuit breakers kept live (FIFO bound —
+#: an unbounded dict would grow with every pattern ever requested).
+_BREAKER_LIMIT = 256
 
 
 class Overloaded(Exception):
@@ -83,6 +99,17 @@ class DispatcherConfig:
     #: (see repro.service.shm_store).  None auto-detects; False forces the
     #: pickled/artifact path.  Only meaningful with ``workers >= 1``.
     shared_memory: bool | None = None
+    #: Per-batch deadline on the worker pool, seconds; None disables
+    #: (falls back to ``REPRO_TASK_TIMEOUT``).
+    task_timeout: float | None = None
+    #: Consecutive pool rebuilds tolerated before degrading to threads.
+    max_rebuilds: int = DEFAULT_MAX_REBUILDS
+    #: Consecutive compile failures that open a pattern's breaker …
+    breaker_threshold: int = 5
+    #: … and how long the breaker stays open before a half-open probe.
+    breaker_reset: float = 30.0
+    #: How long degraded mode lasts before the pool is revived and probed.
+    degraded_reset: float = 30.0
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -93,6 +120,16 @@ class DispatcherConfig:
             raise ValueError("batch_max_delay must be >= 0")
         if self.max_pending < 0:
             raise ValueError("max_pending must be >= 0")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("task_timeout must be positive (or None)")
+        if self.max_rebuilds < 0:
+            raise ValueError("max_rebuilds must be >= 0")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if self.breaker_reset <= 0:
+            raise ValueError("breaker_reset must be positive")
+        if self.degraded_reset <= 0:
+            raise ValueError("degraded_reset must be positive")
 
 
 class _Batch:
@@ -149,6 +186,14 @@ class Dispatcher:
         self._pending = 0
         self._flush_immediately = False
         self._closed = False
+        # Resilience: one compile breaker per (pattern, opt_level), the
+        # degraded flag set when the worker pool exhausts its rebuild
+        # budget, and the last-published counter totals (pool counters
+        # are cumulative; /metrics counters only take deltas).
+        self._breakers: "OrderedDict[tuple, CircuitBreaker]" = OrderedDict()
+        self._degraded = False
+        self._degraded_at: float | None = None
+        self._published: dict[str, int] = {}
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -162,14 +207,23 @@ class Dispatcher:
                 self.config.workers,
                 artifact_dir=self.config.artifact_dir,
                 shared_memory=self.config.shared_memory,
+                task_timeout=self.config.task_timeout,
+                max_rebuilds=self.config.max_rebuilds,
             )
         else:
+            self._ensure_eval_pool()
+
+    def _ensure_eval_pool(self) -> ThreadPoolExecutor:
+        """The in-process executor — the degraded-mode fallback target,
+        created lazily when a worker-pool server first needs it."""
+        if self._eval_pool is None:
             threads = self.config.inline_threads or min(
                 32, (os.cpu_count() or 1) + 4
             )
             self._eval_pool = ThreadPoolExecutor(
                 max_workers=threads, thread_name_prefix="repro-eval"
             )
+        return self._eval_pool
 
     def flush_all(self) -> None:
         """Flush every open batch now and every future batch on arrival.
@@ -232,11 +286,27 @@ class Dispatcher:
         future.set_result(result)
         return result
 
+    def _breaker(self, key: tuple) -> CircuitBreaker:
+        """The (bounded) compile breaker for one ``(pattern, opt_level)``."""
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            while len(self._breakers) >= _BREAKER_LIMIT:
+                self._breakers.popitem(last=False)
+            breaker = CircuitBreaker(
+                failure_threshold=self.config.breaker_threshold,
+                reset_timeout=self.config.breaker_reset,
+            )
+            self._breakers[key] = breaker
+        return breaker
+
     async def engine(self, request: SpanRequest) -> CompiledSpanner:
         """The compiled engine for one request, compiling at most once.
 
         Raises whatever the planner raises on a bad pattern (the HTTP
-        layer answers 400).
+        layer answers 400), or :class:`BreakerOpen` when the pattern's
+        compile breaker is refusing work (the HTTP layer answers 422) —
+        a pattern that keeps failing to compile under coalesced load
+        fails fast instead of re-planning for every request.
         """
         assert self._loop is not None, "Dispatcher.start() was never awaited"
         if self.config.naive:
@@ -246,10 +316,22 @@ class Dispatcher:
                 self._compile_pool,
                 lambda: compile_spanner(request.pattern, request.opt_level),
             )
-        return await self._coalesced(
-            request.key,
-            lambda: self.cache.get(request.pattern, request.opt_level),
-        )
+        breaker = self._breaker(request.key)
+        if not breaker.allow():
+            self.metrics.inc("repro_breaker_rejections_total")
+            raise BreakerOpen(request.key, breaker.retry_after())
+
+        def build() -> CompiledSpanner:
+            faults.inject(faults.COMPILE)
+            return self.cache.get(request.pattern, request.opt_level)
+
+        try:
+            engine = await self._coalesced(request.key, build)
+        except Exception:
+            breaker.record_failure()
+            raise
+        breaker.record_success()
+        return engine
 
     async def compile_query_set(self, queryset):
         """The compiled snapshot of a query set, compiling at most once.
@@ -382,22 +464,72 @@ class Dispatcher:
         self._batch_tasks.discard(task)
         self.metrics.gauge("repro_inflight_batches", len(self._batch_tasks))
 
+    async def _run_inline(self, batch: _Batch, records: list) -> list:
+        return await self._loop.run_in_executor(
+            self._ensure_eval_pool(),
+            lambda: evaluate_records(
+                batch.engine, records, batch.kind, batch.spans
+            ),
+        )
+
+    def _ready_worker_pool(self) -> WorkerPool | None:
+        """The worker pool if it should serve this batch; degraded-mode
+        bookkeeping (including timed revival probes) lives here."""
+        pool = self._worker_pool
+        if pool is None:
+            return None
+        if not self._degraded:
+            return pool
+        if (
+            self._degraded_at is not None
+            and time.monotonic() - self._degraded_at
+            >= self.config.degraded_reset
+        ):
+            try:
+                pool.revive()
+            except RuntimeError:
+                return None  # already shut down
+            self._degraded = False
+            self._degraded_at = None
+            self.metrics.gauge("repro_degraded", 0)
+            _LOGGER.warning("degraded period over; probing the worker pool")
+            return pool
+        return None
+
+    def _enter_degraded(self) -> None:
+        if self._degraded:
+            return
+        self._degraded = True
+        self._degraded_at = time.monotonic()
+        self.metrics.gauge("repro_degraded", 1)
+        _LOGGER.warning(
+            "worker pool exhausted its rebuild budget; serving on "
+            "in-process threads (degraded) for %.3gs",
+            self.config.degraded_reset,
+        )
+
     async def _run_batch(self, batch: _Batch, items: list) -> None:
         records = [(doc_id, text) for doc_id, text, _ in items]
         try:
-            if self._worker_pool is not None:
-                triples = await asyncio.wrap_future(
-                    self._worker_pool.submit(
-                        batch.engine, records, kind=batch.kind, spans=batch.spans
+            pool = self._ready_worker_pool()
+            if pool is not None:
+                try:
+                    triples = await asyncio.wrap_future(
+                        pool.submit(
+                            batch.engine,
+                            records,
+                            kind=batch.kind,
+                            spans=batch.spans,
+                        )
                     )
-                )
+                except PoolBroken:
+                    # Graceful degradation: answer this batch (and the
+                    # next ones, until the reset window passes) on the
+                    # in-process thread executor instead of failing it.
+                    self._enter_degraded()
+                    triples = await self._run_inline(batch, records)
             else:
-                triples = await self._loop.run_in_executor(
-                    self._eval_pool,
-                    lambda: evaluate_records(
-                        batch.engine, records, batch.kind, batch.spans
-                    ),
-                )
+                triples = await self._run_inline(batch, records)
             # Results come back in submission order.  Document ids are
             # only unique *within* one request — a batch spans many — so
             # matching must be positional, never by id.
@@ -444,6 +576,55 @@ class Dispatcher:
         for key, value in self.shm_counters().items():
             self.metrics.gauge(f"repro_shm_{key}", value)
 
+    @property
+    def degraded(self) -> bool:
+        """Whether batches are being served on the in-process fallback."""
+        return self._degraded
+
+    def breaker_states(self) -> dict[str, int]:
+        """How many compile breakers sit in each state right now."""
+        counts = {
+            CircuitBreaker.CLOSED: 0,
+            CircuitBreaker.OPEN: 0,
+            CircuitBreaker.HALF_OPEN: 0,
+        }
+        for breaker in list(self._breakers.values()):
+            counts[breaker.state] += 1
+        return counts
+
+    def resilience_stats(self) -> dict[str, object]:
+        """Pool liveness + breaker summary for ``/healthz`` and tests."""
+        stats: dict[str, object] = {
+            "degraded": self._degraded,
+            "breakers": self.breaker_states(),
+        }
+        if self._worker_pool is not None:
+            stats["pool"] = self._worker_pool.resilience()
+        return stats
+
+    def publish_resilience_metrics(self) -> None:
+        """Refresh the resilience counters and gauges on ``/metrics``.
+
+        The pool's counters are cumulative, Prometheus counters only go
+        up by deltas — so each publication increments by the growth
+        since the last one.
+        """
+        if self._worker_pool is not None:
+            resilience = self._worker_pool.resilience()
+            for metric, key in (
+                ("repro_worker_restarts_total", "restarts"),
+                ("repro_task_retries_total", "retries"),
+                ("repro_tasks_timeout_total", "timeouts"),
+            ):
+                total = int(resilience[key])
+                published = self._published.get(metric, 0)
+                if total > published:
+                    self.metrics.inc(metric, total - published)
+                self._published[metric] = max(total, published)
+        for state, count in self.breaker_states().items():
+            self.metrics.gauge("repro_breaker_state", count, state=state)
+        self.metrics.gauge("repro_degraded", 1 if self._degraded else 0)
+
     def stats(self) -> dict[str, object]:
         """A live snapshot for ``/healthz`` and tests."""
         snapshot: dict[str, object] = {
@@ -453,6 +634,7 @@ class Dispatcher:
             "cache": self.cache.stats(),
             "workers": self.config.workers,
             "naive": self.config.naive,
+            "resilience": self.resilience_stats(),
         }
         if self.artifacts is not None or self._worker_pool is not None:
             snapshot["artifacts"] = self.artifact_counters()

@@ -34,10 +34,18 @@ from repro.service.evaluate import (
     extract_corpus,
 )
 from repro.service.queryset import QuerySet, QuerySetResult
+from repro.service.resilience import (
+    BreakerOpen,
+    CircuitBreaker,
+    PoolBroken,
+    RetryPolicy,
+)
 from repro.service.shm_store import ShmStore, shm_available
 from repro.util.errors import CorpusError
 
 __all__ = [
+    "BreakerOpen",
+    "CircuitBreaker",
     "Corpus",
     "CorpusError",
     "CorpusRecord",
@@ -46,8 +54,10 @@ __all__ = [
     "DirectoryCorpus",
     "GeneratorCorpus",
     "InMemoryCorpus",
+    "PoolBroken",
     "QuerySet",
     "QuerySetResult",
+    "RetryPolicy",
     "ShmStore",
     "SpannerCache",
     "WorkerPool",

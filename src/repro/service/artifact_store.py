@@ -58,6 +58,7 @@ from repro.engine.artifact import (
     deserialize_engine,
     serialize_engine,
 )
+from repro.service import faults
 
 __all__ = ["ArtifactStore", "default_artifact_root", "store_from_env"]
 
@@ -241,6 +242,12 @@ class ArtifactStore:
         recompiles.
         """
         path = self.artifact_path(fingerprint)
+        try:
+            faults.inject(faults.ARTIFACT_LOAD)
+        except faults.InjectedFault:
+            self._count("_errors")
+            self._count("_misses")
+            return None
         try:
             with open(path, "rb") as handle:
                 mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)

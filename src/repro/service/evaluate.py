@@ -36,20 +36,35 @@ exactly one error record.
 from __future__ import annotations
 
 import itertools
+import logging
 import os
 import pickle
+import signal
 import threading
+import time
 import weakref
 from collections import OrderedDict, deque
 from collections.abc import Iterator, Sequence
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    InvalidStateError,
+    ProcessPoolExecutor,
+    TimeoutError as FuturesTimeoutError,
+    wait,
+)
 from dataclasses import dataclass
 
 from repro.engine.compiled import CompiledSpanner
+from repro.service import faults
 from repro.service.cache import cached_spanner
 from repro.service.corpus import Corpus, CorpusRecord, as_corpus
+from repro.service.resilience import PoolBroken, RetryPolicy, task_timeout_from_env
 from repro.spans.mapping import Mapping
 from repro.util.errors import CorpusError
+
+_LOGGER = logging.getLogger("repro.service")
 
 #: Documents shipped to a worker per task.  Small enough to keep all
 #: workers busy on modest corpora, large enough to amortise IPC.
@@ -57,6 +72,10 @@ DEFAULT_CHUNK_SIZE = 8
 
 #: Chunks in flight per worker; bounds memory on unbounded corpora.
 _BACKLOG_PER_WORKER = 2
+
+#: Consecutive executor rebuilds (no successful batch in between) a pool
+#: tolerates before declaring itself failed (:class:`PoolBroken`).
+DEFAULT_MAX_REBUILDS = 5
 
 
 @dataclass(frozen=True)
@@ -115,6 +134,11 @@ def _worker_init(artifact_dir: "str | None") -> None:
     from repro.service.shm_store import reset_worker_counters
 
     reset_worker_counters()
+    # Spawn-started workers parse the fault environment themselves;
+    # fork-started ones re-parse so faults armed after the parent first
+    # imported the registry still take effect.
+    faults.reload()
+    faults.inject(faults.WORKER_BOOT)
 
 
 def _worker_artifacts():
@@ -158,6 +182,21 @@ def _worker_engine(
 
 def _describe(error: BaseException) -> str:
     return f"{type(error).__name__}: {error}"
+
+
+def _settle_result(future: Future, result) -> None:
+    """``set_result`` that tolerates an already-settled/cancelled future."""
+    try:
+        future.set_result(result)
+    except InvalidStateError:
+        pass
+
+
+def _settle_exception(future: Future, error: BaseException) -> None:
+    try:
+        future.set_exception(error)
+    except InvalidStateError:
+        pass
 
 
 def _evaluate_one(
@@ -258,6 +297,10 @@ def _evaluate_batch(
     """
     from repro.service import shm_store
 
+    faults.inject(faults.WORKER_KILL)
+    faults.inject(faults.TASK_SLOW)
+    faults.inject(faults.TASK_ERROR)
+    faults.maybe_poison(records)
     engine = _worker_engine(fingerprint, automaton_blob, segment)
     triples = evaluate_records(engine, records, kind, spans)
     store = _worker_artifacts()
@@ -298,20 +341,43 @@ class WorkerPool:
         workers: int,
         artifact_dir: "str | None" = None,
         shared_memory: "bool | None" = None,
+        task_timeout: "float | None" = None,
+        retry: "RetryPolicy | None" = None,
+        max_rebuilds: int = DEFAULT_MAX_REBUILDS,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
+        if task_timeout is None:
+            task_timeout = task_timeout_from_env()
+        elif task_timeout <= 0:
+            raise ValueError("task_timeout must be positive")
+        if max_rebuilds < 0:
+            raise ValueError("max_rebuilds must be >= 0")
         self._workers = workers
+        self._task_timeout = task_timeout
+        self._retry = retry if retry is not None else RetryPolicy.from_env()
+        self._max_rebuilds = max_rebuilds
         if artifact_dir is None:
             from repro.service.artifact_store import ARTIFACT_DIR_ENV
 
             artifact_dir = os.environ.get(ARTIFACT_DIR_ENV)
         self._artifact_dir = artifact_dir
-        self._pool = ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_worker_init,
-            initargs=(artifact_dir,),
-        )
+        # Resilience state: the executor is *replaceable* — a broken or
+        # hung pool is reaped and respawned under _pool_lock, and the
+        # generation counter makes sure each broken executor is rebuilt
+        # exactly once no matter how many in-flight batches observed the
+        # same failure.
+        self._pool_lock = threading.RLock()
+        self._generation = 0
+        self._restarts = 0
+        self._retries = 0
+        self._timeouts = 0
+        self._consecutive_rebuilds = 0
+        self._failed = False
+        self._closed = False
+        self._last_restart: float | None = None
+        self._timers: "dict[threading.Timer, Future | None]" = {}
+        self._pool = self._spawn_executor()
         # The automaton is serialised once per engine, not once per batch
         # (workers only unpickle it on an engine-cache miss anyway).
         self._blobs: "weakref.WeakKeyDictionary[CompiledSpanner, bytes]" = (
@@ -361,6 +427,27 @@ class WorkerPool:
             )
         return self._shm.publish(engine, blob=artifact_blob)
 
+    def _spawn_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self._workers,
+            initializer=_worker_init,
+            initargs=(self._artifact_dir,),
+        )
+
+    @property
+    def failed(self) -> bool:
+        """Whether the rebuild budget is exhausted (see :meth:`revive`)."""
+        with self._pool_lock:
+            return self._failed
+
+    def worker_pids(self) -> "list[int]":
+        """Pids of the live worker processes (empty before the first task)."""
+        with self._pool_lock:
+            pool = self._pool
+        if pool is None:
+            return []
+        return list(getattr(pool, "_processes", None) or {})
+
     def submit(
         self,
         engine: CompiledSpanner,
@@ -369,38 +456,346 @@ class WorkerPool:
         kind: str = "mappings",
         spans: bool = False,
     ) -> Future:
-        """Ship one batch; resolves to ``(doc_id, payload, error)`` triples."""
+        """Ship one batch; resolves to ``(doc_id, payload, error)`` triples.
+
+        Worker death (``BrokenProcessPool``) and blown deadlines never
+        surface here: the pool rebuilds its executor and requeues the
+        batch with bounded, backed-off retries; a batch that breaks the
+        pool twice is bisected down to per-document granularity so one
+        poison document costs one error record.  Only
+        :class:`~repro.service.resilience.PoolBroken` (rebuild budget
+        exhausted) and deterministic task errors reach the caller.
+        """
         if kind not in ("mappings", "extract", "matches"):
             raise ValueError(f"unknown batch kind {kind!r}")
-        inner = self._pool.submit(
-            _evaluate_batch,
-            engine.fingerprint,
-            self._automaton_blob(engine),
-            list(records),
-            kind,
-            spans,
-            self._segment(engine),
-        )
-        # Peel the stats snapshot off inside a done-callback so callers
-        # keep seeing plain triples, exactly as before.
+        with self._pool_lock:
+            if self._failed:
+                raise PoolBroken("worker pool rebuild budget exhausted")
+            if self._closed:
+                raise RuntimeError("cannot submit to a shut-down WorkerPool")
         outer: Future = Future()
+        task = {
+            "records": list(records),
+            "kind": kind,
+            "spans": spans,
+            "attempt": 0,
+            "breaks": 0,
+        }
+        self._dispatch(engine, task, outer)
+        return outer
 
-        def _peel(done: Future) -> None:
+    def _dispatch(self, engine: CompiledSpanner, task: dict, outer: Future) -> None:
+        """One attempt: submit to the current executor, arm the deadline."""
+        with self._pool_lock:
+            if self._closed:
+                _settle_exception(outer, PoolBroken("worker pool shut down"))
+                return
+            if self._failed or self._pool is None:
+                _settle_exception(
+                    outer, PoolBroken("worker pool rebuild budget exhausted")
+                )
+                return
+            generation = self._generation
+            pool = self._pool
+        try:
+            inner = pool.submit(
+                _evaluate_batch,
+                engine.fingerprint,
+                self._automaton_blob(engine),
+                list(task["records"]),
+                task["kind"],
+                task["spans"],
+                self._segment(engine),
+            )
+        except BrokenExecutor:
+            self._rebuild(generation)
+            self._retry_or_fail(engine, task, outer, "worker process died")
+            return
+        except RuntimeError as error:  # shutdown raced the submit
+            _settle_exception(outer, PoolBroken(str(error)))
+            return
+        # Exactly one of the deadline timer and the done-callback settles
+        # this attempt; the flag is flipped under the lock so the loser
+        # becomes a no-op instead of double-retrying.
+        state = {"settled": False}
+        attempt_lock = threading.Lock()
+        timer: "threading.Timer | None" = None
+
+        def _deadline() -> None:
+            with attempt_lock:
+                if state["settled"]:
+                    return
+                state["settled"] = True
+            self._discard_timer(timer)
+            with self._pool_lock:
+                self._timeouts += 1
+            _LOGGER.warning(
+                "batch of %d documents missed its %.3gs deadline; "
+                "reclaiming workers",
+                len(task["records"]),
+                self._task_timeout,
+            )
+            inner.cancel()
+            self._rebuild(generation)
+            self._retry_or_fail(engine, task, outer, "task deadline exceeded")
+
+        if self._task_timeout is not None:
+            timer = threading.Timer(self._task_timeout, _deadline)
+            timer.daemon = True
+            self._track_timer(timer)
+            timer.start()
+
+        def _on_done(done: Future) -> None:
+            with attempt_lock:
+                if state["settled"]:
+                    return
+                state["settled"] = True
+            if timer is not None:
+                timer.cancel()
+                self._discard_timer(timer)
             if done.cancelled():
                 outer.cancel()
                 return
             error = done.exception()
-            if error is not None:
-                outer.set_exception(error)
+            if error is None:
+                triples, (fingerprint, snapshot) = done.result()
+                with self._stats_lock:
+                    self._worker_stats[(snapshot["pid"], fingerprint)] = snapshot
+                with self._pool_lock:
+                    self._consecutive_rebuilds = 0
+                _settle_result(outer, triples)
                 return
-            triples, (fingerprint, snapshot) = done.result()
+            if isinstance(error, BrokenExecutor):
+                self._rebuild(generation)
+                self._retry_or_fail(engine, task, outer, "worker process died")
+                return
+            # Deterministic task failure: pass through unchanged (the
+            # corpus loop turns it into per-document error records).
+            _settle_exception(outer, error)
+
+        inner.add_done_callback(_on_done)
+
+    def _retry_or_fail(
+        self, engine: CompiledSpanner, task: dict, outer: Future, reason: str
+    ) -> None:
+        task["breaks"] += 1
+        with self._pool_lock:
+            failed, closed = self._failed, self._closed
+        if failed or closed:
+            _settle_exception(
+                outer,
+                PoolBroken(
+                    "worker pool rebuild budget exhausted"
+                    if failed
+                    else "worker pool shut down"
+                ),
+            )
+            return
+        records = task["records"]
+        if task["breaks"] >= 2:
+            # Twice is enemy action: bisect the batch down to the poison
+            # document — in quarantine (a dedicated one-worker executor),
+            # so probing can neither break the shared pool again nor be
+            # framed by other batches breaking it.
+            self._quarantine(engine, task, outer)
+            return
+        if task["attempt"] >= self._retry.max_retries:
+            described = f"WorkerCrash: {reason} (retry budget exhausted)"
+            _settle_result(
+                outer, [(doc_id, None, described) for doc_id, _ in records]
+            )
+            return
+        task["attempt"] += 1
+        with self._pool_lock:
+            self._retries += 1
+        delay = self._retry.backoff(task["attempt"])
+        _LOGGER.warning(
+            "requeueing batch of %d documents in %.3gs (attempt %d; %s)",
+            len(records),
+            delay,
+            task["attempt"],
+            reason,
+        )
+        self._schedule_retry(delay, engine, task, outer)
+
+    def _quarantine(self, engine: CompiledSpanner, task: dict, outer: Future) -> None:
+        """Bisect a pool-breaking batch on a dedicated one-worker executor.
+
+        Runs in a daemon thread: each probe ships a sub-batch to a fresh
+        single-worker pool, so a poison document kills only its probe —
+        the shared pool keeps serving every other batch — and collateral
+        breaks of the shared pool cannot implicate innocent documents.
+        Bisection converges geometrically to exactly the documents that
+        reproducibly kill (or hang) a worker; everything else in the
+        batch yields its normal result.
+        """
+        _LOGGER.warning(
+            "bisecting batch of %d documents in quarantine after "
+            "repeated pool breaks",
+            len(task["records"]),
+        )
+
+        def probe(records) -> list:
+            triples = self._probe_once(
+                engine, records, task["kind"], task["spans"]
+            )
+            if triples is not None:
+                return triples
+            if len(records) == 1:
+                doc_id = records[0][0]
+                _LOGGER.warning("isolating poison document %r", doc_id)
+                return [
+                    (
+                        doc_id,
+                        None,
+                        "WorkerCrash: document reproducibly kills its "
+                        "worker (isolated)",
+                    )
+                ]
+            mid = len(records) // 2
+            return probe(records[:mid]) + probe(records[mid:])
+
+        def run() -> None:
+            try:
+                _settle_result(outer, probe(task["records"]))
+            except BaseException as error:  # pragma: no cover - safety net
+                _settle_exception(outer, error)
+
+        threading.Thread(
+            target=run, name="repro-quarantine", daemon=True
+        ).start()
+
+    def _probe_once(self, engine, records, kind: str, spans: bool):
+        """One quarantined attempt; ``None`` when the probe pool broke/hung."""
+        probe_pool = ProcessPoolExecutor(
+            max_workers=1,
+            initializer=_worker_init,
+            initargs=(self._artifact_dir,),
+        )
+        try:
+            future = probe_pool.submit(
+                _evaluate_batch,
+                engine.fingerprint,
+                self._automaton_blob(engine),
+                list(records),
+                kind,
+                spans,
+                self._segment(engine),
+            )
+            try:
+                triples, (fingerprint, snapshot) = future.result(
+                    timeout=self._task_timeout
+                )
+            except BrokenExecutor:
+                return None
+            except FuturesTimeoutError:
+                with self._pool_lock:
+                    self._timeouts += 1
+                return None
+            except Exception as error:
+                described = _describe(error)
+                return [(doc_id, None, described) for doc_id, _ in records]
             with self._stats_lock:
                 self._worker_stats[(snapshot["pid"], fingerprint)] = snapshot
-            if not outer.cancelled():
-                outer.set_result(triples)
+            return triples
+        finally:
+            self._reap(probe_pool)
 
-        inner.add_done_callback(_peel)
-        return outer
+    def _rebuild(self, generation: int) -> None:
+        """Replace the executor after a break; reap the old processes."""
+        with self._pool_lock:
+            if self._closed or self._failed:
+                return
+            if generation != self._generation:
+                return  # this broken executor was already replaced
+            old = self._pool
+            self._generation += 1
+            self._restarts += 1
+            self._consecutive_rebuilds += 1
+            self._last_restart = time.time()
+            if self._consecutive_rebuilds > self._max_rebuilds:
+                self._failed = True
+                self._pool = None
+                _LOGGER.error(
+                    "worker pool failed after %d consecutive rebuilds; "
+                    "callers degrade to in-process execution",
+                    self._max_rebuilds,
+                )
+            else:
+                self._pool = self._spawn_executor()
+                _LOGGER.warning(
+                    "worker pool rebuilt (restart #%d, %d/%d consecutive)",
+                    self._restarts,
+                    self._consecutive_rebuilds,
+                    self._max_rebuilds,
+                )
+        if old is not None:
+            self._reap(old)
+
+    @staticmethod
+    def _reap(old: ProcessPoolExecutor) -> None:
+        # A hung worker never drains the call queue, so a plain shutdown
+        # could block forever: kill the processes first, then release the
+        # executor's threads/queues without waiting.
+        for pid in list(getattr(old, "_processes", None) or {}):
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError, OSError):
+                pass
+        old.shutdown(wait=False, cancel_futures=True)
+
+    def revive(self) -> None:
+        """Reset a failed pool: fresh executor, fresh rebuild budget."""
+        with self._pool_lock:
+            if self._closed:
+                raise RuntimeError("cannot revive a shut-down WorkerPool")
+            if not self._failed:
+                return
+            self._failed = False
+            self._consecutive_rebuilds = 0
+            self._generation += 1
+            self._pool = self._spawn_executor()
+            _LOGGER.warning("worker pool revived after degraded period")
+
+    def resilience(self) -> dict:
+        """Cumulative fault-handling counters and liveness state."""
+        with self._pool_lock:
+            return {
+                "restarts": self._restarts,
+                "retries": self._retries,
+                "timeouts": self._timeouts,
+                "consecutive_rebuilds": self._consecutive_rebuilds,
+                "max_rebuilds": self._max_rebuilds,
+                "failed": self._failed,
+                "last_restart": self._last_restart,
+                "task_timeout": self._task_timeout,
+            }
+
+    def _track_timer(self, timer: threading.Timer, outer: "Future | None" = None) -> None:
+        with self._pool_lock:
+            self._timers[timer] = outer
+
+    def _discard_timer(self, timer: "threading.Timer | None") -> None:
+        if timer is None:
+            return
+        with self._pool_lock:
+            self._timers.pop(timer, None)
+
+    def _schedule_retry(
+        self, delay: float, engine: CompiledSpanner, task: dict, outer: Future
+    ) -> None:
+        def _fire() -> None:
+            self._discard_timer(timer)
+            self._dispatch(engine, task, outer)
+
+        with self._pool_lock:
+            if self._closed:
+                _settle_exception(outer, PoolBroken("worker pool shut down"))
+                return
+            timer = threading.Timer(delay, _fire)
+            timer.daemon = True
+            self._timers[timer] = outer
+        timer.start()
 
     def stats(self, fingerprint: str | None = None) -> dict:
         """Summed worker-side kernel/cache counters (latest per worker).
@@ -448,10 +843,21 @@ class WorkerPool:
             "cache": cache,
             "artifacts": merged_per_pid("artifacts"),
             "shm": shm,
+            "resilience": self.resilience(),
         }
 
     def shutdown(self, wait: bool = True) -> None:
-        self._pool.shutdown(wait=wait)
+        with self._pool_lock:
+            self._closed = True
+            timers = list(self._timers.items())
+            self._timers.clear()
+            pool = self._pool
+        for timer, outer in timers:
+            timer.cancel()
+            if outer is not None:
+                _settle_exception(outer, PoolBroken("worker pool shut down"))
+        if pool is not None:
+            pool.shutdown(wait=wait)
         # After the workers are done (their mapped pages survive the
         # unlink; only *new* attaches would fail): drop the segments.
         if self._shm is not None:
@@ -495,21 +901,45 @@ def _parallel(
     decode: bool,
     spans: bool,
     on_worker_stats=None,
+    task_timeout: "float | None" = None,
+    pool: "WorkerPool | None" = None,
 ) -> Iterator[CorpusResult]:
     kind = "extract" if decode else "mappings"
-    with WorkerPool(workers) as pool:
-        backlog = workers * _BACKLOG_PER_WORKER
-        pending: deque[tuple[Future, list[CorpusRecord]]] = deque()
+    owned = pool is None
+    if owned:
+        pool = WorkerPool(workers, task_timeout=task_timeout)
+    degraded = False
+    # ``(future, chunk)`` in flight; a ``None`` future marks a chunk that
+    # will be evaluated in-process (degraded mode) when its turn comes —
+    # keeping it in the deque preserves corpus order in ordered mode.
+    pending: "deque[tuple[Future | None, list[CorpusRecord]]]" = deque()
 
-        def submit_next() -> bool:
-            chunk = next(chunks, None)
-            if chunk is None:
-                return False
-            pending.append(
-                (pool.submit(engine, chunk, kind=kind, spans=spans), chunk)
+    def note_degraded() -> None:
+        nonlocal degraded
+        if not degraded:
+            degraded = True
+            _LOGGER.warning(
+                "worker pool unavailable; evaluating remaining corpus "
+                "chunks in-process"
             )
-            return True
 
+    def submit_next() -> bool:
+        chunk = next(chunks, None)
+        if chunk is None:
+            return False
+        if not degraded:
+            try:
+                pending.append(
+                    (pool.submit(engine, chunk, kind=kind, spans=spans), chunk)
+                )
+                return True
+            except PoolBroken:
+                note_degraded()
+        pending.append((None, chunk))
+        return True
+
+    try:
+        backlog = pool.workers * _BACKLOG_PER_WORKER
         for _ in range(backlog):
             if not submit_next():
                 break
@@ -517,14 +947,33 @@ def _parallel(
             if ordered:
                 future, chunk = pending.popleft()
             else:
-                wait({f for f, _ in pending}, return_when=FIRST_COMPLETED)
                 position = next(
-                    i for i, (f, _) in enumerate(pending) if f.done()
+                    (
+                        i
+                        for i, (f, _) in enumerate(pending)
+                        if f is None or f.done()
+                    ),
+                    None,
                 )
+                if position is None:
+                    wait(
+                        {f for f, _ in pending if f is not None},
+                        return_when=FIRST_COMPLETED,
+                    )
+                    position = next(
+                        i for i, (f, _) in enumerate(pending) if f.done()
+                    )
                 future, chunk = pending[position]
                 del pending[position]
-            error = future.exception()
+            error = future.exception() if future is not None else None
             submit_next()
+            if future is None or isinstance(error, PoolBroken):
+                # Graceful degradation: the pool is gone — evaluate this
+                # chunk (and every later one) on the caller's own engine,
+                # same per-document semantics, no documents lost.
+                note_degraded()
+                yield from _serial(engine, chunk, decode, spans)
+                continue
             if error is not None:
                 # The whole shard failed (e.g. unpicklable results): report
                 # every document of the chunk rather than aborting the run.
@@ -536,6 +985,9 @@ def _parallel(
                 yield CorpusResult(doc_id, payload, problem)
         if on_worker_stats is not None:
             on_worker_stats(pool.stats(engine.fingerprint))
+    finally:
+        if owned:
+            pool.shutdown()
 
 
 def evaluate_corpus(
@@ -546,6 +998,8 @@ def evaluate_corpus(
     ordered: bool = True,
     chunk_size: int | None = None,
     on_worker_stats=None,
+    task_timeout: "float | None" = None,
+    pool: "WorkerPool | None" = None,
     _decode: bool = False,
     _spans: bool = False,
 ) -> Iterator[CorpusResult]:
@@ -565,6 +1019,14 @@ def evaluate_corpus(
     (see :meth:`WorkerPool.stats`); serial runs skip the call, since the
     caller's own engine already carries the counters.
 
+    Parallel runs are fault tolerant: a killed or hung worker rebuilds
+    the pool and requeues its batches (``task_timeout`` arms a
+    per-batch deadline, default ``REPRO_TASK_TIMEOUT``), and if the pool
+    exhausts its rebuild budget the remaining documents are evaluated
+    in-process — the result stream is identical either way.  ``pool``
+    reuses a caller-owned :class:`WorkerPool` (and forces the parallel
+    path) instead of spawning one per call.
+
     >>> [r.doc_id for r in evaluate_corpus("x{a}", {"one": "a", "two": "b"})]
     ['one', 'two']
     >>> [len(r.mappings) for r in evaluate_corpus("x{a}", ["a", "b"])]
@@ -582,12 +1044,20 @@ def evaluate_corpus(
     records = _unique_records(as_corpus(corpus))
 
     def stream() -> Iterator[CorpusResult]:
-        if workers == 1:
+        if workers == 1 and pool is None:
             yield from _serial(engine, records, _decode, _spans)
             return
         chunks = _chunked(records, chunk_size or DEFAULT_CHUNK_SIZE)
         yield from _parallel(
-            engine, chunks, workers, ordered, _decode, _spans, on_worker_stats
+            engine,
+            chunks,
+            workers,
+            ordered,
+            _decode,
+            _spans,
+            on_worker_stats,
+            task_timeout,
+            pool,
         )
 
     return stream()
@@ -602,6 +1072,8 @@ def extract_corpus(
     spans: bool = False,
     chunk_size: int | None = None,
     on_worker_stats=None,
+    task_timeout: "float | None" = None,
+    pool: "WorkerPool | None" = None,
 ) -> Iterator[CorpusResult]:
     """Like :func:`evaluate_corpus`, but with *decoded* per-document results.
 
@@ -621,6 +1093,8 @@ def extract_corpus(
         ordered=ordered,
         chunk_size=chunk_size,
         on_worker_stats=on_worker_stats,
+        task_timeout=task_timeout,
+        pool=pool,
         _decode=True,
         _spans=spans,
     )

@@ -1,0 +1,245 @@
+"""Fault-tolerance primitives: retry policy, deadlines, circuit breakers.
+
+The service layer's executors (:class:`~repro.service.evaluate.WorkerPool`,
+the server dispatcher) share three small mechanisms from this module:
+
+* :class:`RetryPolicy` — a bounded retry budget with exponential backoff
+  and jitter, used when a worker process dies (``BrokenProcessPool``) or
+  a task blows its deadline;
+* a **task deadline** (:func:`task_timeout_from_env`, the
+  ``REPRO_TASK_TIMEOUT`` / ``--task-timeout`` knob) — how long one batch
+  may run in a worker before the pool declares it hung, kills the
+  worker, and retries;
+* :class:`CircuitBreaker` — the classic closed → open → half-open state
+  machine; the server dispatcher keeps one per ``(pattern, opt_level)``
+  so a pathological pattern that keeps failing to compile fails fast
+  (HTTP 422) instead of recompiling under coalesced load.
+
+Exceptions: :class:`PoolBroken` is raised by a worker pool whose rebuild
+budget is exhausted (callers degrade to in-process execution);
+:class:`BreakerOpen` by a breaker refusing work (the HTTP layer answers
+422 with ``Retry-After``).
+
+>>> policy = RetryPolicy(max_retries=3, base_delay=0.1, jitter=0.0)
+>>> [policy.backoff(attempt) for attempt in (1, 2, 3)]
+[0.1, 0.2, 0.4]
+>>> breaker = CircuitBreaker(failure_threshold=2, reset_timeout=60.0)
+>>> breaker.record_failure(); breaker.state
+'closed'
+>>> breaker.record_failure(); breaker.state
+'open'
+>>> breaker.allow()
+False
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+import warnings
+from dataclasses import dataclass
+
+__all__ = [
+    "BreakerOpen",
+    "CircuitBreaker",
+    "PoolBroken",
+    "RetryPolicy",
+    "task_timeout_from_env",
+]
+
+#: Environment default for the per-task deadline (seconds; unset: none).
+TASK_TIMEOUT_ENV = "REPRO_TASK_TIMEOUT"
+#: Environment override for the retry budget on worker death/timeouts.
+TASK_RETRIES_ENV = "REPRO_TASK_RETRIES"
+
+
+class PoolBroken(RuntimeError):
+    """A worker pool that exhausted its rebuild budget (or was shut down
+    mid-recovery).  Callers fall back to in-process execution."""
+
+
+class BreakerOpen(Exception):
+    """A circuit breaker refused the request; retry after ``retry_after``."""
+
+    def __init__(self, key, retry_after: float) -> None:
+        super().__init__(
+            f"circuit breaker open for {key!r}; "
+            f"retry in {retry_after:.0f}s"
+        )
+        self.key = key
+        self.retry_after = retry_after
+
+
+def _positive_env_float(name: str) -> float | None:
+    """A positive float from the environment, or ``None`` (invalid warns)."""
+    text = os.environ.get(name, "").strip()
+    if not text:
+        return None
+    try:
+        value = float(text)
+    except ValueError:
+        value = -1.0
+    if value <= 0:
+        warnings.warn(
+            f"ignoring invalid {name}={text!r} (want a positive number)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+    return value
+
+
+def task_timeout_from_env() -> float | None:
+    """The ``REPRO_TASK_TIMEOUT`` deadline in seconds, or ``None``."""
+    return _positive_env_float(TASK_TIMEOUT_ENV)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and jitter.
+
+    ``backoff(attempt)`` (1-based) grows ``base_delay * 2**(attempt-1)``
+    capped at ``max_delay``, stretched by up to ``jitter`` (a fraction)
+    of itself so a fleet of retriers does not thunder back in lockstep.
+    The jitter draws from :mod:`random` — it shifts *when* work retries,
+    never *what* it computes, so results stay deterministic.
+    """
+
+    max_retries: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to wait before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        delay = min(self.max_delay, self.base_delay * 2 ** (attempt - 1))
+        if self.jitter:
+            delay *= 1 + self.jitter * random.random()
+        return delay
+
+    @classmethod
+    def from_env(cls) -> "RetryPolicy":
+        """The default policy, with ``REPRO_TASK_RETRIES`` honoured."""
+        text = os.environ.get(TASK_RETRIES_ENV, "").strip()
+        if not text:
+            return cls()
+        try:
+            retries = int(text)
+        except ValueError:
+            retries = -1
+        if retries < 0:
+            warnings.warn(
+                f"ignoring invalid {TASK_RETRIES_ENV}={text!r} "
+                f"(want a non-negative integer)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return cls()
+        return cls(max_retries=retries)
+
+
+class CircuitBreaker:
+    """Closed → open → half-open failure gate (thread-safe).
+
+    ``failure_threshold`` consecutive failures open the breaker; while
+    open, :meth:`allow` refuses everything until ``reset_timeout``
+    seconds have passed, then admits exactly one probe (half-open).  The
+    probe's :meth:`record_success` closes the breaker again; its
+    :meth:`record_failure` re-opens it for another full timeout.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        clock=time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ValueError("reset_timeout must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._peek()
+
+    def _peek(self) -> str:
+        # Must hold the lock.  An open breaker past its timeout *reads*
+        # as half-open; the transition is committed by allow().
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            return self.HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether one request may proceed right now.
+
+        In the half-open window exactly one caller is admitted as the
+        probe; everyone else keeps getting refused until the probe
+        reports back.
+        """
+        with self._lock:
+            state = self._peek()
+            if state == self.CLOSED:
+                return True
+            if state == self.HALF_OPEN and self._state == self.OPEN:
+                self._state = self.HALF_OPEN  # this caller is the probe
+                return True
+            return False
+
+    def retry_after(self) -> float:
+        """Seconds until the next half-open probe window (0 when closed)."""
+        with self._lock:
+            if self._state == self.CLOSED:
+                return 0.0
+            remaining = self.reset_timeout - (self._clock() - self._opened_at)
+            return max(0.0, remaining)
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = self.CLOSED
+            self._failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == self.HALF_OPEN:
+                # The probe failed: straight back to open, fresh timeout.
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                return
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.state}, "
+            f"{self._failures}/{self.failure_threshold} failures)"
+        )

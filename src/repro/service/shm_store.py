@@ -53,6 +53,7 @@ import os
 import threading
 
 from repro.engine.artifact import ArtifactError, deserialize_engine, serialize_engine
+from repro.service import faults
 
 __all__ = ["ShmStore", "attach_engine", "shm_available", "worker_counters"]
 
@@ -299,6 +300,7 @@ def attach_engine(segment, fingerprint: str):
     automaton.
     """
     try:
+        faults.inject(faults.SHM_ATTACH)
         name, size = segment
         path = os.path.join(_SHM_DIR, name)
         cached = _ATTACHED.get(name)
@@ -313,7 +315,7 @@ def attach_engine(segment, fingerprint: str):
         else:
             _, view = cached
         engine = deserialize_engine(view, expected_fingerprint=fingerprint)
-    except (OSError, ValueError, ArtifactError):
+    except (OSError, ValueError, ArtifactError, faults.InjectedFault):
         _WORKER_COUNTERS["attach_errors"] += 1
         return None
     _WORKER_COUNTERS["attaches"] += 1

@@ -1,4 +1,4 @@
-"""Shared pytest configuration: the ``slow``/``differential`` marker split.
+"""Shared pytest configuration: the ``slow``/``differential``/``chaos`` split.
 
 The tier-1 loop (``pytest -x -q``) must stay fast, so:
 
@@ -8,10 +8,14 @@ The tier-1 loop (``pytest -x -q``) must stay fast, so:
 * tests marked ``differential`` always run, but their hypothesis example
   budget defaults low and scales up through the
   ``REPRO_DIFFERENTIAL_EXAMPLES`` environment variable — the dedicated
-  CI job sets it to a few hundred, the default run stays cheap.
+  CI job sets it to a few hundred, the default run stays cheap;
+* tests marked ``chaos`` (fault injection against live worker pools)
+  always run too, with their corpus size scaled the same way through
+  ``REPRO_CHAOS_DOCS`` — the default already satisfies the ≥200-document
+  recovery acceptance bar, the CI chaos lane can push it higher.
 
-:func:`differential_examples` is the one place the budget is read, so
-every differential suite scales together.
+:func:`differential_examples` and :func:`chaos_docs` are the one place
+each budget is read, so every suite scales together.
 """
 
 import os
@@ -21,6 +25,9 @@ import pytest
 #: Default hypothesis example budget for ``differential`` suites.
 _DEFAULT_DIFFERENTIAL_EXAMPLES = 25
 
+#: Default corpus size for ``chaos`` fault-injection suites.
+_DEFAULT_CHAOS_DOCS = 240
+
 
 def differential_examples() -> int:
     """The per-test hypothesis budget for differential suites."""
@@ -29,6 +36,15 @@ def differential_examples() -> int:
     except ValueError:
         return _DEFAULT_DIFFERENTIAL_EXAMPLES
     return value if value > 0 else _DEFAULT_DIFFERENTIAL_EXAMPLES
+
+
+def chaos_docs() -> int:
+    """The corpus size chaos suites evaluate while injecting faults."""
+    try:
+        value = int(os.environ.get("REPRO_CHAOS_DOCS", ""))
+    except ValueError:
+        return _DEFAULT_CHAOS_DOCS
+    return value if value > 0 else _DEFAULT_CHAOS_DOCS
 
 
 def pytest_addoption(parser):

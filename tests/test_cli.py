@@ -314,9 +314,73 @@ class TestServeDispatch:
         assert defaults.batch_delay == config.batch_max_delay
         assert defaults.max_pending == config.max_pending
         assert defaults.drain_grace == config.drain_grace
+        assert defaults.task_timeout == config.task_timeout
+        assert defaults.max_rebuilds == config.max_rebuilds
+        assert defaults.degraded_reset == config.degraded_reset
 
     def test_serve_pattern_still_usable_as_pattern(self, capsys):
         # Only the *first* argument dispatches to serving; a pattern named
         # "serve" elsewhere keeps working.
         assert run(["x{serve}", "--count"], stdin="serve") == 0
         assert lines(capsys) == ["1"]
+
+
+class TestDurationFlagValidation:
+    """Timeout-ish knobs reject zero/negative at the argparse layer."""
+
+    @pytest.mark.parametrize("value", ["0", "-1", "soon"])
+    def test_task_timeout_must_be_positive(self, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run(["x{a}", "--task-timeout", value], stdin="a")
+        assert excinfo.value.code == 2
+
+    def test_task_timeout_accepted_on_run(self, capsys):
+        assert run(["x{a}", "--task-timeout", "5"], stdin="a") == 0
+        assert run(
+            ["x{a}", "--task-timeout", "5", "--workers", "2"], stdin="a"
+        ) == 0
+
+    @pytest.mark.parametrize(
+        "flag,value",
+        [
+            ("--drain-grace", "0"),
+            ("--drain-grace", "-1"),
+            ("--task-timeout", "0"),
+            ("--task-timeout", "-0.5"),
+            ("--batch-delay", "-0.001"),
+            ("--degraded-reset", "0"),
+            ("--max-rebuilds", "-1"),
+        ],
+    )
+    def test_serve_rejects_bad_durations(self, flag, value, capsys):
+        from repro.cli import build_serve_parser
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_serve_parser().parse_args([flag, value])
+        assert excinfo.value.code == 2
+
+    def test_serve_accepts_zero_batch_delay(self):
+        from repro.cli import build_serve_parser
+
+        arguments = build_serve_parser().parse_args(["--batch-delay", "0"])
+        assert arguments.batch_delay == 0.0
+
+
+class TestStatsResilienceLine:
+    def test_parallel_stats_include_resilience(self, tmp_path, capsys):
+        target = tmp_path / "a.txt"
+        target.write_text("baa")
+        code = run([".*x{a+}.*", str(target), "--workers", "2", "--stats"])
+        assert code == 0
+        err = capsys.readouterr().err
+        resilience_line = next(
+            (
+                line
+                for line in err.splitlines()
+                if line.startswith("stats: resilience")
+            ),
+            None,
+        )
+        assert resilience_line is not None
+        assert "restarts=0" in resilience_line
+        assert "failed=False" in resilience_line
