@@ -1,0 +1,240 @@
+"""E27 — distributed serving: coordinator + rack nodes vs a single host.
+
+PR 10's tentpole: the cluster tier (:mod:`repro.cluster`) must turn
+worker *processes on other ports* into real corpus throughput.  The
+coordinator runs in-process (so the benchmark can read its registry and
+requeue counters directly); each rack node is a genuine ``repro worker``
+subprocess with its own interpreter, joined over the HTTP control plane
+— the same topology ``tools/cluster_smoke.py`` exercises, measured
+instead of just survived.
+
+One NDJSON corpus sweep per node count.  The corpus is access-log
+extraction (:mod:`repro.workloads.server_logs` documents) under a
+string pattern, so every batch rides the remote wire format.
+
+Acceptance (the ISSUE 10 contract):
+
+* NDJSON output is **byte-identical** across every node count and to a
+  plain single ``repro serve``-equivalent baseline;
+* warm-affinity routing fires: ``repro_cluster_warm_hits_total > 0``
+  once a node has advertised the corpus engine;
+* (full mode, ≥ 4 usable cores — the nodes are real single-core
+  processes, so a 1-core box physically cannot show distribution wins,
+  same gate as E20's worker scaling) throughput at 3 nodes ≥
+  ``MINIMUM_SPEEDUP`` × the 1-node cluster sweep.
+
+The pattern is deliberately *selective* (500s from ``user=root`` only):
+the rack nodes pay the full document sweep while the coordinator only
+re-serialises the few surviving mappings.  A result-dense pattern would
+measure the coordinator's NDJSON encoder, not the cluster.
+
+With ``REPRO_BENCH_JSON`` set the series lands in ``BENCH_e27.json``
+(picked up by ``tools/bench_trajectory.py``).  Under
+``REPRO_BENCH_QUICK`` only 1- and 2-node sweeps run and only identity
+and warm-affinity are asserted.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from benchmarks._harness import print_table, quick_mode, sizes, write_results
+from repro.cluster import CoordinatorConfig, CoordinatorThread
+from repro.server import ServerClient, ServerConfig, ServerThread
+from repro.workloads import server_logs
+
+NODE_COUNTS = sizes(full=[1, 2, 3], quick=[1, 2])
+DOCUMENTS = sizes(full=[192], quick=[16])[0]
+LINES_PER_DOCUMENT = sizes(full=[400], quick=[8])[0]
+#: Root's server errors as a *string* pattern: only engines with a
+#: serialisable source ride the remote wire (AST-compiled ones run
+#: local), and the rare match keeps result decoding off the critical
+#: path — the sweep cost lands on the rack nodes.
+PATTERN = ".*GET p{[^ \n]*} 500 user=root[^\n]*\n.*"
+MINIMUM_SPEEDUP = 1.5
+
+_BANNER = re.compile(r"https?://([0-9.]+):([0-9]+)")
+
+
+def _effective_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _corpus() -> list[tuple[str, str]]:
+    return [
+        (
+            f"access-{index:05d}.log",
+            server_logs.generate_document(LINES_PER_DOCUMENT, seed=index),
+        )
+        for index in range(DOCUMENTS)
+    ]
+
+
+def _spawn_worker(join_url: str) -> subprocess.Popen:
+    source_root = os.path.dirname(os.path.dirname(repro.__file__))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = source_root + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "worker",
+            "--join",
+            join_url,
+            "--port",
+            "0",
+            "--workers",
+            "0",
+        ],
+        env=env,
+        stderr=subprocess.PIPE,
+        stdout=subprocess.DEVNULL,
+    )
+    banner = process.stderr.readline().decode()
+    assert "repro worker: serving" in banner, banner
+    return process
+
+
+def _stop_worker(process: subprocess.Popen) -> None:
+    if process.poll() is None:
+        process.send_signal(signal.SIGTERM)
+    try:
+        process.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        process.wait(timeout=10)
+    if process.stderr is not None:
+        process.stderr.close()
+
+
+def _cluster_sweep(
+    documents: list[tuple[str, str]], node_count: int
+) -> tuple[float, list, dict]:
+    """One corpus through a coordinator with ``node_count`` rack nodes."""
+    config = CoordinatorConfig(
+        port=0, heartbeat_interval=0.5, heartbeat_timeout=5.0
+    )
+    with CoordinatorThread(config) as coordinator:
+        workers = [_spawn_worker(coordinator.url) for _ in range(node_count)]
+        try:
+            deadline = time.monotonic() + 30.0
+            while len(coordinator.coordinator.registry) < node_count:
+                assert time.monotonic() < deadline, "nodes never registered"
+                time.sleep(0.05)
+            client = ServerClient(*coordinator.address, timeout=300.0)
+            try:
+                # A tiny warmup batch so every sweep starts with the
+                # pattern compiled on the coordinator (the nodes stay
+                # cold: warm-affinity learning is part of the measured
+                # sweep, as in production).
+                client.enumerate_ndjson(PATTERN, documents[:1])
+                started = time.perf_counter()
+                lines = client.enumerate_ndjson(PATTERN, documents)
+                elapsed = time.perf_counter() - started
+            finally:
+                client.close()
+            stats = coordinator.coordinator.cluster.stats()
+            stats["warm_hits_metric"] = coordinator.coordinator.metrics.value(
+                "repro_cluster_warm_hits_total"
+            )
+        finally:
+            for process in workers:
+                _stop_worker(process)
+    return elapsed, lines, stats
+
+
+@pytest.mark.benchmark(group="e27")
+def test_e27_cluster_scaling(benchmark):
+    documents = _corpus()
+
+    # Ground truth: the same corpus through a plain single server.
+    with ServerThread(ServerConfig(port=0)) as single:
+        client = ServerClient(*single.address, timeout=300.0)
+        try:
+            client.enumerate_ndjson(PATTERN, documents[:1])
+            started = time.perf_counter()
+            baseline = client.enumerate_ndjson(PATTERN, documents)
+            single_seconds = time.perf_counter() - started
+        finally:
+            client.close()
+
+    rows = [
+        ("single host", 0, single_seconds, DOCUMENTS / single_seconds, "-")
+    ]
+    sweeps: dict[int, float] = {}
+    warm_hits: dict[int, float] = {}
+    for node_count in NODE_COUNTS:
+        elapsed, lines, stats = _cluster_sweep(documents, node_count)
+        assert lines == baseline, (
+            f"{node_count}-node cluster output differs from the single host"
+        )
+        assert stats["local_batches"] == 0, (
+            f"{node_count}-node sweep fell back to local execution: {stats}"
+        )
+        sweeps[node_count] = elapsed
+        warm_hits[node_count] = stats["warm_hits_metric"]
+        rows.append(
+            (
+                "cluster",
+                node_count,
+                elapsed,
+                DOCUMENTS / elapsed,
+                f"{stats['remote_batches']}/{stats['warm_hits_metric']:g}",
+            )
+        )
+
+    speedup = sweeps[NODE_COUNTS[0]] / sweeps[NODE_COUNTS[-1]]
+    print_table(
+        f"E27: cluster corpus throughput, {DOCUMENTS} documents x "
+        f"{LINES_PER_DOCUMENT} log lines ({_effective_cpus()} usable cores)",
+        ["topology", "nodes", "seconds", "docs/s", "batches/warm"],
+        rows,
+    )
+    print(
+        f"scaling: {NODE_COUNTS[-1]} nodes = {speedup:.2f}x the "
+        f"{NODE_COUNTS[0]}-node sweep (byte-identical throughout)"
+    )
+
+    write_results(
+        "e27",
+        {
+            "documents": DOCUMENTS,
+            "lines_per_document": LINES_PER_DOCUMENT,
+            "node_counts": list(NODE_COUNTS),
+            "usable_cores": _effective_cpus(),
+            "single_host_seconds": single_seconds,
+            "cluster_seconds": {str(n): sweeps[n] for n in NODE_COUNTS},
+            "warm_hits": {str(n): warm_hits[n] for n in NODE_COUNTS},
+            "median_speedup": {"cluster": speedup},
+            "minimum_speedup": MINIMUM_SPEEDUP,
+            "byte_identical": True,
+        },
+    )
+
+    # Warm-affinity must have fired on every sweep: after the first batch
+    # lands, later batches for the same engine prefer nodes holding it.
+    for node_count, hits in warm_hits.items():
+        assert hits > 0, f"{node_count}-node sweep never hit a warm node"
+
+    if not quick_mode() and _effective_cpus() >= NODE_COUNTS[-1] + 1:
+        assert speedup >= MINIMUM_SPEEDUP, (
+            f"{NODE_COUNTS[-1]} nodes only {speedup:.2f}x the single-node "
+            f"cluster sweep (need {MINIMUM_SPEEDUP}x on "
+            f"{_effective_cpus()} cores)"
+        )
+
+    benchmark(
+        lambda: _cluster_sweep(documents[: max(4, len(documents) // 8)], 1)
+    )

@@ -39,7 +39,7 @@ from repro.spans.document import Document
 from repro.spans.mapping import NULL, ExtendedMapping, Mapping, join
 from repro.spans.span import Span
 
-__version__ = "1.6.0"
+__version__ = "1.8.0"
 
 #: Deprecated top-level names: {name: (module, attribute, replacement)}.
 #: Resolved lazily via module __getattr__ so ``import repro`` stays silent

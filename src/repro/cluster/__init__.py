@@ -1,0 +1,65 @@
+"""The distributed serving tier: coordinator + rack worker nodes.
+
+One :class:`ClusterCoordinator` is the front door — a stock
+:class:`~repro.server.app.SpannerServer` whose dispatcher executes
+batches through a :class:`ClusterBackend` (the
+:class:`~repro.service.backend.ExecutorBackend` seam) onto registered
+worker nodes.  Each worker node (``repro worker --join URL``) is itself
+a stock server plus a :class:`~repro.cluster.node.NodeAgent` that
+registers, heartbeats, and advertises its warm engine fingerprints so
+the coordinator can route with cache affinity.  Dead nodes are evicted
+and their in-flight shards requeued; an empty cluster degrades to local
+execution instead of failing.  ``docs/cluster.md`` tells the whole
+story.
+
+>>> from repro.cluster import CoordinatorConfig, CoordinatorThread
+>>> from repro.cluster import WorkerNodeThread
+>>> from repro.server import ServerClient
+>>> with CoordinatorThread(CoordinatorConfig(port=0)) as coordinator:
+...     with WorkerNodeThread(coordinator.url) as node:
+...         _ = node.agent.wait_registered(timeout=10.0)
+...         client = ServerClient(*coordinator.address)
+...         reply = client.enumerate(".*x{a+}.*", ["baa"])
+...         client.close()
+>>> reply["results"][0]["mappings"]
+[{'x': 'a'}, {'x': 'aa'}, {'x': 'a'}]
+"""
+
+from repro.cluster.coordinator import (
+    ClusterBackend,
+    ClusterCoordinator,
+    CoordinatorConfig,
+    CoordinatorThread,
+    coordinate,
+)
+from repro.cluster.node import NodeAgent, WorkerNodeThread, run_worker
+from repro.cluster.registry import NodeRecord, NodeRegistry
+from repro.cluster.remote import (
+    NodeClient,
+    RemoteBackend,
+    RemoteBusy,
+    RemoteError,
+    RemoteRejected,
+    RemoteUnavailable,
+    remote_spec,
+)
+
+__all__ = [
+    "ClusterBackend",
+    "ClusterCoordinator",
+    "CoordinatorConfig",
+    "CoordinatorThread",
+    "NodeAgent",
+    "NodeClient",
+    "NodeRecord",
+    "NodeRegistry",
+    "RemoteBackend",
+    "RemoteBusy",
+    "RemoteError",
+    "RemoteRejected",
+    "RemoteUnavailable",
+    "WorkerNodeThread",
+    "coordinate",
+    "remote_spec",
+    "run_worker",
+]

@@ -1,0 +1,564 @@
+"""The cluster coordinator: one front door, many rack worker nodes.
+
+:class:`ClusterCoordinator` is a :class:`~repro.server.app.SpannerServer`
+whose dispatcher executes batches on a :class:`ClusterBackend` instead of
+a local pool — the executor seam
+(:class:`~repro.service.backend.ExecutorBackend`) is exactly what makes
+that a constructor argument rather than a fork of the server.  On top of
+the five serving endpoints it adds the control plane worker nodes speak
+(:mod:`repro.cluster.protocol`):
+
+* ``POST /register`` — a node joins (or rejoins) and learns the
+  heartbeat cadence;
+* ``POST /heartbeat`` — liveness plus the node's warm engine
+  fingerprints and queue stats;
+* ``POST /leave`` — clean goodbye.
+
+Scheduling is fingerprint-affine: :meth:`NodeRegistry.acquire` prefers
+nodes that advertised the batch's compiled-engine fingerprint, so a
+pattern's documents keep landing where its engine is already warm.
+Failure handling composes the PR-9 primitives per node — a
+:class:`~repro.service.resilience.CircuitBreaker` in each
+:class:`~repro.cluster.registry.NodeRecord` plus a
+:class:`~repro.service.resilience.RetryPolicy` for backoff:
+
+* a node that stops answering is evicted immediately and its in-flight
+  batch **requeued** on the next-best node (``repro_cluster_requeues_total``);
+* a node that misses ``heartbeat_timeout`` of beats is reaped by the
+  eviction loop (``repro_cluster_evictions_total``);
+* when no node remains, batches run **locally** in the coordinator —
+  degraded, never failed (``repro_cluster_local_fallback_total``).
+
+``GET /metrics`` aggregates cluster-wide gauges (per-node inflight and
+batch counts, pending-document rollups) next to the coordinator's own
+serving metrics; ``GET /healthz`` gains the live topology.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+import sys
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.cluster.protocol import (
+    parse_heartbeat,
+    parse_leave,
+    parse_register,
+)
+from repro.cluster.registry import NodeRegistry
+from repro.cluster.remote import (
+    NodeClient,
+    RemoteBusy,
+    RemoteRejected,
+    RemoteUnavailable,
+    remote_spec,
+)
+from repro.server.app import ServerConfig, ServerThread, SpannerServer
+from repro.server.metrics import Metrics
+from repro.server.protocol import ProtocolError, encode_error
+from repro.service.backend import ExecutorBackend, _check_kind
+from repro.service.cache import SpannerCache
+from repro.service.evaluate import evaluate_records
+from repro.service.resilience import RetryPolicy
+
+__all__ = [
+    "ClusterBackend",
+    "ClusterCoordinator",
+    "CoordinatorConfig",
+    "CoordinatorThread",
+    "coordinate",
+]
+
+
+@dataclass
+class CoordinatorConfig(ServerConfig):
+    """Everything ``repro coordinate`` exposes as flags (serve flags plus
+    the cluster cadence and per-node failure budget)."""
+
+    #: Seconds between node heartbeats (told to nodes at registration).
+    heartbeat_interval: float = 2.0
+    #: Seconds of silence before a node is reaped (None: 3x interval).
+    heartbeat_timeout: float | None = None
+    #: Per-request socket timeout talking to a worker node.
+    node_timeout: float = 30.0
+    #: Requeue budget per batch beyond the first attempt per known node.
+    node_retries: int = 2
+    #: Concurrent remote batches the coordinator keeps in flight.
+    cluster_threads: int = 16
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.heartbeat_timeout is None:
+            self.heartbeat_timeout = 3.0 * self.heartbeat_interval
+        if self.heartbeat_timeout <= self.heartbeat_interval:
+            raise ValueError("heartbeat_timeout must exceed the interval")
+        if self.node_timeout <= 0:
+            raise ValueError("node_timeout must be positive")
+        if self.node_retries < 0:
+            raise ValueError("node_retries must be >= 0")
+        if self.cluster_threads < 1:
+            raise ValueError("cluster_threads must be >= 1")
+
+
+class ClusterBackend(ExecutorBackend):
+    """The executor seam over a :class:`NodeRegistry` of worker nodes.
+
+    Each submitted batch is routed to the least-loaded breaker-admitted
+    node (warm-for-this-fingerprint nodes win ties), requeued elsewhere
+    when a node dies mid-batch, and run locally in-process when the
+    cluster is empty or the batch's engine has no serialisable source.
+    The caller-visible contract is byte-identical to local execution.
+    """
+
+    name = "cluster"
+
+    def __init__(
+        self,
+        registry: NodeRegistry,
+        metrics: Metrics | None = None,
+        retry: RetryPolicy | None = None,
+        *,
+        timeout: float = 30.0,
+        threads: int = 16,
+    ) -> None:
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        self._registry = registry
+        self._metrics = metrics
+        self._retry = retry if retry is not None else RetryPolicy(
+            max_retries=2, base_delay=0.05, max_delay=0.5
+        )
+        self._timeout = timeout
+        self._threads = threads
+        self._lock = threading.Lock()
+        self._clients: dict[str, NodeClient] = {}
+        self._executor: ThreadPoolExecutor | None = None
+        self._closed = False
+        self._counters = {
+            "remote_batches": 0,
+            "local_batches": 0,
+            "requeues": 0,
+            "warm_hits": 0,
+        }
+
+    @property
+    def parallelism(self) -> int:
+        return self._threads
+
+    def _count(self, key: str, metric: str | None = None) -> None:
+        with self._lock:
+            self._counters[key] += 1
+        if self._metrics is not None and metric is not None:
+            self._metrics.inc(metric)
+
+    def _client(self, record) -> NodeClient:
+        with self._lock:
+            client = self._clients.get(record.node_id)
+            if client is None or client.url != record.url:
+                if client is not None:
+                    client.close()
+                client = NodeClient(record.url, timeout=self._timeout)
+                self._clients[record.node_id] = client
+            return client
+
+    def forget(self, node_id: str) -> None:
+        """Drop (and close) the pooled connections to an evicted node."""
+        with self._lock:
+            client = self._clients.pop(node_id, None)
+        if client is not None:
+            client.close()
+
+    def _pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cluster backend is closed")
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._threads,
+                    thread_name_prefix="repro-cluster",
+                )
+            return self._executor
+
+    def submit(
+        self, engine, records, *, kind: str = "mappings", spans: bool = False
+    ) -> Future:
+        _check_kind(kind)
+        return self._pool().submit(self._run, engine, list(records), kind, spans)
+
+    def _run(self, engine, records, kind: str, spans: bool):
+        spec = remote_spec(engine)
+        if spec is not None:
+            triples = self._run_remote(spec, engine, records, kind, spans)
+            if triples is not None:
+                return triples
+        # Degraded-not-failed: no usable node (or a non-serialisable
+        # engine) runs the batch right here in the coordinator.
+        self._count("local_batches", "repro_cluster_local_fallback_total")
+        return evaluate_records(engine, records, kind, spans)
+
+    def _run_remote(self, spec, engine, records, kind, spans):
+        """One batch on the best available node, or ``None`` for local."""
+        fingerprint = engine.fingerprint
+        # The requeue budget scales with the topology: every known node
+        # may be tried once, plus the policy's retry allowance for
+        # load-shed (429/422) round trips.
+        attempts = 0
+        budget = len(self._registry) + self._retry.max_retries
+        while attempts <= budget:
+            leased = self._registry.acquire(fingerprint)
+            if leased is None:
+                return None
+            record, warm = leased
+            if warm:
+                self._count("warm_hits", "repro_cluster_warm_hits_total")
+            client = self._client(record)
+            attempts += 1
+            try:
+                triples = client.evaluate_batch(spec, records, kind, spans)
+            except RemoteBusy as error:
+                # The node is alive but shedding: back off and rerun the
+                # scheduling decision (another node may be free).
+                self._registry.release(record.node_id, ok=False)
+                if attempts > budget:
+                    return None
+                time.sleep(
+                    min(
+                        max(self._retry.backoff(attempts), 0.0),
+                        max(error.retry_after, 0.05),
+                        0.5,
+                    )
+                )
+                continue
+            except RemoteUnavailable:
+                # The node went away mid-batch: evict it now (the reaper
+                # would take a whole heartbeat timeout to notice) and
+                # requeue the batch on the next-best node.
+                self._registry.release(record.node_id, ok=False)
+                if self._registry.evict(record.node_id) is not None:
+                    if self._metrics is not None:
+                        self._metrics.inc("repro_cluster_evictions_total")
+                self.forget(record.node_id)
+                self._count("requeues", "repro_cluster_requeues_total")
+                continue
+            except RemoteRejected:
+                # Deterministic refusal — every node would say the same.
+                self._registry.release(record.node_id, ok=False)
+                return None
+            self._registry.release(record.node_id, ok=True, fingerprint=fingerprint)
+            self._count("remote_batches", "repro_cluster_remote_batches_total")
+            return triples
+        return None
+
+    def stats(self, fingerprint: str | None = None) -> dict:
+        with self._lock:
+            counters = dict(self._counters)
+        counters["backend"] = self.name
+        counters["nodes"] = len(self._registry)
+        return counters
+
+    def close(self, wait: bool = True) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            executor = self._executor
+            clients = list(self._clients.values())
+            self._clients.clear()
+        if executor is not None:
+            executor.shutdown(wait=wait)
+        for client in clients:
+            client.close()
+
+
+class ClusterCoordinator(SpannerServer):
+    """A spanner server that executes on registered worker nodes."""
+
+    _CLUSTER_ROUTES = ("/register", "/heartbeat", "/leave")
+
+    def __init__(
+        self,
+        config: CoordinatorConfig | None = None,
+        cache: SpannerCache | None = None,
+        metrics: Metrics | None = None,
+    ) -> None:
+        config = config if config is not None else CoordinatorConfig()
+        metrics = metrics if metrics is not None else Metrics()
+        self.registry = NodeRegistry(
+            config.heartbeat_interval, config.heartbeat_timeout
+        )
+        self.cluster = ClusterBackend(
+            self.registry,
+            metrics=metrics,
+            retry=RetryPolicy(
+                max_retries=config.node_retries,
+                base_delay=0.05,
+                max_delay=0.5,
+            ),
+            timeout=config.node_timeout,
+            threads=config.cluster_threads,
+        )
+        # The whole trick: the dispatcher executes on the cluster via
+        # the injected-backend seam; everything else is the stock server.
+        config.backend = self.cluster
+        super().__init__(config, cache=cache, metrics=metrics)
+        self._evict_task: asyncio.Task | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        await super().start()
+        self.publish_cluster_gauges()
+        self._evict_task = asyncio.create_task(self._evict_loop())
+
+    async def drain(self) -> None:
+        task, self._evict_task = self._evict_task, None
+        if task is not None:
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        await super().drain()
+        self.cluster.close(wait=False)
+
+    async def _evict_loop(self) -> None:
+        period = max(0.05, self.registry.heartbeat_timeout / 3.0)
+        while True:
+            await asyncio.sleep(period)
+            self.reap_stale_nodes()
+
+    def reap_stale_nodes(self) -> list:
+        """Evict every node whose heartbeat is overdue; returns them."""
+        stale = self.registry.evict_stale()
+        for record in stale:
+            self.cluster.forget(record.node_id)
+            self.metrics.inc("repro_cluster_evictions_total")
+        if stale:
+            self.publish_cluster_gauges()
+        return stale
+
+    # -- metrics / health ------------------------------------------------------
+
+    def publish_cluster_gauges(self) -> None:
+        """Refresh the cluster-wide gauges (per-node plus rollups)."""
+        nodes = self.registry.nodes()
+        self.metrics.gauge("repro_cluster_nodes", len(nodes))
+        pending = spanners = inflight = 0
+        for record in nodes:
+            self.metrics.gauge(
+                "repro_cluster_node_inflight",
+                record.inflight,
+                node=record.node_id,
+            )
+            self.metrics.gauge(
+                "repro_cluster_node_batches",
+                record.batches,
+                node=record.node_id,
+            )
+            self.metrics.gauge(
+                "repro_cluster_node_failures",
+                record.failures,
+                node=record.node_id,
+            )
+            inflight += record.inflight
+            pending += int(record.stats.get("pending_documents") or 0)
+            spanners += int(record.stats.get("spanners_cached") or 0)
+        self.metrics.gauge("repro_cluster_inflight_batches", inflight)
+        self.metrics.gauge("repro_cluster_pending_documents", pending)
+        self.metrics.gauge("repro_cluster_spanners_cached", spanners)
+
+    def _health_payload(self) -> dict:
+        payload = super()._health_payload()
+        topology = self.registry.describe()
+        payload["nodes"] = len(topology["nodes"])
+        # The backend's "nodes" count would clobber the topology list.
+        stats = {
+            key: value
+            for key, value in self.cluster.stats().items()
+            if key != "nodes"
+        }
+        payload["cluster"] = {
+            "heartbeat_interval": self.registry.heartbeat_interval,
+            "heartbeat_timeout": self.registry.heartbeat_timeout,
+            **topology,
+            **stats,
+        }
+        return payload
+
+    # -- control plane ---------------------------------------------------------
+
+    async def _respond(self, writer, method, path, headers, body) -> bool:
+        keep_alive = (
+            headers.get("connection", "").lower() != "close"
+            and not self._draining
+        )
+        if path in self._CLUSTER_ROUTES:
+            self.metrics.inc("repro_requests_total", endpoint=path.strip("/"))
+            try:
+                return await self._cluster_route(
+                    writer, method, path, body, keep_alive
+                )
+            except (ConnectionError, asyncio.CancelledError):
+                raise
+            except Exception as error:  # same bug-shield as the base router
+                self.metrics.inc("repro_errors_total")
+                with contextlib.suppress(ConnectionError):
+                    await self._write_response(
+                        writer,
+                        500,
+                        encode_error(f"{type(error).__name__}: {error}"),
+                        close=True,
+                    )
+                return False
+        if path == "/metrics":
+            # Scrapes see up-to-the-second topology: reap before render.
+            self.reap_stale_nodes()
+            self.publish_cluster_gauges()
+        return await super()._respond(writer, method, path, headers, body)
+
+    async def _cluster_route(
+        self, writer, method: str, path: str, body: bytes, keep_alive: bool
+    ) -> bool:
+        if method != "POST":
+            await self._write_response(
+                writer,
+                405,
+                encode_error(f"{path} takes POST"),
+                close=not keep_alive,
+                extra_headers=(("Allow", "POST"),),
+            )
+            return keep_alive
+        try:
+            if path == "/register":
+                request = parse_register(body)
+                record = self.registry.register(
+                    request.url,
+                    request.fingerprints,
+                    request.stats,
+                    request.node_id,
+                )
+                self.metrics.inc("repro_cluster_registrations_total")
+                payload: dict[str, object] = {
+                    "node_id": record.node_id,
+                    "heartbeat_interval": self.registry.heartbeat_interval,
+                    "heartbeat_timeout": self.registry.heartbeat_timeout,
+                }
+            elif path == "/heartbeat":
+                beat = parse_heartbeat(body)
+                if not self.registry.heartbeat(
+                    beat.node_id, beat.fingerprints, beat.stats
+                ):
+                    # Evicted while partitioned: tell it to re-register.
+                    await self._write_response(
+                        writer,
+                        404,
+                        encode_error(
+                            f"unknown node {beat.node_id}; re-register"
+                        ),
+                        close=not keep_alive,
+                    )
+                    return keep_alive
+                self.metrics.inc("repro_cluster_heartbeats_total")
+                payload = {"status": "ok"}
+            else:
+                goodbye = parse_leave(body)
+                known = self.registry.leave(goodbye.node_id) is not None
+                self.cluster.forget(goodbye.node_id)
+                payload = {"status": "ok", "known": known}
+        except ProtocolError as error:
+            await self._write_response(
+                writer, 400, encode_error(str(error)), close=not keep_alive
+            )
+            return keep_alive
+        self.publish_cluster_gauges()
+        await self._write_response(
+            writer,
+            200,
+            json.dumps(payload, sort_keys=True).encode("utf-8"),
+            close=not keep_alive,
+        )
+        return keep_alive
+
+
+# -- entry points ---------------------------------------------------------------
+
+
+async def _coordinate_until_signalled(config: CoordinatorConfig) -> None:
+    server = ClusterCoordinator(config)
+    await server.start()
+    host, port = server.address
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    installed = []
+    for signal_number in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signal_number, stop.set)
+            installed.append(signal_number)
+        except NotImplementedError:  # non-Unix event loop
+            pass
+    print(
+        f"repro coordinate: listening on http://{host}:{port} "
+        f"(heartbeat={config.heartbeat_interval:g}s"
+        f"/{config.heartbeat_timeout:g}s, "
+        f"node-retries={config.node_retries})",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        await stop.wait()
+    finally:
+        for signal_number in installed:
+            loop.remove_signal_handler(signal_number)
+    print("repro coordinate: draining…", file=sys.stderr, flush=True)
+    await server.drain()
+    print("repro coordinate: drained, bye", file=sys.stderr, flush=True)
+
+
+def coordinate(config: CoordinatorConfig | None = None) -> int:
+    """Run a coordinator until SIGTERM/SIGINT, then drain; the CLI entry."""
+    try:
+        asyncio.run(
+            _coordinate_until_signalled(config or CoordinatorConfig())
+        )
+    except KeyboardInterrupt:  # loops without add_signal_handler support
+        pass
+    return 0
+
+
+class CoordinatorThread(ServerThread):
+    """A coordinator on a private event loop in a daemon thread.
+
+    The in-process harness mirroring :class:`~repro.server.app.ServerThread`
+    — the tests, docs quickstart, and benchmark E27 build small racks out
+    of one of these plus a few :class:`~repro.cluster.node.WorkerNodeThread`.
+    """
+
+    def __init__(
+        self,
+        config: CoordinatorConfig | None = None,
+        cache: SpannerCache | None = None,
+    ) -> None:
+        super().__init__(
+            config if config is not None else CoordinatorConfig(port=0),
+            cache=cache,
+        )
+
+    def _build(self) -> SpannerServer:
+        return ClusterCoordinator(self.config, cache=self._cache)
+
+    @property
+    def coordinator(self) -> ClusterCoordinator:
+        server = self.server
+        assert isinstance(server, ClusterCoordinator)
+        return server
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"

@@ -1,0 +1,275 @@
+"""The rack worker node: a stock spanner server plus a membership agent.
+
+A worker node is *exactly* a :class:`~repro.server.app.SpannerServer` —
+same endpoints, same dispatcher, same local worker pool — with a
+:class:`NodeAgent` daemon thread speaking the cluster control plane at a
+coordinator:
+
+* register on startup (and re-register whenever the coordinator answers
+  404 — that means it evicted us while we were partitioned);
+* heartbeat on the cadence the coordinator dictated, advertising the
+  node's warm :class:`~repro.service.cache.SpannerCache` fingerprints
+  (the affinity signal) and queue stats (the ``/healthz`` rollup);
+* ``/leave`` politely on shutdown.
+
+``repro worker --join URL`` (:func:`run_worker`) is the process entry;
+:class:`WorkerNodeThread` is the in-process harness the tests and the
+docs quickstart use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+import threading
+
+from repro.cluster.protocol import split_url
+from repro.server.app import ServerConfig, ServerThread, SpannerServer
+from repro.server.client import ServerClient, ServerResponseError
+from repro.service.cache import SpannerCache
+
+__all__ = ["NodeAgent", "WorkerNodeThread", "run_worker"]
+
+#: Fallback beat cadence until the coordinator tells us its own.
+_DEFAULT_INTERVAL = 2.0
+
+
+class NodeAgent(threading.Thread):
+    """The membership daemon running beside one server instance.
+
+    All coordinator I/O lives on this thread; the serving path never
+    blocks on the control plane.  Connection failures are absorbed (the
+    next tick retries), and a 404 on heartbeat flips the agent straight
+    back into the registration state with the *same* node id.
+    """
+
+    def __init__(
+        self,
+        server: SpannerServer,
+        coordinator_url: str,
+        *,
+        advertise_url: str | None = None,
+        interval: float | None = None,
+        connect_retries: int = 3,
+    ) -> None:
+        super().__init__(name="repro-node-agent", daemon=True)
+        self._server = server
+        self._coordinator_host, self._coordinator_port = split_url(
+            coordinator_url
+        )
+        self.coordinator_url = coordinator_url
+        self._advertise = advertise_url
+        self._interval = interval
+        self._connect_retries = connect_retries
+        self._halt = threading.Event()
+        self.registered = threading.Event()
+        self.node_id: str | None = None
+        self.registrations = 0
+        self.heartbeats = 0
+        self.errors = 0
+
+    @property
+    def advertise_url(self) -> str:
+        if self._advertise is not None:
+            return self._advertise
+        host, port = self._server.address
+        return f"http://{host}:{port}"
+
+    def _payload(self) -> dict:
+        """What every register/heartbeat advertises about this node."""
+        dispatcher = self._server.dispatcher
+        stats = dispatcher.stats()
+        return {
+            "fingerprints": dispatcher.cache.fingerprints(),
+            "stats": {
+                "pending_documents": stats["pending_documents"],
+                "spanners_cached": stats["cache"]["size"],
+                "workers": stats["workers"],
+            },
+        }
+
+    def wait_registered(self, timeout: float = 10.0) -> bool:
+        return self.registered.wait(timeout)
+
+    def run(self) -> None:  # pragma: no cover - exercised via harnesses
+        client = ServerClient(
+            self._coordinator_host,
+            self._coordinator_port,
+            timeout=10.0,
+            retries=self._connect_retries,
+        )
+        interval = self._interval or _DEFAULT_INTERVAL
+        try:
+            while not self._halt.is_set():
+                try:
+                    if not self.registered.is_set():
+                        reply = client.post_json(
+                            "/register",
+                            {
+                                "url": self.advertise_url,
+                                "node_id": self.node_id,
+                                **self._payload(),
+                            },
+                        )
+                        self.node_id = reply["node_id"]
+                        if self._interval is None:
+                            interval = float(
+                                reply.get(
+                                    "heartbeat_interval", _DEFAULT_INTERVAL
+                                )
+                            )
+                        self.registrations += 1
+                        self.registered.set()
+                    else:
+                        client.post_json(
+                            "/heartbeat",
+                            {"node_id": self.node_id, **self._payload()},
+                        )
+                        self.heartbeats += 1
+                except ServerResponseError as error:
+                    if error.status in (404, 410):
+                        # Evicted while partitioned: re-register now,
+                        # keeping the stable id we were assigned.
+                        self.registered.clear()
+                        continue
+                    self.errors += 1
+                except (ConnectionError, TimeoutError, OSError):
+                    # Coordinator down or restarting; try again next
+                    # tick.  If it lost our registration it answers the
+                    # next heartbeat with 404 and we fall back here.
+                    self.errors += 1
+                    client.close()
+                self._halt.wait(interval)
+            if self.registered.is_set() and self.node_id is not None:
+                try:
+                    client.post_json("/leave", {"node_id": self.node_id})
+                except (ServerResponseError, ConnectionError, OSError):
+                    pass  # the reaper will notice soon enough
+        finally:
+            client.close()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop beating, say ``/leave``, and join the thread."""
+        self._halt.set()
+        self.join(timeout=timeout)
+
+
+# -- entry points ---------------------------------------------------------------
+
+
+async def _work_until_signalled(
+    config: ServerConfig, join_url: str, advertise_url: str | None
+) -> None:
+    server = SpannerServer(config)
+    await server.start()
+    host, port = server.address
+    agent = NodeAgent(
+        server,
+        join_url,
+        advertise_url=advertise_url or f"http://{host}:{port}",
+    )
+    agent.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    installed = []
+    for signal_number in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signal_number, stop.set)
+            installed.append(signal_number)
+        except NotImplementedError:  # non-Unix event loop
+            pass
+    print(
+        f"repro worker: serving http://{host}:{port} "
+        f"(workers={config.workers}), joining {join_url}",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        await stop.wait()
+    finally:
+        for signal_number in installed:
+            loop.remove_signal_handler(signal_number)
+    print("repro worker: leaving and draining…", file=sys.stderr, flush=True)
+    await loop.run_in_executor(None, agent.stop)
+    await server.drain()
+    print("repro worker: drained, bye", file=sys.stderr, flush=True)
+
+
+def run_worker(
+    config: ServerConfig | None = None,
+    join_url: str = "http://127.0.0.1:8080",
+    advertise_url: str | None = None,
+) -> int:
+    """Run a worker node until SIGTERM/SIGINT; the CLI entry."""
+    try:
+        asyncio.run(
+            _work_until_signalled(
+                config or ServerConfig(), join_url, advertise_url
+            )
+        )
+    except KeyboardInterrupt:  # loops without add_signal_handler support
+        pass
+    return 0
+
+
+class WorkerNodeThread:
+    """An in-process worker node: ServerThread + NodeAgent, one context.
+
+    >>> from repro.cluster import CoordinatorConfig, CoordinatorThread
+    >>> with CoordinatorThread(CoordinatorConfig(port=0)) as coordinator:
+    ...     with WorkerNodeThread(coordinator.url) as node:
+    ...         joined = node.agent.wait_registered(timeout=10.0)
+    >>> joined
+    True
+    """
+
+    def __init__(
+        self,
+        join_url: str,
+        config: ServerConfig | None = None,
+        cache: SpannerCache | None = None,
+        *,
+        interval: float | None = None,
+    ) -> None:
+        self._join_url = join_url
+        self._interval = interval
+        self._server_thread = ServerThread(
+            config if config is not None else ServerConfig(port=0),
+            cache=cache,
+        )
+        self.agent: NodeAgent | None = None
+
+    def __enter__(self) -> "WorkerNodeThread":
+        self._server_thread.__enter__()
+        host, port = self._server_thread.address
+        self.agent = NodeAgent(
+            self._server_thread.server,
+            self._join_url,
+            advertise_url=f"http://{host}:{port}",
+            interval=self._interval,
+        )
+        self.agent.start()
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._server_thread.address
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    @property
+    def server(self) -> SpannerServer:
+        return self._server_thread.server
+
+    @property
+    def node_id(self) -> str | None:
+        return None if self.agent is None else self.agent.node_id
+
+    def __exit__(self, *exc_info) -> None:
+        if self.agent is not None:
+            self.agent.stop()
+        self._server_thread.__exit__(*exc_info)

@@ -1,0 +1,147 @@
+"""Wire forms for the cluster control plane (register/heartbeat/leave).
+
+The cluster speaks the same hand-rolled HTTP/JSON as the serving
+endpoints (:mod:`repro.server.protocol`); this module owns the three
+control-plane bodies a worker node POSTs to its coordinator:
+
+* ``POST /register`` — ``{"url": ..., "node_id"?: ..., "fingerprints":
+  [...], "stats": {...}}``; the coordinator answers with the assigned
+  node id and the heartbeat cadence to follow;
+* ``POST /heartbeat`` — ``{"node_id": ..., "fingerprints": [...],
+  "stats": {...}}``; an unknown node id answers 404, telling the node to
+  re-register (it was evicted while unreachable);
+* ``POST /leave`` — ``{"node_id": ...}``; a clean goodbye.
+
+Parsing raises :class:`~repro.server.protocol.ProtocolError` exactly like
+the data-plane parsers, so the coordinator's HTTP layer answers 400 the
+same way for both.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from urllib.parse import urlsplit
+
+from repro.server.protocol import ProtocolError
+
+__all__ = [
+    "HeartbeatRequest",
+    "LeaveRequest",
+    "RegisterRequest",
+    "parse_heartbeat",
+    "parse_leave",
+    "parse_register",
+    "split_url",
+]
+
+
+def split_url(url: str) -> tuple[str, int]:
+    """``(host, port)`` of an ``http://host:port`` node or coordinator URL.
+
+    >>> split_url("http://127.0.0.1:8123")
+    ('127.0.0.1', 8123)
+    """
+    parts = urlsplit(url if "//" in url else f"http://{url}")
+    if parts.scheme not in ("", "http"):
+        raise ValueError(f"cluster URLs are plain http, got {url!r}")
+    if not parts.hostname or not parts.port:
+        raise ValueError(f"need http://host:port, got {url!r}")
+    return parts.hostname, parts.port
+
+
+@dataclass(frozen=True)
+class RegisterRequest:
+    """A parsed ``POST /register`` body."""
+
+    url: str
+    node_id: str | None = None
+    fingerprints: tuple[str, ...] = ()
+    stats: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class HeartbeatRequest:
+    """A parsed ``POST /heartbeat`` body."""
+
+    node_id: str
+    fingerprints: tuple[str, ...] | None = None
+    stats: dict | None = None
+
+
+@dataclass(frozen=True)
+class LeaveRequest:
+    """A parsed ``POST /leave`` body."""
+
+    node_id: str
+
+
+def _decode_object(body: bytes, what: str) -> dict:
+    try:
+        decoded = json.loads(body or b"null")
+    except ValueError as error:
+        raise ProtocolError(f"invalid JSON in {what} body: {error}") from None
+    if not isinstance(decoded, dict):
+        raise ProtocolError(f"{what} body must be a JSON object")
+    return decoded
+
+
+def _fingerprints(value, what: str) -> tuple[str, ...]:
+    if not isinstance(value, list) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise ProtocolError(f"{what} 'fingerprints' must be a list of strings")
+    return tuple(value)
+
+
+def _stats(value, what: str) -> dict:
+    if not isinstance(value, dict):
+        raise ProtocolError(f"{what} 'stats' must be a JSON object")
+    return value
+
+
+def parse_register(body: bytes) -> RegisterRequest:
+    """Parse and validate a ``/register`` body."""
+    decoded = _decode_object(body, "register")
+    url = decoded.get("url")
+    if not isinstance(url, str) or not url:
+        raise ProtocolError("register needs a non-empty 'url' string")
+    try:
+        split_url(url)
+    except ValueError as error:
+        raise ProtocolError(f"register 'url': {error}") from None
+    node_id = decoded.get("node_id")
+    if node_id is not None and (not isinstance(node_id, str) or not node_id):
+        raise ProtocolError("register 'node_id' must be a non-empty string")
+    return RegisterRequest(
+        url=url,
+        node_id=node_id,
+        fingerprints=_fingerprints(decoded.get("fingerprints", []), "register"),
+        stats=_stats(decoded.get("stats", {}), "register"),
+    )
+
+
+def _node_id(decoded: dict, what: str) -> str:
+    node_id = decoded.get("node_id")
+    if not isinstance(node_id, str) or not node_id:
+        raise ProtocolError(f"{what} needs a non-empty 'node_id' string")
+    return node_id
+
+
+def parse_heartbeat(body: bytes) -> HeartbeatRequest:
+    """Parse and validate a ``/heartbeat`` body."""
+    decoded = _decode_object(body, "heartbeat")
+    fingerprints = decoded.get("fingerprints")
+    stats = decoded.get("stats")
+    return HeartbeatRequest(
+        node_id=_node_id(decoded, "heartbeat"),
+        fingerprints=None
+        if fingerprints is None
+        else _fingerprints(fingerprints, "heartbeat"),
+        stats=None if stats is None else _stats(stats, "heartbeat"),
+    )
+
+
+def parse_leave(body: bytes) -> LeaveRequest:
+    """Parse and validate a ``/leave`` body."""
+    return LeaveRequest(node_id=_node_id(_decode_object(body, "leave"), "leave"))

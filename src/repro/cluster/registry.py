@@ -1,0 +1,286 @@
+"""The coordinator's membership table: who is alive, warm, and loaded.
+
+:class:`NodeRegistry` tracks every registered worker node — advertise
+URL, last heartbeat, advertised warm engine fingerprints, inflight batch
+count, and a per-node :class:`~repro.service.resilience.CircuitBreaker`.
+It is the single source of truth the scheduling loop consults:
+
+* :meth:`acquire` leases the best node for a batch — among nodes whose
+  breaker admits traffic, the one with the fewest inflight batches,
+  warm-for-this-fingerprint nodes winning ties.  Min-inflight first (not
+  strictly warm-first) keeps the rack balanced while still *earning*
+  warm hits, because :meth:`release` records which node just ran which
+  fingerprint.
+* :meth:`evict_stale` drops nodes whose heartbeat is overdue; a node
+  that was merely partitioned re-registers on its next beat (it gets a
+  404) and — because node ids are a stable digest of the advertise URL —
+  comes back under the *same* id.
+
+Time is injected (``clock=``) so eviction tests run on a fake clock.
+
+>>> registry = NodeRegistry(heartbeat_interval=2.0)
+>>> record = registry.register("http://127.0.0.1:9001")
+>>> record.node_id == NodeRegistry.stable_node_id("http://127.0.0.1:9001")
+True
+>>> leased, warm = registry.acquire("abc123")
+>>> (leased.node_id == record.node_id, warm)
+(True, False)
+>>> registry.release(leased.node_id, ok=True, fingerprint="abc123")
+>>> registry.acquire("abc123")[1]   # the win was recorded: now warm
+True
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.cluster.protocol import split_url
+from repro.service.resilience import CircuitBreaker
+
+__all__ = ["NodeRecord", "NodeRegistry"]
+
+#: Breaker defaults for a node: two straight failures open it, and it
+#: half-opens again after a second — long enough to shed a flapping node,
+#: short enough that a recovered one rejoins the rotation quickly.
+_BREAKER_FAILURES = 2
+_BREAKER_RESET = 1.0
+
+
+@dataclass
+class NodeRecord:
+    """One registered worker node (mutated only under the registry lock)."""
+
+    node_id: str
+    url: str
+    host: str
+    port: int
+    fingerprints: set[str] = field(default_factory=set)
+    stats: dict = field(default_factory=dict)
+    registered_at: float = 0.0
+    last_beat: float = 0.0
+    inflight: int = 0
+    batches: int = 0
+    failures: int = 0
+    breaker: CircuitBreaker = None  # type: ignore[assignment]
+
+    def describe(self) -> dict:
+        """A JSON-safe snapshot for ``/healthz`` and logs."""
+        return {
+            "node_id": self.node_id,
+            "url": self.url,
+            "inflight": self.inflight,
+            "batches": self.batches,
+            "failures": self.failures,
+            "fingerprints": len(self.fingerprints),
+            "stats": dict(self.stats),
+        }
+
+
+class NodeRegistry:
+    """Thread-safe membership + lease bookkeeping for the coordinator."""
+
+    def __init__(
+        self,
+        heartbeat_interval: float = 2.0,
+        heartbeat_timeout: float | None = None,
+        *,
+        clock=time.monotonic,
+    ) -> None:
+        if heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if heartbeat_timeout is None:
+            heartbeat_timeout = 3.0 * heartbeat_interval
+        if heartbeat_timeout <= heartbeat_interval:
+            raise ValueError("heartbeat_timeout must exceed the interval")
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._nodes: dict[str, NodeRecord] = {}
+        self._registrations = 0
+        self._heartbeats = 0
+        self._evictions = 0
+        self._leaves = 0
+
+    @staticmethod
+    def stable_node_id(url: str) -> str:
+        """A node id derived from the advertise URL.
+
+        Deterministic on purpose: a node that is evicted while
+        partitioned and then re-registers gets the *same* id back, so
+        coordinator-side dashboards and affinity history survive the
+        round trip.
+        """
+        digest = hashlib.sha256(url.encode("utf-8")).hexdigest()
+        return f"node-{digest[:12]}"
+
+    # -- membership ---------------------------------------------------
+
+    def register(
+        self,
+        url: str,
+        fingerprints=(),
+        stats: dict | None = None,
+        node_id: str | None = None,
+    ) -> NodeRecord:
+        """Add (or refresh) the node serving at ``url``; upserts by id."""
+        host, port = split_url(url)
+        node_id = node_id or self.stable_node_id(url)
+        now = self._clock()
+        with self._lock:
+            record = self._nodes.get(node_id)
+            if record is None:
+                record = NodeRecord(
+                    node_id=node_id,
+                    url=url,
+                    host=host,
+                    port=port,
+                    registered_at=now,
+                    breaker=CircuitBreaker(
+                        failure_threshold=_BREAKER_FAILURES,
+                        reset_timeout=_BREAKER_RESET,
+                        clock=self._clock,
+                    ),
+                )
+                self._nodes[node_id] = record
+            record.url, record.host, record.port = url, host, port
+            record.fingerprints = set(fingerprints)
+            if stats is not None:
+                record.stats = dict(stats)
+            record.last_beat = now
+            self._registrations += 1
+            return record
+
+    def heartbeat(
+        self,
+        node_id: str,
+        fingerprints=None,
+        stats: dict | None = None,
+    ) -> bool:
+        """Record a beat; ``False`` means unknown node (it must re-register)."""
+        with self._lock:
+            record = self._nodes.get(node_id)
+            if record is None:
+                return False
+            record.last_beat = self._clock()
+            if fingerprints is not None:
+                # The advertised cache listing is authoritative — it is
+                # read straight off the node's SpannerCache, so it
+                # already contains anything we learned via release().
+                record.fingerprints = set(fingerprints)
+            if stats is not None:
+                record.stats = dict(stats)
+            self._heartbeats += 1
+            return True
+
+    def leave(self, node_id: str) -> NodeRecord | None:
+        """Remove a node that said goodbye (clean shutdown)."""
+        with self._lock:
+            record = self._nodes.pop(node_id, None)
+            if record is not None:
+                self._leaves += 1
+            return record
+
+    def evict(self, node_id: str) -> NodeRecord | None:
+        """Forcibly drop a node (unreachable mid-batch, or stale)."""
+        with self._lock:
+            record = self._nodes.pop(node_id, None)
+            if record is not None:
+                self._evictions += 1
+            return record
+
+    def evict_stale(self) -> list[NodeRecord]:
+        """Drop every node whose last beat is older than the timeout."""
+        deadline = self._clock() - self.heartbeat_timeout
+        with self._lock:
+            stale = [
+                record
+                for record in self._nodes.values()
+                if record.last_beat < deadline
+            ]
+            for record in stale:
+                del self._nodes[record.node_id]
+            self._evictions += len(stale)
+            return stale
+
+    # -- scheduling ---------------------------------------------------
+
+    def acquire(self, fingerprint: str | None = None):
+        """Lease the best node for a batch, or ``None`` when no node will do.
+
+        Returns ``(record, warm)`` where ``warm`` says the node already
+        advertised the batch's engine fingerprint.  The lease bumps the
+        node's inflight count; callers must :meth:`release` it.
+        """
+        with self._lock:
+            candidates = [
+                record
+                for record in self._nodes.values()
+                if record.breaker.allow()
+            ]
+            if not candidates:
+                return None
+            best = min(
+                candidates,
+                key=lambda record: (
+                    record.inflight,
+                    # Tie-break warm-first (False sorts before True).
+                    not (fingerprint and fingerprint in record.fingerprints),
+                    record.registered_at,
+                ),
+            )
+            best.inflight += 1
+            warm = bool(fingerprint) and fingerprint in best.fingerprints
+            return best, warm
+
+    def release(
+        self, node_id: str, ok: bool, fingerprint: str | None = None
+    ) -> None:
+        """Return a lease; on success, remember the node is now warm."""
+        with self._lock:
+            record = self._nodes.get(node_id)
+            if record is None:
+                return  # evicted while the batch was in flight
+            record.inflight = max(0, record.inflight - 1)
+            if ok:
+                record.batches += 1
+                record.breaker.record_success()
+                if fingerprint:
+                    record.fingerprints.add(fingerprint)
+            else:
+                record.failures += 1
+                record.breaker.record_failure()
+
+    # -- introspection ------------------------------------------------
+
+    def nodes(self) -> list[NodeRecord]:
+        """A snapshot list of the live records (registration order)."""
+        with self._lock:
+            return list(self._nodes.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._nodes)
+
+    def describe(self) -> dict:
+        """JSON-safe topology + counters for ``/healthz``."""
+        with self._lock:
+            return {
+                "nodes": [record.describe() for record in self._nodes.values()],
+                "registrations": self._registrations,
+                "heartbeats": self._heartbeats,
+                "evictions": self._evictions,
+                "leaves": self._leaves,
+            }
+
+    def counters(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "registrations": self._registrations,
+                "heartbeats": self._heartbeats,
+                "evictions": self._evictions,
+                "leaves": self._leaves,
+            }

@@ -1,0 +1,323 @@
+"""Remote execution of ``evaluate_records``-shaped batches over HTTP.
+
+:class:`NodeClient` maps the executor seam's three batch kinds onto the
+serving endpoints a worker node already exposes:
+
+* ``kind="matches"``  → ``POST /evaluate`` (NonEmp verdicts);
+* ``kind="extract"``  → ``POST /enumerate`` (``spans`` passed through);
+* ``kind="mappings"`` → ``POST /enumerate`` with ``spans=true``, and the
+  reply's ``[begin, end]`` pairs rebuilt into
+  :class:`~repro.spans.Span`/:class:`~repro.spans.mapping.Mapping`
+  objects so the caller gets byte-identical structures to local
+  execution.
+
+Documents travel under synthetic positional ids (``r0``, ``r1``, …) —
+batch doc ids are only unique *per request* upstream, so originals are
+restored by position on the way back out.
+
+:class:`RemoteBackend` wraps one :class:`NodeClient` in the
+:class:`~repro.service.backend.ExecutorBackend` contract, which is what
+lets ``evaluate_corpus(..., backend=RemoteBackend(url))`` ship a whole
+corpus to one remote server without any coordinator in the middle.
+
+Errors split along the only axis the scheduler cares about:
+:class:`RemoteUnavailable` (transport died / 5xx — retriable on another
+node, sender should presume the node dead) versus
+:class:`RemoteRejected` (a deterministic 4xx — re-sending elsewhere
+would fail identically, run the batch locally instead).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+
+from repro.cluster.protocol import split_url
+from repro.server.client import (
+    RetryLaterError,
+    ServerClient,
+    ServerResponseError,
+)
+from repro.service.backend import ExecutorBackend, _check_kind
+from repro.spans import Mapping, Span
+
+__all__ = [
+    "NodeClient",
+    "RemoteBackend",
+    "RemoteError",
+    "RemoteRejected",
+    "RemoteUnavailable",
+    "remote_spec",
+]
+
+
+class RemoteError(Exception):
+    """Base class for remote-batch failures."""
+
+
+class RemoteUnavailable(RemoteError):
+    """The node did not answer (connect/read failure, timeout, or 5xx).
+
+    The batch may be requeued on another node; the sender should treat
+    this node as dead until it heartbeats again.
+    """
+
+
+class RemoteRejected(RemoteError):
+    """The node answered with a deterministic 4xx refusal.
+
+    Re-sending the same batch to another node would fail the same way,
+    so callers fall back to local execution.
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class RemoteBusy(RemoteUnavailable):
+    """A 422/429 refusal with a ``Retry-After`` hint: back off, then retry."""
+
+    def __init__(self, status: int, message: str, retry_after: float) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.retry_after = retry_after
+
+
+def remote_spec(engine) -> tuple[str, int] | None:
+    """The ``(pattern, opt_level)`` wire form of ``engine``, or ``None``.
+
+    Only engines planned from RGX *text* can be re-planned by a remote
+    node; engines built straight from an AST/VA (no serialisable source)
+    return ``None`` and run locally.
+    """
+    plan = getattr(engine, "plan", None)
+    if plan is None:
+        return None
+    source = getattr(plan, "source", None)
+    if not isinstance(source, str):
+        return None
+    return source, plan.opt_level
+
+
+def _rebuild_payload(entry: dict, kind: str, spans: bool):
+    """A wire result entry back into the local evaluate_records payload."""
+    if kind == "matches":
+        return entry["matches"]
+    mappings = entry["mappings"]
+    if kind == "extract":
+        if not spans:
+            return tuple(dict(record) for record in mappings)
+        return tuple(
+            {var: Span(pair[0], pair[1]) for var, pair in record.items()}
+            for record in mappings
+        )
+    # kind == "mappings": always shipped with spans=true on the wire.
+    return frozenset(
+        Mapping({var: Span(pair[0], pair[1]) for var, pair in record.items()})
+        for record in mappings
+    )
+
+
+class NodeClient:
+    """A blocking, thread-safe batch caller for one worker node.
+
+    Wraps a small pool of keep-alive :class:`ServerClient` connections
+    (one per concurrent caller) so the cluster backend can run several
+    batches against the same node in parallel.
+    """
+
+    def __init__(self, url: str, timeout: float = 30.0) -> None:
+        self.url = url
+        self._host, self._port = split_url(url)
+        self._timeout = timeout
+        self._lock = threading.Lock()
+        self._idle: list[ServerClient] = []
+        self._closed = False
+
+    def _lease(self) -> ServerClient:
+        with self._lock:
+            if self._closed:
+                raise RemoteUnavailable(f"client for {self.url} is closed")
+            if self._idle:
+                return self._idle.pop()
+        return ServerClient(self._host, self._port, timeout=self._timeout)
+
+    def _give_back(self, client: ServerClient, *, broken: bool) -> None:
+        if broken:
+            client.close()
+            return
+        with self._lock:
+            if not self._closed:
+                self._idle.append(client)
+                return
+        client.close()
+
+    def evaluate_batch(
+        self,
+        spec: tuple[str, int],
+        records,
+        kind: str = "mappings",
+        spans: bool = False,
+    ) -> list[tuple]:
+        """Run one batch remotely; returns local-shaped result triples.
+
+        ``records`` is the usual sequence of ``(doc_id, text)`` pairs;
+        the return value is ``[(doc_id, payload, error), ...]`` exactly
+        as :func:`~repro.service.evaluate.evaluate_records` would
+        produce it.
+        """
+        _check_kind(kind)
+        pattern, opt_level = spec
+        pairs = list(records)
+        documents = [
+            {"id": f"r{position}", "text": text}
+            for position, (_, text) in enumerate(pairs)
+        ]
+        client = self._lease()
+        broken = True
+        try:
+            if kind == "matches":
+                reply = client.evaluate(pattern, documents, opt_level)
+            else:
+                reply = client.enumerate(
+                    pattern,
+                    documents,
+                    opt_level,
+                    spans=True if kind == "mappings" else spans,
+                )
+            broken = False
+        except RetryLaterError as error:
+            broken = False  # the connection is fine; the node is shedding
+            raise RemoteBusy(
+                error.status, error.message, error.retry_after
+            ) from error
+        except ServerResponseError as error:
+            if error.status >= 500:
+                raise RemoteUnavailable(str(error)) from error
+            broken = False
+            raise RemoteRejected(error.status, error.message) from error
+        except (ConnectionError, TimeoutError, OSError) as error:
+            raise RemoteUnavailable(
+                f"{self.url}: {type(error).__name__}: {error}"
+            ) from error
+        finally:
+            self._give_back(client, broken=broken)
+        results = reply.get("results", [])
+        if len(results) != len(pairs):
+            raise RemoteUnavailable(
+                f"{self.url} returned {len(results)} results "
+                f"for {len(pairs)} documents"
+            )
+        triples = []
+        for (doc_id, _), entry in zip(pairs, results):
+            error = entry.get("error")
+            payload = (
+                None
+                if error is not None
+                else _rebuild_payload(entry, kind, spans)
+            )
+            triples.append((doc_id, payload, error))
+        return triples
+
+    def healthz(self) -> dict:
+        client = self._lease()
+        broken = True
+        try:
+            reply = client.healthz()
+            broken = False
+            return reply
+        except ServerResponseError:
+            broken = False
+            raise
+        finally:
+            self._give_back(client, broken=broken)
+
+    def close(self) -> None:
+        with self._lock:
+            idle, self._idle = self._idle, []
+            self._closed = True
+        for client in idle:
+            client.close()
+
+
+class RemoteBackend(ExecutorBackend):
+    """The executor seam over one remote server.
+
+    ``submit`` ships each batch to the node's HTTP endpoints on a small
+    thread pool; engines without a serialisable source raise
+    :class:`RemoteRejected` (callers that want transparent fallback go
+    through the cluster backend, which handles that case by running the
+    batch locally).
+    """
+
+    name = "remote"
+
+    def __init__(self, url: str, *, timeout: float = 30.0, threads: int = 8):
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        self._client = NodeClient(url, timeout=timeout)
+        self._threads = threads
+        self._executor: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+        self._closed = False
+        self._batches = 0
+        self._local_rejections = 0
+
+    @property
+    def parallelism(self) -> int:
+        return self._threads
+
+    @property
+    def url(self) -> str:
+        return self._client.url
+
+    def _pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("backend is closed")
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._threads,
+                    thread_name_prefix="repro-remote",
+                )
+            return self._executor
+
+    def _run(self, engine, records, kind: str, spans: bool):
+        spec = remote_spec(engine)
+        if spec is None:
+            with self._lock:
+                self._local_rejections += 1
+            raise RemoteRejected(
+                422, "engine has no serialisable pattern source"
+            )
+        triples = self._client.evaluate_batch(spec, records, kind, spans)
+        with self._lock:
+            self._batches += 1
+        return triples
+
+    def submit(
+        self, engine, records, *, kind: str = "mappings", spans: bool = False
+    ) -> Future:
+        _check_kind(kind)
+        return self._pool().submit(self._run, engine, list(records), kind, spans)
+
+    def stats(self, fingerprint: str | None = None) -> dict:
+        with self._lock:
+            return {
+                "backend": self.name,
+                "url": self._client.url,
+                "batches": self._batches,
+                "rejections": self._local_rejections,
+            }
+
+    def close(self, wait: bool = True) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            executor = self._executor
+        if executor is not None:
+            executor.shutdown(wait=wait)
+        self._client.close()

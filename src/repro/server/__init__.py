@@ -13,7 +13,11 @@ see :mod:`repro.server.dispatcher` and :mod:`repro.server.app`, and
 """
 
 from repro.server.app import ServerConfig, ServerThread, SpannerServer, serve
-from repro.server.client import ServerClient, ServerResponseError
+from repro.server.client import (
+    RetryLaterError,
+    ServerClient,
+    ServerResponseError,
+)
 from repro.server.dispatcher import (
     Dispatcher,
     DispatcherConfig,
@@ -30,6 +34,7 @@ __all__ = [
     "Overloaded",
     "ProtocolError",
     "RequestTooLarge",
+    "RetryLaterError",
     "ServerClient",
     "ServerConfig",
     "ServerResponseError",

@@ -112,6 +112,11 @@ class ServerConfig:
     breaker_reset: float = 30.0
     #: Seconds a degraded server waits before reviving its worker pool.
     degraded_reset: float = 30.0
+    #: An injected :class:`~repro.service.backend.ExecutorBackend` that
+    #: overrides the workers-derived executor choice.  Programmatic only
+    #: (no CLI flag): the cluster coordinator routes its dispatcher onto
+    #: the registered worker nodes through this seam.
+    backend: object | None = None
 
     def __post_init__(self) -> None:
         # Timeout-ish knobs where zero or a negative would misbehave
@@ -148,6 +153,7 @@ class ServerConfig:
             breaker_threshold=self.breaker_threshold,
             breaker_reset=self.breaker_reset,
             degraded_reset=self.degraded_reset,
+            backend=self.backend,
         )
 
 
@@ -177,6 +183,7 @@ class SpannerServer:
         # engine compiles through the dispatcher's SpannerCache, so
         # /healthz and /metrics account for it like any other engine.
         self.queryset = QuerySet(cache=self.dispatcher.cache)
+        self._started = time.time()
         self._server: asyncio.base_events.Server | None = None
         self._connections: dict[asyncio.Task, _Connection] = {}
         self._draining = False
@@ -399,7 +406,11 @@ class SpannerServer:
                 pass
             return False
 
-    async def _healthz(self, writer, keep_alive: bool) -> bool:
+    def _health_payload(self) -> dict:
+        """The ``/healthz`` body; subclasses extend (the coordinator adds
+        its cluster topology)."""
+        from repro import __version__
+
         stats = self.dispatcher.stats()
         resilience = stats["resilience"]
         if self._draining:
@@ -410,6 +421,8 @@ class SpannerServer:
             status = "ok"
         payload = {
             "status": status,
+            "version": __version__,
+            "uptime_seconds": round(time.time() - self._started, 3),
             "pending_documents": stats["pending_documents"],
             "inflight_batches": stats["inflight_batches"],
             "spanners_cached": stats["cache"]["size"],
@@ -426,6 +439,10 @@ class SpannerServer:
                 "task_timeouts": pool["timeouts"],
                 "last_restart": pool["last_restart"],
             }
+        return payload
+
+    async def _healthz(self, writer, keep_alive: bool) -> bool:
+        payload = self._health_payload()
         await self._write_response(
             writer,
             200,
@@ -709,9 +726,14 @@ class ServerThread:
     def _run(self) -> None:
         asyncio.run(self._main())
 
+    def _build(self) -> SpannerServer:
+        """Construct the server instance; the cluster's CoordinatorThread
+        overrides this to run a ClusterCoordinator on the same harness."""
+        return SpannerServer(self.config, cache=self._cache)
+
     async def _main(self) -> None:
         self._loop = asyncio.get_running_loop()
-        server = SpannerServer(self.config, cache=self._cache)
+        server = self._build()
         try:
             await server.start()
         except BaseException as error:

@@ -24,12 +24,16 @@ import time
 
 from repro.server.protocol import NDJSON_CONTENT_TYPE
 
-__all__ = ["ServerClient", "ServerResponseError"]
+__all__ = ["RetryLaterError", "ServerClient", "ServerResponseError"]
 
 #: Connect-retry backoff: first delay, growth factor, per-wait cap.
 _RETRY_BASE = 0.05
 _RETRY_FACTOR = 2.0
 _RETRY_CAP = 1.0
+#: Longest single wait when honouring a server-advertised ``Retry-After``
+#: (a breaker can quote tens of seconds; a blocking client should not
+#: sleep that long between attempts).
+_RETRY_AFTER_CAP = 5.0
 
 
 class ServerResponseError(Exception):
@@ -39,6 +43,20 @@ class ServerResponseError(Exception):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+
+
+class RetryLaterError(ServerResponseError):
+    """A 422/429 refusal that carried a ``Retry-After`` header.
+
+    The server is shedding load (429: queue full) or failing fast
+    (422: circuit breaker open) and told us when to come back;
+    ``retry_after`` is that hint in seconds.  A client constructed with
+    ``retries=N`` honours the hint automatically before re-sending.
+    """
+
+    def __init__(self, status: int, message: str, retry_after: float) -> None:
+        super().__init__(status, message)
+        self.retry_after = retry_after
 
 
 class ServerClient:
@@ -90,12 +108,58 @@ class ServerClient:
         content_type: str = "application/json",
     ) -> tuple[int, bytes]:
         """One round-trip; returns ``(status, body)`` without decoding."""
+        status, _headers, raw = self._round_trip(method, path, body, content_type)
+        return status, raw
+
+    def _round_trip(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None,
+        content_type: str,
+    ) -> tuple[int, dict[str, str], bytes]:
+        """One round-trip, keeping the response headers (for Retry-After)."""
         headers = {"Content-Type": content_type} if body is not None else {}
         if self._retries and self._connection.sock is None:
             self._connect_with_retries()
         self._connection.request(method, path, body=body, headers=headers)
         response = self._connection.getresponse()
-        return response.status, response.read()
+        lowered = {name.lower(): value for name, value in response.getheaders()}
+        return response.status, lowered, response.read()
+
+    @staticmethod
+    def _error_for(
+        status: int, message: str, headers: dict[str, str]
+    ) -> ServerResponseError:
+        """The typed error for a non-2xx reply (RetryLaterError when hinted)."""
+        hint = headers.get("retry-after")
+        if status in (422, 429) and hint is not None:
+            try:
+                seconds = float(hint)
+            except ValueError:
+                seconds = 1.0
+            return RetryLaterError(status, message, max(0.0, seconds))
+        return ServerResponseError(status, message)
+
+    def _with_retries(self, send):
+        """Run ``send``, re-sending on :class:`RetryLaterError` within budget.
+
+        Only 422/429-with-hint refusals are retried here — the server
+        explicitly refused *before* doing any work, so re-sending is
+        safe.  The advertised wait is honoured (floored at the connect
+        backoff base, capped at ``_RETRY_AFTER_CAP``).
+        """
+        attempts = self._retries + 1
+        for attempt in range(attempts):
+            try:
+                return send()
+            except RetryLaterError as error:
+                if attempt == attempts - 1:
+                    raise
+                time.sleep(
+                    min(_RETRY_AFTER_CAP, max(_RETRY_BASE, error.retry_after))
+                )
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def _request_json(self, method: str, path: str, payload=None) -> dict:
         body = (
@@ -103,16 +167,22 @@ class ServerClient:
             if payload is None
             else json.dumps(payload).encode("utf-8")
         )
-        status, raw = self.request_raw(method, path, body)
-        try:
-            decoded = json.loads(raw)
-        except ValueError:
-            decoded = {"error": raw.decode("utf-8", "replace")}
-        if status >= 400:
-            raise ServerResponseError(
-                status, decoded.get("error", "<no message>")
+
+        def send() -> dict:
+            status, headers, raw = self._round_trip(
+                method, path, body, "application/json"
             )
-        return decoded
+            try:
+                decoded = json.loads(raw)
+            except ValueError:
+                decoded = {"error": raw.decode("utf-8", "replace")}
+            if status >= 400:
+                raise self._error_for(
+                    status, decoded.get("error", "<no message>"), headers
+                )
+            return decoded
+
+        return self._with_retries(send)
 
     @staticmethod
     def _payload(pattern: str, documents, opt_level, spans=None) -> dict:
@@ -174,20 +244,31 @@ class ServerClient:
             else:
                 doc_id, text = item
                 lines.append(json.dumps({"id": doc_id, "text": text}))
-        status, raw = self.request_raw(
-            "POST",
-            "/enumerate",
-            ("\n".join(lines) + "\n").encode("utf-8"),
-            content_type=NDJSON_CONTENT_TYPE,
-        )
-        if status >= 400:
-            message = json.loads(raw).get("error", "<no message>")
-            raise ServerResponseError(status, message)
-        return [
-            json.loads(line)
-            for line in raw.decode("utf-8").splitlines()
-            if line.strip()
-        ]
+        body = ("\n".join(lines) + "\n").encode("utf-8")
+
+        def send() -> list[dict]:
+            status, headers, raw = self._round_trip(
+                "POST", "/enumerate", body, NDJSON_CONTENT_TYPE
+            )
+            if status >= 400:
+                message = json.loads(raw).get("error", "<no message>")
+                raise self._error_for(status, message, headers)
+            return [
+                json.loads(line)
+                for line in raw.decode("utf-8").splitlines()
+                if line.strip()
+            ]
+
+        return self._with_retries(send)
+
+    def post_json(self, path: str, payload=None) -> dict:
+        """``POST`` an arbitrary JSON body and decode the JSON reply.
+
+        The cluster control plane (``/register``, ``/heartbeat``,
+        ``/leave``) rides on this; it raises the same typed errors as
+        the data-plane helpers.
+        """
+        return self._request_json("POST", path, payload)
 
     def query(
         self,

@@ -20,11 +20,17 @@ concurrent requests into the large warm batches the engine is built for:
   (the HTTP layer answers 429) instead of growing the queue without
   bound.
 
-Batches execute either on the :class:`~repro.service.evaluate.WorkerPool`
-process pool (``workers >= 1`` — each worker's kernel memo stays warm
-across batches, and hence across requests) or on an in-process thread
-pool (``workers = 0`` — no pickling, engines shared across threads, which
-is what the engine's cache locks exist for).
+Batches execute on an :class:`~repro.service.backend.ExecutorBackend`:
+a :class:`~repro.service.backend.ProcessBackend` over the
+:class:`~repro.service.evaluate.WorkerPool` (``workers >= 1`` — each
+worker's kernel memo stays warm across batches, and hence across
+requests), a :class:`~repro.service.backend.ThreadBackend`
+(``workers = 0`` — no pickling, engines shared across threads, which is
+what the engine's cache locks exist for), or any injected backend
+(``DispatcherConfig.backend`` — the cluster coordinator injects its
+node-routing backend here).  A backend that reports itself broken
+(:class:`~repro.service.resilience.PoolBroken`) degrades the dispatcher
+onto an in-process ThreadBackend until the reset window passes.
 
 ``naive=True`` is the ablation baseline the serving benchmark (E23)
 compares against: no cache, no coalescing, no batching — every request
@@ -36,7 +42,6 @@ from __future__ import annotations
 
 import asyncio
 import logging
-import os
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
@@ -46,8 +51,13 @@ from repro.engine.compiled import CompiledSpanner, compile_spanner
 from repro.server.metrics import Metrics
 from repro.server.protocol import EVALUATE, SpanRequest
 from repro.service import faults
+from repro.service.backend import (
+    ExecutorBackend,
+    ProcessBackend,
+    ThreadBackend,
+)
 from repro.service.cache import SpannerCache
-from repro.service.evaluate import DEFAULT_MAX_REBUILDS, WorkerPool, evaluate_records
+from repro.service.evaluate import DEFAULT_MAX_REBUILDS
 from repro.service.resilience import BreakerOpen, CircuitBreaker, PoolBroken
 
 __all__ = [
@@ -110,6 +120,11 @@ class DispatcherConfig:
     breaker_reset: float = 30.0
     #: How long degraded mode lasts before the pool is revived and probed.
     degraded_reset: float = 30.0
+    #: An injected :class:`~repro.service.backend.ExecutorBackend` that
+    #: overrides the workers-derived choice (the cluster coordinator
+    #: injects its node-routing backend here).  The dispatcher does not
+    #: own an injected backend: ``close()`` leaves it running.
+    backend: "ExecutorBackend | None" = None
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -174,8 +189,13 @@ class Dispatcher:
             self.artifacts = self.cache.artifacts
         self._loop: asyncio.AbstractEventLoop | None = None
         self._compile_pool: ThreadPoolExecutor | None = None
-        self._eval_pool: ThreadPoolExecutor | None = None
-        self._worker_pool: WorkerPool | None = None
+        # The execution seam: the primary backend serves batches, the
+        # fallback (an in-process ThreadBackend, created lazily) takes
+        # over while the primary is degraded.  An injected backend is
+        # borrowed, never owned.
+        self._backend: ExecutorBackend | None = None
+        self._fallback: ThreadBackend | None = None
+        self._backend_owned = True
         # In-flight compiles, keyed by (pattern, opt_level).  Resolved
         # engines live only in the SpannerCache — a loop-local mirror
         # would dodge the cache's capacity bound and make its stats (and
@@ -202,8 +222,11 @@ class Dispatcher:
         self._compile_pool = ThreadPoolExecutor(
             max_workers=2, thread_name_prefix="repro-compile"
         )
-        if self.config.workers >= 1:
-            self._worker_pool = WorkerPool(
+        if self.config.backend is not None:
+            self._backend = self.config.backend
+            self._backend_owned = False
+        elif self.config.workers >= 1:
+            self._backend = ProcessBackend(
                 self.config.workers,
                 artifact_dir=self.config.artifact_dir,
                 shared_memory=self.config.shared_memory,
@@ -211,19 +234,27 @@ class Dispatcher:
                 max_rebuilds=self.config.max_rebuilds,
             )
         else:
-            self._ensure_eval_pool()
+            # In-process serving: the primary backend *is* the fallback,
+            # so degraded mode can never trigger (nothing to degrade to).
+            self._fallback = ThreadBackend(self.config.inline_threads)
+            self._backend = self._fallback
 
-    def _ensure_eval_pool(self) -> ThreadPoolExecutor:
-        """The in-process executor — the degraded-mode fallback target,
-        created lazily when a worker-pool server first needs it."""
-        if self._eval_pool is None:
-            threads = self.config.inline_threads or min(
-                32, (os.cpu_count() or 1) + 4
-            )
-            self._eval_pool = ThreadPoolExecutor(
-                max_workers=threads, thread_name_prefix="repro-eval"
-            )
-        return self._eval_pool
+    @property
+    def backend(self) -> "ExecutorBackend | None":
+        """The primary execution backend (None before ``start()``)."""
+        return self._backend
+
+    @property
+    def worker_pool(self):
+        """The primary backend's WorkerPool, when it has one."""
+        return getattr(self._backend, "pool", None)
+
+    def _fallback_backend(self) -> ThreadBackend:
+        """The in-process fallback — the degraded-mode target, created
+        lazily when a non-thread server first needs it."""
+        if self._fallback is None:
+            self._fallback = ThreadBackend(self.config.inline_threads)
+        return self._fallback
 
     def flush_all(self) -> None:
         """Flush every open batch now and every future batch on arrival.
@@ -244,10 +275,14 @@ class Dispatcher:
         self._closed = True
         if self._compile_pool is not None:
             self._compile_pool.shutdown(wait=False)
-        if self._eval_pool is not None:
-            self._eval_pool.shutdown(wait=True)
-        if self._worker_pool is not None:
-            self._worker_pool.shutdown(wait=True)
+        if self._fallback is not None:
+            self._fallback.close(wait=True)
+        if (
+            self._backend is not None
+            and self._backend is not self._fallback
+            and self._backend_owned
+        ):
+            self._backend.close(wait=True)
 
     # -- compilation (coalesced) ------------------------------------------------
 
@@ -464,37 +499,28 @@ class Dispatcher:
         self._batch_tasks.discard(task)
         self.metrics.gauge("repro_inflight_batches", len(self._batch_tasks))
 
-    async def _run_inline(self, batch: _Batch, records: list) -> list:
-        return await self._loop.run_in_executor(
-            self._ensure_eval_pool(),
-            lambda: evaluate_records(
-                batch.engine, records, batch.kind, batch.spans
-            ),
-        )
-
-    def _ready_worker_pool(self) -> WorkerPool | None:
-        """The worker pool if it should serve this batch; degraded-mode
+    def _ready_backend(self) -> ExecutorBackend:
+        """The backend that should serve this batch; degraded-mode
         bookkeeping (including timed revival probes) lives here."""
-        pool = self._worker_pool
-        if pool is None:
-            return None
-        if not self._degraded:
-            return pool
+        backend = self._backend
+        assert backend is not None, "Dispatcher.start() was never awaited"
+        if backend is self._fallback or not self._degraded:
+            return backend
         if (
             self._degraded_at is not None
             and time.monotonic() - self._degraded_at
             >= self.config.degraded_reset
         ):
             try:
-                pool.revive()
+                backend.revive()
             except RuntimeError:
-                return None  # already shut down
+                return self._fallback_backend()  # already shut down
             self._degraded = False
             self._degraded_at = None
             self.metrics.gauge("repro_degraded", 0)
-            _LOGGER.warning("degraded period over; probing the worker pool")
-            return pool
-        return None
+            _LOGGER.warning("degraded period over; probing the %s backend", backend.name)
+            return backend
+        return self._fallback_backend()
 
     def _enter_degraded(self) -> None:
         if self._degraded:
@@ -503,33 +529,40 @@ class Dispatcher:
         self._degraded_at = time.monotonic()
         self.metrics.gauge("repro_degraded", 1)
         _LOGGER.warning(
-            "worker pool exhausted its rebuild budget; serving on "
-            "in-process threads (degraded) for %.3gs",
+            "%s backend broken; serving on in-process threads (degraded) "
+            "for %.3gs",
+            self._backend.name if self._backend is not None else "primary",
             self.config.degraded_reset,
         )
 
     async def _run_batch(self, batch: _Batch, items: list) -> None:
         records = [(doc_id, text) for doc_id, text, _ in items]
         try:
-            pool = self._ready_worker_pool()
-            if pool is not None:
-                try:
-                    triples = await asyncio.wrap_future(
-                        pool.submit(
-                            batch.engine,
-                            records,
-                            kind=batch.kind,
-                            spans=batch.spans,
-                        )
+            backend = self._ready_backend()
+            try:
+                triples = await asyncio.wrap_future(
+                    backend.submit(
+                        batch.engine,
+                        records,
+                        kind=batch.kind,
+                        spans=batch.spans,
                     )
-                except PoolBroken:
-                    # Graceful degradation: answer this batch (and the
-                    # next ones, until the reset window passes) on the
-                    # in-process thread executor instead of failing it.
-                    self._enter_degraded()
-                    triples = await self._run_inline(batch, records)
-            else:
-                triples = await self._run_inline(batch, records)
+                )
+            except PoolBroken:
+                # Graceful degradation: answer this batch (and the
+                # next ones, until the reset window passes) on the
+                # in-process thread executor instead of failing it.
+                if backend is self._fallback:
+                    raise
+                self._enter_degraded()
+                triples = await asyncio.wrap_future(
+                    self._fallback_backend().submit(
+                        batch.engine,
+                        records,
+                        kind=batch.kind,
+                        spans=batch.spans,
+                    )
+                )
             # Results come back in submission order.  Document ids are
             # only unique *within* one request — a batch spans many — so
             # matching must be positional, never by id.
@@ -558,16 +591,18 @@ class Dispatcher:
         totals: dict[str, int] = {}
         if self.artifacts is not None:
             totals.update(self.artifacts.counters())
-        if self._worker_pool is not None:
-            for key, value in self._worker_pool.stats()["artifacts"].items():
+        pool = self.worker_pool
+        if pool is not None:
+            for key, value in pool.stats()["artifacts"].items():
                 totals[key] = totals.get(key, 0) + value
         return totals
 
     def shm_counters(self) -> dict[str, int]:
         """The pool's shared-memory counters (publish and attach side)."""
-        if self._worker_pool is None:
+        pool = self.worker_pool
+        if pool is None:
             return {}
-        return dict(self._worker_pool.stats().get("shm", {}))
+        return dict(pool.stats().get("shm", {}))
 
     def publish_artifact_metrics(self) -> None:
         """Refresh the ``repro_artifact_*`` / ``repro_shm_*`` gauges."""
@@ -598,8 +633,9 @@ class Dispatcher:
             "degraded": self._degraded,
             "breakers": self.breaker_states(),
         }
-        if self._worker_pool is not None:
-            stats["pool"] = self._worker_pool.resilience()
+        pool = self.worker_pool
+        if pool is not None:
+            stats["pool"] = pool.resilience()
         return stats
 
     def publish_resilience_metrics(self) -> None:
@@ -609,8 +645,9 @@ class Dispatcher:
         up by deltas — so each publication increments by the growth
         since the last one.
         """
-        if self._worker_pool is not None:
-            resilience = self._worker_pool.resilience()
+        pool = self.worker_pool
+        if pool is not None:
+            resilience = pool.resilience()
             for metric, key in (
                 ("repro_worker_restarts_total", "restarts"),
                 ("repro_task_retries_total", "retries"),
@@ -636,9 +673,12 @@ class Dispatcher:
             "naive": self.config.naive,
             "resilience": self.resilience_stats(),
         }
-        if self.artifacts is not None or self._worker_pool is not None:
+        if self._backend is not None:
+            snapshot["backend"] = self._backend.name
+        pool = self.worker_pool
+        if self.artifacts is not None or pool is not None:
             snapshot["artifacts"] = self.artifact_counters()
-        if self._worker_pool is not None:
+        if pool is not None:
             snapshot["shm"] = self.shm_counters()
-            snapshot["worker_stats"] = self._worker_pool.stats()
+            snapshot["worker_stats"] = pool.stats()
         return snapshot

@@ -13,6 +13,11 @@ sharded, error-isolated corpus evaluation with a worker pool
 
 import warnings as _warnings
 
+from repro.service.backend import (
+    ExecutorBackend,
+    ProcessBackend,
+    ThreadBackend,
+)
 from repro.service.cache import (
     DEFAULT_CACHE,
     SpannerCache,
@@ -52,9 +57,12 @@ __all__ = [
     "CorpusResult",
     "DEFAULT_CACHE",
     "DirectoryCorpus",
+    "ExecutorBackend",
     "GeneratorCorpus",
     "InMemoryCorpus",
     "PoolBroken",
+    "ProcessBackend",
+    "ThreadBackend",
     "QuerySet",
     "QuerySetResult",
     "RetryPolicy",

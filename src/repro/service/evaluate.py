@@ -903,11 +903,19 @@ def _parallel(
     on_worker_stats=None,
     task_timeout: "float | None" = None,
     pool: "WorkerPool | None" = None,
+    backend=None,
 ) -> Iterator[CorpusResult]:
     kind = "extract" if decode else "mappings"
-    owned = pool is None
-    if owned:
-        pool = WorkerPool(workers, task_timeout=task_timeout)
+    # Local import: repro.service.backend imports this module.
+    from repro.service.backend import ProcessBackend
+
+    owned = backend is None and pool is None
+    if backend is None:
+        backend = (
+            ProcessBackend(pool=pool)
+            if pool is not None
+            else ProcessBackend(workers, task_timeout=task_timeout)
+        )
     degraded = False
     # ``(future, chunk)`` in flight; a ``None`` future marks a chunk that
     # will be evaluated in-process (degraded mode) when its turn comes —
@@ -930,7 +938,10 @@ def _parallel(
         if not degraded:
             try:
                 pending.append(
-                    (pool.submit(engine, chunk, kind=kind, spans=spans), chunk)
+                    (
+                        backend.submit(engine, chunk, kind=kind, spans=spans),
+                        chunk,
+                    )
                 )
                 return True
             except PoolBroken:
@@ -939,7 +950,7 @@ def _parallel(
         return True
 
     try:
-        backlog = pool.workers * _BACKLOG_PER_WORKER
+        backlog = max(1, backend.parallelism) * _BACKLOG_PER_WORKER
         for _ in range(backlog):
             if not submit_next():
                 break
@@ -984,10 +995,10 @@ def _parallel(
             for doc_id, payload, problem in future.result():
                 yield CorpusResult(doc_id, payload, problem)
         if on_worker_stats is not None:
-            on_worker_stats(pool.stats(engine.fingerprint))
+            on_worker_stats(backend.stats(engine.fingerprint))
     finally:
         if owned:
-            pool.shutdown()
+            backend.close()
 
 
 def evaluate_corpus(
@@ -1000,6 +1011,7 @@ def evaluate_corpus(
     on_worker_stats=None,
     task_timeout: "float | None" = None,
     pool: "WorkerPool | None" = None,
+    backend=None,
     _decode: bool = False,
     _spans: bool = False,
 ) -> Iterator[CorpusResult]:
@@ -1025,7 +1037,10 @@ def evaluate_corpus(
     exhausts its rebuild budget the remaining documents are evaluated
     in-process — the result stream is identical either way.  ``pool``
     reuses a caller-owned :class:`WorkerPool` (and forces the parallel
-    path) instead of spawning one per call.
+    path) instead of spawning one per call; ``backend`` generalises that
+    to any caller-owned :class:`~repro.service.backend.ExecutorBackend`
+    (threads, processes, or a cluster of remote nodes — never closed by
+    this function).
 
     >>> [r.doc_id for r in evaluate_corpus("x{a}", {"one": "a", "two": "b"})]
     ['one', 'two']
@@ -1040,11 +1055,13 @@ def evaluate_corpus(
     # at the first iteration of the returned generator.
     if workers < 1:
         raise ValueError("workers must be at least 1")
+    if pool is not None and backend is not None:
+        raise ValueError("pass at most one of pool= and backend=")
     engine = cached_spanner(spanner)
     records = _unique_records(as_corpus(corpus))
 
     def stream() -> Iterator[CorpusResult]:
-        if workers == 1 and pool is None:
+        if workers == 1 and pool is None and backend is None:
             yield from _serial(engine, records, _decode, _spans)
             return
         chunks = _chunked(records, chunk_size or DEFAULT_CHUNK_SIZE)
@@ -1058,6 +1075,7 @@ def evaluate_corpus(
             on_worker_stats,
             task_timeout,
             pool,
+            backend,
         )
 
     return stream()
@@ -1074,6 +1092,7 @@ def extract_corpus(
     on_worker_stats=None,
     task_timeout: "float | None" = None,
     pool: "WorkerPool | None" = None,
+    backend=None,
 ) -> Iterator[CorpusResult]:
     """Like :func:`evaluate_corpus`, but with *decoded* per-document results.
 
@@ -1095,6 +1114,7 @@ def extract_corpus(
         on_worker_stats=on_worker_stats,
         task_timeout=task_timeout,
         pool=pool,
+        backend=backend,
         _decode=True,
         _spans=spans,
     )

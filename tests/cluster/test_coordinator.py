@@ -1,0 +1,203 @@
+"""Coordinator + worker-node integration over real sockets.
+
+One CoordinatorThread per scenario (short heartbeats so eviction paths
+run in test time), worker nodes as in-process WorkerNodeThreads, and the
+plain ServerClient speaking both the data plane and the control plane.
+"""
+
+import time
+
+import pytest
+
+from repro.cluster import (
+    CoordinatorConfig,
+    CoordinatorThread,
+    NodeRegistry,
+    WorkerNodeThread,
+)
+from repro.server import ServerClient, ServerResponseError
+
+
+def _config(**overrides) -> CoordinatorConfig:
+    settings = dict(port=0, heartbeat_interval=0.2, heartbeat_timeout=0.6)
+    settings.update(overrides)
+    return CoordinatorConfig(**settings)
+
+
+def _wait(predicate, timeout=10.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+def test_control_plane_register_heartbeat_evict_reregister():
+    with CoordinatorThread(_config()) as coordinator:
+        client = ServerClient(*coordinator.address)
+        try:
+            reply = client.post_json(
+                "/register",
+                {"url": "http://127.0.0.1:59999", "fingerprints": ["fp"]},
+            )
+            node_id = reply["node_id"]
+            assert node_id == NodeRegistry.stable_node_id(
+                "http://127.0.0.1:59999"
+            )
+            assert reply["heartbeat_interval"] == pytest.approx(0.2)
+
+            assert client.post_json(
+                "/heartbeat", {"node_id": node_id}
+            ) == {"status": "ok"}
+
+            # Stop beating: the reaper evicts after the timeout, and the
+            # next heartbeat is told to re-register.
+            _wait(
+                lambda: len(coordinator.coordinator.registry) == 0,
+                message="stale node eviction",
+            )
+            with pytest.raises(ServerResponseError) as caught:
+                client.post_json("/heartbeat", {"node_id": node_id})
+            assert caught.value.status == 404
+
+            again = client.post_json(
+                "/register",
+                {"url": "http://127.0.0.1:59999", "node_id": node_id},
+            )
+            assert again["node_id"] == node_id  # stable across eviction
+
+            health = client.healthz()
+            assert health["nodes"] == 1
+            assert health["cluster"]["evictions"] == 1
+            assert health["cluster"]["registrations"] == 2
+        finally:
+            client.close()
+
+
+def test_control_plane_validation_and_methods():
+    with CoordinatorThread(_config()) as coordinator:
+        client = ServerClient(*coordinator.address)
+        try:
+            for path, body in (
+                ("/register", {}),
+                ("/register", {"url": "not a url"}),
+                ("/heartbeat", {}),
+                ("/leave", {"node_id": ""}),
+            ):
+                with pytest.raises(ServerResponseError) as caught:
+                    client.post_json(path, body)
+                assert caught.value.status == 400
+            status, _ = client.request_raw("GET", "/register")
+            assert status == 405
+            # Leaving twice is idempotent, not an error.
+            reply = client.post_json("/leave", {"node_id": "node-unknown"})
+            assert reply == {"known": False, "status": "ok"}
+        finally:
+            client.close()
+
+
+def test_requests_route_to_worker_nodes_and_warm_affinity():
+    with CoordinatorThread(_config()) as coordinator:
+        with WorkerNodeThread(coordinator.url, interval=0.2) as node:
+            assert node.agent.wait_registered(10.0)
+            client = ServerClient(*coordinator.address)
+            try:
+                first = client.enumerate(".*x{a+}.*", ["baa"])
+                second = client.enumerate(".*x{a+}.*", ["aaa"])
+            finally:
+                client.close()
+            assert first["results"][0]["mappings"] == [
+                {"x": "a"},
+                {"x": "aa"},
+                {"x": "a"},
+            ]
+            assert second["results"][0]["error"] is None
+            # The batches ran on the node, not in the coordinator…
+            assert node.server.dispatcher.cache.stats()["misses"] >= 1
+            stats = coordinator.coordinator.cluster.stats()
+            assert stats["remote_batches"] >= 2
+            assert stats["local_batches"] == 0
+            # …and the second batch hit the warm-affinity route.
+            assert stats["warm_hits"] >= 1
+
+
+def test_empty_cluster_degrades_to_local_execution():
+    with CoordinatorThread(_config()) as coordinator:
+        client = ServerClient(*coordinator.address)
+        try:
+            reply = client.evaluate("x{a}b", ["ab", "zz"])
+            health = client.healthz()
+        finally:
+            client.close()
+        assert [r["matches"] for r in reply["results"]] == [True, False]
+        assert health["nodes"] == 0
+        assert health["status"] == "ok"  # degraded-not-failed
+        assert coordinator.coordinator.cluster.stats()["local_batches"] >= 1
+
+
+def test_healthz_reports_version_uptime_and_topology():
+    from repro import __version__
+
+    with CoordinatorThread(_config()) as coordinator:
+        with WorkerNodeThread(coordinator.url, interval=0.2) as node:
+            assert node.agent.wait_registered(10.0)
+            node_url = node.url
+            client = ServerClient(*coordinator.address)
+            try:
+                health = client.healthz()
+            finally:
+                client.close()
+    assert health["version"] == __version__
+    assert health["uptime_seconds"] >= 0
+    assert health["nodes"] == 1
+    (record,) = health["cluster"]["nodes"]
+    assert record["url"] == node_url
+    assert "stats" in record
+
+
+def test_worker_node_advertises_warm_fingerprints():
+    with CoordinatorThread(_config()) as coordinator:
+        with WorkerNodeThread(coordinator.url, interval=0.1) as node:
+            assert node.agent.wait_registered(10.0)
+            client = ServerClient(*coordinator.address)
+            try:
+                client.enumerate(".*x{a+}.*", ["baa"])
+                registry = coordinator.coordinator.registry
+
+                def advertised():
+                    nodes = registry.nodes()
+                    return bool(nodes) and len(nodes[0].fingerprints) >= 1
+
+                # The next heartbeat carries the engine the batch warmed.
+                _wait(advertised, message="fingerprint advertisement")
+            finally:
+                client.close()
+
+
+def test_metrics_exposition_includes_cluster_series():
+    with CoordinatorThread(_config()) as coordinator:
+        with WorkerNodeThread(coordinator.url, interval=0.2) as node:
+            assert node.agent.wait_registered(10.0)
+            client = ServerClient(*coordinator.address)
+            try:
+                client.enumerate("x{a}", ["a"])
+                text = client.metrics_text()
+            finally:
+                client.close()
+    assert "repro_cluster_nodes 1" in text
+    assert "repro_cluster_registrations_total" in text
+    assert "repro_cluster_remote_batches_total" in text
+    assert 'repro_cluster_node_batches{node="' in text
+
+
+def test_leave_empties_the_topology():
+    with CoordinatorThread(_config()) as coordinator:
+        with WorkerNodeThread(coordinator.url, interval=0.2) as node:
+            assert node.agent.wait_registered(10.0)
+        # Context exit stopped the agent, which POSTs /leave.
+        _wait(
+            lambda: len(coordinator.coordinator.registry) == 0,
+            message="node leave",
+        )
+        assert coordinator.coordinator.registry.counters()["leaves"] == 1

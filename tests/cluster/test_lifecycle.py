@@ -1,0 +1,165 @@
+"""Chaos acceptance: kill a rack node mid-corpus, results stay identical.
+
+Worker nodes run as real ``repro worker`` subprocesses (so SIGKILL kills
+a whole process tree the way an operator's machine would fail), the
+coordinator runs in-process so the test can read its registry and
+counters directly.  Corpus size scales with ``REPRO_CHAOS_DOCS``.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.cluster import CoordinatorConfig, CoordinatorThread
+from repro.server import ServerClient, ServerConfig, ServerThread
+
+from tests.conftest import chaos_docs
+
+pytestmark = pytest.mark.chaos
+
+
+def _pattern_docs():
+    count = max(40, chaos_docs() // 2)
+    docs = [
+        (f"doc-{index:05d}", ("ab" * (index % 7)) + "aaa" + ("ba" * (index % 5)))
+        for index in range(count)
+    ]
+    return ".*x{a+}.*", docs
+
+
+def _spawn_worker(join_url: str) -> subprocess.Popen:
+    source_root = os.path.dirname(os.path.dirname(repro.__file__))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = source_root + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "worker",
+            "--join",
+            join_url,
+            "--port",
+            "0",
+        ],
+        env=env,
+        stderr=subprocess.PIPE,
+        stdout=subprocess.DEVNULL,
+    )
+    # The banner line doubles as the "server is listening" barrier.
+    banner = process.stderr.readline().decode()
+    assert "repro worker: serving" in banner, banner
+    return process
+
+
+def _wait_nodes(coordinator, expected: int, timeout: float = 20.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if len(coordinator.coordinator.registry) == expected:
+            return
+        time.sleep(0.05)
+    raise AssertionError(
+        f"expected {expected} registered nodes, "
+        f"have {len(coordinator.coordinator.registry)}"
+    )
+
+
+def _config() -> CoordinatorConfig:
+    return CoordinatorConfig(
+        port=0,
+        heartbeat_interval=0.2,
+        heartbeat_timeout=0.6,
+        node_timeout=10.0,
+    )
+
+
+def test_sigkill_mid_corpus_keeps_output_byte_identical():
+    pattern, docs = _pattern_docs()
+
+    # The ground truth: the same corpus through a plain single server.
+    with ServerThread(ServerConfig(port=0)) as single:
+        client = ServerClient(*single.address)
+        try:
+            baseline = client.enumerate_ndjson(pattern, docs)
+        finally:
+            client.close()
+
+    with CoordinatorThread(_config()) as coordinator:
+        workers = [_spawn_worker(coordinator.url) for _ in range(3)]
+        try:
+            _wait_nodes(coordinator, 3)
+            client = ServerClient(*coordinator.address, timeout=60.0)
+            try:
+                # SIGKILL one node as soon as the corpus is in flight.
+                killer_fired = []
+
+                def documents():
+                    for position, pair in enumerate(docs):
+                        if position == len(docs) // 4 and not killer_fired:
+                            os.kill(workers[0].pid, signal.SIGKILL)
+                            killer_fired.append(True)
+                        yield pair
+
+                lines = client.enumerate_ndjson(pattern, documents())
+            finally:
+                client.close()
+            assert killer_fired, "the kill never fired"
+            assert lines == baseline
+
+            stats = coordinator.coordinator.cluster.stats()
+            counters = coordinator.coordinator.registry.counters()
+            metrics = coordinator.coordinator.metrics
+            # Batches in flight on the killed node were requeued (or the
+            # node died between batches and was reaped by heartbeat
+            # timeout — either way it is gone and nothing was lost).
+            assert len(coordinator.coordinator.registry) == 2
+            assert counters["evictions"] >= 1
+            assert (
+                stats["requeues"] >= 1
+                or metrics.value("repro_cluster_evictions_total") >= 1
+            )
+            assert stats["remote_batches"] >= 1
+        finally:
+            for process in workers:
+                if process.poll() is None:
+                    process.send_signal(signal.SIGTERM)
+            for process in workers:
+                try:
+                    process.wait(timeout=20)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+                    process.wait(timeout=5)
+                if process.stderr is not None:
+                    process.stderr.close()
+
+
+def test_all_nodes_dead_degrades_to_local_completion():
+    pattern, docs = _pattern_docs()
+    docs = docs[:40]
+    with CoordinatorThread(_config()) as coordinator:
+        worker = _spawn_worker(coordinator.url)
+        try:
+            _wait_nodes(coordinator, 1)
+            os.kill(worker.pid, signal.SIGKILL)
+            client = ServerClient(*coordinator.address, timeout=60.0)
+            try:
+                lines = client.enumerate_ndjson(pattern, docs)
+                health = client.healthz()
+            finally:
+                client.close()
+        finally:
+            worker.wait(timeout=20)
+            if worker.stderr is not None:
+                worker.stderr.close()
+        assert [json.loads(json.dumps(line))["error"] for line in lines] == [
+            None
+        ] * len(docs)
+        assert health["status"] == "ok"  # degraded, never failed
+        assert health["nodes"] == 0
+        assert coordinator.coordinator.cluster.stats()["local_batches"] >= 1

@@ -1,0 +1,139 @@
+"""NodeRegistry unit tests on a fake clock (fully deterministic)."""
+
+import pytest
+
+from repro.cluster.registry import NodeRegistry
+
+URL_A = "http://127.0.0.1:9001"
+URL_B = "http://127.0.0.1:9002"
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def registry(clock):
+    return NodeRegistry(
+        heartbeat_interval=1.0, heartbeat_timeout=3.0, clock=clock
+    )
+
+
+def test_node_id_is_a_stable_digest_of_the_url():
+    first = NodeRegistry.stable_node_id(URL_A)
+    assert first == NodeRegistry.stable_node_id(URL_A)
+    assert first != NodeRegistry.stable_node_id(URL_B)
+    assert first.startswith("node-")
+
+
+def test_register_heartbeat_evict_reregister_cycle(registry, clock):
+    record = registry.register(URL_A, fingerprints=["fp1"])
+    node_id = record.node_id
+
+    clock.advance(1.0)
+    assert registry.heartbeat(node_id, fingerprints=["fp1", "fp2"])
+    assert registry.nodes()[0].fingerprints == {"fp1", "fp2"}
+
+    # Silence past the timeout: the node is reaped.
+    clock.advance(3.5)
+    evicted = registry.evict_stale()
+    assert [r.node_id for r in evicted] == [node_id]
+    assert len(registry) == 0
+    assert not registry.heartbeat(node_id)  # unknown now: must re-register
+
+    # Re-registration from the same URL keeps the stable id.
+    again = registry.register(URL_A)
+    assert again.node_id == node_id
+    assert registry.counters()["evictions"] == 1
+    assert registry.counters()["registrations"] == 2
+
+
+def test_heartbeat_within_timeout_is_not_evicted(registry, clock):
+    registry.register(URL_A)
+    clock.advance(2.0)
+    assert registry.heartbeat(NodeRegistry.stable_node_id(URL_A))
+    clock.advance(2.0)
+    assert registry.evict_stale() == []
+    assert len(registry) == 1
+
+
+def test_acquire_prefers_warm_then_balances(registry):
+    a = registry.register(URL_A, fingerprints=["warm"])
+    b = registry.register(URL_B)
+
+    # Equal load: the warm node wins the tie.
+    leased, warm = registry.acquire("warm")
+    assert (leased.node_id, warm) == (a.node_id, True)
+
+    # Now A carries one inflight batch: load balancing beats affinity.
+    leased2, warm2 = registry.acquire("warm")
+    assert (leased2.node_id, warm2) == (b.node_id, False)
+
+    # A successful release teaches the registry that B is warm too.
+    registry.release(b.node_id, ok=True, fingerprint="warm")
+    registry.release(a.node_id, ok=True, fingerprint="warm")
+    leased3, warm3 = registry.acquire("warm")
+    assert warm3 is True
+
+
+def test_acquire_skips_open_breakers(registry):
+    registry.register(URL_A)
+    registry.register(URL_B)
+    a_id = NodeRegistry.stable_node_id(URL_A)
+    # Two straight failures open A's breaker.
+    for _ in range(2):
+        registry.acquire(None)
+        registry.release(a_id, ok=False)
+    chosen = {registry.acquire(None)[0].node_id for _ in range(3)}
+    for node_id in chosen:
+        registry.release(node_id, ok=True)
+    assert chosen == {NodeRegistry.stable_node_id(URL_B)}
+
+
+def test_acquire_empty_and_all_open_returns_none(registry):
+    assert registry.acquire("fp") is None
+    registry.register(URL_A)
+    a_id = NodeRegistry.stable_node_id(URL_A)
+    for _ in range(2):
+        registry.acquire(None)
+        registry.release(a_id, ok=False)
+    assert registry.acquire("fp") is None
+
+
+def test_leave_and_release_after_eviction_are_safe(registry):
+    record = registry.register(URL_A)
+    leased, _ = registry.acquire(None)
+    assert registry.leave(record.node_id) is not None
+    # The batch was in flight while the node left; release is a no-op.
+    registry.release(leased.node_id, ok=True, fingerprint="fp")
+    assert registry.leave(record.node_id) is None
+    assert registry.counters()["leaves"] == 1
+
+
+def test_describe_is_json_shaped(registry):
+    registry.register(URL_A, fingerprints=["fp"], stats={"workers": 2})
+    described = registry.describe()
+    assert described["registrations"] == 1
+    (node,) = described["nodes"]
+    assert node["url"] == URL_A
+    assert node["fingerprints"] == 1
+    assert node["stats"] == {"workers": 2}
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="positive"):
+        NodeRegistry(heartbeat_interval=0)
+    with pytest.raises(ValueError, match="exceed"):
+        NodeRegistry(heartbeat_interval=2.0, heartbeat_timeout=1.0)

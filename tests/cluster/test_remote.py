@@ -1,0 +1,113 @@
+"""NodeClient/RemoteBackend against a live in-process server.
+
+The contract under test: remote execution returns *structurally
+identical* triples to :func:`~repro.service.evaluate.evaluate_records`
+run locally — same payload types (``Mapping``/``Span``/``dict``/``bool``),
+same order, same errors.
+"""
+
+import pytest
+
+from repro.cluster.remote import (
+    NodeClient,
+    RemoteBackend,
+    RemoteRejected,
+    RemoteUnavailable,
+    remote_spec,
+)
+from repro.engine.compiled import compile_spanner
+from repro.rgx import parse
+from repro.server import ServerConfig, ServerThread
+from repro.service.evaluate import evaluate_records
+
+DOCS = ["baa", "aaa", "", "bb", "aba"]
+RECORDS = [(f"d{i}", text) for i, text in enumerate(DOCS)]
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServerThread(ServerConfig(port=0)) as thread:
+        yield thread
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return compile_spanner(".*x{a+}.*")
+
+
+def _url(server) -> str:
+    host, port = server.address
+    return f"http://{host}:{port}"
+
+
+def test_remote_spec_roundtrip(engine):
+    spec = remote_spec(engine)
+    assert spec == (".*x{a+}.*", engine.plan.opt_level)
+
+
+def test_remote_spec_none_for_ast_engine():
+    engine = compile_spanner(parse(".*x{a+}.*"))
+    assert remote_spec(engine) is None
+
+
+@pytest.mark.parametrize("kind", ["mappings", "extract", "matches"])
+def test_batch_matches_local_execution(server, engine, kind):
+    client = NodeClient(_url(server))
+    try:
+        triples = client.evaluate_batch(
+            remote_spec(engine), RECORDS, kind=kind
+        )
+    finally:
+        client.close()
+    assert triples == evaluate_records(engine, RECORDS, kind, False)
+
+
+def test_batch_extract_spans_matches_local(server, engine):
+    client = NodeClient(_url(server))
+    try:
+        triples = client.evaluate_batch(
+            remote_spec(engine), RECORDS, kind="extract", spans=True
+        )
+    finally:
+        client.close()
+    assert triples == evaluate_records(engine, RECORDS, "extract", True)
+
+
+def test_duplicate_doc_ids_survive_positional_remap(server, engine):
+    records = [("same", "baa"), ("same", "aaa"), ("other", "bb")]
+    client = NodeClient(_url(server))
+    try:
+        triples = client.evaluate_batch(
+            remote_spec(engine), records, kind="matches"
+        )
+    finally:
+        client.close()
+    assert triples == evaluate_records(engine, records, "matches", False)
+    assert [doc_id for doc_id, _, _ in triples] == ["same", "same", "other"]
+
+
+def test_unreachable_node_raises_unavailable(engine):
+    client = NodeClient("http://127.0.0.1:9", timeout=0.5)
+    try:
+        with pytest.raises(RemoteUnavailable):
+            client.evaluate_batch(remote_spec(engine), RECORDS, "matches")
+    finally:
+        client.close()
+
+
+def test_remote_backend_matches_local(server, engine):
+    with RemoteBackend(_url(server), threads=2) as backend:
+        future = backend.submit(engine, RECORDS, kind="mappings")
+        assert future.result() == evaluate_records(
+            engine, RECORDS, "mappings", False
+        )
+        stats = backend.stats()
+    assert stats["backend"] == "remote"
+    assert stats["batches"] == 1
+
+
+def test_remote_backend_rejects_sourceless_engine(server):
+    sourceless = compile_spanner(parse("x{a}"))
+    with RemoteBackend(_url(server)) as backend:
+        with pytest.raises(RemoteRejected):
+            backend.submit(sourceless, RECORDS, kind="matches").result()

@@ -1,0 +1,156 @@
+"""ServerClient's typed Retry-After handling (422/429 refusals).
+
+A scripted raw-socket stub plays the server side so the tests control
+exactly which status and headers come back, without having to force a
+real server into overload.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.server import RetryLaterError, ServerClient, ServerResponseError
+
+
+class ScriptedServer:
+    """Answers one scripted response per connection, then closes it."""
+
+    def __init__(self, responses: list[bytes]) -> None:
+        self._responses = list(responses)
+        self.requests: list[bytes] = []
+        self._listener = socket.socket()
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen()
+        self.address = self._listener.getsockname()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+
+    def __enter__(self) -> "ScriptedServer":
+        self._thread.start()
+        return self
+
+    def _serve(self) -> None:
+        for response in self._responses:
+            try:
+                connection, _ = self._listener.accept()
+            except OSError:
+                return
+            with connection:
+                chunks = b""
+                while b"\r\n\r\n" not in chunks:
+                    data = connection.recv(65536)
+                    if not data:
+                        break
+                    chunks += data
+                head, _, rest = chunks.partition(b"\r\n\r\n")
+                length = 0
+                for line in head.split(b"\r\n"):
+                    if line.lower().startswith(b"content-length:"):
+                        length = int(line.split(b":", 1)[1])
+                while len(rest) < length:
+                    rest += connection.recv(65536)
+                self.requests.append(head + b"\r\n\r\n" + rest)
+                connection.sendall(response)
+
+    def __exit__(self, *exc_info) -> None:
+        self._listener.close()
+        self._thread.join(timeout=5.0)
+
+
+def _response(
+    status: int, reason: str, payload: dict, *headers: str
+) -> bytes:
+    body = json.dumps(payload).encode()
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+        *headers,
+    ]
+    return ("\r\n".join(lines) + "\r\n\r\n").encode() + body
+
+
+SHED = _response(
+    429, "Too Many Requests", {"error": "queue full"}, "Retry-After: 0.05"
+)
+BREAKER = _response(
+    422,
+    "Unprocessable Entity",
+    {"error": "circuit breaker open"},
+    "Retry-After: 2",
+)
+OK = _response(200, "OK", {"pattern": "x{a}", "results": []})
+
+
+def test_429_with_hint_raises_typed_error():
+    with ScriptedServer([SHED]) as server:
+        client = ServerClient(*server.address)
+        try:
+            with pytest.raises(RetryLaterError) as caught:
+                client.evaluate("x{a}", ["a"])
+        finally:
+            client.close()
+    assert caught.value.status == 429
+    assert caught.value.retry_after == pytest.approx(0.05)
+    # The typed error still is a ServerResponseError for old callers.
+    assert isinstance(caught.value, ServerResponseError)
+
+
+def test_422_with_hint_raises_typed_error():
+    with ScriptedServer([BREAKER]) as server:
+        client = ServerClient(*server.address)
+        try:
+            with pytest.raises(RetryLaterError) as caught:
+                client.enumerate("x{a}", ["a"])
+        finally:
+            client.close()
+    assert caught.value.status == 422
+    assert caught.value.retry_after == pytest.approx(2.0)
+
+
+def test_4xx_without_hint_stays_plain():
+    with ScriptedServer(
+        [_response(400, "Bad Request", {"error": "bad pattern"})]
+    ) as server:
+        client = ServerClient(*server.address)
+        try:
+            with pytest.raises(ServerResponseError) as caught:
+                client.evaluate("x{a}", ["a"])
+        finally:
+            client.close()
+    assert caught.value.status == 400
+    assert not isinstance(caught.value, RetryLaterError)
+
+
+def test_retries_honour_the_hint_and_resend():
+    with ScriptedServer([SHED, SHED, OK]) as server:
+        client = ServerClient(*server.address, retries=3)
+        try:
+            reply = client.evaluate("x{a}", ["a"])
+        finally:
+            client.close()
+        assert reply == {"pattern": "x{a}", "results": []}
+        assert len(server.requests) == 3
+
+
+def test_retry_budget_exhausted_reraises():
+    with ScriptedServer([SHED, SHED]) as server:
+        client = ServerClient(*server.address, retries=1)
+        try:
+            with pytest.raises(RetryLaterError):
+                client.evaluate("x{a}", ["a"])
+        finally:
+            client.close()
+        assert len(server.requests) == 2
+
+
+def test_ndjson_path_raises_typed_error():
+    with ScriptedServer([SHED]) as server:
+        client = ServerClient(*server.address)
+        try:
+            with pytest.raises(RetryLaterError):
+                client.enumerate_ndjson("x{a}", ["a"])
+        finally:
+            client.close()

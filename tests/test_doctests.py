@@ -8,6 +8,10 @@ import repro
 import repro.algebra
 import repro.api
 import repro.automata.fingerprint
+import repro.cluster
+import repro.cluster.node
+import repro.cluster.protocol
+import repro.cluster.registry
 import repro.engine.compiled
 import repro.engine.kernel
 import repro.engine.oracle
@@ -21,6 +25,7 @@ import repro.server.client
 import repro.server.metrics
 import repro.server.protocol
 import repro.service
+import repro.service.backend
 import repro.service.cache
 import repro.service.corpus
 import repro.service.evaluate
@@ -36,6 +41,10 @@ MODULES = [
     repro.algebra,
     repro.api,
     repro.automata.fingerprint,
+    repro.cluster,
+    repro.cluster.node,
+    repro.cluster.protocol,
+    repro.cluster.registry,
     repro.engine.compiled,
     repro.engine.kernel,
     repro.engine.oracle,
@@ -49,6 +58,7 @@ MODULES = [
     repro.server.metrics,
     repro.server.protocol,
     repro.service,
+    repro.service.backend,
     repro.service.cache,
     repro.service.corpus,
     repro.service.evaluate,

@@ -1,0 +1,208 @@
+"""Cluster smoke for the distributed serving tier, as an operator runs it.
+
+Starts ``repro coordinate`` plus worker subprocesses joined to it, then
+drives the topology through the failure the cluster exists to survive:
+
+1. **baseline** — the corpus through a plain single ``repro serve``
+   process records the ground-truth NDJSON bytes;
+2. **cluster** — the same corpus through the coordinator with three
+   rack nodes, ``kill -9`` on one node while the corpus is in flight:
+   the stream must come back **byte-identical**, ``/metrics`` must show
+   at least one requeue or eviction, and ``/healthz`` must list exactly
+   the two surviving nodes;
+3. **all dead** — the remaining nodes are SIGKILLed too; a fresh small
+   job must still complete (local degradation), with ``/healthz`` at
+   ``status ok`` and ``nodes 0``.
+
+Exits non-zero on any violation — CI's cluster-smoke job runs this
+script directly::
+
+    python tools/cluster_smoke.py
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+from repro.cluster.protocol import split_url
+from repro.server import ServerClient
+
+PATTERN = ".*x{a+}.*"
+DOCUMENTS = [
+    (f"doc-{index:05d}", ("ab" * (index % 9)) + "aaa" + ("ba" * (index % 7)))
+    for index in range(400)
+]
+WORKERS = 3
+
+_BANNER = re.compile(r"https?://([0-9.]+):([0-9]+)")
+
+
+def _spawn(arguments: list[str], banner_token: str) -> tuple[subprocess.Popen, str]:
+    """Start a repro subprocess, wait for its banner, return its URL."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", *arguments],
+        stderr=subprocess.PIPE,
+        stdout=subprocess.DEVNULL,
+    )
+    banner = process.stderr.readline().decode()
+    if banner_token not in banner:
+        process.kill()
+        raise AssertionError(f"unexpected banner: {banner!r}")
+    matched = _BANNER.search(banner)
+    assert matched, f"no address in banner: {banner!r}"
+    return process, f"http://{matched.group(1)}:{matched.group(2)}"
+
+
+def _client(url: str, **kwargs) -> ServerClient:
+    host, port = split_url(url)
+    return ServerClient(host, port, **kwargs)
+
+
+def _wait_nodes(url: str, expected: int, timeout: float = 30.0) -> dict:
+    deadline = time.monotonic() + timeout
+    client = _client(url)
+    try:
+        while time.monotonic() < deadline:
+            health = client.healthz()
+            if health["nodes"] == expected:
+                return health
+            time.sleep(0.1)
+    finally:
+        client.close()
+    raise AssertionError(
+        f"coordinator never reached {expected} nodes (last: {health})"
+    )
+
+
+def _reap(process: subprocess.Popen, timeout: float = 30.0) -> int:
+    if process.poll() is None:
+        process.send_signal(signal.SIGTERM)
+    try:
+        code = process.wait(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        code = process.wait(timeout=10)
+    if process.stderr is not None:
+        process.stderr.close()
+    return code
+
+
+def main() -> int:
+    # 1. Ground truth from a plain single-host server.
+    single, single_url = _spawn(
+        ["serve", "--port", "0", "--workers", "0"], "listening on"
+    )
+    try:
+        client = _client(single_url, timeout=120.0)
+        try:
+            baseline = client.enumerate_ndjson(PATTERN, DOCUMENTS)
+        finally:
+            client.close()
+    finally:
+        if _reap(single) != 0:
+            print("FAIL: baseline server exited non-zero", file=sys.stderr)
+            return 1
+    print(f"baseline: {len(baseline)} NDJSON lines from a single host")
+
+    # 2. The cluster, with one node murdered mid-corpus.
+    coordinator, coordinator_url = _spawn(
+        [
+            "coordinate",
+            "--port",
+            "0",
+            "--heartbeat-interval",
+            "0.2",
+            "--heartbeat-timeout",
+            "0.6",
+        ],
+        "listening on",
+    )
+    workers = []
+    try:
+        for _ in range(WORKERS):
+            workers.append(
+                _spawn(
+                    ["worker", "--join", coordinator_url, "--port", "0"],
+                    "serving",
+                )[0]
+            )
+        _wait_nodes(coordinator_url, WORKERS)
+        print(f"cluster: {WORKERS} nodes registered at {coordinator_url}")
+
+        victim = workers[0]
+        fired = []
+
+        def corpus():
+            for position, pair in enumerate(DOCUMENTS):
+                if position == len(DOCUMENTS) // 4 and not fired:
+                    os.kill(victim.pid, signal.SIGKILL)
+                    fired.append(True)
+                    print(f"killed node pid={victim.pid} mid-corpus")
+                yield pair
+
+        client = _client(coordinator_url, timeout=120.0)
+        try:
+            lines = client.enumerate_ndjson(PATTERN, corpus())
+            metrics = client.metrics_text()
+            health = client.healthz()
+        finally:
+            client.close()
+
+        if lines != baseline:
+            print("FAIL: cluster output differs from baseline", file=sys.stderr)
+            return 1
+        print(f"cluster: {len(lines)} lines, byte-identical to baseline")
+
+        counters = {}
+        for line in metrics.splitlines():
+            if not line.startswith("#") and " " in line:
+                name, value = line.rsplit(" ", 1)
+                counters[name] = float(value)
+        requeues = counters.get("repro_cluster_requeues_total", 0)
+        evictions = counters.get("repro_cluster_evictions_total", 0)
+        if requeues < 1 and evictions < 1:
+            print(
+                f"FAIL: no requeue or eviction recorded "
+                f"(requeues={requeues}, evictions={evictions})",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"requeues={requeues:g} evictions={evictions:g}")
+
+        health = _wait_nodes(coordinator_url, WORKERS - 1)
+        survivors = {node["node_id"] for node in health["cluster"]["nodes"]}
+        print(f"healthz: surviving topology {sorted(survivors)}")
+
+        # 3. Kill the rest: the coordinator degrades to local execution.
+        for process in workers[1:]:
+            os.kill(process.pid, signal.SIGKILL)
+        _wait_nodes(coordinator_url, 0)
+        client = _client(coordinator_url, timeout=120.0)
+        try:
+            lines = client.enumerate_ndjson(PATTERN, DOCUMENTS[:25])
+            health = client.healthz()
+        finally:
+            client.close()
+        if lines != baseline[:25]:
+            print("FAIL: degraded output differs", file=sys.stderr)
+            return 1
+        if health["status"] != "ok" or health["nodes"] != 0:
+            print(f"FAIL: bad degraded healthz: {health}", file=sys.stderr)
+            return 1
+        print("all nodes dead: corpus still completes locally, status ok")
+    finally:
+        for process in workers:
+            _reap(process)
+        code = _reap(coordinator)
+    if code != 0:
+        print(f"FAIL: coordinator drain exited {code}", file=sys.stderr)
+        return 1
+    print("cluster smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
